@@ -1,0 +1,161 @@
+//===- bench/Harness.cpp - Shared experiment driver --------------------------===//
+
+#include "Harness.h"
+
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "profile/Collectors.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+namespace {
+
+struct CleanProfile {
+  EdgeProfile EP;
+  PathProfile Oracle;
+  RunResult Res;
+
+  CleanProfile() : Oracle(0) {}
+};
+
+CleanProfile profileClean(const Module &M,
+                          const CostModel &Costs = CostModel()) {
+  CleanProfile Out;
+  EdgeProfiler EdgeObs(M);
+  PathTracer PathObs(M);
+  InterpOptions IO;
+  IO.Costs = Costs;
+  Interpreter I(M, IO);
+  I.addObserver(&EdgeObs);
+  I.addObserver(&PathObs);
+  Out.Res = I.run();
+  if (Out.Res.FuelExhausted) {
+    fprintf(stderr, "error: %s did not terminate\n", M.Name.c_str());
+    exit(1);
+  }
+  Out.EP = EdgeObs.takeProfile();
+  Out.Oracle = PathObs.takeProfile();
+  return Out;
+}
+
+} // namespace
+
+PreparedBenchmark ppp::bench::prepare(const BenchmarkSpec &Spec,
+                                      const CostModel &Costs) {
+  PreparedBenchmark B;
+  B.Name = Spec.Name;
+  B.IsFp = Spec.IsFp;
+  B.Costs = Costs;
+  B.Original = buildCalibrated(Spec);
+
+  CleanProfile Orig = profileClean(B.Original);
+  B.EPOrig = std::move(Orig.EP);
+  B.OracleOrig = std::move(Orig.Oracle);
+  B.CostOrig = Orig.Res.Cost;
+
+  // Sec. 7.3: edge-profile-guided inlining and unrolling first.
+  B.Expanded = B.Original;
+  if (Spec.AllowInlining)
+    B.Inline = runInliner(B.Expanded, B.EPOrig);
+  else {
+    // Still count dynamic calls for the "% calls inlined" column.
+    Module Tmp = B.Expanded;
+    InlinerOptions IO;
+    IO.MaxSites = 0;
+    B.Inline = runInliner(Tmp, B.EPOrig, IO);
+  }
+  // Unrolling decisions read a profile of the module they transform.
+  CleanProfile Mid = profileClean(B.Expanded);
+  B.Unroll = runUnroller(B.Expanded, Mid.EP);
+  if (std::string E = verifyModule(B.Expanded); !E.empty()) {
+    fprintf(stderr, "error: expanded %s: %s\n", B.Name.c_str(), E.c_str());
+    exit(1);
+  }
+
+  // Self advice on the expanded code (under the chosen cost model).
+  CleanProfile Exp = profileClean(B.Expanded, B.Costs);
+  B.EP = std::move(Exp.EP);
+  B.Oracle = std::move(Exp.Oracle);
+  B.CostBase = Exp.Res.Cost;
+  B.DynInstrs = Exp.Res.DynInstrs;
+  return B;
+}
+
+ProfilerOutcome ppp::bench::runProfiler(const PreparedBenchmark &B,
+                                        const ProfilerOptions &Opts) {
+  ProfilerOutcome Out;
+  Out.IR = std::make_unique<InstrumentationResult>(
+      instrumentModule(B.Expanded, B.EP, Opts));
+
+  ProfileRuntime RT = Out.IR->makeRuntime();
+  InterpOptions IO;
+  IO.Costs = B.Costs;
+  Interpreter I(Out.IR->Instrumented, IO);
+  I.setProfileRuntime(&RT);
+  RunResult Res = I.run();
+  if (Res.FuelExhausted) {
+    fprintf(stderr, "error: instrumented %s (%s) hung\n", B.Name.c_str(),
+            Opts.Name.c_str());
+    exit(1);
+  }
+  Out.CostInstr = Res.Cost;
+  Out.OverheadPct = overheadPercent(B.CostBase, Res.Cost);
+
+  Out.Run = buildEstimatedProfile(B.Expanded, B.EP, *Out.IR, RT);
+  for (const FunctionPlan &P : Out.IR->Plans)
+    Out.AnyInstrumented |= P.Instrumented;
+
+  // Sec. 6.1: if the profiler adds no instrumentation at all (swim,
+  // mgrid), select estimates from a potential-flow profile so accuracy
+  // is comparable to edge profiling.
+  if (Out.AnyInstrumented) {
+    Out.Acc = computeAccuracy(B.Oracle, Out.Run.Estimated,
+                              FlowMetric::Branch);
+  } else {
+    uint64_t HotCut = static_cast<uint64_t>(
+        DefaultHotFraction *
+        static_cast<double>(B.Oracle.totalFlow(FlowMetric::Branch)) / 2.0);
+    PathProfile Pot = estimateFromEdgeProfile(
+        B.Expanded, B.EP, FlowKind::Potential, HotCut, FlowMetric::Branch);
+    Out.Acc = computeAccuracy(B.Oracle, Pot, FlowMetric::Branch);
+  }
+
+  Out.Cov =
+      computeProfilerCoverage(*Out.IR, Out.Run, B.Oracle, FlowMetric::Branch);
+  Out.Frac = computeInstrumentedFraction(*Out.IR, B.Oracle);
+  return Out;
+}
+
+EdgeProfilingOutcome
+ppp::bench::evaluateEdgeProfiling(const PreparedBenchmark &B) {
+  EdgeProfilingOutcome Out;
+  uint64_t HotCut = static_cast<uint64_t>(
+      DefaultHotFraction *
+      static_cast<double>(B.Oracle.totalFlow(FlowMetric::Branch)) / 2.0);
+  PathProfile Pot = estimateFromEdgeProfile(
+      B.Expanded, B.EP, FlowKind::Potential, HotCut, FlowMetric::Branch);
+  Out.Acc = computeAccuracy(B.Oracle, Pot, FlowMetric::Branch);
+  Out.Coverage =
+      computeEdgeCoverage(B.Expanded, B.EP, B.Oracle, FlowMetric::Branch);
+  return Out;
+}
+
+void ppp::bench::printRow(const std::string &Name,
+                          const std::vector<double> &Vals, const char *Fmt) {
+  printf("%-10s", Name.c_str());
+  for (double V : Vals)
+    printf(Fmt, V);
+  printf("\n");
+}
+
+void ppp::bench::printHeader(const std::string &Name,
+                             const std::vector<std::string> &Cols) {
+  printf("%-10s", Name.c_str());
+  for (const std::string &C : Cols)
+    printf("%10s", C.c_str());
+  printf("\n");
+}

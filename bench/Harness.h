@@ -1,0 +1,100 @@
+//===- bench/Harness.h - Shared experiment driver --------------*- C++ -*-===//
+///
+/// \file
+/// The experiment pipeline every table/figure binary shares, mirroring
+/// Section 7's methodology:
+///
+///   1. generate + calibrate a benchmark (stands in for SPEC2000);
+///   2. profile the original code (edge profile + oracle paths);
+///   3. inline + unroll guided by that edge profile (Sec. 7.3);
+///   4. re-profile the expanded code -- the *self advice* every
+///      profiler and every metric uses from here on;
+///   5. instrument with PP/TPP/PPP (or an ablation variant), run the
+///      instrumented module, and evaluate accuracy / coverage /
+///      instrumented fraction / overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_BENCH_HARNESS_H
+#define PPP_BENCH_HARNESS_H
+
+#include "interp/CostModel.h"
+#include "metrics/Metrics.h"
+#include "opt/Inliner.h"
+#include "opt/Unroller.h"
+#include "pathprof/EstimatedProfile.h"
+#include "workload/Suite.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ppp {
+namespace bench {
+
+/// A benchmark after generation, expansion, and clean profiling.
+struct PreparedBenchmark {
+  std::string Name;
+  bool IsFp = false;
+  CostModel Costs;
+
+  Module Original;
+  Module Expanded;
+  InlineStats Inline;
+  UnrollStats Unroll;
+
+  // Original-code profile (Table 1's left half).
+  EdgeProfile EPOrig;
+  PathProfile OracleOrig;
+  uint64_t CostOrig = 0;
+
+  // Expanded-code profile: the self advice (Table 1's right half and
+  // everything downstream).
+  EdgeProfile EP;
+  PathProfile Oracle;
+  uint64_t CostBase = 0;
+  uint64_t DynInstrs = 0;
+
+  PreparedBenchmark() : OracleOrig(0), Oracle(0) {}
+};
+
+/// Runs steps 1-4 for one suite entry. \p Costs selects the cost model
+/// (default: the standard model).
+PreparedBenchmark prepare(const BenchmarkSpec &Spec,
+                          const CostModel &Costs = CostModel());
+
+/// Everything one profiler produced on one benchmark.
+struct ProfilerOutcome {
+  std::unique_ptr<InstrumentationResult> IR;
+  ProfilerRunData Run;
+  uint64_t CostInstr = 0;
+  double OverheadPct = 0;
+  AccuracyResult Acc;
+  CoverageResult Cov;
+  InstrumentedFraction Frac;
+  bool AnyInstrumented = false;
+};
+
+/// Runs step 5 for one profiler configuration.
+ProfilerOutcome runProfiler(const PreparedBenchmark &B,
+                            const ProfilerOptions &Opts);
+
+/// Accuracy and coverage of the plain edge profile (the "edge
+/// profiling" bars of Figures 9 and 10).
+struct EdgeProfilingOutcome {
+  AccuracyResult Acc;
+  double Coverage = 0;
+};
+
+EdgeProfilingOutcome evaluateEdgeProfiling(const PreparedBenchmark &B);
+
+/// Prints "name  v1  v2 ..." rows with fixed-width columns.
+void printRow(const std::string &Name, const std::vector<double> &Vals,
+              const char *Fmt = "%10.2f");
+void printHeader(const std::string &Name,
+                 const std::vector<std::string> &Cols);
+
+} // namespace bench
+} // namespace ppp
+
+#endif // PPP_BENCH_HARNESS_H

@@ -1,0 +1,48 @@
+//===- bench/fig11_instrumented.cpp - Figure 11 reproduction ------------------===//
+///
+/// Figure 11: the fraction of dynamic paths each profiler instruments,
+/// and (the figure's stripes) the portion counted through a hash table.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+int main() {
+  printf("Figure 11: fraction of dynamic paths instrumented, percent "
+         "(hashed portion in parens)\n\n");
+  printHeader("bench", {"pp", "pp-hash", "tpp", "tpp-hash", "ppp",
+                        "ppp-hash"});
+
+  double Sum[6] = {0};
+  int N = 0;
+  for (const BenchmarkSpec &Spec : spec2000Suite()) {
+    PreparedBenchmark B = prepare(Spec);
+    std::vector<double> Vals;
+    int I = 0;
+    for (const ProfilerOptions &Opts :
+         {ProfilerOptions::pp(), ProfilerOptions::tpp(),
+          ProfilerOptions::ppp()}) {
+      ProfilerOutcome Out = runProfiler(B, Opts);
+      Vals.push_back(100.0 * Out.Frac.Total);
+      Vals.push_back(100.0 * Out.Frac.Hashed);
+      Sum[I++] += 100.0 * Out.Frac.Total;
+      Sum[I++] += 100.0 * Out.Frac.Hashed;
+    }
+    printRow(B.Name, Vals, "%10.1f");
+    ++N;
+  }
+  printf("\n");
+  printRow("average",
+           {Sum[0] / N, Sum[1] / N, Sum[2] / N, Sum[3] / N, Sum[4] / N,
+            Sum[5] / N},
+           "%10.1f");
+  printf("\nExpected shape (paper): PP instruments 100%% of dynamic "
+         "paths (hashing the complex\nroutines); TPP and PPP "
+         "instrument about half, and PPP eliminates hashing.\n");
+  return 0;
+}

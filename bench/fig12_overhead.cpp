@@ -1,0 +1,67 @@
+//===- bench/fig12_overhead.cpp - Figure 12 reproduction ----------------------===//
+///
+/// Figure 12: runtime overhead of PP, TPP, and PPP as a percentage of
+/// the uninstrumented run, under the deterministic cost model (the
+/// stand-in for the paper's Alpha hardware).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+namespace {
+
+void runTable(const char *Title, const CostModel &Costs) {
+  printf("%s\n\n", Title);
+  printHeader("bench", {"pp", "tpp", "ppp"});
+  double Sum[3] = {0, 0, 0}, IntSum[3] = {0, 0, 0}, FpSum[3] = {0, 0, 0};
+  int N = 0, IntN = 0, FpN = 0;
+  for (const BenchmarkSpec &Spec : spec2000Suite()) {
+    PreparedBenchmark B = prepare(Spec, Costs);
+    double Vals[3];
+    int I = 0;
+    for (const ProfilerOptions &Opts :
+         {ProfilerOptions::pp(), ProfilerOptions::tpp(),
+          ProfilerOptions::ppp()}) {
+      ProfilerOutcome Out = runProfiler(B, Opts);
+      Vals[I++] = Out.OverheadPct;
+    }
+    printRow(B.Name, {Vals[0], Vals[1], Vals[2]}, "%10.2f");
+    for (int K = 0; K < 3; ++K) {
+      Sum[K] += Vals[K];
+      (B.IsFp ? FpSum : IntSum)[K] += Vals[K];
+    }
+    ++N;
+    (B.IsFp ? FpN : IntN) += 1;
+  }
+  printf("\n");
+  if (IntN)
+    printRow("INT-avg", {IntSum[0] / IntN, IntSum[1] / IntN,
+                         IntSum[2] / IntN});
+  if (FpN)
+    printRow("FP-avg", {FpSum[0] / FpN, FpSum[1] / FpN, FpSum[2] / FpN});
+  printRow("average", {Sum[0] / N, Sum[1] / N, Sum[2] / N});
+  printf("\n");
+}
+
+} // namespace
+
+int main() {
+  printf("Figure 12: profiling overhead, percent of base runtime\n\n");
+  runTable("-- standard cost model --", CostModel());
+  runTable("-- Alpha-21164-like cost model (counter updates relatively "
+           "expensive,\n   as on the paper's hardware) --",
+           CostModel::alpha21164());
+  printf("Expected shape (paper): PP ~31%% average (up to ~100%% on "
+         "branchy code);\nTPP ~12%%; PPP ~5%% with the biggest PPP wins "
+         "on the INT side. Our cost model\nis deterministic, so the "
+         "paper's negative-overhead cache artifacts do not appear.\n"
+         "The Alpha-like model shows the cost-model sensitivity: the "
+         "same instrumentation\nweighs more when counter updates are "
+         "relatively expensive, moving PP toward the\npaper's 31%%.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- bench/kernels_overhead.cpp - Profilers on designed algorithms ----------===//
+///
+/// The three profilers on hand-written algorithm kernels (sorting,
+/// matrix multiply, DFA dispatch, recursion, checksum loops) rather
+/// than generated programs -- a complementary view with recognizable
+/// control-flow shapes. Overhead percent and PPP accuracy per kernel.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "metrics/Metrics.h"
+#include "profile/Collectors.h"
+#include "workload/Kernels.h"
+
+#include <cstdio>
+
+using namespace ppp;
+
+int main() {
+  printf("Profilers on algorithm kernels: overhead %% (and PPP "
+         "accuracy %%)\n\n");
+  printf("%-16s%10s%10s%10s%12s\n", "kernel", "pp", "tpp", "ppp",
+         "ppp-acc");
+
+  double Sum[3] = {0, 0, 0};
+  int N = 0;
+  for (const Kernel &K : standardKernels()) {
+    InterpOptions IO;
+    IO.MemSeed = K.MemSeed;
+
+    EdgeProfiler EdgeObs(K.M);
+    PathTracer PathObs(K.M);
+    Interpreter I(K.M, IO);
+    I.addObserver(&EdgeObs);
+    I.addObserver(&PathObs);
+    RunResult Base = I.run();
+    EdgeProfile EP = EdgeObs.takeProfile();
+    PathProfile Oracle = PathObs.takeProfile();
+
+    double Vals[3];
+    double PppAcc = 0;
+    int Idx = 0;
+    for (const ProfilerOptions &Opts :
+         {ProfilerOptions::pp(), ProfilerOptions::tpp(),
+          ProfilerOptions::ppp()}) {
+      InstrumentationResult IR = instrumentModule(K.M, EP, Opts);
+      ProfileRuntime RT = IR.makeRuntime();
+      Interpreter I2(IR.Instrumented, IO);
+      I2.setProfileRuntime(&RT);
+      RunResult R = I2.run();
+      if (R.ReturnValue != K.ExpectedReturn) {
+        fprintf(stderr, "error: %s mis-executed under %s\n",
+                K.Name.c_str(), Opts.Name.c_str());
+        return 1;
+      }
+      Vals[Idx] = overheadPercent(Base.Cost, R.Cost);
+      if (Opts.Name == "ppp") {
+        ProfilerRunData Data = buildEstimatedProfile(K.M, EP, IR, RT);
+        bool Any = false;
+        for (const FunctionPlan &P : IR.Plans)
+          Any |= P.Instrumented;
+        PathProfile Pot(0);
+        if (!Any) {
+          uint64_t Cut = static_cast<uint64_t>(
+              DefaultHotFraction *
+              static_cast<double>(Oracle.totalFlow(FlowMetric::Branch)) /
+              2.0);
+          Pot = estimateFromEdgeProfile(K.M, EP, FlowKind::Potential, Cut,
+                                        FlowMetric::Branch);
+        }
+        PppAcc = computeAccuracy(Oracle, Any ? Data.Estimated : Pot,
+                                 FlowMetric::Branch)
+                     .Accuracy;
+      }
+      ++Idx;
+    }
+    printf("%-16s%10.2f%10.2f%10.2f%12.1f\n", K.Name.c_str(), Vals[0],
+           Vals[1], Vals[2], 100.0 * PppAcc);
+    for (int J = 0; J < 3; ++J)
+      Sum[J] += Vals[J];
+    ++N;
+  }
+  printf("\n%-16s%10.2f%10.2f%10.2f\n", "average", Sum[0] / N, Sum[1] / N,
+         Sum[2] / N);
+  printf("\nExpected shape: same ordering as Figure 12 on recognizable "
+         "programs. The DFA\n(dispatch-heavy, perlbmk-like) should be "
+         "the expensive case for PP; straight\nloop nests (matmul) "
+         "nearly free for everyone.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- bench/metric_comparison.cpp - Unit flow vs branch flow ------------------===//
+///
+/// Section 5.1 introduces the branch-flow metric because unit flow
+/// weights a long path the same as a trivial one, inflating how good an
+/// estimator looks on short paths. This binary evaluates edge profiling
+/// and PPP under *both* metrics: the paper's claim predicts that edge
+/// profiling looks better under unit flow than under branch flow (its
+/// failures concentrate on long, branchy paths), while PPP, which
+/// measures long paths directly, is stable across metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+int main() {
+  printf("Accuracy under unit flow vs branch flow, percent\n\n");
+  printHeader("bench", {"edge-unit", "edge-br", "ppp-unit", "ppp-br"});
+
+  double Sum[4] = {0, 0, 0, 0};
+  int N = 0;
+  for (const BenchmarkSpec &Spec : spec2000Suite()) {
+    PreparedBenchmark B = prepare(Spec);
+
+    // Edge profiling: potential-flow estimates, each cut under the
+    // metric it will be judged by.
+    auto EdgeEstimate = [&](FlowMetric Metric) {
+      uint64_t Cut = static_cast<uint64_t>(
+          DefaultHotFraction *
+          static_cast<double>(B.Oracle.totalFlow(Metric)) / 2.0);
+      return estimateFromEdgeProfile(B.Expanded, B.EP,
+                                     FlowKind::Potential, Cut, Metric);
+    };
+    PathProfile EdgeEstU = EdgeEstimate(FlowMetric::Unit);
+    PathProfile EdgeEst = EdgeEstimate(FlowMetric::Branch);
+    double EdgeUnit =
+        computeAccuracy(B.Oracle, EdgeEstU, FlowMetric::Unit).Accuracy;
+    double EdgeBranch =
+        computeAccuracy(B.Oracle, EdgeEst, FlowMetric::Branch).Accuracy;
+
+    // PPP, same estimated profile under both metrics.
+    ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
+    const PathProfile &Est = Ppp.AnyInstrumented ? Ppp.Run.Estimated
+                                                 : EdgeEst;
+    double PppUnit =
+        computeAccuracy(B.Oracle, Est, FlowMetric::Unit).Accuracy;
+    double PppBranch =
+        computeAccuracy(B.Oracle, Est, FlowMetric::Branch).Accuracy;
+
+    printRow(B.Name,
+             {100 * EdgeUnit, 100 * EdgeBranch, 100 * PppUnit,
+              100 * PppBranch},
+             "%10.1f");
+    Sum[0] += 100 * EdgeUnit;
+    Sum[1] += 100 * EdgeBranch;
+    Sum[2] += 100 * PppUnit;
+    Sum[3] += 100 * PppBranch;
+    ++N;
+  }
+  printf("\n");
+  printRow("average", {Sum[0] / N, Sum[1] / N, Sum[2] / N, Sum[3] / N},
+           "%10.1f");
+  printf("\nExpected shape (Sec. 5.1): unit flow flatters the edge "
+         "profile (its mistakes\nsit on the long paths branch flow "
+         "emphasizes); PPP is metric-stable. The gap\nbetween the two "
+         "edge columns is the bias the branch-flow metric removes.\n");
+  return 0;
+}

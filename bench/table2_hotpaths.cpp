@@ -1,0 +1,66 @@
+//===- bench/table2_hotpaths.cpp - Table 2 reproduction -----------------------===//
+///
+/// Table 2: distinct dynamic paths; number of hot paths and the percent
+/// of total program flow they carry, at the 0.125% and 1% hot
+/// thresholds (branch-flow metric).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+int main() {
+  printf("Table 2: hot paths in the synthetic SPEC2000 suite "
+         "(expanded code)\n\n");
+  printHeader("bench", {"distinct", "hot.125", "%flow", "hot1", "%flow"});
+
+  double IntFlow[2] = {0, 0}, FpFlow[2] = {0, 0};
+  int IntN = 0, FpN = 0;
+  for (const BenchmarkSpec &Spec : spec2000Suite()) {
+    PreparedBenchmark B = prepare(Spec);
+    uint64_t Total = B.Oracle.totalFlow(FlowMetric::Branch);
+    double Pct[2];
+    size_t Count[2];
+    const double Thresholds[2] = {0.00125, 0.01};
+    for (int T = 0; T < 2; ++T) {
+      std::vector<PathRef> Hot =
+          selectHotPaths(B.Oracle, FlowMetric::Branch, Thresholds[T]);
+      uint64_t Flow = 0;
+      for (const PathRef &P : Hot)
+        Flow += B.Oracle.Funcs[static_cast<size_t>(P.Func)]
+                    .Paths[P.Index]
+                    .flow(FlowMetric::Branch);
+      Count[T] = Hot.size();
+      Pct[T] = Total == 0 ? 0
+                          : 100.0 * static_cast<double>(Flow) /
+                                static_cast<double>(Total);
+    }
+    printRow(B.Name,
+             {static_cast<double>(B.Oracle.distinctPaths()),
+              static_cast<double>(Count[0]), Pct[0],
+              static_cast<double>(Count[1]), Pct[1]},
+             "%10.1f");
+    (B.IsFp ? FpFlow : IntFlow)[0] += Pct[0];
+    (B.IsFp ? FpFlow : IntFlow)[1] += Pct[1];
+    (B.IsFp ? FpN : IntN) += 1;
+  }
+  printf("\n");
+  if (IntN)
+    printf("INT avg %%flow: %.1f (0.125%%), %.1f (1%%)\n",
+           IntFlow[0] / IntN, IntFlow[1] / IntN);
+  if (FpN)
+    printf("FP  avg %%flow: %.1f (0.125%%), %.1f (1%%)\n",
+           FpFlow[0] / FpN, FpFlow[1] / FpN);
+  if (IntN + FpN)
+    printf("ALL avg %%flow: %.1f (0.125%%), %.1f (1%%)\n",
+           (IntFlow[0] + FpFlow[0]) / (IntN + FpN),
+           (IntFlow[1] + FpFlow[1]) / (IntN + FpN));
+  printf("\nExpected shape (paper): the 0.125%% threshold captures "
+         "much more flow than 1%%\n(92.7%% vs 74.1%% overall); FP "
+         "benchmarks concentrate flow in fewer paths.\n");
+  return 0;
+}

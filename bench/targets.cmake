@@ -1,0 +1,39 @@
+# Benchmark binaries are emitted directly into build/bench/ (and nothing
+# else lives there), so `for b in build/bench/*; do $b; done` runs the
+# whole experiment suite.
+
+add_library(ppp_bench_harness STATIC ${CMAKE_SOURCE_DIR}/bench/Harness.cpp)
+target_include_directories(ppp_bench_harness PUBLIC ${CMAKE_SOURCE_DIR}/bench)
+target_link_libraries(ppp_bench_harness PUBLIC
+  ppp_edgeprof ppp_metrics ppp_pathprof ppp_flow ppp_opt ppp_workload
+  ppp_profile ppp_interp ppp_analysis ppp_ir ppp_support)
+set_target_properties(ppp_bench_harness PROPERTIES
+  ARCHIVE_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/lib)
+
+function(ppp_add_bench NAME)
+  add_executable(${NAME} ${CMAKE_SOURCE_DIR}/bench/${NAME}.cpp)
+  target_link_libraries(${NAME} PRIVATE ppp_bench_harness)
+  set_target_properties(${NAME} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+ppp_add_bench(table1_inlining)
+ppp_add_bench(table2_hotpaths)
+ppp_add_bench(fig9_accuracy)
+ppp_add_bench(fig10_coverage)
+ppp_add_bench(fig11_instrumented)
+ppp_add_bench(fig12_overhead)
+ppp_add_bench(fig13_ablation)
+ppp_add_bench(fig13b_poisoning)
+ppp_add_bench(fig13c_oneatatime)
+ppp_add_bench(trace_payoff)
+ppp_add_bench(edge_instrumentation)
+ppp_add_bench(kernels_overhead)
+ppp_add_bench(net_vs_ppp)
+ppp_add_bench(metric_comparison)
+
+add_executable(counters_microbench ${CMAKE_SOURCE_DIR}/bench/counters_microbench.cpp)
+target_link_libraries(counters_microbench PRIVATE ppp_interp ppp_support
+  benchmark::benchmark)
+set_target_properties(counters_microbench PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

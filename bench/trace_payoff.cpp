@@ -1,0 +1,90 @@
+//===- bench/trace_payoff.cpp - Why dynamic optimizers want paths -------------===//
+///
+/// The paper's opening argument (Sec. 1-2), measured: superblock trace
+/// formation guided by (a) the edge profile alone (greedy hottest-
+/// successor chains), (b) PPP's measured path profile, and (c) the
+/// oracle path profile (upper bound). The transformation and its
+/// parameters are identical; only the trace selector differs.
+///
+/// Payoff = reduction in dynamic cost of the expanded benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "opt/TraceFormation.h"
+
+#include <cstdio>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+namespace {
+
+double payoffPct(const Module &Optimized, uint64_t BaseCost) {
+  Interpreter I(Optimized);
+  RunResult R = I.run();
+  return 100.0 *
+         (static_cast<double>(BaseCost) - static_cast<double>(R.Cost)) /
+         static_cast<double>(BaseCost);
+}
+
+} // namespace
+
+int main() {
+  printf("Trace-formation payoff (%% dynamic cost saved) by profile "
+         "source\n\n");
+  printHeader("bench", {"edge", "ppp", "oracle"});
+
+  double Sum[3] = {0, 0, 0};
+  int N = 0;
+  for (const BenchmarkSpec &Spec : spec2000Suite()) {
+    PreparedBenchmark B = prepare(Spec);
+
+    // (a) Edge-greedy traces.
+    Module EdgeOpt = B.Expanded;
+    formTracesFromEdgeProfile(EdgeOpt, B.EP);
+
+    // (b) PPP-measured traces.
+    ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
+    Module PppOpt = B.Expanded;
+    formTracesFromPathProfile(PppOpt, Ppp.Run.Estimated);
+
+    // (c) Oracle traces (perfect knowledge upper bound).
+    Module OracleOpt = B.Expanded;
+    formTracesFromPathProfile(OracleOpt, B.Oracle);
+
+    for (Module *Mod : {&EdgeOpt, &PppOpt, &OracleOpt}) {
+      if (std::string E = verifyModule(*Mod); !E.empty()) {
+        fprintf(stderr, "error: %s: %s\n", B.Name.c_str(), E.c_str());
+        return 1;
+      }
+      // Semantics must be untouched.
+      RunResult R = Interpreter(*Mod).run();
+      RunResult Base = Interpreter(B.Expanded).run();
+      if (R.ReturnValue != Base.ReturnValue ||
+          R.MemChecksum != Base.MemChecksum) {
+        fprintf(stderr, "error: %s: trace formation changed semantics\n",
+                B.Name.c_str());
+        return 1;
+      }
+    }
+
+    double Vals[3] = {payoffPct(EdgeOpt, B.CostBase),
+                      payoffPct(PppOpt, B.CostBase),
+                      payoffPct(OracleOpt, B.CostBase)};
+    printRow(B.Name, {Vals[0], Vals[1], Vals[2]});
+    for (int I = 0; I < 3; ++I)
+      Sum[I] += Vals[I];
+    ++N;
+  }
+  printf("\n");
+  printRow("average", {Sum[0] / N, Sum[1] / N, Sum[2] / N});
+  printf("\nExpected shape: PPP-guided traces recover (nearly) the "
+         "oracle's payoff and beat\nthe edge-greedy baseline wherever "
+         "edge profiles mispredict paths -- the premise\nthat makes "
+         "cheap path profiling worth having (paper Secs. 1-2).\n");
+  return 0;
+}

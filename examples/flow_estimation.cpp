@@ -1,0 +1,107 @@
+//===- examples/flow_estimation.cpp - The paper's Figure 8, worked ------------===//
+///
+/// Reconstructs the worked example of Sections 5.2 and 6.2: the routine
+/// of Figure 8, its definite and potential flow, and the edge profile's
+/// 50% coverage. Run it next to the paper -- every number matches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BLDag.h"
+#include "flow/FlowAnalysis.h"
+#include "flow/Reconstruct.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <cstdio>
+
+using namespace ppp;
+
+int main() {
+  // Figure 8: A -> {B:50, C:30}; B,C -> D; D -> {E:60, F:20}; E,F -> G.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("fig8", 1);
+  BlockId A = 0;
+  BlockId Bb = B.newBlock(), C = B.newBlock(), D = B.newBlock();
+  BlockId E = B.newBlock(), F = B.newBlock(), G = B.newBlock();
+  B.emitCondBr(0, Bb, C);
+  B.setInsertPoint(Bb);
+  B.emitBr(D);
+  B.setInsertPoint(C);
+  B.emitBr(D);
+  B.setInsertPoint(D);
+  B.emitCondBr(0, E, F);
+  B.setInsertPoint(E);
+  B.emitBr(G);
+  B.setInsertPoint(F);
+  B.emitBr(G);
+  B.setInsertPoint(G);
+  B.emitRet(0);
+  B.endFunction();
+  B.beginFunction("main", 0);
+  B.emitRet(B.emitConst(0));
+  B.endFunction();
+  M.MainId = 1;
+  if (!verifyModule(M).empty())
+    return 1;
+
+  // The edge profile straight out of the figure.
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  std::vector<int64_t> Freq(Cfg.numEdges(), 0);
+  Freq[(size_t)Cfg.edgeIdFor(A, 0)] = 50;  // A->B
+  Freq[(size_t)Cfg.edgeIdFor(A, 1)] = 30;  // A->C
+  Freq[(size_t)Cfg.edgeIdFor(Bb, 0)] = 50; // B->D
+  Freq[(size_t)Cfg.edgeIdFor(C, 0)] = 30;  // C->D
+  Freq[(size_t)Cfg.edgeIdFor(D, 0)] = 60;  // D->E
+  Freq[(size_t)Cfg.edgeIdFor(D, 1)] = 20;  // D->F
+  Freq[(size_t)Cfg.edgeIdFor(E, 0)] = 60;  // E->G
+  Freq[(size_t)Cfg.edgeIdFor(F, 0)] = 20;  // F->G
+
+  BLDag Dag = BLDag::build(Cfg, LI);
+  Dag.setFrequencies(Freq, /*Invocations=*/80);
+
+  int64_t ActualFlow = 0;
+  for (const DagEdge &DE : Dag.edges())
+    if (DE.IsBranch)
+      ActualFlow += DE.Freq;
+  printf("Figure 8 worked example (branch-flow metric)\n");
+  printf("  total invocations F          = %lld\n",
+         (long long)Dag.totalFlow());
+  printf("  actual program flow F(P)     = %lld  (paper: 160)\n",
+         (long long)ActualFlow);
+
+  FlowResult DF = computeDefiniteFlow(Dag);
+  uint64_t Definite = DF.totalFlowAtEntry(Dag, FlowMetric::Branch);
+  printf("  definite flow DF(P)          = %llu  (paper: 80)\n",
+         (unsigned long long)Definite);
+  printf("  edge-profile coverage        = %.0f%%  (paper: 50%%)\n\n",
+         100.0 * (double)Definite / (double)ActualFlow);
+
+  const char *BlockNames = "ABCDEFG";
+  auto PrintPaths = [&](const char *Title,
+                        const std::vector<ReconstructedPath> &Paths) {
+    printf("  %s\n", Title);
+    for (const ReconstructedPath &P : Paths) {
+      printf("    freq %3lld  flow %4llu  path ", (long long)P.Freq,
+             (unsigned long long)P.flow(FlowMetric::Branch));
+      for (BlockId Blk : P.Key.blocks(Cfg))
+        printf("%c", BlockNames[Blk]);
+      printf("\n");
+    }
+  };
+
+  PrintPaths("definite-flow paths (paper: ABDEG=60, ACDEG=20):",
+             reconstructPaths(Dag, DF, 0, FlowMetric::Branch));
+
+  FlowResult PF = computePotentialFlow(Dag);
+  PrintPaths("potential-flow paths (upper bounds; used to pick "
+             "estimated hot paths):",
+             reconstructPaths(Dag, PF, 0, FlowMetric::Branch));
+
+  printf("\nReading: the edge profile *guarantees* only half the flow "
+         "(definite), while\nthe other half could belong to several "
+         "paths (potential) -- exactly why the\npaper instruments "
+         "routines whose edge coverage is poor.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===- examples/profiler_comparison.cpp - PP vs TPP vs PPP, one program -------===//
+///
+/// Generates one synthetic benchmark, applies the paper's methodology
+/// (inline + unroll, then profile), and prints a side-by-side
+/// comparison of the three profilers plus plain edge profiling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "metrics/Metrics.h"
+#include "opt/Inliner.h"
+#include "opt/Unroller.h"
+#include "pathprof/EstimatedProfile.h"
+#include "profile/Collectors.h"
+#include "workload/Generator.h"
+
+#include <cstdio>
+
+using namespace ppp;
+
+namespace {
+
+struct CleanRun {
+  EdgeProfile EP;
+  PathProfile Oracle;
+  uint64_t Cost = 0;
+
+  CleanRun() : Oracle(0) {}
+};
+
+CleanRun profileOnce(const Module &M) {
+  CleanRun Out;
+  EdgeProfiler EO(M);
+  PathTracer PT(M);
+  Interpreter I(M);
+  I.addObserver(&EO);
+  I.addObserver(&PT);
+  RunResult R = I.run();
+  Out.EP = EO.takeProfile();
+  Out.Oracle = PT.takeProfile();
+  Out.Cost = R.Cost;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  // A branchy, moderately skewed workload (parser-ish).
+  WorkloadParams P;
+  P.Seed = 0xbeef;
+  P.Name = "demo";
+  P.NumFunctions = 10;
+  P.IfPct = 38;
+  P.SkewedIfPct = 55;
+  P.MainLoopTrips = 400;
+  Module M = generateWorkload(P);
+
+  // Paper methodology (Sec. 7.3): inline and unroll first.
+  CleanRun Pre = profileOnce(M);
+  runInliner(M, Pre.EP);
+  CleanRun Mid = profileOnce(M);
+  runUnroller(M, Mid.EP);
+  if (!verifyModule(M).empty())
+    return 1;
+  CleanRun Base = profileOnce(M);
+
+  printf("benchmark: %s  (%llu dynamic paths, %llu distinct)\n\n",
+         P.Name.c_str(), (unsigned long long)Base.Oracle.totalFreq(),
+         (unsigned long long)Base.Oracle.distinctPaths());
+  printf("%-8s%12s%12s%12s%12s%12s\n", "method", "accuracy%", "coverage%",
+         "overhead%", "instr'd%", "hashed%");
+
+  // Edge profiling row.
+  {
+    uint64_t Cut = (uint64_t)(DefaultHotFraction *
+                              (double)Base.Oracle.totalFlow(
+                                  FlowMetric::Branch) / 2.0);
+    PathProfile Est = estimateFromEdgeProfile(
+        M, Base.EP, FlowKind::Potential, Cut, FlowMetric::Branch);
+    AccuracyResult Acc =
+        computeAccuracy(Base.Oracle, Est, FlowMetric::Branch);
+    double Cov =
+        computeEdgeCoverage(M, Base.EP, Base.Oracle, FlowMetric::Branch);
+    printf("%-8s%12.1f%12.1f%12.2f%12.1f%12.1f\n", "edge",
+           100 * Acc.Accuracy, 100 * Cov, 0.0, 0.0, 0.0);
+  }
+
+  for (const ProfilerOptions &Opts :
+       {ProfilerOptions::pp(), ProfilerOptions::tpp(),
+        ProfilerOptions::ppp()}) {
+    InstrumentationResult IR = instrumentModule(M, Base.EP, Opts);
+    ProfileRuntime RT = IR.makeRuntime();
+    Interpreter I(IR.Instrumented);
+    I.setProfileRuntime(&RT);
+    RunResult R = I.run();
+    ProfilerRunData Data = buildEstimatedProfile(M, Base.EP, IR, RT);
+    AccuracyResult Acc =
+        computeAccuracy(Base.Oracle, Data.Estimated, FlowMetric::Branch);
+    CoverageResult Cov = computeProfilerCoverage(IR, Data, Base.Oracle,
+                                                 FlowMetric::Branch);
+    InstrumentedFraction Frac =
+        computeInstrumentedFraction(IR, Base.Oracle);
+    printf("%-8s%12.1f%12.1f%12.2f%12.1f%12.1f\n", Opts.Name.c_str(),
+           100 * Acc.Accuracy, 100 * Cov.Coverage,
+           overheadPercent(Base.Cost, R.Cost), 100 * Frac.Total,
+           100 * Frac.Hashed);
+  }
+
+  printf("\nThe paper's story in one table: TPP and PPP keep nearly "
+         "all of PP's accuracy\nwhile instrumenting about half the "
+         "dynamic paths; PPP additionally kills the\nhash tables and "
+         "pushes overhead down toward edge-profiling territory.\n");
+  return 0;
+}

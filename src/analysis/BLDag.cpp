@@ -1,0 +1,179 @@
+//===- analysis/BLDag.cpp - Ball-Larus acyclic path DAG --------------------===//
+
+#include "analysis/BLDag.h"
+
+#include <cassert>
+
+using namespace ppp;
+
+void BLDag::addEdge(DagEdge E) {
+  E.Id = static_cast<int>(Edges.size());
+  OutIds[static_cast<size_t>(E.Src)].push_back(E.Id);
+  InIds[static_cast<size_t>(E.Dst)].push_back(E.Id);
+  Edges.push_back(E);
+}
+
+BLDag BLDag::build(const CfgView &Cfg, const LoopInfo &LI,
+                   const BuildOptions &Opts) {
+  BLDag D;
+  D.Cfg = &Cfg;
+  unsigned NumBlocks = Cfg.numBlocks();
+  D.ExitNode = static_cast<int>(NumBlocks);
+  D.EntryNode = static_cast<int>(NumBlocks) + 1;
+  D.NumNodes = static_cast<int>(NumBlocks) + 2;
+  D.OutIds.resize(static_cast<size_t>(D.NumNodes));
+  D.InIds.resize(static_cast<size_t>(D.NumNodes));
+
+  auto IsCold = [&](int CfgEdgeId) {
+    return Opts.ColdCfgEdges && Opts.ColdCfgEdges->count(CfgEdgeId) > 0;
+  };
+  auto IsDisconnected = [&](int CfgEdgeId) {
+    return Opts.DisconnectedBackEdges &&
+           Opts.DisconnectedBackEdges->count(CfgEdgeId) > 0;
+  };
+
+  // Only blocks reachable from entry contribute edges; dead blocks could
+  // otherwise introduce cycles the back-edge set does not cover.
+  std::vector<bool> Reachable(NumBlocks, false);
+  for (BlockId B : reversePostOrder(Cfg))
+    Reachable[static_cast<size_t>(B)] = true;
+
+  // ENTRY -> entry block.
+  {
+    DagEdge E;
+    E.Src = D.EntryNode;
+    E.Dst = 0;
+    E.Kind = DagEdgeKind::FnEntry;
+    D.addEdge(E);
+  }
+
+  // Real edges and FnExit edges, in block order for determinism.
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    if (!Reachable[B])
+      continue;
+    const BasicBlock &BB = Cfg.function().block(static_cast<BlockId>(B));
+    if (BB.terminator().Op == Opcode::Ret) {
+      DagEdge E;
+      E.Src = static_cast<int>(B);
+      E.Dst = D.ExitNode;
+      E.Kind = DagEdgeKind::FnExit;
+      D.addEdge(E);
+      continue;
+    }
+    for (int CfgEdgeId : Cfg.outEdges(static_cast<BlockId>(B))) {
+      if (LI.isBackEdge(CfgEdgeId))
+        continue;
+      const CfgEdge &CE = Cfg.edge(CfgEdgeId);
+      DagEdge E;
+      E.Src = CE.Src;
+      E.Dst = CE.Dst;
+      E.Kind = DagEdgeKind::Real;
+      E.CfgEdgeId = CfgEdgeId;
+      E.Cold = IsCold(CfgEdgeId);
+      E.IsBranch = Cfg.isBranchEdge(CfgEdgeId);
+      D.addEdge(E);
+    }
+  }
+
+  // Dummy edge pairs for back edges.
+  for (int BackId : LI.backEdges()) {
+    if (IsDisconnected(BackId))
+      continue;
+    const CfgEdge &CE = Cfg.edge(BackId);
+    if (!Reachable[static_cast<size_t>(CE.Src)])
+      continue;
+    bool Cold = IsCold(BackId);
+    DagEdge Exit;
+    Exit.Src = CE.Src;
+    Exit.Dst = D.ExitNode;
+    Exit.Kind = DagEdgeKind::LoopExit;
+    Exit.CfgEdgeId = BackId;
+    Exit.Cold = Cold;
+    // Taking the back edge consumes a branch decision if the tail block
+    // has other successors.
+    Exit.IsBranch = Cfg.isBranchEdge(BackId);
+    D.addEdge(Exit);
+
+    DagEdge Entry;
+    Entry.Src = D.EntryNode;
+    Entry.Dst = CE.Dst;
+    Entry.Kind = DagEdgeKind::LoopEntry;
+    Entry.CfgEdgeId = BackId;
+    Entry.Cold = Cold;
+    D.addEdge(Entry);
+  }
+
+  D.computeTopoOrder();
+  return D;
+}
+
+void BLDag::computeTopoOrder() {
+  // Kahn's algorithm over all DAG edges (cold edges included: coldness
+  // affects numbering, not acyclic structure).
+  std::vector<unsigned> InDegree(static_cast<size_t>(NumNodes), 0);
+  for (const DagEdge &E : Edges)
+    ++InDegree[static_cast<size_t>(E.Dst)];
+
+  Topo.clear();
+  Topo.reserve(static_cast<size_t>(NumNodes));
+  std::vector<int> Work;
+  // Seed with ENTRY first, then any other zero-in-degree node (isolated
+  // or unreachable blocks) in id order.
+  Work.push_back(EntryNode);
+  for (int V = 0; V < NumNodes; ++V)
+    if (V != EntryNode && InDegree[static_cast<size_t>(V)] == 0)
+      Work.push_back(V);
+
+  size_t Next = 0;
+  while (Next < Work.size()) {
+    int V = Work[Next++];
+    Topo.push_back(V);
+    for (int EId : OutIds[static_cast<size_t>(V)]) {
+      int W = Edges[static_cast<size_t>(EId)].Dst;
+      if (--InDegree[static_cast<size_t>(W)] == 0)
+        Work.push_back(W);
+    }
+  }
+  assert(Topo.size() == static_cast<size_t>(NumNodes) &&
+         "DAG contains a cycle; back-edge set incomplete");
+}
+
+void BLDag::setFrequencies(const std::vector<int64_t> &CfgEdgeFreq,
+                           int64_t Invocations) {
+  assert(CfgEdgeFreq.size() == Cfg->numEdges() &&
+         "frequency vector does not match CFG");
+
+  // Block execution counts in the *real* CFG (back edges included).
+  std::vector<int64_t> BlockExec(Cfg->numBlocks(), 0);
+  for (unsigned B = 0; B < Cfg->numBlocks(); ++B) {
+    int64_t In = B == 0 ? Invocations : 0;
+    for (int EId : Cfg->inEdges(static_cast<BlockId>(B)))
+      In += CfgEdgeFreq[static_cast<size_t>(EId)];
+    BlockExec[B] = In;
+  }
+
+  for (DagEdge &E : Edges) {
+    switch (E.Kind) {
+    case DagEdgeKind::Real:
+      E.Freq = CfgEdgeFreq[static_cast<size_t>(E.CfgEdgeId)];
+      break;
+    case DagEdgeKind::FnEntry:
+      E.Freq = Invocations;
+      break;
+    case DagEdgeKind::FnExit:
+      E.Freq = BlockExec[static_cast<size_t>(E.Src)];
+      break;
+    case DagEdgeKind::LoopEntry:
+    case DagEdgeKind::LoopExit:
+      E.Freq = CfgEdgeFreq[static_cast<size_t>(E.CfgEdgeId)];
+      break;
+    }
+  }
+
+  NodeFreq.assign(static_cast<size_t>(NumNodes), 0);
+  for (const DagEdge &E : Edges)
+    NodeFreq[static_cast<size_t>(E.Dst)] += E.Freq;
+  for (int EId : OutIds[static_cast<size_t>(EntryNode)])
+    NodeFreq[static_cast<size_t>(EntryNode)] +=
+        Edges[static_cast<size_t>(EId)].Freq;
+}

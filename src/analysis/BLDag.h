@@ -1,0 +1,151 @@
+//===- analysis/BLDag.h - Ball-Larus acyclic path DAG ----------*- C++ -*-===//
+///
+/// \file
+/// The DAG that Ball-Larus path profiling numbers and instruments.
+/// Construction follows Section 3.1 of Bond & McKinley (CGO 2005):
+/// every back edge (tail -> header) is removed and replaced by two dummy
+/// edges, ENTRY -> header and tail -> EXIT. We use a *virtual* ENTRY node
+/// (so a back edge targeting the entry block is handled uniformly) and a
+/// virtual EXIT node (merging multiple returns).
+///
+/// Node ids: [0, numBlocks) are the function's blocks, numBlocks is EXIT,
+/// numBlocks+1 is ENTRY.
+///
+/// Edge kinds:
+///  - Real:      a CFG edge that is not a back edge.
+///  - FnEntry:   ENTRY -> block 0 (function invocation).
+///  - FnExit:    ret-block -> EXIT (one per Ret terminator).
+///  - LoopEntry: ENTRY -> header, dummy for one back edge.
+///  - LoopExit:  tail -> EXIT, dummy for the same back edge.
+///
+/// Cold edges stay in the DAG but are excluded from path numbering; they
+/// are where poison instrumentation goes. Disconnected back edges
+/// (obvious loops, Sec. 3.2) are excluded entirely: no dummy edges are
+/// created, so the loop's iteration boundaries become invisible to the
+/// profiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_ANALYSIS_BLDAG_H
+#define PPP_ANALYSIS_BLDAG_H
+
+#include "analysis/CfgView.h"
+#include "analysis/LoopInfo.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace ppp {
+
+enum class DagEdgeKind : uint8_t {
+  Real,
+  FnEntry,
+  FnExit,
+  LoopEntry,
+  LoopExit,
+};
+
+/// One DAG edge, carrying the per-edge state of the whole profiling
+/// pipeline: predicted frequency, path-numbering value, and the
+/// event-counting increment.
+struct DagEdge {
+  int Id = -1;
+  int Src = -1; ///< DAG node id.
+  int Dst = -1; ///< DAG node id.
+  DagEdgeKind Kind = DagEdgeKind::Real;
+  /// Real: the CFG edge. LoopEntry/LoopExit: the broken back edge.
+  int CfgEdgeId = -1;
+  /// Excluded from path numbering; receives poison instrumentation.
+  bool Cold = false;
+  /// True if taking this edge consumes a branch decision (source block
+  /// has >= 2 successors); used by the branch-flow metric.
+  bool IsBranch = false;
+  /// Predicted or measured traversal frequency.
+  int64_t Freq = 0;
+  /// Path numbering value (Figure 2 / Figure 6); meaningful iff !Cold.
+  uint64_t Val = 0;
+  /// Event-counting increment (may be negative).
+  int64_t Inc = 0;
+  /// True if the edge is on the event-counting spanning tree (Inc == 0).
+  bool OnTree = false;
+};
+
+/// The Ball-Larus DAG of one function.
+class BLDag {
+public:
+  struct BuildOptions {
+    /// CFG edges to mark cold (excluded from numbering, poisoned).
+    const std::set<int> *ColdCfgEdges = nullptr;
+    /// Back-edge CFG ids of disconnected (obvious) loops: excluded
+    /// entirely, no dummy edges.
+    const std::set<int> *DisconnectedBackEdges = nullptr;
+  };
+
+  static BLDag build(const CfgView &Cfg, const LoopInfo &LI,
+                     const BuildOptions &Opts);
+
+  static BLDag build(const CfgView &Cfg, const LoopInfo &LI) {
+    return build(Cfg, LI, BuildOptions{});
+  }
+
+  const CfgView &cfg() const { return *Cfg; }
+
+  int numNodes() const { return NumNodes; }
+  int exitNode() const { return ExitNode; }
+  int entryNode() const { return EntryNode; }
+  bool isVirtualNode(int Node) const { return Node >= ExitNode; }
+
+  unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
+
+  const DagEdge &edge(int Id) const { return Edges[static_cast<size_t>(Id)]; }
+  DagEdge &edge(int Id) { return Edges[static_cast<size_t>(Id)]; }
+
+  const std::vector<DagEdge> &edges() const { return Edges; }
+  std::vector<DagEdge> &edges() { return Edges; }
+
+  const std::vector<int> &outEdges(int Node) const {
+    return OutIds[static_cast<size_t>(Node)];
+  }
+  const std::vector<int> &inEdges(int Node) const {
+    return InIds[static_cast<size_t>(Node)];
+  }
+
+  /// All nodes in a topological order (ENTRY first, EXIT last).
+  const std::vector<int> &topoOrder() const { return Topo; }
+
+  /// Assigns edge frequencies from per-CFG-edge counts plus the function
+  /// invocation count, and derives node frequencies. Dummy edges take
+  /// their back edge's frequency; FnExit edges take the ret block's
+  /// total execution count.
+  void setFrequencies(const std::vector<int64_t> &CfgEdgeFreq,
+                      int64_t Invocations);
+
+  /// Node frequency (sum of incoming DAG edge frequencies; for ENTRY the
+  /// sum of outgoing). Valid after setFrequencies().
+  int64_t nodeFreq(int Node) const {
+    return NodeFreq[static_cast<size_t>(Node)];
+  }
+
+  /// Total flow F through the routine = nodeFreq(ENTRY) = number of
+  /// DAG path executions.
+  int64_t totalFlow() const { return NodeFreq[static_cast<size_t>(EntryNode)]; }
+
+private:
+  const CfgView *Cfg = nullptr;
+  int NumNodes = 0;
+  int ExitNode = 0;
+  int EntryNode = 0;
+  std::vector<DagEdge> Edges;
+  std::vector<std::vector<int>> OutIds;
+  std::vector<std::vector<int>> InIds;
+  std::vector<int> Topo;
+  std::vector<int64_t> NodeFreq;
+
+  void addEdge(DagEdge E);
+  void computeTopoOrder();
+};
+
+} // namespace ppp
+
+#endif // PPP_ANALYSIS_BLDAG_H

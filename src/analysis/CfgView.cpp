@@ -1,0 +1,54 @@
+//===- analysis/CfgView.cpp - CFG edge enumeration -------------------------===//
+
+#include "analysis/CfgView.h"
+
+using namespace ppp;
+
+CfgView::CfgView(const Function &Fn) : F(&Fn) {
+  unsigned NumBlocks = Fn.numBlocks();
+  OutIds.resize(NumBlocks);
+  InIds.resize(NumBlocks);
+  for (unsigned B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = Fn.block(static_cast<BlockId>(B));
+    unsigned NumSucc = BB.numSuccessors();
+    for (unsigned S = 0; S < NumSucc; ++S) {
+      CfgEdge E;
+      E.Id = static_cast<int>(Edges.size());
+      E.Src = static_cast<BlockId>(B);
+      E.SuccIdx = S;
+      E.Dst = BB.successor(S);
+      OutIds[B].push_back(E.Id);
+      InIds[static_cast<size_t>(E.Dst)].push_back(E.Id);
+      Edges.push_back(E);
+    }
+  }
+}
+
+std::vector<BlockId> ppp::reversePostOrder(const CfgView &Cfg) {
+  unsigned N = Cfg.numBlocks();
+  std::vector<uint8_t> State(N, 0); // 0 = unvisited, 1 = on stack, 2 = done.
+  std::vector<BlockId> PostOrder;
+  PostOrder.reserve(N);
+
+  // Iterative DFS: stack entries are (block, next successor index).
+  std::vector<std::pair<BlockId, unsigned>> Stack;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const std::vector<int> &Out = Cfg.outEdges(B);
+    if (NextSucc < Out.size()) {
+      BlockId Succ = Cfg.edge(Out[NextSucc]).Dst;
+      ++NextSucc;
+      if (State[static_cast<size_t>(Succ)] == 0) {
+        State[static_cast<size_t>(Succ)] = 1;
+        Stack.push_back({Succ, 0});
+      }
+      continue;
+    }
+    State[static_cast<size_t>(B)] = 2;
+    PostOrder.push_back(B);
+    Stack.pop_back();
+  }
+  return {PostOrder.rbegin(), PostOrder.rend()};
+}

@@ -1,0 +1,86 @@
+//===- analysis/CfgView.h - CFG edge enumeration ---------------*- C++ -*-===//
+///
+/// \file
+/// A frozen view of a function's control-flow edges. Every edge gets a
+/// dense integer id; the (source block, successor index) pair is the
+/// stable identity used by profiles, instrumenters, and the interpreter.
+///
+/// The view caches out-edge and in-edge adjacency. It must be rebuilt if
+/// the function's terminators change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_ANALYSIS_CFGVIEW_H
+#define PPP_ANALYSIS_CFGVIEW_H
+
+#include "ir/Function.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ppp {
+
+/// One control-flow edge: the \p SuccIdx'th successor of block \p Src.
+struct CfgEdge {
+  int Id = -1;
+  BlockId Src = -1;
+  unsigned SuccIdx = 0;
+  BlockId Dst = -1;
+};
+
+/// Immutable edge/adjacency view over a Function's CFG.
+class CfgView {
+public:
+  explicit CfgView(const Function &F);
+
+  const Function &function() const { return *F; }
+
+  unsigned numBlocks() const { return static_cast<unsigned>(OutIds.size()); }
+  unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
+
+  const CfgEdge &edge(int Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Edges.size() &&
+           "edge id out of range");
+    return Edges[static_cast<size_t>(Id)];
+  }
+
+  const std::vector<CfgEdge> &edges() const { return Edges; }
+
+  /// Edge ids leaving \p B, in successor order.
+  const std::vector<int> &outEdges(BlockId B) const {
+    return OutIds[static_cast<size_t>(B)];
+  }
+
+  /// Edge ids entering \p B.
+  const std::vector<int> &inEdges(BlockId B) const {
+    return InIds[static_cast<size_t>(B)];
+  }
+
+  /// Looks up the edge id for (\p Src, \p SuccIdx).
+  int edgeIdFor(BlockId Src, unsigned SuccIdx) const {
+    const std::vector<int> &Out = OutIds[static_cast<size_t>(Src)];
+    assert(SuccIdx < Out.size() && "successor index out of range");
+    return Out[SuccIdx];
+  }
+
+  /// Returns true if \p E leaves a block with more than one successor
+  /// (the paper's definition of a branch edge).
+  bool isBranchEdge(int EdgeId) const {
+    const CfgEdge &E = edge(EdgeId);
+    return OutIds[static_cast<size_t>(E.Src)].size() > 1;
+  }
+
+private:
+  const Function *F;
+  std::vector<CfgEdge> Edges;
+  std::vector<std::vector<int>> OutIds;
+  std::vector<std::vector<int>> InIds;
+};
+
+/// Blocks reachable from entry, in reverse postorder of a DFS over all
+/// CFG edges. Unreachable blocks are omitted.
+std::vector<BlockId> reversePostOrder(const CfgView &Cfg);
+
+} // namespace ppp
+
+#endif // PPP_ANALYSIS_CFGVIEW_H

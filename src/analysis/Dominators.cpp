@@ -1,0 +1,62 @@
+//===- analysis/Dominators.cpp - Dominator tree ----------------------------===//
+
+#include "analysis/Dominators.h"
+
+using namespace ppp;
+
+Dominators Dominators::compute(const CfgView &Cfg) {
+  unsigned N = Cfg.numBlocks();
+  std::vector<BlockId> Rpo = reversePostOrder(Cfg);
+  std::vector<int> RpoIndex(N, -1);
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[static_cast<size_t>(Rpo[I])] = static_cast<int>(I);
+
+  Dominators D;
+  D.Idom.assign(N, -1);
+
+  auto Intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[static_cast<size_t>(A)] >
+             RpoIndex[static_cast<size_t>(B)])
+        A = D.Idom[static_cast<size_t>(A)];
+      while (RpoIndex[static_cast<size_t>(B)] >
+             RpoIndex[static_cast<size_t>(A)])
+        B = D.Idom[static_cast<size_t>(B)];
+    }
+    return A;
+  };
+
+  D.Idom[0] = 0; // Sentinel: entry's idom is itself during iteration.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Rpo) {
+      if (B == 0)
+        continue;
+      BlockId NewIdom = -1;
+      for (int EId : Cfg.inEdges(B)) {
+        BlockId P = Cfg.edge(EId).Src;
+        if (D.Idom[static_cast<size_t>(P)] == -1)
+          continue; // Predecessor not yet processed or unreachable.
+        NewIdom = NewIdom == -1 ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != -1 && D.Idom[static_cast<size_t>(B)] != NewIdom) {
+        D.Idom[static_cast<size_t>(B)] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  D.Idom[0] = -1; // Entry has no immediate dominator.
+  return D;
+}
+
+bool Dominators::dominates(BlockId A, BlockId B) const {
+  if (!isReachable(B) || !isReachable(A))
+    return false;
+  while (B != -1) {
+    if (A == B)
+      return true;
+    B = Idom[static_cast<size_t>(B)];
+  }
+  return false;
+}

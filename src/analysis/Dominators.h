@@ -1,0 +1,44 @@
+//===- analysis/Dominators.h - Dominator tree ------------------*- C++ -*-===//
+///
+/// \file
+/// Immediate-dominator computation (Cooper-Harvey-Kennedy iterative
+/// algorithm). Used to classify back edges as natural (target dominates
+/// source) and by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_ANALYSIS_DOMINATORS_H
+#define PPP_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CfgView.h"
+
+#include <vector>
+
+namespace ppp {
+
+/// Dominator information for blocks reachable from entry.
+class Dominators {
+public:
+  /// Computes immediate dominators over \p Cfg.
+  static Dominators compute(const CfgView &Cfg);
+
+  /// Immediate dominator of \p B, or -1 for the entry block and for
+  /// unreachable blocks.
+  BlockId idom(BlockId B) const { return Idom[static_cast<size_t>(B)]; }
+
+  /// Returns true if \p A dominates \p B (reflexive). Unreachable blocks
+  /// dominate nothing and are dominated by nothing.
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// Returns true if \p B is reachable from entry.
+  bool isReachable(BlockId B) const {
+    return B == 0 || Idom[static_cast<size_t>(B)] != -1;
+  }
+
+private:
+  std::vector<BlockId> Idom;
+};
+
+} // namespace ppp
+
+#endif // PPP_ANALYSIS_DOMINATORS_H

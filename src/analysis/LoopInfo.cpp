@@ -1,0 +1,170 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection ----------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ppp;
+
+bool Loop::contains(BlockId B) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), B);
+}
+
+bool Loop::isInnermost(const std::vector<Loop> &All, size_t SelfIdx) const {
+  for (size_t I = 0; I < All.size(); ++I)
+    if (I != SelfIdx && All[I].Parent != -1 &&
+        static_cast<size_t>(All[I].Parent) == SelfIdx)
+      return false;
+  // Parent links only capture immediate nesting; also check containment
+  // directly in case of shared headers at different depths.
+  for (size_t I = 0; I < All.size(); ++I)
+    if (I != SelfIdx && contains(All[I].Header) && All[I].Header != Header)
+      return false;
+  return true;
+}
+
+/// Finds DFS retreating edges with an iterative DFS from entry.
+static std::vector<int> findRetreatingEdges(const CfgView &Cfg) {
+  unsigned N = Cfg.numBlocks();
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done.
+  std::vector<int> Result;
+  std::vector<std::pair<BlockId, unsigned>> Stack;
+  Stack.push_back({0, 0});
+  State[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextSucc] = Stack.back();
+    const std::vector<int> &Out = Cfg.outEdges(B);
+    if (NextSucc < Out.size()) {
+      int EId = Out[NextSucc];
+      ++NextSucc;
+      BlockId Succ = Cfg.edge(EId).Dst;
+      uint8_t &S = State[static_cast<size_t>(Succ)];
+      if (S == 1) {
+        Result.push_back(EId); // Retreating: target is on the DFS stack.
+      } else if (S == 0) {
+        S = 1;
+        Stack.push_back({Succ, 0});
+      }
+      continue;
+    }
+    State[static_cast<size_t>(B)] = 2;
+    Stack.pop_back();
+  }
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+/// Collects the natural loop body for back edges into \p Header: the
+/// header plus all blocks that reach a back-edge tail without passing
+/// through the header.
+static std::vector<BlockId> collectLoopBody(const CfgView &Cfg,
+                                            BlockId Header,
+                                            const std::vector<int> &BackIds) {
+  std::vector<bool> InBody(Cfg.numBlocks(), false);
+  InBody[static_cast<size_t>(Header)] = true;
+  std::vector<BlockId> Work;
+  for (int EId : BackIds) {
+    BlockId Tail = Cfg.edge(EId).Src;
+    if (!InBody[static_cast<size_t>(Tail)]) {
+      InBody[static_cast<size_t>(Tail)] = true;
+      Work.push_back(Tail);
+    }
+  }
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    for (int EId : Cfg.inEdges(B)) {
+      BlockId P = Cfg.edge(EId).Src;
+      if (!InBody[static_cast<size_t>(P)]) {
+        InBody[static_cast<size_t>(P)] = true;
+        Work.push_back(P);
+      }
+    }
+  }
+  std::vector<BlockId> Body;
+  for (unsigned B = 0; B < Cfg.numBlocks(); ++B)
+    if (InBody[B])
+      Body.push_back(static_cast<BlockId>(B));
+  return Body;
+}
+
+LoopInfo LoopInfo::compute(const CfgView &Cfg) {
+  LoopInfo LI;
+  unsigned N = Cfg.numBlocks();
+  LI.IsBackEdge.assign(Cfg.numEdges(), false);
+  LI.LoopDepth.assign(N, 0);
+  LI.HeaderLoop.assign(N, -1);
+  LI.BackEdgeIds = findRetreatingEdges(Cfg);
+  for (int EId : LI.BackEdgeIds)
+    LI.IsBackEdge[static_cast<size_t>(EId)] = true;
+  if (LI.BackEdgeIds.empty())
+    return LI;
+
+  Dominators Dom = Dominators::compute(Cfg);
+
+  // Group back edges by header.
+  std::map<BlockId, std::vector<int>> ByHeader;
+  for (int EId : LI.BackEdgeIds)
+    ByHeader[Cfg.edge(EId).Dst].push_back(EId);
+
+  for (auto &[Header, BackIds] : ByHeader) {
+    Loop L;
+    L.Header = Header;
+    L.BackEdgeIds = BackIds;
+    L.Natural = true;
+    for (int EId : BackIds)
+      if (!Dom.dominates(Header, Cfg.edge(EId).Src))
+        L.Natural = false;
+    L.Blocks = collectLoopBody(Cfg, Header, BackIds);
+    for (BlockId B : L.Blocks) {
+      for (int EId : Cfg.outEdges(B))
+        if (!L.contains(Cfg.edge(EId).Dst))
+          L.ExitEdgeIds.push_back(EId);
+    }
+    for (int EId : Cfg.inEdges(Header))
+      if (!L.contains(Cfg.edge(EId).Src))
+        L.EntryEdgeIds.push_back(EId);
+    LI.HeaderLoop[static_cast<size_t>(Header)] =
+        static_cast<int>(LI.Loops.size());
+    LI.Loops.push_back(std::move(L));
+  }
+
+  // Nesting: parent = smallest strictly-containing loop; depth follows.
+  for (size_t I = 0; I < LI.Loops.size(); ++I) {
+    int Best = -1;
+    size_t BestSize = 0;
+    for (size_t J = 0; J < LI.Loops.size(); ++J) {
+      if (I == J)
+        continue;
+      const Loop &Outer = LI.Loops[J];
+      if (Outer.contains(LI.Loops[I].Header) &&
+          Outer.Header != LI.Loops[I].Header &&
+          Outer.Blocks.size() > LI.Loops[I].Blocks.size()) {
+        if (Best == -1 || Outer.Blocks.size() < BestSize) {
+          Best = static_cast<int>(J);
+          BestSize = Outer.Blocks.size();
+        }
+      }
+    }
+    LI.Loops[I].Parent = Best;
+  }
+  for (size_t I = 0; I < LI.Loops.size(); ++I) {
+    unsigned Depth = 1;
+    int P = LI.Loops[I].Parent;
+    while (P != -1) {
+      ++Depth;
+      P = LI.Loops[static_cast<size_t>(P)].Parent;
+    }
+    LI.Loops[I].Depth = Depth;
+  }
+
+  // Block loop depth: deepest loop containing the block.
+  for (const Loop &L : LI.Loops)
+    for (BlockId B : L.Blocks)
+      LI.LoopDepth[static_cast<size_t>(B)] =
+          std::max(LI.LoopDepth[static_cast<size_t>(B)], L.Depth);
+  return LI;
+}

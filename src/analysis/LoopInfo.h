@@ -1,0 +1,75 @@
+//===- analysis/LoopInfo.h - Natural loop detection ------------*- C++ -*-===//
+///
+/// \file
+/// Back-edge detection and natural-loop structure. Ball-Larus paths end
+/// at back edges, so this analysis decides which edges the DAG
+/// construction breaks, and it feeds the unroller and the obvious-loop
+/// detection (TPP/PPP).
+///
+/// Back edges are DFS retreating edges; on reducible CFGs (all our
+/// workloads) these coincide with natural back edges (target dominates
+/// source). A loop groups all back edges sharing a header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_ANALYSIS_LOOPINFO_H
+#define PPP_ANALYSIS_LOOPINFO_H
+
+#include "analysis/CfgView.h"
+
+#include <vector>
+
+namespace ppp {
+
+/// One natural loop (all back edges with the same header).
+struct Loop {
+  BlockId Header = -1;
+  std::vector<int> BackEdgeIds;  ///< CFG edge ids (tail -> header).
+  std::vector<BlockId> Blocks;   ///< Sorted loop body (includes Header).
+  std::vector<int> EntryEdgeIds; ///< CFG edges from outside into Header.
+  std::vector<int> ExitEdgeIds;  ///< CFG edges from body to outside.
+  int Parent = -1;               ///< Enclosing loop index, or -1.
+  unsigned Depth = 1;            ///< 1 for outermost loops.
+  bool Natural = true;           ///< Header dominates all back-edge tails.
+
+  bool contains(BlockId B) const;
+  /// True if no other loop's header lies inside this loop.
+  bool isInnermost(const std::vector<Loop> &All, size_t SelfIdx) const;
+};
+
+/// Loop nest of one function.
+class LoopInfo {
+public:
+  static LoopInfo compute(const CfgView &Cfg);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// CFG edge ids that are back edges (DFS retreating edges), in
+  /// deterministic (increasing id) order.
+  const std::vector<int> &backEdges() const { return BackEdgeIds; }
+
+  bool isBackEdge(int EdgeId) const {
+    return IsBackEdge[static_cast<size_t>(EdgeId)];
+  }
+
+  /// Loop nesting depth of \p B (0 if not in any loop).
+  unsigned loopDepth(BlockId B) const {
+    return LoopDepth[static_cast<size_t>(B)];
+  }
+
+  /// Index into loops() of the innermost loop headed by \p B, or -1.
+  int loopAtHeader(BlockId B) const {
+    return HeaderLoop[static_cast<size_t>(B)];
+  }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<int> BackEdgeIds;
+  std::vector<bool> IsBackEdge;
+  std::vector<unsigned> LoopDepth;
+  std::vector<int> HeaderLoop;
+};
+
+} // namespace ppp
+
+#endif // PPP_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,41 @@
+//===- analysis/StaticProfile.cpp - Heuristic frequencies ------------------===//
+
+#include "analysis/StaticProfile.h"
+
+using namespace ppp;
+
+StaticProfile ppp::estimateStaticProfile(const CfgView &Cfg,
+                                         const LoopInfo &LI) {
+  StaticProfile SP;
+  unsigned N = Cfg.numBlocks();
+  SP.BlockFreq.assign(N, 0);
+  SP.EdgeFreq.assign(Cfg.numEdges(), 0);
+
+  // Reverse postorder is a topological order once back edges are ignored
+  // (the CFGs we process are reducible).
+  std::vector<BlockId> Order = reversePostOrder(Cfg);
+  for (BlockId B : Order) {
+    int64_t In = B == 0 ? StaticProfile::Scale : 0;
+    for (int EId : Cfg.inEdges(B))
+      if (!LI.isBackEdge(EId))
+        In += SP.EdgeFreq[static_cast<size_t>(EId)];
+    // "Loops execute 10 times": a header sees its outside-in flow an
+    // extra 9 times via the back edge.
+    if (LI.loopAtHeader(B) != -1)
+      In *= 10;
+    if (In <= 0 && B != 0)
+      In = 0;
+    SP.BlockFreq[static_cast<size_t>(B)] = In;
+    const std::vector<int> &Out = Cfg.outEdges(B);
+    if (Out.empty())
+      continue;
+    int64_t Share = In / static_cast<int64_t>(Out.size());
+    for (size_t I = 0; I < Out.size(); ++I) {
+      // Give the remainder to the first successor so flow conserves.
+      int64_t Extra =
+          I == 0 ? In - Share * static_cast<int64_t>(Out.size()) : 0;
+      SP.EdgeFreq[static_cast<size_t>(Out[I])] = Share + Extra;
+    }
+  }
+  return SP;
+}

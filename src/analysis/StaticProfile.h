@@ -1,0 +1,39 @@
+//===- analysis/StaticProfile.h - Heuristic frequencies --------*- C++ -*-===//
+///
+/// \file
+/// The static frequency heuristic Ball-Larus profiling uses when no edge
+/// profile exists: loops execute 10 times, branch directions split
+/// evenly. PP's event-counting spanning tree is weighted with these
+/// estimates; PPP replaces them with a real edge profile (Sec. 4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_ANALYSIS_STATICPROFILE_H
+#define PPP_ANALYSIS_STATICPROFILE_H
+
+#include "analysis/CfgView.h"
+#include "analysis/LoopInfo.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ppp {
+
+/// Heuristic execution-frequency estimates, scaled to integers.
+struct StaticProfile {
+  /// Estimated executions per block (entry = Scale).
+  std::vector<int64_t> BlockFreq;
+  /// Estimated traversals per CFG edge.
+  std::vector<int64_t> EdgeFreq;
+  /// The value assigned to one function invocation.
+  static constexpr int64_t Scale = 1 << 10;
+};
+
+/// Estimates block and edge frequencies: propagate flow in DAG order
+/// (ignoring back edges), boost loop headers by 10x per nesting level,
+/// and split block flow evenly across successors.
+StaticProfile estimateStaticProfile(const CfgView &Cfg, const LoopInfo &LI);
+
+} // namespace ppp
+
+#endif // PPP_ANALYSIS_STATICPROFILE_H

@@ -1,0 +1,306 @@
+//===- edgeprof/EdgeInstrumenter.cpp - Software edge profiling ----------------===//
+
+#include "edgeprof/EdgeInstrumenter.h"
+
+#include "analysis/LoopInfo.h"
+#include "analysis/StaticProfile.h"
+#include "pathprof/Lowering.h"
+#include "support/Dsu.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ppp;
+
+namespace {
+
+/// One edge of the per-function flow circulation.
+struct FlowEdge {
+  enum class Kind : uint8_t { Invocation, Real, Ret, Virtual };
+  Kind K = Kind::Real;
+  int Src = -1; ///< Flow-graph node (blocks, then EXIT, then ENTRY).
+  int Dst = -1;
+  int CfgId = -1;    ///< Real edges: CFG edge id. Ret: ret block id.
+  int64_t Weight = 0;
+  bool OnTree = false;
+  int Slot = -1; ///< Counter slot for chords; -1 for tree edges.
+};
+
+/// Builds the circulation graph, picks the spanning tree, and assigns
+/// counter slots to the chords.
+struct FlowGraph {
+  int NumNodes = 0;
+  int ExitNode = 0;
+  int EntryNode = 0;
+  std::vector<FlowEdge> Edges;
+
+  void build(const CfgView &Cfg, const std::vector<int64_t> &Weights,
+             int64_t InvocationWeight) {
+    unsigned B = Cfg.numBlocks();
+    ExitNode = static_cast<int>(B);
+    EntryNode = static_cast<int>(B) + 1;
+    NumNodes = static_cast<int>(B) + 2;
+
+    FlowEdge Inv;
+    Inv.K = FlowEdge::Kind::Invocation;
+    Inv.Src = EntryNode;
+    Inv.Dst = 0;
+    Inv.Weight = InvocationWeight;
+    Edges.push_back(Inv);
+
+    for (const CfgEdge &E : Cfg.edges()) {
+      FlowEdge F;
+      F.K = FlowEdge::Kind::Real;
+      F.Src = E.Src;
+      F.Dst = E.Dst;
+      F.CfgId = E.Id;
+      F.Weight = Weights[static_cast<size_t>(E.Id)];
+      Edges.push_back(F);
+    }
+
+    for (unsigned Blk = 0; Blk < B; ++Blk) {
+      if (Cfg.function().block(static_cast<BlockId>(Blk)).terminator().Op !=
+          Opcode::Ret)
+        continue;
+      FlowEdge F;
+      F.K = FlowEdge::Kind::Ret;
+      F.Src = static_cast<int>(Blk);
+      F.Dst = ExitNode;
+      F.CfgId = static_cast<int>(Blk);
+      // Weight: approximate with the block's inflow.
+      int64_t W = Blk == 0 ? InvocationWeight : 0;
+      for (int EId : Cfg.inEdges(static_cast<BlockId>(Blk)))
+        W += Weights[static_cast<size_t>(EId)];
+      F.Weight = W;
+      Edges.push_back(F);
+    }
+    // The virtual EXIT->ENTRY edge closes the circulation; it is always
+    // on the tree (encoded by pre-uniting its endpoints below).
+  }
+
+  /// Maximum spanning tree; chords get dense counter slots.
+  unsigned chooseTreeAndSlots() {
+    std::vector<size_t> Order(Edges.size());
+    for (size_t I = 0; I < Order.size(); ++I)
+      Order[I] = I;
+    std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return Edges[A].Weight > Edges[B].Weight;
+    });
+    Dsu Union(static_cast<size_t>(NumNodes));
+    Union.unite(static_cast<size_t>(ExitNode),
+                static_cast<size_t>(EntryNode));
+    for (size_t I : Order)
+      if (Union.unite(static_cast<size_t>(Edges[I].Src),
+                      static_cast<size_t>(Edges[I].Dst)))
+        Edges[I].OnTree = true;
+    unsigned Slots = 0;
+    for (FlowEdge &E : Edges)
+      if (!E.OnTree)
+        E.Slot = static_cast<int>(Slots++);
+    return Slots;
+  }
+};
+
+} // namespace
+
+EdgeInstrumentationResult
+ppp::instrumentEdges(const Module &M, const EdgeInstrumenterOptions &Opts) {
+  EdgeInstrumentationResult Result;
+  Result.Instrumented = M;
+  Result.Instrumented.Name = M.Name + ".edgeprof";
+  Result.Plans.resize(M.numFunctions());
+
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    FuncId F = static_cast<FuncId>(FI);
+    FunctionEdgePlan &Plan = Result.Plans[FI];
+    Plan.Cfg = std::make_unique<CfgView>(M.function(F));
+    const CfgView &Cfg = *Plan.Cfg;
+
+    std::vector<int64_t> Weights;
+    int64_t InvWeight;
+    if (Opts.Weights) {
+      const FunctionEdgeProfile &FP = Opts.Weights->func(F);
+      Weights.assign(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+      InvWeight = FP.Invocations;
+    } else {
+      LoopInfo LI = LoopInfo::compute(Cfg);
+      StaticProfile SP = estimateStaticProfile(Cfg, LI);
+      Weights = SP.EdgeFreq;
+      InvWeight = StaticProfile::Scale;
+    }
+
+    FlowGraph G;
+    G.build(Cfg, Weights, InvWeight);
+    if (Opts.CountEveryEdge) {
+      unsigned Slots = 0;
+      for (FlowEdge &E : G.Edges)
+        E.Slot = static_cast<int>(Slots++);
+      Plan.NumSlots = Slots;
+    } else {
+      Plan.NumSlots = G.chooseTreeAndSlots();
+    }
+
+    Plan.SlotOfEdge.assign(Cfg.numEdges(), -1);
+    Plan.SlotOfRet.assign(Cfg.numBlocks(), -1);
+    SiteOps Sites;
+    for (const FlowEdge &E : G.Edges) {
+      if (E.Slot < 0)
+        continue;
+      ProfOp Op{Opcode::ProfCountConst, E.Slot};
+      switch (E.K) {
+      case FlowEdge::Kind::Invocation:
+        Plan.InvocationSlot = E.Slot;
+        Sites.EntryOps.push_back(Op);
+        break;
+      case FlowEdge::Kind::Real:
+        Plan.SlotOfEdge[static_cast<size_t>(E.CfgId)] = E.Slot;
+        Sites.EdgeOps[E.CfgId].push_back(Op);
+        break;
+      case FlowEdge::Kind::Ret:
+        Plan.SlotOfRet[static_cast<size_t>(E.CfgId)] = E.Slot;
+        Sites.RetOps[static_cast<BlockId>(E.CfgId)].push_back(Op);
+        break;
+      case FlowEdge::Kind::Virtual:
+        break;
+      }
+    }
+    lowerInstrumentation(Result.Instrumented.function(F), Cfg, Sites);
+    Plan.Instrumented = true;
+  }
+  return Result;
+}
+
+ProfileRuntime EdgeInstrumentationResult::makeRuntime() const {
+  ProfileRuntime RT(static_cast<unsigned>(Plans.size()));
+  for (size_t I = 0; I < Plans.size(); ++I)
+    if (Plans[I].Instrumented)
+      RT.setTable(static_cast<FuncId>(I),
+                  PathTable::makeArray(std::max(1u, Plans[I].NumSlots)));
+  return RT;
+}
+
+EdgeProfile ppp::reconstructEdgeProfile(const EdgeInstrumentationResult &IR,
+                                        const ProfileRuntime &RT) {
+  EdgeProfile Out;
+  Out.Funcs.resize(IR.Plans.size());
+
+  for (size_t FI = 0; FI < IR.Plans.size(); ++FI) {
+    const FunctionEdgePlan &Plan = IR.Plans[FI];
+    const CfgView &Cfg = *Plan.Cfg;
+    const PathTable &T = RT.table(static_cast<FuncId>(FI));
+    FunctionEdgeProfile &FP = Out.Funcs[FI];
+    FP.EdgeFreq.assign(Cfg.numEdges(), 0);
+
+    // Rebuild the circulation with one unknown per tree edge and solve
+    // flow conservation by repeated substitution.
+    struct Unk {
+      int Src, Dst;
+      int64_t Value = -1;
+      enum class What : uint8_t { Invocation, Real, Ret, Virtual } W;
+      int CfgId = -1;
+    };
+    unsigned B = Cfg.numBlocks();
+    int ExitNode = static_cast<int>(B), EntryNode = static_cast<int>(B) + 1;
+    int NumNodes = static_cast<int>(B) + 2;
+
+    std::vector<Unk> Unknowns;
+    // Known flow per node: +in, -out.
+    std::vector<int64_t> Balance(static_cast<size_t>(NumNodes), 0);
+    std::vector<std::vector<int>> UnkAt(static_cast<size_t>(NumNodes));
+
+    auto AddKnown = [&](int Src, int Dst, int64_t V) {
+      Balance[static_cast<size_t>(Dst)] += V;
+      Balance[static_cast<size_t>(Src)] -= V;
+    };
+    auto AddUnknown = [&](Unk U) {
+      int Id = static_cast<int>(Unknowns.size());
+      UnkAt[static_cast<size_t>(U.Src)].push_back(Id);
+      UnkAt[static_cast<size_t>(U.Dst)].push_back(Id);
+      Unknowns.push_back(U);
+    };
+
+    // Invocation edge.
+    if (Plan.InvocationSlot >= 0) {
+      FP.Invocations =
+          static_cast<int64_t>(T.countFor(Plan.InvocationSlot));
+      AddKnown(EntryNode, 0, FP.Invocations);
+    } else {
+      AddUnknown({EntryNode, 0, -1, Unk::What::Invocation, -1});
+    }
+    // Real edges.
+    for (const CfgEdge &E : Cfg.edges()) {
+      int Slot = Plan.SlotOfEdge[static_cast<size_t>(E.Id)];
+      if (Slot >= 0) {
+        int64_t V = static_cast<int64_t>(T.countFor(Slot));
+        FP.EdgeFreq[static_cast<size_t>(E.Id)] = V;
+        AddKnown(E.Src, E.Dst, V);
+      } else {
+        AddUnknown({E.Src, E.Dst, -1, Unk::What::Real, E.Id});
+      }
+    }
+    // Ret edges.
+    for (unsigned Blk = 0; Blk < B; ++Blk) {
+      if (Cfg.function().block(static_cast<BlockId>(Blk)).terminator().Op !=
+          Opcode::Ret)
+        continue;
+      int Slot = Plan.SlotOfRet[Blk];
+      if (Slot >= 0)
+        AddKnown(static_cast<int>(Blk), ExitNode,
+                 static_cast<int64_t>(T.countFor(Slot)));
+      else
+        AddUnknown({static_cast<int>(Blk), ExitNode, -1, Unk::What::Ret,
+                    static_cast<int>(Blk)});
+    }
+    // Virtual EXIT->ENTRY (always on the tree, always unknown).
+    AddUnknown({ExitNode, EntryNode, -1, Unk::What::Virtual, -1});
+
+    // Eliminate: a node with exactly one unsolved incident edge fixes
+    // that edge's value from its balance.
+    std::vector<unsigned> Pending(static_cast<size_t>(NumNodes), 0);
+    for (size_t N = 0; N < UnkAt.size(); ++N)
+      Pending[N] = static_cast<unsigned>(UnkAt[N].size());
+    std::vector<int> Work;
+    for (int N = 0; N < NumNodes; ++N)
+      if (Pending[static_cast<size_t>(N)] == 1)
+        Work.push_back(N);
+    while (!Work.empty()) {
+      int N = Work.back();
+      Work.pop_back();
+      if (Pending[static_cast<size_t>(N)] != 1)
+        continue;
+      int UId = -1;
+      for (int Cand : UnkAt[static_cast<size_t>(N)])
+        if (Unknowns[static_cast<size_t>(Cand)].Value < 0)
+          UId = Cand;
+      if (UId < 0)
+        continue;
+      Unk &U = Unknowns[static_cast<size_t>(UId)];
+      // Conservation at N: sum(in) == sum(out).
+      int64_t V = U.Dst == N ? -Balance[static_cast<size_t>(N)]
+                             : Balance[static_cast<size_t>(N)];
+      V = std::max<int64_t>(V, 0); // Dead regions solve to zero.
+      U.Value = V;
+      AddKnown(U.Src, U.Dst, V);
+      for (int Node : {U.Src, U.Dst}) {
+        if (--Pending[static_cast<size_t>(Node)] == 1)
+          Work.push_back(Node);
+      }
+    }
+
+    for (const Unk &U : Unknowns) {
+      int64_t V = U.Value < 0 ? 0 : U.Value; // Unreached: zero flow.
+      switch (U.W) {
+      case Unk::What::Invocation:
+        FP.Invocations = V;
+        break;
+      case Unk::What::Real:
+        FP.EdgeFreq[static_cast<size_t>(U.CfgId)] = V;
+        break;
+      case Unk::What::Ret:
+      case Unk::What::Virtual:
+        break;
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,75 @@
+//===- flow/FlowAnalysis.cpp - Definite and potential flow -----------------===//
+
+#include "flow/FlowAnalysis.h"
+
+#include <algorithm>
+
+using namespace ppp;
+
+namespace {
+
+/// Drops the smallest-frequency entries when a map exceeds the safety
+/// cap. For definite flow this under-approximates (still a valid lower
+/// bound); for potential flow it drops the coldest candidates, which
+/// cannot change which *hot* paths get selected.
+void enforceCap(FlowMap &M, bool &Truncated) {
+  if (M.size() <= MaxFlowMapEntries)
+    return;
+  Truncated = true;
+  FlowMap Pruned;
+  size_t Excess = M.size() - MaxFlowMapEntries;
+  size_t Skipped = 0;
+  // std::map iterates keys in increasing (f, b): the first entries are
+  // the smallest frequencies.
+  for (const auto &[K, Delta] : M.entries()) {
+    if (Skipped < Excess) {
+      ++Skipped;
+      continue;
+    }
+    Pruned.add(K.first, K.second, Delta);
+  }
+  M = std::move(Pruned);
+}
+
+} // namespace
+
+FlowResult ppp::computeFlow(const BLDag &Dag, FlowKind Kind) {
+  FlowResult R;
+  R.Kind = Kind;
+  R.NodeMaps.assign(static_cast<size_t>(Dag.numNodes()), FlowMap());
+  R.EdgeMaps.assign(Dag.numEdges(), FlowMap());
+
+  int Exit = Dag.exitNode();
+  // M[exit] := [(F, 0) -> 1].
+  R.NodeMaps[static_cast<size_t>(Exit)].add(Dag.totalFlow(), 0, 1);
+
+  // Reverse topological order, skipping EXIT (already seeded).
+  const std::vector<int> &Topo = Dag.topoOrder();
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    int V = *It;
+    if (V == Exit)
+      continue;
+    FlowMap &NodeMap = R.NodeMaps[static_cast<size_t>(V)];
+    for (int EId : Dag.outEdges(V)) {
+      const DagEdge &E = Dag.edge(EId);
+      const FlowMap &TgtMap = R.NodeMaps[static_cast<size_t>(E.Dst)];
+      FlowMap &EdgeMap = R.EdgeMaps[static_cast<size_t>(EId)];
+      if (Kind == FlowKind::Definite) {
+        // Slack: flow that can reach tgt(e) without using e.
+        int64_t Slack = Dag.nodeFreq(E.Dst) - E.Freq;
+        for (const auto &[K, Delta] : TgtMap.entries())
+          if (K.first > Slack)
+            EdgeMap.add(K.first - Slack, K.second, Delta);
+      } else {
+        for (const auto &[K, Delta] : TgtMap.entries())
+          EdgeMap.add(std::min(K.first, E.Freq), K.second, Delta);
+      }
+      enforceCap(EdgeMap, R.Truncated);
+      // Merge into the node map, bumping b on branch edges.
+      for (const auto &[K, Delta] : EdgeMap.entries())
+        NodeMap.add(K.first, K.second + (E.IsBranch ? 1 : 0), Delta);
+    }
+    enforceCap(NodeMap, R.Truncated);
+  }
+  return R;
+}

@@ -1,0 +1,67 @@
+//===- flow/FlowAnalysis.h - Definite and potential flow -------*- C++ -*-===//
+///
+/// \file
+/// Definite flow (the minimum path flow an edge profile guarantees) and
+/// potential flow (the maximum it allows), computed with the dynamic
+/// programs of the paper's appendix (Figures 14 and 15), which follow
+/// Ball, Mataga & Sagiv (POPL 1998) but track branch counts so both the
+/// unit-flow and branch-flow metrics are available.
+///
+/// Both run over a Ball-Larus DAG with frequencies assigned (typically
+/// the *full* DAG, no cold edges), in one reverse-topological pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_FLOW_FLOWANALYSIS_H
+#define PPP_FLOW_FLOWANALYSIS_H
+
+#include "analysis/BLDag.h"
+#include "flow/FlowMap.h"
+
+#include <vector>
+
+namespace ppp {
+
+enum class FlowKind : uint8_t {
+  Definite,  ///< Lower bound per path (Fig. 14).
+  Potential, ///< Upper bound per path (Fig. 15).
+};
+
+/// Per-node and per-edge flow maps of one function.
+struct FlowResult {
+  FlowKind Kind = FlowKind::Definite;
+  std::vector<FlowMap> NodeMaps; ///< Indexed by DAG node id.
+  std::vector<FlowMap> EdgeMaps; ///< Indexed by DAG edge id.
+  /// Set if a map hit the safety cap and small entries were dropped
+  /// (turning definite flow into a lower bound of the lower bound).
+  bool Truncated = false;
+
+  const FlowMap &atEntry(const BLDag &Dag) const {
+    return NodeMaps[static_cast<size_t>(Dag.entryNode())];
+  }
+
+  /// Total flow at ENTRY: for definite flow this is DF(P), the
+  /// numerator of edge-profile coverage (Sec. 6.2).
+  uint64_t totalFlowAtEntry(const BLDag &Dag, FlowMetric Metric) const {
+    return atEntry(Dag).totalFlow(Metric);
+  }
+};
+
+/// Safety cap on per-node map size; beyond it the smallest-frequency
+/// entries are dropped (lower-bound preserving for definite flow).
+inline constexpr size_t MaxFlowMapEntries = 65536;
+
+/// Runs the Fig. 14 (definite) or Fig. 15 (potential) dynamic program
+/// over \p Dag, which must have frequencies assigned.
+FlowResult computeFlow(const BLDag &Dag, FlowKind Kind);
+
+inline FlowResult computeDefiniteFlow(const BLDag &Dag) {
+  return computeFlow(Dag, FlowKind::Definite);
+}
+inline FlowResult computePotentialFlow(const BLDag &Dag) {
+  return computeFlow(Dag, FlowKind::Potential);
+}
+
+} // namespace ppp
+
+#endif // PPP_FLOW_FLOWANALYSIS_H

@@ -1,0 +1,78 @@
+//===- flow/FlowMap.h - Flow value multisets -------------------*- C++ -*-===//
+///
+/// \file
+/// The flow-value representation of Ball, Mataga & Sagiv's definite and
+/// potential flow algorithms, extended with the paper's branch counts:
+/// a multiset of [(f, b) -> delta] entries, where f is a path-suffix
+/// frequency, b the number of branches on the suffix, and delta the
+/// number of suffixes sharing that (f, b). The [+] operator of the paper
+/// merges entries with equal (f, b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_FLOW_FLOWMAP_H
+#define PPP_FLOW_FLOWMAP_H
+
+#include "profile/PathProfile.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace ppp {
+
+/// A multiset of (frequency, branch-count) -> path-count entries.
+class FlowMap {
+public:
+  using Key = std::pair<int64_t, unsigned>; ///< (f, b)
+  using Container = std::map<Key, uint64_t>;
+
+  /// Adds \p Delta suffixes with frequency \p Freq and \p Branches
+  /// branches. Non-positive frequencies are dropped (zero-flow suffixes
+  /// carry no information and pruning them keeps maps small).
+  void add(int64_t Freq, unsigned Branches, uint64_t Delta) {
+    if (Freq <= 0 || Delta == 0)
+      return;
+    Entries[{Freq, Branches}] += Delta;
+  }
+
+  /// The paper's [+] merge.
+  void merge(const FlowMap &O) {
+    for (const auto &[K, Delta] : O.Entries)
+      Entries[K] += Delta;
+  }
+
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+
+  const Container &entries() const { return Entries; }
+
+  /// Sum of f * (b or 1) * delta over all entries: the total flow this
+  /// map guarantees under \p Metric.
+  uint64_t totalFlow(FlowMetric Metric) const {
+    uint64_t N = 0;
+    for (const auto &[K, Delta] : Entries) {
+      uint64_t PerPath =
+          Metric == FlowMetric::Unit
+              ? static_cast<uint64_t>(K.first)
+              : static_cast<uint64_t>(K.first) * static_cast<uint64_t>(K.second);
+      N += PerPath * Delta;
+    }
+    return N;
+  }
+
+  /// Total number of suffixes recorded.
+  uint64_t totalCount() const {
+    uint64_t N = 0;
+    for (const auto &[K, Delta] : Entries)
+      N += Delta;
+    return N;
+  }
+
+private:
+  Container Entries;
+};
+
+} // namespace ppp
+
+#endif // PPP_FLOW_FLOWMAP_H

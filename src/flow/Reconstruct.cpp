@@ -1,0 +1,181 @@
+//===- flow/Reconstruct.cpp - Hot path reconstruction ----------------------===//
+
+#include "flow/Reconstruct.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <set>
+#include <tuple>
+
+using namespace ppp;
+
+namespace {
+
+/// Recursive enumerator implementing Figure 16 (definite flow) and its
+/// potential-flow variant.
+class Enumerator {
+public:
+  Enumerator(const BLDag &Dag, const FlowResult &Flow, size_t MaxPaths,
+             std::vector<ReconstructedPath> &Out)
+      : Dag(Dag), Flow(Flow), MaxPaths(MaxPaths), Out(Out) {}
+
+  /// Starts one top-level enumeration for an ENTRY entry (f, b) with
+  /// multiplicity Delta.
+  void run(int64_t F, unsigned B, uint64_t Delta) {
+    OrigFreq = F;
+    OrigBranches = B;
+    EdgeStack.clear();
+    // No previous edge at ENTRY: an infinite frequency makes the
+    // min-compatibility test an equality test.
+    enumerate(Dag.entryNode(), F, std::numeric_limits<int64_t>::max(), B,
+              Delta);
+  }
+
+private:
+  /// At node \p V, the suffix must continue with flow value \p F (as
+  /// recorded in the edge maps) and \p B remaining branches; \p PrevFreq
+  /// is the frequency of the edge just taken (potential flow only).
+  void enumerate(int V, int64_t F, int64_t PrevFreq, unsigned B,
+                 uint64_t Delta) {
+    if (Out.size() >= MaxPaths)
+      return;
+    if (V == Dag.exitNode()) {
+      emit();
+      return;
+    }
+    uint64_t Remaining = Delta;
+    // Fig. 16: `used` is local to this invocation -- a different prefix
+    // reaching this node again may (and must) reuse the same suffix
+    // entries, since edge-map multiplicities count suffixes per prefix.
+    std::set<std::tuple<int, int64_t, unsigned>> Used;
+    while (Remaining > 0 && Out.size() < MaxPaths) {
+      // Find an unused matching (edge, entry) pair; edges in id order
+      // and entries in increasing (f, b) keep this deterministic.
+      bool Found = false;
+      for (int EId : Dag.outEdges(V)) {
+        const DagEdge &E = Dag.edge(EId);
+        unsigned Bump = E.IsBranch ? 1 : 0;
+        if (B < Bump)
+          continue;
+        unsigned C = B - Bump;
+        const FlowMap &EM = Flow.EdgeMaps[static_cast<size_t>(EId)];
+        for (const auto &[K, EntryDelta] : EM.entries()) {
+          auto [G, EC] = K;
+          if (EC != C)
+            continue;
+          if (!matches(G, F, PrevFreq))
+            continue;
+          if (!Used.insert(std::make_tuple(EId, G, EC)).second)
+            continue;
+          uint64_t Debit = std::min(Remaining, EntryDelta);
+          EdgeStack.push_back(EId);
+          enumerate(E.Dst, nextFreq(G, E), E.Freq, C, Debit);
+          EdgeStack.pop_back();
+          Remaining -= Debit;
+          Found = true;
+          break;
+        }
+        if (Found)
+          break;
+      }
+      if (!Found) {
+        // Flow maps and reconstruction disagree; only possible if the
+        // maps were truncated by the safety cap. Drop the remainder.
+        assert(Flow.Truncated && "reconstruction failed on exact maps");
+        return;
+      }
+    }
+  }
+
+  /// Matching rule at an edge entry with frequency \p G, target value
+  /// \p F, previous edge frequency \p PrevFreq.
+  bool matches(int64_t G, int64_t F, int64_t PrevFreq) const {
+    if (Flow.Kind == FlowKind::Definite)
+      return G == F;
+    // Potential: the target-node entry G collapsed to F through
+    // min(G, PrevFreq).
+    return std::min(G, PrevFreq) == F;
+  }
+
+  /// Flow value to search for at the edge's target node.
+  int64_t nextFreq(int64_t G, const DagEdge &E) const {
+    if (Flow.Kind == FlowKind::Definite)
+      return G + (Dag.nodeFreq(E.Dst) - E.Freq); // Undo the slack.
+    return G;
+  }
+
+  /// Converts the current edge stack into a ReconstructedPath.
+  void emit() {
+    assert(!EdgeStack.empty() && "path with no edges");
+    ReconstructedPath P;
+    P.Freq = OrigFreq;
+    P.Branches = OrigBranches;
+    const DagEdge &First = Dag.edge(EdgeStack.front());
+    assert((First.Kind == DagEdgeKind::FnEntry ||
+            First.Kind == DagEdgeKind::LoopEntry) &&
+           "path does not start at ENTRY");
+    P.Key.First = First.Dst;
+    P.Key.StartCfgEdgeId =
+        First.Kind == DagEdgeKind::LoopEntry ? First.CfgEdgeId : -1;
+    for (size_t I = 1; I + 1 < EdgeStack.size(); ++I) {
+      const DagEdge &E = Dag.edge(EdgeStack[I]);
+      assert(E.Kind == DagEdgeKind::Real && "interior edge not real");
+      P.Key.EdgeIds.push_back(E.CfgEdgeId);
+    }
+    const DagEdge &Last = Dag.edge(EdgeStack.back());
+    if (EdgeStack.size() == 1) {
+      // Degenerate single-edge path cannot happen: ENTRY edges never
+      // reach EXIT directly (EXIT in-edges are FnExit/LoopExit).
+      assert(false && "single-edge ENTRY->EXIT path");
+      return;
+    }
+    P.Key.TermCfgEdgeId =
+        Last.Kind == DagEdgeKind::LoopExit ? Last.CfgEdgeId : -1;
+    Out.push_back(std::move(P));
+  }
+
+  const BLDag &Dag;
+  const FlowResult &Flow;
+  size_t MaxPaths;
+  std::vector<ReconstructedPath> &Out;
+  std::vector<int> EdgeStack;
+  int64_t OrigFreq = 0;
+  unsigned OrigBranches = 0;
+};
+
+} // namespace
+
+std::vector<ReconstructedPath>
+ppp::reconstructPaths(const BLDag &Dag, const FlowResult &Flow,
+                      uint64_t CutoffFlow, FlowMetric Metric,
+                      size_t MaxPaths) {
+  std::vector<ReconstructedPath> Out;
+  const FlowMap &EntryMap = Flow.atEntry(Dag);
+
+  // Process ENTRY entries hottest-first.
+  std::vector<std::pair<FlowMap::Key, uint64_t>> Entries(
+      EntryMap.entries().begin(), EntryMap.entries().end());
+  std::stable_sort(Entries.begin(), Entries.end(),
+                   [&](const auto &A, const auto &B) {
+                     auto FlowOf = [&](const FlowMap::Key &K) {
+                       return Metric == FlowMetric::Unit
+                                  ? static_cast<uint64_t>(K.first)
+                                  : static_cast<uint64_t>(K.first) * K.second;
+                     };
+                     return FlowOf(A.first) > FlowOf(B.first);
+                   });
+
+  Enumerator En(Dag, Flow, MaxPaths, Out);
+  for (const auto &[K, Delta] : Entries) {
+    uint64_t EntryFlow = Metric == FlowMetric::Unit
+                             ? static_cast<uint64_t>(K.first)
+                             : static_cast<uint64_t>(K.first) * K.second;
+    if (EntryFlow <= CutoffFlow)
+      continue; // Strictly-greater cutoff, as in Fig. 16.
+    if (Out.size() >= MaxPaths)
+      break;
+    En.run(K.first, K.second, Delta);
+  }
+  return Out;
+}

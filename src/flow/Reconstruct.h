@@ -1,0 +1,51 @@
+//===- flow/Reconstruct.h - Hot path reconstruction ------------*- C++ -*-===//
+///
+/// \file
+/// Reconstructs concrete paths (and their estimated frequencies) from a
+/// definite- or potential-flow result, following Figure 16 of the paper.
+/// The figure's underlined fix to Ball-Mataga-Sagiv -- the `used` set
+/// plus per-entry debit bookkeeping, confirmed with Ball -- is included:
+/// without it, an entry whose multiplicity is exhausted could be matched
+/// again, duplicating some paths and dropping others.
+///
+/// For potential flow the paper's two changes apply: the recursion
+/// carries the matched edge-entry frequency, and matching is by
+/// min-compatibility with the previous edge's frequency rather than
+/// equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_FLOW_RECONSTRUCT_H
+#define PPP_FLOW_RECONSTRUCT_H
+
+#include "flow/FlowAnalysis.h"
+#include "profile/PathKey.h"
+
+#include <vector>
+
+namespace ppp {
+
+/// One reconstructed path with its flow-derived frequency estimate.
+struct ReconstructedPath {
+  PathKey Key;
+  int64_t Freq = 0;      ///< Definite (or potential) frequency f'.
+  unsigned Branches = 0; ///< Branch count of the path.
+
+  uint64_t flow(FlowMetric Metric) const {
+    return Metric == FlowMetric::Unit
+               ? static_cast<uint64_t>(Freq)
+               : static_cast<uint64_t>(Freq) * Branches;
+  }
+};
+
+/// Enumerates paths whose estimated flow strictly exceeds \p CutoffFlow
+/// (under \p Metric), hottest first, up to \p MaxPaths results.
+/// \p Flow must have been computed over \p Dag.
+std::vector<ReconstructedPath>
+reconstructPaths(const BLDag &Dag, const FlowResult &Flow,
+                 uint64_t CutoffFlow, FlowMetric Metric,
+                 size_t MaxPaths = 1u << 20);
+
+} // namespace ppp
+
+#endif // PPP_FLOW_RECONSTRUCT_H

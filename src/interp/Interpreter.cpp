@@ -1,0 +1,261 @@
+//===- interp/Interpreter.cpp - IR interpreter -----------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace ppp;
+
+ExecObserver::~ExecObserver() = default;
+
+void ProfileRuntime::clearCounts() {
+  for (PathTable &T : Tables) {
+    switch (T.kind()) {
+    case PathTable::Kind::None:
+      break;
+    case PathTable::Kind::Array:
+      T = PathTable::makeArray(T.arraySize());
+      break;
+    case PathTable::Kind::Hash:
+      T = PathTable::makeHash();
+      break;
+    }
+  }
+}
+
+namespace {
+
+/// One activation record.
+struct Frame {
+  FuncId F = -1;
+  BlockId Block = 0;
+  size_t Ip = 0;          ///< Next instruction index within Block.
+  int64_t PathReg = 0;    ///< Ball-Larus path register r.
+  RegId CallerDest = -1;  ///< Caller register receiving the return value.
+  std::vector<int64_t> Regs;
+};
+
+} // namespace
+
+Interpreter::Interpreter(const Module &Mod, const InterpOptions &Options)
+    : M(Mod), Opts(Options) {
+  HashedTable.assign(M.numFunctions(), false);
+}
+
+void Interpreter::setProfileRuntime(ProfileRuntime *RT) {
+  Runtime = RT;
+  for (unsigned F = 0; F < M.numFunctions(); ++F)
+    HashedTable[F] =
+        RT && RT->table(static_cast<FuncId>(F)).kind() == PathTable::Kind::Hash;
+}
+
+RunResult Interpreter::run() {
+  RunResult Result;
+
+  // Deterministic pseudo-random memory image.
+  std::vector<int64_t> Mem(M.MemWords);
+  {
+    Rng MemRng(Opts.MemSeed);
+    for (int64_t &W : Mem)
+      W = static_cast<int64_t>(MemRng.next() >> 16); // Keep values modest.
+  }
+  uint64_t AddrMask = M.MemWords - 1;
+
+  std::vector<Frame> Stack;
+  auto PushFrame = [&](FuncId F, RegId CallerDest,
+                       const int64_t *Args, unsigned NumArgs) {
+    const Function &Fn = M.function(F);
+    Frame Fr;
+    Fr.F = F;
+    Fr.Block = Fn.entryBlock();
+    Fr.Ip = 0;
+    Fr.CallerDest = CallerDest;
+    Fr.Regs.assign(Fn.NumRegs, 0);
+    for (unsigned I = 0; I < NumArgs; ++I)
+      Fr.Regs[I] = Args[I];
+    Stack.push_back(std::move(Fr));
+    for (ExecObserver *Obs : Observers)
+      Obs->onFunctionEnter(F);
+  };
+
+  PushFrame(M.MainId, /*CallerDest=*/-1, nullptr, 0);
+
+  uint64_t Fuel = Opts.Fuel;
+  const CostModel &CM = Opts.Costs;
+
+  while (!Stack.empty()) {
+    Frame &Fr = Stack.back();
+    const Function &Fn = M.function(Fr.F);
+    const BasicBlock &BB = Fn.block(Fr.Block);
+    assert(Fr.Ip < BB.Instrs.size() && "fell off the end of a block");
+    const Instr &I = BB.Instrs[Fr.Ip];
+
+    if (Fuel == 0) {
+      Result.FuelExhausted = true;
+      break;
+    }
+    --Fuel;
+    ++Result.DynInstrs;
+    Result.Cost += CM.costOf(I.Op, HashedTable[static_cast<size_t>(Fr.F)]);
+
+    int64_t *R = Fr.Regs.data();
+    auto TakeEdge = [&](unsigned SuccIdx) {
+      for (ExecObserver *Obs : Observers)
+        Obs->onEdge(Fr.F, Fr.Block, SuccIdx);
+      Fr.Block = I.Targets[SuccIdx];
+      Fr.Ip = 0;
+    };
+
+    switch (I.Op) {
+    case Opcode::Const:
+      R[I.A] = I.Imm;
+      break;
+    case Opcode::Mov:
+      R[I.A] = R[I.B];
+      break;
+    case Opcode::Add:
+      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) +
+                                    static_cast<uint64_t>(R[I.C]));
+      break;
+    case Opcode::Sub:
+      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) -
+                                    static_cast<uint64_t>(R[I.C]));
+      break;
+    case Opcode::Mul:
+      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) *
+                                    static_cast<uint64_t>(R[I.C]));
+      break;
+    case Opcode::DivU:
+      R[I.A] = R[I.C] == 0
+                   ? 0
+                   : static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) /
+                                          static_cast<uint64_t>(R[I.C]));
+      break;
+    case Opcode::RemU:
+      R[I.A] = R[I.C] == 0
+                   ? 0
+                   : static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) %
+                                          static_cast<uint64_t>(R[I.C]));
+      break;
+    case Opcode::And:
+      R[I.A] = R[I.B] & R[I.C];
+      break;
+    case Opcode::Or:
+      R[I.A] = R[I.B] | R[I.C];
+      break;
+    case Opcode::Xor:
+      R[I.A] = R[I.B] ^ R[I.C];
+      break;
+    case Opcode::Shl:
+      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B])
+                                    << (static_cast<uint64_t>(R[I.C]) & 63));
+      break;
+    case Opcode::Shr:
+      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) >>
+                                    (static_cast<uint64_t>(R[I.C]) & 63));
+      break;
+    case Opcode::AddImm:
+      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) +
+                                    static_cast<uint64_t>(I.Imm));
+      break;
+    case Opcode::MulImm:
+      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) *
+                                    static_cast<uint64_t>(I.Imm));
+      break;
+    case Opcode::CmpEq:
+      R[I.A] = R[I.B] == R[I.C];
+      break;
+    case Opcode::CmpNe:
+      R[I.A] = R[I.B] != R[I.C];
+      break;
+    case Opcode::CmpLt:
+      R[I.A] = R[I.B] < R[I.C];
+      break;
+    case Opcode::CmpLe:
+      R[I.A] = R[I.B] <= R[I.C];
+      break;
+    case Opcode::Load:
+      R[I.A] = Mem[static_cast<uint64_t>(R[I.B]) & AddrMask];
+      break;
+    case Opcode::Store:
+      Mem[static_cast<uint64_t>(R[I.B]) & AddrMask] = R[I.A];
+      break;
+
+    case Opcode::Call: {
+      int64_t Args[MaxCallArgs];
+      for (unsigned AI = 0; AI < I.NumArgs; ++AI)
+        Args[AI] = R[I.Args[AI]];
+      ++Fr.Ip; // Resume after the call on return.
+      FuncId Callee = I.Callee;
+      uint8_t NumArgs = I.NumArgs;
+      RegId Dest = I.A;
+      // NOTE: PushFrame may reallocate Stack; Fr/R/I are dead after it.
+      PushFrame(Callee, Dest, Args, NumArgs);
+      continue;
+    }
+
+    case Opcode::Br:
+      TakeEdge(0);
+      continue;
+    case Opcode::CondBr:
+      TakeEdge(R[I.A] != 0 ? 0 : 1);
+      continue;
+    case Opcode::Switch:
+      TakeEdge(static_cast<unsigned>(static_cast<uint64_t>(R[I.A]) %
+                                     I.Targets.size()));
+      continue;
+
+    case Opcode::Ret: {
+      int64_t Value = R[I.A];
+      FuncId F = Fr.F;
+      RegId Dest = Fr.CallerDest;
+      for (ExecObserver *Obs : Observers)
+        Obs->onFunctionExit(F);
+      Stack.pop_back();
+      if (Stack.empty()) {
+        Result.ReturnValue = Value;
+      } else if (Dest >= 0) {
+        Stack.back().Regs[static_cast<size_t>(Dest)] = Value;
+      }
+      continue;
+    }
+
+    case Opcode::ProfSet:
+      Fr.PathReg = I.Imm;
+      break;
+    case Opcode::ProfAdd:
+      Fr.PathReg += I.Imm;
+      break;
+    case Opcode::ProfCountIdx:
+      assert(Runtime && "profiled module run without a ProfileRuntime");
+      Runtime->table(Fr.F).increment(Fr.PathReg + I.Imm);
+      break;
+    case Opcode::ProfCountConst:
+      assert(Runtime && "profiled module run without a ProfileRuntime");
+      Runtime->table(Fr.F).increment(I.Imm);
+      break;
+    case Opcode::ProfCheckedCountIdx:
+      assert(Runtime && "profiled module run without a ProfileRuntime");
+      Runtime->table(Fr.F).incrementChecked(Fr.PathReg + I.Imm);
+      break;
+    }
+    ++Fr.Ip;
+  }
+
+  // FNV-1a over the final memory image and the return value gives a
+  // cheap semantic fingerprint for preservation tests.
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t V) {
+    for (unsigned B = 0; B < 8; ++B) {
+      H ^= (V >> (B * 8)) & 0xff;
+      H *= 1099511628211ULL;
+    }
+  };
+  for (int64_t W : Mem)
+    Mix(static_cast<uint64_t>(W));
+  Mix(static_cast<uint64_t>(Result.ReturnValue));
+  Result.MemChecksum = H;
+  return Result;
+}

@@ -1,0 +1,92 @@
+//===- interp/Interpreter.h - IR interpreter -------------------*- C++ -*-===//
+///
+/// \file
+/// A deterministic interpreter for the register-machine IR. It stands in
+/// for the paper's Alpha hardware: it executes programs, charges each
+/// instruction a cost-model weight, executes profiling
+/// pseudo-instructions against a ProfileRuntime, and notifies observers
+/// of control-flow events (used by the edge profiler and the oracle path
+/// tracer).
+///
+/// Global memory is initialized pseudo-randomly from a seed, so branch
+/// outcomes are data-dependent yet bit-reproducible; a clean run and an
+/// instrumented run of the same program follow identical control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_INTERP_INTERPRETER_H
+#define PPP_INTERP_INTERPRETER_H
+
+#include "interp/CostModel.h"
+#include "interp/ProfileRuntime.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ppp {
+
+/// Receives control-flow events during execution.
+class ExecObserver {
+public:
+  virtual ~ExecObserver();
+
+  /// A function activation begins (before its entry block runs).
+  virtual void onFunctionEnter(FuncId F) { (void)F; }
+
+  /// A function activation ends (its Ret just executed).
+  virtual void onFunctionExit(FuncId F) { (void)F; }
+
+  /// Control follows the CFG edge (\p Src, \p SuccIdx) in function \p F.
+  virtual void onEdge(FuncId F, BlockId Src, unsigned SuccIdx) {
+    (void)F;
+    (void)Src;
+    (void)SuccIdx;
+  }
+};
+
+/// Outcome of one program run.
+struct RunResult {
+  int64_t ReturnValue = 0;
+  uint64_t DynInstrs = 0;   ///< Instructions executed.
+  uint64_t Cost = 0;        ///< Cost-model weighted work.
+  uint64_t MemChecksum = 0; ///< FNV-1a over final memory + return value.
+  bool FuelExhausted = false;
+};
+
+/// Interpreter configuration.
+struct InterpOptions {
+  uint64_t Fuel = 2'000'000'000; ///< Max instructions before aborting.
+  uint64_t MemSeed = 0x5eed;     ///< Global memory initialization seed.
+  CostModel Costs;
+};
+
+/// Executes a module. Reusable; each run() starts from fresh memory.
+class Interpreter {
+public:
+  explicit Interpreter(const Module &M,
+                       const InterpOptions &Opts = InterpOptions());
+
+  /// Registers an observer (not owned). Observers are invoked in
+  /// registration order.
+  void addObserver(ExecObserver *Obs) { Observers.push_back(Obs); }
+
+  /// Attaches the profiling runtime an instrumented module counts into
+  /// (not owned). Must cover every function with ProfCount* ops.
+  void setProfileRuntime(ProfileRuntime *RT);
+
+  /// Runs main() to completion (or until fuel runs out).
+  RunResult run();
+
+private:
+  const Module &M;
+  InterpOptions Opts;
+  ProfileRuntime *Runtime = nullptr;
+  std::vector<ExecObserver *> Observers;
+  /// Cached per-function flag: counting into a hash table (cost model).
+  std::vector<bool> HashedTable;
+};
+
+} // namespace ppp
+
+#endif // PPP_INTERP_INTERPRETER_H

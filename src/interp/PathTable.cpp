@@ -1,0 +1,102 @@
+//===- interp/PathTable.cpp - Path frequency counters ----------------------===//
+
+#include "interp/PathTable.h"
+
+using namespace ppp;
+
+PathTable PathTable::makeArray(uint64_t Size) {
+  PathTable T;
+  T.TableKind = Kind::Array;
+  T.Counts.assign(Size, 0);
+  return T;
+}
+
+PathTable PathTable::makeHash() {
+  PathTable T;
+  T.TableKind = Kind::Hash;
+  T.Slots.assign(PathHashSlots, HashSlot());
+  return T;
+}
+
+void PathTable::increment(int64_t Index) {
+  switch (TableKind) {
+  case Kind::None:
+    ++Invalid;
+    return;
+  case Kind::Array:
+    if (Index < 0 || static_cast<uint64_t>(Index) >= Counts.size()) {
+      ++Invalid;
+      return;
+    }
+    ++Counts[static_cast<size_t>(Index)];
+    return;
+  case Kind::Hash: {
+    if (Index < 0) {
+      ++Invalid;
+      return;
+    }
+    uint64_t Key = static_cast<uint64_t>(Index);
+    uint64_t H = Key % PathHashSlots;
+    // Secondary hash must be nonzero and coprime with the (prime) table
+    // size so the probe sequence visits distinct slots.
+    uint64_t Step = 1 + Key % (PathHashSlots - 2);
+    for (unsigned Try = 0; Try < PathHashTries; ++Try) {
+      HashSlot &S = Slots[H];
+      if (S.Key == Index || S.Count == 0) {
+        S.Key = Index;
+        ++S.Count;
+        return;
+      }
+      H = (H + Step) % PathHashSlots;
+    }
+    ++Lost;
+    return;
+  }
+  }
+}
+
+uint64_t PathTable::countFor(int64_t Index) const {
+  switch (TableKind) {
+  case Kind::None:
+    return 0;
+  case Kind::Array:
+    if (Index < 0 || static_cast<uint64_t>(Index) >= Counts.size())
+      return 0;
+    return Counts[static_cast<size_t>(Index)];
+  case Kind::Hash: {
+    if (Index < 0)
+      return 0;
+    uint64_t Key = static_cast<uint64_t>(Index);
+    uint64_t H = Key % PathHashSlots;
+    uint64_t Step = 1 + Key % (PathHashSlots - 2);
+    for (unsigned Try = 0; Try < PathHashTries; ++Try) {
+      const HashSlot &S = Slots[H];
+      if (S.Key == Index)
+        return S.Count;
+      if (S.Count == 0)
+        return 0;
+      H = (H + Step) % PathHashSlots;
+    }
+    return 0;
+  }
+  }
+  return 0;
+}
+
+void PathTable::forEach(
+    const std::function<void(int64_t, uint64_t)> &Fn) const {
+  switch (TableKind) {
+  case Kind::None:
+    return;
+  case Kind::Array:
+    for (size_t I = 0; I < Counts.size(); ++I)
+      if (Counts[I] > 0)
+        Fn(static_cast<int64_t>(I), Counts[I]);
+    return;
+  case Kind::Hash:
+    for (const HashSlot &S : Slots)
+      if (S.Count > 0)
+        Fn(S.Key, S.Count);
+    return;
+  }
+}

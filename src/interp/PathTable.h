@@ -1,0 +1,95 @@
+//===- interp/PathTable.h - Path frequency counters ------------*- C++ -*-===//
+///
+/// \file
+/// Runtime storage for path frequency counts, mirroring Section 7.4 of
+/// the paper: 64-bit counters; a plain array when the routine has at
+/// most 4000 possible paths (after cold-path elimination), otherwise a
+/// hash table with 701 slots and three tries of secondary hashing plus a
+/// "lost path" counter for conflicts.
+///
+/// As an engineering backstop, both variants bounds-check indices:
+/// indices outside the statically computed range increment an Invalid
+/// counter instead of corrupting memory (this should never fire; tests
+/// assert it stays zero).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_INTERP_PATHTABLE_H
+#define PPP_INTERP_PATHTABLE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ppp {
+
+/// Number of slots in the hash variant (prime; from the paper).
+inline constexpr uint64_t PathHashSlots = 701;
+/// Number of probes before declaring a path lost (from the paper).
+inline constexpr unsigned PathHashTries = 3;
+
+/// A per-function path frequency table.
+class PathTable {
+public:
+  enum class Kind : uint8_t {
+    None,  ///< Function not instrumented.
+    Array, ///< Direct-indexed 64-bit counters.
+    Hash,  ///< 701-slot open-addressed hash with 3 probes.
+  };
+
+  PathTable() = default;
+
+  static PathTable makeArray(uint64_t Size);
+  static PathTable makeHash();
+
+  Kind kind() const { return TableKind; }
+
+  /// Records one execution of the path with index \p Index.
+  void increment(int64_t Index);
+
+  /// Original-TPP checked counting: negative indices mean the register
+  /// was poisoned on a cold edge; they bump the cold counter.
+  void incrementChecked(int64_t Index) {
+    if (Index < 0)
+      ++ColdChecked;
+    else
+      increment(Index);
+  }
+
+  /// Cold paths caught by checked counting.
+  uint64_t coldCheckedCount() const { return ColdChecked; }
+
+  /// Count recorded for \p Index (0 if absent or lost).
+  uint64_t countFor(int64_t Index) const;
+
+  /// Invokes \p Fn for every (index, count) pair with count > 0.
+  void forEach(const std::function<void(int64_t, uint64_t)> &Fn) const;
+
+  /// Paths dropped due to hash conflicts.
+  uint64_t lostCount() const { return Lost; }
+
+  /// Out-of-range indices (engineering backstop; should be zero).
+  uint64_t invalidCount() const { return Invalid; }
+
+  /// Array variant size (0 for other kinds).
+  uint64_t arraySize() const {
+    return TableKind == Kind::Array ? Counts.size() : 0;
+  }
+
+private:
+  struct HashSlot {
+    int64_t Key = -1;
+    uint64_t Count = 0;
+  };
+
+  Kind TableKind = Kind::None;
+  std::vector<uint64_t> Counts;  ///< Array variant.
+  std::vector<HashSlot> Slots;   ///< Hash variant.
+  uint64_t Lost = 0;
+  uint64_t Invalid = 0;
+  uint64_t ColdChecked = 0;
+};
+
+} // namespace ppp
+
+#endif // PPP_INTERP_PATHTABLE_H

@@ -1,0 +1,55 @@
+//===- interp/ProfileRuntime.h - Per-module profiling state ----*- C++ -*-===//
+///
+/// \file
+/// The runtime half of path profiling: one PathTable per function,
+/// targeted by the ProfCount* pseudo-instructions of an instrumented
+/// module. Instrumenters create the runtime (sizing each table from the
+/// static index range); the interpreter consumes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_INTERP_PROFILERUNTIME_H
+#define PPP_INTERP_PROFILERUNTIME_H
+
+#include "interp/PathTable.h"
+#include "ir/Instr.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ppp {
+
+/// Holds the per-function path frequency tables for one instrumented
+/// module instance.
+class ProfileRuntime {
+public:
+  explicit ProfileRuntime(unsigned NumFunctions) : Tables(NumFunctions) {}
+
+  void setTable(FuncId F, PathTable T) {
+    Tables[static_cast<size_t>(F)] = std::move(T);
+  }
+
+  PathTable &table(FuncId F) {
+    assert(F >= 0 && static_cast<size_t>(F) < Tables.size());
+    return Tables[static_cast<size_t>(F)];
+  }
+
+  const PathTable &table(FuncId F) const {
+    assert(F >= 0 && static_cast<size_t>(F) < Tables.size());
+    return Tables[static_cast<size_t>(F)];
+  }
+
+  unsigned numFunctions() const {
+    return static_cast<unsigned>(Tables.size());
+  }
+
+  /// Resets all counters to zero, keeping table shapes.
+  void clearCounts();
+
+private:
+  std::vector<PathTable> Tables;
+};
+
+} // namespace ppp
+
+#endif // PPP_INTERP_PROFILERUNTIME_H

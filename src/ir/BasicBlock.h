@@ -1,0 +1,53 @@
+//===- ir/BasicBlock.h - IR basic block ------------------------*- C++ -*-===//
+///
+/// \file
+/// A basic block: a sequence of instructions ending in exactly one
+/// terminator. Successor edges are identified by (block, successor
+/// index); that pair is the stable edge identity used throughout the
+/// profiling code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_IR_BASICBLOCK_H
+#define PPP_IR_BASICBLOCK_H
+
+#include "ir/Instr.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ppp {
+
+/// A straight-line sequence of instructions terminated by a branch,
+/// switch, or return.
+struct BasicBlock {
+  std::vector<Instr> Instrs;
+
+  const Instr &terminator() const {
+    assert(!Instrs.empty() && "block has no instructions");
+    assert(Instrs.back().isTerminator() && "block lacks a terminator");
+    return Instrs.back();
+  }
+
+  Instr &terminator() {
+    assert(!Instrs.empty() && "block has no instructions");
+    assert(Instrs.back().isTerminator() && "block lacks a terminator");
+    return Instrs.back();
+  }
+
+  /// Number of CFG successors (0 for Ret).
+  unsigned numSuccessors() const {
+    return static_cast<unsigned>(terminator().Targets.size());
+  }
+
+  /// The \p Idx'th successor block.
+  BlockId successor(unsigned Idx) const {
+    const Instr &T = terminator();
+    assert(Idx < T.Targets.size() && "successor index out of range");
+    return T.Targets[Idx];
+  }
+};
+
+} // namespace ppp
+
+#endif // PPP_IR_BASICBLOCK_H

@@ -1,0 +1,55 @@
+//===- ir/Function.h - IR function -----------------------------*- C++ -*-===//
+///
+/// \file
+/// A function: a named CFG of basic blocks plus a frame layout. Block 0
+/// is the entry block. Parameters arrive in registers [0, NumParams).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_IR_FUNCTION_H
+#define PPP_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace ppp {
+
+/// A function body. Functions are value types; copies are deep.
+struct Function {
+  std::string Name;
+  unsigned NumParams = 0; ///< Parameters arrive in R[0..NumParams-1].
+  unsigned NumRegs = 0;   ///< Frame size in registers (>= NumParams).
+  std::vector<BasicBlock> Blocks;
+
+  BlockId entryBlock() const { return 0; }
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+
+  const BasicBlock &block(BlockId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Blocks.size() &&
+           "block id out of range");
+    return Blocks[static_cast<size_t>(Id)];
+  }
+
+  BasicBlock &block(BlockId Id) {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Blocks.size() &&
+           "block id out of range");
+    return Blocks[static_cast<size_t>(Id)];
+  }
+
+  /// Total instruction count (the "IR statements" size measure used by
+  /// the inliner and unroller size caps).
+  unsigned size() const {
+    unsigned N = 0;
+    for (const BasicBlock &BB : Blocks)
+      N += static_cast<unsigned>(BB.Instrs.size());
+    return N;
+  }
+};
+
+} // namespace ppp
+
+#endif // PPP_IR_FUNCTION_H

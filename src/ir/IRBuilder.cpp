@@ -1,0 +1,157 @@
+//===- ir/IRBuilder.cpp - Convenience IR construction ---------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace ppp;
+
+FuncId IRBuilder::beginFunction(const std::string &Name, unsigned NumParams) {
+  assert(!F && "previous function not finished");
+  CurFunc = static_cast<FuncId>(M.Functions.size());
+  M.Functions.emplace_back();
+  F = &M.Functions.back();
+  F->Name = Name;
+  F->NumParams = NumParams;
+  F->NumRegs = NumParams;
+  F->Blocks.emplace_back(); // Entry block.
+  Cur = 0;
+  return CurFunc;
+}
+
+void IRBuilder::endFunction() {
+  assert(F && "no function under construction");
+#ifndef NDEBUG
+  for (const BasicBlock &BB : F->Blocks) {
+    assert(!BB.Instrs.empty() && "unterminated empty block");
+    assert(BB.Instrs.back().isTerminator() && "block lacks terminator");
+  }
+#endif
+  F = nullptr;
+  CurFunc = -1;
+  Cur = -1;
+}
+
+RegId IRBuilder::newReg() {
+  assert(F && "no function under construction");
+  return static_cast<RegId>(F->NumRegs++);
+}
+
+BlockId IRBuilder::newBlock() {
+  assert(F && "no function under construction");
+  F->Blocks.emplace_back();
+  return static_cast<BlockId>(F->Blocks.size() - 1);
+}
+
+Instr &IRBuilder::append(Instr I) {
+  assert(F && "no function under construction");
+  assert(Cur >= 0 && static_cast<size_t>(Cur) < F->Blocks.size() &&
+         "no insert point");
+  BasicBlock &BB = F->Blocks[static_cast<size_t>(Cur)];
+  assert((BB.Instrs.empty() || !BB.Instrs.back().isTerminator()) &&
+         "emitting past a terminator");
+  BB.Instrs.push_back(std::move(I));
+  return BB.Instrs.back();
+}
+
+RegId IRBuilder::emitConst(int64_t V, RegId Dest) {
+  Instr I;
+  I.Op = Opcode::Const;
+  I.A = Dest < 0 ? newReg() : Dest;
+  I.Imm = V;
+  return append(std::move(I)).A;
+}
+
+RegId IRBuilder::emitMov(RegId Src, RegId Dest) {
+  Instr I;
+  I.Op = Opcode::Mov;
+  I.A = Dest < 0 ? newReg() : Dest;
+  I.B = Src;
+  return append(std::move(I)).A;
+}
+
+RegId IRBuilder::emitBinary(Opcode Op, RegId Lhs, RegId Rhs, RegId Dest) {
+  Instr I;
+  I.Op = Op;
+  I.A = Dest < 0 ? newReg() : Dest;
+  I.B = Lhs;
+  I.C = Rhs;
+  return append(std::move(I)).A;
+}
+
+RegId IRBuilder::emitAddImm(RegId Src, int64_t Imm, RegId Dest) {
+  Instr I;
+  I.Op = Opcode::AddImm;
+  I.A = Dest < 0 ? newReg() : Dest;
+  I.B = Src;
+  I.Imm = Imm;
+  return append(std::move(I)).A;
+}
+
+RegId IRBuilder::emitMulImm(RegId Src, int64_t Imm, RegId Dest) {
+  Instr I;
+  I.Op = Opcode::MulImm;
+  I.A = Dest < 0 ? newReg() : Dest;
+  I.B = Src;
+  I.Imm = Imm;
+  return append(std::move(I)).A;
+}
+
+RegId IRBuilder::emitLoad(RegId Addr, RegId Dest) {
+  Instr I;
+  I.Op = Opcode::Load;
+  I.A = Dest < 0 ? newReg() : Dest;
+  I.B = Addr;
+  return append(std::move(I)).A;
+}
+
+void IRBuilder::emitStore(RegId Addr, RegId Value) {
+  Instr I;
+  I.Op = Opcode::Store;
+  I.A = Value;
+  I.B = Addr;
+  append(std::move(I));
+}
+
+RegId IRBuilder::emitCall(FuncId Callee, const std::vector<RegId> &Args) {
+  assert(Args.size() <= MaxCallArgs && "too many call arguments");
+  Instr I;
+  I.Op = Opcode::Call;
+  I.A = newReg();
+  I.Callee = Callee;
+  I.NumArgs = static_cast<uint8_t>(Args.size());
+  for (size_t Idx = 0; Idx < Args.size(); ++Idx)
+    I.Args[Idx] = Args[Idx];
+  return append(std::move(I)).A;
+}
+
+void IRBuilder::emitBr(BlockId Target) {
+  Instr I;
+  I.Op = Opcode::Br;
+  I.Targets = {Target};
+  append(std::move(I));
+}
+
+void IRBuilder::emitCondBr(RegId Cond, BlockId TrueTarget,
+                           BlockId FalseTarget) {
+  Instr I;
+  I.Op = Opcode::CondBr;
+  I.A = Cond;
+  I.Targets = {TrueTarget, FalseTarget};
+  append(std::move(I));
+}
+
+void IRBuilder::emitSwitch(RegId Selector,
+                           const std::vector<BlockId> &Targets) {
+  assert(!Targets.empty() && "switch needs at least one target");
+  Instr I;
+  I.Op = Opcode::Switch;
+  I.A = Selector;
+  I.Targets = Targets;
+  append(std::move(I));
+}
+
+void IRBuilder::emitRet(RegId Value) {
+  Instr I;
+  I.Op = Opcode::Ret;
+  I.A = Value;
+  append(std::move(I));
+}

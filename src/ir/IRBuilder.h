@@ -1,0 +1,88 @@
+//===- ir/IRBuilder.h - Convenience IR construction ------------*- C++ -*-===//
+///
+/// \file
+/// Builds functions instruction-by-instruction with automatic register
+/// allocation. Used by tests, examples, and the workload generator.
+///
+/// Typical usage:
+/// \code
+///   Module M;
+///   IRBuilder B(M);
+///   FuncId F = B.beginFunction("main", 0);
+///   RegId X = B.emitConst(42);
+///   B.emitRet(X);
+///   B.endFunction();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_IR_IRBUILDER_H
+#define PPP_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace ppp {
+
+/// Incrementally constructs functions inside a Module.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  /// Starts a new function with \p NumParams parameters; creates and
+  /// selects its entry block.
+  FuncId beginFunction(const std::string &Name, unsigned NumParams);
+
+  /// Finishes the current function. Asserts that every block ends in a
+  /// terminator.
+  void endFunction();
+
+  /// Allocates a fresh virtual register in the current function.
+  RegId newReg();
+
+  /// Appends a new (empty) block to the current function.
+  BlockId newBlock();
+
+  /// Directs subsequent emissions into \p BB.
+  void setInsertPoint(BlockId BB) {
+    assert(F && "no function under construction");
+    Cur = BB;
+  }
+
+  BlockId currentBlock() const { return Cur; }
+  FuncId currentFunction() const { return CurFunc; }
+
+  // Data instructions. Each returns the destination register. Pass
+  // \p Dest to write an existing register (loop counters,
+  // accumulators); -1 allocates a fresh one.
+  RegId emitConst(int64_t V, RegId Dest = -1);
+  RegId emitMov(RegId Src, RegId Dest = -1);
+  RegId emitBinary(Opcode Op, RegId Lhs, RegId Rhs, RegId Dest = -1);
+  RegId emitAddImm(RegId Src, int64_t Imm, RegId Dest = -1);
+  RegId emitMulImm(RegId Src, int64_t Imm, RegId Dest = -1);
+  RegId emitLoad(RegId Addr, RegId Dest = -1);
+  void emitStore(RegId Addr, RegId Value);
+  RegId emitCall(FuncId Callee, const std::vector<RegId> &Args);
+
+  // Terminators.
+  void emitBr(BlockId Target);
+  void emitCondBr(RegId Cond, BlockId TrueTarget, BlockId FalseTarget);
+  void emitSwitch(RegId Selector, const std::vector<BlockId> &Targets);
+  void emitRet(RegId Value);
+
+private:
+  Instr &append(Instr I);
+
+  Module &M;
+  Function *F = nullptr;
+  FuncId CurFunc = -1;
+  BlockId Cur = -1;
+};
+
+} // namespace ppp
+
+#endif // PPP_IR_IRBUILDER_H

@@ -1,0 +1,51 @@
+//===- ir/Instr.h - IR instruction -----------------------------*- C++ -*-===//
+///
+/// \file
+/// A single IR instruction. Instructions are plain values; a Function
+/// owns its instructions by value inside its blocks, so copying a
+/// Function deep-copies the whole body (used by the inliner, unroller,
+/// and instrumentation, which all work on clones).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_IR_INSTR_H
+#define PPP_IR_INSTR_H
+
+#include "ir/Opcode.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ppp {
+
+/// Index of a virtual register within a function frame.
+using RegId = int32_t;
+/// Index of a basic block within a function.
+using BlockId = int32_t;
+/// Index of a function within a module.
+using FuncId = int32_t;
+
+/// Maximum number of call arguments.
+inline constexpr unsigned MaxCallArgs = 4;
+
+/// A single register-machine instruction. Field use depends on Op; see
+/// Opcode.h for per-opcode semantics.
+struct Instr {
+  Opcode Op = Opcode::Const;
+  uint8_t NumArgs = 0; ///< Call only: number of arguments passed.
+  RegId A = -1;        ///< Destination (or source for Store/Ret/branch cond).
+  RegId B = -1;        ///< First operand.
+  RegId C = -1;        ///< Second operand.
+  int64_t Imm = 0;     ///< Immediate (Const, AddImm, MulImm, Prof*).
+  FuncId Callee = -1;  ///< Call only.
+  std::array<RegId, MaxCallArgs> Args = {-1, -1, -1, -1};
+  std::vector<BlockId> Targets; ///< Terminators only.
+
+  bool isTerminator() const { return isTerminatorOpcode(Op); }
+  bool isProfiling() const { return isProfilingOpcode(Op); }
+};
+
+} // namespace ppp
+
+#endif // PPP_IR_INSTR_H

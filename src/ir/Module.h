@@ -1,0 +1,50 @@
+//===- ir/Module.h - IR module ---------------------------------*- C++ -*-===//
+///
+/// \file
+/// A module: a set of functions plus the size of the single global
+/// word-addressed memory. Execution starts at \c MainId with no
+/// arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_IR_MODULE_H
+#define PPP_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace ppp {
+
+/// A whole program. Modules are value types; copies are deep, which the
+/// instrumenters rely on (instrument a copy, never the original).
+struct Module {
+  std::string Name;
+  /// Global memory size in 64-bit words; must be a power of two (loads
+  /// and stores mask addresses with MemWords-1).
+  uint64_t MemWords = 1024;
+  FuncId MainId = 0;
+  std::vector<Function> Functions;
+
+  unsigned numFunctions() const {
+    return static_cast<unsigned>(Functions.size());
+  }
+
+  const Function &function(FuncId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Functions.size() &&
+           "function id out of range");
+    return Functions[static_cast<size_t>(Id)];
+  }
+
+  Function &function(FuncId Id) {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Functions.size() &&
+           "function id out of range");
+    return Functions[static_cast<size_t>(Id)];
+  }
+};
+
+} // namespace ppp
+
+#endif // PPP_IR_MODULE_H

@@ -1,0 +1,71 @@
+//===- ir/Opcode.cpp - Opcode names ---------------------------------------===//
+
+#include "ir/Opcode.h"
+
+using namespace ppp;
+
+const char *ppp::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+    return "const";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::DivU:
+    return "divu";
+  case Opcode::RemU:
+    return "remu";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::AddImm:
+    return "addimm";
+  case Opcode::MulImm:
+    return "mulimm";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpNe:
+    return "cmpne";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::CmpLe:
+    return "cmple";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Switch:
+    return "switch";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::ProfSet:
+    return "prof.set";
+  case Opcode::ProfAdd:
+    return "prof.add";
+  case Opcode::ProfCountIdx:
+    return "prof.count.idx";
+  case Opcode::ProfCountConst:
+    return "prof.count.const";
+  case Opcode::ProfCheckedCountIdx:
+    return "prof.count.checked";
+  }
+  return "<invalid>";
+}

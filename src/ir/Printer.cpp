@@ -1,0 +1,100 @@
+//===- ir/Printer.cpp - Textual IR dumps ----------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/Format.h"
+
+using namespace ppp;
+
+std::string ppp::printInstr(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::Const:
+    return formatString("r%d = const %lld", I.A, (long long)I.Imm);
+  case Opcode::Mov:
+    return formatString("r%d = mov r%d", I.A, I.B);
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::DivU:
+  case Opcode::RemU:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+    return formatString("r%d = %s r%d, r%d", I.A, opcodeName(I.Op), I.B, I.C);
+  case Opcode::AddImm:
+    return formatString("r%d = addimm r%d, %lld", I.A, I.B, (long long)I.Imm);
+  case Opcode::MulImm:
+    return formatString("r%d = mulimm r%d, %lld", I.A, I.B, (long long)I.Imm);
+  case Opcode::Load:
+    return formatString("r%d = load [r%d]", I.A, I.B);
+  case Opcode::Store:
+    return formatString("store [r%d], r%d", I.B, I.A);
+  case Opcode::Call: {
+    std::string S = formatString("r%d = call f%d(", I.A, I.Callee);
+    for (unsigned Idx = 0; Idx < I.NumArgs; ++Idx) {
+      if (Idx)
+        S += ", ";
+      S += formatString("r%d", I.Args[Idx]);
+    }
+    S += ")";
+    return S;
+  }
+  case Opcode::Br:
+    return formatString("br b%d", I.Targets[0]);
+  case Opcode::CondBr:
+    return formatString("condbr r%d, b%d, b%d", I.A, I.Targets[0],
+                        I.Targets[1]);
+  case Opcode::Switch: {
+    std::string S = formatString("switch r%d, [", I.A);
+    for (size_t Idx = 0; Idx < I.Targets.size(); ++Idx) {
+      if (Idx)
+        S += ", ";
+      S += formatString("b%d", I.Targets[Idx]);
+    }
+    S += "]";
+    return S;
+  }
+  case Opcode::Ret:
+    return formatString("ret r%d", I.A);
+  case Opcode::ProfSet:
+    return formatString("prof.set %lld", (long long)I.Imm);
+  case Opcode::ProfAdd:
+    return formatString("prof.add %lld", (long long)I.Imm);
+  case Opcode::ProfCountIdx:
+    return formatString("prof.count.idx %lld", (long long)I.Imm);
+  case Opcode::ProfCountConst:
+    return formatString("prof.count.const %lld", (long long)I.Imm);
+  case Opcode::ProfCheckedCountIdx:
+    return formatString("prof.count.checked %lld", (long long)I.Imm);
+  }
+  return "<invalid>";
+}
+
+std::string ppp::printFunction(const Function &F) {
+  std::string S = formatString("func @%s(params=%u, regs=%u) {\n",
+                               F.Name.c_str(), F.NumParams, F.NumRegs);
+  for (size_t B = 0; B < F.Blocks.size(); ++B) {
+    S += formatString("b%zu:\n", B);
+    for (const Instr &I : F.Blocks[B].Instrs)
+      S += "  " + printInstr(I) + "\n";
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string ppp::printModule(const Module &M) {
+  std::string S = formatString("module %s (mem=%llu words, main=f%d)\n",
+                               M.Name.c_str(), (unsigned long long)M.MemWords,
+                               M.MainId);
+  for (size_t FI = 0; FI < M.Functions.size(); ++FI) {
+    S += formatString("; f%zu\n", FI);
+    S += printFunction(M.Functions[FI]);
+  }
+  return S;
+}

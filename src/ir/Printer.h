@@ -1,0 +1,29 @@
+//===- ir/Printer.h - Textual IR dumps -------------------------*- C++ -*-===//
+///
+/// \file
+/// Human-readable textual dumps of functions and modules, for debugging
+/// and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_IR_PRINTER_H
+#define PPP_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace ppp {
+
+/// Renders one instruction, e.g. "r3 = add r1, r2".
+std::string printInstr(const Instr &I);
+
+/// Renders a function with labeled blocks.
+std::string printFunction(const Function &F);
+
+/// Renders the whole module.
+std::string printModule(const Module &M);
+
+} // namespace ppp
+
+#endif // PPP_IR_PRINTER_H

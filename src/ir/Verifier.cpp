@@ -1,0 +1,148 @@
+//===- ir/Verifier.cpp - IR well-formedness checks ------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "support/Format.h"
+
+using namespace ppp;
+
+namespace {
+
+/// Verifies one instruction; returns an error string or empty.
+std::string verifyInstr(const Module &M, const Function &F, BlockId BB,
+                        size_t Idx, const Instr &I) {
+  auto Err = [&](const char *Msg) {
+    return formatString("%s: block b%d, instr %zu (%s): %s", F.Name.c_str(),
+                        BB, Idx, opcodeName(I.Op), Msg);
+  };
+  auto RegOk = [&](RegId R) {
+    return R >= 0 && static_cast<unsigned>(R) < F.NumRegs;
+  };
+  auto TargetOk = [&](BlockId T) {
+    return T >= 0 && static_cast<size_t>(T) < F.Blocks.size();
+  };
+
+  switch (I.Op) {
+  case Opcode::Const:
+    if (!RegOk(I.A))
+      return Err("destination register out of range");
+    break;
+  case Opcode::Mov:
+  case Opcode::AddImm:
+  case Opcode::MulImm:
+  case Opcode::Load:
+    if (!RegOk(I.A) || !RegOk(I.B))
+      return Err("register out of range");
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::DivU:
+  case Opcode::RemU:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+    if (!RegOk(I.A) || !RegOk(I.B) || !RegOk(I.C))
+      return Err("register out of range");
+    break;
+  case Opcode::Store:
+    if (!RegOk(I.A) || !RegOk(I.B))
+      return Err("register out of range");
+    break;
+  case Opcode::Call: {
+    if (!RegOk(I.A))
+      return Err("result register out of range");
+    if (I.Callee < 0 || static_cast<size_t>(I.Callee) >= M.Functions.size())
+      return Err("callee out of range");
+    if (I.NumArgs > MaxCallArgs)
+      return Err("too many arguments");
+    const Function &Callee = M.function(I.Callee);
+    if (I.NumArgs != Callee.NumParams)
+      return Err("argument count does not match callee parameter count");
+    for (unsigned ArgIdx = 0; ArgIdx < I.NumArgs; ++ArgIdx)
+      if (!RegOk(I.Args[ArgIdx]))
+        return Err("argument register out of range");
+    break;
+  }
+  case Opcode::Br:
+    if (I.Targets.size() != 1 || !TargetOk(I.Targets[0]))
+      return Err("br needs exactly one valid target");
+    break;
+  case Opcode::CondBr:
+    if (!RegOk(I.A))
+      return Err("condition register out of range");
+    if (I.Targets.size() != 2 || !TargetOk(I.Targets[0]) ||
+        !TargetOk(I.Targets[1]))
+      return Err("condbr needs exactly two valid targets");
+    break;
+  case Opcode::Switch:
+    if (!RegOk(I.A))
+      return Err("selector register out of range");
+    if (I.Targets.empty())
+      return Err("switch needs at least one target");
+    for (BlockId T : I.Targets)
+      if (!TargetOk(T))
+        return Err("switch target out of range");
+    break;
+  case Opcode::Ret:
+    if (!RegOk(I.A))
+      return Err("return register out of range");
+    break;
+  case Opcode::ProfSet:
+  case Opcode::ProfAdd:
+  case Opcode::ProfCountIdx:
+  case Opcode::ProfCountConst:
+  case Opcode::ProfCheckedCountIdx:
+    break; // Only use the immediate and the implicit path register.
+  }
+  return std::string();
+}
+
+} // namespace
+
+std::string ppp::verifyFunction(const Module &M, const Function &F) {
+  if (F.NumRegs < F.NumParams)
+    return formatString("%s: NumRegs (%u) < NumParams (%u)", F.Name.c_str(),
+                        F.NumRegs, F.NumParams);
+  if (F.Blocks.empty())
+    return formatString("%s: function has no blocks", F.Name.c_str());
+  for (size_t B = 0; B < F.Blocks.size(); ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    if (BB.Instrs.empty())
+      return formatString("%s: block b%zu is empty", F.Name.c_str(), B);
+    for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
+      const Instr &I = BB.Instrs[Idx];
+      bool IsLast = Idx + 1 == BB.Instrs.size();
+      if (I.isTerminator() != IsLast)
+        return formatString(
+            "%s: block b%zu: terminator placement wrong at instr %zu",
+            F.Name.c_str(), B, Idx);
+      if (std::string E =
+              verifyInstr(M, F, static_cast<BlockId>(B), Idx, I);
+          !E.empty())
+        return E;
+    }
+  }
+  return std::string();
+}
+
+std::string ppp::verifyModule(const Module &M) {
+  if (M.MemWords == 0 || (M.MemWords & (M.MemWords - 1)) != 0)
+    return "module: MemWords must be a nonzero power of two";
+  if (M.Functions.empty())
+    return "module: no functions";
+  if (M.MainId < 0 || static_cast<size_t>(M.MainId) >= M.Functions.size())
+    return "module: MainId out of range";
+  if (M.function(M.MainId).NumParams != 0)
+    return "module: main must take no parameters";
+  for (const Function &F : M.Functions)
+    if (std::string E = verifyFunction(M, F); !E.empty())
+      return E;
+  return std::string();
+}

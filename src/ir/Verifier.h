@@ -1,0 +1,32 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------*- C++ -*-===//
+///
+/// \file
+/// Structural verification of modules and functions. All transformation
+/// passes (inlining, unrolling, instrumentation lowering) are verified
+/// before and after in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_IR_VERIFIER_H
+#define PPP_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace ppp {
+
+/// Checks structural invariants of \p F within \p M (blocks terminated
+/// exactly once at the end, register/target/callee indices in range,
+/// call argument counts matching callee parameter counts).
+/// \returns an empty string on success, otherwise the first error found.
+std::string verifyFunction(const Module &M, const Function &F);
+
+/// Verifies every function plus module-level invariants (MemWords is a
+/// nonzero power of two, MainId valid and parameterless).
+/// \returns an empty string on success, otherwise the first error found.
+std::string verifyModule(const Module &M);
+
+} // namespace ppp
+
+#endif // PPP_IR_VERIFIER_H

@@ -1,0 +1,190 @@
+//===- metrics/Metrics.cpp - Profile evaluation metrics ---------------------===//
+
+#include "metrics/Metrics.h"
+
+#include "flow/FlowAnalysis.h"
+
+#include <algorithm>
+
+using namespace ppp;
+
+std::vector<PathRef> ppp::selectHotPaths(const PathProfile &Profile,
+                                         FlowMetric Metric,
+                                         double HotFraction) {
+  uint64_t Total = Profile.totalFlow(Metric);
+  double Threshold = HotFraction * static_cast<double>(Total);
+  std::vector<PathRef> Hot;
+  for (size_t F = 0; F < Profile.Funcs.size(); ++F) {
+    const FunctionPathProfile &FP = Profile.Funcs[F];
+    for (size_t I = 0; I < FP.Paths.size(); ++I)
+      if (static_cast<double>(FP.Paths[I].flow(Metric)) >= Threshold)
+        Hot.push_back({static_cast<FuncId>(F), I});
+  }
+  std::stable_sort(Hot.begin(), Hot.end(), [&](const PathRef &A,
+                                               const PathRef &B) {
+    uint64_t FA = Profile.Funcs[static_cast<size_t>(A.Func)]
+                      .Paths[A.Index]
+                      .flow(Metric);
+    uint64_t FB = Profile.Funcs[static_cast<size_t>(B.Func)]
+                      .Paths[B.Index]
+                      .flow(Metric);
+    if (FA != FB)
+      return FA > FB;
+    if (A.Func != B.Func)
+      return A.Func < B.Func;
+    return A.Index < B.Index;
+  });
+  return Hot;
+}
+
+AccuracyResult ppp::computeAccuracy(const PathProfile &Actual,
+                                    const PathProfile &Estimated,
+                                    FlowMetric Metric, double HotFraction) {
+  AccuracyResult R;
+  std::vector<PathRef> HotActual =
+      selectHotPaths(Actual, Metric, HotFraction);
+  R.NumHotPaths = HotActual.size();
+  for (const PathRef &P : HotActual)
+    R.HotFlow +=
+        Actual.Funcs[static_cast<size_t>(P.Func)].Paths[P.Index].flow(Metric);
+  uint64_t TotalFlow = Actual.totalFlow(Metric);
+  R.HotFlowFraction = TotalFlow == 0
+                          ? 0.0
+                          : static_cast<double>(R.HotFlow) /
+                                static_cast<double>(TotalFlow);
+  if (HotActual.empty()) {
+    R.Accuracy = 1.0;
+    return R;
+  }
+
+  // H_estimated: the |H_actual| hottest estimated paths.
+  std::vector<PathRef> AllEst;
+  for (size_t F = 0; F < Estimated.Funcs.size(); ++F)
+    for (size_t I = 0; I < Estimated.Funcs[F].Paths.size(); ++I)
+      AllEst.push_back({static_cast<FuncId>(F), I});
+  std::stable_sort(AllEst.begin(), AllEst.end(), [&](const PathRef &A,
+                                                     const PathRef &B) {
+    uint64_t FA = Estimated.Funcs[static_cast<size_t>(A.Func)]
+                      .Paths[A.Index]
+                      .flow(Metric);
+    uint64_t FB = Estimated.Funcs[static_cast<size_t>(B.Func)]
+                      .Paths[B.Index]
+                      .flow(Metric);
+    if (FA != FB)
+      return FA > FB;
+    if (A.Func != B.Func)
+      return A.Func < B.Func;
+    return A.Index < B.Index;
+  });
+  if (AllEst.size() > HotActual.size())
+    AllEst.resize(HotActual.size());
+
+  // Accuracy: fraction of actual hot flow the estimate also selects,
+  // weighted by *actual* flow (Wall's scheme).
+  for (const PathRef &P : AllEst) {
+    const PathRecord &Rec =
+        Estimated.Funcs[static_cast<size_t>(P.Func)].Paths[P.Index];
+    const PathRecord *ActualRec =
+        Actual.Funcs[static_cast<size_t>(P.Func)].find(Rec.Key);
+    if (!ActualRec)
+      continue;
+    // Only count it if it is genuinely hot.
+    uint64_t Flow = ActualRec->flow(Metric);
+    uint64_t Total = Actual.totalFlow(Metric);
+    if (static_cast<double>(Flow) >=
+        HotFraction * static_cast<double>(Total))
+      R.MatchedFlow += Flow;
+  }
+  R.Accuracy = R.HotFlow == 0 ? 1.0
+                              : static_cast<double>(R.MatchedFlow) /
+                                    static_cast<double>(R.HotFlow);
+  return R;
+}
+
+double ppp::computeEdgeCoverage(const Module &M, const EdgeProfile &EP,
+                                const PathProfile &Actual,
+                                FlowMetric Metric) {
+  uint64_t Definite = 0;
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    FuncId F = static_cast<FuncId>(FI);
+    const FunctionEdgeProfile &FP = EP.func(F);
+    CfgView Cfg(M.function(F));
+    LoopInfo LI = LoopInfo::compute(Cfg);
+    std::vector<int64_t> CfgFreq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+    BLDag Dag = BLDag::build(Cfg, LI);
+    Dag.setFrequencies(CfgFreq, FP.Invocations);
+    if (Dag.totalFlow() == 0)
+      continue;
+    FlowResult DF = computeDefiniteFlow(Dag);
+    Definite += DF.totalFlowAtEntry(Dag, Metric);
+  }
+  uint64_t Total = Actual.totalFlow(Metric);
+  return Total == 0 ? 1.0
+                    : static_cast<double>(Definite) /
+                          static_cast<double>(Total);
+}
+
+CoverageResult ppp::computeProfilerCoverage(const InstrumentationResult &IR,
+                                            const ProfilerRunData &Run,
+                                            const PathProfile &Actual,
+                                            FlowMetric Metric) {
+  CoverageResult R;
+  R.TotalFlow = Actual.totalFlow(Metric);
+
+  for (size_t FI = 0; FI < Actual.Funcs.size(); ++FI) {
+    const FunctionPlan &Plan = IR.Plans[FI];
+    const FunctionPathProfile &ActualFP = Actual.Funcs[FI];
+    const FunctionPathProfile &MeasuredFP = Run.Measured.Funcs[FI];
+    const FunctionPathProfile &EstimatedFP = Run.Estimated.Funcs[FI];
+
+    // F(P_instr): actual flow of the paths the profiler instruments.
+    uint64_t ActualInstr = 0;
+    for (const PathRecord &Rec : ActualFP.Paths)
+      if (Plan.isInstrumentedPath(Rec.Key))
+        ActualInstr += Rec.flow(Metric);
+    R.InstrumentedFlow += ActualInstr;
+
+    // MF(P_instr) and the per-function overcount penalty.
+    uint64_t MeasuredFlow = MeasuredFP.totalFlow(Metric);
+    if (MeasuredFlow > ActualInstr)
+      R.OvercountFlow += MeasuredFlow - ActualInstr;
+
+    // DF(P_uninstr): definite-flow estimates for unmeasured paths.
+    for (const PathRecord &Rec : EstimatedFP.Paths)
+      if (!MeasuredFP.find(Rec.Key))
+        R.EstimatedFlow += Rec.flow(Metric);
+  }
+
+  uint64_t Num = R.InstrumentedFlow + R.EstimatedFlow;
+  Num = Num > R.OvercountFlow ? Num - R.OvercountFlow : 0;
+  R.Coverage = R.TotalFlow == 0 ? 1.0
+                                : static_cast<double>(Num) /
+                                      static_cast<double>(R.TotalFlow);
+  return R;
+}
+
+InstrumentedFraction
+ppp::computeInstrumentedFraction(const InstrumentationResult &IR,
+                                 const PathProfile &Actual) {
+  InstrumentedFraction R;
+  uint64_t Total = Actual.totalFreq();
+  if (Total == 0)
+    return R;
+  uint64_t Instr = 0, Hashed = 0;
+  for (size_t FI = 0; FI < Actual.Funcs.size(); ++FI) {
+    const FunctionPlan &Plan = IR.Plans[FI];
+    if (!Plan.Instrumented)
+      continue;
+    bool IsHash = Plan.TableKind == PathTable::Kind::Hash;
+    for (const PathRecord &Rec : Actual.Funcs[FI].Paths) {
+      if (!Plan.isInstrumentedPath(Rec.Key))
+        continue;
+      Instr += Rec.Freq;
+      if (IsHash)
+        Hashed += Rec.Freq;
+    }
+  }
+  R.Total = static_cast<double>(Instr) / static_cast<double>(Total);
+  R.Hashed = static_cast<double>(Hashed) / static_cast<double>(Total);
+  return R;
+}

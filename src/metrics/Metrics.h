@@ -1,0 +1,98 @@
+//===- metrics/Metrics.h - Profile evaluation metrics ----------*- C++ -*-===//
+///
+/// \file
+/// The evaluation metrics of Section 6:
+///
+///  - Accuracy (Sec. 6.1): Wall's weight matching. The actual hot paths
+///    H_actual are those with at least a threshold fraction of total
+///    program flow; the estimated set H_estimated is the |H_actual|
+///    hottest paths of the estimated profile; accuracy is the fraction
+///    of actual hot-path flow found in the intersection.
+///  - Coverage (Sec. 6.2): the fraction of actual program flow a method
+///    definitely measures. For an edge profile that is DF(P)/F(P); for
+///    a path profiler it is measured flow plus computed definite flow,
+///    minus the overcount penalty PPP's aggressive pushing can incur.
+///  - Instrumented-path fraction (Fig. 11) and dynamic-cost overhead
+///    (Fig. 12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_METRICS_METRICS_H
+#define PPP_METRICS_METRICS_H
+
+#include "pathprof/EstimatedProfile.h"
+#include "pathprof/Profilers.h"
+#include "profile/PathProfile.h"
+
+namespace ppp {
+
+/// Default hot-path threshold: 0.125% of total program flow (Sec. 8.1).
+inline constexpr double DefaultHotFraction = 0.00125;
+
+/// A (function, path) reference into a PathProfile.
+struct PathRef {
+  FuncId Func = -1;
+  size_t Index = 0;
+};
+
+/// Paths of \p Profile whose flow is at least \p HotFraction of the
+/// profile's total flow, hottest first.
+std::vector<PathRef> selectHotPaths(const PathProfile &Profile,
+                                    FlowMetric Metric, double HotFraction);
+
+/// Result of the weight-matching accuracy computation.
+struct AccuracyResult {
+  double Accuracy = 1.0;       ///< Fraction of hot flow predicted.
+  size_t NumHotPaths = 0;      ///< |H_actual|.
+  uint64_t HotFlow = 0;        ///< F(H_actual).
+  uint64_t MatchedFlow = 0;    ///< F(H_estimated intersect H_actual).
+  double HotFlowFraction = 0;  ///< F(H_actual) / F(P) (Table 2).
+};
+
+/// Wall's weight matching of \p Estimated against the oracle \p Actual.
+AccuracyResult computeAccuracy(const PathProfile &Actual,
+                               const PathProfile &Estimated,
+                               FlowMetric Metric,
+                               double HotFraction = DefaultHotFraction);
+
+/// Edge-profile coverage: sum over functions of definite flow, divided
+/// by actual flow (Sec. 6.2 "attribution of definite flow").
+double computeEdgeCoverage(const Module &M, const EdgeProfile &EP,
+                           const PathProfile &Actual, FlowMetric Metric);
+
+/// Coverage of an instrumenting profiler (Sec. 6.2).
+struct CoverageResult {
+  double Coverage = 0;
+  uint64_t InstrumentedFlow = 0; ///< F(P_instr), actual flow.
+  uint64_t EstimatedFlow = 0;    ///< DF(P_uninstr).
+  uint64_t OvercountFlow = 0;    ///< max(0, MF - F) per function, summed.
+  uint64_t TotalFlow = 0;        ///< F(P).
+};
+
+CoverageResult computeProfilerCoverage(const InstrumentationResult &IR,
+                                       const ProfilerRunData &Run,
+                                       const PathProfile &Actual,
+                                       FlowMetric Metric);
+
+/// Fraction of dynamic paths a profiler instruments (Fig. 11), split by
+/// counter kind.
+struct InstrumentedFraction {
+  double Total = 0;  ///< Instrumented dynamic paths / all dynamic paths.
+  double Hashed = 0; ///< Subset counted through a hash table.
+};
+
+InstrumentedFraction computeInstrumentedFraction(
+    const InstrumentationResult &IR, const PathProfile &Actual);
+
+/// Percent overhead of \p InstrCost over \p BaseCost.
+inline double overheadPercent(uint64_t BaseCost, uint64_t InstrCost) {
+  if (BaseCost == 0)
+    return 0.0;
+  return 100.0 * (static_cast<double>(InstrCost) -
+                  static_cast<double>(BaseCost)) /
+         static_cast<double>(BaseCost);
+}
+
+} // namespace ppp
+
+#endif // PPP_METRICS_METRICS_H

@@ -1,0 +1,318 @@
+//===- opt/Inliner.cpp - Profile-guided inlining -----------------------------===//
+
+#include "opt/Inliner.h"
+
+#include "analysis/CfgView.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ppp;
+
+namespace {
+
+struct CallSite {
+  FuncId Caller = -1;
+  FuncId Callee = -1;
+  int64_t SiteId = 0;  ///< Stamped into the Call's Imm to survive edits.
+  int64_t Freq = 0;    ///< Executions of the containing block.
+  double Priority = 0; ///< Freq / callee size.
+};
+
+/// Finds the stamped call site; returns (block, instr index) or false.
+bool locateSite(const Function &F, int64_t SiteId, BlockId &B, size_t &I) {
+  for (size_t BI = 0; BI < F.Blocks.size(); ++BI)
+    for (size_t II = 0; II < F.Blocks[BI].Instrs.size(); ++II) {
+      const Instr &Ins = F.Blocks[BI].Instrs[II];
+      if (Ins.Op == Opcode::Call && Ins.Imm == SiteId) {
+        B = static_cast<BlockId>(BI);
+        I = II;
+        return true;
+      }
+    }
+  return false;
+}
+
+/// Registers read by \p I, via \p Fn(reg).
+template <typename FnT> void forEachRead(const Instr &I, FnT Fn) {
+  switch (I.Op) {
+  case Opcode::Const:
+    break;
+  case Opcode::Mov:
+  case Opcode::AddImm:
+  case Opcode::MulImm:
+  case Opcode::Load:
+    Fn(I.B);
+    break;
+  case Opcode::Store:
+    Fn(I.A);
+    Fn(I.B);
+    break;
+  case Opcode::Call:
+    for (unsigned AI = 0; AI < I.NumArgs; ++AI)
+      Fn(I.Args[AI]);
+    break;
+  case Opcode::Br:
+    break;
+  case Opcode::CondBr:
+  case Opcode::Switch:
+  case Opcode::Ret:
+    Fn(I.A);
+    break;
+  case Opcode::ProfSet:
+  case Opcode::ProfAdd:
+  case Opcode::ProfCountIdx:
+  case Opcode::ProfCountConst:
+  case Opcode::ProfCheckedCountIdx:
+    break;
+  default: // All binary arithmetic/compare forms.
+    Fn(I.B);
+    Fn(I.C);
+    break;
+  }
+}
+
+/// The register \p I writes, or -1.
+RegId writtenReg(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::Store:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Switch:
+  case Opcode::Ret:
+  case Opcode::ProfSet:
+  case Opcode::ProfAdd:
+  case Opcode::ProfCountIdx:
+  case Opcode::ProfCountConst:
+  case Opcode::ProfCheckedCountIdx:
+    return -1;
+  default:
+    return I.A;
+  }
+}
+
+/// Definite-assignment analysis: registers that may be read before any
+/// write on some path from entry. Fresh frames zero registers, so an
+/// inlined body must zero exactly these to preserve semantics when the
+/// inlined code re-executes inside a caller loop.
+std::vector<RegId> maybeReadBeforeWrite(const Function &F) {
+  size_t NR = F.NumRegs;
+  size_t NB = F.Blocks.size();
+  // W[b]: definitely-written at block exit; start at "all" (top).
+  std::vector<std::vector<bool>> WOut(NB, std::vector<bool>(NR, true));
+  std::vector<bool> Entry(NR, false);
+  for (unsigned PI = 0; PI < F.NumParams; ++PI)
+    Entry[PI] = true;
+
+  // Predecessors.
+  std::vector<std::vector<BlockId>> Preds(NB);
+  for (size_t BI = 0; BI < NB; ++BI)
+    for (BlockId T : F.Blocks[BI].terminator().Targets)
+      Preds[static_cast<size_t>(T)].push_back(static_cast<BlockId>(BI));
+
+  auto BlockIn = [&](size_t BI) {
+    std::vector<bool> In = BI == 0 ? Entry : std::vector<bool>(NR, true);
+    if (BI != 0 && Preds[BI].empty())
+      In.assign(NR, false); // Unreachable: be conservative.
+    for (BlockId P : Preds[BI])
+      for (size_t R = 0; R < NR; ++R)
+        In[R] = In[R] && WOut[static_cast<size_t>(P)][R];
+    return In;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = 0; BI < NB; ++BI) {
+      std::vector<bool> Cur = BlockIn(BI);
+      for (const Instr &I : F.Blocks[BI].Instrs)
+        if (RegId W = writtenReg(I); W >= 0)
+          Cur[static_cast<size_t>(W)] = true;
+      if (Cur != WOut[BI]) {
+        WOut[BI] = std::move(Cur);
+        Changed = true;
+      }
+    }
+  }
+
+  std::vector<bool> Unsafe(NR, false);
+  for (size_t BI = 0; BI < NB; ++BI) {
+    std::vector<bool> Cur = BlockIn(BI);
+    for (const Instr &I : F.Blocks[BI].Instrs) {
+      forEachRead(I, [&](RegId R) {
+        if (!Cur[static_cast<size_t>(R)])
+          Unsafe[static_cast<size_t>(R)] = true;
+      });
+      if (RegId W = writtenReg(I); W >= 0)
+        Cur[static_cast<size_t>(W)] = true;
+    }
+  }
+  std::vector<RegId> Out;
+  for (size_t R = 0; R < NR; ++R)
+    if (Unsafe[R])
+      Out.push_back(static_cast<RegId>(R));
+  return Out;
+}
+
+/// Splices \p Callee into \p Caller at the stamped site. Appends blocks
+/// only, so existing block ids stay valid.
+void inlineSite(Function &Caller, const Function &Callee, BlockId B,
+                size_t I) {
+  const Instr Call = Caller.Blocks[static_cast<size_t>(B)].Instrs[I];
+  assert(Call.Op == Opcode::Call);
+
+  RegId RegOffset = static_cast<RegId>(Caller.NumRegs);
+  Caller.NumRegs += Callee.NumRegs;
+  BlockId BlockOffset = static_cast<BlockId>(Caller.Blocks.size());
+
+  // Continuation: everything after the call moves to a fresh block.
+  BlockId ContId =
+      static_cast<BlockId>(Caller.Blocks.size() + Callee.Blocks.size());
+
+  // Clone callee blocks, remapping registers and targets; rets become
+  // result moves plus jumps to the continuation.
+  for (const BasicBlock &CB : Callee.Blocks) {
+    Caller.Blocks.emplace_back();
+    BasicBlock &NB = Caller.Blocks.back();
+    for (const Instr &CI : CB.Instrs) {
+      if (CI.Op == Opcode::Ret) {
+        Instr Mov;
+        Mov.Op = Opcode::Mov;
+        Mov.A = Call.A;
+        Mov.B = CI.A + RegOffset;
+        NB.Instrs.push_back(std::move(Mov));
+        Instr Jump;
+        Jump.Op = Opcode::Br;
+        Jump.Targets = {ContId};
+        NB.Instrs.push_back(std::move(Jump));
+        continue;
+      }
+      Instr NI = CI;
+      if (NI.A >= 0)
+        NI.A += RegOffset;
+      if (NI.B >= 0)
+        NI.B += RegOffset;
+      if (NI.C >= 0)
+        NI.C += RegOffset;
+      for (unsigned AI = 0; AI < NI.NumArgs; ++AI)
+        NI.Args[AI] += RegOffset;
+      for (BlockId &T : NI.Targets)
+        T += BlockOffset;
+      NB.Instrs.push_back(std::move(NI));
+    }
+  }
+
+  // Continuation block: the tail of B after the call.
+  Caller.Blocks.emplace_back();
+  {
+    BasicBlock &Cont = Caller.Blocks.back();
+    BasicBlock &Site = Caller.Blocks[static_cast<size_t>(B)];
+    Cont.Instrs.assign(Site.Instrs.begin() + static_cast<long>(I) + 1,
+                       Site.Instrs.end());
+    Site.Instrs.erase(Site.Instrs.begin() + static_cast<long>(I),
+                      Site.Instrs.end());
+    // Fresh activations zero their registers; re-zero the clone's
+    // maybe-read-before-written registers so re-execution inside a
+    // caller loop behaves like a fresh call.
+    for (RegId R : maybeReadBeforeWrite(Callee)) {
+      Instr Zero;
+      Zero.Op = Opcode::Const;
+      Zero.A = R + RegOffset;
+      Zero.Imm = 0;
+      Site.Instrs.push_back(std::move(Zero));
+    }
+    // Replace the call with parameter moves and a jump into the clone.
+    for (unsigned AI = 0; AI < Call.NumArgs; ++AI) {
+      Instr Mov;
+      Mov.Op = Opcode::Mov;
+      Mov.A = static_cast<RegId>(AI) + RegOffset;
+      Mov.B = Call.Args[AI];
+      Site.Instrs.push_back(std::move(Mov));
+    }
+    Instr Jump;
+    Jump.Op = Opcode::Br;
+    Jump.Targets = {BlockOffset}; // Callee entry clone.
+    Site.Instrs.push_back(std::move(Jump));
+  }
+}
+
+} // namespace
+
+InlineStats ppp::runInliner(Module &M, const EdgeProfile &EP,
+                            const InlinerOptions &Opts) {
+  InlineStats Stats;
+
+  // Stamp call sites and gather candidates.
+  std::vector<CallSite> Sites;
+  int64_t NextSiteId = 1;
+  unsigned TotalSize = 0;
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    Function &F = M.function(static_cast<FuncId>(FI));
+    TotalSize += F.size();
+    CfgView Cfg(F);
+    const FunctionEdgeProfile &FP = EP.func(static_cast<FuncId>(FI));
+    for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      int64_t BlockFreq = FP.blockFreq(Cfg, static_cast<BlockId>(BI));
+      for (Instr &I : F.Blocks[BI].Instrs) {
+        if (I.Op != Opcode::Call)
+          continue;
+        I.Imm = NextSiteId;
+        Stats.DynCallsTotal += BlockFreq;
+        CallSite S;
+        S.Caller = static_cast<FuncId>(FI);
+        S.Callee = I.Callee;
+        S.SiteId = NextSiteId;
+        S.Freq = BlockFreq;
+        ++NextSiteId;
+        if (S.Callee == S.Caller)
+          continue; // Recursive.
+        unsigned CalleeSize = M.function(S.Callee).size();
+        if (CalleeSize > Opts.MaxCalleeSize || S.Freq <= 0)
+          continue;
+        S.Priority =
+            static_cast<double>(S.Freq) / static_cast<double>(CalleeSize);
+        Sites.push_back(S);
+      }
+    }
+  }
+  Stats.SitesConsidered = static_cast<unsigned>(Sites.size());
+
+  std::stable_sort(Sites.begin(), Sites.end(),
+                   [](const CallSite &A, const CallSite &B) {
+                     if (A.Priority != B.Priority)
+                       return A.Priority > B.Priority;
+                     return A.SiteId < B.SiteId;
+                   });
+
+  uint64_t Budget = static_cast<uint64_t>(
+      static_cast<double>(TotalSize) * (1.0 + Opts.CodeBloat));
+  uint64_t CurrentSize = TotalSize;
+
+  for (const CallSite &S : Sites) {
+    if (Stats.SitesInlined >= Opts.MaxSites)
+      break;
+    const Function &Callee = M.function(S.Callee);
+    // Growth: the callee body plus parameter moves, minus the call.
+    uint64_t Growth = Callee.size() + Callee.NumParams;
+    if (CurrentSize + Growth > Budget)
+      continue;
+    Function &Caller = M.function(S.Caller);
+    BlockId B;
+    size_t I;
+    if (!locateSite(Caller, S.SiteId, B, I))
+      continue; // Site disappeared (was inside an inlined region? no --
+                // inlining only grows callers; defensive).
+    inlineSite(Caller, Callee, B, I);
+    CurrentSize += Growth;
+    ++Stats.SitesInlined;
+    Stats.DynCallsInlined += S.Freq;
+  }
+
+  // Clear the site stamps (Imm is meaningless for calls otherwise).
+  for (Function &F : M.Functions)
+    for (BasicBlock &BB : F.Blocks)
+      for (Instr &I : BB.Instrs)
+        if (I.Op == Opcode::Call)
+          I.Imm = 0;
+  return Stats;
+}

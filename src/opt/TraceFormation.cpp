@@ -1,0 +1,153 @@
+//===- opt/TraceFormation.cpp - Superblock/trace formation -------------------===//
+
+#include "opt/TraceFormation.h"
+
+#include "analysis/CfgView.h"
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ppp;
+
+unsigned ppp::formTrace(Function &F, const std::vector<BlockId> &HotBlocks,
+                        unsigned MaxDuplicated) {
+  if (HotBlocks.size() < 2)
+    return 0;
+  unsigned Duplicated = 0;
+  // The block whose tail currently ends the trace (the hot path's code
+  // accumulates here as side-entered successors get spliced in).
+  BlockId Residence = HotBlocks.front();
+  for (size_t I = 0; I + 1 < HotBlocks.size(); ++I) {
+    if (Duplicated >= MaxDuplicated)
+      break;
+    BlockId V = HotBlocks[I + 1];
+    BasicBlock &Res = F.block(Residence);
+    const Instr &Term = Res.terminator();
+    if (Term.Op != Opcode::Br || Term.Targets[0] != V) {
+      // Conditional hop (or retargeted already): the trace continues at
+      // the original block.
+      Residence = V;
+      continue;
+    }
+    unsigned Preds = 0;
+    for (const BasicBlock &BB : F.Blocks)
+      for (BlockId T : BB.terminator().Targets)
+        Preds += T == V;
+    if (Preds <= 1) {
+      // Already private: merging would only delete the jump; keep the
+      // block structure and move on (the interpreter charges the Br,
+      // so splice it anyway for the cost win).
+      BasicBlock Copy = F.block(V);
+      if (V == Residence)
+        break; // Self-loop; cannot splice into itself.
+      Res.Instrs.pop_back();
+      Res.Instrs.insert(Res.Instrs.end(), Copy.Instrs.begin(),
+                        Copy.Instrs.end());
+      // V is now dead code (kept; it simply never executes).
+      ++Duplicated;
+      continue;
+    }
+    // Tail-duplicate V into the residence block; V remains for its
+    // other predecessors. Registers need no renaming: same frame.
+    if (V == Residence)
+      break;
+    BasicBlock Copy = F.block(V);
+    Res.Instrs.pop_back();
+    Res.Instrs.insert(Res.Instrs.end(), Copy.Instrs.begin(),
+                      Copy.Instrs.end());
+    ++Duplicated;
+  }
+  return Duplicated;
+}
+
+TraceStats
+ppp::formTracesFromPathProfile(Module &M, const PathProfile &Profile,
+                               const TraceOptions &Opts) {
+  TraceStats Stats;
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    if (FI >= Profile.Funcs.size())
+      break;
+    const FunctionPathProfile &FP = Profile.Funcs[FI];
+    const PathRecord *Hot = nullptr;
+    for (const PathRecord &R : FP.Paths)
+      if (!Hot ||
+          R.flow(FlowMetric::Branch) > Hot->flow(FlowMetric::Branch))
+        Hot = &R;
+    if (!Hot || Hot->Freq < Opts.MinFreq ||
+        Hot->Key.EdgeIds.size() < Opts.MinPathEdges)
+      continue;
+    CfgView Cfg(M.function(static_cast<FuncId>(FI)));
+    unsigned D =
+        formTrace(M.function(static_cast<FuncId>(FI)),
+                  Hot->Key.blocks(Cfg), Opts.MaxDuplicatedPerFunction);
+    if (D > 0) {
+      ++Stats.Traces;
+      Stats.BlocksDuplicated += D;
+    }
+  }
+  return Stats;
+}
+
+TraceStats ppp::formTracesFromEdgeProfile(Module &M, const EdgeProfile &EP,
+                                          const TraceOptions &Opts) {
+  TraceStats Stats;
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    Function &F = M.function(static_cast<FuncId>(FI));
+    CfgView Cfg(F);
+    LoopInfo LI = LoopInfo::compute(Cfg);
+    const FunctionEdgeProfile &FP = EP.func(static_cast<FuncId>(FI));
+
+    // Seed: the hottest block (ties to the lowest id).
+    BlockId Seed = -1;
+    int64_t SeedFreq = 0;
+    for (unsigned B = 0; B < Cfg.numBlocks(); ++B) {
+      int64_t Freq = FP.blockFreq(Cfg, static_cast<BlockId>(B));
+      if (Freq > SeedFreq) {
+        SeedFreq = Freq;
+        Seed = static_cast<BlockId>(B);
+      }
+    }
+    if (Seed < 0 || SeedFreq < static_cast<int64_t>(Opts.MinFreq))
+      continue;
+
+    // Grow: repeatedly take the hottest out-edge, stopping at back
+    // edges (a Ball-Larus path would too), at revisits, or when the
+    // hottest edge stops dominating its block's out-flow.
+    std::vector<BlockId> Blocks = {Seed};
+    std::vector<bool> Visited(Cfg.numBlocks(), false);
+    Visited[static_cast<size_t>(Seed)] = true;
+    BlockId Cur = Seed;
+    while (Blocks.size() < 24) {
+      int Best = -1;
+      int64_t BestFreq = -1;
+      int64_t Total = 0;
+      for (int EId : Cfg.outEdges(Cur)) {
+        int64_t Freq = FP.EdgeFreq[static_cast<size_t>(EId)];
+        Total += Freq;
+        if (!LI.isBackEdge(EId) && Freq > BestFreq) {
+          BestFreq = Freq;
+          Best = EId;
+        }
+      }
+      if (Best < 0 || Total <= 0 ||
+          static_cast<double>(BestFreq) <
+              Opts.GreedyMinEdgeShare * static_cast<double>(Total))
+        break;
+      BlockId Next = Cfg.edge(Best).Dst;
+      if (Visited[static_cast<size_t>(Next)])
+        break;
+      Visited[static_cast<size_t>(Next)] = true;
+      Blocks.push_back(Next);
+      Cur = Next;
+    }
+    if (Blocks.size() < Opts.MinPathEdges + 1)
+      continue;
+    unsigned D = formTrace(F, Blocks, Opts.MaxDuplicatedPerFunction);
+    if (D > 0) {
+      ++Stats.Traces;
+      Stats.BlocksDuplicated += D;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,71 @@
+//===- opt/TraceFormation.h - Superblock/trace formation -------*- C++ -*-===//
+///
+/// \file
+/// The consumer side of path profiling: superblock-style trace
+/// formation by tail duplication. Given a hot block sequence, every
+/// side-entered block on the sequence is duplicated into its on-path
+/// predecessor, so the hot path runs through straight-line private code
+/// while all other paths keep using the original blocks. Semantics are
+/// always preserved; the payoff (removed unconditional jumps) depends
+/// on how often the *whole* sequence actually executes.
+///
+/// Two drivers expose the paper's core claim (Sec. 1-2) as an
+/// experiment:
+///  - formTracesFromPathProfile: seed traces with measured hot *paths*
+///    (what PPP provides);
+///  - formTracesFromEdgeProfile: seed traces by greedily following the
+///    hottest out-edges (the best an edge profile alone supports, per
+///    Ball-Mataga-Sagiv this often predicts the wrong path).
+///
+/// Both are valid optimizations; the path-guided one wins exactly when
+/// edge profiles mispredict paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_OPT_TRACEFORMATION_H
+#define PPP_OPT_TRACEFORMATION_H
+
+#include "ir/Module.h"
+#include "profile/EdgeProfile.h"
+#include "profile/PathProfile.h"
+
+#include <vector>
+
+namespace ppp {
+
+struct TraceOptions {
+  /// Ignore paths/seeds executing fewer times than this.
+  uint64_t MinFreq = 100;
+  /// Ignore paths shorter than this many interior edges.
+  unsigned MinPathEdges = 2;
+  /// Stop growing an edge-greedy trace when the next edge carries less
+  /// than this fraction of its source block's flow.
+  double GreedyMinEdgeShare = 0.5;
+  /// Cap on blocks duplicated per function (code growth control).
+  unsigned MaxDuplicatedPerFunction = 64;
+};
+
+struct TraceStats {
+  unsigned Traces = 0;
+  unsigned BlocksDuplicated = 0;
+};
+
+/// Tail-duplicates along \p HotBlocks inside \p F. Only unconditional
+/// (Br) hops into side-entered blocks are merged; conditional hops
+/// continue the trace at the original block. Returns the number of
+/// blocks duplicated. Appends blocks only; existing ids stay valid.
+unsigned formTrace(Function &F, const std::vector<BlockId> &HotBlocks,
+                   unsigned MaxDuplicated);
+
+/// Forms one trace per function from its hottest profiled path.
+TraceStats formTracesFromPathProfile(Module &M, const PathProfile &Profile,
+                                     const TraceOptions &Opts = TraceOptions());
+
+/// Edge-profile baseline: grows each function's trace from its hottest
+/// block by repeatedly taking the hottest outgoing edge.
+TraceStats formTracesFromEdgeProfile(Module &M, const EdgeProfile &EP,
+                                     const TraceOptions &Opts = TraceOptions());
+
+} // namespace ppp
+
+#endif // PPP_OPT_TRACEFORMATION_H

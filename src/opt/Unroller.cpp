@@ -1,0 +1,130 @@
+//===- opt/Unroller.cpp - Profile-guided loop unrolling ----------------------===//
+
+#include "opt/Unroller.h"
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ppp;
+
+namespace {
+
+/// Replicates the body of one single-back-edge innermost loop
+/// \p Factor-fold inside \p F. Appends blocks only.
+void unrollLoop(Function &F, const Loop &L, int BackEdgeId,
+                const CfgView &Cfg, unsigned Factor) {
+  const CfgEdge &Back = Cfg.edge(BackEdgeId);
+  BlockId Header = L.Header;
+  BlockId Tail = Back.Src;
+  unsigned TailSuccIdx = Back.SuccIdx;
+
+  // Block id mapping per copy; copies reuse the same registers (the
+  // replayed computation is identical, so no renaming is needed).
+  std::map<BlockId, BlockId> Prev; // Body block -> id in previous copy.
+  for (BlockId B : L.Blocks)
+    Prev[B] = B;
+
+  for (unsigned Copy = 1; Copy < Factor; ++Copy) {
+    std::map<BlockId, BlockId> Cur;
+    BlockId Base = static_cast<BlockId>(F.Blocks.size());
+    for (size_t I = 0; I < L.Blocks.size(); ++I)
+      Cur[L.Blocks[I]] = Base + static_cast<BlockId>(I);
+    for (BlockId B : L.Blocks) {
+      // Clone from the *original* body (copy first: push_back of a
+      // reference into the growing vector would dangle on reallocation).
+      BasicBlock Clone = F.block(B);
+      F.Blocks.push_back(std::move(Clone));
+      Instr &T = F.Blocks.back().terminator();
+      for (BlockId &Tgt : T.Targets) {
+        auto It = Cur.find(Tgt);
+        if (It != Cur.end())
+          Tgt = It->second; // Interior edge: stay within this copy.
+        // Exit edges keep their outside targets.
+      }
+    }
+    // Previous copy's back edge now falls through into this copy's
+    // header instead of the original header.
+    BlockId PrevTail = Prev[Tail];
+    F.block(PrevTail).terminator().Targets[TailSuccIdx] = Cur[Header];
+    // This copy's cloned back edge currently targets Cur[Header] (the
+    // clone loop above remapped it); retarget it to the original header
+    // so the final copy closes the cycle. It will be redirected again
+    // if another copy follows.
+    F.block(Cur[Tail]).terminator().Targets[TailSuccIdx] = Header;
+    Prev = std::move(Cur);
+  }
+}
+
+} // namespace
+
+UnrollStats ppp::runUnroller(Module &M, const EdgeProfile &EP,
+                             const UnrollerOptions &Opts) {
+  UnrollStats Stats;
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    Function &F = M.function(static_cast<FuncId>(FI));
+    const FunctionEdgeProfile &FP = EP.func(static_cast<FuncId>(FI));
+    CfgView Cfg(F);
+    LoopInfo LI = LoopInfo::compute(Cfg);
+    const std::vector<Loop> &Loops = LI.loops();
+
+    // Select first (analysis goes stale as we mutate), then transform.
+    struct Plan {
+      const Loop *L;
+      int BackEdgeId;
+      unsigned Factor;
+    };
+    std::vector<Plan> Plans;
+    std::vector<bool> Claimed(Cfg.numBlocks(), false);
+    for (size_t I = 0; I < Loops.size(); ++I) {
+      const Loop &L = Loops[I];
+      int64_t Iters = 0;
+      for (int EId : L.BackEdgeIds)
+        Iters += FP.EdgeFreq[static_cast<size_t>(EId)];
+
+      unsigned Factor = 1;
+      if (L.Natural && L.isInnermost(Loops, I) &&
+          L.BackEdgeIds.size() == 1) {
+        ++Stats.LoopsConsidered;
+        int64_t Entries = L.Header == 0 ? FP.Invocations : 0;
+        for (int EId : L.EntryEdgeIds)
+          Entries += FP.EdgeFreq[static_cast<size_t>(EId)];
+        double AvgTrip =
+            Entries <= 0 ? 0.0
+                         : static_cast<double>(
+                               FP.blockFreq(Cfg, L.Header)) /
+                               static_cast<double>(Entries);
+        unsigned BodySize = 0;
+        for (BlockId B : L.Blocks)
+          BodySize += static_cast<unsigned>(F.block(B).Instrs.size());
+        bool Overlaps = false;
+        for (BlockId B : L.Blocks)
+          if (Claimed[static_cast<size_t>(B)])
+            Overlaps = true;
+        if (AvgTrip >= Opts.MinAvgTrip && !Overlaps) {
+          for (unsigned Cand : {Opts.Factor, Opts.Factor / 2}) {
+            if (Cand >= 2 && BodySize * Cand <= Opts.MaxBodyInstrs) {
+              Factor = Cand;
+              break;
+            }
+          }
+        }
+        if (Factor > 1) {
+          for (BlockId B : L.Blocks)
+            Claimed[static_cast<size_t>(B)] = true;
+          Plans.push_back({&L, L.BackEdgeIds[0], Factor});
+        }
+      }
+      Stats.WeightedFactor +=
+          static_cast<double>(Factor) * static_cast<double>(Iters);
+      Stats.WeightTotal += Iters;
+    }
+
+    for (const Plan &P : Plans) {
+      unrollLoop(F, *P.L, P.BackEdgeId, Cfg, P.Factor);
+      ++Stats.LoopsUnrolled;
+    }
+  }
+  return Stats;
+}

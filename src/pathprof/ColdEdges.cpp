@@ -1,0 +1,48 @@
+//===- pathprof/ColdEdges.cpp - Cold edge criteria --------------------------===//
+
+#include "pathprof/ColdEdges.h"
+
+#include "analysis/LoopInfo.h"
+
+#include <cmath>
+
+using namespace ppp;
+
+std::set<int> ppp::computeColdEdges(const CfgView &Cfg,
+                                    const FunctionEdgeProfile &FP,
+                                    const ColdEdgeCriteria &Criteria,
+                                    int64_t TotalProgramUnitFlow) {
+  std::set<int> Cold;
+  if (!Criteria.UseLocal && !Criteria.UseGlobal)
+    return Cold;
+
+  double GlobalCut = Criteria.GlobalFraction * Criteria.GlobalMultiplier *
+                     static_cast<double>(TotalProgramUnitFlow);
+
+  for (const CfgEdge &E : Cfg.edges()) {
+    double Freq = static_cast<double>(FP.EdgeFreq[static_cast<size_t>(E.Id)]);
+    if (Criteria.UseLocal) {
+      double SrcFreq = static_cast<double>(FP.blockFreq(Cfg, E.Src));
+      if (Freq < Criteria.LocalFraction * SrcFreq || SrcFreq == 0) {
+        Cold.insert(E.Id);
+        continue;
+      }
+    }
+    if (Criteria.UseGlobal && Freq < GlobalCut)
+      Cold.insert(E.Id);
+  }
+  return Cold;
+}
+
+int64_t ppp::totalProgramUnitFlow(const Module &M, const EdgeProfile &EP) {
+  int64_t Total = 0;
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    const FunctionEdgeProfile &FP = EP.func(static_cast<FuncId>(F));
+    Total += FP.Invocations;
+    CfgView Cfg(M.function(static_cast<FuncId>(F)));
+    LoopInfo LI = LoopInfo::compute(Cfg);
+    for (int BackId : LI.backEdges())
+      Total += FP.EdgeFreq[static_cast<size_t>(BackId)];
+  }
+  return Total;
+}

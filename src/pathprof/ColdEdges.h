@@ -1,0 +1,53 @@
+//===- pathprof/ColdEdges.h - Cold edge criteria ---------------*- C++ -*-===//
+///
+/// \file
+/// Cold-edge identification (Sections 3.2, 4.2, 4.3):
+///
+///  - TPP's local criterion: an edge is cold if its frequency is below a
+///    fraction (default 5%) of its source block's frequency.
+///  - PPP's global criterion: an edge is cold if its frequency is below
+///    a fraction (default 0.1%) of total program flow in unit-flow terms
+///    (total dynamic path executions). The self-adjusting criterion
+///    raises this threshold multiplicatively until the routine's path
+///    count drops below the hashing threshold.
+///
+/// An edge is cold if *either* enabled criterion applies. Never-executed
+/// blocks' edges are cold under the local criterion (0-frequency code is
+/// the coldest there is).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PATHPROF_COLDEDGES_H
+#define PPP_PATHPROF_COLDEDGES_H
+
+#include "ir/Module.h"
+#include "profile/EdgeProfile.h"
+
+#include <set>
+
+namespace ppp {
+
+struct ColdEdgeCriteria {
+  bool UseLocal = false;
+  double LocalFraction = 0.05; ///< freq(e) < frac * freq(src block).
+  bool UseGlobal = false;
+  double GlobalFraction = 0.001; ///< freq(e) < frac * total unit flow.
+  double GlobalMultiplier = 1.0; ///< Raised by the self-adjusting loop.
+};
+
+/// Returns the CFG edge ids of \p Cfg's function that are cold under
+/// \p Criteria. \p TotalProgramUnitFlow is the program-wide dynamic path
+/// count (see totalProgramUnitFlow()).
+std::set<int> computeColdEdges(const CfgView &Cfg,
+                               const FunctionEdgeProfile &FP,
+                               const ColdEdgeCriteria &Criteria,
+                               int64_t TotalProgramUnitFlow);
+
+/// Total program flow in unit-flow terms: the number of dynamic paths,
+/// i.e. for every function its invocation count plus all back-edge
+/// traversals (each starts a fresh path).
+int64_t totalProgramUnitFlow(const Module &M, const EdgeProfile &EP);
+
+} // namespace ppp
+
+#endif // PPP_PATHPROF_COLDEDGES_H

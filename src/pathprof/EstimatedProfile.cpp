@@ -1,0 +1,94 @@
+//===- pathprof/EstimatedProfile.cpp - Estimated path profiles --------------===//
+
+#include "pathprof/EstimatedProfile.h"
+
+#include "flow/FlowAnalysis.h"
+
+using namespace ppp;
+
+ProfilerRunData ppp::buildEstimatedProfile(const Module &M,
+                                           const EdgeProfile &EP,
+                                           const InstrumentationResult &IR,
+                                           const ProfileRuntime &RT) {
+  ProfilerRunData R;
+  R.Estimated = PathProfile(M.numFunctions());
+  R.Measured = PathProfile(M.numFunctions());
+
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    FuncId F = static_cast<FuncId>(FI);
+    const FunctionPlan &Plan = IR.Plans[FI];
+    const FunctionEdgeProfile &FP = EP.func(F);
+    const CfgView &Cfg = *Plan.Cfg;
+
+    // Decode measured counts.
+    if (Plan.Instrumented) {
+      const PathTable &T = RT.table(F);
+      R.LostCounts += T.lostCount();
+      R.InvalidCounts += T.invalidCount();
+      R.ColdCounts += T.coldCheckedCount();
+      T.forEach([&](int64_t Index, uint64_t Count) {
+        if (Index < 0 ||
+            static_cast<uint64_t>(Index) >= Plan.NumPaths) {
+          R.ColdCounts += Count; // Poison region: cold path executions.
+          return;
+        }
+        std::optional<PathKey> Key =
+            Plan.decodePath(static_cast<uint64_t>(Index));
+        if (!Key) {
+          R.ColdCounts += Count;
+          return;
+        }
+        R.Measured.Funcs[FI].add(Cfg, *Key, Count);
+        R.Estimated.Funcs[FI].add(Cfg, *Key, Count);
+      });
+    }
+
+    // Definite-flow estimates for whatever is not instrumented.
+    std::vector<int64_t> CfgFreq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+    BLDag FullDag = BLDag::build(Cfg, *Plan.Loops);
+    FullDag.setFrequencies(CfgFreq, FP.Invocations);
+    if (FullDag.totalFlow() == 0)
+      continue; // Function never ran; nothing to estimate.
+    FlowResult DF = computeDefiniteFlow(FullDag);
+    // Unit metric with cutoff 0: enumerate *every* positive-definite
+    // path, including zero-branch ones (a branch-flow cutoff would
+    // drop them under Fig. 16's strictly-greater rule, starving
+    // unit-flow consumers of real paths).
+    std::vector<ReconstructedPath> Paths = reconstructPaths(
+        FullDag, DF, /*CutoffFlow=*/0, FlowMetric::Unit,
+        MaxReconstructedPaths);
+    for (const ReconstructedPath &P : Paths) {
+      if (Plan.isInstrumentedPath(P.Key))
+        continue; // Measured directly; keep the counter value.
+      if (P.Freq > 0)
+        R.Estimated.Funcs[FI].add(Cfg, P.Key,
+                                  static_cast<uint64_t>(P.Freq));
+    }
+  }
+  return R;
+}
+
+PathProfile ppp::estimateFromEdgeProfile(const Module &M,
+                                         const EdgeProfile &EP, FlowKind Kind,
+                                         uint64_t CutoffFlow,
+                                         FlowMetric Metric) {
+  PathProfile Profile(M.numFunctions());
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    FuncId F = static_cast<FuncId>(FI);
+    const FunctionEdgeProfile &FP = EP.func(F);
+    CfgView Cfg(M.function(F));
+    LoopInfo LI = LoopInfo::compute(Cfg);
+    std::vector<int64_t> CfgFreq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+    BLDag Dag = BLDag::build(Cfg, LI);
+    Dag.setFrequencies(CfgFreq, FP.Invocations);
+    if (Dag.totalFlow() == 0)
+      continue;
+    FlowResult Flow = computeFlow(Dag, Kind);
+    std::vector<ReconstructedPath> Paths = reconstructPaths(
+        Dag, Flow, CutoffFlow, Metric, MaxReconstructedPaths);
+    for (const ReconstructedPath &P : Paths)
+      if (P.Freq > 0)
+        Profile.Funcs[FI].add(Cfg, P.Key, static_cast<uint64_t>(P.Freq));
+  }
+  return Profile;
+}

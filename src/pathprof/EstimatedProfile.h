@@ -1,0 +1,57 @@
+//===- pathprof/EstimatedProfile.h - Estimated path profiles ---*- C++ -*-===//
+///
+/// \file
+/// Builds the estimated path profile of Section 5: measured frequencies
+/// for the instrumented paths (decoded from the counter tables) plus
+/// definite-flow estimates for everything the profiler chose not to
+/// instrument (cold paths, disconnected loops, skipped routines).
+///
+/// Also exposes the pure edge-profile estimators (definite or potential
+/// flow over every routine) used for the edge-profiling bars of
+/// Figures 9 and 10 and for the paper's swim/mgrid exception.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PATHPROF_ESTIMATEDPROFILE_H
+#define PPP_PATHPROF_ESTIMATEDPROFILE_H
+
+#include "flow/Reconstruct.h"
+#include "interp/ProfileRuntime.h"
+#include "pathprof/Profilers.h"
+#include "profile/PathProfile.h"
+
+namespace ppp {
+
+/// Everything a profiler run produced, ready for the metrics.
+struct ProfilerRunData {
+  /// Measured + definite-flow-estimated profile (Sec. 5).
+  PathProfile Estimated;
+  /// Only the decoded measured counts (the MF of Sec. 6.2).
+  PathProfile Measured;
+  uint64_t ColdCounts = 0;    ///< Counts landing in the poison region.
+  uint64_t LostCounts = 0;    ///< Hash-table conflicts.
+  uint64_t InvalidCounts = 0; ///< Out-of-range indices (should be 0).
+
+  ProfilerRunData() : Estimated(0), Measured(0) {}
+};
+
+/// Per-function cap on flow-reconstructed paths.
+inline constexpr size_t MaxReconstructedPaths = 50000;
+
+/// Combines the counter tables in \p RT with definite-flow estimates
+/// for uninstrumented paths. \p M and \p EP are the original module and
+/// its edge profile (the same self-advice the instrumenter used).
+ProfilerRunData buildEstimatedProfile(const Module &M, const EdgeProfile &EP,
+                                      const InstrumentationResult &IR,
+                                      const ProfileRuntime &RT);
+
+/// Estimates a whole-program path profile from the edge profile alone
+/// via definite or potential flow; paths below \p CutoffFlow (under
+/// \p Metric) are omitted.
+PathProfile estimateFromEdgeProfile(const Module &M, const EdgeProfile &EP,
+                                    FlowKind Kind, uint64_t CutoffFlow,
+                                    FlowMetric Metric);
+
+} // namespace ppp
+
+#endif // PPP_PATHPROF_ESTIMATEDPROFILE_H

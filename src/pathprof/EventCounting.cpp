@@ -1,0 +1,135 @@
+//===- pathprof/EventCounting.cpp - Ball's event counting -------------------===//
+
+#include "pathprof/EventCounting.h"
+
+#include "support/Dsu.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ppp;
+
+std::vector<int64_t>
+ppp::dagEdgeWeights(const BLDag &Dag, const std::vector<int64_t> &CfgEdgeFreq,
+                    int64_t Invocations) {
+  const CfgView &Cfg = Dag.cfg();
+  std::vector<int64_t> BlockExec(Cfg.numBlocks(), 0);
+  for (unsigned B = 0; B < Cfg.numBlocks(); ++B) {
+    int64_t In = B == 0 ? Invocations : 0;
+    for (int EId : Cfg.inEdges(static_cast<BlockId>(B)))
+      In += CfgEdgeFreq[static_cast<size_t>(EId)];
+    BlockExec[B] = In;
+  }
+  std::vector<int64_t> W(Dag.numEdges(), 0);
+  for (const DagEdge &E : Dag.edges()) {
+    switch (E.Kind) {
+    case DagEdgeKind::Real:
+    case DagEdgeKind::LoopEntry:
+    case DagEdgeKind::LoopExit:
+      W[static_cast<size_t>(E.Id)] = CfgEdgeFreq[static_cast<size_t>(E.CfgEdgeId)];
+      break;
+    case DagEdgeKind::FnEntry:
+      W[static_cast<size_t>(E.Id)] = Invocations;
+      break;
+    case DagEdgeKind::FnExit:
+      W[static_cast<size_t>(E.Id)] = BlockExec[static_cast<size_t>(E.Src)];
+      break;
+    }
+  }
+  return W;
+}
+
+void ppp::runEventCounting(BLDag &Dag, const std::vector<int64_t> &Weights) {
+  assert(Weights.size() == Dag.numEdges() && "one weight per DAG edge");
+  size_t NumNodes = static_cast<size_t>(Dag.numNodes());
+
+  // Kruskal maximum spanning tree over non-cold edges, with ENTRY and
+  // EXIT pre-united: that encodes the virtual EXIT->ENTRY edge, which
+  // Ball-Larus weights as the hottest "edge" so it is always on the
+  // tree.
+  std::vector<int> ByWeight;
+  ByWeight.reserve(Dag.numEdges());
+  for (const DagEdge &E : Dag.edges()) {
+    if (!E.Cold)
+      ByWeight.push_back(E.Id);
+    Dag.edge(E.Id).OnTree = false;
+    Dag.edge(E.Id).Inc = 0;
+  }
+  std::stable_sort(ByWeight.begin(), ByWeight.end(), [&](int A, int B) {
+    return Weights[static_cast<size_t>(A)] > Weights[static_cast<size_t>(B)];
+  });
+
+  Dsu Union(NumNodes);
+  Union.unite(static_cast<size_t>(Dag.entryNode()),
+              static_cast<size_t>(Dag.exitNode()));
+  std::vector<std::vector<int>> TreeAdj(NumNodes);
+  for (int EId : ByWeight) {
+    const DagEdge &E = Dag.edge(EId);
+    if (!Union.unite(static_cast<size_t>(E.Src), static_cast<size_t>(E.Dst)))
+      continue;
+    Dag.edge(EId).OnTree = true;
+    TreeAdj[static_cast<size_t>(E.Src)].push_back(EId);
+    TreeAdj[static_cast<size_t>(E.Dst)].push_back(EId);
+  }
+
+  // Solve potentials along the tree: phi(ENTRY) = phi(EXIT) = 0 and
+  // Val(e) + phi(src) - phi(dst) = 0 for tree edges.
+  std::vector<int64_t> Phi(NumNodes, 0);
+  std::vector<bool> Visited(NumNodes, false);
+  std::vector<int> Work;
+  auto Visit = [&](int Node) {
+    if (!Visited[static_cast<size_t>(Node)]) {
+      Visited[static_cast<size_t>(Node)] = true;
+      Work.push_back(Node);
+    }
+  };
+  Visit(Dag.entryNode());
+  Phi[static_cast<size_t>(Dag.entryNode())] = 0;
+  // The virtual edge fixes EXIT's potential too.
+  Visit(Dag.exitNode());
+  Phi[static_cast<size_t>(Dag.exitNode())] = 0;
+  auto Drain = [&] {
+    while (!Work.empty()) {
+      int V = Work.back();
+      Work.pop_back();
+      for (int EId : TreeAdj[static_cast<size_t>(V)]) {
+        const DagEdge &E = Dag.edge(EId);
+        int64_t Val = static_cast<int64_t>(E.Val);
+        if (E.Src == V && !Visited[static_cast<size_t>(E.Dst)]) {
+          Phi[static_cast<size_t>(E.Dst)] = Phi[static_cast<size_t>(V)] + Val;
+          Visit(E.Dst);
+        } else if (E.Dst == V && !Visited[static_cast<size_t>(E.Src)]) {
+          Phi[static_cast<size_t>(E.Src)] = Phi[static_cast<size_t>(V)] - Val;
+          Visit(E.Src);
+        }
+      }
+    }
+  };
+  Drain();
+  // Components cut off from ENTRY/EXIT by cold edges still need solved
+  // potentials for their own tree edges; they lie on no counted path,
+  // so any per-component base potential works.
+  for (size_t V = 0; V < NumNodes; ++V) {
+    if (Visited[V])
+      continue;
+    Visit(static_cast<int>(V));
+    Drain();
+  }
+
+  // Inc(e) = Val(e) + phi(src) - phi(dst); zero on tree edges by
+  // construction.
+  for (DagEdge &E : Dag.edges()) {
+    if (E.Cold)
+      continue;
+    E.Inc = static_cast<int64_t>(E.Val) + Phi[static_cast<size_t>(E.Src)] -
+            Phi[static_cast<size_t>(E.Dst)];
+    assert((!E.OnTree || E.Inc == 0) && "tree edge got a nonzero increment");
+  }
+}
+
+void ppp::runEventCounting(BLDag &Dag) {
+  std::vector<int64_t> W(Dag.numEdges(), 0);
+  for (const DagEdge &E : Dag.edges())
+    W[static_cast<size_t>(E.Id)] = E.Freq;
+  runEventCounting(Dag, W);
+}

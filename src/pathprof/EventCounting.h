@@ -1,0 +1,49 @@
+//===- pathprof/EventCounting.h - Ball's event counting --------*- C++ -*-===//
+///
+/// \file
+/// Ball's event-counting optimization (TOPLAS 1994), as used by PP and
+/// refined by PPP (Sec. 4.5): re-assign edge increments so the edges on
+/// a maximum spanning tree (predicted-hottest edges) carry no
+/// instrumentation, while every path still sums to its path number.
+///
+/// Formulation via vertex potentials: with the virtual EXIT->ENTRY edge
+/// forced onto the spanning tree (equivalently, ENTRY and EXIT pre-united
+/// with potential 0), solve phi along tree edges so that
+/// Val(e) + phi(src) - phi(dst) == 0 for tree edges; then
+/// Inc(e) = Val(e) + phi(src) - phi(dst) for every edge. Any
+/// ENTRY->EXIT path telescopes: sum(Inc) = sum(Val) + phi(ENTRY) -
+/// phi(EXIT) = sum(Val), so path numbers are preserved exactly (this is
+/// the property test in tests/eventcount_test.cpp).
+///
+/// Increments may be negative; free poisoning compensates (Sec. 4.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PATHPROF_EVENTCOUNTING_H
+#define PPP_PATHPROF_EVENTCOUNTING_H
+
+#include "analysis/BLDag.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ppp {
+
+/// Chooses a maximum spanning tree over the non-cold DAG edges using
+/// \p Weights (one per DAG edge; higher = hotter = keep increment-free),
+/// then rewrites DagEdge::Inc and DagEdge::OnTree in place. Must run
+/// after path numbering.
+void runEventCounting(BLDag &Dag, const std::vector<int64_t> &Weights);
+
+/// Convenience: weights = the DAG's assigned frequencies.
+void runEventCounting(BLDag &Dag);
+
+/// Maps per-CFG-edge weights (e.g. a static heuristic profile) onto DAG
+/// edges, mirroring BLDag::setFrequencies.
+std::vector<int64_t> dagEdgeWeights(const BLDag &Dag,
+                                    const std::vector<int64_t> &CfgEdgeFreq,
+                                    int64_t Invocations);
+
+} // namespace ppp
+
+#endif // PPP_PATHPROF_EVENTCOUNTING_H

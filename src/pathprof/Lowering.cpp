@@ -1,0 +1,161 @@
+//===- pathprof/Lowering.cpp - Materializing instrumentation ----------------===//
+
+#include "pathprof/Lowering.h"
+
+#include <cassert>
+
+using namespace ppp;
+
+uint64_t SiteOps::numOps() const {
+  uint64_t N = EntryOps.size();
+  for (const auto &[Id, Ops] : EdgeOps)
+    N += Ops.size();
+  for (const auto &[B, Ops] : RetOps)
+    N += Ops.size();
+  return N;
+}
+
+namespace {
+
+void appendOps(std::vector<ProfOp> &Out, const EdgeOps &O) {
+  if (O.HasSet)
+    Out.push_back({Opcode::ProfSet, O.SetVal});
+  if (O.HasAdd)
+    Out.push_back({Opcode::ProfAdd, O.AddVal});
+  if (O.Count == EdgeOps::CountKind::Indexed)
+    Out.push_back({O.CountChecked ? Opcode::ProfCheckedCountIdx
+                                  : Opcode::ProfCountIdx,
+                   O.CountVal});
+  else if (O.Count == EdgeOps::CountKind::Const)
+    Out.push_back({Opcode::ProfCountConst, O.CountVal});
+}
+
+Instr makeInstr(const ProfOp &P) {
+  Instr I;
+  I.Op = P.Op;
+  I.Imm = P.Imm;
+  return I;
+}
+
+} // namespace
+
+SiteOps ppp::finalizeSites(const BLDag &Dag, const PlacementResult &Placement) {
+  SiteOps S;
+  // Back edges need LoopExit ops before LoopEntry ops; gather per back
+  // edge first.
+  std::map<int, EdgeOps> BackExit, BackEntry;
+
+  for (const DagEdge &E : Dag.edges()) {
+    const EdgeOps &O = Placement.Ops[static_cast<size_t>(E.Id)];
+    if (O.empty())
+      continue;
+    switch (E.Kind) {
+    case DagEdgeKind::FnEntry:
+      appendOps(S.EntryOps, O);
+      break;
+    case DagEdgeKind::Real:
+      appendOps(S.EdgeOps[E.CfgEdgeId], O);
+      break;
+    case DagEdgeKind::FnExit:
+      appendOps(S.RetOps[static_cast<BlockId>(E.Src)], O);
+      break;
+    case DagEdgeKind::LoopExit:
+      BackExit[E.CfgEdgeId] = O;
+      break;
+    case DagEdgeKind::LoopEntry:
+      BackEntry[E.CfgEdgeId] = O;
+      break;
+    }
+  }
+
+  for (const auto &[BackId, O] : BackExit)
+    appendOps(S.EdgeOps[BackId], O);
+  for (const auto &[BackId, O] : BackEntry)
+    appendOps(S.EdgeOps[BackId], O);
+  return S;
+}
+
+uint64_t ppp::lowerInstrumentation(Function &F, const CfgView &OrigCfg,
+                                   const SiteOps &Sites) {
+  uint64_t Added = 0;
+  auto InsertBeforeTerminator = [&](BlockId B,
+                                    const std::vector<ProfOp> &Ops) {
+    BasicBlock &BB = F.block(B);
+    assert(!BB.Instrs.empty());
+    auto Pos = BB.Instrs.end() - 1;
+    for (const ProfOp &P : Ops) {
+      Pos = BB.Instrs.insert(Pos, makeInstr(P));
+      ++Pos;
+    }
+    Added += Ops.size();
+  };
+  auto InsertAtTop = [&](BlockId B, const std::vector<ProfOp> &Ops) {
+    BasicBlock &BB = F.block(B);
+    BB.Instrs.insert(BB.Instrs.begin(), Ops.size(), Instr());
+    for (size_t I = 0; I < Ops.size(); ++I)
+      BB.Instrs[I] = makeInstr(Ops[I]);
+    Added += Ops.size();
+  };
+
+  // --- Edge ops (sites decided against the original CFG; splits only
+  // append blocks, so ids stay stable). ---
+  for (const auto &[EdgeId, Ops] : Sites.EdgeOps) {
+    if (Ops.empty())
+      continue;
+    const CfgEdge &E = OrigCfg.edge(EdgeId);
+    if (OrigCfg.outEdges(E.Src).size() == 1) {
+      InsertBeforeTerminator(E.Src, Ops);
+      continue;
+    }
+    if (E.Dst != 0 && OrigCfg.inEdges(E.Dst).size() == 1) {
+      InsertAtTop(E.Dst, Ops);
+      continue;
+    }
+    // Split the (critical) edge with a fresh block.
+    BlockId NewId = static_cast<BlockId>(F.Blocks.size());
+    F.Blocks.emplace_back();
+    BasicBlock &NB = F.Blocks.back();
+    for (const ProfOp &P : Ops)
+      NB.Instrs.push_back(makeInstr(P));
+    Instr Jump;
+    Jump.Op = Opcode::Br;
+    Jump.Targets = {E.Dst};
+    NB.Instrs.push_back(std::move(Jump));
+    F.block(E.Src).terminator().Targets[E.SuccIdx] = NewId;
+    Added += Ops.size() + 1;
+  }
+
+  // --- Ret ops. ---
+  for (const auto &[B, Ops] : Sites.RetOps)
+    InsertBeforeTerminator(B, Ops);
+
+  // --- Entry ops: once per invocation. If the entry block has
+  // predecessors (it is a loop header), divert its body into a fresh
+  // block and leave block 0 as a pure invocation stub. ---
+  if (!Sites.EntryOps.empty()) {
+    if (OrigCfg.inEdges(0).empty()) {
+      InsertAtTop(0, Sites.EntryOps);
+    } else {
+      BlockId BodyId = static_cast<BlockId>(F.Blocks.size());
+      F.Blocks.emplace_back();
+      std::swap(F.Blocks[static_cast<size_t>(BodyId)].Instrs,
+                F.Blocks[0].Instrs);
+      for (const ProfOp &P : Sites.EntryOps)
+        F.Blocks[0].Instrs.push_back(makeInstr(P));
+      Instr Jump;
+      Jump.Op = Opcode::Br;
+      Jump.Targets = {BodyId};
+      F.Blocks[0].Instrs.push_back(std::move(Jump));
+      // Every jump that targeted block 0 (back edges, splits) now means
+      // the relocated body.
+      for (size_t BI = 1; BI < F.Blocks.size(); ++BI) {
+        Instr &T = F.Blocks[BI].terminator();
+        for (BlockId &Tgt : T.Targets)
+          if (Tgt == 0)
+            Tgt = BodyId;
+      }
+      Added += Sites.EntryOps.size() + 1;
+    }
+  }
+  return Added;
+}

@@ -1,0 +1,74 @@
+//===- pathprof/Numbering.cpp - Path numbering -----------------------------===//
+
+#include "pathprof/Numbering.h"
+
+#include "support/CheckedMath.h"
+
+#include <algorithm>
+
+using namespace ppp;
+
+uint64_t NumberingResult::pathsThrough(const DagEdge &E, bool &Ovf) const {
+  return saturatingMul(PathsTo[static_cast<size_t>(E.Src)],
+                       PathsFrom[static_cast<size_t>(E.Dst)], Ovf);
+}
+
+NumberingResult ppp::assignPathNumbers(BLDag &Dag, NumberingOrder Order) {
+  NumberingResult R;
+  size_t N = static_cast<size_t>(Dag.numNodes());
+  R.PathsFrom.assign(N, 0);
+  R.PathsTo.assign(N, 0);
+
+  const std::vector<int> &Topo = Dag.topoOrder();
+
+  // Figure 2 / Figure 6: reverse topological order.
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    int V = *It;
+    if (V == Dag.exitNode()) {
+      R.PathsFrom[static_cast<size_t>(V)] = 1;
+      continue;
+    }
+    // Collect non-cold out-edges in the requested order.
+    std::vector<int> Out;
+    for (int EId : Dag.outEdges(V))
+      if (!Dag.edge(EId).Cold)
+        Out.push_back(EId);
+    if (Order == NumberingOrder::BallLarus) {
+      std::stable_sort(Out.begin(), Out.end(), [&](int A, int B) {
+        return R.PathsFrom[static_cast<size_t>(Dag.edge(A).Dst)] <
+               R.PathsFrom[static_cast<size_t>(Dag.edge(B).Dst)];
+      });
+    } else {
+      std::stable_sort(Out.begin(), Out.end(), [&](int A, int B) {
+        return Dag.edge(A).Freq > Dag.edge(B).Freq;
+      });
+    }
+    uint64_t Sum = 0;
+    for (int EId : Out) {
+      DagEdge &E = Dag.edge(EId);
+      E.Val = Sum;
+      Sum = saturatingAdd(Sum, R.PathsFrom[static_cast<size_t>(E.Dst)],
+                          R.Overflow);
+    }
+    R.PathsFrom[static_cast<size_t>(V)] = Sum;
+  }
+  R.NumPaths = R.PathsFrom[static_cast<size_t>(Dag.entryNode())];
+
+  // Forward pass for PathsTo (used by obvious-path detection).
+  for (int V : Topo) {
+    if (V == Dag.entryNode()) {
+      R.PathsTo[static_cast<size_t>(V)] = 1;
+      continue;
+    }
+    uint64_t Sum = 0;
+    for (int EId : Dag.inEdges(V)) {
+      const DagEdge &E = Dag.edge(EId);
+      if (E.Cold)
+        continue;
+      Sum = saturatingAdd(Sum, R.PathsTo[static_cast<size_t>(E.Src)],
+                          R.Overflow);
+    }
+    R.PathsTo[static_cast<size_t>(V)] = Sum;
+  }
+  return R;
+}

@@ -1,0 +1,53 @@
+//===- pathprof/Numbering.h - Path numbering -------------------*- C++ -*-===//
+///
+/// \file
+/// Ball-Larus path numbering (Figure 2) and PPP's smart variant
+/// (Figure 6). Assigns Val(e) to every non-cold DAG edge so the sum of
+/// Vals along each ENTRY->EXIT path is a unique number in [0, N-1].
+///
+/// The two orders differ only in how a block's out-edges are visited:
+///  - BallLarus: increasing NumPaths of the target's subgraph, which
+///    minimizes the magnitude of edge values.
+///  - DecreasingFreq: hottest edge first, so the hottest outgoing edge
+///    gets Val 0 and usually ends up increment-free (Sec. 4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PATHPROF_NUMBERING_H
+#define PPP_PATHPROF_NUMBERING_H
+
+#include "analysis/BLDag.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ppp {
+
+enum class NumberingOrder : uint8_t {
+  BallLarus,      ///< Increasing NumPaths(target) (Fig. 2).
+  DecreasingFreq, ///< Decreasing edge frequency (Fig. 6, "SPN").
+};
+
+/// Result of numbering one DAG.
+struct NumberingResult {
+  /// Total paths N; path numbers occupy [0, N-1].
+  uint64_t NumPaths = 0;
+  /// Path count arithmetic overflowed 64 bits; Vals are unusable.
+  bool Overflow = false;
+  /// Per DAG node: number of (non-cold) paths from the node to EXIT.
+  std::vector<uint64_t> PathsFrom;
+  /// Per DAG node: number of (non-cold) paths from ENTRY to the node.
+  std::vector<uint64_t> PathsTo;
+
+  /// Number of complete paths using edge \p E = PathsTo[src]*PathsFrom[dst].
+  uint64_t pathsThrough(const DagEdge &E, bool &Ovf) const;
+};
+
+/// Numbers \p Dag in place (writes DagEdge::Val on non-cold edges) and
+/// returns path counts. \p Dag must have frequencies assigned when
+/// \p Order == DecreasingFreq.
+NumberingResult assignPathNumbers(BLDag &Dag, NumberingOrder Order);
+
+} // namespace ppp
+
+#endif // PPP_PATHPROF_NUMBERING_H

@@ -1,0 +1,162 @@
+//===- pathprof/Obvious.cpp - Obvious path and loop detection ---------------===//
+
+#include "pathprof/Obvious.h"
+
+#include "support/CheckedMath.h"
+
+#include <algorithm>
+
+using namespace ppp;
+
+bool ppp::allPathsObvious(const BLDag &Dag, const NumberingResult &Numbering) {
+  if (Numbering.NumPaths == 0)
+    return true;
+  if (Numbering.Overflow)
+    return false; // Path counts unusable; be conservative.
+
+  // Count paths that avoid every defining edge; zero means all obvious.
+  size_t N = static_cast<size_t>(Dag.numNodes());
+  std::vector<uint64_t> NoDef(N, 0);
+  bool Overflow = false;
+  const std::vector<int> &Topo = Dag.topoOrder();
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    int V = *It;
+    if (V == Dag.exitNode()) {
+      NoDef[static_cast<size_t>(V)] = 1;
+      continue;
+    }
+    uint64_t Sum = 0;
+    for (int EId : Dag.outEdges(V)) {
+      const DagEdge &E = Dag.edge(EId);
+      if (E.Cold)
+        continue;
+      bool Ovf = false;
+      if (Numbering.pathsThrough(E, Ovf) == 1 && !Ovf)
+        continue; // Defining edge: paths through it are obvious.
+      Sum = saturatingAdd(Sum, NoDef[static_cast<size_t>(E.Dst)], Overflow);
+    }
+    NoDef[static_cast<size_t>(V)] = Sum;
+  }
+  return !Overflow && NoDef[static_cast<size_t>(Dag.entryNode())] == 0;
+}
+
+namespace {
+
+/// Checks whether all body paths of \p L (header -> back-edge tail over
+/// non-cold in-loop, non-back edges) are obvious.
+bool loopBodyAllObvious(const CfgView &Cfg, const LoopInfo &LI, const Loop &L,
+                        const std::set<int> &ColdCfgEdges) {
+  // Block -> dense body index.
+  std::vector<int> BodyIdx(Cfg.numBlocks(), -1);
+  for (size_t I = 0; I < L.Blocks.size(); ++I)
+    BodyIdx[static_cast<size_t>(L.Blocks[I])] = static_cast<int>(I);
+  size_t N = L.Blocks.size();
+
+  auto IsBodyEdge = [&](int EId) {
+    const CfgEdge &E = Cfg.edge(EId);
+    return BodyIdx[static_cast<size_t>(E.Src)] != -1 &&
+           BodyIdx[static_cast<size_t>(E.Dst)] != -1 && !LI.isBackEdge(EId) &&
+           ColdCfgEdges.count(EId) == 0;
+  };
+  auto IsBodyBackEdge = [&](int EId) {
+    return std::find(L.BackEdgeIds.begin(), L.BackEdgeIds.end(), EId) !=
+               L.BackEdgeIds.end() &&
+           ColdCfgEdges.count(EId) == 0;
+  };
+
+  // Topological order of the body: global RPO restricted to body blocks
+  // (acyclic once this loop's back edges are removed; the loop is
+  // innermost, so it contains no other back edges).
+  std::vector<BlockId> Order;
+  for (BlockId B : reversePostOrder(Cfg))
+    if (BodyIdx[static_cast<size_t>(B)] != -1)
+      Order.push_back(B);
+
+  bool Overflow = false;
+  // In(v): paths header -> v.
+  std::vector<uint64_t> In(N, 0);
+  In[static_cast<size_t>(BodyIdx[static_cast<size_t>(L.Header)])] = 1;
+  for (BlockId B : Order) {
+    uint64_t Sum = In[static_cast<size_t>(BodyIdx[static_cast<size_t>(B)])];
+    for (int EId : Cfg.inEdges(B))
+      if (IsBodyEdge(EId))
+        Sum = saturatingAdd(
+            Sum,
+            In[static_cast<size_t>(
+                BodyIdx[static_cast<size_t>(Cfg.edge(EId).Src)])],
+            Overflow);
+    In[static_cast<size_t>(BodyIdx[static_cast<size_t>(B)])] = Sum;
+  }
+
+  // Out(v): paths v -> some back-edge tail (ending by taking the back
+  // edge). NoDef(v): such paths avoiding every defining edge.
+  std::vector<uint64_t> Out(N, 0), NoDef(N, 0);
+  for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+    BlockId B = *It;
+    size_t BI = static_cast<size_t>(BodyIdx[static_cast<size_t>(B)]);
+    uint64_t OutSum = 0, NoDefSum = 0;
+    for (int EId : Cfg.outEdges(B)) {
+      if (IsBodyBackEdge(EId)) {
+        OutSum = saturatingAdd(OutSum, 1, Overflow);
+        // The back edge is defining iff only one body path reaches B.
+        if (In[BI] != 1)
+          NoDefSum = saturatingAdd(NoDefSum, 1, Overflow);
+        continue;
+      }
+      if (!IsBodyEdge(EId))
+        continue;
+      size_t WI = static_cast<size_t>(
+          BodyIdx[static_cast<size_t>(Cfg.edge(EId).Dst)]);
+      OutSum = saturatingAdd(OutSum, Out[WI], Overflow);
+      bool Ovf = false;
+      uint64_t Through = saturatingMul(In[BI], Out[WI], Ovf);
+      if (Through == 1 && !Ovf)
+        continue; // Defining edge.
+      NoDefSum = saturatingAdd(NoDefSum, NoDef[WI], Overflow);
+    }
+    Out[BI] = OutSum;
+    NoDef[BI] = NoDefSum;
+  }
+  size_t HI = static_cast<size_t>(BodyIdx[static_cast<size_t>(L.Header)]);
+  if (Overflow)
+    return false;
+  return Out[HI] > 0 && NoDef[HI] == 0;
+}
+
+} // namespace
+
+ObviousLoops ppp::findObviousLoops(const CfgView &Cfg, const LoopInfo &LI,
+                                   const FunctionEdgeProfile &FP,
+                                   const std::set<int> &ColdCfgEdges,
+                                   double MinAvgTrip) {
+  ObviousLoops R;
+  const std::vector<Loop> &Loops = LI.loops();
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    const Loop &L = Loops[I];
+    if (!L.Natural || !L.isInnermost(Loops, I))
+      continue;
+
+    // Average trip count: header executions per entry from outside.
+    int64_t Entries = L.Header == 0 ? FP.Invocations : 0;
+    for (int EId : L.EntryEdgeIds)
+      Entries += FP.EdgeFreq[static_cast<size_t>(EId)];
+    if (Entries <= 0)
+      continue; // Never entered; the cold criteria handle it.
+    int64_t HeaderFreq = FP.blockFreq(Cfg, L.Header);
+    double AvgTrip =
+        static_cast<double>(HeaderFreq) / static_cast<double>(Entries);
+    if (AvgTrip < MinAvgTrip)
+      continue;
+
+    if (!loopBodyAllObvious(Cfg, LI, L, ColdCfgEdges))
+      continue;
+
+    for (int EId : L.BackEdgeIds)
+      R.DisconnectBackEdges.insert(EId);
+    for (int EId : L.EntryEdgeIds)
+      R.ColdEntryExitEdges.insert(EId);
+    for (int EId : L.ExitEdgeIds)
+      R.ColdEntryExitEdges.insert(EId);
+  }
+  return R;
+}

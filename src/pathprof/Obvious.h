@@ -1,0 +1,49 @@
+//===- pathprof/Obvious.h - Obvious path and loop detection ----*- C++ -*-===//
+///
+/// \file
+/// Obvious-path identification (Sec. 3.2): a path is obvious if it has a
+/// *defining edge* -- an edge on no other (non-cold) path -- because its
+/// frequency can then be read directly off the edge profile. A routine
+/// in which every path is obvious needs no instrumentation at all.
+///
+/// Obvious loops: innermost loops whose body paths are all obvious and
+/// whose average trip count is high (>= 10) are *disconnected*: the back
+/// edge loses its dummy edges (iteration boundaries become invisible),
+/// and following this paper's variant of TPP, the loop's entrance and
+/// exit edges are marked cold rather than truncating paths there.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PATHPROF_OBVIOUS_H
+#define PPP_PATHPROF_OBVIOUS_H
+
+#include "analysis/BLDag.h"
+#include "pathprof/Numbering.h"
+#include "profile/EdgeProfile.h"
+
+#include <set>
+
+namespace ppp {
+
+/// True if every non-cold path in \p Dag has a defining edge (or there
+/// are no paths at all). \p Numbering must come from assignPathNumbers
+/// on the same DAG.
+bool allPathsObvious(const BLDag &Dag, const NumberingResult &Numbering);
+
+/// Loops to disconnect and the resulting additional cold edges.
+struct ObviousLoops {
+  std::set<int> DisconnectBackEdges; ///< Back-edge CFG ids.
+  std::set<int> ColdEntryExitEdges;  ///< Loop entrance/exit CFG ids.
+};
+
+/// Finds innermost natural loops whose body paths (header to back-edge
+/// tails over non-cold in-loop edges) are all obvious and whose average
+/// trip count is at least \p MinAvgTrip.
+ObviousLoops findObviousLoops(const CfgView &Cfg, const LoopInfo &LI,
+                              const FunctionEdgeProfile &FP,
+                              const std::set<int> &ColdCfgEdges,
+                              double MinAvgTrip);
+
+} // namespace ppp
+
+#endif // PPP_PATHPROF_OBVIOUS_H

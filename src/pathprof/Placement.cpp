@@ -1,0 +1,331 @@
+//===- pathprof/Placement.cpp - Instrumentation placement -------------------===//
+
+#include "pathprof/Placement.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cassert>
+#include <limits>
+
+using namespace ppp;
+
+void EdgeOps::normalize() {
+  if (HasSet && HasAdd) {
+    SetVal += AddVal;
+    HasAdd = false;
+    AddVal = 0;
+  }
+  if (Count == CountKind::Indexed && HasAdd) {
+    CountVal += AddVal;
+    HasAdd = false;
+    AddVal = 0;
+  }
+  if (Count == CountKind::Indexed && HasSet && !CountChecked) {
+    // r is dead after the count (the path ends; the next path's init is
+    // someone else's op), so the set folds away entirely. A *checked*
+    // count must keep reading r: folding would erase the poison test.
+    Count = CountKind::Const;
+    CountVal += SetVal;
+    HasSet = false;
+    SetVal = 0;
+  }
+}
+
+void EdgeOps::prependSet(int64_t V) {
+  if (HasSet)
+    return; // The existing (later) set overwrites the incoming one.
+  HasSet = true;
+  SetVal = V;
+  normalize();
+}
+
+bool EdgeOps::appendCount(CountKind Kind, int64_t V, bool Checked) {
+  if (Count != CountKind::None)
+    return false;
+  Count = Kind;
+  CountVal = V;
+  CountChecked = Checked;
+  normalize();
+  return true;
+}
+
+namespace {
+
+/// Per-node range of remaining (non-cold) register increments from the
+/// node to EXIT, computed before pushing (only chord adds exist then).
+/// Used to pick poison constants that keep cold indices at or above N
+/// despite negative increments (Sec. 4.6).
+struct SuffixRanges {
+  std::vector<int64_t> Min, Max;
+  std::vector<bool> Reaches; ///< Node reaches EXIT via non-cold edges.
+};
+
+SuffixRanges computeSuffixRanges(const BLDag &Dag) {
+  size_t N = static_cast<size_t>(Dag.numNodes());
+  SuffixRanges S;
+  S.Min.assign(N, 0);
+  S.Max.assign(N, 0);
+  S.Reaches.assign(N, false);
+  const std::vector<int> &Topo = Dag.topoOrder();
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    int V = *It;
+    if (V == Dag.exitNode()) {
+      S.Reaches[static_cast<size_t>(V)] = true;
+      continue;
+    }
+    int64_t Lo = std::numeric_limits<int64_t>::max();
+    int64_t Hi = std::numeric_limits<int64_t>::min();
+    bool Any = false;
+    for (int EId : Dag.outEdges(V)) {
+      const DagEdge &E = Dag.edge(EId);
+      if (E.Cold || !S.Reaches[static_cast<size_t>(E.Dst)])
+        continue;
+      Any = true;
+      Lo = std::min(Lo, E.Inc + S.Min[static_cast<size_t>(E.Dst)]);
+      Hi = std::max(Hi, E.Inc + S.Max[static_cast<size_t>(E.Dst)]);
+    }
+    if (Any) {
+      S.Reaches[static_cast<size_t>(V)] = true;
+      S.Min[static_cast<size_t>(V)] = Lo;
+      S.Max[static_cast<size_t>(V)] = Hi;
+    }
+  }
+  return S;
+}
+
+/// The pushing engine.
+class Pusher {
+public:
+  Pusher(const BLDag &Dag, std::vector<EdgeOps> &Ops, PushMode Mode)
+      : Dag(Dag), Ops(Ops), Mode(Mode) {}
+
+  void run() {
+    if (Mode == PushMode::None)
+      return;
+    // Iterate to a fixpoint; each successful push strictly moves an op
+    // along the DAG, so E*V bounds the work.
+    bool Changed = true;
+    unsigned Guard = Dag.numEdges() * static_cast<unsigned>(Dag.numNodes()) +
+                     16;
+    while (Changed && Guard-- > 0) {
+      Changed = false;
+      for (unsigned EId = 0; EId < Dag.numEdges(); ++EId) {
+        if (tryPushDown(static_cast<int>(EId)))
+          Changed = true;
+        if (tryPushUp(static_cast<int>(EId)))
+          Changed = true;
+      }
+    }
+  }
+
+private:
+  bool blocksMerging(int EId) const {
+    // In IgnoreCold mode, cold edges neither block pushing...
+    return !(Mode == PushMode::IgnoreCold && Dag.edge(EId).Cold);
+  }
+
+  /// Pushes `r = c` from edge \p EId down through its target.
+  bool tryPushDown(int EId) {
+    const DagEdge &E = Dag.edge(EId);
+    EdgeOps &O = Ops[static_cast<size_t>(EId)];
+    if (!O.onlySet() || E.Cold)
+      return false;
+    int V = E.Dst;
+    if (V == Dag.exitNode())
+      return false;
+    // Safe only if this is the sole (non-ignored) way into V.
+    for (int InId : Dag.inEdges(V))
+      if (InId != EId && blocksMerging(InId))
+        return false;
+    const std::vector<int> &Out = Dag.outEdges(V);
+    if (Out.empty())
+      return false;
+    // Only push when it cannot grow the instrumentation: a receiver
+    // that already has ops folds the set for free; at most one may be
+    // empty (the moved op itself).
+    unsigned EmptyReceivers = 0;
+    for (int OutId : Out)
+      if (!Dag.edge(OutId).Cold && Ops[static_cast<size_t>(OutId)].empty())
+        ++EmptyReceivers;
+    if (EmptyReceivers > 1)
+      return false;
+    // Cold out-edges never receive inits: their poison op must stay
+    // authoritative for the path register.
+    for (int OutId : Out) {
+      if (Dag.edge(OutId).Cold)
+        continue;
+      Ops[static_cast<size_t>(OutId)].prependSet(O.SetVal);
+    }
+    O = EdgeOps();
+    return true;
+  }
+
+  /// Pushes a count from edge \p EId up through its source.
+  bool tryPushUp(int EId) {
+    const DagEdge &E = Dag.edge(EId);
+    EdgeOps &O = Ops[static_cast<size_t>(EId)];
+    if (!O.onlyCount() || E.Cold)
+      return false;
+    int U = E.Src;
+    if (U == Dag.entryNode())
+      return false;
+    // Safe only if every (non-ignored) departure from U funnels into
+    // this edge.
+    for (int OutId : Dag.outEdges(U))
+      if (OutId != EId && blocksMerging(OutId))
+        return false;
+    const std::vector<int> &In = Dag.inEdges(U);
+    if (In.empty())
+      return false;
+    // All receivers must be able to take a count (no double counting),
+    // and pushing must not grow the instrumentation: receivers with a
+    // set or add fold the count for free; at most one may be empty.
+    unsigned EmptyReceivers = 0;
+    for (int InId : In) {
+      const EdgeOps &RO = Ops[static_cast<size_t>(InId)];
+      if (RO.Count != EdgeOps::CountKind::None)
+        return false;
+      if (RO.empty())
+        ++EmptyReceivers;
+    }
+    if (EmptyReceivers > 1)
+      return false;
+    for (int InId : In) {
+      bool Ok = Ops[static_cast<size_t>(InId)].appendCount(
+          O.Count, O.CountVal, O.CountChecked);
+      assert(Ok && "receiver rejected count after pre-check");
+      (void)Ok;
+    }
+    O = EdgeOps();
+    return true;
+  }
+
+  const BLDag &Dag;
+  std::vector<EdgeOps> &Ops;
+  PushMode Mode;
+};
+
+} // namespace
+
+PlacementResult ppp::placeInstrumentation(const BLDag &Dag,
+                                          const NumberingResult &Numbering,
+                                          PushMode Mode,
+                                          PoisonStyle Style) {
+  PlacementResult R;
+  R.Ops.assign(Dag.numEdges(), EdgeOps());
+  int64_t N = static_cast<int64_t>(Numbering.NumPaths);
+
+  SuffixRanges Suffix = computeSuffixRanges(Dag);
+
+  bool AnyCold = false;
+  for (const DagEdge &E : Dag.edges())
+    AnyCold |= E.Cold;
+  // Checked style only pays its test where poison can occur.
+  bool Checked = Style == PoisonStyle::Checked && AnyCold;
+  // A poison value so negative no chain of increments un-poisons it.
+  // Individual event-counting increments are bounded by the vertex
+  // potentials, not by N, so the bound must come from the computed
+  // suffix ranges (plus margin for op movement during pushing).
+  int64_t MaxAbsSuffix = 0;
+  for (int V = 0; V < Dag.numNodes(); ++V) {
+    if (!Suffix.Reaches[static_cast<size_t>(V)])
+      continue;
+    MaxAbsSuffix = std::max(
+        {MaxAbsSuffix, std::abs(Suffix.Min[static_cast<size_t>(V)]),
+         std::abs(Suffix.Max[static_cast<size_t>(V)])});
+  }
+  int64_t NegPoison = -(2 * MaxAbsSuffix + 4 * N + 1024);
+
+  // --- Initial placement ---
+  for (const DagEdge &E : Dag.edges()) {
+    EdgeOps &O = R.Ops[static_cast<size_t>(E.Id)];
+    if (E.Cold) {
+      if (Checked) {
+        O.prependSet(NegPoison);
+        if (E.Dst == Dag.exitNode())
+          O.appendCount(EdgeOps::CountKind::Indexed, 0, /*Checked=*/true);
+      } else if (E.Dst == Dag.exitNode()) {
+        // A path ending on a cold edge records straight into the poison
+        // region (index N doubles as the shared cold counter).
+        O.appendCount(EdgeOps::CountKind::Const, N);
+      } else {
+        // Free poisoning with compensation: after `r = N - minSuffix`,
+        // the remaining non-cold increments leave the final index in
+        // [N, N + (maxSuffix - minSuffix)] -- at most [N, 3N-1].
+        int64_t MinSuf = Suffix.Reaches[static_cast<size_t>(E.Dst)]
+                             ? Suffix.Min[static_cast<size_t>(E.Dst)]
+                             : 0;
+        O.prependSet(N - MinSuf);
+      }
+      continue;
+    }
+    if (E.Inc != 0) {
+      O.HasAdd = true;
+      O.AddVal = E.Inc;
+    }
+    if (E.Src == Dag.entryNode())
+      O.prependSet(0);
+    if (E.Dst == Dag.exitNode())
+      O.appendCount(EdgeOps::CountKind::Indexed, 0, Checked);
+    O.normalize();
+  }
+
+  // --- Pushing ---
+  Pusher(Dag, R.Ops, Mode).run();
+
+  // --- Forward interval analysis over the final ops: bound every
+  // counter index (table sizing) and count static ops. ---
+  size_t NumNodes = static_cast<size_t>(Dag.numNodes());
+  constexpr int64_t Unset = std::numeric_limits<int64_t>::min();
+  std::vector<int64_t> Lo(NumNodes, Unset), Hi(NumNodes, Unset);
+  Lo[static_cast<size_t>(Dag.entryNode())] = 0;
+  Hi[static_cast<size_t>(Dag.entryNode())] = 0;
+  int64_t MinIdx = std::numeric_limits<int64_t>::max();
+  int64_t MaxIdx = std::numeric_limits<int64_t>::min();
+  auto Record = [&](int64_t L, int64_t H) {
+    MinIdx = std::min(MinIdx, L);
+    MaxIdx = std::max(MaxIdx, H);
+  };
+  for (int V : Dag.topoOrder()) {
+    if (Lo[static_cast<size_t>(V)] == Unset)
+      continue; // Unreachable.
+    for (int EId : Dag.outEdges(V)) {
+      const DagEdge &E = Dag.edge(EId);
+      const EdgeOps &O = R.Ops[static_cast<size_t>(EId)];
+      int64_t L = Lo[static_cast<size_t>(V)];
+      int64_t H = Hi[static_cast<size_t>(V)];
+      if (O.HasSet) {
+        L = O.SetVal;
+        H = O.SetVal;
+      }
+      if (O.HasAdd) {
+        L += O.AddVal;
+        H += O.AddVal;
+      }
+      if (O.Count == EdgeOps::CountKind::Indexed)
+        Record(L + O.CountVal, H + O.CountVal);
+      else if (O.Count == EdgeOps::CountKind::Const)
+        Record(O.CountVal, O.CountVal);
+      int64_t &DL = Lo[static_cast<size_t>(E.Dst)];
+      int64_t &DH = Hi[static_cast<size_t>(E.Dst)];
+      if (DL == Unset) {
+        DL = L;
+        DH = H;
+      } else {
+        DL = std::min(DL, L);
+        DH = std::max(DH, H);
+      }
+    }
+  }
+  if (MaxIdx == std::numeric_limits<int64_t>::min()) {
+    R.MinIndex = 0;
+    R.MaxIndex = -1; // No counts placed at all.
+  } else {
+    R.MinIndex = MinIdx;
+    R.MaxIndex = MaxIdx;
+  }
+
+  for (const EdgeOps &O : R.Ops)
+    R.StaticOps += O.numOps();
+  return R;
+}

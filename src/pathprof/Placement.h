@@ -1,0 +1,119 @@
+//===- pathprof/Placement.h - Instrumentation placement --------*- C++ -*-===//
+///
+/// \file
+/// Places profiling operations on DAG edges and optimizes them
+/// (Sec. 3.1, Fig. 1; Sec. 4.4, Fig. 5; Sec. 4.6):
+///
+///  1. Initial placement: `r = 0` on ENTRY out-edges, `r += Inc` on
+///     event-counting chords, `count[r]++` on EXIT in-edges, and free
+///     poisoning `r = poison` on cold edges (with suffix-range
+///     compensation for negative increments).
+///  2. Combining: set+add -> set, add+count -> count[r+c], set+count ->
+///     count[const].
+///  3. Pushing: initializations are pushed down through single-entry
+///     merge points and counts pushed up through single-exit points.
+///     PP/TPP treat cold edges as blockers; PPP ignores them (which is
+///     what occasionally lets a cold execution record a hot path number
+///     -- the overcount the coverage metric penalizes).
+///  4. A forward interval analysis over the final ops bounds every
+///     possible counter index, sizing the frequency table.
+///
+/// Per-edge op order is set -> add -> count; a set always initializes
+/// the path that the same edge's count (if any) terminates, so folding
+/// is sound. The only count-before-set sequence -- a back edge ending
+/// one path and starting the next -- is handled at finalization by
+/// concatenating the LoopExit ops before the LoopEntry ops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PATHPROF_PLACEMENT_H
+#define PPP_PATHPROF_PLACEMENT_H
+
+#include "analysis/BLDag.h"
+#include "pathprof/Numbering.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ppp {
+
+/// How cold paths are kept out of the hot counter range.
+enum class PoisonStyle : uint8_t {
+  /// Sec. 4.6: poison constants map cold paths into [N, 3N-1]; counts
+  /// need no test. Used by PPP and by the paper's TPP implementation.
+  Free,
+  /// Original TPP: poison is a large negative value and every count in
+  /// a routine with cold edges pays a compare-and-branch. Provided as
+  /// an ablation to isolate the cost free poisoning removes.
+  Checked,
+};
+
+/// How pushing treats cold edges (Sec. 4.4).
+enum class PushMode : uint8_t {
+  None,       ///< No pushing (for ablation/debugging).
+  Blocked,    ///< PP/TPP: cold edges block pushing.
+  IgnoreCold, ///< PPP: cold edges neither block nor receive inits.
+};
+
+/// The (normalized) profiling operations of one DAG edge, executed in
+/// the order set, add, count.
+struct EdgeOps {
+  enum class CountKind : uint8_t { None, Indexed, Const };
+
+  bool HasSet = false;
+  int64_t SetVal = 0;
+  bool HasAdd = false;
+  int64_t AddVal = 0;
+  CountKind Count = CountKind::None;
+  int64_t CountVal = 0;      ///< Indexed: count[r+v]; Const: count[v].
+  bool CountChecked = false; ///< Indexed count carries a poison test.
+
+  bool empty() const {
+    return !HasSet && !HasAdd && Count == CountKind::None;
+  }
+  bool onlySet() const {
+    return HasSet && !HasAdd && Count == CountKind::None;
+  }
+  bool onlyCount() const {
+    return !HasSet && !HasAdd && Count != CountKind::None;
+  }
+  unsigned numOps() const {
+    return (HasSet ? 1u : 0u) + (HasAdd ? 1u : 0u) +
+           (Count != CountKind::None ? 1u : 0u);
+  }
+
+  /// Folds set+add, add+count, set+count into combined forms.
+  void normalize();
+
+  /// Prepends `r = V` (an initialization flowing in from above). An
+  /// existing set wins: it executes later and overwrites.
+  void prependSet(int64_t V);
+
+  /// Appends a count (a path termination flowing in from below),
+  /// folding with any add/set already here. \returns false if this edge
+  /// already counts (caller must not push here).
+  bool appendCount(CountKind Kind, int64_t V, bool Checked = false);
+};
+
+/// Result of placement over one DAG.
+struct PlacementResult {
+  std::vector<EdgeOps> Ops; ///< Indexed by DAG edge id.
+  /// Counter indices proven to lie in [MinIndex, MaxIndex]; the array
+  /// table needs MaxIndex+1 slots. MinIndex should be >= 0.
+  int64_t MinIndex = 0;
+  int64_t MaxIndex = -1;
+  /// Static number of profiling ops placed (instrumentation size).
+  uint64_t StaticOps = 0;
+};
+
+/// Runs placement over \p Dag (numbered, event-counted). \p NumPaths is
+/// the N of the numbering: poison constants map cold paths at or above
+/// it.
+PlacementResult placeInstrumentation(const BLDag &Dag,
+                                     const NumberingResult &Numbering,
+                                     PushMode Mode,
+                                     PoisonStyle Style = PoisonStyle::Free);
+
+} // namespace ppp
+
+#endif // PPP_PATHPROF_PLACEMENT_H

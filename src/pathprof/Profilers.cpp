@@ -1,0 +1,366 @@
+//===- pathprof/Profilers.cpp - PP / TPP / PPP drivers ----------------------===//
+
+#include "pathprof/Profilers.h"
+
+#include "analysis/StaticProfile.h"
+#include "flow/FlowAnalysis.h"
+#include "pathprof/ColdEdges.h"
+#include "pathprof/EventCounting.h"
+#include "pathprof/Lowering.h"
+#include "pathprof/Obvious.h"
+
+#include <cassert>
+
+using namespace ppp;
+
+ProfilerOptions ProfilerOptions::pp() {
+  ProfilerOptions O;
+  O.Name = "pp";
+  return O;
+}
+
+ProfilerOptions ProfilerOptions::tpp() {
+  ProfilerOptions O;
+  O.Name = "tpp";
+  O.LocalColdCriterion = true;
+  O.ColdOnlyToAvoidHash = true;
+  O.ObviousLoopDisconnect = true;
+  O.SkipObviousRoutines = true;
+  return O;
+}
+
+ProfilerOptions ProfilerOptions::tppChecked() {
+  ProfilerOptions O = tpp();
+  O.Name = "tpp-checked";
+  O.Poison = PoisonStyle::Checked;
+  return O;
+}
+
+ProfilerOptions ProfilerOptions::ppp() {
+  ProfilerOptions O;
+  O.Name = "ppp";
+  O.SmartNumbering = true;
+  O.LocalColdCriterion = true;
+  O.GlobalColdCriterion = true;
+  O.SelfAdjust = true;
+  O.ObviousLoopDisconnect = true;
+  O.SkipObviousRoutines = true;
+  O.LowCoverageGate = true;
+  O.Push = PushMode::IgnoreCold;
+  return O;
+}
+
+void FunctionPlan::buildEdgeIndex() {
+  RealByCfg.clear();
+  LoopEntryByBack.clear();
+  LoopExitByBack.clear();
+  FnExitByBlock.clear();
+  FnEntryEdge = -1;
+  for (const DagEdge &E : Dag->edges()) {
+    switch (E.Kind) {
+    case DagEdgeKind::Real:
+      RealByCfg[E.CfgEdgeId] = E.Id;
+      break;
+    case DagEdgeKind::FnEntry:
+      FnEntryEdge = E.Id;
+      break;
+    case DagEdgeKind::FnExit:
+      FnExitByBlock[static_cast<BlockId>(E.Src)] = E.Id;
+      break;
+    case DagEdgeKind::LoopEntry:
+      LoopEntryByBack[E.CfgEdgeId] = E.Id;
+      break;
+    case DagEdgeKind::LoopExit:
+      LoopExitByBack[E.CfgEdgeId] = E.Id;
+      break;
+    }
+  }
+}
+
+std::optional<uint64_t> FunctionPlan::pathNumberOf(const PathKey &Key) const {
+  if (!Instrumented || !Dag)
+    return std::nullopt;
+  uint64_t Sum = 0;
+  auto Take = [&](int DagEdgeId) -> const DagEdge * {
+    if (DagEdgeId < 0)
+      return nullptr;
+    const DagEdge &E = Dag->edge(DagEdgeId);
+    if (E.Cold)
+      return nullptr;
+    Sum += E.Val;
+    return &E;
+  };
+
+  // Starting dummy edge.
+  int StartId = -1;
+  if (Key.StartCfgEdgeId == -1) {
+    StartId = FnEntryEdge;
+  } else if (auto It = LoopEntryByBack.find(Key.StartCfgEdgeId);
+             It != LoopEntryByBack.end()) {
+    StartId = It->second;
+  }
+  const DagEdge *E = Take(StartId);
+  if (!E || E->Dst != Key.First)
+    return std::nullopt;
+  int Cur = E->Dst;
+
+  // Interior real edges.
+  for (int CfgId : Key.EdgeIds) {
+    auto It = RealByCfg.find(CfgId);
+    if (It == RealByCfg.end())
+      return std::nullopt;
+    E = Take(It->second);
+    if (!E || E->Src != Cur)
+      return std::nullopt;
+    Cur = E->Dst;
+  }
+
+  // Terminal edge.
+  int TermId = -1;
+  if (Key.TermCfgEdgeId == -1) {
+    auto It = FnExitByBlock.find(static_cast<BlockId>(Cur));
+    if (It != FnExitByBlock.end())
+      TermId = It->second;
+  } else if (auto It = LoopExitByBack.find(Key.TermCfgEdgeId);
+             It != LoopExitByBack.end()) {
+    TermId = It->second;
+  }
+  E = Take(TermId);
+  if (!E || E->Src != Cur)
+    return std::nullopt;
+  assert(Sum < NumPaths && "path number out of range");
+  return Sum;
+}
+
+std::optional<PathKey> FunctionPlan::decodePath(uint64_t Number) const {
+  if (!Instrumented || !Dag || Number >= NumPaths)
+    return std::nullopt;
+  PathKey Key;
+  uint64_t Rem = Number;
+  int V = Dag->entryNode();
+  bool FirstEdge = true;
+  while (V != Dag->exitNode()) {
+    // Pick the out-edge whose [Val, Val + PathsFrom(dst)) interval
+    // contains Rem: the non-cold edge with the largest Val <= Rem.
+    const DagEdge *Best = nullptr;
+    for (int EId : Dag->outEdges(V)) {
+      const DagEdge &E = Dag->edge(EId);
+      if (E.Cold ||
+          Numbering.PathsFrom[static_cast<size_t>(E.Dst)] == 0)
+        continue;
+      if (E.Val > Rem)
+        continue;
+      if (!Best || E.Val > Best->Val)
+        Best = &E;
+    }
+    if (!Best)
+      return std::nullopt; // Should not happen for in-range numbers.
+    Rem -= Best->Val;
+    if (FirstEdge) {
+      Key.First = Best->Dst;
+      Key.StartCfgEdgeId =
+          Best->Kind == DagEdgeKind::LoopEntry ? Best->CfgEdgeId : -1;
+      FirstEdge = false;
+    } else if (Best->Dst == Dag->exitNode()) {
+      Key.TermCfgEdgeId =
+          Best->Kind == DagEdgeKind::LoopExit ? Best->CfgEdgeId : -1;
+    } else {
+      Key.EdgeIds.push_back(Best->CfgEdgeId);
+    }
+    V = Best->Dst;
+  }
+  assert(Rem == 0 && "leftover path number after decoding");
+  return Key;
+}
+
+namespace {
+
+/// Path count of the function under a tentative cold/disconnect set
+/// (order does not affect N).
+uint64_t countPaths(const CfgView &Cfg, const LoopInfo &LI,
+                    const std::set<int> &Colds, const std::set<int> &Disc,
+                    const std::vector<int64_t> &CfgFreq, int64_t Invocations,
+                    bool &Overflow) {
+  BLDag::BuildOptions BO;
+  BO.ColdCfgEdges = &Colds;
+  BO.DisconnectedBackEdges = &Disc;
+  BLDag Dag = BLDag::build(Cfg, LI, BO);
+  Dag.setFrequencies(CfgFreq, Invocations);
+  NumberingResult R = assignPathNumbers(Dag, NumberingOrder::BallLarus);
+  Overflow = R.Overflow;
+  return R.NumPaths;
+}
+
+} // namespace
+
+InstrumentationResult ppp::instrumentModule(const Module &M,
+                                            const EdgeProfile &EP,
+                                            const ProfilerOptions &Opts) {
+  InstrumentationResult Result;
+  Result.Instrumented = M; // Deep copy; we rewrite functions in place.
+  Result.Instrumented.Name = M.Name + "." + Opts.Name;
+  Result.Options = Opts;
+  Result.Plans.resize(M.numFunctions());
+
+  int64_t TotalUnitFlow = totalProgramUnitFlow(M, EP);
+
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    FuncId F = static_cast<FuncId>(FI);
+    FunctionPlan &Plan = Result.Plans[FI];
+    const FunctionEdgeProfile &FP = EP.func(F);
+
+    Plan.Cfg = std::make_unique<CfgView>(M.function(F));
+    Plan.Loops = std::make_unique<LoopInfo>(LoopInfo::compute(*Plan.Cfg));
+    const CfgView &Cfg = *Plan.Cfg;
+    const LoopInfo &LI = *Plan.Loops;
+
+    std::vector<int64_t> CfgFreq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+    int64_t Invocations = FP.Invocations;
+
+    // --- Full-DAG facts: coverage gate and the TPP hash gate. ---
+    BLDag FullDag = BLDag::build(Cfg, LI);
+    FullDag.setFrequencies(CfgFreq, Invocations);
+    NumberingResult FullNum =
+        assignPathNumbers(FullDag, NumberingOrder::BallLarus);
+
+    {
+      FlowResult DF = computeDefiniteFlow(FullDag);
+      int64_t ActualFlow = 0;
+      for (const DagEdge &E : FullDag.edges())
+        if (E.IsBranch)
+          ActualFlow += E.Freq;
+      Plan.EdgeCoverage =
+          ActualFlow == 0
+              ? 1.0
+              : static_cast<double>(
+                    DF.totalFlowAtEntry(FullDag, FlowMetric::Branch)) /
+                    static_cast<double>(ActualFlow);
+    }
+    if (Opts.LowCoverageGate && Plan.EdgeCoverage >= Opts.CoverageThreshold) {
+      Plan.Skip = SkipReason::HighCoverage;
+      continue;
+    }
+
+    // --- Cold edges, obvious loops, self-adjusting loop. ---
+    ColdEdgeCriteria Criteria;
+    Criteria.UseLocal = Opts.LocalColdCriterion;
+    Criteria.LocalFraction = Opts.LocalColdFraction;
+    Criteria.UseGlobal = Opts.GlobalColdCriterion;
+    Criteria.GlobalFraction = Opts.GlobalColdFraction;
+
+    std::set<int> Colds, Disc;
+    std::unique_ptr<BLDag> Dag;
+    NumberingResult Num;
+    NumberingOrder Order = Opts.SmartNumbering
+                               ? NumberingOrder::DecreasingFreq
+                               : NumberingOrder::BallLarus;
+
+    unsigned MaxIters = Opts.SelfAdjust ? Opts.SelfAdjustMaxIters : 1;
+    for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
+      Colds = computeColdEdges(Cfg, FP, Criteria, TotalUnitFlow);
+      if (Opts.ColdOnlyToAvoidHash && !Colds.empty()) {
+        // TPP: poisoning costs, so eliminate cold paths only when doing
+        // so moves the routine from a hash table to an array.
+        bool Ovf1 = false, Ovf2 = false;
+        uint64_t Full = FullNum.Overflow ? UINT64_MAX : FullNum.NumPaths;
+        std::set<int> NoDisc;
+        uint64_t WithColds =
+            countPaths(Cfg, LI, Colds, NoDisc, CfgFreq, Invocations, Ovf2);
+        (void)Ovf1;
+        bool Helps = Full > Opts.HashThreshold && !Ovf2 &&
+                     WithColds <= Opts.HashThreshold;
+        if (!Helps)
+          Colds.clear();
+      }
+      Disc.clear();
+      if (Opts.ObviousLoopDisconnect) {
+        ObviousLoops OL =
+            findObviousLoops(Cfg, LI, FP, Colds, Opts.ObviousLoopMinTrip);
+        Disc = OL.DisconnectBackEdges;
+        Colds.insert(OL.ColdEntryExitEdges.begin(),
+                     OL.ColdEntryExitEdges.end());
+      }
+      BLDag::BuildOptions BO;
+      BO.ColdCfgEdges = &Colds;
+      BO.DisconnectedBackEdges = &Disc;
+      Dag = std::make_unique<BLDag>(BLDag::build(Cfg, LI, BO));
+      Dag->setFrequencies(CfgFreq, Invocations);
+      Num = assignPathNumbers(*Dag, Order);
+      if (!Num.Overflow && Num.NumPaths <= Opts.HashThreshold)
+        break;
+      if (!Opts.SelfAdjust || !Opts.GlobalColdCriterion)
+        break;
+      Criteria.GlobalMultiplier *= Opts.SelfAdjustFactor;
+    }
+
+    Plan.ColdEdges = Colds;
+    Plan.DisconnectedBackEdges = Disc;
+    Plan.NumPaths = Num.NumPaths;
+
+    if (Num.Overflow) {
+      Plan.Skip = SkipReason::Overflow;
+      continue;
+    }
+    if (Num.NumPaths == 0) {
+      Plan.Skip = SkipReason::NoPaths;
+      continue;
+    }
+    if (Opts.SkipObviousRoutines && allPathsObvious(*Dag, Num)) {
+      Plan.Skip = SkipReason::AllObvious;
+      continue;
+    }
+
+    // --- Event counting. ---
+    if (Opts.SmartNumbering) {
+      runEventCounting(*Dag);
+    } else {
+      StaticProfile SP = estimateStaticProfile(Cfg, LI);
+      runEventCounting(*Dag,
+                       dagEdgeWeights(*Dag, SP.EdgeFreq, StaticProfile::Scale));
+    }
+
+    // --- Placement, pushing, poisoning, table sizing. ---
+    PlacementResult Placement =
+        placeInstrumentation(*Dag, Num, Opts.Push, Opts.Poison);
+    Plan.StaticOps = Placement.StaticOps;
+
+    bool UseHash = Num.NumPaths > Opts.HashThreshold;
+    // Checked poisoning keeps hot indices in [0, N) and sends poisoned
+    // ones (negative) to the cold counter, so N slots suffice.
+    int64_t ArrayNeed = Opts.Poison == PoisonStyle::Checked
+                            ? static_cast<int64_t>(Num.NumPaths)
+                            : Placement.MaxIndex + 1;
+    // Defensive: if compensation could not bound the array tightly,
+    // hash instead of allocating a pathological array.
+    if (!UseHash &&
+        ArrayNeed > static_cast<int64_t>(16 * Num.NumPaths + 64))
+      UseHash = true;
+    Plan.TableKind = UseHash ? PathTable::Kind::Hash : PathTable::Kind::Array;
+    Plan.ArraySize = UseHash ? 0 : std::max<int64_t>(ArrayNeed, 1);
+
+    // --- Lower into the cloned function. ---
+    SiteOps Sites = finalizeSites(*Dag, Placement);
+    lowerInstrumentation(Result.Instrumented.function(F), Cfg, Sites);
+
+    Plan.Dag = std::move(Dag);
+    Plan.Numbering = std::move(Num);
+    Plan.buildEdgeIndex();
+    Plan.Instrumented = true;
+  }
+  return Result;
+}
+
+ProfileRuntime InstrumentationResult::makeRuntime() const {
+  ProfileRuntime RT(static_cast<unsigned>(Plans.size()));
+  for (size_t I = 0; I < Plans.size(); ++I) {
+    const FunctionPlan &P = Plans[I];
+    if (!P.Instrumented)
+      continue;
+    if (P.TableKind == PathTable::Kind::Hash)
+      RT.setTable(static_cast<FuncId>(I), PathTable::makeHash());
+    else
+      RT.setTable(static_cast<FuncId>(I),
+                  PathTable::makeArray(static_cast<uint64_t>(P.ArraySize)));
+  }
+  return RT;
+}

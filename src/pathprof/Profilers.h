@@ -1,0 +1,171 @@
+//===- pathprof/Profilers.h - PP / TPP / PPP drivers -----------*- C++ -*-===//
+///
+/// \file
+/// The profile-guided profiling drivers. A single options struct exposes
+/// every technique as a toggle so the paper's three profilers are
+/// presets and Figure 13's leave-one-out ablations are one-line edits:
+///
+///   PP  (Ball-Larus):  instrument everything; static-heuristic
+///                      spanning tree; Fig. 2 numbering.
+///   TPP (Joshi et al.): + local cold criterion (gated: only when it
+///                      moves the routine from hash to array), obvious
+///                      loop disconnection, obvious-routine skipping.
+///                      Free poisoning stands in for TPP's poison check,
+///                      as in the paper's own TPP implementation.
+///   PPP (this paper):  + global & self-adjusting cold criteria, smart
+///                      numbering/event counting, push-through-cold,
+///                      low-coverage routine gate, ungated cold removal.
+///
+/// instrumentModule() returns an instrumented clone plus a per-function
+/// plan that can map path numbers to concrete paths and back -- the glue
+/// between the runtime counters and the metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PATHPROF_PROFILERS_H
+#define PPP_PATHPROF_PROFILERS_H
+
+#include "analysis/BLDag.h"
+#include "interp/ProfileRuntime.h"
+#include "ir/Module.h"
+#include "pathprof/Numbering.h"
+#include "pathprof/Placement.h"
+#include "profile/EdgeProfile.h"
+#include "profile/PathKey.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ppp {
+
+/// Every knob of the instrumentation pipeline (paper defaults).
+struct ProfilerOptions {
+  std::string Name = "pp";
+
+  /// Sec. 4.5: number edges by frequency and build the event-counting
+  /// spanning tree from the edge profile instead of static heuristics.
+  bool SmartNumbering = false;
+
+  /// Sec. 3.2: local cold criterion (freq < fraction of source block).
+  bool LocalColdCriterion = false;
+  double LocalColdFraction = 0.05;
+
+  /// Sec. 4.2: global cold criterion (freq < fraction of program flow).
+  bool GlobalColdCriterion = false;
+  double GlobalColdFraction = 0.001;
+
+  /// Sec. 4.3: raise the global criterion until no hashing is needed.
+  bool SelfAdjust = false;
+  double SelfAdjustFactor = 1.5;
+  unsigned SelfAdjustMaxIters = 20;
+
+  /// Sec. 3.2 (TPP): remove cold edges only when that turns a
+  /// would-be-hashed routine into an array routine.
+  bool ColdOnlyToAvoidHash = false;
+
+  /// Sec. 3.2: disconnect obvious high-trip loops.
+  bool ObviousLoopDisconnect = false;
+  double ObviousLoopMinTrip = 10.0;
+
+  /// Sec. 3.2: skip routines whose paths are all obvious.
+  bool SkipObviousRoutines = false;
+
+  /// Sec. 4.1: skip routines the edge profile already covers well.
+  bool LowCoverageGate = false;
+  double CoverageThreshold = 0.75;
+
+  /// Sec. 4.4: pushing mode.
+  PushMode Push = PushMode::Blocked;
+
+  /// Sec. 4.6: free poisoning (paper default for all three profilers)
+  /// or original TPP's checked poisoning (ablation).
+  PoisonStyle Poison = PoisonStyle::Free;
+
+  /// Sec. 7.4: routines with more paths than this hash their counters.
+  uint64_t HashThreshold = 4000;
+
+  static ProfilerOptions pp();
+  static ProfilerOptions tpp();
+  static ProfilerOptions ppp();
+  /// TPP as Joshi et al. published it: poison checks on every count in
+  /// routines with cold edges (the paper's implementation substitutes
+  /// free poisoning; this preset exists to measure the difference).
+  static ProfilerOptions tppChecked();
+};
+
+/// Why a function received no instrumentation.
+enum class SkipReason : uint8_t {
+  NotSkipped,
+  NoPaths,      ///< Cold removal eliminated every path.
+  AllObvious,   ///< Every path has a defining edge (Sec. 3.2).
+  HighCoverage, ///< Edge profile coverage above threshold (Sec. 4.1).
+  Overflow,     ///< Path count exceeds 2^64; cannot number.
+};
+
+/// Per-function instrumentation plan and decode metadata. Holds
+/// analyses over the *original* module, which must outlive the plan.
+class FunctionPlan {
+public:
+  bool Instrumented = false;
+  SkipReason Skip = SkipReason::NotSkipped;
+  uint64_t NumPaths = 0;
+  PathTable::Kind TableKind = PathTable::Kind::None;
+  int64_t ArraySize = 0;
+  double EdgeCoverage = 0.0; ///< DF/F of the edge profile (branch flow).
+  uint64_t StaticOps = 0;    ///< Profiling instructions placed.
+  std::set<int> ColdEdges;
+  std::set<int> DisconnectedBackEdges;
+
+  std::unique_ptr<CfgView> Cfg;
+  std::unique_ptr<LoopInfo> Loops;
+  std::unique_ptr<BLDag> Dag; ///< Final instrumented DAG (Vals assigned).
+  NumberingResult Numbering;
+
+  /// The unique path number of \p Key, or nullopt if the path is not
+  /// instrumented (crosses a cold/disconnected edge, or the routine is
+  /// skipped).
+  std::optional<uint64_t> pathNumberOf(const PathKey &Key) const;
+
+  /// Inverse: the concrete path for number \p Number in [0, NumPaths).
+  std::optional<PathKey> decodePath(uint64_t Number) const;
+
+  bool isInstrumentedPath(const PathKey &Key) const {
+    return Instrumented && pathNumberOf(Key).has_value();
+  }
+
+  /// Called by the driver once the final DAG exists.
+  void buildEdgeIndex();
+
+private:
+  // DAG edge lookup by CFG identity.
+  std::unordered_map<int, int> RealByCfg;
+  std::map<int, int> LoopEntryByBack;
+  std::map<int, int> LoopExitByBack;
+  std::map<BlockId, int> FnExitByBlock;
+  int FnEntryEdge = -1;
+};
+
+/// An instrumented module plus its plans.
+struct InstrumentationResult {
+  Module Instrumented;
+  std::vector<FunctionPlan> Plans;
+  ProfilerOptions Options;
+
+  /// Fresh zeroed counter tables matching the plans.
+  ProfileRuntime makeRuntime() const;
+};
+
+/// Instruments a clone of \p M according to \p Opts, using \p EP (self
+/// advice) for every profile-guided decision. \p M must outlive the
+/// result.
+InstrumentationResult instrumentModule(const Module &M, const EdgeProfile &EP,
+                                       const ProfilerOptions &Opts);
+
+} // namespace ppp
+
+#endif // PPP_PATHPROF_PROFILERS_H

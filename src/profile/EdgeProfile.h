@@ -1,0 +1,47 @@
+//===- profile/EdgeProfile.h - Edge profiles -------------------*- C++ -*-===//
+///
+/// \file
+/// Exact per-edge execution counts, the cheap profile dynamic compilers
+/// already collect (the paper treats its cost as negligible, gathered by
+/// sampling or hardware). TPP and PPP consume it to decide what *not* to
+/// instrument; the flow algorithms estimate path profiles from it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PROFILE_EDGEPROFILE_H
+#define PPP_PROFILE_EDGEPROFILE_H
+
+#include "analysis/CfgView.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ppp {
+
+/// Edge counts of one function.
+struct FunctionEdgeProfile {
+  int64_t Invocations = 0;
+  std::vector<int64_t> EdgeFreq; ///< Indexed by CFG edge id.
+
+  /// Execution count of \p B: invocations (entry block) plus all
+  /// incoming edge traversals.
+  int64_t blockFreq(const CfgView &Cfg, BlockId B) const {
+    int64_t N = B == 0 ? Invocations : 0;
+    for (int E : Cfg.inEdges(B))
+      N += EdgeFreq[static_cast<size_t>(E)];
+    return N;
+  }
+};
+
+/// Whole-program edge profile.
+struct EdgeProfile {
+  std::vector<FunctionEdgeProfile> Funcs;
+
+  const FunctionEdgeProfile &func(FuncId F) const {
+    return Funcs[static_cast<size_t>(F)];
+  }
+};
+
+} // namespace ppp
+
+#endif // PPP_PROFILE_EDGEPROFILE_H

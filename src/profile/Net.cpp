@@ -1,0 +1,77 @@
+//===- profile/Net.cpp - Next Executing Tail (Dynamo) --------------------------===//
+
+#include "profile/Net.h"
+
+using namespace ppp;
+
+NetSelector::NetSelector(const Module &M, uint64_t Threshold)
+    : Selected(M.numFunctions()), HotThreshold(Threshold) {
+  Views.reserve(M.numFunctions());
+  Loops.reserve(M.numFunctions());
+  State.resize(M.numFunctions());
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    Views.emplace_back(M.function(static_cast<FuncId>(F)));
+    Loops.push_back(LoopInfo::compute(Views.back()));
+    State[F].HeadCount.assign(Views.back().numBlocks(), 0);
+    State[F].Done.assign(Views.back().numBlocks(), false);
+  }
+}
+
+void NetSelector::headReached(FrameState &Fr, FuncId F, BlockId Head,
+                              int ViaEdge) {
+  FunctionState &FS = State[static_cast<size_t>(F)];
+  if (FS.Done[static_cast<size_t>(Head)])
+    return;
+  if (++FS.HeadCount[static_cast<size_t>(Head)] < HotThreshold)
+    return;
+  // Hot: grab the next executing tail.
+  Fr.Recording = true;
+  Fr.Current = PathKey();
+  Fr.Current.First = Head;
+  Fr.Current.StartCfgEdgeId = ViaEdge;
+  ++Heads;
+}
+
+void NetSelector::onFunctionEnter(FuncId F) {
+  FrameState Fr;
+  Fr.F = F;
+  Stack.push_back(Fr);
+  headReached(Stack.back(), F, /*Head=*/0, /*ViaEdge=*/-1);
+}
+
+void NetSelector::onFunctionExit(FuncId F) {
+  FrameState &Fr = Stack.back();
+  if (Fr.Recording) {
+    Fr.Current.TermCfgEdgeId = -1;
+    Selected.Funcs[static_cast<size_t>(F)].add(
+        Views[static_cast<size_t>(F)], Fr.Current, 1);
+    State[static_cast<size_t>(F)].Done[static_cast<size_t>(
+        Fr.Current.First)] = true;
+  }
+  Stack.pop_back();
+}
+
+void NetSelector::onEdge(FuncId F, BlockId Src, unsigned SuccIdx) {
+  FrameState &Fr = Stack.back();
+  const CfgView &V = Views[static_cast<size_t>(F)];
+  int EdgeId = V.edgeIdFor(Src, SuccIdx);
+  bool IsBack = Loops[static_cast<size_t>(F)].isBackEdge(EdgeId);
+
+  if (Fr.Recording) {
+    if (IsBack) {
+      // Tail complete: it ends at the backward branch.
+      Fr.Current.TermCfgEdgeId = EdgeId;
+      Selected.Funcs[static_cast<size_t>(F)].add(V, Fr.Current, 1);
+      State[static_cast<size_t>(F)]
+          .Done[static_cast<size_t>(Fr.Current.First)] = true;
+      Fr.Recording = false;
+    } else {
+      Fr.Current.EdgeIds.push_back(EdgeId);
+    }
+  }
+
+  if (IsBack && !Fr.Recording)
+    headReached(Fr, F, V.edge(EdgeId).Dst, EdgeId);
+}
+
+// (selected() and headsTriggered() are inline in the header.)

@@ -1,0 +1,80 @@
+//===- profile/Net.h - Next Executing Tail (Dynamo) -------------*- C++ -*-===//
+///
+/// \file
+/// Dynamo's Next Executing Tail trace selection (Bala et al., PLDI
+/// 2000; discussed in Sec. 2 of the paper): count executions of each
+/// potential trace head (back-edge targets and function entries); when
+/// a head crosses a hotness threshold, record the very next executing
+/// tail -- the block sequence up to the next back edge or return -- as
+/// *the* predicted hot trace for that head, and stop monitoring it.
+///
+/// NET is statistically likely to catch the hottest path through a
+/// head, but it commits to a single tail per head: with one dominant
+/// path it works; with many warm paths it picks one essentially at
+/// random. The paper argues PPP's wider coverage distinguishes these
+/// cases (Sec. 2 and 8.1); the `net_vs_ppp` benchmark measures it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PROFILE_NET_H
+#define PPP_PROFILE_NET_H
+
+#include "analysis/LoopInfo.h"
+#include "interp/Interpreter.h"
+#include "profile/PathProfile.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace ppp {
+
+/// Observer implementing NET trace selection during a run.
+class NetSelector : public ExecObserver {
+public:
+  /// \p HotThreshold is Dynamo's head-counter trigger (Dynamo used ~50).
+  explicit NetSelector(const Module &M, uint64_t HotThreshold = 50);
+
+  void onFunctionEnter(FuncId F) override;
+  void onFunctionExit(FuncId F) override;
+  void onEdge(FuncId F, BlockId Src, unsigned SuccIdx) override;
+
+  /// The selected traces as a path profile: each selected tail appears
+  /// once per head, with frequency = how often that exact path executed
+  /// *after selection is complete* would be unknown to NET -- so we
+  /// weight each selected trace equally (frequency 1) and accuracy is
+  /// computed on membership, as Dynamo's code cache would experience.
+  ///
+  /// For flow-weighted comparisons, join against an oracle profile: a
+  /// selected trace "covers" the oracle path with the same key.
+  const PathProfile &selected() const { return Selected; }
+
+  /// Number of heads that crossed the threshold.
+  unsigned headsTriggered() const { return Heads; }
+
+private:
+  struct FrameState {
+    FuncId F = -1;
+    bool Recording = false;
+    PathKey Current;
+  };
+
+  /// Per-function, per-head-block counters and completion flags.
+  struct FunctionState {
+    std::vector<uint64_t> HeadCount; ///< Per block.
+    std::vector<bool> Done;          ///< Tail already taken.
+  };
+
+  void headReached(FrameState &Fr, FuncId F, BlockId Head, int ViaEdge);
+
+  std::vector<CfgView> Views;
+  std::vector<LoopInfo> Loops;
+  std::vector<FunctionState> State;
+  std::vector<FrameState> Stack;
+  PathProfile Selected;
+  uint64_t HotThreshold;
+  unsigned Heads = 0;
+};
+
+} // namespace ppp
+
+#endif // PPP_PROFILE_NET_H

@@ -1,0 +1,90 @@
+//===- profile/PathKey.h - Canonical path identity -------------*- C++ -*-===//
+///
+/// \file
+/// The canonical identity of a Ball-Larus acyclic path: the starting
+/// block (function entry or a back-edge target), the sequence of CFG
+/// edge ids taken, and the terminating back edge (or -1 when the path
+/// ends at a return). Edge ids rather than block ids disambiguate
+/// conditional branches whose two targets are the same block.
+///
+/// Every component that talks about paths (the oracle tracer, the
+/// path-number decoder, the flow reconstruction) canonicalizes to this
+/// key, so their outputs can be joined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PROFILE_PATHKEY_H
+#define PPP_PROFILE_PATHKEY_H
+
+#include "analysis/CfgView.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ppp {
+
+/// Identity of one acyclic, intraprocedural path.
+///
+/// The starting back edge participates in the identity: Ball-Larus adds
+/// one dummy ENTRY->header edge per back edge, so the same block
+/// sequence beginning at a shared header is a *different* numbered path
+/// depending on which back edge initiated it.
+struct PathKey {
+  BlockId First = -1;        ///< Starting block.
+  int StartCfgEdgeId = -1;   ///< Back edge that started it, -1 for entry.
+  std::vector<int> EdgeIds;  ///< Interior CFG edges, in order.
+  int TermCfgEdgeId = -1;    ///< Ending back edge, or -1 for Ret.
+
+  bool operator==(const PathKey &O) const = default;
+
+  /// The block sequence this path visits.
+  std::vector<BlockId> blocks(const CfgView &Cfg) const {
+    std::vector<BlockId> B;
+    B.reserve(EdgeIds.size() + 1);
+    B.push_back(First);
+    for (int E : EdgeIds)
+      B.push_back(Cfg.edge(E).Dst);
+    return B;
+  }
+
+  /// Number of branches on the path (edges leaving blocks with >= 2
+  /// successors, including the terminating back edge if any).
+  unsigned branchCount(const CfgView &Cfg) const {
+    unsigned N = 0;
+    for (int E : EdgeIds)
+      if (Cfg.isBranchEdge(E))
+        ++N;
+    if (TermCfgEdgeId >= 0 && Cfg.isBranchEdge(TermCfgEdgeId))
+      ++N;
+    return N;
+  }
+
+  /// Static instruction count over the path's blocks.
+  unsigned instrCount(const CfgView &Cfg) const {
+    const Function &F = Cfg.function();
+    unsigned N = static_cast<unsigned>(F.block(First).Instrs.size());
+    for (int E : EdgeIds)
+      N += static_cast<unsigned>(F.block(Cfg.edge(E).Dst).Instrs.size());
+    return N;
+  }
+};
+
+struct PathKeyHash {
+  size_t operator()(const PathKey &K) const {
+    uint64_t H = 1469598103934665603ULL;
+    auto Mix = [&H](uint64_t V) {
+      H ^= V;
+      H *= 1099511628211ULL;
+    };
+    Mix(static_cast<uint64_t>(K.First));
+    Mix(static_cast<uint64_t>(static_cast<int64_t>(K.StartCfgEdgeId)));
+    for (int E : K.EdgeIds)
+      Mix(static_cast<uint64_t>(E) + 0x9e3779b9);
+    Mix(static_cast<uint64_t>(static_cast<int64_t>(K.TermCfgEdgeId)));
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace ppp
+
+#endif // PPP_PROFILE_PATHKEY_H

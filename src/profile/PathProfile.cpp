@@ -1,0 +1,56 @@
+//===- profile/PathProfile.cpp - Path profile data --------------------------===//
+
+#include "profile/PathProfile.h"
+
+using namespace ppp;
+
+void FunctionPathProfile::add(const CfgView &Cfg, const PathKey &Key,
+                              uint64_t Freq) {
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    Paths[It->second].Freq += Freq;
+    return;
+  }
+  PathRecord R;
+  R.Key = Key;
+  R.Freq = Freq;
+  R.Branches = Key.branchCount(Cfg);
+  R.Instrs = Key.instrCount(Cfg);
+  Index.emplace(Key, Paths.size());
+  Paths.push_back(std::move(R));
+}
+
+uint64_t FunctionPathProfile::totalFreq() const {
+  uint64_t N = 0;
+  for (const PathRecord &R : Paths)
+    N += R.Freq;
+  return N;
+}
+
+uint64_t FunctionPathProfile::totalFlow(FlowMetric Metric) const {
+  uint64_t N = 0;
+  for (const PathRecord &R : Paths)
+    N += R.flow(Metric);
+  return N;
+}
+
+uint64_t PathProfile::totalFreq() const {
+  uint64_t N = 0;
+  for (const FunctionPathProfile &F : Funcs)
+    N += F.totalFreq();
+  return N;
+}
+
+uint64_t PathProfile::totalFlow(FlowMetric Metric) const {
+  uint64_t N = 0;
+  for (const FunctionPathProfile &F : Funcs)
+    N += F.totalFlow(Metric);
+  return N;
+}
+
+uint64_t PathProfile::distinctPaths() const {
+  uint64_t N = 0;
+  for (const FunctionPathProfile &F : Funcs)
+    N += F.Paths.size();
+  return N;
+}

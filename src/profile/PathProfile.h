@@ -1,0 +1,81 @@
+//===- profile/PathProfile.h - Path profile data ---------------*- C++ -*-===//
+///
+/// \file
+/// A (possibly estimated) path profile: per function, a set of paths
+/// with frequencies plus the static per-path attributes (branch count,
+/// instruction count) needed by the unit-flow and branch-flow metrics.
+///
+/// The same structure holds the oracle's exact profile, a profiler's
+/// measured+estimated profile, and a flow-reconstruction estimate, so
+/// the metrics code can compare any two.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PROFILE_PATHPROFILE_H
+#define PPP_PROFILE_PATHPROFILE_H
+
+#include "profile/PathKey.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ppp {
+
+/// Which flow metric to use (Sec. 5.1).
+enum class FlowMetric : uint8_t {
+  Unit,   ///< F(p) = freq(p)
+  Branch, ///< F(p) = freq(p) * branches(p)
+};
+
+/// One distinct path with its (measured or estimated) frequency.
+struct PathRecord {
+  PathKey Key;
+  uint64_t Freq = 0;
+  unsigned Branches = 0; ///< Static branch count of the path.
+  unsigned Instrs = 0;   ///< Static instruction count of the path.
+
+  /// Flow under \p Metric.
+  uint64_t flow(FlowMetric Metric) const {
+    return Metric == FlowMetric::Unit
+               ? Freq
+               : Freq * static_cast<uint64_t>(Branches);
+  }
+};
+
+/// All recorded paths of one function.
+struct FunctionPathProfile {
+  std::vector<PathRecord> Paths;
+  std::unordered_map<PathKey, size_t, PathKeyHash> Index;
+
+  /// Adds \p Freq executions of \p Key (creating the record on first
+  /// sight, with attributes computed from \p Cfg).
+  void add(const CfgView &Cfg, const PathKey &Key, uint64_t Freq);
+
+  const PathRecord *find(const PathKey &Key) const {
+    auto It = Index.find(Key);
+    return It == Index.end() ? nullptr : &Paths[It->second];
+  }
+
+  /// Sum of path frequencies (number of dynamic paths).
+  uint64_t totalFreq() const;
+
+  /// Sum of path flows under \p Metric.
+  uint64_t totalFlow(FlowMetric Metric) const;
+};
+
+/// Whole-program path profile.
+struct PathProfile {
+  std::vector<FunctionPathProfile> Funcs;
+
+  explicit PathProfile(unsigned NumFunctions = 0) : Funcs(NumFunctions) {}
+
+  uint64_t totalFreq() const;
+  uint64_t totalFlow(FlowMetric Metric) const;
+  /// Number of distinct paths across all functions.
+  uint64_t distinctPaths() const;
+};
+
+} // namespace ppp
+
+#endif // PPP_PROFILE_PATHPROFILE_H

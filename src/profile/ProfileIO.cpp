@@ -1,0 +1,206 @@
+//===- profile/ProfileIO.cpp - Profile serialization -------------------------===//
+
+#include "profile/ProfileIO.h"
+
+#include "analysis/CfgView.h"
+#include "support/Format.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace ppp;
+
+std::string ppp::writeEdgeProfile(const Module &M, const EdgeProfile &EP) {
+  std::string S = "ppp-edge-profile v1\n";
+  S += formatString("module %s functions %u\n", M.Name.c_str(),
+                    M.numFunctions());
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    const FunctionEdgeProfile &FP = EP.func(static_cast<FuncId>(F));
+    S += formatString("func %u invocations %lld edges %zu\n", F,
+                      (long long)FP.Invocations, FP.EdgeFreq.size());
+    for (size_t E = 0; E < FP.EdgeFreq.size(); ++E)
+      S += formatString("%zu %lld\n", E, (long long)FP.EdgeFreq[E]);
+  }
+  return S;
+}
+
+namespace {
+
+/// Line-oriented tokenizer with error context.
+class LineReader {
+public:
+  explicit LineReader(const std::string &Text) : In(Text) {}
+
+  bool next(std::vector<std::string> &Tokens) {
+    std::string Line;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      Tokens.clear();
+      std::istringstream LS(Line);
+      std::string Tok;
+      while (LS >> Tok)
+        Tokens.push_back(Tok);
+      if (!Tokens.empty())
+        return true;
+    }
+    return false;
+  }
+
+  int line() const { return LineNo; }
+
+private:
+  std::istringstream In;
+  int LineNo = 0;
+};
+
+bool parseInt(const std::string &S, int64_t &V) {
+  char *End = nullptr;
+  V = strtoll(S.c_str(), &End, 10);
+  return End && *End == '\0';
+}
+
+} // namespace
+
+bool ppp::readEdgeProfile(const Module &M, const std::string &Text,
+                          EdgeProfile &Out, std::string &Error) {
+  LineReader R(Text);
+  std::vector<std::string> T;
+  auto Fail = [&](const char *Msg) {
+    Error = formatString("edge profile, line %d: %s", R.line(), Msg);
+    return false;
+  };
+
+  if (!R.next(T) || T.size() != 2 || T[0] != "ppp-edge-profile" ||
+      T[1] != "v1")
+    return Fail("bad header");
+  if (!R.next(T) || T.size() != 4 || T[0] != "module" || T[2] != "functions")
+    return Fail("bad module line");
+  int64_t NumFuncs;
+  if (!parseInt(T[3], NumFuncs) ||
+      NumFuncs != static_cast<int64_t>(M.numFunctions()))
+    return Fail("function count does not match the module");
+
+  Out.Funcs.assign(M.numFunctions(), FunctionEdgeProfile());
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    if (!R.next(T) || T.size() != 6 || T[0] != "func" ||
+        T[2] != "invocations" || T[4] != "edges")
+      return Fail("bad func line");
+    int64_t Id, Invocations, NumEdges;
+    if (!parseInt(T[1], Id) || Id != static_cast<int64_t>(F))
+      return Fail("function id out of order");
+    if (!parseInt(T[3], Invocations) || Invocations < 0)
+      return Fail("bad invocation count");
+    CfgView Cfg(M.function(static_cast<FuncId>(F)));
+    if (!parseInt(T[5], NumEdges) ||
+        NumEdges != static_cast<int64_t>(Cfg.numEdges()))
+      return Fail("edge count does not match the function's CFG");
+    FunctionEdgeProfile &FP = Out.Funcs[F];
+    FP.Invocations = Invocations;
+    FP.EdgeFreq.assign(static_cast<size_t>(NumEdges), 0);
+    for (int64_t E = 0; E < NumEdges; ++E) {
+      if (!R.next(T) || T.size() != 2)
+        return Fail("bad edge line");
+      int64_t Id2, Freq;
+      if (!parseInt(T[0], Id2) || Id2 != E || !parseInt(T[1], Freq) ||
+          Freq < 0)
+        return Fail("bad edge entry");
+      FP.EdgeFreq[static_cast<size_t>(E)] = Freq;
+    }
+  }
+  return true;
+}
+
+std::string ppp::writePathProfile(const Module &M,
+                                  const PathProfile &Profile) {
+  std::string S = "ppp-path-profile v1\n";
+  S += formatString("module %s functions %u\n", M.Name.c_str(),
+                    M.numFunctions());
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    const FunctionPathProfile &FP = Profile.Funcs[F];
+    S += formatString("func %u paths %zu\n", F, FP.Paths.size());
+    for (const PathRecord &Rec : FP.Paths) {
+      S += formatString("path %llu %d %d %d %zu",
+                        (unsigned long long)Rec.Freq, Rec.Key.First,
+                        Rec.Key.StartCfgEdgeId, Rec.Key.TermCfgEdgeId,
+                        Rec.Key.EdgeIds.size());
+      for (int E : Rec.Key.EdgeIds)
+        S += formatString(" %d", E);
+      S += "\n";
+    }
+  }
+  return S;
+}
+
+bool ppp::readPathProfile(const Module &M, const std::string &Text,
+                          PathProfile &Out, std::string &Error) {
+  LineReader R(Text);
+  std::vector<std::string> T;
+  auto Fail = [&](const char *Msg) {
+    Error = formatString("path profile, line %d: %s", R.line(), Msg);
+    return false;
+  };
+
+  if (!R.next(T) || T.size() != 2 || T[0] != "ppp-path-profile" ||
+      T[1] != "v1")
+    return Fail("bad header");
+  if (!R.next(T) || T.size() != 4 || T[0] != "module" || T[2] != "functions")
+    return Fail("bad module line");
+  int64_t NumFuncs;
+  if (!parseInt(T[3], NumFuncs) ||
+      NumFuncs != static_cast<int64_t>(M.numFunctions()))
+    return Fail("function count does not match the module");
+
+  Out = PathProfile(M.numFunctions());
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    if (!R.next(T) || T.size() != 4 || T[0] != "func" || T[2] != "paths")
+      return Fail("bad func line");
+    int64_t Id, NumPaths;
+    if (!parseInt(T[1], Id) || Id != static_cast<int64_t>(F))
+      return Fail("function id out of order");
+    if (!parseInt(T[3], NumPaths) || NumPaths < 0)
+      return Fail("bad path count");
+    CfgView Cfg(M.function(static_cast<FuncId>(F)));
+    for (int64_t P = 0; P < NumPaths; ++P) {
+      if (!R.next(T) || T.size() < 6 || T[0] != "path")
+        return Fail("bad path line");
+      int64_t Freq, First, Start, Term, Len;
+      if (!parseInt(T[1], Freq) || Freq < 0 || !parseInt(T[2], First) ||
+          !parseInt(T[3], Start) || !parseInt(T[4], Term) ||
+          !parseInt(T[5], Len) || Len < 0)
+        return Fail("bad path fields");
+      if (T.size() != 6 + static_cast<size_t>(Len))
+        return Fail("edge list length mismatch");
+      if (First < 0 || static_cast<unsigned>(First) >= Cfg.numBlocks())
+        return Fail("start block out of range");
+      PathKey Key;
+      Key.First = static_cast<BlockId>(First);
+      Key.StartCfgEdgeId = static_cast<int>(Start);
+      Key.TermCfgEdgeId = static_cast<int>(Term);
+      BlockId Cur = Key.First;
+      for (int64_t E = 0; E < Len; ++E) {
+        int64_t EdgeId;
+        if (!parseInt(T[6 + static_cast<size_t>(E)], EdgeId) || EdgeId < 0 ||
+            EdgeId >= static_cast<int64_t>(Cfg.numEdges()))
+          return Fail("edge id out of range");
+        const CfgEdge &CE = Cfg.edge(static_cast<int>(EdgeId));
+        if (CE.Src != Cur)
+          return Fail("edge does not continue the path");
+        Cur = CE.Dst;
+        Key.EdgeIds.push_back(static_cast<int>(EdgeId));
+      }
+      if (Key.StartCfgEdgeId >= 0) {
+        if (Key.StartCfgEdgeId >=
+                static_cast<int>(Cfg.numEdges()) ||
+            Cfg.edge(Key.StartCfgEdgeId).Dst != Key.First)
+          return Fail("start edge does not enter the first block");
+      }
+      if (Key.TermCfgEdgeId >= 0) {
+        if (Key.TermCfgEdgeId >= static_cast<int>(Cfg.numEdges()) ||
+            Cfg.edge(Key.TermCfgEdgeId).Src != Cur)
+          return Fail("terminating edge does not leave the last block");
+      }
+      Out.Funcs[F].add(Cfg, Key, static_cast<uint64_t>(Freq));
+    }
+  }
+  return true;
+}

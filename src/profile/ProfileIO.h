@@ -1,0 +1,54 @@
+//===- profile/ProfileIO.h - Profile serialization -------------*- C++ -*-===//
+///
+/// \file
+/// Text serialization for edge and path profiles, so a profile
+/// collected in one process can drive instrumentation or optimization
+/// in another (the "staged" in staged dynamic optimization).
+///
+/// The format is line-oriented and versioned:
+///
+///   ppp-edge-profile v1
+///   module <name> functions <n>
+///   func <id> invocations <n> edges <k>
+///   <edge-id> <freq>            (k lines)
+///
+///   ppp-path-profile v1
+///   module <name> functions <n>
+///   func <id> paths <k>
+///   path <freq> <first> <start-edge> <term-edge> <len> <edge...>
+///
+/// Reading validates structure against the module the profile is being
+/// attached to and fails (returning false with an error message) on any
+/// mismatch rather than fabricating data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PROFILE_PROFILEIO_H
+#define PPP_PROFILE_PROFILEIO_H
+
+#include "ir/Module.h"
+#include "profile/EdgeProfile.h"
+#include "profile/PathProfile.h"
+
+#include <string>
+
+namespace ppp {
+
+/// Renders \p EP (collected over \p M) as text.
+std::string writeEdgeProfile(const Module &M, const EdgeProfile &EP);
+
+/// Parses \p Text into \p Out, validating against \p M.
+/// \returns true on success; otherwise false with \p Error set.
+bool readEdgeProfile(const Module &M, const std::string &Text,
+                     EdgeProfile &Out, std::string &Error);
+
+/// Renders \p Profile (over \p M) as text.
+std::string writePathProfile(const Module &M, const PathProfile &Profile);
+
+/// Parses \p Text into \p Out, validating edges against \p M's CFGs.
+bool readPathProfile(const Module &M, const std::string &Text,
+                     PathProfile &Out, std::string &Error);
+
+} // namespace ppp
+
+#endif // PPP_PROFILE_PROFILEIO_H

@@ -1,0 +1,42 @@
+//===- support/CheckedMath.h - Overflow-checked arithmetic -----*- C++ -*-===//
+///
+/// \file
+/// Overflow-checked 64-bit arithmetic. Path counts grow multiplicatively
+/// with CFG size, so the Ball-Larus numbering must detect overflow rather
+/// than silently wrap (the paper uses 64-bit path numbers and calls
+/// truncation "rare"; we detect it and refuse to instrument instead).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_SUPPORT_CHECKEDMATH_H
+#define PPP_SUPPORT_CHECKEDMATH_H
+
+#include <cstdint>
+#include <limits>
+
+namespace ppp {
+
+/// Adds \p A and \p B, saturating at uint64 max and setting \p Overflow.
+inline uint64_t saturatingAdd(uint64_t A, uint64_t B, bool &Overflow) {
+  uint64_t R;
+  if (__builtin_add_overflow(A, B, &R)) {
+    Overflow = true;
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return R;
+}
+
+/// Multiplies \p A and \p B, saturating at uint64 max and setting
+/// \p Overflow.
+inline uint64_t saturatingMul(uint64_t A, uint64_t B, bool &Overflow) {
+  uint64_t R;
+  if (__builtin_mul_overflow(A, B, &R)) {
+    Overflow = true;
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return R;
+}
+
+} // namespace ppp
+
+#endif // PPP_SUPPORT_CHECKEDMATH_H

@@ -1,0 +1,60 @@
+//===- support/Dsu.h - Disjoint-set union ----------------------*- C++ -*-===//
+///
+/// \file
+/// Union-find with path compression and union by size, used by the
+/// Kruskal maximum-spanning-tree construction in event counting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_SUPPORT_DSU_H
+#define PPP_SUPPORT_DSU_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ppp {
+
+/// Disjoint-set union over the integers [0, N).
+class Dsu {
+public:
+  explicit Dsu(size_t N) : Parent(N), Size(N, 1) {
+    for (size_t I = 0; I < N; ++I)
+      Parent[I] = I;
+  }
+
+  /// Returns the canonical representative of \p X's set.
+  size_t find(size_t X) {
+    assert(X < Parent.size() && "element out of range");
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]]; // Path halving.
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the sets containing \p A and \p B.
+  /// \returns false if they were already in the same set.
+  bool unite(size_t A, size_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return false;
+    if (Size[A] < Size[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    Size[A] += Size[B];
+    return true;
+  }
+
+  /// Returns true if \p A and \p B are in the same set.
+  bool connected(size_t A, size_t B) { return find(A) == find(B); }
+
+private:
+  std::vector<size_t> Parent;
+  std::vector<size_t> Size;
+};
+
+} // namespace ppp
+
+#endif // PPP_SUPPORT_DSU_H

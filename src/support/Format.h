@@ -1,0 +1,23 @@
+//===- support/Format.h - printf-style std::string formatting --*- C++ -*-===//
+///
+/// \file
+/// A minimal printf-style formatter returning std::string, used by the
+/// IR printer, table printers, and error messages. (We deliberately avoid
+/// <iostream>; see the LLVM coding standards.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_SUPPORT_FORMAT_H
+#define PPP_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace ppp {
+
+/// Formats like printf into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace ppp
+
+#endif // PPP_SUPPORT_FORMAT_H

@@ -1,0 +1,77 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+///
+/// \file
+/// SplitMix64-based pseudo-random number generator. Every stochastic
+/// decision in this project (workload generation, property-test inputs)
+/// flows through this generator so runs are reproducible bit-for-bit
+/// from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_SUPPORT_RNG_H
+#define PPP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ppp {
+
+/// A small, fast, deterministic PRNG (SplitMix64).
+///
+/// SplitMix64 passes BigCrush and has a full 2^64 period, which is more
+/// than enough for workload generation. It is value-copyable, so derived
+/// streams can be forked cheaply with \c fork().
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() requires a nonzero bound");
+    // Rejection sampling to avoid modulo bias; the loop terminates with
+    // probability > 1/2 per iteration.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t V = next();
+      if (V >= Threshold)
+        return V % Bound;
+    }
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool percent(unsigned Percent) {
+    assert(Percent <= 100 && "percent() takes a value in [0, 100]");
+    return below(100) < Percent;
+  }
+
+  /// Returns a double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Forks an independent child stream; advancing the child does not
+  /// perturb this stream.
+  Rng fork() { return Rng(next() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace ppp
+
+#endif // PPP_SUPPORT_RNG_H

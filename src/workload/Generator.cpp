@@ -1,0 +1,347 @@
+//===- workload/Generator.cpp - Synthetic workload generation ---------------===//
+
+#include "workload/Generator.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace ppp;
+
+namespace {
+
+/// Builds one function body. Tracks an estimated dynamic cost
+/// (statement cost times the product of enclosing trip counts) so
+/// nesting and calls cannot blow a single invocation past a work
+/// budget; when the budget would be exceeded, the generator falls back
+/// to straight-line arithmetic.
+class FunctionGen {
+public:
+  FunctionGen(IRBuilder &B, const Module &M, Rng R,
+              const WorkloadParams &P,
+              const std::vector<double> &CalleeCosts, double Budget)
+      : B(B), M(M), R(R), P(P), CalleeCosts(CalleeCosts), Budget(Budget) {}
+
+  /// Generates a whole function body (after beginFunction) and returns
+  /// its estimated per-invocation cost.
+  double generate(unsigned NumParams) {
+    State = B.emitConst(static_cast<int64_t>(R.next() >> 8));
+    for (unsigned PI = 0; PI < NumParams; ++PI)
+      B.emitBinary(Opcode::Xor, State, static_cast<RegId>(PI), State);
+    RegId M0 = B.emitLoad(State);
+    B.emitBinary(Opcode::Add, State, M0, State);
+    pushPool(M0);
+    Cost += 4;
+
+    unsigned Stmts =
+        static_cast<unsigned>(R.range(P.TopStmtsMin, P.TopStmtsMax));
+    genStmts(Stmts, 0, 1.0);
+    B.emitRet(State);
+    Cost += 1;
+    return Cost;
+  }
+
+  /// Generates loop-body statements into the current block using
+  /// \p StateReg as the evolving state (used for main's driver loop).
+  void generateStmts(RegId StateReg, unsigned Stmts) {
+    State = StateReg;
+    genStmts(Stmts, 1, 1.0);
+  }
+
+private:
+  void bump(double Mult, double C) { Cost += Mult * C; }
+  bool budgetAllows(double Extra) { return Cost + Extra <= Budget; }
+
+  RegId pick() {
+    if (Pool.empty() || R.percent(30))
+      return State;
+    return Pool[R.below(Pool.size())];
+  }
+
+  void pushPool(RegId V) {
+    Pool.push_back(V);
+    if (Pool.size() > 8)
+      Pool.erase(Pool.begin());
+  }
+
+  /// state = state * K + C, keeping the high bits well mixed.
+  void stepState(double Mult) {
+    B.emitMulImm(State, 0x27bb2ee687b0b0fdLL, State);
+    B.emitAddImm(State, static_cast<int64_t>(R.next() | 1), State);
+    bump(Mult, 2);
+  }
+
+  /// A register holding 1 with probability ~TruePct/100.
+  RegId cond(unsigned TruePct, double Mult) {
+    stepState(Mult);
+    RegId C33 = B.emitConst(33);
+    RegId Hi = B.emitBinary(Opcode::Shr, State, C33);
+    RegId C100 = B.emitConst(100);
+    RegId Mod = B.emitBinary(Opcode::RemU, Hi, C100);
+    RegId Cut = B.emitConst(static_cast<int64_t>(TruePct));
+    RegId Cmp = B.emitBinary(Opcode::CmpLt, Mod, Cut);
+    bump(Mult, 5);
+    return Cmp;
+  }
+
+  void genOps(double Mult) {
+    unsigned N = static_cast<unsigned>(R.range(P.OpsMin, P.OpsMax));
+    for (unsigned I = 0; I < N; ++I) {
+      if (R.percent(P.MemOpPct)) {
+        if (R.percent(50)) {
+          RegId V = B.emitLoad(pick());
+          pushPool(V);
+          B.emitBinary(Opcode::Xor, State, V, State);
+          bump(Mult, 2);
+        } else {
+          B.emitStore(pick(), pick());
+          bump(Mult, 1);
+        }
+        continue;
+      }
+      static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::Xor,
+                                   Opcode::And, Opcode::Or,  Opcode::Add,
+                                   Opcode::Mul, Opcode::Shl, Opcode::CmpLt};
+      Opcode Op = Ops[R.below(sizeof(Ops) / sizeof(Ops[0]))];
+      RegId V = B.emitBinary(Op, pick(), pick());
+      pushPool(V);
+      bump(Mult, 1);
+    }
+    stepState(Mult);
+  }
+
+  void genIf(unsigned Depth, double Mult) {
+    bool Skewed = R.percent(P.SkewedIfPct);
+    unsigned TruePct =
+        Skewed ? static_cast<unsigned>(R.range(P.SkewMin, P.SkewMax))
+               : static_cast<unsigned>(R.range(35, 65));
+    RegId C = cond(TruePct, Mult);
+    BlockId ThenB = B.newBlock();
+    BlockId ElseB = B.newBlock();
+    BlockId Join = B.newBlock();
+    B.emitCondBr(C, ThenB, ElseB);
+
+    B.setInsertPoint(ThenB);
+    genStmts(static_cast<unsigned>(R.range(1, 2)), Depth + 1,
+             Mult * TruePct / 100.0);
+    B.emitBr(Join);
+
+    B.setInsertPoint(ElseB);
+    // The cold side sometimes carries real work, sometimes only the
+    // jump -- both shapes occur in real programs.
+    if (R.percent(70))
+      genStmts(1, Depth + 1, Mult * (100 - TruePct) / 100.0);
+    B.emitBr(Join);
+
+    B.setInsertPoint(Join);
+  }
+
+  void genLoop(unsigned Depth, double Mult) {
+    bool Hot = Depth == 0 && R.percent(P.HotLoopPct);
+    int64_t TripLo = Hot ? P.HotTripMin : P.TripMin;
+    int64_t TripHi = Hot ? P.HotTripMax : P.TripMax;
+    int64_t TripEst = (TripLo + TripHi) / 2;
+
+    if (!budgetAllows(Mult * static_cast<double>(TripEst) * 12)) {
+      genOps(Mult);
+      return;
+    }
+
+    // Trip count: constant, or data-dependent within [lo, hi].
+    RegId TripReg;
+    double TripAvg;
+    if (R.percent(50)) {
+      int64_t T = R.range(TripLo, TripHi);
+      TripReg = B.emitConst(T);
+      TripAvg = static_cast<double>(T);
+    } else {
+      stepState(Mult);
+      RegId C33 = B.emitConst(33);
+      RegId Hi = B.emitBinary(Opcode::Shr, State, C33);
+      RegId W = B.emitConst(TripHi - TripLo + 1);
+      RegId Mod = B.emitBinary(Opcode::RemU, Hi, W);
+      TripReg = B.emitAddImm(Mod, TripLo);
+      TripAvg = static_cast<double>(TripLo + TripHi) / 2.0;
+      bump(Mult, 4);
+    }
+
+    RegId IVar = B.emitConst(0);
+    BlockId Header = B.newBlock();
+    BlockId Exit = B.newBlock();
+    B.emitBr(Header);
+
+    B.setInsertPoint(Header);
+    genStmts(static_cast<unsigned>(R.range(1, 2)), Depth + 1,
+             Mult * TripAvg);
+    B.emitAddImm(IVar, 1, IVar);
+    RegId Cmp = B.emitBinary(Opcode::CmpLt, IVar, TripReg);
+    B.emitCondBr(Cmp, Header, Exit);
+    bump(Mult * TripAvg, 3);
+
+    B.setInsertPoint(Exit);
+  }
+
+  void genSwitch(unsigned Depth, double Mult) {
+    unsigned Arms =
+        static_cast<unsigned>(R.range(P.SwitchArmsMin, P.SwitchArmsMax));
+    stepState(Mult);
+    RegId C7 = B.emitConst(7);
+    RegId Sel = B.emitBinary(Opcode::Shr, State, C7);
+    bump(Mult, 2);
+    std::vector<BlockId> Targets;
+    for (unsigned A = 0; A < Arms; ++A)
+      Targets.push_back(B.newBlock());
+    BlockId Join = B.newBlock();
+    B.emitSwitch(Sel, Targets);
+    for (unsigned A = 0; A < Arms; ++A) {
+      B.setInsertPoint(Targets[A]);
+      genStmts(1, Depth + 1, Mult / Arms);
+      B.emitBr(Join);
+    }
+    B.setInsertPoint(Join);
+  }
+
+  void genCall(double Mult) {
+    if (CalleeCosts.empty()) {
+      genOps(Mult);
+      return;
+    }
+    size_t NumLeaves =
+        std::min<size_t>(P.LeafFunctions, CalleeCosts.size());
+    size_t Callee = NumLeaves > 0 && R.percent(P.LeafCallBiasPct)
+                        ? R.below(NumLeaves)
+                        : R.below(CalleeCosts.size());
+    double CalleeCost = CalleeCosts[Callee];
+    if (!budgetAllows(Mult * (CalleeCost + 3))) {
+      genOps(Mult);
+      return;
+    }
+    unsigned NumParams = M.function(static_cast<FuncId>(Callee)).NumParams;
+    std::vector<RegId> Args;
+    for (unsigned AI = 0; AI < NumParams; ++AI)
+      Args.push_back(pick());
+    RegId Res = B.emitCall(static_cast<FuncId>(Callee), Args);
+    B.emitBinary(Opcode::Xor, State, Res, State);
+    pushPool(Res);
+    bump(Mult, 3 + CalleeCost);
+  }
+
+  void genStmts(unsigned Count, unsigned Depth, double Mult) {
+    for (unsigned S = 0; S < Count; ++S) {
+      unsigned Roll = static_cast<unsigned>(R.below(100));
+      if (Depth < P.MaxDepth && Roll < P.IfPct) {
+        genIf(Depth, Mult);
+      } else if (Depth < P.MaxDepth && Roll < P.IfPct + P.LoopPct) {
+        genLoop(Depth, Mult);
+      } else if (Depth < P.MaxDepth &&
+                 Roll < P.IfPct + P.LoopPct + P.SwitchPct) {
+        genSwitch(Depth, Mult);
+      } else if (Roll < P.IfPct + P.LoopPct + P.SwitchPct + P.CallPct) {
+        genCall(Mult);
+      } else {
+        genOps(Mult);
+      }
+    }
+  }
+
+  IRBuilder &B;
+  const Module &M;
+  Rng R;
+  const WorkloadParams &P;
+  const std::vector<double> &CalleeCosts;
+  double Budget;
+  double Cost = 0;
+  RegId State = -1;
+  std::vector<RegId> Pool;
+};
+
+} // namespace
+
+Module ppp::generateWorkload(const WorkloadParams &Params) {
+  Module M;
+  M.Name = Params.Name;
+  M.MemWords = 4096;
+  IRBuilder B(M);
+  Rng Root(Params.Seed);
+
+  // Per-invocation work budget for callable functions and for one
+  // iteration of main's driver loop.
+  const double FuncBudget = 20000.0;
+
+  std::vector<double> Costs;
+  for (unsigned FI = 0; FI < Params.NumFunctions; ++FI) {
+    unsigned NumParams = static_cast<unsigned>(Root.range(1, 2));
+    bool IsLeaf = FI < Params.LeafFunctions;
+    WorkloadParams FnParams = Params;
+    if (IsLeaf) {
+      // Tiny hot helpers: at most one branch, no loops/switches/calls.
+      FnParams.TopStmtsMin = 1;
+      FnParams.TopStmtsMax = 2;
+      FnParams.MaxDepth = 1;
+      FnParams.LoopPct = 0;
+      FnParams.SwitchPct = 0;
+      FnParams.CallPct = 0;
+      FnParams.OpsMin = 1;
+      FnParams.OpsMax = 3;
+    }
+    B.beginFunction((IsLeaf ? "leaf" : "f") + std::to_string(FI),
+                    NumParams);
+    FunctionGen G(B, M, Root.fork(), FnParams, Costs, FuncBudget);
+    Costs.push_back(G.generate(NumParams));
+    B.endFunction();
+  }
+
+  // main: a driver loop around generated work plus explicit calls.
+  FuncId MainId = B.beginFunction("main", 0);
+  M.MainId = MainId;
+  {
+    Rng MainRng = Root.fork();
+    RegId State = B.emitConst(static_cast<int64_t>(MainRng.next() >> 8));
+    RegId IVar = B.emitConst(0);
+    RegId Trip = B.emitConst(static_cast<int64_t>(Params.MainLoopTrips));
+    BlockId Header = B.newBlock();
+    BlockId Exit = B.newBlock();
+    B.emitBr(Header);
+
+    B.setInsertPoint(Header);
+    B.emitBinary(Opcode::Xor, State, IVar, State);
+    FunctionGen G(B, M, MainRng.fork(), Params, Costs, FuncBudget);
+    G.generateStmts(State, static_cast<unsigned>(MainRng.range(2, 4)));
+    // The driver's explicit calls target the *non-leaf* functions (the
+    // program's "phases"), guaranteeing the large bodies actually run;
+    // leaf utilities are reached through the generated statements and
+    // through the phases themselves.
+    size_t FirstPhase = std::min<size_t>(Params.LeafFunctions, Costs.size());
+    size_t NumPhases = Costs.size() - FirstPhase;
+    unsigned Calls =
+        Costs.empty() ? 0
+                      : std::min<unsigned>(3, static_cast<unsigned>(
+                                                  Costs.size()));
+    for (unsigned CI = 0; CI < Calls; ++CI) {
+      FuncId Callee = static_cast<FuncId>(
+          NumPhases > 0 ? FirstPhase + MainRng.below(NumPhases)
+                        : MainRng.below(Costs.size()));
+      unsigned NumParams = M.function(Callee).NumParams;
+      std::vector<RegId> Args;
+      for (unsigned AI = 0; AI < NumParams; ++AI)
+        Args.push_back(AI % 2 == 0 ? State : IVar);
+      RegId Res = B.emitCall(Callee, Args);
+      B.emitBinary(Opcode::Xor, State, Res, State);
+    }
+    B.emitStore(IVar, State);
+    B.emitAddImm(IVar, 1, IVar);
+    RegId Cmp = B.emitBinary(Opcode::CmpLt, IVar, Trip);
+    B.emitCondBr(Cmp, Header, Exit);
+
+    B.setInsertPoint(Exit);
+    B.emitRet(State);
+  }
+  B.endFunction();
+
+  assert(verifyModule(M).empty() && "generated module fails verification");
+  return M;
+}

@@ -1,0 +1,81 @@
+//===- workload/Generator.h - Synthetic workload generation ----*- C++ -*-===//
+///
+/// \file
+/// Seeded structured-program generation, standing in for SPEC2000
+/// (unavailable here). Programs are built as an AST of sequences,
+/// skewed/balanced ifs, counted loops, multiway switches, straight-line
+/// arithmetic, and calls over an acyclic call graph, then lowered to the
+/// IR. Branch conditions hash an evolving per-function state register
+/// that mixes loop counters and loads from the seeded global memory, so
+/// control flow is data-dependent yet deterministic, with controllable
+/// bias -- the properties path-profiling behaviour actually depends on.
+///
+/// Programs always terminate: every loop is counted (data-dependent
+/// bounds are clamped to a range).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_WORKLOAD_GENERATOR_H
+#define PPP_WORKLOAD_GENERATOR_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ppp {
+
+/// Knobs controlling the generated program's shape. Percentages are the
+/// per-statement probabilities when the generator picks the next
+/// statement kind; they need not sum to 100 (the remainder becomes
+/// straight-line arithmetic).
+struct WorkloadParams {
+  uint64_t Seed = 1;
+  std::string Name = "synthetic";
+
+  unsigned NumFunctions = 8; ///< Callable functions besides main.
+  /// The first functions are tiny leaf utilities (SPEC-style hot
+  /// helpers): straight-line or one branch, no loops or calls. Call
+  /// sites are biased toward them, which is what makes the paper's 5%
+  /// code-bloat inlining budget able to inline ~45% of dynamic calls.
+  unsigned LeafFunctions = 3;
+  unsigned LeafCallBiasPct = 55; ///< Chance a call targets a leaf.
+  unsigned TopStmtsMin = 4;      ///< Statements in a function body.
+  unsigned TopStmtsMax = 10;
+  unsigned MaxDepth = 3; ///< Maximum nesting of if/loop/switch.
+
+  unsigned IfPct = 30;
+  unsigned LoopPct = 15;
+  unsigned SwitchPct = 5;
+  unsigned CallPct = 15;
+
+  unsigned OpsMin = 2; ///< Straight-line chunk length.
+  unsigned OpsMax = 8;
+  unsigned MemOpPct = 25; ///< Chance an op is a load/store.
+
+  unsigned SkewedIfPct = 70; ///< Fraction of ifs that are biased.
+  unsigned SkewMin = 88;     ///< Bias range for skewed ifs (percent).
+  unsigned SkewMax = 98;
+
+  unsigned TripMin = 2; ///< Counted-loop trip range (typical loops).
+  unsigned TripMax = 12;
+  unsigned HotLoopPct = 25; ///< Chance a loop is hot instead.
+  unsigned HotTripMin = 40;
+  unsigned HotTripMax = 200;
+
+  unsigned SwitchArmsMin = 3;
+  unsigned SwitchArmsMax = 6;
+
+  /// Iterations of main's driver loop; the calibrator scales this to
+  /// hit a dynamic-size target.
+  uint64_t MainLoopTrips = 50;
+};
+
+/// Generates a complete, verified module. The same params (including
+/// Seed) always produce the identical module; changing only
+/// MainLoopTrips changes one loop bound and nothing else.
+Module generateWorkload(const WorkloadParams &Params);
+
+} // namespace ppp
+
+#endif // PPP_WORKLOAD_GENERATOR_H

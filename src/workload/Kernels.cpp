@@ -1,0 +1,392 @@
+//===- workload/Kernels.cpp - Hand-written algorithm kernels ------------------===//
+
+#include "workload/Kernels.h"
+
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace ppp;
+
+namespace {
+
+/// The interpreter's initial memory image for a given module size and
+/// seed (must mirror Interpreter::run exactly).
+std::vector<int64_t> initialMemory(uint64_t MemWords, uint64_t MemSeed) {
+  std::vector<int64_t> Mem(MemWords);
+  Rng MemRng(MemSeed);
+  for (int64_t &W : Mem)
+    W = static_cast<int64_t>(MemRng.next() >> 16);
+  return Mem;
+}
+
+uint64_t wrapMul(uint64_t A, uint64_t B) { return A * B; }
+uint64_t wrapAdd(uint64_t A, uint64_t B) { return A + B; }
+
+} // namespace
+
+Kernel ppp::makeInsertionSortKernel(unsigned N, uint64_t MemSeed) {
+  Kernel K;
+  K.Name = "insertion_sort";
+  K.MemSeed = MemSeed;
+  K.M.Name = K.Name;
+  K.M.MemWords = 4096;
+  assert(N < K.M.MemWords && "array must fit in memory");
+
+  IRBuilder B(K.M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(1);
+  RegId NReg = B.emitConst(static_cast<int64_t>(N));
+  RegId One = B.emitConst(1);
+
+  BlockId OuterH = B.newBlock();
+  BlockId InnerH = B.newBlock();
+  BlockId Swap = B.newBlock();
+  BlockId InnerE = B.newBlock();
+  BlockId Sum = B.newBlock();
+  BlockId SumH = B.newBlock();
+  BlockId Done = B.newBlock();
+  B.emitBr(OuterH);
+
+  // for (i = 1; i < N; ++i)
+  B.setInsertPoint(OuterH);
+  RegId J = B.emitMov(I);
+  B.emitBr(InnerH);
+
+  //   while (j > 0 && a[j-1] > a[j]) swap, --j;   (non-short-circuit)
+  B.setInsertPoint(InnerH);
+  RegId Zero = B.emitConst(0);
+  RegId JPos = B.emitBinary(Opcode::CmpLt, Zero, J);
+  RegId Jm1 = B.emitBinary(Opcode::Sub, J, One);
+  RegId Prev = B.emitLoad(Jm1);
+  RegId Cur = B.emitLoad(J);
+  RegId OutOfOrder = B.emitBinary(Opcode::CmpLt, Cur, Prev);
+  RegId Go = B.emitBinary(Opcode::And, JPos, OutOfOrder);
+  B.emitCondBr(Go, Swap, InnerE);
+
+  B.setInsertPoint(Swap);
+  B.emitStore(Jm1, Cur);
+  B.emitStore(J, Prev);
+  B.emitBinary(Opcode::Sub, J, One, J);
+  B.emitBr(InnerH);
+
+  B.setInsertPoint(InnerE);
+  B.emitAddImm(I, 1, I);
+  RegId More = B.emitBinary(Opcode::CmpLt, I, NReg);
+  B.emitCondBr(More, OuterH, Sum);
+
+  // checksum = sum i * a[i]
+  B.setInsertPoint(Sum);
+  RegId Acc = B.emitConst(0);
+  RegId SI = B.emitConst(0);
+  B.emitBr(SumH);
+  B.setInsertPoint(SumH);
+  RegId V = B.emitLoad(SI);
+  RegId Weighted = B.emitBinary(Opcode::Mul, SI, V);
+  B.emitBinary(Opcode::Add, Acc, Weighted, Acc);
+  B.emitAddImm(SI, 1, SI);
+  RegId SMore = B.emitBinary(Opcode::CmpLt, SI, NReg);
+  B.emitCondBr(SMore, SumH, Done);
+  B.setInsertPoint(Done);
+  B.emitRet(Acc);
+  B.endFunction();
+  assert(verifyModule(K.M).empty());
+
+  // Host reference.
+  std::vector<int64_t> Mem = initialMemory(K.M.MemWords, MemSeed);
+  uint64_t Mask = K.M.MemWords - 1;
+  for (uint64_t I2 = 1; I2 < N; ++I2) {
+    uint64_t J2 = I2;
+    for (;;) {
+      bool JPos2 = J2 > 0;
+      // Mirror the non-short-circuit loads with address masking.
+      int64_t Prev2 = Mem[(J2 - 1) & Mask];
+      int64_t Cur2 = Mem[J2 & Mask];
+      if (!(JPos2 && Cur2 < Prev2))
+        break;
+      Mem[(J2 - 1) & Mask] = Cur2;
+      Mem[J2 & Mask] = Prev2;
+      --J2;
+    }
+  }
+  uint64_t Acc2 = 0;
+  for (uint64_t I2 = 0; I2 < N; ++I2)
+    Acc2 = wrapAdd(Acc2, wrapMul(I2, static_cast<uint64_t>(Mem[I2])));
+  K.ExpectedReturn = static_cast<int64_t>(Acc2);
+  return K;
+}
+
+Kernel ppp::makeMatMulKernel(unsigned KDim, uint64_t MemSeed) {
+  Kernel K;
+  K.Name = "matmul";
+  K.MemSeed = MemSeed;
+  K.M.Name = K.Name;
+  K.M.MemWords = 4096;
+  assert(3u * KDim * KDim < K.M.MemWords && "matrices must fit");
+  int64_t ABase = 0, BBase = KDim * KDim, CBase = 2 * KDim * KDim;
+
+  IRBuilder B(K.M);
+  B.beginFunction("main", 0);
+  RegId N = B.emitConst(static_cast<int64_t>(KDim));
+  RegId I = B.emitConst(0);
+
+  BlockId IH = B.newBlock(), JH = B.newBlock(), KH = B.newBlock();
+  BlockId KE = B.newBlock(), JE = B.newBlock(), Done = B.newBlock();
+  RegId J = B.newReg(), KV = B.newReg(), Acc = B.newReg();
+  B.emitBr(IH);
+
+  B.setInsertPoint(IH);
+  B.emitConst(0, J);
+  B.emitBr(JH);
+
+  B.setInsertPoint(JH);
+  B.emitConst(0, KV);
+  B.emitConst(0, Acc);
+  B.emitBr(KH);
+
+  B.setInsertPoint(KH);
+  // A[i*n + k]
+  RegId In = B.emitBinary(Opcode::Mul, I, N);
+  RegId AIdx = B.emitBinary(Opcode::Add, In, KV);
+  RegId AAddr = B.emitAddImm(AIdx, ABase);
+  RegId AV = B.emitLoad(AAddr);
+  // B[k*n + j]
+  RegId Kn = B.emitBinary(Opcode::Mul, KV, N);
+  RegId BIdx = B.emitBinary(Opcode::Add, Kn, J);
+  RegId BAddr = B.emitAddImm(BIdx, BBase);
+  RegId BV = B.emitLoad(BAddr);
+  RegId Prod = B.emitBinary(Opcode::Mul, AV, BV);
+  B.emitBinary(Opcode::Add, Acc, Prod, Acc);
+  B.emitAddImm(KV, 1, KV);
+  RegId KMore = B.emitBinary(Opcode::CmpLt, KV, N);
+  B.emitCondBr(KMore, KH, KE);
+
+  B.setInsertPoint(KE);
+  RegId CIdx = B.emitBinary(Opcode::Add, In, J);
+  RegId CAddr = B.emitAddImm(CIdx, CBase);
+  B.emitStore(CAddr, Acc);
+  B.emitAddImm(J, 1, J);
+  RegId JMore = B.emitBinary(Opcode::CmpLt, J, N);
+  B.emitCondBr(JMore, JH, JE);
+
+  B.setInsertPoint(JE);
+  B.emitAddImm(I, 1, I);
+  RegId IMore = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(IMore, IH, Done);
+
+  // Checksum of C.
+  B.setInsertPoint(Done);
+  RegId Sum = B.emitConst(0);
+  RegId SI = B.emitConst(0);
+  RegId Total = B.emitConst(static_cast<int64_t>(KDim * KDim));
+  BlockId SumH = B.newBlock(), End = B.newBlock();
+  B.emitBr(SumH);
+  B.setInsertPoint(SumH);
+  RegId Addr = B.emitAddImm(SI, CBase);
+  RegId CV = B.emitLoad(Addr);
+  B.emitBinary(Opcode::Xor, Sum, CV, Sum);
+  B.emitAddImm(SI, 1, SI);
+  RegId SMore = B.emitBinary(Opcode::CmpLt, SI, Total);
+  B.emitCondBr(SMore, SumH, End);
+  B.setInsertPoint(End);
+  B.emitRet(Sum);
+  B.endFunction();
+  assert(verifyModule(K.M).empty());
+
+  // Host reference.
+  std::vector<int64_t> Mem = initialMemory(K.M.MemWords, MemSeed);
+  for (unsigned I2 = 0; I2 < KDim; ++I2)
+    for (unsigned J2 = 0; J2 < KDim; ++J2) {
+      uint64_t Acc2 = 0;
+      for (unsigned K2 = 0; K2 < KDim; ++K2)
+        Acc2 = wrapAdd(
+            Acc2, wrapMul(static_cast<uint64_t>(
+                              Mem[static_cast<size_t>(ABase) + I2 * KDim + K2]),
+                          static_cast<uint64_t>(
+                              Mem[static_cast<size_t>(BBase) + K2 * KDim + J2])));
+      Mem[static_cast<size_t>(CBase) + I2 * KDim + J2] =
+          static_cast<int64_t>(Acc2);
+    }
+  uint64_t Sum2 = 0;
+  for (unsigned E = 0; E < KDim * KDim; ++E)
+    Sum2 ^= static_cast<uint64_t>(Mem[static_cast<size_t>(CBase) + E]);
+  K.ExpectedReturn = static_cast<int64_t>(Sum2);
+  return K;
+}
+
+Kernel ppp::makeDfaKernel(unsigned Steps, uint64_t MemSeed) {
+  Kernel K;
+  K.Name = "dfa";
+  K.MemSeed = MemSeed;
+  K.M.Name = K.Name;
+  K.M.MemWords = 4096;
+
+  constexpr int64_t LcgMul = 6364136223846793005LL;
+  constexpr int64_t LcgAdd = 1442695040888963407LL;
+
+  IRBuilder B(K.M);
+  B.beginFunction("main", 0);
+  RegId State = B.emitConst(0);
+  RegId X = B.emitConst(777);
+  RegId Check = B.emitConst(0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(static_cast<int64_t>(Steps));
+
+  BlockId H = B.newBlock(), Join = B.newBlock(), Done = B.newBlock();
+  std::vector<BlockId> Arms;
+  for (int A = 0; A < 8; ++A)
+    Arms.push_back(B.newBlock());
+  B.emitBr(H);
+
+  B.setInsertPoint(H);
+  B.emitMulImm(X, LcgMul, X);
+  B.emitAddImm(X, LcgAdd, X);
+  RegId C29 = B.emitConst(29);
+  RegId Sym = B.emitBinary(Opcode::Shr, X, C29);
+  RegId Mixed = B.emitBinary(Opcode::Add, State, Sym);
+  B.emitSwitch(Mixed, Arms);
+
+  // Each arm sets the next state and perturbs the checksum uniquely.
+  const int64_t NextState[8] = {3, 1, 4, 1, 5, 2, 6, 0};
+  for (int A = 0; A < 8; ++A) {
+    B.setInsertPoint(Arms[A]);
+    B.emitConst(NextState[A], State);
+    B.emitMulImm(Check, 31, Check);
+    B.emitAddImm(Check, A + 1, Check);
+    B.emitBr(Join);
+  }
+
+  B.setInsertPoint(Join);
+  B.emitAddImm(I, 1, I);
+  RegId More = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(More, H, Done);
+  B.setInsertPoint(Done);
+  RegId Out = B.emitBinary(Opcode::Xor, Check, State);
+  B.emitRet(Out);
+  B.endFunction();
+  assert(verifyModule(K.M).empty());
+
+  // Host reference.
+  uint64_t X2 = 777, State2 = 0, Check2 = 0;
+  for (unsigned S = 0; S < Steps; ++S) {
+    X2 = wrapAdd(wrapMul(X2, static_cast<uint64_t>(LcgMul)),
+                 static_cast<uint64_t>(LcgAdd));
+    uint64_t Sym2 = X2 >> 29;
+    unsigned Arm = static_cast<unsigned>((State2 + Sym2) % 8);
+    State2 = static_cast<uint64_t>(NextState[Arm]);
+    Check2 = wrapAdd(wrapMul(Check2, 31), Arm + 1);
+  }
+  K.ExpectedReturn = static_cast<int64_t>(Check2 ^ State2);
+  return K;
+}
+
+Kernel ppp::makeFibKernel(unsigned N, uint64_t MemSeed) {
+  Kernel K;
+  K.Name = "fib";
+  K.MemSeed = MemSeed;
+  K.M.Name = K.Name;
+  K.M.MemWords = 1024;
+
+  IRBuilder B(K.M);
+  // fib(n): n < 2 ? n : fib(n-1) + fib(n-2).
+  B.beginFunction("fib", 1);
+  RegId Two = B.emitConst(2);
+  RegId Small = B.emitBinary(Opcode::CmpLt, 0, Two);
+  BlockId Base = B.newBlock(), Rec = B.newBlock();
+  B.emitCondBr(Small, Base, Rec);
+  B.setInsertPoint(Base);
+  B.emitRet(0);
+  B.setInsertPoint(Rec);
+  RegId Nm1 = B.emitAddImm(0, -1);
+  RegId F1 = B.emitCall(0, {Nm1});
+  RegId Nm2 = B.emitAddImm(0, -2);
+  RegId F2 = B.emitCall(0, {Nm2});
+  B.emitRet(B.emitBinary(Opcode::Add, F1, F2));
+  B.endFunction();
+  FuncId MainId = B.beginFunction("main", 0);
+  RegId Arg = B.emitConst(static_cast<int64_t>(N));
+  B.emitRet(B.emitCall(0, {Arg}));
+  B.endFunction();
+  K.M.MainId = MainId;
+  assert(verifyModule(K.M).empty());
+
+  uint64_t A = 0, Bv = 1;
+  for (unsigned I = 0; I < N; ++I) {
+    uint64_t Next = wrapAdd(A, Bv);
+    A = Bv;
+    Bv = Next;
+  }
+  K.ExpectedReturn = static_cast<int64_t>(A);
+  return K;
+}
+
+Kernel ppp::makeCrcKernel(unsigned Rounds, uint64_t MemSeed) {
+  Kernel K;
+  K.Name = "crc";
+  K.MemSeed = MemSeed;
+  K.M.Name = K.Name;
+  K.M.MemWords = 4096;
+
+  IRBuilder B(K.M);
+  B.beginFunction("main", 0);
+  RegId Acc = B.emitConst(0x1234567);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(static_cast<int64_t>(Rounds));
+  BlockId H = B.newBlock(), Odd = B.newBlock(), Join = B.newBlock(),
+          Done = B.newBlock();
+  B.emitBr(H);
+
+  B.setInsertPoint(H);
+  RegId V = B.emitLoad(I);
+  B.emitBinary(Opcode::Xor, Acc, V, Acc);
+  RegId C13 = B.emitConst(13);
+  RegId Sh = B.emitBinary(Opcode::Shr, Acc, C13);
+  B.emitBinary(Opcode::Xor, Acc, Sh, Acc);
+  B.emitMulImm(Acc, 0x2545f4914f6cdd1dLL, Acc);
+  // Skewed guard: ~10% of values take the extra mixing arm.
+  RegId C10 = B.emitConst(10);
+  RegId Mod = B.emitBinary(Opcode::RemU, Acc, C10);
+  RegId Zero = B.emitConst(0);
+  RegId IsZero = B.emitBinary(Opcode::CmpEq, Mod, Zero);
+  B.emitCondBr(IsZero, Odd, Join);
+  B.setInsertPoint(Odd);
+  RegId C31 = B.emitConst(31);
+  RegId Hi = B.emitBinary(Opcode::Shl, Acc, C31);
+  B.emitBinary(Opcode::Add, Acc, Hi, Acc);
+  B.emitBr(Join);
+  B.setInsertPoint(Join);
+  B.emitAddImm(I, 1, I);
+  RegId More = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(More, H, Done);
+  B.setInsertPoint(Done);
+  B.emitRet(Acc);
+  B.endFunction();
+  assert(verifyModule(K.M).empty());
+
+  // Host reference.
+  std::vector<int64_t> Mem = initialMemory(K.M.MemWords, MemSeed);
+  uint64_t Mask = K.M.MemWords - 1;
+  uint64_t Acc2 = 0x1234567;
+  for (uint64_t I2 = 0; I2 < Rounds; ++I2) {
+    Acc2 ^= static_cast<uint64_t>(Mem[I2 & Mask]);
+    Acc2 ^= Acc2 >> 13;
+    Acc2 = wrapMul(Acc2, 0x2545f4914f6cdd1dULL);
+    if (Acc2 % 10 == 0)
+      Acc2 = wrapAdd(Acc2, Acc2 << 31);
+  }
+  K.ExpectedReturn = static_cast<int64_t>(Acc2);
+  return K;
+}
+
+std::vector<Kernel> ppp::standardKernels(uint64_t MemSeed) {
+  std::vector<Kernel> Out;
+  Out.push_back(makeInsertionSortKernel(300, MemSeed));
+  Out.push_back(makeMatMulKernel(18, MemSeed));
+  Out.push_back(makeDfaKernel(20000, MemSeed));
+  Out.push_back(makeFibKernel(21, MemSeed));
+  Out.push_back(makeCrcKernel(30000, MemSeed));
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- workload/Kernels.h - Hand-written algorithm kernels -----*- C++ -*-===//
+///
+/// \file
+/// Classic algorithms written directly in the IR, each paired with a
+/// host-side reference implementation that replays the exact same
+/// computation (including the interpreter's seeded memory image and
+/// address masking) to predict the program's return value. They give
+/// the profilers *designed* control flow -- sorting's data-dependent
+/// inner loop, switch dispatch, real recursion -- complementing the
+/// random structured generator, and they double as deep interpreter
+/// correctness tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_WORKLOAD_KERNELS_H
+#define PPP_WORKLOAD_KERNELS_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppp {
+
+/// A kernel program plus the return value it must produce when run with
+/// the given memory seed.
+struct Kernel {
+  std::string Name;
+  Module M;
+  uint64_t MemSeed = 0;
+  int64_t ExpectedReturn = 0;
+};
+
+/// Insertion sort over the first \p N memory words; returns a
+/// position-weighted checksum of the sorted array. Branchy with a
+/// data-dependent inner loop (parser/twolf-like shape).
+Kernel makeInsertionSortKernel(unsigned N, uint64_t MemSeed);
+
+/// Dense K x K matrix multiply (C = A * B over memory regions);
+/// returns a checksum of C. Deep counted loop nest (swim-like shape).
+Kernel makeMatMulKernel(unsigned K, uint64_t MemSeed);
+
+/// An 8-state table-driven automaton stepped \p Steps times on
+/// pseudo-random symbols via Switch dispatch (perlbmk-like shape);
+/// returns the final state mixed with a transition checksum.
+Kernel makeDfaKernel(unsigned Steps, uint64_t MemSeed);
+
+/// Naive doubly-recursive Fibonacci; exercises deep call stacks and
+/// call-transparent path profiling. Returns fib(N) with wrapping
+/// arithmetic.
+Kernel makeFibKernel(unsigned N, uint64_t MemSeed);
+
+/// A bit-twiddling checksum loop with a skewed guard (bzip2-like
+/// shape); returns the accumulated value.
+Kernel makeCrcKernel(unsigned Rounds, uint64_t MemSeed);
+
+/// All of the above at moderate sizes.
+std::vector<Kernel> standardKernels(uint64_t MemSeed = 0x5eed);
+
+} // namespace ppp
+
+#endif // PPP_WORKLOAD_KERNELS_H

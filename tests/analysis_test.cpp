@@ -1,0 +1,296 @@
+//===- tests/analysis_test.cpp - CFG analysis tests ---------------------------===//
+
+#include "analysis/BLDag.h"
+#include "analysis/Dominators.h"
+#include "analysis/StaticProfile.h"
+#include "pathprof/ColdEdges.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+/// b0 -> {b1, b2} -> b3 -> ret (diamond).
+Module diamond() {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId C = B.emitConst(1);
+  BlockId T = B.newBlock(), F = B.newBlock(), J = B.newBlock();
+  B.emitCondBr(C, T, F);
+  B.setInsertPoint(T);
+  B.emitBr(J);
+  B.setInsertPoint(F);
+  B.emitBr(J);
+  B.setInsertPoint(J);
+  B.emitRet(C);
+  B.endFunction();
+  EXPECT_EQ(verifyModule(M), "");
+  return M;
+}
+
+/// b0 -> b1(header) -> {b1, b2}; b2 -> ret (simple loop).
+Module simpleLoop() {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(5);
+  BlockId H = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+  EXPECT_EQ(verifyModule(M), "");
+  return M;
+}
+
+TEST(CfgView, DiamondEdges) {
+  Module M = diamond();
+  CfgView Cfg(M.function(0));
+  EXPECT_EQ(Cfg.numBlocks(), 4u);
+  EXPECT_EQ(Cfg.numEdges(), 4u);
+  EXPECT_EQ(Cfg.outEdges(0).size(), 2u);
+  EXPECT_EQ(Cfg.inEdges(3).size(), 2u);
+  // Branch classification: edges out of b0 are branches, others not.
+  EXPECT_TRUE(Cfg.isBranchEdge(Cfg.edgeIdFor(0, 0)));
+  EXPECT_TRUE(Cfg.isBranchEdge(Cfg.edgeIdFor(0, 1)));
+  EXPECT_FALSE(Cfg.isBranchEdge(Cfg.edgeIdFor(1, 0)));
+  // Edge endpoints.
+  const CfgEdge &E = Cfg.edge(Cfg.edgeIdFor(0, 1));
+  EXPECT_EQ(E.Src, 0);
+  EXPECT_EQ(E.Dst, 2);
+  EXPECT_EQ(E.SuccIdx, 1u);
+}
+
+TEST(CfgView, ReversePostOrderVisitsBeforeSuccessors) {
+  Module M = diamond();
+  CfgView Cfg(M.function(0));
+  std::vector<BlockId> Rpo = reversePostOrder(Cfg);
+  ASSERT_EQ(Rpo.size(), 4u);
+  EXPECT_EQ(Rpo.front(), 0);
+  EXPECT_EQ(Rpo.back(), 3);
+}
+
+TEST(Dominators, Diamond) {
+  Module M = diamond();
+  CfgView Cfg(M.function(0));
+  Dominators D = Dominators::compute(Cfg);
+  EXPECT_EQ(D.idom(0), -1);
+  EXPECT_EQ(D.idom(1), 0);
+  EXPECT_EQ(D.idom(2), 0);
+  EXPECT_EQ(D.idom(3), 0); // Join dominated by the fork, not a side.
+  EXPECT_TRUE(D.dominates(0, 3));
+  EXPECT_FALSE(D.dominates(1, 3));
+  EXPECT_TRUE(D.dominates(2, 2));
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  Module M = simpleLoop();
+  CfgView Cfg(M.function(0));
+  Dominators D = Dominators::compute(Cfg);
+  EXPECT_TRUE(D.dominates(1, 2));
+  EXPECT_TRUE(D.dominates(0, 1));
+}
+
+TEST(LoopInfo, DetectsSimpleLoop) {
+  Module M = simpleLoop();
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, 1);
+  EXPECT_TRUE(L.Natural);
+  ASSERT_EQ(L.BackEdgeIds.size(), 1u);
+  EXPECT_EQ(Cfg.edge(L.BackEdgeIds[0]).Src, 1);
+  EXPECT_EQ(Cfg.edge(L.BackEdgeIds[0]).Dst, 1);
+  EXPECT_EQ(L.Blocks, (std::vector<BlockId>{1}));
+  EXPECT_EQ(L.EntryEdgeIds.size(), 1u);
+  EXPECT_EQ(L.ExitEdgeIds.size(), 1u);
+  EXPECT_EQ(LI.loopDepth(1), 1u);
+  EXPECT_EQ(LI.loopDepth(0), 0u);
+}
+
+TEST(LoopInfo, DiamondHasNoLoops) {
+  Module M = diamond();
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  EXPECT_TRUE(LI.loops().empty());
+  EXPECT_TRUE(LI.backEdges().empty());
+}
+
+TEST(LoopInfo, NestedLoopsHaveDepths) {
+  // outer: b1..b3; inner: b2.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId J = B.emitConst(0);
+  RegId N = B.emitConst(3);
+  BlockId OH = B.newBlock(), IH = B.newBlock(), OT = B.newBlock(),
+          E = B.newBlock();
+  B.emitBr(OH);
+  B.setInsertPoint(OH);
+  B.emitConst(0, J);
+  B.emitBr(IH);
+  B.setInsertPoint(IH);
+  B.emitAddImm(J, 1, J);
+  RegId CJ = B.emitBinary(Opcode::CmpLt, J, N);
+  B.emitCondBr(CJ, IH, OT);
+  B.setInsertPoint(OT);
+  B.emitAddImm(I, 1, I);
+  RegId CI = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(CI, OH, E);
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+  ASSERT_EQ(verifyModule(M), "");
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  EXPECT_EQ(LI.loopDepth(IH), 2u);
+  EXPECT_EQ(LI.loopDepth(OT), 1u);
+  // The inner loop is innermost; the outer is not.
+  for (size_t L = 0; L < 2; ++L) {
+    const Loop &Loop_ = LI.loops()[L];
+    if (Loop_.Header == IH)
+      EXPECT_TRUE(Loop_.isInnermost(LI.loops(), L));
+    else
+      EXPECT_FALSE(Loop_.isInnermost(LI.loops(), L));
+  }
+}
+
+TEST(StaticProfile, LoopBoostAndEvenSplit) {
+  Module M = simpleLoop();
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  StaticProfile SP = estimateStaticProfile(Cfg, LI);
+  // Entry executes once (Scale); header 10x that; split 50/50.
+  EXPECT_EQ(SP.BlockFreq[0], StaticProfile::Scale);
+  EXPECT_EQ(SP.BlockFreq[1], 10 * StaticProfile::Scale);
+  int64_t BackFreq = SP.EdgeFreq[static_cast<size_t>(Cfg.edgeIdFor(1, 0))];
+  int64_t ExitFreq = SP.EdgeFreq[static_cast<size_t>(Cfg.edgeIdFor(1, 1))];
+  EXPECT_EQ(BackFreq + ExitFreq, SP.BlockFreq[1]);
+  EXPECT_NEAR(static_cast<double>(BackFreq),
+              static_cast<double>(ExitFreq), 1.0);
+}
+
+TEST(BLDag, DiamondStructure) {
+  Module M = diamond();
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  BLDag Dag = BLDag::build(Cfg, LI);
+  // 4 blocks + EXIT + ENTRY.
+  EXPECT_EQ(Dag.numNodes(), 6);
+  // Edges: FnEntry + 4 real + FnExit.
+  EXPECT_EQ(Dag.numEdges(), 6u);
+  EXPECT_EQ(Dag.outEdges(Dag.entryNode()).size(), 1u);
+  EXPECT_EQ(Dag.inEdges(Dag.exitNode()).size(), 1u);
+  // Topological order: ENTRY first, EXIT last.
+  EXPECT_EQ(Dag.topoOrder().front(), Dag.entryNode());
+  EXPECT_EQ(Dag.topoOrder().back(), Dag.exitNode());
+}
+
+TEST(BLDag, LoopGetsDummyEdgePair) {
+  Module M = simpleLoop();
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  BLDag Dag = BLDag::build(Cfg, LI);
+  int LoopEntries = 0, LoopExits = 0, Real = 0;
+  for (const DagEdge &E : Dag.edges()) {
+    LoopEntries += E.Kind == DagEdgeKind::LoopEntry;
+    LoopExits += E.Kind == DagEdgeKind::LoopExit;
+    Real += E.Kind == DagEdgeKind::Real;
+  }
+  EXPECT_EQ(LoopEntries, 1);
+  EXPECT_EQ(LoopExits, 1);
+  EXPECT_EQ(Real, 2); // b0->b1 and the loop exit edge b1->b2.
+}
+
+TEST(BLDag, DisconnectedBackEdgeLeavesNoDummies) {
+  Module M = simpleLoop();
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  std::set<int> Disc(LI.backEdges().begin(), LI.backEdges().end());
+  BLDag::BuildOptions BO;
+  BO.DisconnectedBackEdges = &Disc;
+  BLDag Dag = BLDag::build(Cfg, LI, BO);
+  for (const DagEdge &E : Dag.edges()) {
+    EXPECT_NE(E.Kind, DagEdgeKind::LoopEntry);
+    EXPECT_NE(E.Kind, DagEdgeKind::LoopExit);
+  }
+}
+
+TEST(BLDag, ColdFlagPropagates) {
+  Module M = diamond();
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  std::set<int> Cold = {Cfg.edgeIdFor(0, 1)};
+  BLDag::BuildOptions BO;
+  BO.ColdCfgEdges = &Cold;
+  BLDag Dag = BLDag::build(Cfg, LI, BO);
+  int ColdCount = 0;
+  for (const DagEdge &E : Dag.edges())
+    ColdCount += E.Cold;
+  EXPECT_EQ(ColdCount, 1);
+}
+
+TEST(BLDag, TopoOrderRespectsEdges) {
+  for (uint64_t Seed : {101, 102, 103}) {
+    Module M = smallWorkload(Seed, 5);
+    for (unsigned F = 0; F < M.numFunctions(); ++F) {
+      CfgView Cfg(M.function(static_cast<FuncId>(F)));
+      LoopInfo LI = LoopInfo::compute(Cfg);
+      BLDag Dag = BLDag::build(Cfg, LI);
+      std::vector<int> Pos(static_cast<size_t>(Dag.numNodes()));
+      const std::vector<int> &Topo = Dag.topoOrder();
+      for (size_t I = 0; I < Topo.size(); ++I)
+        Pos[static_cast<size_t>(Topo[I])] = static_cast<int>(I);
+      for (const DagEdge &E : Dag.edges())
+        EXPECT_LT(Pos[static_cast<size_t>(E.Src)],
+                  Pos[static_cast<size_t>(E.Dst)]);
+    }
+  }
+}
+
+TEST(BLDag, FrequencyConservation) {
+  // With an exact profile, inflow == outflow at every interior node and
+  // ENTRY flow == EXIT flow.
+  Module M = smallWorkload(104, 20);
+  ProfiledRun Clean = profileModule(M);
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    const FunctionEdgeProfile &FP = Clean.EP.func(static_cast<FuncId>(F));
+    CfgView Cfg(M.function(static_cast<FuncId>(F)));
+    LoopInfo LI = LoopInfo::compute(Cfg);
+    BLDag Dag = BLDag::build(Cfg, LI);
+    std::vector<int64_t> Freq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+    Dag.setFrequencies(Freq, FP.Invocations);
+    EXPECT_EQ(Dag.nodeFreq(Dag.entryNode()), Dag.nodeFreq(Dag.exitNode()));
+    for (int V = 0; V < Dag.numNodes(); ++V) {
+      if (Dag.isVirtualNode(V))
+        continue;
+      int64_t In = 0, Out = 0;
+      for (int E : Dag.inEdges(V))
+        In += Dag.edge(E).Freq;
+      for (int E : Dag.outEdges(V))
+        Out += Dag.edge(E).Freq;
+      EXPECT_EQ(In, Out) << "node " << V << " of f" << F;
+    }
+  }
+  // Cross-check: total unit flow equals the oracle's dynamic path count.
+  EXPECT_EQ(static_cast<uint64_t>(totalProgramUnitFlow(M, Clean.EP)),
+            Clean.Oracle.totalFreq());
+}
+
+} // namespace

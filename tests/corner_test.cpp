@@ -1,0 +1,256 @@
+//===- tests/corner_test.cpp - CFG corner cases end-to-end --------------------===//
+///
+/// Shapes the workload generator never produces, exercised through the
+/// full instrument-run-decode pipeline:
+///   - the entry block is itself a loop header (lowering must build an
+///     invocation stub so `r = 0` runs once per call, not per
+///     iteration);
+///   - a conditional branch whose two targets are the same block
+///     (parallel CFG edges: edge ids, not block ids, carry identity);
+///   - a loop with two back edges to one header (two dummy-edge pairs;
+///     the same block sequence is a different path per starting back
+///     edge);
+///   - a routine ending in multiple returns (several FnExit edges).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+void checkAllProfilers(Module &M, bool ExpectExactForPP = true) {
+  ASSERT_EQ(verifyModule(M), "");
+  ProfiledRun Clean = profileModule(M);
+  for (const ProfilerOptions &Opts :
+       {ProfilerOptions::pp(), ProfilerOptions::tpp(),
+        ProfilerOptions::ppp()}) {
+    InstrumentationResult IR = instrumentModule(M, Clean.EP, Opts);
+    EXPECT_EQ(verifyModule(IR.Instrumented), "") << Opts.Name;
+    InstrumentedRun Run = runInstrumented(IR);
+    checkMeasurementInvariants(M, IR, Run, Clean,
+                               ExpectExactForPP && Opts.Name == "pp");
+  }
+}
+
+TEST(Corner, EntryBlockIsALoopHeader) {
+  // Block 0 is the loop header: a back edge targets the entry block.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  // b0: i++; c = i < 400; condbr c, b0, b1.
+  RegId I = 0;
+  (void)I;
+  RegId IVar = B.newReg();
+  RegId NVar = B.newReg();
+  BlockId Exit = B.newBlock();
+  // Entry block body. Registers start at zero, so the counter works
+  // without an init block -- which is exactly what makes b0 a header.
+  B.emitAddImm(IVar, 1, IVar);
+  B.emitConst(400, NVar);
+  RegId C = B.emitBinary(Opcode::CmpLt, IVar, NVar);
+  B.emitCondBr(C, 0, Exit);
+  B.setInsertPoint(Exit);
+  B.emitRet(IVar);
+  B.endFunction();
+
+  ASSERT_EQ(verifyModule(M), "");
+  // Sanity: the entry block really has a predecessor.
+  CfgView Cfg(M.function(0));
+  ASSERT_FALSE(Cfg.inEdges(0).empty());
+
+  ProfiledRun Clean = profileModule(M);
+  EXPECT_EQ(Clean.Res.ReturnValue, 400);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::pp());
+  EXPECT_EQ(verifyModule(IR.Instrumented), "");
+  InstrumentedRun Run = runInstrumented(IR);
+  checkMeasurementInvariants(M, IR, Run, Clean, /*ExpectExact=*/true);
+  // Totals: 400 paths (399 back-edge iterations + 1 returning).
+  uint64_t Total = 0;
+  Run.RT.table(0).forEach([&](int64_t, uint64_t Cnt) { Total += Cnt; });
+  EXPECT_EQ(Total, 400u);
+}
+
+TEST(Corner, CondBrWithBothTargetsEqual) {
+  // condbr c, b1, b1: two distinct CFG edges into one block.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(100);
+  BlockId H = B.newBlock(), Mid = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  RegId Two = B.emitConst(2);
+  RegId Bit = B.emitBinary(Opcode::RemU, I, Two);
+  B.emitCondBr(Bit, Mid, Mid); // Both sides -> Mid.
+  B.setInsertPoint(Mid);
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+
+  ASSERT_EQ(verifyModule(M), "");
+  ProfiledRun Clean = profileModule(M);
+  // The oracle must distinguish the two parallel edges as two paths.
+  EXPECT_GE(Clean.Oracle.Funcs[0].Paths.size(), 3u);
+  checkAllProfilers(M);
+}
+
+TEST(Corner, TwoBackEdgesToOneHeader) {
+  // A loop with a "continue" from two different tail blocks.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(300);
+  BlockId H = B.newBlock(), A = B.newBlock(), Bb = B.newBlock(),
+          E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  B.emitAddImm(I, 1, I);
+  RegId Done = B.emitBinary(Opcode::CmpLt, I, N);
+  BlockId Body = B.newBlock();
+  B.emitCondBr(Done, Body, E);
+  B.setInsertPoint(Body);
+  RegId Two = B.emitConst(2);
+  RegId Bit = B.emitBinary(Opcode::RemU, I, Two);
+  B.emitCondBr(Bit, A, Bb);
+  B.setInsertPoint(A);
+  B.emitBr(H); // Back edge #1.
+  B.setInsertPoint(Bb);
+  B.emitBr(H); // Back edge #2.
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+
+  ASSERT_EQ(verifyModule(M), "");
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  ASSERT_EQ(LI.backEdges().size(), 2u);
+
+  ProfiledRun Clean = profileModule(M);
+  // Identical block sequences starting at H exist under both back
+  // edges; the oracle must keep them apart by StartCfgEdgeId.
+  int StartsSeen[2] = {0, 0};
+  for (const PathRecord &Rec : Clean.Oracle.Funcs[0].Paths) {
+    if (Rec.Key.StartCfgEdgeId == LI.backEdges()[0])
+      ++StartsSeen[0];
+    if (Rec.Key.StartCfgEdgeId == LI.backEdges()[1])
+      ++StartsSeen[1];
+  }
+  EXPECT_GT(StartsSeen[0], 0);
+  EXPECT_GT(StartsSeen[1], 0);
+  checkAllProfilers(M);
+}
+
+TEST(Corner, MultipleReturns) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("pick", 1);
+  RegId Three = B.emitConst(3);
+  RegId Sel = B.emitBinary(Opcode::RemU, 0, Three);
+  BlockId R0 = B.newBlock(), R1 = B.newBlock(), R2 = B.newBlock();
+  B.emitSwitch(Sel, {R0, R1, R2});
+  B.setInsertPoint(R0);
+  B.emitRet(B.emitConst(10));
+  B.setInsertPoint(R1);
+  B.emitRet(B.emitConst(20));
+  B.setInsertPoint(R2);
+  B.emitRet(B.emitConst(30));
+  B.endFunction();
+  FuncId MainId = B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(60);
+  RegId Acc = B.emitConst(0);
+  BlockId H = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  RegId V = B.emitCall(0, {I});
+  B.emitBinary(Opcode::Add, Acc, V, Acc);
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(Acc);
+  B.endFunction();
+  M.MainId = MainId;
+
+  ASSERT_EQ(verifyModule(M), "");
+  ProfiledRun Clean = profileModule(M);
+  EXPECT_EQ(Clean.Res.ReturnValue, 20 * (10 + 20 + 30));
+  // Three FnExit paths.
+  EXPECT_EQ(Clean.Oracle.Funcs[0].Paths.size(), 3u);
+  checkAllProfilers(M);
+}
+
+TEST(Corner, SelfLoopOnEntrySuccessor) {
+  // A single-block self-loop: header == tail.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(1000);
+  BlockId H = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+  checkAllProfilers(M);
+}
+
+TEST(Corner, DeadBlocksSurviveInstrumentation) {
+  // An unreachable block must not confuse the DAG or lowering.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId C = B.emitConst(1);
+  BlockId T = B.newBlock(), F = B.newBlock(), Dead = B.newBlock();
+  B.emitCondBr(C, T, F);
+  B.setInsertPoint(T);
+  B.emitRet(C);
+  B.setInsertPoint(F);
+  B.emitRet(C);
+  B.setInsertPoint(Dead);
+  B.emitRet(C); // No predecessors.
+  B.endFunction();
+  checkAllProfilers(M);
+}
+
+TEST(Corner, SwitchWithManyArmsIntoSharedJoin) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(160);
+  BlockId H = B.newBlock(), J = B.newBlock(), E = B.newBlock();
+  std::vector<BlockId> Arms;
+  for (int K = 0; K < 7; ++K)
+    Arms.push_back(B.newBlock());
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  B.emitSwitch(I, Arms);
+  for (BlockId A : Arms) {
+    B.setInsertPoint(A);
+    B.emitBr(J);
+  }
+  B.setInsertPoint(J);
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+  checkAllProfilers(M);
+}
+
+} // namespace

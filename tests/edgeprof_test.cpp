@@ -1,0 +1,180 @@
+//===- tests/edgeprof_test.cpp - Software edge profiling tests ----------------===//
+///
+/// The spanning-tree edge instrumenter must reconstruct the *exact*
+/// edge profile of any terminating run from chord counters alone, while
+/// instrumenting strictly fewer locations than the count-everything
+/// baseline and costing less at runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "edgeprof/EdgeInstrumenter.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+struct EdgeRun {
+  EdgeInstrumentationResult IR;
+  ProfileRuntime RT;
+  RunResult Res;
+
+  EdgeRun() : RT(0) {}
+};
+
+EdgeRun runEdgeInstrumented(const Module &M,
+                            const EdgeInstrumenterOptions &Opts) {
+  EdgeRun Out;
+  Out.IR = instrumentEdges(M, Opts);
+  EXPECT_EQ(verifyModule(Out.IR.Instrumented), "");
+  Out.RT = Out.IR.makeRuntime();
+  Interpreter I(Out.IR.Instrumented);
+  I.setProfileRuntime(&Out.RT);
+  Out.Res = I.run();
+  EXPECT_FALSE(Out.Res.FuelExhausted);
+  return Out;
+}
+
+void expectProfilesEqual(const Module &M, const EdgeProfile &A,
+                         const EdgeProfile &B) {
+  ASSERT_EQ(A.Funcs.size(), B.Funcs.size());
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    EXPECT_EQ(A.Funcs[F].Invocations, B.Funcs[F].Invocations)
+        << "invocations of f" << F;
+    EXPECT_EQ(A.Funcs[F].EdgeFreq, B.Funcs[F].EdgeFreq)
+        << "edge counts of f" << F;
+  }
+}
+
+class EdgeProfProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EdgeProfProperty, SpanningTreeReconstructsExactly) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M); // Observer ground truth.
+
+  EdgeRun Run = runEdgeInstrumented(M, EdgeInstrumenterOptions());
+  EXPECT_EQ(Run.Res.ReturnValue, Clean.Res.ReturnValue);
+  EXPECT_EQ(Run.Res.MemChecksum, Clean.Res.MemChecksum);
+  EdgeProfile Rec = reconstructEdgeProfile(Run.IR, Run.RT);
+  expectProfilesEqual(M, Rec, Clean.EP);
+}
+
+TEST_P(EdgeProfProperty, NaiveModeAlsoExactButCostsMore) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M);
+
+  EdgeInstrumenterOptions Naive;
+  Naive.CountEveryEdge = true;
+  EdgeRun NaiveRun = runEdgeInstrumented(M, Naive);
+  EdgeProfile NaiveRec = reconstructEdgeProfile(NaiveRun.IR, NaiveRun.RT);
+  expectProfilesEqual(M, NaiveRec, Clean.EP);
+
+  EdgeRun TreeRun = runEdgeInstrumented(M, EdgeInstrumenterOptions());
+  EXPECT_LT(TreeRun.Res.Cost, NaiveRun.Res.Cost)
+      << "the spanning tree should remove runtime counting";
+  // And fewer counters statically.
+  for (unsigned F = 0; F < M.numFunctions(); ++F)
+    EXPECT_LT(TreeRun.IR.Plans[F].NumSlots,
+              NaiveRun.IR.Plans[F].NumSlots + 1);
+}
+
+TEST_P(EdgeProfProperty, ProfileWeightedTreeBeatsStaticHeuristic) {
+  Module M = smallWorkload(GetParam(), 80);
+  ProfiledRun Clean = profileModule(M);
+
+  EdgeRun StaticRun = runEdgeInstrumented(M, EdgeInstrumenterOptions());
+  EdgeInstrumenterOptions Weighted;
+  Weighted.Weights = &Clean.EP;
+  EdgeRun WeightedRun = runEdgeInstrumented(M, Weighted);
+
+  // Weighting the tree with the real profile keeps the hottest edges
+  // uninstrumented, so it can only help (ties possible).
+  EXPECT_LE(WeightedRun.Res.Cost, StaticRun.Res.Cost + StaticRun.Res.Cost / 50);
+  EdgeProfile Rec = reconstructEdgeProfile(WeightedRun.IR, WeightedRun.RT);
+  expectProfilesEqual(M, Rec, Clean.EP);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeProfProperty,
+                         ::testing::Values(601, 602, 603, 604, 605, 606,
+                                           607, 608));
+
+TEST(EdgeProf, SelfLoopIsAlwaysCounted) {
+  // A self back edge cannot be derived from conservation; the chord
+  // chooser must never put it on the tree.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(123);
+  BlockId H = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+  ASSERT_EQ(verifyModule(M), "");
+  ProfiledRun Clean = profileModule(M);
+  EdgeRun Run = runEdgeInstrumented(M, EdgeInstrumenterOptions());
+  CfgView Cfg(M.function(0));
+  int BackEdge = Cfg.edgeIdFor(H, 0);
+  EXPECT_GE(Run.IR.Plans[0].SlotOfEdge[static_cast<size_t>(BackEdge)], 0)
+      << "self loop must carry its own counter";
+  EdgeProfile Rec = reconstructEdgeProfile(Run.IR, Run.RT);
+  expectProfilesEqual(M, Rec, Clean.EP);
+  EXPECT_EQ(Rec.Funcs[0].EdgeFreq[static_cast<size_t>(BackEdge)], 122);
+}
+
+TEST(EdgeProf, DeadCodeReconstructsToZero) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId C = B.emitConst(1);
+  BlockId T = B.newBlock(), F = B.newBlock(), Dead = B.newBlock(),
+          Dead2 = B.newBlock();
+  B.emitCondBr(C, T, F);
+  B.setInsertPoint(T);
+  B.emitRet(C);
+  B.setInsertPoint(F);
+  B.emitRet(C);
+  B.setInsertPoint(Dead);
+  B.emitBr(Dead2);
+  B.setInsertPoint(Dead2);
+  B.emitRet(C);
+  B.endFunction();
+  ASSERT_EQ(verifyModule(M), "");
+  ProfiledRun Clean = profileModule(M);
+  EdgeRun Run = runEdgeInstrumented(M, EdgeInstrumenterOptions());
+  EdgeProfile Rec = reconstructEdgeProfile(Run.IR, Run.RT);
+  expectProfilesEqual(M, Rec, Clean.EP);
+}
+
+TEST(EdgeProf, EntryHeaderGetsInvocationStub) {
+  // Back edge to block 0: invocation counting must not run once per
+  // iteration.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId IVar = B.newReg();
+  RegId NVar = B.newReg();
+  BlockId Exit = B.newBlock();
+  B.emitAddImm(IVar, 1, IVar);
+  B.emitConst(50, NVar);
+  RegId C = B.emitBinary(Opcode::CmpLt, IVar, NVar);
+  B.emitCondBr(C, 0, Exit);
+  B.setInsertPoint(Exit);
+  B.emitRet(IVar);
+  B.endFunction();
+  ASSERT_EQ(verifyModule(M), "");
+  ProfiledRun Clean = profileModule(M);
+  EdgeRun Run = runEdgeInstrumented(M, EdgeInstrumenterOptions());
+  EdgeProfile Rec = reconstructEdgeProfile(Run.IR, Run.RT);
+  expectProfilesEqual(M, Rec, Clean.EP);
+  EXPECT_EQ(Rec.Funcs[0].Invocations, 1);
+}
+
+} // namespace

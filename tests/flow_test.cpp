@@ -1,0 +1,322 @@
+//===- tests/flow_test.cpp - Definite/potential flow tests ------------------===//
+///
+/// Anchored to the paper's worked examples: Figure 8's definite flows
+/// (60/20/0/0, total 80, coverage 50%) and Figure 7's branch-flow
+/// motivation (total branch flow invariant under inlining). Plus the
+/// bounding property DF(p) <= F(p) <= PF(p) on random programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "flow/FlowAnalysis.h"
+#include "flow/Reconstruct.h"
+#include "metrics/Metrics.h"
+#include "opt/Inliner.h"
+#include "opt/Unroller.h"
+
+#include <map>
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+/// Builds Figure 8's routine: A -> {B:50, C:30} -> D -> {E:60, F:20}
+/// -> G -> ret, with the branch outcomes driven from memory so the run
+/// reproduces the paper's frequencies when invoked 80 times.
+///
+/// For flow tests we do not need to execute it: we construct the edge
+/// profile directly.
+struct Fig8 {
+  Module M;
+  CfgView *Cfg = nullptr;
+  LoopInfo LI;
+  FunctionEdgeProfile FP;
+
+  std::unique_ptr<CfgView> CfgOwned;
+
+  Fig8() {
+    IRBuilder B(M);
+    B.beginFunction("fig8", 1);
+    RegId Cond = 0;
+    BlockId A = 0;
+    BlockId Bb = B.newBlock(), C = B.newBlock(), D = B.newBlock();
+    BlockId E = B.newBlock(), F = B.newBlock(), G = B.newBlock();
+    B.setInsertPoint(A);
+    B.emitCondBr(Cond, Bb, C);
+    B.setInsertPoint(Bb);
+    B.emitBr(D);
+    B.setInsertPoint(C);
+    B.emitBr(D);
+    B.setInsertPoint(D);
+    B.emitCondBr(Cond, E, F);
+    B.setInsertPoint(E);
+    B.emitBr(G);
+    B.setInsertPoint(F);
+    B.emitBr(G);
+    B.setInsertPoint(G);
+    B.emitRet(Cond);
+    B.endFunction();
+    // A main so the module verifies.
+    B.beginFunction("main", 0);
+    RegId Z = B.emitConst(0);
+    B.emitRet(Z);
+    B.endFunction();
+    M.MainId = 1;
+    EXPECT_TRUE(verifyModule(M).empty());
+
+    CfgOwned = std::make_unique<CfgView>(M.function(0));
+    Cfg = CfgOwned.get();
+    LI = LoopInfo::compute(*Cfg);
+    FP.Invocations = 80;
+    FP.EdgeFreq.assign(Cfg->numEdges(), 0);
+    // Edge ids follow block/successor order: A->B, A->C, B->D, C->D,
+    // D->E, D->F, E->G, F->G.
+    FP.EdgeFreq[static_cast<size_t>(Cfg->edgeIdFor(A, 0))] = 50;
+    FP.EdgeFreq[static_cast<size_t>(Cfg->edgeIdFor(A, 1))] = 30;
+    FP.EdgeFreq[static_cast<size_t>(Cfg->edgeIdFor(Bb, 0))] = 50;
+    FP.EdgeFreq[static_cast<size_t>(Cfg->edgeIdFor(C, 0))] = 30;
+    FP.EdgeFreq[static_cast<size_t>(Cfg->edgeIdFor(D, 0))] = 60;
+    FP.EdgeFreq[static_cast<size_t>(Cfg->edgeIdFor(D, 1))] = 20;
+    FP.EdgeFreq[static_cast<size_t>(Cfg->edgeIdFor(E, 0))] = 60;
+    FP.EdgeFreq[static_cast<size_t>(Cfg->edgeIdFor(F, 0))] = 20;
+  }
+
+  BLDag dag() const {
+    BLDag D = BLDag::build(*Cfg, LI);
+    std::vector<int64_t> Freq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+    D.setFrequencies(Freq, FP.Invocations);
+    return D;
+  }
+};
+
+TEST(Fig8DefiniteFlow, MatchesPaper) {
+  Fig8 Fx;
+  BLDag Dag = Fx.dag();
+  EXPECT_EQ(Dag.totalFlow(), 80);
+
+  // Actual branch flow: sum of branch-edge frequencies = 50+30+60+20.
+  int64_t ActualFlow = 0;
+  for (const DagEdge &E : Dag.edges())
+    if (E.IsBranch)
+      ActualFlow += E.Freq;
+  EXPECT_EQ(ActualFlow, 160);
+
+  FlowResult DF = computeDefiniteFlow(Dag);
+  EXPECT_FALSE(DF.Truncated);
+  // Paper: definite flows are 60 (ABDEG), 20 (ACDEG), 0, 0 -> total 80.
+  EXPECT_EQ(DF.totalFlowAtEntry(Dag, FlowMetric::Branch), 80u);
+
+  // Coverage of the edge profile: 80 / 160 = 50%.
+  double Coverage =
+      static_cast<double>(DF.totalFlowAtEntry(Dag, FlowMetric::Branch)) /
+      static_cast<double>(ActualFlow);
+  EXPECT_DOUBLE_EQ(Coverage, 0.5);
+
+  // The two definite paths reconstruct with frequencies 30 and 10
+  // (flows 60 and 20: each path has two branches).
+  std::vector<ReconstructedPath> Paths =
+      reconstructPaths(Dag, DF, 0, FlowMetric::Branch);
+  ASSERT_EQ(Paths.size(), 2u);
+  EXPECT_EQ(Paths[0].Freq, 30);
+  EXPECT_EQ(Paths[0].Branches, 2u);
+  EXPECT_EQ(Paths[1].Freq, 10);
+  EXPECT_EQ(Paths[1].Branches, 2u);
+  // Hottest path goes A->B->D->E->G: its interior blocks are B(1),
+  // D(3), E(4), G(6).
+  std::vector<BlockId> Blocks = Paths[0].Key.blocks(*Fx.Cfg);
+  ASSERT_EQ(Blocks.size(), 5u);
+  EXPECT_EQ(Blocks[0], 0);
+  EXPECT_EQ(Blocks[1], 1);
+  EXPECT_EQ(Blocks[2], 3);
+  EXPECT_EQ(Blocks[3], 4);
+  EXPECT_EQ(Blocks[4], 6);
+}
+
+TEST(Fig8PotentialFlow, BoundsAndSelection) {
+  Fig8 Fx;
+  BLDag Dag = Fx.dag();
+  FlowResult PF = computePotentialFlow(Dag);
+  // Potential flow of the hottest path min(50,60,80)=50, frequency-wise.
+  std::vector<ReconstructedPath> Paths =
+      reconstructPaths(Dag, PF, 0, FlowMetric::Branch);
+  ASSERT_EQ(Paths.size(), 4u); // All four paths have positive potential.
+  EXPECT_EQ(Paths[0].Freq, 50);
+  // Every potential frequency bounds the possible actual frequency.
+  for (const ReconstructedPath &P : Paths)
+    EXPECT_GT(P.Freq, 0);
+}
+
+TEST(Fig8Exhaustive, DefiniteIsTightLowerBound) {
+  // Enumerate every consistent concrete path profile for Fig. 8's edge
+  // profile and confirm the definite flow is the exact minimum.
+  // Freedom: x paths take ABDE (and 50-x take ABDF), constrained by
+  // column sums: x in [max(0, 50-20), min(50, 60)] = [30, 50].
+  // ABDEG frequency ranges over [30, 50] -> definite 30. matches DP.
+  Fig8 Fx;
+  BLDag Dag = Fx.dag();
+  FlowResult DF = computeDefiniteFlow(Dag);
+  std::vector<ReconstructedPath> Paths =
+      reconstructPaths(Dag, DF, 0, FlowMetric::Branch);
+  ASSERT_FALSE(Paths.empty());
+  EXPECT_EQ(Paths[0].Freq, 30); // min over all consistent profiles.
+}
+
+/// Branch flow is the number of dynamic branch decisions, so it is
+/// invariant under inlining and unrolling (Fig. 7's motivation), while
+/// unit flow is not.
+class BranchFlowInvariance : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BranchFlowInvariance, InliningPreservesBranchFlow) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Before = profileModule(M);
+
+  Module Inlined = M;
+  InlinerOptions IO;
+  IO.CodeBloat = 0.5; // Inline aggressively to stress the property.
+  runInliner(Inlined, Before.EP, IO);
+  ASSERT_TRUE(verifyModule(Inlined).empty());
+  ProfiledRun After = profileModule(Inlined);
+
+  EXPECT_EQ(Before.Res.ReturnValue, After.Res.ReturnValue);
+  EXPECT_EQ(Before.Res.MemChecksum, After.Res.MemChecksum);
+  EXPECT_EQ(Before.Oracle.totalFlow(FlowMetric::Branch),
+            After.Oracle.totalFlow(FlowMetric::Branch));
+}
+
+TEST_P(BranchFlowInvariance, UnrollingPreservesBranchFlow) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Before = profileModule(M);
+
+  Module Unrolled = M;
+  runUnroller(Unrolled, Before.EP);
+  ASSERT_TRUE(verifyModule(Unrolled).empty());
+  ProfiledRun After = profileModule(Unrolled);
+
+  EXPECT_EQ(Before.Res.ReturnValue, After.Res.ReturnValue);
+  EXPECT_EQ(Before.Res.MemChecksum, After.Res.MemChecksum);
+  EXPECT_EQ(Before.Oracle.totalFlow(FlowMetric::Branch),
+            After.Oracle.totalFlow(FlowMetric::Branch));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchFlowInvariance,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+/// DF(p) <= F(p) <= PF(p) for every executed path.
+class FlowBounds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlowBounds, DefiniteBelowActualBelowPotential) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M);
+
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    FuncId F = static_cast<FuncId>(FI);
+    const FunctionEdgeProfile &FP = Clean.EP.func(F);
+    CfgView Cfg(M.function(F));
+    LoopInfo LI = LoopInfo::compute(Cfg);
+    std::vector<int64_t> Freq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+    BLDag Dag = BLDag::build(Cfg, LI);
+    Dag.setFrequencies(Freq, FP.Invocations);
+    if (Dag.totalFlow() == 0)
+      continue;
+
+    FlowResult DF = computeDefiniteFlow(Dag);
+    FlowResult PF = computePotentialFlow(Dag);
+    if (DF.Truncated || PF.Truncated)
+      continue;
+
+    struct KeyLess {
+      bool operator()(const PathKey &A, const PathKey &B) const {
+        return std::tie(A.First, A.StartCfgEdgeId, A.EdgeIds,
+                        A.TermCfgEdgeId) <
+               std::tie(B.First, B.StartCfgEdgeId, B.EdgeIds,
+                        B.TermCfgEdgeId);
+      }
+    };
+    constexpr size_t Cap = 300000;
+    std::map<PathKey, int64_t, KeyLess> Def, Pot;
+    // Unit metric: a zero-branch path has zero *branch* flow and the
+    // strictly-greater cutoff of Fig. 16 would (correctly) skip it, but
+    // here we want every executed path enumerated.
+    std::vector<ReconstructedPath> DefPaths =
+        reconstructPaths(Dag, DF, 0, FlowMetric::Unit, Cap);
+    std::vector<ReconstructedPath> PotPaths =
+        reconstructPaths(Dag, PF, 0, FlowMetric::Unit, Cap);
+    bool DefComplete = DefPaths.size() < Cap;
+    bool PotComplete = PotPaths.size() < Cap;
+    for (const ReconstructedPath &P : DefPaths)
+      Def[P.Key] += P.Freq;
+    for (const ReconstructedPath &P : PotPaths)
+      Pot[P.Key] = std::max(Pot[P.Key], P.Freq);
+
+    // Closed forms for one concrete path, to cross-check the DPs:
+    // DF(p) = max(0, F - sum of slack), PF(p) = min(F, min edge freq).
+    auto WalkDagEdges = [&](const PathKey &Key, auto Fn) -> bool {
+      int Cur = Dag.entryNode();
+      auto TakeTo = [&](auto Pred) -> bool {
+        for (int EId : Dag.outEdges(Cur)) {
+          const DagEdge &E = Dag.edge(EId);
+          if (Pred(E)) {
+            Fn(E);
+            Cur = E.Dst;
+            return true;
+          }
+        }
+        return false;
+      };
+      if (!TakeTo([&](const DagEdge &E) {
+            return Key.StartCfgEdgeId == -1
+                       ? E.Kind == DagEdgeKind::FnEntry
+                       : (E.Kind == DagEdgeKind::LoopEntry &&
+                          E.CfgEdgeId == Key.StartCfgEdgeId);
+          }))
+        return false;
+      for (int CfgId : Key.EdgeIds)
+        if (!TakeTo([&](const DagEdge &E) {
+              return E.Kind == DagEdgeKind::Real && E.CfgEdgeId == CfgId;
+            }))
+          return false;
+      return TakeTo([&](const DagEdge &E) {
+        return Key.TermCfgEdgeId == -1
+                   ? E.Kind == DagEdgeKind::FnExit
+                   : (E.Kind == DagEdgeKind::LoopExit &&
+                      E.CfgEdgeId == Key.TermCfgEdgeId);
+      });
+    };
+
+    for (const PathRecord &Rec : Clean.Oracle.Funcs[FI].Paths) {
+      int64_t SlackSum = 0, MinFreq = Dag.totalFlow();
+      bool Walked = WalkDagEdges(Rec.Key, [&](const DagEdge &E) {
+        SlackSum += Dag.nodeFreq(E.Dst) - E.Freq;
+        MinFreq = std::min(MinFreq, E.Freq);
+      });
+      ASSERT_TRUE(Walked) << "oracle path not in full DAG, f" << FI;
+      int64_t ClosedDef = std::max<int64_t>(0, Dag.totalFlow() - SlackSum);
+      int64_t ClosedPot = MinFreq;
+      EXPECT_LE(static_cast<uint64_t>(ClosedDef), Rec.Freq)
+          << "definite flow above actual in f" << FI;
+      EXPECT_GE(static_cast<uint64_t>(ClosedPot), Rec.Freq)
+          << "potential flow below actual in f" << FI;
+
+      auto DIt = Def.find(Rec.Key);
+      int64_t D = DIt == Def.end() ? 0 : DIt->second;
+      if (DefComplete)
+        EXPECT_EQ(D, ClosedDef) << "definite DP != closed form in f" << FI;
+      else
+        EXPECT_LE(static_cast<uint64_t>(D), Rec.Freq);
+      if (PotComplete) {
+        auto PIt = Pot.find(Rec.Key);
+        ASSERT_NE(PIt, Pot.end())
+            << "executed path missing from potential flow in f" << FI;
+        EXPECT_EQ(PIt->second, ClosedPot)
+            << "potential DP != closed form in f" << FI;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowBounds,
+                         ::testing::Values(41, 42, 43, 44, 45, 46));
+
+} // namespace

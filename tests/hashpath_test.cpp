@@ -1,0 +1,158 @@
+//===- tests/hashpath_test.cpp - Hash-table counting end-to-end ---------------===//
+///
+/// Routines with more than 4000 possible paths hash their counters
+/// (Sec. 7.4). These tests push a >4000-path function through the whole
+/// pipeline: PP must hash, TPP's gate must decide correctly, PPP's
+/// self-adjusting criterion must eliminate the hash, and measured hash
+/// counts must agree with the oracle up to lost paths.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+/// A loop whose body is a chain of diamonds (one skew value each):
+/// 2^|Skews| paths per iteration. 13 diamonds = 8192 > 4000.
+Module diamondLoopMixed(const std::vector<unsigned> &Skews, int64_t Trips) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(Trips);
+  RegId State = B.emitConst(987654321);
+  BlockId H = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  for (unsigned D = 0; D < Skews.size(); ++D) {
+    unsigned SkewPct = Skews[D];
+    B.emitMulImm(State, 6364136223846793005LL, State);
+    B.emitAddImm(State, 1442695040888963407LL + D, State);
+    RegId C33 = B.emitConst(33);
+    RegId Hi = B.emitBinary(Opcode::Shr, State, C33);
+    RegId C100 = B.emitConst(100);
+    RegId Mod = B.emitBinary(Opcode::RemU, Hi, C100);
+    RegId Cut = B.emitConst(static_cast<int64_t>(SkewPct));
+    RegId Cond = B.emitBinary(Opcode::CmpLt, Mod, Cut);
+    BlockId T = B.newBlock(), F = B.newBlock(), J = B.newBlock();
+    B.emitCondBr(Cond, T, F);
+    B.setInsertPoint(T);
+    B.emitAddImm(State, 1, State);
+    B.emitBr(J);
+    B.setInsertPoint(F);
+    B.emitAddImm(State, 2, State);
+    B.emitBr(J);
+    B.setInsertPoint(J);
+  }
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(State);
+  B.endFunction();
+  EXPECT_EQ(verifyModule(M), "");
+  return M;
+}
+
+Module diamondLoop(unsigned Diamonds, unsigned SkewPct, int64_t Trips) {
+  return diamondLoopMixed(std::vector<unsigned>(Diamonds, SkewPct), Trips);
+}
+
+TEST(HashPaths, PPHashesAndCountsAgreeUpToLoss) {
+  Module M = diamondLoop(13, 92, 1500);
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::pp());
+  const FunctionPlan &Plan = IR.Plans[0];
+  ASSERT_TRUE(Plan.Instrumented);
+  EXPECT_GT(Plan.NumPaths, 4000u);
+  EXPECT_EQ(Plan.TableKind, PathTable::Kind::Hash);
+
+  InstrumentedRun Run = runInstrumented(IR);
+  EXPECT_EQ(Run.Res.ReturnValue, Clean.Res.ReturnValue);
+  const PathTable &T = Run.RT.table(0);
+  EXPECT_EQ(T.invalidCount(), 0u);
+
+  // Stored + lost must equal the oracle's dynamic path count, and every
+  // stored count must match the oracle exactly (PP measures exactly;
+  // hashing only ever *drops* whole paths).
+  uint64_t Stored = 0;
+  T.forEach([&](int64_t Idx, uint64_t Cnt) {
+    Stored += Cnt;
+    std::optional<PathKey> Key = Plan.decodePath(static_cast<uint64_t>(Idx));
+    ASSERT_TRUE(Key.has_value());
+    const PathRecord *Rec = Clean.Oracle.Funcs[0].find(*Key);
+    ASSERT_NE(Rec, nullptr) << "hash slot holds a never-executed path";
+    EXPECT_EQ(Rec->Freq, Cnt);
+  });
+  EXPECT_EQ(Stored + T.lostCount(), Clean.Oracle.Funcs[0].totalFreq());
+}
+
+TEST(HashPaths, TPPGateRemovesColdPathsToAvoidHashing) {
+  // Five diamonds skewed enough for the local criterion (cold removal
+  // collapses them) plus eight balanced ones: 8192 paths before, 256
+  // after -- exactly when TPP's gate fires, and the balanced chain
+  // keeps the routine non-obvious.
+  std::vector<unsigned> Skews(5, 98);
+  Skews.insert(Skews.end(), 8, 50);
+  Module M = diamondLoopMixed(Skews, 1500);
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::tpp());
+  const FunctionPlan &Plan = IR.Plans[0];
+  ASSERT_TRUE(Plan.Instrumented);
+  EXPECT_FALSE(Plan.ColdEdges.empty()) << "gate should have fired";
+  EXPECT_EQ(Plan.TableKind, PathTable::Kind::Array);
+  EXPECT_LE(Plan.NumPaths, 4000u);
+
+  InstrumentedRun Run = runInstrumented(IR);
+  checkMeasurementInvariants(M, IR, Run, Clean, /*ExpectExact=*/false);
+}
+
+TEST(HashPaths, TPPGateLeavesBalancedCodeHashed) {
+  // Balanced decisions: cold removal cannot reduce the path count, so
+  // the gate must leave the cold set empty and accept hashing.
+  Module M = diamondLoop(13, 50, 1500);
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::tpp());
+  const FunctionPlan &Plan = IR.Plans[0];
+  ASSERT_TRUE(Plan.Instrumented);
+  EXPECT_TRUE(Plan.ColdEdges.empty());
+  EXPECT_EQ(Plan.TableKind, PathTable::Kind::Hash);
+}
+
+TEST(HashPaths, PPPSelfAdjustsAwayFromHashing) {
+  for (unsigned Skew : {50u, 75u, 92u}) {
+    Module M = diamondLoop(13, Skew, 1500);
+    ProfiledRun Clean = profileModule(M);
+    InstrumentationResult IR =
+        instrumentModule(M, Clean.EP, ProfilerOptions::ppp());
+    const FunctionPlan &Plan = IR.Plans[0];
+    if (!Plan.Instrumented)
+      continue; // Gates may legitimately skip (e.g. high coverage).
+    EXPECT_NE(Plan.TableKind, PathTable::Kind::Hash)
+        << "skew " << Skew
+        << ": self-adjusting criterion failed to kill the hash table";
+    InstrumentedRun Run = runInstrumented(IR);
+    checkMeasurementInvariants(M, IR, Run, Clean, false);
+  }
+}
+
+TEST(HashPaths, LostPathsStaySmallOnSkewedCode) {
+  // The paper: <0.1% of dynamic paths lost except crafty (7%). On a
+  // skewed workload the live-path set is small, so losses are rare.
+  Module M = diamondLoop(13, 92, 1500);
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::pp());
+  InstrumentedRun Run = runInstrumented(IR);
+  uint64_t Lost = Run.RT.table(0).lostCount();
+  uint64_t Total = Clean.Oracle.Funcs[0].totalFreq();
+  EXPECT_LT(static_cast<double>(Lost), 0.10 * static_cast<double>(Total));
+}
+
+} // namespace

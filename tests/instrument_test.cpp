@@ -1,0 +1,144 @@
+//===- tests/instrument_test.cpp - End-to-end instrumentation tests ---------===//
+///
+/// The central correctness property of the whole system: running the
+/// instrumented program produces exactly the oracle path profile for
+/// every instrumented path (PP: every path; TPP/PPP: modulo cold-path
+/// overcounting, never undercounting), across many random programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "metrics/Metrics.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+class InstrumentProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InstrumentProperty, PPCountsExactly) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::pp());
+  EXPECT_EQ(verifyModule(IR.Instrumented), "");
+  InstrumentedRun Run = runInstrumented(IR);
+  checkMeasurementInvariants(M, IR, Run, Clean, /*ExpectExact=*/true);
+
+  // PP instruments every function and every path: totals must match.
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    const FunctionPlan &Plan = IR.Plans[FI];
+    ASSERT_TRUE(Plan.Instrumented) << "PP skipped function " << FI;
+    if (Plan.TableKind == PathTable::Kind::Hash)
+      continue;
+    uint64_t Measured = 0;
+    Run.RT.table(static_cast<FuncId>(FI))
+        .forEach([&](int64_t, uint64_t C) { Measured += C; });
+    EXPECT_EQ(Measured, Clean.Oracle.Funcs[FI].totalFreq())
+        << "function " << FI;
+  }
+}
+
+TEST_P(InstrumentProperty, TPPNeverUndercounts) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::tpp());
+  EXPECT_EQ(verifyModule(IR.Instrumented), "");
+  InstrumentedRun Run = runInstrumented(IR);
+  checkMeasurementInvariants(M, IR, Run, Clean, /*ExpectExact=*/false);
+}
+
+TEST_P(InstrumentProperty, PPPNeverUndercounts) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::ppp());
+  EXPECT_EQ(verifyModule(IR.Instrumented), "");
+  InstrumentedRun Run = runInstrumented(IR);
+  checkMeasurementInvariants(M, IR, Run, Clean, /*ExpectExact=*/false);
+}
+
+TEST_P(InstrumentProperty, PPPCostsNoMoreThanTPPNoMoreThanPP) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M);
+  uint64_t Costs[3];
+  const ProfilerOptions Opts[3] = {ProfilerOptions::pp(),
+                                   ProfilerOptions::tpp(),
+                                   ProfilerOptions::ppp()};
+  for (int K = 0; K < 3; ++K) {
+    InstrumentationResult IR = instrumentModule(M, Clean.EP, Opts[K]);
+    InstrumentedRun Run = runInstrumented(IR);
+    Costs[K] = Run.Res.Cost;
+  }
+  // The ordering holds in aggregate across the suite, but individual
+  // programs can deviate slightly; allow 2% slack.
+  EXPECT_LE(static_cast<double>(Costs[1]),
+            static_cast<double>(Costs[0]) * 1.02)
+      << "TPP cost above PP";
+  EXPECT_LE(static_cast<double>(Costs[2]),
+            static_cast<double>(Costs[1]) * 1.02)
+      << "PPP cost above TPP";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstrumentProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12, 13, 14, 15, 16, 17, 18,
+                                           19, 20));
+
+/// The same invariants on loop-heavy (FP-flavoured) programs.
+class InstrumentLoopy : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InstrumentLoopy, AllProfilersMeasureCorrectly) {
+  Module M = loopyWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M);
+  for (const ProfilerOptions &Opts :
+       {ProfilerOptions::pp(), ProfilerOptions::tpp(),
+        ProfilerOptions::ppp()}) {
+    InstrumentationResult IR = instrumentModule(M, Clean.EP, Opts);
+    EXPECT_EQ(verifyModule(IR.Instrumented), "") << Opts.Name;
+    InstrumentedRun Run = runInstrumented(IR);
+    checkMeasurementInvariants(M, IR, Run, Clean,
+                               Opts.Name == "pp");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstrumentLoopy,
+                         ::testing::Values(801, 802, 803, 804, 805, 806,
+                                           807, 808, 809, 810));
+
+/// Decode must invert pathNumberOf for every oracle path.
+class DecodeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecodeProperty, DecodeInvertsNumbering) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M);
+  for (const ProfilerOptions &Opts :
+       {ProfilerOptions::pp(), ProfilerOptions::tpp(),
+        ProfilerOptions::ppp()}) {
+    InstrumentationResult IR = instrumentModule(M, Clean.EP, Opts);
+    for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+      const FunctionPlan &Plan = IR.Plans[FI];
+      if (!Plan.Instrumented)
+        continue;
+      for (const PathRecord &Rec : Clean.Oracle.Funcs[FI].Paths) {
+        std::optional<uint64_t> Num = Plan.pathNumberOf(Rec.Key);
+        if (!Num)
+          continue;
+        ASSERT_LT(*Num, Plan.NumPaths);
+        std::optional<PathKey> Back = Plan.decodePath(*Num);
+        ASSERT_TRUE(Back.has_value());
+        EXPECT_TRUE(*Back == Rec.Key)
+            << Opts.Name << " f" << FI << " number " << *Num;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeProperty,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28,
+                                           29, 30));
+
+} // namespace

@@ -1,0 +1,217 @@
+//===- tests/integration_test.cpp - End-to-end pipeline tests -----------------===//
+///
+/// Runs the full experiment pipeline (generate -> profile -> inline +
+/// unroll -> re-profile -> instrument -> run -> evaluate) on scaled-down
+/// benchmarks and asserts the paper's qualitative claims hold:
+/// accuracy ordering, coverage ordering, overhead ordering, and the
+/// swim/mgrid "PPP instruments nothing" exception.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "metrics/Metrics.h"
+#include "opt/Inliner.h"
+#include "opt/Unroller.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+struct PipelineResult {
+  Module Expanded;
+  EdgeProfile EP;
+  PathProfile Oracle;
+  uint64_t CostBase = 0;
+
+  PipelineResult() : Oracle(0) {}
+};
+
+PipelineResult runPipeline(Module M) {
+  PipelineResult R;
+  ProfiledRun P0 = profileModule(M);
+  runInliner(M, P0.EP);
+  ProfiledRun P1 = profileModule(M);
+  runUnroller(M, P1.EP);
+  EXPECT_EQ(verifyModule(M), "");
+  ProfiledRun P2 = profileModule(M);
+  R.Expanded = std::move(M);
+  R.EP = std::move(P2.EP);
+  R.Oracle = std::move(P2.Oracle);
+  R.CostBase = P2.Res.Cost;
+  return R;
+}
+
+struct Evaluated {
+  double Accuracy = 0;
+  double Coverage = 0;
+  double OverheadPct = 0;
+  bool AnyInstrumented = false;
+  uint64_t Lost = 0, Invalid = 0;
+};
+
+Evaluated evaluate(const PipelineResult &P, const ProfilerOptions &Opts) {
+  Evaluated E;
+  InstrumentationResult IR = instrumentModule(P.Expanded, P.EP, Opts);
+  InstrumentedRun Run = runInstrumented(IR);
+  E.OverheadPct = overheadPercent(P.CostBase, Run.Res.Cost);
+  ProfilerRunData Data =
+      buildEstimatedProfile(P.Expanded, P.EP, IR, Run.RT);
+  E.Lost = Data.LostCounts;
+  E.Invalid = Data.InvalidCounts;
+  for (const FunctionPlan &Plan : IR.Plans)
+    E.AnyInstrumented |= Plan.Instrumented;
+  E.Accuracy =
+      computeAccuracy(P.Oracle, Data.Estimated, FlowMetric::Branch)
+          .Accuracy;
+  E.Coverage =
+      computeProfilerCoverage(IR, Data, P.Oracle, FlowMetric::Branch)
+          .Coverage;
+  return E;
+}
+
+WorkloadParams intLike(uint64_t Seed) {
+  WorkloadParams P;
+  P.Seed = Seed;
+  P.Name = "int-like";
+  P.NumFunctions = 8;
+  P.IfPct = 36;
+  P.LoopPct = 12;
+  P.SwitchPct = 6;
+  P.CallPct = 14;
+  P.SkewedIfPct = 55;
+  P.MainLoopTrips = 150;
+  return P;
+}
+
+WorkloadParams fpLike(uint64_t Seed) {
+  WorkloadParams P;
+  P.Seed = Seed;
+  P.Name = "fp-like";
+  P.NumFunctions = 5;
+  P.IfPct = 6;
+  P.LoopPct = 34;
+  P.SwitchPct = 0;
+  P.CallPct = 8;
+  P.OpsMin = 5;
+  P.OpsMax = 12;
+  P.SkewedIfPct = 92;
+  P.HotLoopPct = 45;
+  P.MainLoopTrips = 60;
+  return P;
+}
+
+TEST(Integration, IntLikeShapesMatchPaper) {
+  PipelineResult P = runPipeline(generateWorkload(intLike(1111)));
+  Evaluated Pp = evaluate(P, ProfilerOptions::pp());
+  Evaluated Tpp = evaluate(P, ProfilerOptions::tpp());
+  Evaluated Ppp = evaluate(P, ProfilerOptions::ppp());
+
+  // Backstop counters must be silent.
+  EXPECT_EQ(Pp.Invalid, 0u);
+  EXPECT_EQ(Tpp.Invalid, 0u);
+  EXPECT_EQ(Ppp.Invalid, 0u);
+
+  // Accuracy: both path profilers well above 0.9, PP is exact.
+  EXPECT_GT(Pp.Accuracy, 0.999);
+  EXPECT_GT(Tpp.Accuracy, 0.9);
+  EXPECT_GT(Ppp.Accuracy, 0.9);
+
+  // Coverage: PP ~ 1; TPP and PPP high.
+  EXPECT_GT(Pp.Coverage, 0.97);
+  EXPECT_GT(Tpp.Coverage, 0.85);
+  EXPECT_GT(Ppp.Coverage, 0.75);
+
+  // Overhead ordering with a little slack.
+  EXPECT_LE(Tpp.OverheadPct, Pp.OverheadPct + 1.0);
+  EXPECT_LE(Ppp.OverheadPct, Tpp.OverheadPct + 1.0);
+  EXPECT_GT(Pp.OverheadPct, 0.0);
+}
+
+TEST(Integration, FpLikeAllowsSkippingEverything) {
+  PipelineResult P = runPipeline(generateWorkload(fpLike(2222)));
+  Evaluated Ppp = evaluate(P, ProfilerOptions::ppp());
+  // Highly predictable FP code: PPP leans on the edge profile; either
+  // way accuracy must stay high and overhead tiny.
+  EXPECT_GT(Ppp.Accuracy, 0.9);
+  // Loopy code amplifies any residual instrumentation, so just bound
+  // it loosely; the suite-level averages are checked by fig12.
+  EXPECT_LT(Ppp.OverheadPct, 20.0);
+  Evaluated Tpp = evaluate(P, ProfilerOptions::tpp());
+  EXPECT_LE(Ppp.OverheadPct, Tpp.OverheadPct + 1.0);
+}
+
+TEST(Integration, StraightLineProgramTriggersSwimException) {
+  // No branches at all: PPP must instrument nothing, and the
+  // potential-flow fallback of Sec. 6.1 gives perfect accuracy (there
+  // is only one path per function).
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(100);
+  BlockId H = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+  ASSERT_EQ(verifyModule(M), "");
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::ppp());
+  bool Any = false;
+  for (const FunctionPlan &P : IR.Plans)
+    Any |= P.Instrumented;
+  EXPECT_FALSE(Any) << "PPP should skip this fully predictable program";
+  // And its overhead is exactly zero: nothing was inserted.
+  InstrumentedRun Run = runInstrumented(IR);
+  EXPECT_EQ(Run.Res.Cost, Clean.Res.Cost);
+}
+
+TEST(Integration, SelfAdviceEstimateBeatsEdgeOnlyEstimate) {
+  PipelineResult P = runPipeline(generateWorkload(intLike(3333)));
+  Evaluated Ppp = evaluate(P, ProfilerOptions::ppp());
+  uint64_t HotCut = static_cast<uint64_t>(
+      DefaultHotFraction *
+      static_cast<double>(P.Oracle.totalFlow(FlowMetric::Branch)) / 2.0);
+  PathProfile EdgeEst = estimateFromEdgeProfile(
+      P.Expanded, P.EP, FlowKind::Potential, HotCut, FlowMetric::Branch);
+  double EdgeAcc =
+      computeAccuracy(P.Oracle, EdgeEst, FlowMetric::Branch).Accuracy;
+  double EdgeCov =
+      computeEdgeCoverage(P.Expanded, P.EP, P.Oracle, FlowMetric::Branch);
+  EXPECT_GE(Ppp.Accuracy + 0.02, EdgeAcc);
+  EXPECT_GT(Ppp.Coverage, EdgeCov);
+}
+
+TEST(Integration, AblationVariantsAllStayCorrect) {
+  // Every leave-one-out variant must still measure correctly (the
+  // Fig. 13 harness relies on this).
+  PipelineResult P = runPipeline(generateWorkload(intLike(4444)));
+  for (const char *Drop : {"sac", "fp", "push", "spn", "lc"}) {
+    ProfilerOptions O = ProfilerOptions::ppp();
+    std::string T = Drop;
+    if (T == "sac") {
+      O.SelfAdjust = false;
+      O.GlobalColdCriterion = false;
+    } else if (T == "fp") {
+      O.ColdOnlyToAvoidHash = true;
+    } else if (T == "push") {
+      O.Push = PushMode::Blocked;
+    } else if (T == "spn") {
+      O.SmartNumbering = false;
+    } else if (T == "lc") {
+      O.LowCoverageGate = false;
+    }
+    Evaluated E = evaluate(P, O);
+    EXPECT_EQ(E.Invalid, 0u) << "variant -" << Drop;
+    EXPECT_GT(E.Accuracy, 0.85) << "variant -" << Drop;
+  }
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+//===- tests/ir_test.cpp - IR construction/verification tests -----------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace ppp;
+
+namespace {
+
+Module tinyModule() {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId X = B.emitConst(2);
+  RegId Y = B.emitConst(3);
+  RegId Z = B.emitBinary(Opcode::Add, X, Y);
+  B.emitRet(Z);
+  B.endFunction();
+  return M;
+}
+
+TEST(IRBuilder, BuildsVerifiableModule) {
+  Module M = tinyModule();
+  EXPECT_EQ(verifyModule(M), "");
+  EXPECT_EQ(M.numFunctions(), 1u);
+  EXPECT_EQ(M.function(0).size(), 4u);
+}
+
+TEST(IRBuilder, RegisterAllocationIsSequential) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("f", 2);
+  RegId A = B.emitConst(1);
+  RegId C = B.emitConst(2);
+  EXPECT_EQ(A, 2); // Params occupy 0 and 1.
+  EXPECT_EQ(C, 3);
+  B.emitRet(A);
+  B.endFunction();
+  EXPECT_EQ(M.function(0).NumRegs, 4u);
+}
+
+TEST(IRBuilder, ExplicitDestinationReusesRegister) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId Same = B.emitAddImm(I, 1, I);
+  EXPECT_EQ(Same, I);
+  B.emitRet(I);
+  B.endFunction();
+  EXPECT_EQ(verifyModule(M), "");
+}
+
+TEST(IRBuilder, BranchesAndBlocks) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId C = B.emitConst(1);
+  BlockId T = B.newBlock(), F = B.newBlock();
+  B.emitCondBr(C, T, F);
+  B.setInsertPoint(T);
+  B.emitRet(C);
+  B.setInsertPoint(F);
+  B.emitRet(C);
+  B.endFunction();
+  EXPECT_EQ(verifyModule(M), "");
+  const Function &Fn = M.function(0);
+  EXPECT_EQ(Fn.block(0).numSuccessors(), 2u);
+  EXPECT_EQ(Fn.block(0).successor(0), T);
+  EXPECT_EQ(Fn.block(0).successor(1), F);
+  EXPECT_EQ(Fn.block(T).numSuccessors(), 0u);
+}
+
+TEST(Verifier, CatchesRegisterOutOfRange) {
+  Module M = tinyModule();
+  M.function(0).Blocks[0].Instrs[2].B = 99;
+  EXPECT_NE(verifyModule(M), "");
+}
+
+TEST(Verifier, CatchesBadBranchTarget) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId C = B.emitConst(1);
+  B.emitRet(C);
+  B.endFunction();
+  M.function(0).Blocks[0].Instrs.back().Op = Opcode::Br;
+  M.function(0).Blocks[0].Instrs.back().Targets = {7};
+  EXPECT_NE(verifyModule(M), "");
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Module M = tinyModule();
+  M.function(0).Blocks[0].Instrs.pop_back();
+  EXPECT_NE(verifyModule(M), "");
+}
+
+TEST(Verifier, CatchesMidBlockTerminator) {
+  Module M = tinyModule();
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.A = 0;
+  M.function(0).Blocks[0].Instrs.insert(
+      M.function(0).Blocks[0].Instrs.begin(), Ret);
+  EXPECT_NE(verifyModule(M), "");
+}
+
+TEST(Verifier, CatchesArgCountMismatch) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("callee", 2);
+  B.emitRet(0);
+  B.endFunction();
+  B.beginFunction("main", 0);
+  RegId X = B.emitConst(1);
+  B.emitCall(1 - 1, {X}); // One arg to a two-param function.
+  B.emitRet(X);
+  B.endFunction();
+  M.MainId = 1;
+  EXPECT_NE(verifyModule(M), "");
+}
+
+TEST(Verifier, CatchesNonPow2Memory) {
+  Module M = tinyModule();
+  M.MemWords = 1000;
+  EXPECT_NE(verifyModule(M), "");
+}
+
+TEST(Verifier, CatchesMainWithParams) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 1);
+  B.emitRet(0);
+  B.endFunction();
+  EXPECT_NE(verifyModule(M), "");
+}
+
+TEST(Verifier, CatchesBadCallee) {
+  Module M = tinyModule();
+  Instr Call;
+  Call.Op = Opcode::Call;
+  Call.A = 0;
+  Call.Callee = 5;
+  auto &Instrs = M.function(0).Blocks[0].Instrs;
+  Instrs.insert(Instrs.end() - 1, Call);
+  EXPECT_NE(verifyModule(M), "");
+}
+
+TEST(Printer, InstrRendering) {
+  Instr I;
+  I.Op = Opcode::Add;
+  I.A = 3;
+  I.B = 1;
+  I.C = 2;
+  EXPECT_EQ(printInstr(I), "r3 = add r1, r2");
+  I.Op = Opcode::CondBr;
+  I.A = 0;
+  I.Targets = {1, 2};
+  EXPECT_EQ(printInstr(I), "condbr r0, b1, b2");
+  I.Op = Opcode::ProfCountIdx;
+  I.Imm = 7;
+  EXPECT_EQ(printInstr(I), "prof.count.idx 7");
+}
+
+TEST(Printer, ModuleRoundTripStability) {
+  Module M = tinyModule();
+  std::string A = printModule(M);
+  std::string B = printModule(M);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.find("func @main"), std::string::npos);
+  EXPECT_NE(A.find("ret"), std::string::npos);
+}
+
+TEST(Opcode, TerminatorClassification) {
+  EXPECT_TRUE(isTerminatorOpcode(Opcode::Br));
+  EXPECT_TRUE(isTerminatorOpcode(Opcode::CondBr));
+  EXPECT_TRUE(isTerminatorOpcode(Opcode::Switch));
+  EXPECT_TRUE(isTerminatorOpcode(Opcode::Ret));
+  EXPECT_FALSE(isTerminatorOpcode(Opcode::Add));
+  EXPECT_FALSE(isTerminatorOpcode(Opcode::Call));
+  EXPECT_FALSE(isTerminatorOpcode(Opcode::ProfSet));
+}
+
+TEST(Opcode, ProfilingClassification) {
+  EXPECT_TRUE(isProfilingOpcode(Opcode::ProfSet));
+  EXPECT_TRUE(isProfilingOpcode(Opcode::ProfAdd));
+  EXPECT_TRUE(isProfilingOpcode(Opcode::ProfCountIdx));
+  EXPECT_TRUE(isProfilingOpcode(Opcode::ProfCountConst));
+  EXPECT_FALSE(isProfilingOpcode(Opcode::Add));
+}
+
+TEST(Function, DeepCopyIsIndependent) {
+  Module M = tinyModule();
+  Module Copy = M;
+  Copy.function(0).Blocks[0].Instrs[0].Imm = 99;
+  EXPECT_EQ(M.function(0).Blocks[0].Instrs[0].Imm, 2);
+}
+
+} // namespace

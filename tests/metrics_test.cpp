@@ -1,0 +1,238 @@
+//===- tests/metrics_test.cpp - Accuracy/coverage metric tests ----------------===//
+///
+/// The Section 6 metrics on constructed profiles with hand-computable
+/// answers, plus consistency properties on real runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "metrics/Metrics.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+/// A profile fixture over one synthetic function: paths are distinct
+/// straight keys with chosen frequencies/branch counts.
+struct FakeProfiles {
+  Module M;
+  std::unique_ptr<CfgView> Cfg;
+  PathProfile Actual{1};
+  PathProfile Estimated{1};
+
+  FakeProfiles() {
+    // A switch gives one real function with many distinguishable paths.
+    IRBuilder B(M);
+    B.beginFunction("main", 0);
+    RegId S = B.emitConst(0);
+    std::vector<BlockId> Arms;
+    for (int I = 0; I < 8; ++I)
+      Arms.push_back(B.newBlock());
+    B.emitSwitch(S, Arms);
+    for (BlockId A : Arms) {
+      B.setInsertPoint(A);
+      B.emitRet(S);
+    }
+    B.endFunction();
+    EXPECT_EQ(verifyModule(M), "");
+    Cfg = std::make_unique<CfgView>(M.function(0));
+  }
+
+  PathKey key(unsigned Arm) const {
+    PathKey K;
+    K.First = 0;
+    K.EdgeIds = {Cfg->edgeIdFor(0, Arm)};
+    K.TermCfgEdgeId = -1;
+    return K;
+  }
+
+  void addActual(unsigned Arm, uint64_t Freq) {
+    Actual.Funcs[0].add(*Cfg, key(Arm), Freq);
+  }
+  void addEstimated(unsigned Arm, uint64_t Freq) {
+    Estimated.Funcs[0].add(*Cfg, key(Arm), Freq);
+  }
+};
+
+TEST(Accuracy, PerfectEstimateScoresOne) {
+  FakeProfiles F;
+  for (unsigned A = 0; A < 4; ++A) {
+    F.addActual(A, 100 * (A + 1));
+    F.addEstimated(A, 100 * (A + 1));
+  }
+  AccuracyResult R =
+      computeAccuracy(F.Actual, F.Estimated, FlowMetric::Branch, 0.01);
+  EXPECT_DOUBLE_EQ(R.Accuracy, 1.0);
+  EXPECT_EQ(R.NumHotPaths, 4u);
+}
+
+TEST(Accuracy, MissingHotPathCostsItsFlow) {
+  FakeProfiles F;
+  // Actual: three hot paths 500/300/200 (each 1 branch).
+  F.addActual(0, 500);
+  F.addActual(1, 300);
+  F.addActual(2, 200);
+  // Estimate ranks a completely cold path over path 2.
+  F.addEstimated(0, 500);
+  F.addEstimated(1, 300);
+  F.addEstimated(5, 250);
+  F.addEstimated(2, 10);
+  AccuracyResult R =
+      computeAccuracy(F.Actual, F.Estimated, FlowMetric::Branch, 0.05);
+  // H_actual = {0,1,2} (flow 1000); H_est = top 3 = {0,1,5};
+  // intersection flow = 800.
+  EXPECT_EQ(R.NumHotPaths, 3u);
+  EXPECT_EQ(R.HotFlow, 1000u);
+  EXPECT_EQ(R.MatchedFlow, 800u);
+  EXPECT_DOUBLE_EQ(R.Accuracy, 0.8);
+}
+
+TEST(Accuracy, EstimatedColdPathInTopKDoesNotCount) {
+  FakeProfiles F;
+  F.addActual(0, 1000);
+  F.addActual(1, 1); // Far below the hot threshold.
+  F.addEstimated(1, 900);
+  F.addEstimated(0, 1000);
+  AccuracyResult R =
+      computeAccuracy(F.Actual, F.Estimated, FlowMetric::Branch, 0.1);
+  // Only path 0 is hot; H_est = {0} (1000 beats 900): matched.
+  EXPECT_EQ(R.NumHotPaths, 1u);
+  EXPECT_DOUBLE_EQ(R.Accuracy, 1.0);
+}
+
+TEST(Accuracy, NoHotPathsIsVacuouslyPerfect) {
+  FakeProfiles F;
+  PathProfile Empty(1);
+  AccuracyResult R =
+      computeAccuracy(Empty, F.Estimated, FlowMetric::Branch, 0.00125);
+  EXPECT_DOUBLE_EQ(R.Accuracy, 1.0);
+  EXPECT_EQ(R.NumHotPaths, 0u);
+}
+
+TEST(Accuracy, UnitAndBranchMetricsCanDisagree) {
+  FakeProfiles F;
+  F.addActual(0, 100);
+  F.addActual(1, 60);
+  // Under unit flow path 0 dominates; give path 1 an inflated estimate
+  // so top-1 differs.
+  F.addEstimated(1, 100);
+  F.addEstimated(0, 90);
+  AccuracyResult RU =
+      computeAccuracy(F.Actual, F.Estimated, FlowMetric::Unit, 0.5);
+  // Hot (>= 50% of 160 = 80): only path 0. H_est top-1 = path 1: miss.
+  EXPECT_DOUBLE_EQ(RU.Accuracy, 0.0);
+}
+
+TEST(HotPaths, SelectionSortedAndThresholded) {
+  FakeProfiles F;
+  F.addActual(0, 10);
+  F.addActual(1, 500);
+  F.addActual(2, 200);
+  std::vector<PathRef> Hot =
+      selectHotPaths(F.Actual, FlowMetric::Branch, 0.1); // cutoff 71.
+  ASSERT_EQ(Hot.size(), 2u);
+  EXPECT_EQ(F.Actual.Funcs[0].Paths[Hot[0].Index].Freq, 500u);
+  EXPECT_EQ(F.Actual.Funcs[0].Paths[Hot[1].Index].Freq, 200u);
+}
+
+TEST(Overhead, PercentFormula) {
+  EXPECT_DOUBLE_EQ(overheadPercent(100, 105), 5.0);
+  EXPECT_DOUBLE_EQ(overheadPercent(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(overheadPercent(100, 97), -3.0);
+  EXPECT_DOUBLE_EQ(overheadPercent(0, 50), 0.0);
+}
+
+TEST(Coverage, EndToEndBounds) {
+  // On real runs: every coverage lies in [0, 1.05] and PP's coverage is
+  // ~1 (it measures everything).
+  Module M = smallWorkload(81);
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::pp());
+  InstrumentedRun Run = runInstrumented(IR);
+  ProfilerRunData Data =
+      buildEstimatedProfile(M, Clean.EP, IR, Run.RT);
+  CoverageResult Cov =
+      computeProfilerCoverage(IR, Data, Clean.Oracle, FlowMetric::Branch);
+  EXPECT_GE(Cov.Coverage, 0.97);
+  EXPECT_LE(Cov.Coverage, 1.0001);
+  EXPECT_EQ(Cov.OvercountFlow, 0u) << "PP cannot overcount";
+  EXPECT_EQ(Cov.TotalFlow, Clean.Oracle.totalFlow(FlowMetric::Branch));
+}
+
+TEST(Coverage, OrderingEdgeBelowProfilers) {
+  Module M = smallWorkload(82, 80);
+  ProfiledRun Clean = profileModule(M);
+  double EdgeCov =
+      computeEdgeCoverage(M, Clean.EP, Clean.Oracle, FlowMetric::Branch);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::tpp());
+  InstrumentedRun Run = runInstrumented(IR);
+  ProfilerRunData Data = buildEstimatedProfile(M, Clean.EP, IR, Run.RT);
+  CoverageResult Cov =
+      computeProfilerCoverage(IR, Data, Clean.Oracle, FlowMetric::Branch);
+  EXPECT_GE(Cov.Coverage + 1e-9, EdgeCov)
+      << "instrumenting cannot cover less than the edge profile alone";
+}
+
+TEST(InstrumentedFraction, PPIsTotal) {
+  Module M = smallWorkload(83);
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::pp());
+  InstrumentedFraction Frac =
+      computeInstrumentedFraction(IR, Clean.Oracle);
+  EXPECT_DOUBLE_EQ(Frac.Total, 1.0);
+  EXPECT_GE(Frac.Total, Frac.Hashed);
+}
+
+TEST(InstrumentedFraction, PPPBelowPP) {
+  Module M = smallWorkload(84, 80);
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult Ppp =
+      instrumentModule(M, Clean.EP, ProfilerOptions::ppp());
+  InstrumentedFraction Frac =
+      computeInstrumentedFraction(Ppp, Clean.Oracle);
+  EXPECT_LE(Frac.Total, 1.0);
+  EXPECT_GE(Frac.Total, 0.0);
+}
+
+TEST(EstimatedProfile, MeasuredSubsetOfEstimated) {
+  Module M = smallWorkload(85);
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::ppp());
+  InstrumentedRun Run = runInstrumented(IR);
+  ProfilerRunData Data = buildEstimatedProfile(M, Clean.EP, IR, Run.RT);
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    for (const PathRecord &Rec : Data.Measured.Funcs[F].Paths) {
+      const PathRecord *Est = Data.Estimated.Funcs[F].find(Rec.Key);
+      ASSERT_NE(Est, nullptr);
+      EXPECT_EQ(Est->Freq, Rec.Freq)
+          << "estimated must carry the measured count verbatim";
+    }
+  }
+  EXPECT_EQ(Data.InvalidCounts, 0u);
+}
+
+TEST(EstimatedProfile, EdgeEstimateCoversExecutedHotPaths) {
+  Module M = smallWorkload(86, 60);
+  ProfiledRun Clean = profileModule(M);
+  uint64_t Cut = static_cast<uint64_t>(
+      0.01 * static_cast<double>(Clean.Oracle.totalFlow(FlowMetric::Branch)));
+  PathProfile Pot = estimateFromEdgeProfile(M, Clean.EP, FlowKind::Potential,
+                                            Cut, FlowMetric::Branch);
+  // Potential flow bounds actual flow from above, so every actual path
+  // above the cutoff must appear among the candidates.
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    for (const PathRecord &Rec : Clean.Oracle.Funcs[F].Paths) {
+      if (Rec.flow(FlowMetric::Branch) > Cut) {
+        EXPECT_NE(Pot.Funcs[F].find(Rec.Key), nullptr);
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,283 @@
+//===- tests/numbering_test.cpp - Path numbering & event counting tests -------===//
+///
+/// Properties straight from Ball-Larus: path numbering is a bijection
+/// from complete DAG paths onto [0, N-1] (Fig. 2), the smart ordering
+/// preserves that while zeroing the hottest out-edge (Fig. 6), and
+/// event counting preserves every path sum while zeroing spanning-tree
+/// edges (Sec. 3.1 / 4.5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/StaticProfile.h"
+#include "pathprof/EventCounting.h"
+#include "pathprof/Numbering.h"
+
+#include <functional>
+#include <set>
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+/// Enumerates every complete non-cold DAG path, invoking \p Fn with the
+/// edge list. Returns false (abandoning enumeration) if there are more
+/// than \p Limit paths.
+bool forAllPaths(const BLDag &Dag, size_t Limit,
+                 const std::function<void(const std::vector<int> &)> &Fn) {
+  std::vector<int> Stack;
+  size_t Count = 0;
+  std::function<bool(int)> Walk = [&](int V) -> bool {
+    if (V == Dag.exitNode()) {
+      if (++Count > Limit)
+        return false;
+      Fn(Stack);
+      return true;
+    }
+    for (int EId : Dag.outEdges(V)) {
+      if (Dag.edge(EId).Cold)
+        continue;
+      Stack.push_back(EId);
+      bool Ok = Walk(Dag.edge(EId).Dst);
+      Stack.pop_back();
+      if (!Ok)
+        return false;
+    }
+    return true;
+  };
+  return Walk(Dag.entryNode());
+}
+
+struct DagUnderTest {
+  std::unique_ptr<CfgView> Cfg;
+  LoopInfo LI;
+  BLDag Dag;
+};
+
+std::vector<DagUnderTest> dagsFor(const Module &M, const EdgeProfile &EP) {
+  std::vector<DagUnderTest> Out;
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    DagUnderTest D;
+    D.Cfg = std::make_unique<CfgView>(M.function(static_cast<FuncId>(F)));
+    D.LI = LoopInfo::compute(*D.Cfg);
+    D.Dag = BLDag::build(*D.Cfg, D.LI);
+    const FunctionEdgeProfile &FP = EP.func(static_cast<FuncId>(F));
+    std::vector<int64_t> Freq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+    D.Dag.setFrequencies(Freq, FP.Invocations);
+    Out.push_back(std::move(D));
+  }
+  return Out;
+}
+
+class NumberingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NumberingProperty, BallLarusNumbersAreABijection) {
+  Module M = smallWorkload(GetParam(), 5);
+  ProfiledRun Clean = profileModule(M);
+  for (DagUnderTest &D : dagsFor(M, Clean.EP)) {
+    NumberingResult R = assignPathNumbers(D.Dag, NumberingOrder::BallLarus);
+    if (R.Overflow || R.NumPaths > 20000)
+      continue;
+    std::set<uint64_t> Seen;
+    bool Complete = forAllPaths(D.Dag, 20000, [&](const std::vector<int> &P) {
+      uint64_t Sum = 0;
+      for (int E : P)
+        Sum += D.Dag.edge(E).Val;
+      EXPECT_LT(Sum, R.NumPaths);
+      EXPECT_TRUE(Seen.insert(Sum).second) << "duplicate path number";
+    });
+    if (Complete) {
+      EXPECT_EQ(Seen.size(), R.NumPaths);
+    }
+  }
+}
+
+TEST_P(NumberingProperty, SmartNumberingIsAlsoABijection) {
+  Module M = smallWorkload(GetParam(), 5);
+  ProfiledRun Clean = profileModule(M);
+  for (DagUnderTest &D : dagsFor(M, Clean.EP)) {
+    NumberingResult R =
+        assignPathNumbers(D.Dag, NumberingOrder::DecreasingFreq);
+    if (R.Overflow || R.NumPaths > 20000)
+      continue;
+    std::set<uint64_t> Seen;
+    bool Complete = forAllPaths(D.Dag, 20000, [&](const std::vector<int> &P) {
+      uint64_t Sum = 0;
+      for (int E : P)
+        Sum += D.Dag.edge(E).Val;
+      EXPECT_LT(Sum, R.NumPaths);
+      EXPECT_TRUE(Seen.insert(Sum).second);
+    });
+    if (Complete) {
+      EXPECT_EQ(Seen.size(), R.NumPaths);
+    }
+  }
+}
+
+TEST_P(NumberingProperty, SmartNumberingZeroesHottestEdge) {
+  Module M = smallWorkload(GetParam(), 5);
+  ProfiledRun Clean = profileModule(M);
+  for (DagUnderTest &D : dagsFor(M, Clean.EP)) {
+    NumberingResult R =
+        assignPathNumbers(D.Dag, NumberingOrder::DecreasingFreq);
+    if (R.Overflow)
+      continue;
+    for (int V = 0; V < D.Dag.numNodes(); ++V) {
+      int64_t BestFreq = -1;
+      int BestEdge = -1;
+      for (int EId : D.Dag.outEdges(V)) {
+        const DagEdge &E = D.Dag.edge(EId);
+        if (!E.Cold && E.Freq > BestFreq) {
+          BestFreq = E.Freq;
+          BestEdge = EId;
+        }
+      }
+      if (BestEdge >= 0) {
+        EXPECT_EQ(D.Dag.edge(BestEdge).Val, 0u)
+            << "hottest out-edge of node " << V << " has nonzero Val";
+      }
+    }
+  }
+}
+
+TEST_P(NumberingProperty, PathsToTimesFromCountsPaths) {
+  Module M = smallWorkload(GetParam(), 5);
+  ProfiledRun Clean = profileModule(M);
+  for (DagUnderTest &D : dagsFor(M, Clean.EP)) {
+    NumberingResult R = assignPathNumbers(D.Dag, NumberingOrder::BallLarus);
+    if (R.Overflow || R.NumPaths > 5000)
+      continue;
+    // Sum over EXIT in-edges of paths-through must equal N.
+    uint64_t Total = 0;
+    for (int EId : D.Dag.inEdges(D.Dag.exitNode())) {
+      const DagEdge &E = D.Dag.edge(EId);
+      if (E.Cold)
+        continue;
+      bool Ovf = false;
+      Total += R.pathsThrough(E, Ovf);
+      EXPECT_FALSE(Ovf);
+    }
+    EXPECT_EQ(Total, R.NumPaths);
+  }
+}
+
+TEST_P(NumberingProperty, EventCountingPreservesPathSums) {
+  Module M = smallWorkload(GetParam(), 5);
+  ProfiledRun Clean = profileModule(M);
+  for (DagUnderTest &D : dagsFor(M, Clean.EP)) {
+    NumberingResult R =
+        assignPathNumbers(D.Dag, NumberingOrder::DecreasingFreq);
+    if (R.Overflow || R.NumPaths > 20000)
+      continue;
+    runEventCounting(D.Dag);
+    forAllPaths(D.Dag, 20000, [&](const std::vector<int> &P) {
+      uint64_t ValSum = 0;
+      int64_t IncSum = 0;
+      for (int E : P) {
+        ValSum += D.Dag.edge(E).Val;
+        IncSum += D.Dag.edge(E).Inc;
+      }
+      EXPECT_EQ(static_cast<int64_t>(ValSum), IncSum)
+          << "event counting changed a path number";
+    });
+    // Tree edges carry no increment.
+    for (const DagEdge &E : D.Dag.edges()) {
+      if (E.OnTree) {
+        EXPECT_EQ(E.Inc, 0);
+      }
+    }
+  }
+}
+
+TEST_P(NumberingProperty, EventCountingWithStaticWeightsAlsoPreserves) {
+  Module M = smallWorkload(GetParam(), 5);
+  ProfiledRun Clean = profileModule(M);
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    CfgView Cfg(M.function(static_cast<FuncId>(F)));
+    LoopInfo LI = LoopInfo::compute(Cfg);
+    BLDag Dag = BLDag::build(Cfg, LI);
+    NumberingResult R = assignPathNumbers(Dag, NumberingOrder::BallLarus);
+    if (R.Overflow || R.NumPaths > 20000)
+      continue;
+    StaticProfile SP = estimateStaticProfile(Cfg, LI);
+    runEventCounting(Dag,
+                     dagEdgeWeights(Dag, SP.EdgeFreq, StaticProfile::Scale));
+    forAllPaths(Dag, 20000, [&](const std::vector<int> &P) {
+      uint64_t ValSum = 0;
+      int64_t IncSum = 0;
+      for (int E : P) {
+        ValSum += Dag.edge(E).Val;
+        IncSum += Dag.edge(E).Inc;
+      }
+      EXPECT_EQ(static_cast<int64_t>(ValSum), IncSum);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NumberingProperty,
+                         ::testing::Values(51, 52, 53, 54, 55, 56, 57, 58,
+                                           59, 60));
+
+TEST(Numbering, DiamondChainCounts) {
+  // Two diamonds in sequence: 4 paths, numbered 0..3.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId C = B.emitConst(1);
+  BlockId T1 = B.newBlock(), F1 = B.newBlock(), J1 = B.newBlock();
+  BlockId T2 = B.newBlock(), F2 = B.newBlock(), J2 = B.newBlock();
+  B.emitCondBr(C, T1, F1);
+  B.setInsertPoint(T1);
+  B.emitBr(J1);
+  B.setInsertPoint(F1);
+  B.emitBr(J1);
+  B.setInsertPoint(J1);
+  B.emitCondBr(C, T2, F2);
+  B.setInsertPoint(T2);
+  B.emitBr(J2);
+  B.setInsertPoint(F2);
+  B.emitBr(J2);
+  B.setInsertPoint(J2);
+  B.emitRet(C);
+  B.endFunction();
+  ASSERT_EQ(verifyModule(M), "");
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  BLDag Dag = BLDag::build(Cfg, LI);
+  NumberingResult R = assignPathNumbers(Dag, NumberingOrder::BallLarus);
+  EXPECT_EQ(R.NumPaths, 4u);
+  EXPECT_FALSE(R.Overflow);
+}
+
+TEST(Numbering, OverflowDetected) {
+  // 70 chained diamonds: 2^70 paths overflows... actually fits in u64?
+  // 2^70 > 2^64, so the saturating arithmetic must flag it.
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId C = B.emitConst(1);
+  BlockId Prev = 0;
+  for (int I = 0; I < 70; ++I) {
+    BlockId T = B.newBlock(), F = B.newBlock(), J = B.newBlock();
+    B.setInsertPoint(Prev);
+    B.emitCondBr(C, T, F);
+    B.setInsertPoint(T);
+    B.emitBr(J);
+    B.setInsertPoint(F);
+    B.emitBr(J);
+    Prev = J;
+  }
+  B.setInsertPoint(Prev);
+  B.emitRet(C);
+  B.endFunction();
+  ASSERT_EQ(verifyModule(M), "");
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  BLDag Dag = BLDag::build(Cfg, LI);
+  NumberingResult R = assignPathNumbers(Dag, NumberingOrder::BallLarus);
+  EXPECT_TRUE(R.Overflow);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/pathtable_test.cpp - Path counter runtime tests ------------------===//
+
+#include "interp/PathTable.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace ppp;
+
+namespace {
+
+TEST(ArrayTable, CountsAndIterates) {
+  PathTable T = PathTable::makeArray(10);
+  EXPECT_EQ(T.kind(), PathTable::Kind::Array);
+  EXPECT_EQ(T.arraySize(), 10u);
+  T.increment(3);
+  T.increment(3);
+  T.increment(7);
+  EXPECT_EQ(T.countFor(3), 2u);
+  EXPECT_EQ(T.countFor(7), 1u);
+  EXPECT_EQ(T.countFor(4), 0u);
+  uint64_t Total = 0;
+  int Entries = 0;
+  T.forEach([&](int64_t, uint64_t C) {
+    Total += C;
+    ++Entries;
+  });
+  EXPECT_EQ(Total, 3u);
+  EXPECT_EQ(Entries, 2);
+}
+
+TEST(ArrayTable, BoundsCheckIsBackstopNotCrash) {
+  PathTable T = PathTable::makeArray(4);
+  T.increment(-1);
+  T.increment(4);
+  T.increment(1 << 20);
+  EXPECT_EQ(T.invalidCount(), 3u);
+  EXPECT_EQ(T.lostCount(), 0u);
+}
+
+TEST(HashTable, CountsArbitraryIndices) {
+  PathTable T = PathTable::makeHash();
+  EXPECT_EQ(T.kind(), PathTable::Kind::Hash);
+  T.increment(1'000'000'007);
+  T.increment(1'000'000'007);
+  T.increment(5);
+  EXPECT_EQ(T.countFor(1'000'000'007), 2u);
+  EXPECT_EQ(T.countFor(5), 1u);
+  EXPECT_EQ(T.countFor(6), 0u);
+  EXPECT_EQ(T.lostCount(), 0u);
+}
+
+TEST(HashTable, NegativeIndexIsInvalid) {
+  PathTable T = PathTable::makeHash();
+  T.increment(-3);
+  EXPECT_EQ(T.invalidCount(), 1u);
+}
+
+TEST(HashTable, SecondaryProbingResolvesCollisions) {
+  PathTable T = PathTable::makeHash();
+  // Keys congruent mod 701 share the primary slot; different secondary
+  // steps must still separate the first few.
+  int64_t K0 = 10;
+  int64_t K1 = 10 + 701;
+  int64_t K2 = 10 + 2 * 701;
+  T.increment(K0);
+  T.increment(K1);
+  T.increment(K2);
+  EXPECT_EQ(T.countFor(K0), 1u);
+  EXPECT_EQ(T.countFor(K1), 1u);
+  EXPECT_EQ(T.countFor(K2), 1u);
+  EXPECT_EQ(T.lostCount(), 0u);
+}
+
+TEST(HashTable, LosesPathsAfterThreeFailedProbes) {
+  PathTable T = PathTable::makeHash();
+  // Keys spaced by 701*699 collide on both the primary hash (mod 701)
+  // and the secondary step (mod 699), exhausting all three probes.
+  int64_t Stride = 701 * 699;
+  T.increment(1);
+  T.increment(1 + Stride);
+  T.increment(1 + 2 * Stride);
+  EXPECT_EQ(T.lostCount(), 0u);
+  T.increment(1 + 3 * Stride); // Fourth key on the same probe chain.
+  EXPECT_EQ(T.lostCount(), 1u);
+  EXPECT_EQ(T.countFor(1 + 3 * Stride), 0u);
+}
+
+TEST(HashTable, ManyDistinctKeysMostlySurvive) {
+  PathTable T = PathTable::makeHash();
+  // 350 live paths in 701 slots: conflicts should be rare.
+  for (int64_t K = 0; K < 350; ++K)
+    T.increment(K * 97 + 13);
+  uint64_t Stored = 0;
+  T.forEach([&](int64_t, uint64_t C) { Stored += C; });
+  EXPECT_EQ(Stored + T.lostCount(), 350u);
+  EXPECT_LT(T.lostCount(), 30u);
+}
+
+TEST(NoneTable, EverythingIsInvalid) {
+  PathTable T;
+  EXPECT_EQ(T.kind(), PathTable::Kind::None);
+  T.increment(0);
+  EXPECT_EQ(T.invalidCount(), 1u);
+  EXPECT_EQ(T.countFor(0), 0u);
+}
+
+TEST(Tables, ForEachSkipsZeroCounts) {
+  PathTable T = PathTable::makeArray(100);
+  T.increment(50);
+  int Seen = 0;
+  T.forEach([&](int64_t I, uint64_t) {
+    EXPECT_EQ(I, 50);
+    ++Seen;
+  });
+  EXPECT_EQ(Seen, 1);
+}
+
+} // namespace

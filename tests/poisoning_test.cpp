@@ -1,0 +1,185 @@
+//===- tests/poisoning_test.cpp - Free vs checked poisoning tests -------------===//
+///
+/// The two poisoning strategies of Sec. 4.6: free poisoning maps cold
+/// executions into [N, 3N) with no per-count test; checked poisoning
+/// (original TPP) uses negative poison plus a test per count. Both must
+/// measure hot paths identically; checked must cost more.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+/// PPP-style options with gates off (so tiny fixtures still get
+/// instrumented) and the requested poison style.
+ProfilerOptions forcedOptions(PoisonStyle Style) {
+  ProfilerOptions O = ProfilerOptions::ppp();
+  O.Name = Style == PoisonStyle::Checked ? "forced-checked" : "forced-free";
+  O.Poison = Style;
+  O.LowCoverageGate = false;
+  O.SkipObviousRoutines = false;
+  O.ObviousLoopDisconnect = false;
+  return O;
+}
+
+/// The rare-branch loop from placement_test: 1000 iterations, the cold
+/// side taken exactly once.
+Module rareBranchLoop() {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(1000);
+  RegId Rare = B.emitConst(500);
+  BlockId H = B.newBlock(), RareB = B.newBlock(), Cont = B.newBlock(),
+          E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  RegId IsRare = B.emitBinary(Opcode::CmpEq, I, Rare);
+  B.emitCondBr(IsRare, RareB, Cont);
+  B.setInsertPoint(RareB);
+  B.emitBr(Cont);
+  B.setInsertPoint(Cont);
+  B.emitAddImm(I, 1, I);
+  RegId More = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(More, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+  EXPECT_EQ(verifyModule(M), "");
+  return M;
+}
+
+TEST(CheckedPoisoning, ColdExecutionHitsTheColdCounter) {
+  Module M = rareBranchLoop();
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, forcedOptions(PoisonStyle::Checked));
+  const FunctionPlan &Plan = IR.Plans[0];
+  ASSERT_TRUE(Plan.Instrumented);
+  ASSERT_FALSE(Plan.ColdEdges.empty());
+  // Checked tables need exactly N slots: negatives go to the counter.
+  EXPECT_EQ(Plan.ArraySize, static_cast<int64_t>(Plan.NumPaths));
+
+  InstrumentedRun Run = runInstrumented(IR);
+  const PathTable &T = Run.RT.table(0);
+  EXPECT_EQ(T.invalidCount(), 0u);
+  EXPECT_GE(T.coldCheckedCount(), 1u);
+  EXPECT_LE(T.coldCheckedCount(), 2u);
+  // No count may land at or above N.
+  T.forEach([&](int64_t Idx, uint64_t) {
+    EXPECT_LT(static_cast<uint64_t>(Idx), Plan.NumPaths);
+  });
+}
+
+TEST(CheckedPoisoning, TheCheckedOpcodeAppearsOnlyWithColdEdges) {
+  Module M = rareBranchLoop();
+  ProfiledRun Clean = profileModule(M);
+  auto CountChecked = [](const Module &Mod) {
+    unsigned N = 0;
+    for (const Function &F : Mod.Functions)
+      for (const BasicBlock &BB : F.Blocks)
+        for (const Instr &I : BB.Instrs)
+          N += I.Op == Opcode::ProfCheckedCountIdx;
+    return N;
+  };
+  InstrumentationResult Checked =
+      instrumentModule(M, Clean.EP, forcedOptions(PoisonStyle::Checked));
+  EXPECT_GT(CountChecked(Checked.Instrumented), 0u);
+  InstrumentationResult Free =
+      instrumentModule(M, Clean.EP, forcedOptions(PoisonStyle::Free));
+  EXPECT_EQ(CountChecked(Free.Instrumented), 0u);
+  // PP never has cold edges, so even checked style emits plain counts.
+  ProfilerOptions PpChecked = ProfilerOptions::pp();
+  PpChecked.Poison = PoisonStyle::Checked;
+  InstrumentationResult Pp = instrumentModule(M, Clean.EP, PpChecked);
+  EXPECT_EQ(CountChecked(Pp.Instrumented), 0u);
+}
+
+class CheckedProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CheckedProperty, MeasuresLikeFreePoisoningButCostsMore) {
+  Module M = smallWorkload(GetParam());
+  ProfiledRun Clean = profileModule(M);
+
+  InstrumentationResult Free =
+      instrumentModule(M, Clean.EP, forcedOptions(PoisonStyle::Free));
+  InstrumentationResult Checked =
+      instrumentModule(M, Clean.EP, forcedOptions(PoisonStyle::Checked));
+  InstrumentedRun RunFree = runInstrumented(Free);
+  InstrumentedRun RunChecked = runInstrumented(Checked);
+
+  checkMeasurementInvariants(M, Free, RunFree, Clean, false);
+  checkMeasurementInvariants(M, Checked, RunChecked, Clean, false);
+
+  // Hot-path counts agree between the two styles.
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    const FunctionPlan &PF = Free.Plans[FI];
+    const FunctionPlan &PC = Checked.Plans[FI];
+    if (!PF.Instrumented || !PC.Instrumented)
+      continue;
+    if (PF.TableKind == PathTable::Kind::Hash ||
+        PC.TableKind == PathTable::Kind::Hash)
+      continue;
+    for (const PathRecord &Rec : Clean.Oracle.Funcs[FI].Paths) {
+      std::optional<uint64_t> NF = PF.pathNumberOf(Rec.Key);
+      std::optional<uint64_t> NC = PC.pathNumberOf(Rec.Key);
+      if (!NF || !NC)
+        continue;
+      // Free poisoning may overcount hot numbers (pushed past cold
+      // edges); checked counts are exact for hot paths, so checked
+      // <= free on shared paths.
+      EXPECT_LE(RunChecked.RT.table(static_cast<FuncId>(FI))
+                    .countFor(static_cast<int64_t>(*NC)),
+                RunFree.RT.table(static_cast<FuncId>(FI))
+                        .countFor(static_cast<int64_t>(*NF)) +
+                    0u)
+          << "f" << FI;
+    }
+  }
+
+  // And the test itself is what costs: checked never runs cheaper.
+  EXPECT_GE(RunChecked.Res.Cost, RunFree.Res.Cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckedProperty,
+                         ::testing::Values(301, 302, 303, 304, 305, 306));
+
+} // namespace
+
+namespace {
+
+/// Regression: checked poison must be more negative than any partial
+/// event-counting sum, which is bounded by the potentials and not by N
+/// (originally found by stress seed 1145 with deep mixed workloads:
+/// N = 192 but suffix swings near 18k un-poisoned the register).
+TEST(CheckedPoisoning, SurvivesLargeEventCountingIncrements) {
+  for (uint64_t Seed : {1145ull, 1148ull, 1151ull}) {
+    WorkloadParams P;
+    P.Seed = Seed;
+    P.Name = "deep";
+    P.NumFunctions = 8;
+    P.IfPct = 30;
+    P.LoopPct = 18;
+    P.SwitchPct = 6;
+    P.CallPct = 18;
+    P.MaxDepth = 4;
+    P.SkewedIfPct = 70;
+    P.MainLoopTrips = 25;
+    Module M = generateWorkload(P);
+    ProfiledRun Clean = profileModule(M);
+    InstrumentationResult IR =
+        instrumentModule(M, Clean.EP, ProfilerOptions::tppChecked());
+    InstrumentedRun Run = runInstrumented(IR);
+    checkMeasurementInvariants(M, IR, Run, Clean, false);
+    for (unsigned F = 0; F < M.numFunctions(); ++F)
+      EXPECT_EQ(Run.RT.table(static_cast<FuncId>(F)).invalidCount(), 0u)
+          << "seed " << Seed << " f" << F;
+  }
+}
+
+} // namespace

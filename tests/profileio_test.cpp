@@ -1,0 +1,112 @@
+//===- tests/profileio_test.cpp - Profile serialization tests -----------------===//
+
+#include "TestUtil.h"
+
+#include "metrics/Metrics.h"
+#include "profile/ProfileIO.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+TEST(EdgeProfileIO, RoundTrip) {
+  Module M = smallWorkload(401);
+  ProfiledRun Clean = profileModule(M);
+  std::string Text = writeEdgeProfile(M, Clean.EP);
+  EdgeProfile Back;
+  std::string Error;
+  ASSERT_TRUE(readEdgeProfile(M, Text, Back, Error)) << Error;
+  ASSERT_EQ(Back.Funcs.size(), Clean.EP.Funcs.size());
+  for (size_t F = 0; F < Back.Funcs.size(); ++F) {
+    EXPECT_EQ(Back.Funcs[F].Invocations, Clean.EP.Funcs[F].Invocations);
+    EXPECT_EQ(Back.Funcs[F].EdgeFreq, Clean.EP.Funcs[F].EdgeFreq);
+  }
+}
+
+TEST(EdgeProfileIO, RejectsWrongModule) {
+  Module M = smallWorkload(402);
+  Module Other = smallWorkload(403);
+  ProfiledRun Clean = profileModule(M);
+  std::string Text = writeEdgeProfile(M, Clean.EP);
+  EdgeProfile Back;
+  std::string Error;
+  EXPECT_FALSE(readEdgeProfile(Other, Text, Back, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(EdgeProfileIO, RejectsCorruptHeaderAndBody) {
+  Module M = smallWorkload(404);
+  ProfiledRun Clean = profileModule(M);
+  std::string Text = writeEdgeProfile(M, Clean.EP);
+  EdgeProfile Back;
+  std::string Error;
+
+  EXPECT_FALSE(readEdgeProfile(M, "garbage\n" + Text, Back, Error));
+  EXPECT_FALSE(readEdgeProfile(M, "", Back, Error));
+
+  // Flip a frequency to a negative value.
+  std::string Bad = Text;
+  size_t Pos = Bad.find("\n0 ");
+  ASSERT_NE(Pos, std::string::npos);
+  Bad.replace(Pos, 3, "\n0 -");
+  EXPECT_FALSE(readEdgeProfile(M, Bad, Back, Error));
+}
+
+TEST(PathProfileIO, RoundTripsTheOracle) {
+  Module M = smallWorkload(405);
+  ProfiledRun Clean = profileModule(M);
+  std::string Text = writePathProfile(M, Clean.Oracle);
+  PathProfile Back(0);
+  std::string Error;
+  ASSERT_TRUE(readPathProfile(M, Text, Back, Error)) << Error;
+  ASSERT_EQ(Back.Funcs.size(), Clean.Oracle.Funcs.size());
+  EXPECT_EQ(Back.totalFreq(), Clean.Oracle.totalFreq());
+  EXPECT_EQ(Back.totalFlow(FlowMetric::Branch),
+            Clean.Oracle.totalFlow(FlowMetric::Branch));
+  EXPECT_EQ(Back.distinctPaths(), Clean.Oracle.distinctPaths());
+  for (size_t F = 0; F < Back.Funcs.size(); ++F) {
+    for (const PathRecord &Rec : Clean.Oracle.Funcs[F].Paths) {
+      const PathRecord *R = Back.Funcs[F].find(Rec.Key);
+      ASSERT_NE(R, nullptr);
+      EXPECT_EQ(R->Freq, Rec.Freq);
+      EXPECT_EQ(R->Branches, Rec.Branches);
+      EXPECT_EQ(R->Instrs, Rec.Instrs);
+    }
+  }
+}
+
+TEST(PathProfileIO, RejectsBrokenPathStructure) {
+  Module M = smallWorkload(406);
+  ProfiledRun Clean = profileModule(M);
+  std::string Text = writePathProfile(M, Clean.Oracle);
+  PathProfile Back(0);
+  std::string Error;
+
+  // A profile from a different module must fail edge validation (the
+  // edges will not chain).
+  Module Other = smallWorkload(407);
+  EXPECT_FALSE(readPathProfile(Other, Text, Back, Error));
+
+  // Truncated edge list.
+  size_t Pos = Text.find("path ");
+  ASSERT_NE(Pos, std::string::npos);
+  size_t Eol = Text.find('\n', Pos);
+  std::string Bad = Text.substr(0, Pos) + "path 1 0 -1 -1 3 0\n" +
+                    Text.substr(Eol + 1);
+  EXPECT_FALSE(readPathProfile(M, Bad, Back, Error));
+}
+
+TEST(PathProfileIO, AccuracyIdenticalThroughSerialization) {
+  // The serialized oracle is a perfect estimate of itself.
+  Module M = smallWorkload(408);
+  ProfiledRun Clean = profileModule(M);
+  std::string Text = writePathProfile(M, Clean.Oracle);
+  PathProfile Back(0);
+  std::string Error;
+  ASSERT_TRUE(readPathProfile(M, Text, Back, Error)) << Error;
+  AccuracyResult R = computeAccuracy(Clean.Oracle, Back, FlowMetric::Branch);
+  EXPECT_DOUBLE_EQ(R.Accuracy, 1.0);
+}
+
+} // namespace

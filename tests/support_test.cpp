@@ -1,0 +1,150 @@
+//===- tests/support_test.cpp - Support library tests ------------------------===//
+
+#include "support/CheckedMath.h"
+#include "support/Dsu.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+#include <limits>
+#include <set>
+
+using namespace ppp;
+
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.below(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, PercentExtremes) {
+  Rng R(13);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.percent(0));
+    EXPECT_TRUE(R.percent(100));
+  }
+}
+
+TEST(Rng, PercentRoughlyCalibrated) {
+  Rng R(17);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.percent(30);
+  EXPECT_NEAR(Hits, 3000, 300);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng A(21);
+  Rng B = A.fork();
+  uint64_t ANext = A.next();
+  // Draining the fork must not change the parent stream.
+  Rng A2(21);
+  Rng B2 = A2.fork();
+  for (int I = 0; I < 50; ++I)
+    B2.next();
+  EXPECT_EQ(A2.next(), ANext);
+  (void)B;
+}
+
+TEST(Dsu, BasicUnionFind) {
+  Dsu D(5);
+  EXPECT_FALSE(D.connected(0, 1));
+  EXPECT_TRUE(D.unite(0, 1));
+  EXPECT_TRUE(D.connected(0, 1));
+  EXPECT_FALSE(D.unite(0, 1)) << "re-union must report already-joined";
+  EXPECT_TRUE(D.unite(2, 3));
+  EXPECT_FALSE(D.connected(1, 2));
+  EXPECT_TRUE(D.unite(1, 3));
+  EXPECT_TRUE(D.connected(0, 2));
+  EXPECT_FALSE(D.connected(0, 4));
+}
+
+TEST(Dsu, SpanningTreeEdgeCount) {
+  // Uniting N nodes accepts exactly N-1 edges.
+  Dsu D(10);
+  int Accepted = 0;
+  for (size_t I = 0; I < 10; ++I)
+    for (size_t J = I + 1; J < 10; ++J)
+      Accepted += D.unite(I, J);
+  EXPECT_EQ(Accepted, 9);
+}
+
+TEST(CheckedMath, AddDetectsOverflow) {
+  bool Ovf = false;
+  EXPECT_EQ(saturatingAdd(2, 3, Ovf), 5u);
+  EXPECT_FALSE(Ovf);
+  uint64_t Max = std::numeric_limits<uint64_t>::max();
+  EXPECT_EQ(saturatingAdd(Max, 1, Ovf), Max);
+  EXPECT_TRUE(Ovf);
+}
+
+TEST(CheckedMath, MulDetectsOverflow) {
+  bool Ovf = false;
+  EXPECT_EQ(saturatingMul(1u << 16, 1u << 16, Ovf), 1ull << 32);
+  EXPECT_FALSE(Ovf);
+  EXPECT_EQ(saturatingMul(1ull << 32, 1ull << 32, Ovf),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_TRUE(Ovf);
+}
+
+TEST(CheckedMath, OverflowFlagIsSticky) {
+  bool Ovf = false;
+  saturatingAdd(std::numeric_limits<uint64_t>::max(), 1, Ovf);
+  saturatingAdd(1, 1, Ovf); // Must not reset the flag.
+  EXPECT_TRUE(Ovf);
+}
+
+TEST(Format, BasicFormatting) {
+  EXPECT_EQ(formatString("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(formatString("%05.1f", 2.25), "002.2");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(Format, LongStrings) {
+  std::string Long(5000, 'a');
+  std::string Out = formatString("[%s]", Long.c_str());
+  EXPECT_EQ(Out.size(), 5002u);
+  EXPECT_EQ(Out.front(), '[');
+  EXPECT_EQ(Out.back(), ']');
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/trace_test.cpp - Trace formation tests ---------------------------===//
+
+#include "TestUtil.h"
+
+#include "opt/TraceFormation.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+/// A loop whose body is: header -> A (Br) -> join <- B; the hot path
+/// goes through A every time, so tail-duplicating join into A removes
+/// one dynamic Br per iteration.
+Module mergeLoop() {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(500);
+  BlockId H = B.newBlock(), A = B.newBlock(), Bb = B.newBlock(),
+          J = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  RegId K1000 = B.emitConst(1000);
+  RegId Rare = B.emitBinary(Opcode::CmpEq, I, K1000); // Never true.
+  B.emitCondBr(Rare, Bb, A);
+  B.setInsertPoint(A);
+  B.emitAddImm(I, 1, I);
+  B.emitBr(J);
+  B.setInsertPoint(Bb);
+  B.emitAddImm(I, 2, I);
+  B.emitBr(J);
+  B.setInsertPoint(J);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(I);
+  B.endFunction();
+  EXPECT_EQ(verifyModule(M), "");
+  return M;
+}
+
+TEST(TraceFormation, RemovesJumpsOnTheHotPath) {
+  Module M = mergeLoop();
+  ProfiledRun Before = profileModule(M);
+
+  Module Opt = M;
+  TraceStats Stats = formTracesFromPathProfile(Opt, Before.Oracle);
+  EXPECT_EQ(Stats.Traces, 1u);
+  EXPECT_GE(Stats.BlocksDuplicated, 1u);
+  ASSERT_EQ(verifyModule(Opt), "");
+
+  ProfiledRun After = profileModule(Opt);
+  EXPECT_EQ(Before.Res.ReturnValue, After.Res.ReturnValue);
+  EXPECT_EQ(Before.Res.MemChecksum, After.Res.MemChecksum);
+  // One Br per iteration disappears.
+  EXPECT_LT(After.Res.Cost, Before.Res.Cost);
+  EXPECT_LE(Before.Res.Cost - After.Res.Cost, 500u + 8);
+  EXPECT_GE(Before.Res.Cost - After.Res.Cost, 490u);
+}
+
+TEST(TraceFormation, EdgeGreedyAlsoPreservesSemantics) {
+  Module M = mergeLoop();
+  ProfiledRun Before = profileModule(M);
+  Module Opt = M;
+  formTracesFromEdgeProfile(Opt, Before.EP);
+  ASSERT_EQ(verifyModule(Opt), "");
+  ProfiledRun After = profileModule(Opt);
+  EXPECT_EQ(Before.Res.ReturnValue, After.Res.ReturnValue);
+  EXPECT_EQ(Before.Res.MemChecksum, After.Res.MemChecksum);
+}
+
+TEST(TraceFormation, ColdProfilesFormNoTraces) {
+  Module M = mergeLoop();
+  ProfiledRun Before = profileModule(M);
+  Module Opt = M;
+  TraceOptions O;
+  O.MinFreq = 1'000'000; // Far above anything in the run.
+  EXPECT_EQ(formTracesFromPathProfile(Opt, Before.Oracle, O).Traces, 0u);
+  EXPECT_EQ(formTracesFromEdgeProfile(Opt, Before.EP, O).Traces, 0u);
+}
+
+TEST(TraceFormation, DuplicationCapRespected) {
+  Module M = mergeLoop();
+  ProfiledRun Before = profileModule(M);
+  Module Opt = M;
+  TraceOptions O;
+  O.MaxDuplicatedPerFunction = 0;
+  TraceStats Stats = formTracesFromPathProfile(Opt, Before.Oracle, O);
+  EXPECT_EQ(Stats.BlocksDuplicated, 0u);
+}
+
+class TraceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceProperty, BothSelectorsPreserveSemanticsOnRandomPrograms) {
+  Module M = smallWorkload(GetParam(), 60);
+  ProfiledRun Before = profileModule(M);
+
+  Module PathOpt = M;
+  formTracesFromPathProfile(PathOpt, Before.Oracle);
+  ASSERT_EQ(verifyModule(PathOpt), "");
+  RunResult RPath = Interpreter(PathOpt).run();
+  EXPECT_EQ(RPath.ReturnValue, Before.Res.ReturnValue);
+  EXPECT_EQ(RPath.MemChecksum, Before.Res.MemChecksum);
+  EXPECT_LE(RPath.Cost, Before.Res.Cost);
+
+  Module EdgeOpt = M;
+  formTracesFromEdgeProfile(EdgeOpt, Before.EP);
+  ASSERT_EQ(verifyModule(EdgeOpt), "");
+  RunResult REdge = Interpreter(EdgeOpt).run();
+  EXPECT_EQ(REdge.ReturnValue, Before.Res.ReturnValue);
+  EXPECT_EQ(REdge.MemChecksum, Before.Res.MemChecksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceProperty,
+                         ::testing::Values(501, 502, 503, 504, 505, 506,
+                                           507, 508));
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- tests/workload_test.cpp - Workload generator and suite tests -----------===//
+
+#include "TestUtil.h"
+
+#include "ir/Printer.h"
+#include "workload/Suite.h"
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+TEST(Generator, SameSeedSameModule) {
+  WorkloadParams P;
+  P.Seed = 123;
+  Module A = generateWorkload(P);
+  Module B = generateWorkload(P);
+  EXPECT_EQ(printModule(A), printModule(B));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  WorkloadParams P;
+  P.Seed = 1;
+  Module A = generateWorkload(P);
+  P.Seed = 2;
+  Module B = generateWorkload(P);
+  EXPECT_NE(printModule(A), printModule(B));
+}
+
+TEST(Generator, TripCountOnlyChangesOneConstant) {
+  WorkloadParams P;
+  P.Seed = 5;
+  P.MainLoopTrips = 10;
+  Module A = generateWorkload(P);
+  P.MainLoopTrips = 200;
+  Module B = generateWorkload(P);
+  // Same structure: identical block/function counts everywhere.
+  ASSERT_EQ(A.numFunctions(), B.numFunctions());
+  for (unsigned F = 0; F < A.numFunctions(); ++F) {
+    EXPECT_EQ(A.function(F).numBlocks(), B.function(F).numBlocks());
+    EXPECT_EQ(A.function(F).size(), B.function(F).size());
+  }
+}
+
+TEST(Generator, ScalesRoughlyLinearlyWithTrips) {
+  WorkloadParams P;
+  P.Seed = 7;
+  P.MainLoopTrips = 10;
+  uint64_t D10 = Interpreter(generateWorkload(P)).run().DynInstrs;
+  P.MainLoopTrips = 40;
+  uint64_t D40 = Interpreter(generateWorkload(P)).run().DynInstrs;
+  EXPECT_GT(D40, D10 * 2);
+  EXPECT_LT(D40, D10 * 10);
+}
+
+TEST(Generator, AllSeedsVerifyAndTerminate) {
+  for (uint64_t Seed = 200; Seed < 220; ++Seed) {
+    Module M = smallWorkload(Seed, 10);
+    InterpOptions IO;
+    IO.Fuel = 50'000'000;
+    RunResult R = Interpreter(M, IO).run();
+    EXPECT_FALSE(R.FuelExhausted) << "seed " << Seed;
+    EXPECT_GT(R.DynInstrs, 100u) << "seed " << Seed;
+  }
+}
+
+TEST(Generator, LeafFunctionsAreSmall) {
+  WorkloadParams P;
+  P.Seed = 9;
+  P.NumFunctions = 9;
+  P.LeafFunctions = 3;
+  Module M = generateWorkload(P);
+  for (unsigned F = 0; F < 3; ++F)
+    EXPECT_LE(M.function(static_cast<FuncId>(F)).size(), 40u)
+        << "leaf f" << F << " too big";
+}
+
+TEST(Generator, EntryBlockIsNeverALoopHeader) {
+  for (uint64_t Seed = 300; Seed < 310; ++Seed) {
+    Module M = smallWorkload(Seed, 5);
+    for (unsigned F = 0; F < M.numFunctions(); ++F) {
+      CfgView Cfg(M.function(static_cast<FuncId>(F)));
+      EXPECT_TRUE(Cfg.inEdges(0).empty())
+          << "entry block has predecessors in f" << F;
+    }
+  }
+}
+
+TEST(Suite, HasThePapersEighteenBenchmarks) {
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  ASSERT_EQ(Suite.size(), 18u);
+  const char *Names[] = {"vpr",     "mcf",     "crafty",  "parser",
+                         "perlbmk", "gap",     "bzip2",   "twolf",
+                         "wupwise", "swim",    "mgrid",   "applu",
+                         "mesa",    "art",     "equake",  "ammp",
+                         "sixtrack", "apsi"};
+  int IntCount = 0;
+  for (size_t I = 0; I < Suite.size(); ++I) {
+    EXPECT_EQ(Suite[I].Name, Names[I]);
+    IntCount += !Suite[I].IsFp;
+  }
+  EXPECT_EQ(IntCount, 8); // 8 CINT + 10 CFP, as in the paper's tables.
+}
+
+TEST(Suite, CrossModuleInliningDisabledWhereThePaperSaysSo) {
+  for (const BenchmarkSpec &S : spec2000Suite()) {
+    bool ShouldDisable =
+        S.Name == "crafty" || S.Name == "perlbmk" || S.Name == "mesa";
+    EXPECT_EQ(!S.AllowInlining, ShouldDisable) << S.Name;
+  }
+}
+
+TEST(Suite, CalibrationHitsTarget) {
+  // Check a representative pair (one INT, one FP) rather than all 18 to
+  // keep the test quick.
+  for (const BenchmarkSpec &S : spec2000Suite()) {
+    if (S.Name != "mcf" && S.Name != "equake")
+      continue;
+    Module M = buildCalibrated(S);
+    RunResult R = Interpreter(M).run();
+    EXPECT_FALSE(R.FuelExhausted);
+    EXPECT_GT(R.DynInstrs, S.TargetDynInstrs / 4) << S.Name;
+    EXPECT_LT(R.DynInstrs, S.TargetDynInstrs * 4) << S.Name;
+  }
+}
+
+TEST(Suite, FpBenchmarksAreLoopier) {
+  // Structural sanity of the recipes: FP programs have fewer branches
+  // per dynamic instruction than INT programs.
+  auto BranchDensity = [](const BenchmarkSpec &S) {
+    BenchmarkSpec Small = S;
+    Small.TargetDynInstrs = 200'000;
+    Module M = buildCalibrated(Small);
+    EdgeProfiler Obs(M);
+    Interpreter I(M);
+    I.addObserver(&Obs);
+    RunResult R = I.run();
+    uint64_t Branches = 0;
+    for (unsigned F = 0; F < M.numFunctions(); ++F) {
+      CfgView Cfg(M.function(static_cast<FuncId>(F)));
+      const FunctionEdgeProfile &FP = Obs.profile().func(static_cast<FuncId>(F));
+      for (const CfgEdge &E : Cfg.edges())
+        if (Cfg.isBranchEdge(E.Id))
+          Branches += FP.EdgeFreq[static_cast<size_t>(E.Id)];
+    }
+    return static_cast<double>(Branches) / static_cast<double>(R.DynInstrs);
+  };
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  double Crafty = 0, Swim = 0;
+  for (const BenchmarkSpec &S : Suite) {
+    if (S.Name == "crafty")
+      Crafty = BranchDensity(S);
+    if (S.Name == "swim")
+      Swim = BranchDensity(S);
+  }
+  EXPECT_GT(Crafty, Swim * 1.5);
+}
+
+} // namespace

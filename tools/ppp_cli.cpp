@@ -1,0 +1,245 @@
+//===- tools/ppp_cli.cpp - Command-line driver ---------------------------------===//
+///
+/// A small CLI over the library, for poking at the system without
+/// writing C++:
+///
+///   ppp_cli list
+///       The benchmark suite with its recipe classes.
+///   ppp_cli run <bench> [--profiler=pp|tpp|tpp-checked|ppp]
+///                       [--no-expand] [--paths=N] [--seed=S]
+///       Generate + calibrate <bench>, apply the paper's methodology
+///       (inline + unroll unless --no-expand), instrument, run, and
+///       print metrics plus the hottest measured paths.
+///   ppp_cli dump <bench> [--expanded]
+///       Print the benchmark's IR.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "metrics/Metrics.h"
+#include "opt/Inliner.h"
+#include "opt/Unroller.h"
+#include "pathprof/EstimatedProfile.h"
+#include "profile/Collectors.h"
+#include "workload/Suite.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+using namespace ppp;
+
+namespace {
+
+struct CleanRun {
+  EdgeProfile EP;
+  PathProfile Oracle;
+  RunResult Res;
+
+  CleanRun() : Oracle(0) {}
+};
+
+CleanRun profileOnce(const Module &M) {
+  CleanRun Out;
+  EdgeProfiler EO(M);
+  PathTracer PT(M);
+  Interpreter I(M);
+  I.addObserver(&EO);
+  I.addObserver(&PT);
+  Out.Res = I.run();
+  Out.EP = EO.takeProfile();
+  Out.Oracle = PT.takeProfile();
+  return Out;
+}
+
+std::optional<BenchmarkSpec> findBench(const std::string &Name) {
+  for (const BenchmarkSpec &S : spec2000Suite())
+    if (S.Name == Name)
+      return S;
+  return std::nullopt;
+}
+
+int usage() {
+  fprintf(stderr,
+          "usage: ppp_cli list\n"
+          "       ppp_cli run <bench> [--profiler=pp|tpp|tpp-checked|ppp]"
+          " [--no-expand] [--paths=N] [--seed=S]\n"
+          "       ppp_cli dump <bench> [--expanded]\n");
+  return 2;
+}
+
+int cmdList() {
+  printf("%-10s %-4s %-8s %s\n", "name", "cls", "inline", "target-instrs");
+  for (const BenchmarkSpec &S : spec2000Suite())
+    printf("%-10s %-4s %-8s %llu\n", S.Name.c_str(),
+           S.IsFp ? "FP" : "INT", S.AllowInlining ? "yes" : "no",
+           (unsigned long long)S.TargetDynInstrs);
+  return 0;
+}
+
+Module buildExpanded(const BenchmarkSpec &Spec, bool Expand) {
+  Module M = buildCalibrated(Spec);
+  if (!Expand)
+    return M;
+  CleanRun P0 = profileOnce(M);
+  if (Spec.AllowInlining)
+    runInliner(M, P0.EP);
+  CleanRun P1 = profileOnce(M);
+  runUnroller(M, P1.EP);
+  return M;
+}
+
+int cmdRun(const std::string &Bench, const std::string &Profiler,
+           bool Expand, unsigned TopPaths, std::optional<uint64_t> Seed) {
+  std::optional<BenchmarkSpec> Spec = findBench(Bench);
+  if (!Spec) {
+    fprintf(stderr, "error: unknown benchmark '%s' (try `ppp_cli list`)\n",
+            Bench.c_str());
+    return 1;
+  }
+  if (Seed)
+    Spec->Params.Seed = *Seed;
+
+  ProfilerOptions Opts;
+  if (Profiler == "pp")
+    Opts = ProfilerOptions::pp();
+  else if (Profiler == "tpp")
+    Opts = ProfilerOptions::tpp();
+  else if (Profiler == "tpp-checked")
+    Opts = ProfilerOptions::tppChecked();
+  else if (Profiler == "ppp")
+    Opts = ProfilerOptions::ppp();
+  else {
+    fprintf(stderr, "error: unknown profiler '%s'\n", Profiler.c_str());
+    return 1;
+  }
+
+  Module M = buildExpanded(*Spec, Expand);
+  if (std::string E = verifyModule(M); !E.empty()) {
+    fprintf(stderr, "internal error: %s\n", E.c_str());
+    return 1;
+  }
+  CleanRun Base = profileOnce(M);
+  printf("%s (%s, %s): %llu dynamic instrs, %llu dynamic paths, "
+         "%llu distinct\n",
+         Bench.c_str(), Spec->IsFp ? "FP" : "INT",
+         Expand ? "inlined+unrolled" : "original",
+         (unsigned long long)Base.Res.DynInstrs,
+         (unsigned long long)Base.Oracle.totalFreq(),
+         (unsigned long long)Base.Oracle.distinctPaths());
+
+  InstrumentationResult IR = instrumentModule(M, Base.EP, Opts);
+  unsigned Instrumented = 0, Hashed = 0;
+  for (const FunctionPlan &P : IR.Plans) {
+    Instrumented += P.Instrumented;
+    Hashed += P.Instrumented && P.TableKind == PathTable::Kind::Hash;
+  }
+  printf("profiler %s: %u/%u routines instrumented (%u hashed)\n",
+         Opts.Name.c_str(), Instrumented, M.numFunctions(), Hashed);
+
+  ProfileRuntime RT = IR.makeRuntime();
+  Interpreter I(IR.Instrumented);
+  I.setProfileRuntime(&RT);
+  RunResult R = I.run();
+  ProfilerRunData Data = buildEstimatedProfile(M, Base.EP, IR, RT);
+  AccuracyResult Acc =
+      computeAccuracy(Base.Oracle, Data.Estimated, FlowMetric::Branch);
+  CoverageResult Cov =
+      computeProfilerCoverage(IR, Data, Base.Oracle, FlowMetric::Branch);
+  InstrumentedFraction Frac = computeInstrumentedFraction(IR, Base.Oracle);
+
+  printf("overhead      %.2f%%\n", overheadPercent(Base.Res.Cost, R.Cost));
+  printf("accuracy      %.1f%%  (%zu hot paths carrying %.1f%% of flow)\n",
+         100 * Acc.Accuracy, Acc.NumHotPaths, 100 * Acc.HotFlowFraction);
+  printf("coverage      %.1f%%  (overcount penalty %llu)\n",
+         100 * Cov.Coverage, (unsigned long long)Cov.OvercountFlow);
+  printf("instrumented  %.1f%% of dynamic paths (%.1f%% hashed)\n",
+         100 * Frac.Total, 100 * Frac.Hashed);
+  printf("cold counts   %llu, lost %llu, invalid %llu\n",
+         (unsigned long long)Data.ColdCounts,
+         (unsigned long long)Data.LostCounts,
+         (unsigned long long)Data.InvalidCounts);
+
+  // Hottest measured paths.
+  struct Entry {
+    FuncId F;
+    const PathRecord *R;
+  };
+  std::vector<Entry> Hot;
+  for (unsigned F = 0; F < M.numFunctions(); ++F)
+    for (const PathRecord &Rec : Data.Estimated.Funcs[F].Paths)
+      Hot.push_back({static_cast<FuncId>(F), &Rec});
+  std::sort(Hot.begin(), Hot.end(), [](const Entry &A, const Entry &B) {
+    return A.R->flow(FlowMetric::Branch) > B.R->flow(FlowMetric::Branch);
+  });
+  printf("\ntop %u paths by branch flow:\n", TopPaths);
+  for (unsigned K = 0; K < TopPaths && K < Hot.size(); ++K) {
+    const Entry &E = Hot[K];
+    CfgView Cfg(M.function(E.F));
+    printf("  %-8s freq %9llu  brs %2u  blocks",
+           M.function(E.F).Name.c_str(),
+           (unsigned long long)E.R->Freq, E.R->Branches);
+    std::vector<BlockId> Blocks = E.R->Key.blocks(Cfg);
+    for (size_t BI = 0; BI < Blocks.size() && BI < 12; ++BI)
+      printf(" b%d", Blocks[BI]);
+    if (Blocks.size() > 12)
+      printf(" ...");
+    printf("\n");
+  }
+  return 0;
+}
+
+int cmdDump(const std::string &Bench, bool Expanded) {
+  std::optional<BenchmarkSpec> Spec = findBench(Bench);
+  if (!Spec) {
+    fprintf(stderr, "error: unknown benchmark '%s'\n", Bench.c_str());
+    return 1;
+  }
+  Module M = buildExpanded(*Spec, Expanded);
+  fputs(printModule(M).c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Cmd = argv[1];
+  if (Cmd == "list")
+    return cmdList();
+
+  if (argc < 3)
+    return usage();
+  std::string Bench = argv[2];
+  std::string Profiler = "ppp";
+  bool Expand = true;
+  bool DumpExpanded = false;
+  unsigned TopPaths = 10;
+  std::optional<uint64_t> Seed;
+  for (int A = 3; A < argc; ++A) {
+    std::string Arg = argv[A];
+    if (Arg.rfind("--profiler=", 0) == 0)
+      Profiler = Arg.substr(11);
+    else if (Arg == "--no-expand")
+      Expand = false;
+    else if (Arg == "--expanded")
+      DumpExpanded = true;
+    else if (Arg.rfind("--paths=", 0) == 0)
+      TopPaths = static_cast<unsigned>(atoi(Arg.c_str() + 8));
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Seed = strtoull(Arg.c_str() + 7, nullptr, 0);
+    else
+      return usage();
+  }
+
+  if (Cmd == "run")
+    return cmdRun(Bench, Profiler, Expand, TopPaths, Seed);
+  if (Cmd == "dump")
+    return cmdDump(Bench, DumpExpanded);
+  return usage();
+}
