@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counters_microbench.dir/bench/counters_microbench.cpp.o"
+  "CMakeFiles/counters_microbench.dir/bench/counters_microbench.cpp.o.d"
+  "bench/counters_microbench"
+  "bench/counters_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counters_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_instrumentation.dir/bench/edge_instrumentation.cpp.o"
+  "CMakeFiles/edge_instrumentation.dir/bench/edge_instrumentation.cpp.o.d"
+  "bench/edge_instrumentation"
+  "bench/edge_instrumentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

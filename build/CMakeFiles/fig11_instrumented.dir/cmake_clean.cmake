@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_instrumented.dir/bench/fig11_instrumented.cpp.o"
+  "CMakeFiles/fig11_instrumented.dir/bench/fig11_instrumented.cpp.o.d"
+  "bench/fig11_instrumented"
+  "bench/fig11_instrumented.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_instrumented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_poisoning.dir/bench/fig13b_poisoning.cpp.o"
+  "CMakeFiles/fig13b_poisoning.dir/bench/fig13b_poisoning.cpp.o.d"
+  "bench/fig13b_poisoning"
+  "bench/fig13b_poisoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_poisoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

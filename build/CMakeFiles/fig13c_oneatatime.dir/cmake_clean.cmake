@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13c_oneatatime.dir/bench/fig13c_oneatatime.cpp.o"
+  "CMakeFiles/fig13c_oneatatime.dir/bench/fig13c_oneatatime.cpp.o.d"
+  "bench/fig13c_oneatatime"
+  "bench/fig13c_oneatatime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13c_oneatatime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13c_oneatatime.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_accuracy.dir/bench/fig9_accuracy.cpp.o"
+  "CMakeFiles/fig9_accuracy.dir/bench/fig9_accuracy.cpp.o.d"
+  "bench/fig9_accuracy"
+  "bench/fig9_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_comparison.dir/bench/metric_comparison.cpp.o"
+  "CMakeFiles/metric_comparison.dir/bench/metric_comparison.cpp.o.d"
+  "bench/metric_comparison"
+  "bench/metric_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

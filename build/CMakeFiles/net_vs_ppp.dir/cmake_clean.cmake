@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_vs_ppp.dir/bench/net_vs_ppp.cpp.o"
+  "CMakeFiles/net_vs_ppp.dir/bench/net_vs_ppp.cpp.o.d"
+  "bench/net_vs_ppp"
+  "bench/net_vs_ppp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_vs_ppp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

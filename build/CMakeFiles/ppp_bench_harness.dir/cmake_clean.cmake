@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_bench_harness.dir/bench/Harness.cpp.o"
+  "CMakeFiles/ppp_bench_harness.dir/bench/Harness.cpp.o.d"
+  "lib/libppp_bench_harness.a"
+  "lib/libppp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

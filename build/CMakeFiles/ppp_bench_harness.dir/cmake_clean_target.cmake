@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libppp_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_inlining.dir/bench/table1_inlining.cpp.o"
+  "CMakeFiles/table1_inlining.dir/bench/table1_inlining.cpp.o.d"
+  "bench/table1_inlining"
+  "bench/table1_inlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_inlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

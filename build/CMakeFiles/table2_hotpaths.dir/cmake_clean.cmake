@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hotpaths.dir/bench/table2_hotpaths.cpp.o"
+  "CMakeFiles/table2_hotpaths.dir/bench/table2_hotpaths.cpp.o.d"
+  "bench/table2_hotpaths"
+  "bench/table2_hotpaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hotpaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

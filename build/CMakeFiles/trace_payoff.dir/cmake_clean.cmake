@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_payoff.dir/bench/trace_payoff.cpp.o"
+  "CMakeFiles/trace_payoff.dir/bench/trace_payoff.cpp.o.d"
+  "bench/trace_payoff"
+  "bench/trace_payoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_payoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_estimation.dir/flow_estimation.cpp.o"
+  "CMakeFiles/flow_estimation.dir/flow_estimation.cpp.o.d"
+  "flow_estimation"
+  "flow_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_guided_optimizer.dir/path_guided_optimizer.cpp.o"
+  "CMakeFiles/path_guided_optimizer.dir/path_guided_optimizer.cpp.o.d"
+  "path_guided_optimizer"
+  "path_guided_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_guided_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_analysis.dir/BLDag.cpp.o"
+  "CMakeFiles/ppp_analysis.dir/BLDag.cpp.o.d"
+  "CMakeFiles/ppp_analysis.dir/CfgView.cpp.o"
+  "CMakeFiles/ppp_analysis.dir/CfgView.cpp.o.d"
+  "CMakeFiles/ppp_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/ppp_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/ppp_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/ppp_analysis.dir/LoopInfo.cpp.o.d"
+  "CMakeFiles/ppp_analysis.dir/StaticProfile.cpp.o"
+  "CMakeFiles/ppp_analysis.dir/StaticProfile.cpp.o.d"
+  "libppp_analysis.a"
+  "libppp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edgeprof/EdgeInstrumenter.cpp" "src/edgeprof/CMakeFiles/ppp_edgeprof.dir/EdgeInstrumenter.cpp.o" "gcc" "src/edgeprof/CMakeFiles/ppp_edgeprof.dir/EdgeInstrumenter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ppp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ppp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathprof/CMakeFiles/ppp_pathprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ppp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ppp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ppp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ppp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

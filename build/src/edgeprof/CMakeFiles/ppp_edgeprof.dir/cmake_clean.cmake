@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_edgeprof.dir/EdgeInstrumenter.cpp.o"
+  "CMakeFiles/ppp_edgeprof.dir/EdgeInstrumenter.cpp.o.d"
+  "libppp_edgeprof.a"
+  "libppp_edgeprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_edgeprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

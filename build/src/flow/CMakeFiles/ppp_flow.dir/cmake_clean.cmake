@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_flow.dir/FlowAnalysis.cpp.o"
+  "CMakeFiles/ppp_flow.dir/FlowAnalysis.cpp.o.d"
+  "CMakeFiles/ppp_flow.dir/Reconstruct.cpp.o"
+  "CMakeFiles/ppp_flow.dir/Reconstruct.cpp.o.d"
+  "libppp_flow.a"
+  "libppp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

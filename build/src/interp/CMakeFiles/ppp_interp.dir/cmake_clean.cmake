@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/ppp_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/ppp_interp.dir/PathTable.cpp.o"
+  "CMakeFiles/ppp_interp.dir/PathTable.cpp.o.d"
+  "libppp_interp.a"
+  "libppp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

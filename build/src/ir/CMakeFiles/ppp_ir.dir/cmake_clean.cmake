@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_ir.dir/IRBuilder.cpp.o"
+  "CMakeFiles/ppp_ir.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/ppp_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/ppp_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/ppp_ir.dir/Printer.cpp.o"
+  "CMakeFiles/ppp_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/ppp_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/ppp_ir.dir/Verifier.cpp.o.d"
+  "libppp_ir.a"
+  "libppp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

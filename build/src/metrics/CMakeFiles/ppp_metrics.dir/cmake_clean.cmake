@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_metrics.dir/Metrics.cpp.o"
+  "CMakeFiles/ppp_metrics.dir/Metrics.cpp.o.d"
+  "libppp_metrics.a"
+  "libppp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

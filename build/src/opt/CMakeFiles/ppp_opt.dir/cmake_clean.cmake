@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_opt.dir/Inliner.cpp.o"
+  "CMakeFiles/ppp_opt.dir/Inliner.cpp.o.d"
+  "CMakeFiles/ppp_opt.dir/TraceFormation.cpp.o"
+  "CMakeFiles/ppp_opt.dir/TraceFormation.cpp.o.d"
+  "CMakeFiles/ppp_opt.dir/Unroller.cpp.o"
+  "CMakeFiles/ppp_opt.dir/Unroller.cpp.o.d"
+  "libppp_opt.a"
+  "libppp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

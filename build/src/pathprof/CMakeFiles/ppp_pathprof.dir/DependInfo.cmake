@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pathprof/ColdEdges.cpp" "src/pathprof/CMakeFiles/ppp_pathprof.dir/ColdEdges.cpp.o" "gcc" "src/pathprof/CMakeFiles/ppp_pathprof.dir/ColdEdges.cpp.o.d"
+  "/root/repo/src/pathprof/EstimatedProfile.cpp" "src/pathprof/CMakeFiles/ppp_pathprof.dir/EstimatedProfile.cpp.o" "gcc" "src/pathprof/CMakeFiles/ppp_pathprof.dir/EstimatedProfile.cpp.o.d"
+  "/root/repo/src/pathprof/EventCounting.cpp" "src/pathprof/CMakeFiles/ppp_pathprof.dir/EventCounting.cpp.o" "gcc" "src/pathprof/CMakeFiles/ppp_pathprof.dir/EventCounting.cpp.o.d"
+  "/root/repo/src/pathprof/Lowering.cpp" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Lowering.cpp.o" "gcc" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Lowering.cpp.o.d"
+  "/root/repo/src/pathprof/Numbering.cpp" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Numbering.cpp.o" "gcc" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Numbering.cpp.o.d"
+  "/root/repo/src/pathprof/Obvious.cpp" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Obvious.cpp.o" "gcc" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Obvious.cpp.o.d"
+  "/root/repo/src/pathprof/Placement.cpp" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Placement.cpp.o" "gcc" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Placement.cpp.o.d"
+  "/root/repo/src/pathprof/Profilers.cpp" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Profilers.cpp.o" "gcc" "src/pathprof/CMakeFiles/ppp_pathprof.dir/Profilers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ppp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ppp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ppp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ppp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ppp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ppp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_pathprof.dir/ColdEdges.cpp.o"
+  "CMakeFiles/ppp_pathprof.dir/ColdEdges.cpp.o.d"
+  "CMakeFiles/ppp_pathprof.dir/EstimatedProfile.cpp.o"
+  "CMakeFiles/ppp_pathprof.dir/EstimatedProfile.cpp.o.d"
+  "CMakeFiles/ppp_pathprof.dir/EventCounting.cpp.o"
+  "CMakeFiles/ppp_pathprof.dir/EventCounting.cpp.o.d"
+  "CMakeFiles/ppp_pathprof.dir/Lowering.cpp.o"
+  "CMakeFiles/ppp_pathprof.dir/Lowering.cpp.o.d"
+  "CMakeFiles/ppp_pathprof.dir/Numbering.cpp.o"
+  "CMakeFiles/ppp_pathprof.dir/Numbering.cpp.o.d"
+  "CMakeFiles/ppp_pathprof.dir/Obvious.cpp.o"
+  "CMakeFiles/ppp_pathprof.dir/Obvious.cpp.o.d"
+  "CMakeFiles/ppp_pathprof.dir/Placement.cpp.o"
+  "CMakeFiles/ppp_pathprof.dir/Placement.cpp.o.d"
+  "CMakeFiles/ppp_pathprof.dir/Profilers.cpp.o"
+  "CMakeFiles/ppp_pathprof.dir/Profilers.cpp.o.d"
+  "libppp_pathprof.a"
+  "libppp_pathprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_pathprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

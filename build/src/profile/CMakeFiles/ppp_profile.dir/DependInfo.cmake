@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/Collectors.cpp" "src/profile/CMakeFiles/ppp_profile.dir/Collectors.cpp.o" "gcc" "src/profile/CMakeFiles/ppp_profile.dir/Collectors.cpp.o.d"
+  "/root/repo/src/profile/Net.cpp" "src/profile/CMakeFiles/ppp_profile.dir/Net.cpp.o" "gcc" "src/profile/CMakeFiles/ppp_profile.dir/Net.cpp.o.d"
+  "/root/repo/src/profile/PathProfile.cpp" "src/profile/CMakeFiles/ppp_profile.dir/PathProfile.cpp.o" "gcc" "src/profile/CMakeFiles/ppp_profile.dir/PathProfile.cpp.o.d"
+  "/root/repo/src/profile/ProfileIO.cpp" "src/profile/CMakeFiles/ppp_profile.dir/ProfileIO.cpp.o" "gcc" "src/profile/CMakeFiles/ppp_profile.dir/ProfileIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ppp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ppp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ppp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ppp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

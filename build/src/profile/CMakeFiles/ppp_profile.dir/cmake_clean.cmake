@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_profile.dir/Collectors.cpp.o"
+  "CMakeFiles/ppp_profile.dir/Collectors.cpp.o.d"
+  "CMakeFiles/ppp_profile.dir/Net.cpp.o"
+  "CMakeFiles/ppp_profile.dir/Net.cpp.o.d"
+  "CMakeFiles/ppp_profile.dir/PathProfile.cpp.o"
+  "CMakeFiles/ppp_profile.dir/PathProfile.cpp.o.d"
+  "CMakeFiles/ppp_profile.dir/ProfileIO.cpp.o"
+  "CMakeFiles/ppp_profile.dir/ProfileIO.cpp.o.d"
+  "libppp_profile.a"
+  "libppp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_support.dir/Format.cpp.o"
+  "CMakeFiles/ppp_support.dir/Format.cpp.o.d"
+  "libppp_support.a"
+  "libppp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

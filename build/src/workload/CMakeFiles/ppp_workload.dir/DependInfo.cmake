@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/Generator.cpp" "src/workload/CMakeFiles/ppp_workload.dir/Generator.cpp.o" "gcc" "src/workload/CMakeFiles/ppp_workload.dir/Generator.cpp.o.d"
+  "/root/repo/src/workload/Kernels.cpp" "src/workload/CMakeFiles/ppp_workload.dir/Kernels.cpp.o" "gcc" "src/workload/CMakeFiles/ppp_workload.dir/Kernels.cpp.o.d"
+  "/root/repo/src/workload/Suite.cpp" "src/workload/CMakeFiles/ppp_workload.dir/Suite.cpp.o" "gcc" "src/workload/CMakeFiles/ppp_workload.dir/Suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ppp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ppp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ppp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_workload.dir/Generator.cpp.o"
+  "CMakeFiles/ppp_workload.dir/Generator.cpp.o.d"
+  "CMakeFiles/ppp_workload.dir/Kernels.cpp.o"
+  "CMakeFiles/ppp_workload.dir/Kernels.cpp.o.d"
+  "CMakeFiles/ppp_workload.dir/Suite.cpp.o"
+  "CMakeFiles/ppp_workload.dir/Suite.cpp.o.d"
+  "libppp_workload.a"
+  "libppp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corner_test.dir/corner_test.cpp.o"
+  "CMakeFiles/corner_test.dir/corner_test.cpp.o.d"
+  "corner_test"
+  "corner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

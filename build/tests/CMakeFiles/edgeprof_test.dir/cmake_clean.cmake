@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeprof_test.dir/edgeprof_test.cpp.o"
+  "CMakeFiles/edgeprof_test.dir/edgeprof_test.cpp.o.d"
+  "edgeprof_test"
+  "edgeprof_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeprof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashpath_test.dir/hashpath_test.cpp.o"
+  "CMakeFiles/hashpath_test.dir/hashpath_test.cpp.o.d"
+  "hashpath_test"
+  "hashpath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

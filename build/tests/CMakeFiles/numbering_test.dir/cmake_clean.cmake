@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numbering_test.dir/numbering_test.cpp.o"
+  "CMakeFiles/numbering_test.dir/numbering_test.cpp.o.d"
+  "numbering_test"
+  "numbering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numbering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

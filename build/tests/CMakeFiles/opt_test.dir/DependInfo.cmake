@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/opt_test.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/opt_test.dir/opt_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/edgeprof/CMakeFiles/ppp_edgeprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ppp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/pathprof/CMakeFiles/ppp_pathprof.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ppp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ppp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ppp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/ppp_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ppp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ppp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ppp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

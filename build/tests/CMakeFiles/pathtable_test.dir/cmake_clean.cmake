@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathtable_test.dir/pathtable_test.cpp.o"
+  "CMakeFiles/pathtable_test.dir/pathtable_test.cpp.o.d"
+  "pathtable_test"
+  "pathtable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisoning_test.dir/poisoning_test.cpp.o"
+  "CMakeFiles/poisoning_test.dir/poisoning_test.cpp.o.d"
+  "poisoning_test"
+  "poisoning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisoning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profileio_test.dir/profileio_test.cpp.o"
+  "CMakeFiles/profileio_test.dir/profileio_test.cpp.o.d"
+  "profileio_test"
+  "profileio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profileio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profilers_test.dir/profilers_test.cpp.o"
+  "CMakeFiles/profilers_test.dir/profilers_test.cpp.o.d"
+  "profilers_test"
+  "profilers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profilers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

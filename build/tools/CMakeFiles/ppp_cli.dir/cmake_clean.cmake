@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_cli.dir/ppp_cli.cpp.o"
+  "CMakeFiles/ppp_cli.dir/ppp_cli.cpp.o.d"
+  "ppp_cli"
+  "ppp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
