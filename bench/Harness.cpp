@@ -6,11 +6,24 @@
 #include "ir/Verifier.h"
 #include "profile/Collectors.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace ppp;
 using namespace ppp::bench;
+
+unsigned ppp::bench::parallelJobs(size_t NumTasks) {
+  unsigned Jobs = 0;
+  if (const char *E = std::getenv("PPP_JOBS")) {
+    long V = std::strtol(E, nullptr, 10);
+    Jobs = V > 0 ? static_cast<unsigned>(V) : 1;
+  }
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<size_t>(Jobs, std::max<size_t>(NumTasks, 1)));
+}
 
 namespace {
 

@@ -25,8 +25,11 @@
 #include "pathprof/EstimatedProfile.h"
 #include "workload/Suite.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace ppp {
@@ -87,6 +90,43 @@ struct EdgeProfilingOutcome {
 };
 
 EdgeProfilingOutcome evaluateEdgeProfiling(const PreparedBenchmark &B);
+
+/// Worker count for runSuiteParallel: the PPP_JOBS environment variable
+/// when set (clamped to >= 1), otherwise hardware concurrency; never
+/// more than \p NumTasks.
+unsigned parallelJobs(size_t NumTasks);
+
+/// Runs \p Work(Spec) for every suite entry on a pool of parallelJobs()
+/// threads and returns the results in suite order, regardless of
+/// completion order. Each prepare()/runProfiler() pipeline is
+/// deterministic and touches only per-benchmark state, so the results
+/// (and anything printed from them afterwards, in order) are identical
+/// to a serial loop. Work must not print; print from the returned rows.
+template <typename WorkFn>
+auto runSuiteParallel(const std::vector<BenchmarkSpec> &Specs, WorkFn Work)
+    -> std::vector<std::invoke_result_t<WorkFn, const BenchmarkSpec &>> {
+  using Result = std::invoke_result_t<WorkFn, const BenchmarkSpec &>;
+  std::vector<Result> Out(Specs.size());
+  unsigned Jobs = parallelJobs(Specs.size());
+  if (Jobs <= 1) {
+    for (size_t I = 0; I < Specs.size(); ++I)
+      Out[I] = Work(Specs[I]);
+    return Out;
+  }
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I; (I = Next.fetch_add(1)) < Specs.size();)
+      Out[I] = Work(Specs[I]);
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Jobs - 1);
+  for (unsigned T = 1; T < Jobs; ++T)
+    Pool.emplace_back(Worker);
+  Worker();
+  for (std::thread &T : Pool)
+    T.join();
+  return Out;
+}
 
 /// Prints "name  v1  v2 ..." rows with fixed-width columns.
 void printRow(const std::string &Name, const std::vector<double> &Vals,

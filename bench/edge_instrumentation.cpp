@@ -40,21 +40,30 @@ int main() {
          "context)\n\n");
   printHeader("bench", {"naive", "tree", "tree+prof", "ppp"});
 
+  struct Row {
+    std::string Name;
+    double Vals[4] = {0, 0, 0, 0};
+  };
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+        EdgeInstrumenterOptions Naive;
+        Naive.CountEveryEdge = true;
+        EdgeInstrumenterOptions Tree;
+        EdgeInstrumenterOptions TreeProf;
+        TreeProf.Weights = &B.EP;
+        return Row{B.Name,
+                   {edgeOverhead(B, Naive), edgeOverhead(B, Tree),
+                    edgeOverhead(B, TreeProf),
+                    runProfiler(B, ProfilerOptions::ppp()).OverheadPct}};
+      });
+
   double Sum[4] = {0, 0, 0, 0};
   int N = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-    EdgeInstrumenterOptions Naive;
-    Naive.CountEveryEdge = true;
-    EdgeInstrumenterOptions Tree;
-    EdgeInstrumenterOptions TreeProf;
-    TreeProf.Weights = &B.EP;
-    double Vals[4] = {edgeOverhead(B, Naive), edgeOverhead(B, Tree),
-                      edgeOverhead(B, TreeProf),
-                      runProfiler(B, ProfilerOptions::ppp()).OverheadPct};
-    printRow(B.Name, {Vals[0], Vals[1], Vals[2], Vals[3]});
+  for (const Row &R : Rows) {
+    printRow(R.Name, {R.Vals[0], R.Vals[1], R.Vals[2], R.Vals[3]});
     for (int I = 0; I < 4; ++I)
-      Sum[I] += Vals[I];
+      Sum[I] += R.Vals[I];
     ++N;
   }
   printf("\n");

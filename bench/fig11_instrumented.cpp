@@ -12,28 +12,41 @@
 using namespace ppp;
 using namespace ppp::bench;
 
+namespace {
+
+struct Row {
+  std::string Name;
+  std::vector<double> Vals;
+};
+
+} // namespace
+
 int main() {
   printf("Figure 11: fraction of dynamic paths instrumented, percent "
          "(hashed portion in parens)\n\n");
   printHeader("bench", {"pp", "pp-hash", "tpp", "tpp-hash", "ppp",
                         "ppp-hash"});
 
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+        Row R{B.Name, {}};
+        for (const ProfilerOptions &Opts :
+             {ProfilerOptions::pp(), ProfilerOptions::tpp(),
+              ProfilerOptions::ppp()}) {
+          ProfilerOutcome Out = runProfiler(B, Opts);
+          R.Vals.push_back(100.0 * Out.Frac.Total);
+          R.Vals.push_back(100.0 * Out.Frac.Hashed);
+        }
+        return R;
+      });
+
   double Sum[6] = {0};
   int N = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-    std::vector<double> Vals;
-    int I = 0;
-    for (const ProfilerOptions &Opts :
-         {ProfilerOptions::pp(), ProfilerOptions::tpp(),
-          ProfilerOptions::ppp()}) {
-      ProfilerOutcome Out = runProfiler(B, Opts);
-      Vals.push_back(100.0 * Out.Frac.Total);
-      Vals.push_back(100.0 * Out.Frac.Hashed);
-      Sum[I++] += 100.0 * Out.Frac.Total;
-      Sum[I++] += 100.0 * Out.Frac.Hashed;
-    }
-    printRow(B.Name, Vals, "%10.1f");
+  for (const Row &R : Rows) {
+    printRow(R.Name, R.Vals, "%10.1f");
+    for (int I = 0; I < 6; ++I)
+      Sum[I] += R.Vals[static_cast<size_t>(I)];
     ++N;
   }
   printf("\n");

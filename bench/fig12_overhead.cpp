@@ -15,28 +15,38 @@ using namespace ppp::bench;
 
 namespace {
 
+struct Row {
+  std::string Name;
+  bool IsFp = false;
+  double Vals[3] = {0, 0, 0};
+};
+
 void runTable(const char *Title, const CostModel &Costs) {
   printf("%s\n\n", Title);
   printHeader("bench", {"pp", "tpp", "ppp"});
+
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [&](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec, Costs);
+        Row R{B.Name, B.IsFp, {}};
+        int I = 0;
+        for (const ProfilerOptions &Opts :
+             {ProfilerOptions::pp(), ProfilerOptions::tpp(),
+              ProfilerOptions::ppp()})
+          R.Vals[I++] = runProfiler(B, Opts).OverheadPct;
+        return R;
+      });
+
   double Sum[3] = {0, 0, 0}, IntSum[3] = {0, 0, 0}, FpSum[3] = {0, 0, 0};
   int N = 0, IntN = 0, FpN = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec, Costs);
-    double Vals[3];
-    int I = 0;
-    for (const ProfilerOptions &Opts :
-         {ProfilerOptions::pp(), ProfilerOptions::tpp(),
-          ProfilerOptions::ppp()}) {
-      ProfilerOutcome Out = runProfiler(B, Opts);
-      Vals[I++] = Out.OverheadPct;
-    }
-    printRow(B.Name, {Vals[0], Vals[1], Vals[2]}, "%10.2f");
+  for (const Row &R : Rows) {
+    printRow(R.Name, {R.Vals[0], R.Vals[1], R.Vals[2]}, "%10.2f");
     for (int K = 0; K < 3; ++K) {
-      Sum[K] += Vals[K];
-      (B.IsFp ? FpSum : IntSum)[K] += Vals[K];
+      Sum[K] += R.Vals[K];
+      (R.IsFp ? FpSum : IntSum)[K] += R.Vals[K];
     }
     ++N;
-    (B.IsFp ? FpN : IntN) += 1;
+    (R.IsFp ? FpN : IntN) += 1;
   }
   printf("\n");
   if (IntN)

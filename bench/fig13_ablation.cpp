@@ -54,25 +54,38 @@ int main() {
                         "-LC"});
 
   const char *Techniques[5] = {"sac", "fp", "push", "spn", "lc"};
+
+  struct Row {
+    std::string Name;
+    bool Shown = false;
+    std::vector<double> Vals;
+  };
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [&](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+        ProfilerOutcome Tpp = runProfiler(B, ProfilerOptions::tpp());
+        ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
+        Row R{B.Name, false, {}};
+        if (Tpp.OverheadPct - Ppp.OverheadPct <= 5.0)
+          return R; // The paper plots only significant-improvement cases.
+        R.Shown = true;
+        R.Vals = {Tpp.OverheadPct, Ppp.OverheadPct};
+        for (const char *T : Techniques)
+          R.Vals.push_back(runProfiler(B, without(T)).OverheadPct);
+        return R;
+      });
+
   int Shown = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-    ProfilerOutcome Tpp = runProfiler(B, ProfilerOptions::tpp());
-    ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
-    if (Tpp.OverheadPct - Ppp.OverheadPct <= 5.0)
-      continue; // The paper plots only significant-improvement cases.
+  for (const Row &R : Rows) {
+    if (!R.Shown)
+      continue;
     ++Shown;
-    std::vector<double> Vals = {Tpp.OverheadPct, Ppp.OverheadPct};
-    for (const char *T : Techniques) {
-      ProfilerOutcome Out = runProfiler(B, without(T));
-      Vals.push_back(Out.OverheadPct);
-    }
-    printRow(B.Name, Vals, "%10.2f");
+    printRow(R.Name, R.Vals, "%10.2f");
     // Normalized row (variant overhead / TPP overhead), as the paper
     // plots it.
     std::vector<double> Norm;
-    for (double V : Vals)
-      Norm.push_back(Tpp.OverheadPct == 0 ? 0 : V / Tpp.OverheadPct);
+    for (double V : R.Vals)
+      Norm.push_back(R.Vals[0] == 0 ? 0 : V / R.Vals[0]);
     printRow("  (norm)", Norm, "%10.2f");
   }
   if (Shown == 0)

@@ -25,18 +25,27 @@ int main() {
   PppChecked.Name = "ppp-checked";
   PppChecked.Poison = PoisonStyle::Checked;
 
+  struct Row {
+    std::string Name;
+    double Vals[4] = {0, 0, 0, 0};
+  };
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [&](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+        Row R{B.Name, {}};
+        R.Vals[0] = runProfiler(B, ProfilerOptions::tpp()).OverheadPct;
+        R.Vals[1] = runProfiler(B, ProfilerOptions::tppChecked()).OverheadPct;
+        R.Vals[2] = runProfiler(B, ProfilerOptions::ppp()).OverheadPct;
+        R.Vals[3] = runProfiler(B, PppChecked).OverheadPct;
+        return R;
+      });
+
   double Sum[4] = {0, 0, 0, 0};
   int N = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-    double Vals[4];
-    Vals[0] = runProfiler(B, ProfilerOptions::tpp()).OverheadPct;
-    Vals[1] = runProfiler(B, ProfilerOptions::tppChecked()).OverheadPct;
-    Vals[2] = runProfiler(B, ProfilerOptions::ppp()).OverheadPct;
-    Vals[3] = runProfiler(B, PppChecked).OverheadPct;
-    printRow(B.Name, {Vals[0], Vals[1], Vals[2], Vals[3]});
+  for (const Row &R : Rows) {
+    printRow(R.Name, {R.Vals[0], R.Vals[1], R.Vals[2], R.Vals[3]});
     for (int I = 0; I < 4; ++I)
-      Sum[I] += Vals[I];
+      Sum[I] += R.Vals[I];
     ++N;
   }
   printf("\n");

@@ -49,18 +49,28 @@ int main() {
                         "ppp"});
 
   const char *Techniques[5] = {"sac", "fp", "push", "spn", "lc"};
+
+  struct Row {
+    std::string Name;
+    std::vector<double> Vals;
+  };
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [&](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+        Row R{B.Name, {}};
+        R.Vals.push_back(runProfiler(B, ProfilerOptions::tpp()).OverheadPct);
+        for (const char *T : Techniques)
+          R.Vals.push_back(runProfiler(B, with(T)).OverheadPct);
+        R.Vals.push_back(runProfiler(B, ProfilerOptions::ppp()).OverheadPct);
+        return R;
+      });
+
   double Sum[7] = {0};
   int N = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-    std::vector<double> Vals;
-    Vals.push_back(runProfiler(B, ProfilerOptions::tpp()).OverheadPct);
-    for (const char *T : Techniques)
-      Vals.push_back(runProfiler(B, with(T)).OverheadPct);
-    Vals.push_back(runProfiler(B, ProfilerOptions::ppp()).OverheadPct);
-    printRow(B.Name, Vals);
-    for (size_t I = 0; I < Vals.size(); ++I)
-      Sum[I] += Vals[I];
+  for (const Row &R : Rows) {
+    printRow(R.Name, R.Vals);
+    for (size_t I = 0; I < R.Vals.size(); ++I)
+      Sum[I] += R.Vals[I];
     ++N;
   }
   printf("\n");

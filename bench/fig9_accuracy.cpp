@@ -13,23 +13,37 @@
 using namespace ppp;
 using namespace ppp::bench;
 
+namespace {
+
+struct Row {
+  std::string Name;
+  double Vals[3] = {0, 0, 0};
+};
+
+} // namespace
+
 int main() {
   printf("Figure 9: accuracy (fraction of hot path flow predicted), "
          "percent\n\n");
   printHeader("bench", {"edge", "tpp", "ppp"});
 
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+        EdgeProfilingOutcome Edge = evaluateEdgeProfiling(B);
+        ProfilerOutcome Tpp = runProfiler(B, ProfilerOptions::tpp());
+        ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
+        return Row{B.Name,
+                   {100.0 * Edge.Acc.Accuracy, 100.0 * Tpp.Acc.Accuracy,
+                    100.0 * Ppp.Acc.Accuracy}};
+      });
+
   double Sum[3] = {0, 0, 0};
   int N = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-    EdgeProfilingOutcome Edge = evaluateEdgeProfiling(B);
-    ProfilerOutcome Tpp = runProfiler(B, ProfilerOptions::tpp());
-    ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
-    double Vals[3] = {100.0 * Edge.Acc.Accuracy, 100.0 * Tpp.Acc.Accuracy,
-                      100.0 * Ppp.Acc.Accuracy};
-    printRow(B.Name, {Vals[0], Vals[1], Vals[2]}, "%10.1f");
+  for (const Row &R : Rows) {
+    printRow(R.Name, {R.Vals[0], R.Vals[1], R.Vals[2]}, "%10.1f");
     for (int I = 0; I < 3; ++I)
-      Sum[I] += Vals[I];
+      Sum[I] += R.Vals[I];
     ++N;
   }
   printf("\n");

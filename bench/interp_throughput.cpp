@@ -1,0 +1,117 @@
+//===- bench/interp_throughput.cpp - Interpreter speed baseline ---------------===//
+///
+/// Reports raw interpreter throughput (interpreted instructions per
+/// wall-clock second) for the three execution configurations the
+/// evaluation exercises: a clean run (no observers, no runtime), an
+/// edge-observed run (the "free" edge profile), and a PPP-instrumented
+/// run counting into a ProfileRuntime. This is the regression baseline
+/// for future execution-engine work; unlike every figure/table binary
+/// its numbers are wall-clock based and machine-dependent.
+///
+/// PPP_THROUGHPUT_REPS overrides the per-variant repetition count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "interp/Interpreter.h"
+#include "pathprof/Profilers.h"
+#include "profile/Collectors.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+namespace {
+
+unsigned repsFromEnv() {
+  if (const char *E = std::getenv("PPP_THROUGHPUT_REPS"))
+    if (long V = std::strtol(E, nullptr, 10); V > 0)
+      return static_cast<unsigned>(V);
+  return 20;
+}
+
+struct Measurement {
+  double MInstrsPerSec = 0;
+  uint64_t DynInstrs = 0;
+  uint64_t MemChecksum = 0;
+};
+
+/// Times \p Reps runs of \p Setup's interpreter. \p Setup is invoked
+/// once per rep so per-run state (observers, runtime counters) resets
+/// the way the experiment harness resets it.
+template <typename SetupFn>
+Measurement measure(unsigned Reps, SetupFn Setup) {
+  Measurement Out;
+  using Clock = std::chrono::steady_clock;
+  uint64_t TotalInstrs = 0;
+  Clock::time_point Begin = Clock::now();
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    RunResult R = Setup();
+    TotalInstrs += R.DynInstrs;
+    Out.DynInstrs = R.DynInstrs;
+    Out.MemChecksum = R.MemChecksum;
+  }
+  double Secs = std::chrono::duration<double>(Clock::now() - Begin).count();
+  Out.MInstrsPerSec =
+      Secs > 0 ? static_cast<double>(TotalInstrs) / Secs / 1e6 : 0;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  unsigned Reps = repsFromEnv();
+  printf("Interpreter throughput (million interpreted instructions per "
+         "second, %u reps per variant)\n\n",
+         Reps);
+  printf("%-10s%12s%12s%12s%14s\n", "bench", "clean", "edge-obs",
+         "ppp-instr", "dyn-instrs");
+
+  double Sum[3] = {0, 0, 0};
+  int N = 0;
+  // Three representative recipes: branchy INT, call-heavy INT, loopy FP.
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  for (size_t Pick : {size_t(0), size_t(4), size_t(12)}) {
+    if (Pick >= Suite.size())
+      continue;
+    const BenchmarkSpec &Spec = Suite[Pick];
+    Module M = buildCalibrated(Spec);
+
+    Interpreter Clean(M);
+    Measurement MClean = measure(Reps, [&] { return Clean.run(); });
+
+    Measurement MEdge = measure(Reps, [&] {
+      EdgeProfiler Obs(M);
+      Interpreter I(M);
+      I.addObserver(&Obs);
+      return I.run();
+    });
+
+    PreparedBenchmark B = prepare(Spec);
+    InstrumentationResult IR =
+        instrumentModule(B.Expanded, B.EP, ProfilerOptions::ppp());
+    Interpreter Instr(IR.Instrumented);
+    ProfileRuntime RT = IR.makeRuntime();
+    Instr.setProfileRuntime(&RT);
+    Measurement MInstr = measure(Reps, [&] {
+      RT.clearCounts();
+      return Instr.run();
+    });
+
+    printf("%-10s%12.2f%12.2f%12.2f%14llu\n", Spec.Name.c_str(),
+           MClean.MInstrsPerSec, MEdge.MInstrsPerSec, MInstr.MInstrsPerSec,
+           static_cast<unsigned long long>(MClean.DynInstrs));
+    Sum[0] += MClean.MInstrsPerSec;
+    Sum[1] += MEdge.MInstrsPerSec;
+    Sum[2] += MInstr.MInstrsPerSec;
+    ++N;
+  }
+  if (N > 0)
+    printf("\n%-10s%12.2f%12.2f%12.2f\n", "average", Sum[0] / N, Sum[1] / N,
+           Sum[2] / N);
+  return 0;
+}

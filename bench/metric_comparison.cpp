@@ -21,44 +21,51 @@ int main() {
   printf("Accuracy under unit flow vs branch flow, percent\n\n");
   printHeader("bench", {"edge-unit", "edge-br", "ppp-unit", "ppp-br"});
 
+  struct Row {
+    std::string Name;
+    double Vals[4] = {0, 0, 0, 0};
+  };
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+
+        // Edge profiling: potential-flow estimates, each cut under the
+        // metric it will be judged by.
+        auto EdgeEstimate = [&](FlowMetric Metric) {
+          uint64_t Cut = static_cast<uint64_t>(
+              DefaultHotFraction *
+              static_cast<double>(B.Oracle.totalFlow(Metric)) / 2.0);
+          return estimateFromEdgeProfile(B.Expanded, B.EP,
+                                         FlowKind::Potential, Cut, Metric);
+        };
+        PathProfile EdgeEstU = EdgeEstimate(FlowMetric::Unit);
+        PathProfile EdgeEst = EdgeEstimate(FlowMetric::Branch);
+        double EdgeUnit =
+            computeAccuracy(B.Oracle, EdgeEstU, FlowMetric::Unit).Accuracy;
+        double EdgeBranch =
+            computeAccuracy(B.Oracle, EdgeEst, FlowMetric::Branch).Accuracy;
+
+        // PPP, same estimated profile under both metrics.
+        ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
+        const PathProfile &Est = Ppp.AnyInstrumented ? Ppp.Run.Estimated
+                                                     : EdgeEst;
+        double PppUnit =
+            computeAccuracy(B.Oracle, Est, FlowMetric::Unit).Accuracy;
+        double PppBranch =
+            computeAccuracy(B.Oracle, Est, FlowMetric::Branch).Accuracy;
+
+        return Row{B.Name,
+                   {100 * EdgeUnit, 100 * EdgeBranch, 100 * PppUnit,
+                    100 * PppBranch}};
+      });
+
   double Sum[4] = {0, 0, 0, 0};
   int N = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-
-    // Edge profiling: potential-flow estimates, each cut under the
-    // metric it will be judged by.
-    auto EdgeEstimate = [&](FlowMetric Metric) {
-      uint64_t Cut = static_cast<uint64_t>(
-          DefaultHotFraction *
-          static_cast<double>(B.Oracle.totalFlow(Metric)) / 2.0);
-      return estimateFromEdgeProfile(B.Expanded, B.EP,
-                                     FlowKind::Potential, Cut, Metric);
-    };
-    PathProfile EdgeEstU = EdgeEstimate(FlowMetric::Unit);
-    PathProfile EdgeEst = EdgeEstimate(FlowMetric::Branch);
-    double EdgeUnit =
-        computeAccuracy(B.Oracle, EdgeEstU, FlowMetric::Unit).Accuracy;
-    double EdgeBranch =
-        computeAccuracy(B.Oracle, EdgeEst, FlowMetric::Branch).Accuracy;
-
-    // PPP, same estimated profile under both metrics.
-    ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
-    const PathProfile &Est = Ppp.AnyInstrumented ? Ppp.Run.Estimated
-                                                 : EdgeEst;
-    double PppUnit =
-        computeAccuracy(B.Oracle, Est, FlowMetric::Unit).Accuracy;
-    double PppBranch =
-        computeAccuracy(B.Oracle, Est, FlowMetric::Branch).Accuracy;
-
-    printRow(B.Name,
-             {100 * EdgeUnit, 100 * EdgeBranch, 100 * PppUnit,
-              100 * PppBranch},
+  for (const Row &R : Rows) {
+    printRow(R.Name, {R.Vals[0], R.Vals[1], R.Vals[2], R.Vals[3]},
              "%10.1f");
-    Sum[0] += 100 * EdgeUnit;
-    Sum[1] += 100 * EdgeBranch;
-    Sum[2] += 100 * PppUnit;
-    Sum[3] += 100 * PppBranch;
+    for (int I = 0; I < 4; ++I)
+      Sum[I] += R.Vals[I];
     ++N;
   }
   printf("\n");

@@ -78,32 +78,41 @@ int main() {
          "path is covered\n\n");
   printHeader("bench", {"net", "ppp@|net|", "ppp-full", "traces"});
 
+  struct Row {
+    std::string Name;
+    double Vals[4] = {0, 0, 0, 0};
+  };
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+
+        // Run NET as an observer over the expanded program.
+        NetSelector Net(B.Expanded);
+        Interpreter I(B.Expanded);
+        I.addObserver(&Net);
+        I.run();
+        size_t NetTraces = Net.selected().distinctPaths();
+        double NetCov =
+            hotFlowCovered(B.Oracle, Net.selected(), DefaultHotFraction);
+
+        ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
+        PathProfile PppTop = topK(Ppp.Run.Estimated, NetTraces);
+        double PppBudgeted =
+            hotFlowCovered(B.Oracle, PppTop, DefaultHotFraction);
+
+        return Row{B.Name,
+                   {100.0 * NetCov, 100.0 * PppBudgeted,
+                    100.0 * Ppp.Acc.Accuracy,
+                    static_cast<double>(NetTraces)}};
+      });
+
   double Sum[3] = {0, 0, 0};
   int N = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-
-    // Run NET as an observer over the expanded program.
-    NetSelector Net(B.Expanded);
-    Interpreter I(B.Expanded);
-    I.addObserver(&Net);
-    I.run();
-    size_t NetTraces = Net.selected().distinctPaths();
-    double NetCov =
-        hotFlowCovered(B.Oracle, Net.selected(), DefaultHotFraction);
-
-    ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
-    PathProfile PppTop = topK(Ppp.Run.Estimated, NetTraces);
-    double PppBudgeted =
-        hotFlowCovered(B.Oracle, PppTop, DefaultHotFraction);
-
-    printRow(B.Name,
-             {100.0 * NetCov, 100.0 * PppBudgeted,
-              100.0 * Ppp.Acc.Accuracy, static_cast<double>(NetTraces)},
+  for (const Row &R : Rows) {
+    printRow(R.Name, {R.Vals[0], R.Vals[1], R.Vals[2], R.Vals[3]},
              "%10.1f");
-    Sum[0] += 100.0 * NetCov;
-    Sum[1] += 100.0 * PppBudgeted;
-    Sum[2] += 100.0 * Ppp.Acc.Accuracy;
+    for (int I = 0; I < 3; ++I)
+      Sum[I] += R.Vals[I];
     ++N;
   }
   printf("\n");

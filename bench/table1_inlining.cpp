@@ -66,27 +66,31 @@ int main() {
     printRow(Name, Vals);
   };
 
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-    PathStats Orig = pathStats(B.OracleOrig);
-    PathStats Exp = pathStats(B.Oracle);
-    double Speedup = B.CostBase == 0
-                         ? 1.0
-                         : static_cast<double>(B.CostOrig) /
-                               static_cast<double>(B.CostBase);
-    std::vector<double> Vals = {
-        Orig.DynPaths / 1e3,
-        Orig.AvgBranches,
-        Orig.AvgInstrs,
-        Exp.DynPaths / 1e3,
-        Exp.AvgBranches,
-        Exp.AvgInstrs,
-        100.0 * B.Inline.dynFractionInlined(),
-        B.Unroll.avgDynUnrollFactor(),
-        Speedup};
-    printRow(B.Name, Vals);
-    Accumulate(B.IsFp ? FpAvg : IntAvg, Vals);
-    Accumulate(AllAvg, Vals);
+  struct Row {
+    std::string Name;
+    bool IsFp = false;
+    std::vector<double> Vals;
+  };
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+        PathStats Orig = pathStats(B.OracleOrig);
+        PathStats Exp = pathStats(B.Oracle);
+        double Speedup = B.CostBase == 0
+                             ? 1.0
+                             : static_cast<double>(B.CostOrig) /
+                                   static_cast<double>(B.CostBase);
+        return Row{B.Name, B.IsFp,
+                   {Orig.DynPaths / 1e3, Orig.AvgBranches, Orig.AvgInstrs,
+                    Exp.DynPaths / 1e3, Exp.AvgBranches, Exp.AvgInstrs,
+                    100.0 * B.Inline.dynFractionInlined(),
+                    B.Unroll.avgDynUnrollFactor(), Speedup}};
+      });
+
+  for (const Row &R : Rows) {
+    printRow(R.Name, R.Vals);
+    Accumulate(R.IsFp ? FpAvg : IntAvg, R.Vals);
+    Accumulate(AllAvg, R.Vals);
   }
   printf("\n");
   PrintAvg("INT-avg", IntAvg);

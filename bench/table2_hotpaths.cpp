@@ -18,35 +18,45 @@ int main() {
          "(expanded code)\n\n");
   printHeader("bench", {"distinct", "hot.125", "%flow", "hot1", "%flow"});
 
+  struct Row {
+    std::string Name;
+    bool IsFp = false;
+    double Distinct = 0;
+    double Count[2] = {0, 0};
+    double Pct[2] = {0, 0};
+  };
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+        uint64_t Total = B.Oracle.totalFlow(FlowMetric::Branch);
+        Row R{B.Name, B.IsFp, static_cast<double>(B.Oracle.distinctPaths()),
+              {}, {}};
+        const double Thresholds[2] = {0.00125, 0.01};
+        for (int T = 0; T < 2; ++T) {
+          std::vector<PathRef> Hot =
+              selectHotPaths(B.Oracle, FlowMetric::Branch, Thresholds[T]);
+          uint64_t Flow = 0;
+          for (const PathRef &P : Hot)
+            Flow += B.Oracle.Funcs[static_cast<size_t>(P.Func)]
+                        .Paths[P.Index]
+                        .flow(FlowMetric::Branch);
+          R.Count[T] = static_cast<double>(Hot.size());
+          R.Pct[T] = Total == 0 ? 0
+                                : 100.0 * static_cast<double>(Flow) /
+                                      static_cast<double>(Total);
+        }
+        return R;
+      });
+
   double IntFlow[2] = {0, 0}, FpFlow[2] = {0, 0};
   int IntN = 0, FpN = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-    uint64_t Total = B.Oracle.totalFlow(FlowMetric::Branch);
-    double Pct[2];
-    size_t Count[2];
-    const double Thresholds[2] = {0.00125, 0.01};
-    for (int T = 0; T < 2; ++T) {
-      std::vector<PathRef> Hot =
-          selectHotPaths(B.Oracle, FlowMetric::Branch, Thresholds[T]);
-      uint64_t Flow = 0;
-      for (const PathRef &P : Hot)
-        Flow += B.Oracle.Funcs[static_cast<size_t>(P.Func)]
-                    .Paths[P.Index]
-                    .flow(FlowMetric::Branch);
-      Count[T] = Hot.size();
-      Pct[T] = Total == 0 ? 0
-                          : 100.0 * static_cast<double>(Flow) /
-                                static_cast<double>(Total);
-    }
-    printRow(B.Name,
-             {static_cast<double>(B.Oracle.distinctPaths()),
-              static_cast<double>(Count[0]), Pct[0],
-              static_cast<double>(Count[1]), Pct[1]},
+  for (const Row &R : Rows) {
+    printRow(R.Name,
+             {R.Distinct, R.Count[0], R.Pct[0], R.Count[1], R.Pct[1]},
              "%10.1f");
-    (B.IsFp ? FpFlow : IntFlow)[0] += Pct[0];
-    (B.IsFp ? FpFlow : IntFlow)[1] += Pct[1];
-    (B.IsFp ? FpN : IntN) += 1;
+    (R.IsFp ? FpFlow : IntFlow)[0] += R.Pct[0];
+    (R.IsFp ? FpFlow : IntFlow)[1] += R.Pct[1];
+    (R.IsFp ? FpN : IntN) += 1;
   }
   printf("\n");
   if (IntN)

@@ -6,7 +6,8 @@ add_library(ppp_bench_harness STATIC ${CMAKE_SOURCE_DIR}/bench/Harness.cpp)
 target_include_directories(ppp_bench_harness PUBLIC ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(ppp_bench_harness PUBLIC
   ppp_edgeprof ppp_metrics ppp_pathprof ppp_flow ppp_opt ppp_workload
-  ppp_profile ppp_interp ppp_analysis ppp_ir ppp_support)
+  ppp_profile ppp_interp ppp_analysis ppp_ir ppp_support
+  Threads::Threads)
 set_target_properties(ppp_bench_harness PROPERTIES
   ARCHIVE_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/lib)
 
@@ -31,6 +32,7 @@ ppp_add_bench(edge_instrumentation)
 ppp_add_bench(kernels_overhead)
 ppp_add_bench(net_vs_ppp)
 ppp_add_bench(metric_comparison)
+ppp_add_bench(interp_throughput)
 
 add_executable(counters_microbench ${CMAKE_SOURCE_DIR}/bench/counters_microbench.cpp)
 target_link_libraries(counters_microbench PRIVATE ppp_interp ppp_support

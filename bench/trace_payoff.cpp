@@ -38,46 +38,60 @@ int main() {
          "source\n\n");
   printHeader("bench", {"edge", "ppp", "oracle"});
 
+  struct Row {
+    std::string Name;
+    std::string Error;
+    double Vals[3] = {0, 0, 0};
+  };
+  std::vector<Row> Rows =
+      runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
+        PreparedBenchmark B = prepare(Spec);
+        Row Res{B.Name, {}, {}};
+
+        // (a) Edge-greedy traces.
+        Module EdgeOpt = B.Expanded;
+        formTracesFromEdgeProfile(EdgeOpt, B.EP);
+
+        // (b) PPP-measured traces.
+        ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
+        Module PppOpt = B.Expanded;
+        formTracesFromPathProfile(PppOpt, Ppp.Run.Estimated);
+
+        // (c) Oracle traces (perfect knowledge upper bound).
+        Module OracleOpt = B.Expanded;
+        formTracesFromPathProfile(OracleOpt, B.Oracle);
+
+        for (Module *Mod : {&EdgeOpt, &PppOpt, &OracleOpt}) {
+          if (std::string E = verifyModule(*Mod); !E.empty()) {
+            Res.Error = E;
+            return Res;
+          }
+          // Semantics must be untouched.
+          RunResult R = Interpreter(*Mod).run();
+          RunResult Base = Interpreter(B.Expanded).run();
+          if (R.ReturnValue != Base.ReturnValue ||
+              R.MemChecksum != Base.MemChecksum) {
+            Res.Error = "trace formation changed semantics";
+            return Res;
+          }
+        }
+
+        Res.Vals[0] = payoffPct(EdgeOpt, B.CostBase);
+        Res.Vals[1] = payoffPct(PppOpt, B.CostBase);
+        Res.Vals[2] = payoffPct(OracleOpt, B.CostBase);
+        return Res;
+      });
+
   double Sum[3] = {0, 0, 0};
   int N = 0;
-  for (const BenchmarkSpec &Spec : spec2000Suite()) {
-    PreparedBenchmark B = prepare(Spec);
-
-    // (a) Edge-greedy traces.
-    Module EdgeOpt = B.Expanded;
-    formTracesFromEdgeProfile(EdgeOpt, B.EP);
-
-    // (b) PPP-measured traces.
-    ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
-    Module PppOpt = B.Expanded;
-    formTracesFromPathProfile(PppOpt, Ppp.Run.Estimated);
-
-    // (c) Oracle traces (perfect knowledge upper bound).
-    Module OracleOpt = B.Expanded;
-    formTracesFromPathProfile(OracleOpt, B.Oracle);
-
-    for (Module *Mod : {&EdgeOpt, &PppOpt, &OracleOpt}) {
-      if (std::string E = verifyModule(*Mod); !E.empty()) {
-        fprintf(stderr, "error: %s: %s\n", B.Name.c_str(), E.c_str());
-        return 1;
-      }
-      // Semantics must be untouched.
-      RunResult R = Interpreter(*Mod).run();
-      RunResult Base = Interpreter(B.Expanded).run();
-      if (R.ReturnValue != Base.ReturnValue ||
-          R.MemChecksum != Base.MemChecksum) {
-        fprintf(stderr, "error: %s: trace formation changed semantics\n",
-                B.Name.c_str());
-        return 1;
-      }
+  for (const Row &R : Rows) {
+    if (!R.Error.empty()) {
+      fprintf(stderr, "error: %s: %s\n", R.Name.c_str(), R.Error.c_str());
+      return 1;
     }
-
-    double Vals[3] = {payoffPct(EdgeOpt, B.CostBase),
-                      payoffPct(PppOpt, B.CostBase),
-                      payoffPct(OracleOpt, B.CostBase)};
-    printRow(B.Name, {Vals[0], Vals[1], Vals[2]});
+    printRow(R.Name, {R.Vals[0], R.Vals[1], R.Vals[2]});
     for (int I = 0; I < 3; ++I)
-      Sum[I] += Vals[I];
+      Sum[I] += R.Vals[I];
     ++N;
   }
   printf("\n");

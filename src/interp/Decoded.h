@@ -1,0 +1,89 @@
+//===- interp/Decoded.h - Pre-decoded flat code ----------------*- C++ -*-===//
+///
+/// \file
+/// The interpreter's internal code representation. The IR stores each
+/// function as per-block `std::vector<Instr>`, which forces the hot
+/// dispatch loop through three dependent indirections per instruction
+/// (function -> block -> instruction) and re-resolves branch targets to
+/// (block, index 0) on every taken edge.
+///
+/// Decoding flattens every function once, at Interpreter construction:
+///
+///  - all blocks concatenate into one contiguous `DecodedInstr` array,
+///    so execution advances a single flat instruction pointer;
+///  - branch targets become precomputed flat offsets (the start offset
+///    of the successor block), pooled per function;
+///  - each instruction carries its cost-model weight, so the dispatch
+///    loop adds a field instead of switching over the opcode twice;
+///  - the source block id rides along on terminators, because edge
+///    observers identify edges as (function, source block, successor
+///    index).
+///
+/// Decoded code is a cache: it never changes module semantics, and the
+/// `RunResult` of executing it is bit-identical to walking the IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_INTERP_DECODED_H
+#define PPP_INTERP_DECODED_H
+
+#include "interp/CostModel.h"
+#include "ir/Module.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ppp {
+
+class ProfileRuntime;
+
+/// One flattened instruction. Same semantic fields as Instr, plus the
+/// precomputed dispatch data (cost, flat branch targets, source block).
+struct DecodedInstr {
+  Opcode Op = Opcode::Const;
+  uint8_t NumArgs = 0;    ///< Call only.
+  uint16_t NumTargets = 0; ///< Terminators only (Switch modulo base).
+  uint32_t Cost = 0;      ///< Precomputed cost-model weight.
+  RegId A = -1;
+  RegId B = -1;
+  RegId C = -1;
+  int64_t Imm = 0;
+  FuncId Callee = -1;      ///< Call only.
+  BlockId Block = -1;      ///< Owning block (edge-observer source id).
+  uint32_t TargetsBegin = 0; ///< Index into DecodedFunction::Targets.
+  std::array<RegId, MaxCallArgs> Args = {-1, -1, -1, -1};
+};
+
+/// One function's flat code.
+struct DecodedFunction {
+  unsigned NumRegs = 0;
+  unsigned NumParams = 0;
+  std::vector<DecodedInstr> Code; ///< All blocks, concatenated in order.
+  std::vector<uint32_t> BlockStart; ///< Flat offset of each block's first instruction.
+  std::vector<uint32_t> Targets; ///< Pooled successor offsets (flat, per terminator).
+};
+
+/// A whole module, decoded for execution.
+struct DecodedModule {
+  /// Address-space size: Module::MemWords rounded up to a power of two
+  /// so the load/store address mask is always exact (non-power-of-two
+  /// MemWords would otherwise silently alias memory).
+  uint64_t MemWords = 1;
+  uint64_t AddrMask = 0;
+  FuncId MainId = 0;
+  std::vector<DecodedFunction> Functions;
+
+  DecodedModule() = default;
+  DecodedModule(const Module &M, const CostModel &Costs);
+
+  /// Re-derives the cost of every profiling-counter instruction for the
+  /// table kinds of \p RT (hash counters cost more than array ones).
+  /// Called whenever a ProfileRuntime is attached or detached.
+  void repriceProfilingCosts(const CostModel &Costs,
+                             const ProfileRuntime *RT);
+};
+
+} // namespace ppp
+
+#endif // PPP_INTERP_DECODED_H

@@ -1,248 +1,343 @@
 //===- interp/Interpreter.cpp - IR interpreter -----------------------------===//
+///
+/// run() is a thin dispatcher over four specializations of runImpl<>,
+/// selected by whether observers and a profiling runtime are attached.
+/// The specializations must stay semantically identical: the
+/// determinism test in tests/fastpath_test.cpp asserts bit-equal
+/// RunResults across them for the whole benchmark suite.
+///
+/// Dispatch is threaded (labels-as-values) under GCC/Clang: every
+/// opcode body ends in its own indirect jump, so the branch predictor
+/// learns per-opcode successor patterns instead of sharing one
+/// hard-to-predict dispatch branch. Other compilers get a portable
+/// switch loop with identical bodies (the PPP_OP/PPP_NEXT/PPP_JUMP
+/// macros expand to labels or cases).
+///
+//===----------------------------------------------------------------------===//
 
 #include "interp/Interpreter.h"
 
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 
 using namespace ppp;
 
 ExecObserver::~ExecObserver() = default;
 
-void ProfileRuntime::clearCounts() {
-  for (PathTable &T : Tables) {
-    switch (T.kind()) {
-    case PathTable::Kind::None:
-      break;
-    case PathTable::Kind::Array:
-      T = PathTable::makeArray(T.arraySize());
-      break;
-    case PathTable::Kind::Hash:
-      T = PathTable::makeHash();
-      break;
-    }
-  }
-}
-
 namespace {
 
-/// One activation record.
+/// One activation record. Live execution state (instruction pointer,
+/// path register) is cached in locals inside the dispatch loop and
+/// spilled here only across calls and returns.
 struct Frame {
-  FuncId F = -1;
-  BlockId Block = 0;
-  size_t Ip = 0;          ///< Next instruction index within Block.
+  const DecodedFunction *DF = nullptr;
+  uint32_t Ip = 0;        ///< Flat offset of the next instruction.
+  uint32_t RegBase = 0;   ///< This frame's slice of the register arena.
   int64_t PathReg = 0;    ///< Ball-Larus path register r.
   RegId CallerDest = -1;  ///< Caller register receiving the return value.
-  std::vector<int64_t> Regs;
+  FuncId F = -1;
+  PathTable *Table = nullptr; ///< Resolved profiling table (runtime runs).
 };
 
 } // namespace
 
 Interpreter::Interpreter(const Module &Mod, const InterpOptions &Options)
-    : M(Mod), Opts(Options) {
-  HashedTable.assign(M.numFunctions(), false);
-}
+    : DM(Mod, Options.Costs), Opts(Options) {}
 
 void Interpreter::setProfileRuntime(ProfileRuntime *RT) {
   Runtime = RT;
-  for (unsigned F = 0; F < M.numFunctions(); ++F)
-    HashedTable[F] =
-        RT && RT->table(static_cast<FuncId>(F)).kind() == PathTable::Kind::Hash;
+  DM.repriceProfilingCosts(Opts.Costs, RT);
 }
 
 RunResult Interpreter::run() {
+  const bool HasObs = !Observers.empty();
+  if (Runtime)
+    return HasObs ? runImpl<true, true>() : runImpl<false, true>();
+  return HasObs ? runImpl<true, false>() : runImpl<false, false>();
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PPP_THREADED_DISPATCH 1
+#else
+#define PPP_THREADED_DISPATCH 0
+#endif
+
+#if PPP_THREADED_DISPATCH
+// Fetch, charge, and jump to the next opcode body. Expanded at the end
+// of every body, so each gets its own indirect branch.
+#define PPP_OP(Name) Op_##Name
+#define PPP_DISPATCH()                                                       \
+  do {                                                                       \
+    I = Code + Ip;                                                           \
+    if (Fuel == 0) [[unlikely]] {                                            \
+      Result.FuelExhausted = true;                                           \
+      goto Finish;                                                           \
+    }                                                                        \
+    --Fuel;                                                                  \
+    Cost += I->Cost;                                                         \
+    goto *JumpTable[static_cast<uint8_t>(I->Op)];                            \
+  } while (0)
+#define PPP_NEXT()                                                           \
+  do {                                                                       \
+    ++Ip;                                                                    \
+    PPP_DISPATCH();                                                          \
+  } while (0)
+#define PPP_JUMP() PPP_DISPATCH() /* Ip already set by the branch body. */
+#else
+#define PPP_OP(Name) case Opcode::Name
+#define PPP_NEXT() break    /* Falls out of the switch into ++Ip. */
+#define PPP_JUMP() continue /* Ip already set; skip ++Ip. */
+#endif
+
+template <bool HasObservers, bool HasRuntime>
+RunResult Interpreter::runImpl() {
   RunResult Result;
 
   // Deterministic pseudo-random memory image.
-  std::vector<int64_t> Mem(M.MemWords);
+  std::vector<int64_t> Mem(DM.MemWords);
   {
     Rng MemRng(Opts.MemSeed);
     for (int64_t &W : Mem)
       W = static_cast<int64_t>(MemRng.next() >> 16); // Keep values modest.
   }
-  uint64_t AddrMask = M.MemWords - 1;
+  const uint64_t AddrMask = DM.AddrMask;
 
   std::vector<Frame> Stack;
-  auto PushFrame = [&](FuncId F, RegId CallerDest,
-                       const int64_t *Args, unsigned NumArgs) {
-    const Function &Fn = M.function(F);
+  std::vector<int64_t> Regs; // Shared register arena, one slice per frame.
+  auto PushFrame = [&](FuncId F, RegId CallerDest, const int64_t *Args,
+                       unsigned NumArgs) {
+    const DecodedFunction &DF = DM.Functions[static_cast<size_t>(F)];
     Frame Fr;
-    Fr.F = F;
-    Fr.Block = Fn.entryBlock();
+    Fr.DF = &DF;
     Fr.Ip = 0;
+    Fr.RegBase = static_cast<uint32_t>(Regs.size());
     Fr.CallerDest = CallerDest;
-    Fr.Regs.assign(Fn.NumRegs, 0);
-    for (unsigned I = 0; I < NumArgs; ++I)
-      Fr.Regs[I] = Args[I];
-    Stack.push_back(std::move(Fr));
-    for (ExecObserver *Obs : Observers)
-      Obs->onFunctionEnter(F);
+    Fr.F = F;
+    if constexpr (HasRuntime)
+      Fr.Table = &Runtime->table(F);
+    Regs.resize(Regs.size() + DF.NumRegs, 0);
+    std::copy(Args, Args + NumArgs,
+              Regs.begin() + static_cast<std::ptrdiff_t>(Fr.RegBase));
+    Stack.push_back(Fr);
+    if constexpr (HasObservers)
+      for (ExecObserver *Obs : Observers)
+        Obs->onFunctionEnter(F);
   };
 
-  PushFrame(M.MainId, /*CallerDest=*/-1, nullptr, 0);
+  PushFrame(DM.MainId, /*CallerDest=*/-1, nullptr, 0);
 
+  // DynInstrs is derived from the fuel countdown (DynInstrs =
+  // Opts.Fuel - Fuel) so the dispatch loop maintains one counter, not
+  // two.
   uint64_t Fuel = Opts.Fuel;
-  const CostModel &CM = Opts.Costs;
+  uint64_t Cost = 0;
 
-  while (!Stack.empty()) {
+  while (true) {
+    // (Re)load the top frame's execution state into locals; dispatch
+    // runs entirely on them until control leaves the frame.
     Frame &Fr = Stack.back();
-    const Function &Fn = M.function(Fr.F);
-    const BasicBlock &BB = Fn.block(Fr.Block);
-    assert(Fr.Ip < BB.Instrs.size() && "fell off the end of a block");
-    const Instr &I = BB.Instrs[Fr.Ip];
+    const DecodedInstr *const Code = Fr.DF->Code.data();
+    const uint32_t *const TargetPool = Fr.DF->Targets.data();
+    int64_t *const R = Regs.data() + Fr.RegBase;
+    [[maybe_unused]] const FuncId F = Fr.F;
+    [[maybe_unused]] PathTable *const Table = HasRuntime ? Fr.Table : nullptr;
+    uint32_t Ip = Fr.Ip;
+    int64_t PathReg = Fr.PathReg;
 
-    if (Fuel == 0) {
-      Result.FuelExhausted = true;
-      break;
-    }
-    --Fuel;
-    ++Result.DynInstrs;
-    Result.Cost += CM.costOf(I.Op, HashedTable[static_cast<size_t>(Fr.F)]);
-
-    int64_t *R = Fr.Regs.data();
-    auto TakeEdge = [&](unsigned SuccIdx) {
-      for (ExecObserver *Obs : Observers)
-        Obs->onEdge(Fr.F, Fr.Block, SuccIdx);
-      Fr.Block = I.Targets[SuccIdx];
-      Fr.Ip = 0;
-    };
-
-    switch (I.Op) {
-    case Opcode::Const:
-      R[I.A] = I.Imm;
-      break;
-    case Opcode::Mov:
-      R[I.A] = R[I.B];
-      break;
-    case Opcode::Add:
-      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) +
-                                    static_cast<uint64_t>(R[I.C]));
-      break;
-    case Opcode::Sub:
-      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) -
-                                    static_cast<uint64_t>(R[I.C]));
-      break;
-    case Opcode::Mul:
-      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) *
-                                    static_cast<uint64_t>(R[I.C]));
-      break;
-    case Opcode::DivU:
-      R[I.A] = R[I.C] == 0
-                   ? 0
-                   : static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) /
-                                          static_cast<uint64_t>(R[I.C]));
-      break;
-    case Opcode::RemU:
-      R[I.A] = R[I.C] == 0
-                   ? 0
-                   : static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) %
-                                          static_cast<uint64_t>(R[I.C]));
-      break;
-    case Opcode::And:
-      R[I.A] = R[I.B] & R[I.C];
-      break;
-    case Opcode::Or:
-      R[I.A] = R[I.B] | R[I.C];
-      break;
-    case Opcode::Xor:
-      R[I.A] = R[I.B] ^ R[I.C];
-      break;
-    case Opcode::Shl:
-      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B])
-                                    << (static_cast<uint64_t>(R[I.C]) & 63));
-      break;
-    case Opcode::Shr:
-      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) >>
-                                    (static_cast<uint64_t>(R[I.C]) & 63));
-      break;
-    case Opcode::AddImm:
-      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) +
-                                    static_cast<uint64_t>(I.Imm));
-      break;
-    case Opcode::MulImm:
-      R[I.A] = static_cast<int64_t>(static_cast<uint64_t>(R[I.B]) *
-                                    static_cast<uint64_t>(I.Imm));
-      break;
-    case Opcode::CmpEq:
-      R[I.A] = R[I.B] == R[I.C];
-      break;
-    case Opcode::CmpNe:
-      R[I.A] = R[I.B] != R[I.C];
-      break;
-    case Opcode::CmpLt:
-      R[I.A] = R[I.B] < R[I.C];
-      break;
-    case Opcode::CmpLe:
-      R[I.A] = R[I.B] <= R[I.C];
-      break;
-    case Opcode::Load:
-      R[I.A] = Mem[static_cast<uint64_t>(R[I.B]) & AddrMask];
-      break;
-    case Opcode::Store:
-      Mem[static_cast<uint64_t>(R[I.B]) & AddrMask] = R[I.A];
-      break;
-
-    case Opcode::Call: {
-      int64_t Args[MaxCallArgs];
-      for (unsigned AI = 0; AI < I.NumArgs; ++AI)
-        Args[AI] = R[I.Args[AI]];
-      ++Fr.Ip; // Resume after the call on return.
-      FuncId Callee = I.Callee;
-      uint8_t NumArgs = I.NumArgs;
-      RegId Dest = I.A;
-      // NOTE: PushFrame may reallocate Stack; Fr/R/I are dead after it.
-      PushFrame(Callee, Dest, Args, NumArgs);
-      continue;
-    }
-
-    case Opcode::Br:
-      TakeEdge(0);
-      continue;
-    case Opcode::CondBr:
-      TakeEdge(R[I.A] != 0 ? 0 : 1);
-      continue;
-    case Opcode::Switch:
-      TakeEdge(static_cast<unsigned>(static_cast<uint64_t>(R[I.A]) %
-                                     I.Targets.size()));
-      continue;
-
-    case Opcode::Ret: {
-      int64_t Value = R[I.A];
-      FuncId F = Fr.F;
-      RegId Dest = Fr.CallerDest;
-      for (ExecObserver *Obs : Observers)
-        Obs->onFunctionExit(F);
-      Stack.pop_back();
-      if (Stack.empty()) {
-        Result.ReturnValue = Value;
-      } else if (Dest >= 0) {
-        Stack.back().Regs[static_cast<size_t>(Dest)] = Value;
+#if PPP_THREADED_DISPATCH
+    // Indexed by the Opcode enumerator value; must match the enum order
+    // in ir/Opcode.h exactly.
+    static const void *const JumpTable[] = {
+        &&Op_Const,  &&Op_Mov,    &&Op_Add,     &&Op_Sub,
+        &&Op_Mul,    &&Op_DivU,   &&Op_RemU,    &&Op_And,
+        &&Op_Or,     &&Op_Xor,    &&Op_Shl,     &&Op_Shr,
+        &&Op_AddImm, &&Op_MulImm, &&Op_CmpEq,   &&Op_CmpNe,
+        &&Op_CmpLt,  &&Op_CmpLe,  &&Op_Load,    &&Op_Store,
+        &&Op_Call,   &&Op_Br,     &&Op_CondBr,  &&Op_Switch,
+        &&Op_Ret,    &&Op_ProfSet, &&Op_ProfAdd, &&Op_ProfCountIdx,
+        &&Op_ProfCountConst, &&Op_ProfCheckedCountIdx};
+    const DecodedInstr *I;
+    PPP_DISPATCH();
+#else
+    for (;;) {
+      const DecodedInstr *const I = &Code[Ip];
+      if (Fuel == 0) [[unlikely]] {
+        Result.FuelExhausted = true;
+        goto Finish;
       }
-      continue;
-    }
+      --Fuel;
+      Cost += I->Cost;
 
-    case Opcode::ProfSet:
-      Fr.PathReg = I.Imm;
-      break;
-    case Opcode::ProfAdd:
-      Fr.PathReg += I.Imm;
-      break;
-    case Opcode::ProfCountIdx:
-      assert(Runtime && "profiled module run without a ProfileRuntime");
-      Runtime->table(Fr.F).increment(Fr.PathReg + I.Imm);
-      break;
-    case Opcode::ProfCountConst:
-      assert(Runtime && "profiled module run without a ProfileRuntime");
-      Runtime->table(Fr.F).increment(I.Imm);
-      break;
-    case Opcode::ProfCheckedCountIdx:
-      assert(Runtime && "profiled module run without a ProfileRuntime");
-      Runtime->table(Fr.F).incrementChecked(Fr.PathReg + I.Imm);
-      break;
+      switch (I->Op) {
+#endif
+
+      PPP_OP(Const):
+        R[I->A] = I->Imm;
+        PPP_NEXT();
+      PPP_OP(Mov):
+        R[I->A] = R[I->B];
+        PPP_NEXT();
+      PPP_OP(Add):
+        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) +
+                                       static_cast<uint64_t>(R[I->C]));
+        PPP_NEXT();
+      PPP_OP(Sub):
+        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) -
+                                       static_cast<uint64_t>(R[I->C]));
+        PPP_NEXT();
+      PPP_OP(Mul):
+        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) *
+                                       static_cast<uint64_t>(R[I->C]));
+        PPP_NEXT();
+      PPP_OP(DivU):
+        R[I->A] = R[I->C] == 0
+                      ? 0
+                      : static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) /
+                                             static_cast<uint64_t>(R[I->C]));
+        PPP_NEXT();
+      PPP_OP(RemU):
+        R[I->A] = R[I->C] == 0
+                      ? 0
+                      : static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) %
+                                             static_cast<uint64_t>(R[I->C]));
+        PPP_NEXT();
+      PPP_OP(And):
+        R[I->A] = R[I->B] & R[I->C];
+        PPP_NEXT();
+      PPP_OP(Or):
+        R[I->A] = R[I->B] | R[I->C];
+        PPP_NEXT();
+      PPP_OP(Xor):
+        R[I->A] = R[I->B] ^ R[I->C];
+        PPP_NEXT();
+      PPP_OP(Shl):
+        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B])
+                                       << (static_cast<uint64_t>(R[I->C]) & 63));
+        PPP_NEXT();
+      PPP_OP(Shr):
+        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) >>
+                                       (static_cast<uint64_t>(R[I->C]) & 63));
+        PPP_NEXT();
+      PPP_OP(AddImm):
+        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) +
+                                       static_cast<uint64_t>(I->Imm));
+        PPP_NEXT();
+      PPP_OP(MulImm):
+        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) *
+                                       static_cast<uint64_t>(I->Imm));
+        PPP_NEXT();
+      PPP_OP(CmpEq):
+        R[I->A] = R[I->B] == R[I->C];
+        PPP_NEXT();
+      PPP_OP(CmpNe):
+        R[I->A] = R[I->B] != R[I->C];
+        PPP_NEXT();
+      PPP_OP(CmpLt):
+        R[I->A] = R[I->B] < R[I->C];
+        PPP_NEXT();
+      PPP_OP(CmpLe):
+        R[I->A] = R[I->B] <= R[I->C];
+        PPP_NEXT();
+      PPP_OP(Load):
+        R[I->A] = Mem[static_cast<uint64_t>(R[I->B]) & AddrMask];
+        PPP_NEXT();
+      PPP_OP(Store):
+        Mem[static_cast<uint64_t>(R[I->B]) & AddrMask] = R[I->A];
+        PPP_NEXT();
+
+      PPP_OP(Call): {
+        int64_t Args[MaxCallArgs];
+        for (unsigned AI = 0; AI < I->NumArgs; ++AI)
+          Args[AI] = R[I->Args[AI]];
+        Fr.Ip = Ip + 1; // Resume after the call on return.
+        Fr.PathReg = PathReg;
+        FuncId Callee = I->Callee;
+        uint8_t NumArgs = I->NumArgs;
+        RegId Dest = I->A;
+        // NOTE: PushFrame may reallocate Stack and Regs; every cached
+        // pointer (Fr, Code, R, I) is dead after it.
+        PushFrame(Callee, Dest, Args, NumArgs);
+        goto FrameChanged;
+      }
+
+      PPP_OP(Br):
+        if constexpr (HasObservers)
+          for (ExecObserver *Obs : Observers)
+            Obs->onEdge(F, I->Block, 0);
+        Ip = TargetPool[I->TargetsBegin];
+        PPP_JUMP();
+      PPP_OP(CondBr): {
+        unsigned SuccIdx = R[I->A] != 0 ? 0 : 1;
+        if constexpr (HasObservers)
+          for (ExecObserver *Obs : Observers)
+            Obs->onEdge(F, I->Block, SuccIdx);
+        Ip = TargetPool[I->TargetsBegin + SuccIdx];
+        PPP_JUMP();
+      }
+      PPP_OP(Switch): {
+        unsigned SuccIdx = static_cast<unsigned>(
+            static_cast<uint64_t>(R[I->A]) % I->NumTargets);
+        if constexpr (HasObservers)
+          for (ExecObserver *Obs : Observers)
+            Obs->onEdge(F, I->Block, SuccIdx);
+        Ip = TargetPool[I->TargetsBegin + SuccIdx];
+        PPP_JUMP();
+      }
+
+      PPP_OP(Ret): {
+        int64_t Value = R[I->A];
+        RegId Dest = Fr.CallerDest;
+        uint32_t Base = Fr.RegBase;
+        if constexpr (HasObservers)
+          for (ExecObserver *Obs : Observers)
+            Obs->onFunctionExit(F);
+        Stack.pop_back();
+        Regs.resize(Base);
+        if (Stack.empty()) {
+          Result.ReturnValue = Value;
+          goto Finish;
+        }
+        if (Dest >= 0)
+          Regs[Stack.back().RegBase + static_cast<uint32_t>(Dest)] = Value;
+        goto FrameChanged;
+      }
+
+      PPP_OP(ProfSet):
+        PathReg = I->Imm;
+        PPP_NEXT();
+      PPP_OP(ProfAdd):
+        PathReg += I->Imm;
+        PPP_NEXT();
+      PPP_OP(ProfCountIdx):
+        assert(HasRuntime && "profiled module run without a ProfileRuntime");
+        if constexpr (HasRuntime)
+          Table->increment(PathReg + I->Imm);
+        PPP_NEXT();
+      PPP_OP(ProfCountConst):
+        assert(HasRuntime && "profiled module run without a ProfileRuntime");
+        if constexpr (HasRuntime)
+          Table->increment(I->Imm);
+        PPP_NEXT();
+      PPP_OP(ProfCheckedCountIdx):
+        assert(HasRuntime && "profiled module run without a ProfileRuntime");
+        if constexpr (HasRuntime)
+          Table->incrementChecked(PathReg + I->Imm);
+        PPP_NEXT();
+
+#if !PPP_THREADED_DISPATCH
+      }
+      ++Ip;
     }
-    ++Fr.Ip;
+#endif
+  FrameChanged:;
   }
+
+Finish:
+  Result.DynInstrs = Opts.Fuel - Fuel;
+  Result.Cost = Cost;
 
   // FNV-1a over the final memory image and the return value gives a
   // cheap semantic fingerprint for preservation tests.

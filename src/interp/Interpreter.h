@@ -18,6 +18,7 @@
 #define PPP_INTERP_INTERPRETER_H
 
 #include "interp/CostModel.h"
+#include "interp/Decoded.h"
 #include "interp/ProfileRuntime.h"
 #include "ir/Module.h"
 
@@ -62,6 +63,12 @@ struct InterpOptions {
 };
 
 /// Executes a module. Reusable; each run() starts from fresh memory.
+///
+/// Construction decodes the module into flat code (see Decoded.h);
+/// run() executes only the decoded form. The dispatch loop is
+/// specialized on whether observers and a profiling runtime are
+/// attached, so the common clean-run case pays no per-event virtual
+/// dispatch; all four specializations produce bit-identical RunResults.
 class Interpreter {
 public:
   explicit Interpreter(const Module &M,
@@ -79,12 +86,12 @@ public:
   RunResult run();
 
 private:
-  const Module &M;
+  template <bool HasObservers, bool HasRuntime> RunResult runImpl();
+
+  DecodedModule DM;
   InterpOptions Opts;
   ProfileRuntime *Runtime = nullptr;
   std::vector<ExecObserver *> Observers;
-  /// Cached per-function flag: counting into a hash table (cost model).
-  std::vector<bool> HashedTable;
 };
 
 } // namespace ppp

@@ -83,20 +83,3 @@ uint64_t PathTable::countFor(int64_t Index) const {
   return 0;
 }
 
-void PathTable::forEach(
-    const std::function<void(int64_t, uint64_t)> &Fn) const {
-  switch (TableKind) {
-  case Kind::None:
-    return;
-  case Kind::Array:
-    for (size_t I = 0; I < Counts.size(); ++I)
-      if (Counts[I] > 0)
-        Fn(static_cast<int64_t>(I), Counts[I]);
-    return;
-  case Kind::Hash:
-    for (const HashSlot &S : Slots)
-      if (S.Count > 0)
-        Fn(S.Key, S.Count);
-    return;
-  }
-}

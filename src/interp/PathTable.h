@@ -17,8 +17,8 @@
 #ifndef PPP_INTERP_PATHTABLE_H
 #define PPP_INTERP_PATHTABLE_H
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 namespace ppp {
@@ -62,8 +62,36 @@ public:
   /// Count recorded for \p Index (0 if absent or lost).
   uint64_t countFor(int64_t Index) const;
 
-  /// Invokes \p Fn for every (index, count) pair with count > 0.
-  void forEach(const std::function<void(int64_t, uint64_t)> &Fn) const;
+  /// Zeroes every counter (including lost/invalid/cold) in place,
+  /// keeping the table kind and its storage. Equivalent to rebuilding
+  /// the table fresh, without the allocation churn.
+  void reset() {
+    std::fill(Counts.begin(), Counts.end(), 0);
+    std::fill(Slots.begin(), Slots.end(), HashSlot());
+    Lost = 0;
+    Invalid = 0;
+    ColdChecked = 0;
+  }
+
+  /// Invokes \p Callback for every (index, count) pair with count > 0.
+  /// Takes the callable as a template parameter so hot readout loops
+  /// pay no std::function type-erasure cost.
+  template <typename CallbackT> void forEach(CallbackT &&Callback) const {
+    switch (TableKind) {
+    case Kind::None:
+      return;
+    case Kind::Array:
+      for (size_t I = 0; I < Counts.size(); ++I)
+        if (Counts[I] > 0)
+          Callback(static_cast<int64_t>(I), Counts[I]);
+      return;
+    case Kind::Hash:
+      for (const HashSlot &S : Slots)
+        if (S.Count > 0)
+          Callback(S.Key, S.Count);
+      return;
+    }
+  }
 
   /// Paths dropped due to hash conflicts.
   uint64_t lostCount() const { return Lost; }

@@ -43,8 +43,12 @@ public:
     return static_cast<unsigned>(Tables.size());
   }
 
-  /// Resets all counters to zero, keeping table shapes.
-  void clearCounts();
+  /// Resets all counters to zero in place, keeping table shapes and
+  /// storage (no reallocation between repeated runs).
+  void clearCounts() {
+    for (PathTable &T : Tables)
+      T.reset();
+  }
 
 private:
   std::vector<PathTable> Tables;

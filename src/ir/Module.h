@@ -12,6 +12,7 @@
 
 #include "ir/Function.h"
 
+#include <bit>
 #include <cassert>
 #include <string>
 #include <vector>
@@ -30,6 +31,14 @@ struct Module {
 
   unsigned numFunctions() const {
     return static_cast<unsigned>(Functions.size());
+  }
+
+  /// The address-space size the interpreter uses: MemWords rounded up
+  /// to a power of two, never zero. The verifier rejects modules whose
+  /// MemWords is not already a power of two, but execution stays
+  /// well-defined (no silent aliasing) even for unverified modules.
+  uint64_t addrSpaceWords() const {
+    return std::bit_ceil(MemWords == 0 ? uint64_t(1) : MemWords);
   }
 
   const Function &function(FuncId Id) const {

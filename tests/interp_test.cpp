@@ -141,6 +141,37 @@ TEST(Interp, MemoryAddressWraps) {
             77);
 }
 
+TEST(Interp, NonPow2MemWordsRoundsUpInsteadOfAliasing) {
+  // The verifier rejects non-power-of-two MemWords, but execution of an
+  // unverified module must still be well-defined: the interpreter
+  // rounds the address space up to the next power of two (here 1000 ->
+  // 1024), so distinct addresses below the rounded size never alias.
+  Module M;
+  M.MemWords = 1000;
+  EXPECT_EQ(M.addrSpaceWords(), 1024u);
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId A1 = B.emitConst(999);
+  RegId A2 = B.emitConst(1015); // Within the rounded space; was aliased
+                                // by the old mask (1015 & 999 != 1015).
+  B.emitStore(A1, B.emitConst(11));
+  B.emitStore(A2, B.emitConst(22));
+  RegId V1 = B.emitLoad(A1);
+  RegId V2 = B.emitLoad(A2);
+  B.emitRet(B.emitBinary(Opcode::Sub, V1, V2));
+  B.endFunction();
+  EXPECT_EQ(Interpreter(M).run().ReturnValue, 11 - 22);
+  // Addresses still wrap at the rounded power of two.
+  Module M2;
+  M2.MemWords = 1000;
+  IRBuilder B2(M2);
+  B2.beginFunction("main", 0);
+  B2.emitStore(B2.emitConst(5), B2.emitConst(77));
+  B2.emitRet(B2.emitLoad(B2.emitConst(1024 + 5)));
+  B2.endFunction();
+  EXPECT_EQ(Interpreter(M2).run().ReturnValue, 77);
+}
+
 TEST(Interp, MemorySeedDeterminism) {
   Module M;
   IRBuilder B(M);

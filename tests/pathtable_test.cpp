@@ -30,6 +30,42 @@ TEST(ArrayTable, CountsAndIterates) {
   EXPECT_EQ(Entries, 2);
 }
 
+TEST(ArrayTable, ResetZeroesInPlaceKeepingShape) {
+  PathTable T = PathTable::makeArray(16);
+  T.increment(3);
+  T.increment(3);
+  T.increment(-1); // Invalid.
+  T.incrementChecked(-5); // Cold.
+  T.reset();
+  EXPECT_EQ(T.kind(), PathTable::Kind::Array);
+  EXPECT_EQ(T.arraySize(), 16u);
+  EXPECT_EQ(T.countFor(3), 0u);
+  EXPECT_EQ(T.invalidCount(), 0u);
+  EXPECT_EQ(T.coldCheckedCount(), 0u);
+  int Entries = 0;
+  T.forEach([&](int64_t, uint64_t) { ++Entries; });
+  EXPECT_EQ(Entries, 0);
+  // Counting resumes normally after a reset.
+  T.increment(5);
+  EXPECT_EQ(T.countFor(5), 1u);
+}
+
+TEST(HashTable, ResetZeroesInPlaceKeepingShape) {
+  PathTable T = PathTable::makeHash();
+  // Saturate enough to lose paths.
+  for (int64_t I = 0; I < 4000; ++I)
+    T.increment(I);
+  ASSERT_GT(T.lostCount(), 0u);
+  T.reset();
+  EXPECT_EQ(T.kind(), PathTable::Kind::Hash);
+  EXPECT_EQ(T.lostCount(), 0u);
+  int Entries = 0;
+  T.forEach([&](int64_t, uint64_t) { ++Entries; });
+  EXPECT_EQ(Entries, 0);
+  T.increment(42);
+  EXPECT_EQ(T.countFor(42), 1u);
+}
+
 TEST(ArrayTable, BoundsCheckIsBackstopNotCrash) {
   PathTable T = PathTable::makeArray(4);
   T.increment(-1);

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, and run the full test suite.
+# This is the exact sequence CI and the roadmap treat as the gate for
+# every PR; run it from anywhere.
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$REPO_ROOT"
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j
