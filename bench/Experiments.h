@@ -1,0 +1,42 @@
+//===- bench/Experiments.h - Experiment entry points -----------*- C++ -*-===//
+///
+/// \file
+/// Every deterministic figure/table experiment exposes its whole
+/// program as one `run*()` function. Standalone binaries wrap exactly
+/// one of them in a trivial main(); the unified suite_all driver runs
+/// any subset in one process, so the experiments share a single
+/// preparation cache instead of each rebuilding every benchmark.
+///
+/// Contract: a run function writes its complete report to stdout --
+/// byte-identical whether invoked standalone or from suite_all -- and
+/// returns a process exit code. Experiments whose output is wall-clock
+/// dependent (interp_throughput, counters_microbench) are deliberately
+/// not part of this registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_BENCH_EXPERIMENTS_H
+#define PPP_BENCH_EXPERIMENTS_H
+
+namespace ppp {
+namespace bench {
+
+int runTable1Inlining();
+int runTable2Hotpaths();
+int runFig9Accuracy();
+int runFig10Coverage();
+int runFig11Instrumented();
+int runFig12Overhead();
+int runFig13Ablation();
+int runFig13bPoisoning();
+int runFig13cOneAtATime();
+int runTracePayoff();
+int runEdgeInstrumentation();
+int runKernelsOverhead();
+int runNetVsPpp();
+int runMetricComparison();
+
+} // namespace bench
+} // namespace ppp
+
+#endif // PPP_BENCH_EXPERIMENTS_H

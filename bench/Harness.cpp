@@ -2,6 +2,8 @@
 
 #include "Harness.h"
 
+#include "PrepCache.h"
+
 #include "interp/Interpreter.h"
 #include "ir/Verifier.h"
 #include "profile/Collectors.h"
@@ -59,6 +61,14 @@ CleanProfile profileClean(const Module &M,
 
 PreparedBenchmark ppp::bench::prepare(const BenchmarkSpec &Spec,
                                       const CostModel &Costs) {
+  if (std::shared_ptr<const PreparedBenchmark> B =
+          prepareShared(Spec, Costs))
+    return *B;
+  return prepareUncached(Spec, Costs);
+}
+
+PreparedBenchmark ppp::bench::prepareUncached(const BenchmarkSpec &Spec,
+                                              const CostModel &Costs) {
   PreparedBenchmark B;
   B.Name = Spec.Name;
   B.IsFp = Spec.IsFp;

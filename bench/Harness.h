@@ -63,8 +63,19 @@ struct PreparedBenchmark {
 
 /// Runs steps 1-4 for one suite entry. \p Costs selects the cost model
 /// (default: the standard model).
+///
+/// Cache-aware: consults the preparation cache (bench/PrepCache.h) --
+/// in-memory first, then the on-disk cache under PPP_CACHE_DIR -- and
+/// only computes on a miss, storing the result for the next caller.
+/// PPP_CACHE=off forces a fresh computation every time.
 PreparedBenchmark prepare(const BenchmarkSpec &Spec,
                           const CostModel &Costs = CostModel());
+
+/// Steps 1-4 with no cache involvement (the pre-cache prepare()). The
+/// cache calls this on a miss; tests use it as the ground truth that
+/// cached results must equal.
+PreparedBenchmark prepareUncached(const BenchmarkSpec &Spec,
+                                  const CostModel &Costs = CostModel());
 
 /// Everything one profiler produced on one benchmark.
 struct ProfilerOutcome {

@@ -45,6 +45,45 @@ void BM_HashCounter(benchmark::State &State) {
 }
 BENCHMARK(BM_HashCounter);
 
+/// The hash-variant probe's slot math as originally written: three
+/// hardware divides per increment (H, Step, and the probe advance).
+/// Kept as the before/after baseline for BM_HashSlotReciprocal.
+void BM_HashSlotModulo(benchmark::State &State) {
+  Rng R(42);
+  std::vector<uint64_t> Keys(1024);
+  for (uint64_t &K : Keys)
+    K = R.next();
+  size_t I = 0;
+  for (auto _ : State) {
+    uint64_t Key = Keys[I++ & 1023];
+    uint64_t H = Key % PathHashSlots;
+    uint64_t Step = 1 + Key % (PathHashSlots - 2);
+    H = (H + Step) % PathHashSlots;
+    benchmark::DoNotOptimize(H);
+  }
+}
+BENCHMARK(BM_HashSlotModulo);
+
+/// The same slot math as PathTable now computes it: fixed-point
+/// reciprocal multiplies (fastRemainder) plus a conditional subtract.
+void BM_HashSlotReciprocal(benchmark::State &State) {
+  Rng R(42);
+  std::vector<uint64_t> Keys(1024);
+  for (uint64_t &K : Keys)
+    K = R.next();
+  size_t I = 0;
+  for (auto _ : State) {
+    uint64_t Key = Keys[I++ & 1023];
+    uint64_t H = fastRemainder<PathHashSlots>(Key);
+    uint64_t Step = 1 + fastRemainder<PathHashSlots - 2>(Key);
+    H += Step;
+    if (H >= PathHashSlots)
+      H -= PathHashSlots;
+    benchmark::DoNotOptimize(H);
+  }
+}
+BENCHMARK(BM_HashSlotReciprocal);
+
 void BM_HashCounterConflictHeavy(benchmark::State &State) {
   PathTable T = PathTable::makeHash();
   Rng R(42);

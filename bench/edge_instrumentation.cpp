@@ -9,6 +9,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include "edgeprof/EdgeInstrumenter.h"
@@ -35,7 +37,7 @@ double edgeOverhead(const PreparedBenchmark &B,
 
 } // namespace
 
-int main() {
+int ppp::bench::runEdgeInstrumentation() {
   printf("Software edge-profiling overhead, percent (PPP shown for "
          "context)\n\n");
   printHeader("bench", {"naive", "tree", "tree+prof", "ppp"});
@@ -75,3 +77,7 @@ int main() {
          "edge profile.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runEdgeInstrumentation(); }
+#endif

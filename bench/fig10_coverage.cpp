@@ -7,6 +7,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -23,7 +25,7 @@ struct Row {
 
 } // namespace
 
-int main() {
+int ppp::bench::runFig10Coverage() {
   printf("Figure 10: coverage (fraction of actual path profile "
          "measured), percent\n\n");
   printHeader("bench", {"edge", "tpp", "ppp"});
@@ -55,3 +57,7 @@ int main() {
          "profiling.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runFig10Coverage(); }
+#endif

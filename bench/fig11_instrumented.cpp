@@ -5,6 +5,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -21,7 +23,7 @@ struct Row {
 
 } // namespace
 
-int main() {
+int ppp::bench::runFig11Instrumented() {
   printf("Figure 11: fraction of dynamic paths instrumented, percent "
          "(hashed portion in parens)\n\n");
   printHeader("bench", {"pp", "pp-hash", "tpp", "tpp-hash", "ppp",
@@ -59,3 +61,7 @@ int main() {
          "instrument about half, and PPP eliminates hashing.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runFig11Instrumented(); }
+#endif

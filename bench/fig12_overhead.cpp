@@ -6,6 +6,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -60,7 +62,7 @@ void runTable(const char *Title, const CostModel &Costs) {
 
 } // namespace
 
-int main() {
+int ppp::bench::runFig12Overhead() {
   printf("Figure 12: profiling overhead, percent of base runtime\n\n");
   runTable("-- standard cost model --", CostModel());
   runTable("-- Alpha-21164-like cost model (counter updates relatively "
@@ -75,3 +77,7 @@ int main() {
          "relatively expensive, moving PP toward the\npaper's 31%%.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runFig12Overhead(); }
+#endif

@@ -15,6 +15,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -45,7 +47,7 @@ ProfilerOptions without(const char *Technique) {
 
 } // namespace
 
-int main() {
+int ppp::bench::runFig13Ablation() {
   printf("Figure 13: PPP leave-one-out, overhead percent (and overhead "
          "normalized to TPP)\n");
   printf("Benchmarks shown: those where PPP improves on TPP by more "
@@ -96,3 +98,7 @@ int main() {
          "LC help little under leave-one-out.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runFig13Ablation(); }
+#endif

@@ -9,6 +9,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -16,7 +18,7 @@
 using namespace ppp;
 using namespace ppp::bench;
 
-int main() {
+int ppp::bench::runFig13bPoisoning() {
   printf("Free vs checked poisoning: overhead percent\n\n");
   printHeader("bench",
               {"tpp-free", "tpp-chk", "ppp-free", "ppp-chk"});
@@ -57,3 +59,7 @@ int main() {
          "gap is small; PPP poisons everywhere, so its gap is larger.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runFig13bPoisoning(); }
+#endif

@@ -9,6 +9,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -42,7 +44,7 @@ ProfilerOptions with(const char *Technique) {
 
 } // namespace
 
-int main() {
+int ppp::bench::runFig13cOneAtATime() {
   printf("One-at-a-time (Sec. 8.3): TPP plus exactly one PPP "
          "technique, overhead percent\n\n");
   printHeader("bench", {"tpp", "+SAC", "+FP", "+Push", "+SPN", "+LC",
@@ -82,3 +84,7 @@ int main() {
          "nothing does on top of bare TPP.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runFig13cOneAtATime(); }
+#endif

@@ -6,6 +6,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -22,7 +24,7 @@ struct Row {
 
 } // namespace
 
-int main() {
+int ppp::bench::runFig9Accuracy() {
   printf("Figure 9: accuracy (fraction of hot path flow predicted), "
          "percent\n\n");
   printHeader("bench", {"edge", "tpp", "ppp"});
@@ -53,3 +55,7 @@ int main() {
          "everywhere with PPP within ~1%% of TPP (avg ~96%%).\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runFig9Accuracy(); }
+#endif

@@ -8,11 +8,18 @@
 /// for future execution-engine work; unlike every figure/table binary
 /// its numbers are wall-clock based and machine-dependent.
 ///
+/// `--json[=PATH]` additionally measures the full-suite preparation
+/// pipeline cold (computing every benchmark into a fresh cache) and
+/// warm (loading every benchmark back from disk), and writes the whole
+/// report to PATH (default BENCH_throughput.json) so successive PRs
+/// have a tracked perf trajectory.
+///
 /// PPP_THROUGHPUT_REPS overrides the per-variant repetition count.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "Harness.h"
+#include "PrepCache.h"
 
 #include "interp/Interpreter.h"
 #include "pathprof/Profilers.h"
@@ -21,6 +28,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <vector>
 
 using namespace ppp;
 using namespace ppp::bench;
@@ -61,9 +73,113 @@ Measurement measure(unsigned Reps, SetupFn Setup) {
   return Out;
 }
 
+struct BenchRow {
+  std::string Name;
+  double Clean = 0, EdgeObs = 0, PppInstr = 0;
+  uint64_t DynInstrs = 0;
+};
+
+/// Wall clock of one full-suite preparation pass (steps 1-4 for all 18
+/// benchmarks) against the currently active cache.
+double timeSuitePrepare(const std::vector<BenchmarkSpec> &Suite) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Begin = Clock::now();
+  runSuiteParallel(Suite, [](const BenchmarkSpec &Spec) {
+    return prepareShared(Spec, CostModel()) != nullptr;
+  });
+  return std::chrono::duration<double>(Clock::now() - Begin).count();
+}
+
+struct SuitePrepTiming {
+  unsigned Benchmarks = 0;
+  double ColdSec = 0; ///< Empty cache: compute + serialize + store.
+  double WarmSec = 0; ///< Disk hits only (memory layer dropped between).
+};
+
+/// Measures the suite prepare pipeline cold vs warm in a private
+/// throwaway cache directory, leaving the process-wide cache state the
+/// way it was found.
+SuitePrepTiming measureSuitePrepare() {
+  SuitePrepTiming Out;
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  Out.Benchmarks = static_cast<unsigned>(Suite.size());
+
+  std::error_code Ec;
+  std::string Dir =
+      (std::filesystem::temp_directory_path(Ec) /
+       ("ppp-throughput-cache-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(Dir, Ec);
+  prepCacheOverride(Dir, true);
+  prepCacheClearMemory();
+
+  Out.ColdSec = timeSuitePrepare(Suite);
+  prepCacheClearMemory(); // Warm pass must come from disk, not memory.
+  Out.WarmSec = timeSuitePrepare(Suite);
+
+  prepCacheOverride("", true);
+  prepCacheClearMemory();
+  std::filesystem::remove_all(Dir, Ec);
+  return Out;
+}
+
+void writeJson(const std::string &Path, unsigned Reps,
+               const std::vector<BenchRow> &Rows,
+               const SuitePrepTiming &Prep) {
+  FILE *F = fopen(Path.c_str(), "w");
+  if (!F) {
+    fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    exit(1);
+  }
+  fprintf(F, "{\n  \"schema\": \"ppp-throughput-v1\",\n  \"reps\": %u,\n",
+          Reps);
+  fprintf(F, "  \"benchmarks\": [\n");
+  double Sum[3] = {0, 0, 0};
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const BenchRow &R = Rows[I];
+    fprintf(F,
+            "    {\"name\": \"%s\", \"clean_mips\": %.3f, "
+            "\"edge_obs_mips\": %.3f, \"ppp_instr_mips\": %.3f, "
+            "\"dyn_instrs\": %llu}%s\n",
+            R.Name.c_str(), R.Clean, R.EdgeObs, R.PppInstr,
+            (unsigned long long)R.DynInstrs,
+            I + 1 < Rows.size() ? "," : "");
+    Sum[0] += R.Clean;
+    Sum[1] += R.EdgeObs;
+    Sum[2] += R.PppInstr;
+  }
+  size_t N = Rows.empty() ? 1 : Rows.size();
+  fprintf(F, "  ],\n");
+  fprintf(F,
+          "  \"average\": {\"clean_mips\": %.3f, \"edge_obs_mips\": %.3f, "
+          "\"ppp_instr_mips\": %.3f},\n",
+          Sum[0] / N, Sum[1] / N, Sum[2] / N);
+  fprintf(F,
+          "  \"suite_prepare\": {\"benchmarks\": %u, \"cold_sec\": %.3f, "
+          "\"warm_sec\": %.3f, \"speedup\": %.2f}\n",
+          Prep.Benchmarks, Prep.ColdSec, Prep.WarmSec,
+          Prep.WarmSec > 0 ? Prep.ColdSec / Prep.WarmSec : 0);
+  fprintf(F, "}\n");
+  fclose(F);
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool Json = false;
+  std::string JsonPath = "BENCH_throughput.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      Json = true;
+    } else if (std::strncmp(argv[I], "--json=", 7) == 0) {
+      Json = true;
+      JsonPath = argv[I] + 7;
+    } else {
+      fprintf(stderr, "usage: interp_throughput [--json[=PATH]]\n");
+      return 2;
+    }
+  }
+
   unsigned Reps = repsFromEnv();
   printf("Interpreter throughput (million interpreted instructions per "
          "second, %u reps per variant)\n\n",
@@ -71,8 +187,7 @@ int main() {
   printf("%-10s%12s%12s%12s%14s\n", "bench", "clean", "edge-obs",
          "ppp-instr", "dyn-instrs");
 
-  double Sum[3] = {0, 0, 0};
-  int N = 0;
+  std::vector<BenchRow> Rows;
   // Three representative recipes: branchy INT, call-heavy INT, loopy FP.
   std::vector<BenchmarkSpec> Suite = spec2000Suite();
   for (size_t Pick : {size_t(0), size_t(4), size_t(12)}) {
@@ -105,13 +220,29 @@ int main() {
     printf("%-10s%12.2f%12.2f%12.2f%14llu\n", Spec.Name.c_str(),
            MClean.MInstrsPerSec, MEdge.MInstrsPerSec, MInstr.MInstrsPerSec,
            static_cast<unsigned long long>(MClean.DynInstrs));
-    Sum[0] += MClean.MInstrsPerSec;
-    Sum[1] += MEdge.MInstrsPerSec;
-    Sum[2] += MInstr.MInstrsPerSec;
-    ++N;
+    Rows.push_back({Spec.Name, MClean.MInstrsPerSec, MEdge.MInstrsPerSec,
+                    MInstr.MInstrsPerSec, MClean.DynInstrs});
   }
-  if (N > 0)
+  if (!Rows.empty()) {
+    double Sum[3] = {0, 0, 0};
+    for (const BenchRow &R : Rows) {
+      Sum[0] += R.Clean;
+      Sum[1] += R.EdgeObs;
+      Sum[2] += R.PppInstr;
+    }
+    size_t N = Rows.size();
     printf("\n%-10s%12.2f%12.2f%12.2f\n", "average", Sum[0] / N, Sum[1] / N,
            Sum[2] / N);
+  }
+
+  if (Json) {
+    SuitePrepTiming Prep = measureSuitePrepare();
+    printf("\nSuite preparation (steps 1-4, all %u benchmarks): cold "
+           "%.2fs, warm %.2fs (%.1fx)\n",
+           Prep.Benchmarks, Prep.ColdSec, Prep.WarmSec,
+           Prep.WarmSec > 0 ? Prep.ColdSec / Prep.WarmSec : 0);
+    writeJson(JsonPath, Reps, Rows, Prep);
+    printf("wrote %s\n", JsonPath.c_str());
+  }
   return 0;
 }

@@ -7,6 +7,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "interp/Interpreter.h"
 #include "metrics/Metrics.h"
 #include "profile/Collectors.h"
@@ -16,7 +18,7 @@
 
 using namespace ppp;
 
-int main() {
+int ppp::bench::runKernelsOverhead() {
   printf("Profilers on algorithm kernels: overhead %% (and PPP "
          "accuracy %%)\n\n");
   printf("%-16s%10s%10s%10s%12s\n", "kernel", "pp", "tpp", "ppp",
@@ -88,3 +90,7 @@ int main() {
          "nearly free for everyone.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runKernelsOverhead(); }
+#endif

@@ -10,6 +10,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -17,7 +19,7 @@
 using namespace ppp;
 using namespace ppp::bench;
 
-int main() {
+int ppp::bench::runMetricComparison() {
   printf("Accuracy under unit flow vs branch flow, percent\n\n");
   printHeader("bench", {"edge-unit", "edge-br", "ppp-unit", "ppp-br"});
 
@@ -77,3 +79,7 @@ int main() {
          "edge columns is the bias the branch-flow metric removes.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runMetricComparison(); }
+#endif

@@ -12,6 +12,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include "interp/Interpreter.h"
@@ -73,7 +75,7 @@ PathProfile topK(const PathProfile &Estimated, size_t K) {
 
 } // namespace
 
-int main() {
+int ppp::bench::runNetVsPpp() {
   printf("NET trace selection vs PPP: percent of hot path flow whose "
          "path is covered\n\n");
   printHeader("bench", {"net", "ppp@|net|", "ppp-full", "traces"});
@@ -124,3 +126,7 @@ int main() {
          "coverage.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runNetVsPpp(); }
+#endif

@@ -1,0 +1,179 @@
+//===- bench/suite_all.cpp - Unified experiment suite driver ------------------===//
+///
+/// One process that runs every deterministic figure/table experiment
+/// over a single shared set of prepared benchmarks. The standalone
+/// binaries each re-run the steps 1-4 pipeline for all benchmarks; here
+/// a first phase warms the preparation cache once per (benchmark x
+/// cost-model) cell on a shared worker pool, and then each experiment's
+/// run function executes against the in-memory cache, so the suite's
+/// wall clock is bound by step 5 (instrument + run + evaluate) only.
+///
+/// Output contract: stdout is the exact concatenation of each selected
+/// experiment's report, byte-identical to running the standalone
+/// binaries in the same order; all framing (progress, timings, cache
+/// statistics) goes to stderr. `suite_all A B | diff - <(A; B)` is
+/// empty by construction.
+///
+/// Usage: suite_all [--list] [experiment...]   (default: all)
+///
+//===----------------------------------------------------------------------===//
+
+#include "Experiments.h"
+#include "Harness.h"
+#include "PrepCache.h"
+
+#include "support/Format.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+namespace {
+
+struct ExperimentInfo {
+  const char *Name;      ///< Matches the standalone binary's name.
+  int (*Run)();
+  bool UsesPrepare;      ///< Runs the steps 1-4 pipeline on the suite.
+  bool UsesAlphaCosts;   ///< Also prepares under CostModel::alpha21164().
+};
+
+/// The paper's order: tables, figures, then the auxiliary studies.
+const ExperimentInfo Experiments[] = {
+    {"table1_inlining", runTable1Inlining, true, false},
+    {"table2_hotpaths", runTable2Hotpaths, true, false},
+    {"fig9_accuracy", runFig9Accuracy, true, false},
+    {"fig10_coverage", runFig10Coverage, true, false},
+    {"fig11_instrumented", runFig11Instrumented, true, false},
+    {"fig12_overhead", runFig12Overhead, true, true},
+    {"fig13_ablation", runFig13Ablation, true, false},
+    {"fig13b_poisoning", runFig13bPoisoning, true, false},
+    {"fig13c_oneatatime", runFig13cOneAtATime, true, false},
+    {"trace_payoff", runTracePayoff, true, false},
+    {"edge_instrumentation", runEdgeInstrumentation, true, false},
+    {"kernels_overhead", runKernelsOverhead, false, false},
+    {"net_vs_ppp", runNetVsPpp, true, false},
+    {"metric_comparison", runMetricComparison, true, false},
+};
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Phase 1: populate the preparation cache for every (benchmark x
+/// cost-model) cell the selected experiments will ask for, on a shared
+/// pool. Each cell is independent; workers claim cells from one shared
+/// queue so a slow benchmark never idles the other threads.
+void warmPreparations(bool NeedStandard, bool NeedAlpha) {
+  if (!prepCacheEnabled()) {
+    fprintf(stderr, "[suite_all] PPP_CACHE=off: experiments prepare "
+                    "independently (no sharing)\n");
+    return;
+  }
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  struct Cell {
+    const BenchmarkSpec *Spec;
+    CostModel Costs;
+  };
+  std::vector<Cell> Cells;
+  for (const BenchmarkSpec &Spec : Suite) {
+    if (NeedStandard)
+      Cells.push_back({&Spec, CostModel()});
+    if (NeedAlpha)
+      Cells.push_back({&Spec, CostModel::alpha21164()});
+  }
+  if (Cells.empty())
+    return;
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I; (I = Next.fetch_add(1)) < Cells.size();)
+      prepareShared(*Cells[I].Spec, Cells[I].Costs);
+  };
+  unsigned Jobs = parallelJobs(Cells.size());
+  std::vector<std::thread> Pool;
+  Pool.reserve(Jobs > 0 ? Jobs - 1 : 0);
+  for (unsigned T = 1; T < Jobs; ++T)
+    Pool.emplace_back(Worker);
+  Worker();
+  for (std::thread &T : Pool)
+    T.join();
+
+  PrepCacheCounters C = prepCacheCounters();
+  fprintf(stderr,
+          "[suite_all] prepared %zu cells in %.2fs (%llu computed, %llu "
+          "from disk, %llu in memory%s)\n",
+          Cells.size(), secondsSince(T0), (unsigned long long)C.Misses,
+          (unsigned long long)C.DiskHits, (unsigned long long)C.MemHits,
+          C.Corrupt ? formatString(", %llu corrupt rebuilt",
+                                   (unsigned long long)C.Corrupt)
+                          .c_str()
+                    : "");
+}
+
+int usage(FILE *Out) {
+  fprintf(Out, "usage: suite_all [--list] [experiment...]\n");
+  fprintf(Out, "experiments (default: all, in this order):\n");
+  for (const ExperimentInfo &E : Experiments)
+    fprintf(Out, "  %s\n", E.Name);
+  return Out == stderr ? 2 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<const ExperimentInfo *> Selected;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--list") == 0)
+      return usage(stdout);
+    if (std::strcmp(argv[I], "--help") == 0)
+      return usage(stdout);
+    const ExperimentInfo *Found = nullptr;
+    for (const ExperimentInfo &E : Experiments)
+      if (E.Name == std::string(argv[I]))
+        Found = &E;
+    if (!Found) {
+      fprintf(stderr, "suite_all: unknown experiment '%s'\n", argv[I]);
+      return usage(stderr);
+    }
+    Selected.push_back(Found);
+  }
+  if (Selected.empty())
+    for (const ExperimentInfo &E : Experiments)
+      Selected.push_back(&E);
+
+  bool NeedStandard = false, NeedAlpha = false;
+  for (const ExperimentInfo *E : Selected) {
+    NeedStandard |= E->UsesPrepare;
+    NeedAlpha |= E->UsesAlphaCosts;
+  }
+
+  auto T0 = std::chrono::steady_clock::now();
+  warmPreparations(NeedStandard, NeedAlpha);
+
+  int Exit = 0;
+  for (size_t I = 0; I < Selected.size(); ++I) {
+    const ExperimentInfo *E = Selected[I];
+    fprintf(stderr, "[suite_all] (%zu/%zu) %s\n", I + 1, Selected.size(),
+            E->Name);
+    auto TE = std::chrono::steady_clock::now();
+    int Rc = E->Run();
+    fflush(stdout);
+    fprintf(stderr, "[suite_all] (%zu/%zu) %s done in %.2fs%s\n", I + 1,
+            Selected.size(), E->Name, secondsSince(TE),
+            Rc ? " (FAILED)" : "");
+    if (Rc && !Exit)
+      Exit = Rc;
+  }
+  fprintf(stderr, "[suite_all] %zu experiment(s) in %.2fs total\n",
+          Selected.size(), secondsSince(T0));
+  return Exit;
+}

@@ -7,6 +7,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -42,7 +44,7 @@ PathStats pathStats(const PathProfile &Profile) {
 
 } // namespace
 
-int main() {
+int ppp::bench::runTable1Inlining() {
   printf("Table 1: dynamic path characteristics with and without "
          "inlining and unrolling\n");
   printf("(paper Sec. 7.3; dynamic paths in thousands -- the synthetic "
@@ -101,3 +103,7 @@ int main() {
          "~45%% of calls; FP unroll factors >> INT.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runTable1Inlining(); }
+#endif

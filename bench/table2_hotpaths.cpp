@@ -6,6 +6,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include <cstdio>
@@ -13,7 +15,7 @@
 using namespace ppp;
 using namespace ppp::bench;
 
-int main() {
+int ppp::bench::runTable2Hotpaths() {
   printf("Table 2: hot paths in the synthetic SPEC2000 suite "
          "(expanded code)\n\n");
   printHeader("bench", {"distinct", "hot.125", "%flow", "hot1", "%flow"});
@@ -74,3 +76,7 @@ int main() {
          "benchmarks concentrate flow in fewer paths.\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runTable2Hotpaths(); }
+#endif

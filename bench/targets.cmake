@@ -2,7 +2,9 @@
 # else lives there), so `for b in build/bench/*; do $b; done` runs the
 # whole experiment suite.
 
-add_library(ppp_bench_harness STATIC ${CMAKE_SOURCE_DIR}/bench/Harness.cpp)
+add_library(ppp_bench_harness STATIC
+  ${CMAKE_SOURCE_DIR}/bench/Harness.cpp
+  ${CMAKE_SOURCE_DIR}/bench/PrepCache.cpp)
 target_include_directories(ppp_bench_harness PUBLIC ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(ppp_bench_harness PUBLIC
   ppp_edgeprof ppp_metrics ppp_pathprof ppp_flow ppp_opt ppp_workload
@@ -33,6 +35,24 @@ ppp_add_bench(kernels_overhead)
 ppp_add_bench(net_vs_ppp)
 ppp_add_bench(metric_comparison)
 ppp_add_bench(interp_throughput)
+
+# The unified driver compiles every experiment translation unit a
+# second time with PPP_SUITE_ALL defined, which drops their main()s and
+# leaves only the run*() entry points (see bench/Experiments.h).
+set(PPP_SUITE_ALL_EXPERIMENTS
+  table1_inlining table2_hotpaths fig9_accuracy fig10_coverage
+  fig11_instrumented fig12_overhead fig13_ablation fig13b_poisoning
+  fig13c_oneatatime trace_payoff edge_instrumentation kernels_overhead
+  net_vs_ppp metric_comparison)
+set(PPP_SUITE_ALL_SOURCES ${CMAKE_SOURCE_DIR}/bench/suite_all.cpp)
+foreach(exp ${PPP_SUITE_ALL_EXPERIMENTS})
+  list(APPEND PPP_SUITE_ALL_SOURCES ${CMAKE_SOURCE_DIR}/bench/${exp}.cpp)
+endforeach()
+add_executable(suite_all ${PPP_SUITE_ALL_SOURCES})
+target_compile_definitions(suite_all PRIVATE PPP_SUITE_ALL)
+target_link_libraries(suite_all PRIVATE ppp_bench_harness)
+set_target_properties(suite_all PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
 add_executable(counters_microbench ${CMAKE_SOURCE_DIR}/bench/counters_microbench.cpp)
 target_link_libraries(counters_microbench PRIVATE ppp_interp ppp_support

@@ -10,6 +10,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Experiments.h"
+
 #include "Harness.h"
 
 #include "interp/Interpreter.h"
@@ -33,7 +35,7 @@ double payoffPct(const Module &Optimized, uint64_t BaseCost) {
 
 } // namespace
 
-int main() {
+int ppp::bench::runTracePayoff() {
   printf("Trace-formation payoff (%% dynamic cost saved) by profile "
          "source\n\n");
   printHeader("bench", {"edge", "ppp", "oracle"});
@@ -102,3 +104,7 @@ int main() {
          "cheap path profiling worth having (paper Secs. 1-2).\n");
   return 0;
 }
+
+#ifndef PPP_SUITE_ALL
+int main() { return ppp::bench::runTracePayoff(); }
+#endif

@@ -36,10 +36,10 @@ void PathTable::increment(int64_t Index) {
       return;
     }
     uint64_t Key = static_cast<uint64_t>(Index);
-    uint64_t H = Key % PathHashSlots;
+    uint64_t H = fastRemainder<PathHashSlots>(Key);
     // Secondary hash must be nonzero and coprime with the (prime) table
     // size so the probe sequence visits distinct slots.
-    uint64_t Step = 1 + Key % (PathHashSlots - 2);
+    uint64_t Step = 1 + fastRemainder<PathHashSlots - 2>(Key);
     for (unsigned Try = 0; Try < PathHashTries; ++Try) {
       HashSlot &S = Slots[H];
       if (S.Key == Index || S.Count == 0) {
@@ -47,7 +47,10 @@ void PathTable::increment(int64_t Index) {
         ++S.Count;
         return;
       }
-      H = (H + Step) % PathHashSlots;
+      // H + Step < 2 * PathHashSlots, so one subtract replaces the `%`.
+      H += Step;
+      if (H >= PathHashSlots)
+        H -= PathHashSlots;
     }
     ++Lost;
     return;
@@ -67,15 +70,17 @@ uint64_t PathTable::countFor(int64_t Index) const {
     if (Index < 0)
       return 0;
     uint64_t Key = static_cast<uint64_t>(Index);
-    uint64_t H = Key % PathHashSlots;
-    uint64_t Step = 1 + Key % (PathHashSlots - 2);
+    uint64_t H = fastRemainder<PathHashSlots>(Key);
+    uint64_t Step = 1 + fastRemainder<PathHashSlots - 2>(Key);
     for (unsigned Try = 0; Try < PathHashTries; ++Try) {
       const HashSlot &S = Slots[H];
       if (S.Key == Index)
         return S.Count;
       if (S.Count == 0)
         return 0;
-      H = (H + Step) % PathHashSlots;
+      H += Step;
+      if (H >= PathHashSlots)
+        H -= PathHashSlots;
     }
     return 0;
   }

@@ -28,6 +28,48 @@ inline constexpr uint64_t PathHashSlots = 701;
 /// Number of probes before declaring a path lost (from the paper).
 inline constexpr unsigned PathHashTries = 3;
 
+/// Remainder modulo a small compile-time constant via a fixed-point
+/// reciprocal multiply (Granlund-Montgomery), replacing the hardware
+/// divide the `%` operator would emit. The hash-variant counter probe
+/// computes three remainders per increment, so this is its hot path.
+///
+/// With the round-up magic M = ceil(2^73 / D), the quotient
+/// floor(N * M / 2^73) is *exact* for every 64-bit N whenever
+/// M*D - 2^73 <= 2^9 (Granlund & Montgomery, PLDI '94, Thm 4.2) --
+/// which holds for both divisors the probe uses (701 and 699), so the
+/// remainder is one multiply-high, a shift, and a multiply-back, with
+/// no correction step. Divisors where the bound fails fall back to a
+/// floor magic that undershoots by at most one (truncation error is
+/// below N/2^73 < 1) plus one conditional subtract. 2^73/D fits in 64
+/// bits for D > 512.
+template <uint64_t D> inline uint64_t fastRemainder(uint64_t N) {
+  static_assert(D > 512 && D < (uint64_t(1) << 32),
+                "reciprocal shift of 73 requires 512 < D < 2^32");
+#if defined(__SIZEOF_INT128__)
+  constexpr int Shift = 73;
+  constexpr unsigned __int128 Pow = static_cast<unsigned __int128>(1) << Shift;
+  constexpr uint64_t CeilMagic = static_cast<uint64_t>((Pow + D - 1) / D);
+  constexpr bool Exact =
+      static_cast<unsigned __int128>(CeilMagic) * D - Pow <=
+      (static_cast<unsigned __int128>(1) << (Shift - 64));
+  if constexpr (Exact) {
+    uint64_t Q = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(N) * CeilMagic) >> Shift);
+    return N - Q * D;
+  } else {
+    constexpr uint64_t FloorMagic = static_cast<uint64_t>(Pow / D);
+    uint64_t Q = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(N) * FloorMagic) >> Shift);
+    uint64_t R = N - Q * D;
+    if (R >= D)
+      R -= D;
+    return R;
+  }
+#else
+  return N % D;
+#endif
+}
+
 /// A per-function path frequency table.
 class PathTable {
 public:

@@ -23,6 +23,9 @@ namespace ppp {
 struct BasicBlock {
   std::vector<Instr> Instrs;
 
+  /// Field-wise equality (serialization round-trip checks).
+  bool operator==(const BasicBlock &O) const = default;
+
   const Instr &terminator() const {
     assert(!Instrs.empty() && "block has no instructions");
     assert(Instrs.back().isTerminator() && "block lacks a terminator");

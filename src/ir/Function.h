@@ -24,6 +24,9 @@ struct Function {
   unsigned NumRegs = 0;   ///< Frame size in registers (>= NumParams).
   std::vector<BasicBlock> Blocks;
 
+  /// Field-wise equality (serialization round-trip checks).
+  bool operator==(const Function &O) const = default;
+
   BlockId entryBlock() const { return 0; }
 
   unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }

@@ -44,6 +44,9 @@ struct Instr {
 
   bool isTerminator() const { return isTerminatorOpcode(Op); }
   bool isProfiling() const { return isProfilingOpcode(Op); }
+
+  /// Field-wise equality (serialization round-trip checks).
+  bool operator==(const Instr &O) const = default;
 };
 
 } // namespace ppp

@@ -29,6 +29,9 @@ struct Module {
   FuncId MainId = 0;
   std::vector<Function> Functions;
 
+  /// Field-wise equality (serialization round-trip checks).
+  bool operator==(const Module &O) const = default;
+
   unsigned numFunctions() const {
     return static_cast<unsigned>(Functions.size());
   }

@@ -1,0 +1,318 @@
+//===- profile/BinaryIO.cpp - Binary module/profile serialization ------------===//
+
+#include "profile/BinaryIO.h"
+
+#include "analysis/CfgView.h"
+#include "ir/Verifier.h"
+#include "support/BinStream.h"
+#include "support/Format.h"
+
+using namespace ppp;
+
+namespace {
+
+constexpr uint32_t ModuleMagic = 0x4d505062;      // 'bPPM'
+constexpr uint32_t EdgeProfileMagic = 0x45505062; // 'bPPE'
+constexpr uint32_t PathProfileMagic = 0x50505062; // 'bPPP'
+
+/// Wraps \p Payload in the common frame.
+std::string frame(uint32_t Magic, const std::string &Payload) {
+  std::string Out;
+  Out.reserve(Payload.size() + 24);
+  BinWriter W(Out);
+  W.u32(Magic);
+  W.u32(BinaryFormatVersion);
+  W.u64(Payload.size());
+  W.u64(fnv1a(Payload.data(), Payload.size()));
+  Out.append(Payload);
+  return Out;
+}
+
+/// Verifies the frame of \p Data and returns the payload view through
+/// \p Payload (pointing into \p Data). On failure sets \p Error.
+bool unframe(uint32_t Magic, const char *What, const std::string &Data,
+             BinReader &Payload, std::string &Error) {
+  BinReader R(Data);
+  uint32_t M = R.u32();
+  uint32_t V = R.u32();
+  uint64_t Size = R.u64();
+  uint64_t Sum = R.u64();
+  if (!R.ok() || M != Magic) {
+    Error = formatString("%s: bad magic", What);
+    return false;
+  }
+  if (V != BinaryFormatVersion) {
+    Error = formatString("%s: format version %u, expected %u", What, V,
+                         BinaryFormatVersion);
+    return false;
+  }
+  if (Size != R.remaining()) {
+    Error = formatString("%s: truncated (payload %llu of %llu bytes)", What,
+                         (unsigned long long)R.remaining(),
+                         (unsigned long long)Size);
+    return false;
+  }
+  const char *Body = Data.data() + (Data.size() - Size);
+  if (fnv1a(Body, static_cast<size_t>(Size)) != Sum) {
+    Error = formatString("%s: checksum mismatch", What);
+    return false;
+  }
+  Payload = BinReader(Body, static_cast<size_t>(Size));
+  return true;
+}
+
+} // namespace
+
+std::string ppp::writeModuleBinary(const Module &M) {
+  std::string Payload;
+  BinWriter W(Payload);
+  W.str(M.Name);
+  W.u64(M.MemWords);
+  W.i32(M.MainId);
+  W.u32(M.numFunctions());
+  for (const Function &F : M.Functions) {
+    W.str(F.Name);
+    W.u32(F.NumParams);
+    W.u32(F.NumRegs);
+    W.u32(F.numBlocks());
+    for (const BasicBlock &BB : F.Blocks) {
+      W.u32(static_cast<uint32_t>(BB.Instrs.size()));
+      for (const Instr &I : BB.Instrs) {
+        W.u8(static_cast<uint8_t>(I.Op));
+        W.u8(I.NumArgs);
+        W.i32(I.A);
+        W.i32(I.B);
+        W.i32(I.C);
+        W.i64(I.Imm);
+        W.i32(I.Callee);
+        for (RegId A : I.Args)
+          W.i32(A);
+        W.u32(static_cast<uint32_t>(I.Targets.size()));
+        for (BlockId T : I.Targets)
+          W.i32(T);
+      }
+    }
+  }
+  return frame(ModuleMagic, Payload);
+}
+
+bool ppp::readModuleBinary(const std::string &Data, Module &Out,
+                           std::string &Error) {
+  BinReader R(Data.data(), 0);
+  if (!unframe(ModuleMagic, "module", Data, R, Error))
+    return false;
+
+  // Structural sanity caps: reject absurd counts before allocating.
+  constexpr uint32_t MaxCount = 1u << 24;
+
+  Module M;
+  M.Name = R.str();
+  M.MemWords = R.u64();
+  M.MainId = R.i32();
+  uint32_t NumFuncs = R.u32();
+  if (!R.ok() || NumFuncs > MaxCount) {
+    Error = "module: corrupt header";
+    return false;
+  }
+  M.Functions.resize(NumFuncs);
+  for (Function &F : M.Functions) {
+    F.Name = R.str();
+    F.NumParams = R.u32();
+    F.NumRegs = R.u32();
+    uint32_t NumBlocks = R.u32();
+    if (!R.ok() || NumBlocks > MaxCount) {
+      Error = "module: corrupt function header";
+      return false;
+    }
+    F.Blocks.resize(NumBlocks);
+    for (BasicBlock &BB : F.Blocks) {
+      uint32_t NumInstrs = R.u32();
+      if (!R.ok() || NumInstrs > MaxCount) {
+        Error = "module: corrupt block header";
+        return false;
+      }
+      BB.Instrs.resize(NumInstrs);
+      for (Instr &I : BB.Instrs) {
+        uint8_t Op = R.u8();
+        if (Op > static_cast<uint8_t>(Opcode::ProfCheckedCountIdx)) {
+          Error = formatString("module: invalid opcode %u", Op);
+          return false;
+        }
+        I.Op = static_cast<Opcode>(Op);
+        I.NumArgs = R.u8();
+        I.A = R.i32();
+        I.B = R.i32();
+        I.C = R.i32();
+        I.Imm = R.i64();
+        I.Callee = R.i32();
+        for (RegId &A : I.Args)
+          A = R.i32();
+        uint32_t NumTargets = R.u32();
+        if (!R.ok() || NumTargets > MaxCount) {
+          Error = "module: corrupt target list";
+          return false;
+        }
+        I.Targets.resize(NumTargets);
+        for (BlockId &T : I.Targets)
+          T = R.i32();
+      }
+    }
+  }
+  if (!R.ok() || R.remaining() != 0) {
+    Error = "module: payload size mismatch";
+    return false;
+  }
+  if (std::string E = verifyModule(M); !E.empty()) {
+    Error = "module: fails verification: " + E;
+    return false;
+  }
+  Out = std::move(M);
+  return true;
+}
+
+std::string ppp::writeEdgeProfileBinary(const Module &M,
+                                        const EdgeProfile &EP) {
+  std::string Payload;
+  BinWriter W(Payload);
+  W.str(M.Name);
+  W.u32(M.numFunctions());
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    const FunctionEdgeProfile &FP = EP.func(static_cast<FuncId>(F));
+    W.i64(FP.Invocations);
+    W.u32(static_cast<uint32_t>(FP.EdgeFreq.size()));
+    for (int64_t Freq : FP.EdgeFreq)
+      W.i64(Freq);
+  }
+  return frame(EdgeProfileMagic, Payload);
+}
+
+bool ppp::readEdgeProfileBinary(const Module &M, const std::string &Data,
+                                EdgeProfile &Out, std::string &Error) {
+  BinReader R(Data.data(), 0);
+  if (!unframe(EdgeProfileMagic, "edge profile", Data, R, Error))
+    return false;
+
+  std::string Name = R.str();
+  uint32_t NumFuncs = R.u32();
+  if (!R.ok() || Name != M.Name || NumFuncs != M.numFunctions()) {
+    Error = "edge profile: module mismatch";
+    return false;
+  }
+  EdgeProfile EP;
+  EP.Funcs.assign(NumFuncs, FunctionEdgeProfile());
+  for (unsigned F = 0; F < NumFuncs; ++F) {
+    FunctionEdgeProfile &FP = EP.Funcs[F];
+    FP.Invocations = R.i64();
+    uint32_t NumEdges = R.u32();
+    CfgView Cfg(M.function(static_cast<FuncId>(F)));
+    if (!R.ok() || FP.Invocations < 0 || NumEdges != Cfg.numEdges()) {
+      Error = formatString(
+          "edge profile: function %u does not match the module's CFG", F);
+      return false;
+    }
+    FP.EdgeFreq.resize(NumEdges);
+    for (int64_t &Freq : FP.EdgeFreq) {
+      Freq = R.i64();
+      if (Freq < 0) {
+        Error = formatString("edge profile: negative count in function %u",
+                             F);
+        return false;
+      }
+    }
+  }
+  if (!R.ok() || R.remaining() != 0) {
+    Error = "edge profile: payload size mismatch";
+    return false;
+  }
+  Out = std::move(EP);
+  return true;
+}
+
+std::string ppp::writePathProfileBinary(const Module &M,
+                                        const PathProfile &Profile) {
+  std::string Payload;
+  BinWriter W(Payload);
+  W.str(M.Name);
+  W.u32(M.numFunctions());
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    const FunctionPathProfile &FP = Profile.Funcs[F];
+    W.u32(static_cast<uint32_t>(FP.Paths.size()));
+    for (const PathRecord &Rec : FP.Paths) {
+      W.u64(Rec.Freq);
+      W.i32(Rec.Key.First);
+      W.i32(Rec.Key.StartCfgEdgeId);
+      W.i32(Rec.Key.TermCfgEdgeId);
+      W.u32(static_cast<uint32_t>(Rec.Key.EdgeIds.size()));
+      for (int E : Rec.Key.EdgeIds)
+        W.i32(E);
+    }
+  }
+  return frame(PathProfileMagic, Payload);
+}
+
+bool ppp::readPathProfileBinary(const Module &M, const std::string &Data,
+                                PathProfile &Out, std::string &Error) {
+  BinReader R(Data.data(), 0);
+  if (!unframe(PathProfileMagic, "path profile", Data, R, Error))
+    return false;
+
+  std::string Name = R.str();
+  uint32_t NumFuncs = R.u32();
+  if (!R.ok() || Name != M.Name || NumFuncs != M.numFunctions()) {
+    Error = "path profile: module mismatch";
+    return false;
+  }
+  PathProfile P(NumFuncs);
+  for (unsigned F = 0; F < NumFuncs; ++F) {
+    uint32_t NumPaths = R.u32();
+    if (!R.ok()) {
+      Error = "path profile: truncated";
+      return false;
+    }
+    CfgView Cfg(M.function(static_cast<FuncId>(F)));
+    auto Fail = [&](const char *Msg) {
+      Error = formatString("path profile: function %u: %s", F, Msg);
+      return false;
+    };
+    for (uint32_t PI = 0; PI < NumPaths; ++PI) {
+      uint64_t Freq = R.u64();
+      PathKey Key;
+      Key.First = R.i32();
+      Key.StartCfgEdgeId = R.i32();
+      Key.TermCfgEdgeId = R.i32();
+      uint32_t Len = R.u32();
+      if (!R.ok() || Len > R.remaining() / 4)
+        return Fail("truncated path record");
+      if (Key.First < 0 ||
+          static_cast<unsigned>(Key.First) >= Cfg.numBlocks())
+        return Fail("start block out of range");
+      BlockId Cur = Key.First;
+      Key.EdgeIds.reserve(Len);
+      for (uint32_t E = 0; E < Len; ++E) {
+        int EdgeId = R.i32();
+        if (EdgeId < 0 || EdgeId >= static_cast<int>(Cfg.numEdges()))
+          return Fail("edge id out of range");
+        const CfgEdge &CE = Cfg.edge(EdgeId);
+        if (CE.Src != Cur)
+          return Fail("edge does not continue the path");
+        Cur = CE.Dst;
+        Key.EdgeIds.push_back(EdgeId);
+      }
+      if (Key.StartCfgEdgeId >= 0 &&
+          (Key.StartCfgEdgeId >= static_cast<int>(Cfg.numEdges()) ||
+           Cfg.edge(Key.StartCfgEdgeId).Dst != Key.First))
+        return Fail("start edge does not enter the first block");
+      if (Key.TermCfgEdgeId >= 0 &&
+          (Key.TermCfgEdgeId >= static_cast<int>(Cfg.numEdges()) ||
+           Cfg.edge(Key.TermCfgEdgeId).Src != Cur))
+        return Fail("terminating edge does not leave the last block");
+      P.Funcs[F].add(Cfg, Key, Freq);
+    }
+  }
+  if (!R.ok() || R.remaining() != 0) {
+    Error = "path profile: payload size mismatch";
+    return false;
+  }
+  Out = std::move(P);
+  return true;
+}

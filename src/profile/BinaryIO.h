@@ -1,0 +1,68 @@
+//===- profile/BinaryIO.h - Binary module/profile serialization -*- C++ -*-===//
+///
+/// \file
+/// Versioned, checksummed, endian-stable binary serialization for
+/// modules and for edge/path profiles -- the persistence layer behind
+/// the prepare-once experiment pipeline (bench/PrepCache). The text
+/// format in ProfileIO stays for human inspection; this format exists
+/// to make cross-process reuse cheap and safe.
+///
+/// Every blob is framed the same way:
+///
+///   u32 magic        ('bPPM' / 'bPPE' / 'bPPP')
+///   u32 version      (BinaryFormatVersion)
+///   u64 payload size
+///   u64 FNV-1a checksum of the payload bytes
+///   payload
+///
+/// Readers verify the frame (magic, version, size, checksum) before
+/// touching the payload, then validate the decoded structure against
+/// the module it is being attached to -- module reads run the verifier,
+/// profile reads check shapes and edge chaining exactly like the text
+/// readers. Any mismatch fails the read (returning false with an error
+/// message); no partially-decoded state escapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PROFILE_BINARYIO_H
+#define PPP_PROFILE_BINARYIO_H
+
+#include "ir/Module.h"
+#include "profile/EdgeProfile.h"
+#include "profile/PathProfile.h"
+
+#include <string>
+
+namespace ppp {
+
+/// Bump on any change to the binary encodings below. Cache keys include
+/// this, so a bump invalidates every persisted artifact at once.
+inline constexpr uint32_t BinaryFormatVersion = 1;
+
+/// Serializes \p M (functions, blocks, instructions, memory layout).
+std::string writeModuleBinary(const Module &M);
+
+/// Decodes \p Data into \p Out and verifies the result.
+/// \returns true on success; otherwise false with \p Error set.
+bool readModuleBinary(const std::string &Data, Module &Out,
+                      std::string &Error);
+
+/// Serializes \p EP (collected over \p M).
+std::string writeEdgeProfileBinary(const Module &M, const EdgeProfile &EP);
+
+/// Decodes \p Data into \p Out, validating shapes against \p M.
+bool readEdgeProfileBinary(const Module &M, const std::string &Data,
+                           EdgeProfile &Out, std::string &Error);
+
+/// Serializes \p Profile (over \p M). Only path keys and frequencies
+/// are stored; per-path attributes are recomputed from the CFG on read.
+std::string writePathProfileBinary(const Module &M,
+                                   const PathProfile &Profile);
+
+/// Decodes \p Data into \p Out, validating edge chaining against \p M.
+bool readPathProfileBinary(const Module &M, const std::string &Data,
+                           PathProfile &Out, std::string &Error);
+
+} // namespace ppp
+
+#endif // PPP_PROFILE_BINARYIO_H

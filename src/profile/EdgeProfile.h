@@ -23,6 +23,9 @@ struct FunctionEdgeProfile {
   int64_t Invocations = 0;
   std::vector<int64_t> EdgeFreq; ///< Indexed by CFG edge id.
 
+  /// Field-wise equality (serialization round-trip checks).
+  bool operator==(const FunctionEdgeProfile &O) const = default;
+
   /// Execution count of \p B: invocations (entry block) plus all
   /// incoming edge traversals.
   int64_t blockFreq(const CfgView &Cfg, BlockId B) const {
@@ -36,6 +39,9 @@ struct FunctionEdgeProfile {
 /// Whole-program edge profile.
 struct EdgeProfile {
   std::vector<FunctionEdgeProfile> Funcs;
+
+  /// Field-wise equality (serialization round-trip checks).
+  bool operator==(const EdgeProfile &O) const = default;
 
   const FunctionEdgeProfile &func(FuncId F) const {
     return Funcs[static_cast<size_t>(F)];

@@ -1,0 +1,151 @@
+//===- tests/binaryio_test.cpp - Binary serialization tests -------------------===//
+
+#include "TestUtil.h"
+
+#include "profile/BinaryIO.h"
+
+#include <string>
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+TEST(ModuleBinary, RoundTripIsFieldIdenticalAndVerifierClean) {
+  Module M = smallWorkload(601);
+  std::string Blob = writeModuleBinary(M);
+  Module Back;
+  std::string Error;
+  ASSERT_TRUE(readModuleBinary(Blob, Back, Error)) << Error;
+  EXPECT_EQ(verifyModule(Back), "");
+  EXPECT_TRUE(Back == M);
+}
+
+TEST(ModuleBinary, RoundTripsProfilingOpcodes) {
+  // An instrumented module exercises the Prof* opcodes and the
+  // register/immediate fields the clean workload never sets.
+  Module M = smallWorkload(602);
+  ProfiledRun Clean = profileModule(M);
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::ppp());
+  std::string Blob = writeModuleBinary(IR.Instrumented);
+  Module Back;
+  std::string Error;
+  ASSERT_TRUE(readModuleBinary(Blob, Back, Error)) << Error;
+  EXPECT_TRUE(Back == IR.Instrumented);
+}
+
+TEST(ModuleBinary, RejectsCorruptionEverywhere) {
+  Module M = smallWorkload(603);
+  std::string Blob = writeModuleBinary(M);
+  Module Back;
+  std::string Error;
+
+  // Truncation at every frame boundary and inside the payload.
+  for (size_t Cut : {size_t(0), size_t(3), size_t(12), size_t(23),
+                     Blob.size() / 2, Blob.size() - 1}) {
+    EXPECT_FALSE(readModuleBinary(Blob.substr(0, Cut), Back, Error))
+        << "cut at " << Cut;
+  }
+  // A flipped byte anywhere in the payload breaks the checksum; in the
+  // frame it breaks magic/version/size. Sample positions across the
+  // blob rather than all of them to keep the test fast.
+  for (size_t Pos = 0; Pos < Blob.size(); Pos += 37) {
+    std::string Bad = Blob;
+    Bad[Pos] = static_cast<char>(Bad[Pos] ^ 0x20);
+    EXPECT_FALSE(readModuleBinary(Bad, Back, Error)) << "flip at " << Pos;
+  }
+  // Appended trailing garbage changes the payload size.
+  EXPECT_FALSE(readModuleBinary(Blob + "x", Back, Error));
+}
+
+TEST(ModuleBinary, RejectsWrongFormatVersion) {
+  Module M = smallWorkload(604);
+  std::string Blob = writeModuleBinary(M);
+  // The version is the little-endian u32 at offset 4.
+  Blob[4] = static_cast<char>(BinaryFormatVersion + 1);
+  Module Back;
+  std::string Error;
+  EXPECT_FALSE(readModuleBinary(Blob, Back, Error));
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+}
+
+TEST(EdgeProfileBinary, RoundTripEquality) {
+  Module M = smallWorkload(605);
+  ProfiledRun Clean = profileModule(M);
+  std::string Blob = writeEdgeProfileBinary(M, Clean.EP);
+  EdgeProfile Back;
+  std::string Error;
+  ASSERT_TRUE(readEdgeProfileBinary(M, Blob, Back, Error)) << Error;
+  EXPECT_TRUE(Back == Clean.EP);
+}
+
+TEST(EdgeProfileBinary, RejectsWrongModuleAndCorruption) {
+  Module M = smallWorkload(606);
+  Module Other = smallWorkload(607);
+  ProfiledRun Clean = profileModule(M);
+  std::string Blob = writeEdgeProfileBinary(M, Clean.EP);
+  EdgeProfile Back;
+  std::string Error;
+  EXPECT_FALSE(readEdgeProfileBinary(Other, Blob, Back, Error));
+  std::string Bad = Blob;
+  Bad[Bad.size() / 2] = static_cast<char>(Bad[Bad.size() / 2] ^ 0xff);
+  EXPECT_FALSE(readEdgeProfileBinary(M, Bad, Back, Error));
+}
+
+TEST(PathProfileBinary, RoundTripPreservesCountsAndAttributes) {
+  Module M = smallWorkload(608);
+  ProfiledRun Clean = profileModule(M);
+  std::string Blob = writePathProfileBinary(M, Clean.Oracle);
+  PathProfile Back(0);
+  std::string Error;
+  ASSERT_TRUE(readPathProfileBinary(M, Blob, Back, Error)) << Error;
+  ASSERT_EQ(Back.Funcs.size(), Clean.Oracle.Funcs.size());
+  EXPECT_EQ(Back.totalFreq(), Clean.Oracle.totalFreq());
+  EXPECT_EQ(Back.totalFlow(FlowMetric::Branch),
+            Clean.Oracle.totalFlow(FlowMetric::Branch));
+  EXPECT_EQ(Back.distinctPaths(), Clean.Oracle.distinctPaths());
+  for (size_t F = 0; F < Back.Funcs.size(); ++F) {
+    for (const PathRecord &Rec : Clean.Oracle.Funcs[F].Paths) {
+      const PathRecord *R = Back.Funcs[F].find(Rec.Key);
+      ASSERT_NE(R, nullptr);
+      EXPECT_EQ(R->Freq, Rec.Freq);
+      EXPECT_EQ(R->Branches, Rec.Branches);
+      EXPECT_EQ(R->Instrs, Rec.Instrs);
+    }
+  }
+}
+
+TEST(PathProfileBinary, RejectsWrongModuleAndCorruption) {
+  Module M = smallWorkload(609);
+  Module Other = smallWorkload(610);
+  ProfiledRun Clean = profileModule(M);
+  std::string Blob = writePathProfileBinary(M, Clean.Oracle);
+  PathProfile Back(0);
+  std::string Error;
+  EXPECT_FALSE(readPathProfileBinary(Other, Blob, Back, Error));
+  for (size_t Pos = 24; Pos < Blob.size(); Pos += 53) {
+    std::string Bad = Blob;
+    Bad[Pos] = static_cast<char>(Bad[Pos] ^ 0x01);
+    EXPECT_FALSE(readPathProfileBinary(M, Bad, Back, Error))
+        << "flip at " << Pos;
+  }
+}
+
+TEST(BinaryFrames, FormatsAreDistinguished) {
+  // A module blob is not accepted by the profile readers and vice
+  // versa: the magics differ even though the frames look alike.
+  Module M = smallWorkload(611);
+  ProfiledRun Clean = profileModule(M);
+  std::string MBlob = writeModuleBinary(M);
+  std::string EBlob = writeEdgeProfileBinary(M, Clean.EP);
+  Module MBack;
+  EdgeProfile EBack;
+  PathProfile PBack(0);
+  std::string Error;
+  EXPECT_FALSE(readModuleBinary(EBlob, MBack, Error));
+  EXPECT_FALSE(readEdgeProfileBinary(M, MBlob, EBack, Error));
+  EXPECT_FALSE(readPathProfileBinary(M, EBlob, PBack, Error));
+}
+
+} // namespace

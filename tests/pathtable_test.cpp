@@ -1,9 +1,11 @@
 //===- tests/pathtable_test.cpp - Path counter runtime tests ------------------===//
 
 #include "interp/PathTable.h"
+#include "support/Rng.h"
 
 #include "gtest/gtest.h"
 
+#include <cstdint>
 #include <vector>
 
 using namespace ppp;
@@ -132,6 +134,91 @@ TEST(HashTable, ManyDistinctKeysMostlySurvive) {
   T.forEach([&](int64_t, uint64_t C) { Stored += C; });
   EXPECT_EQ(Stored + T.lostCount(), 350u);
   EXPECT_LT(T.lostCount(), 30u);
+}
+
+// The reciprocal-multiply remainder must agree with `%` everywhere:
+// the hash slot assignment (and therefore which paths collide and get
+// lost) is pinned behavior that serialized profiles and the paper's
+// conflict statistics depend on.
+TEST(FastRemainder, MatchesModuloAcrossTheInt64KeyRange) {
+  auto Check = [](uint64_t K) {
+    EXPECT_EQ(fastRemainder<PathHashSlots>(K), K % PathHashSlots) << K;
+    EXPECT_EQ(fastRemainder<PathHashSlots - 2>(K),
+              K % (PathHashSlots - 2))
+        << K;
+  };
+  // Boundary structure: around the divisors, powers of two, and the
+  // extremes of the non-negative int64 index range.
+  for (uint64_t K = 0; K < 3 * PathHashSlots; ++K)
+    Check(K);
+  for (int Bit = 10; Bit < 64; ++Bit) {
+    uint64_t P = uint64_t(1) << Bit;
+    Check(P - 1);
+    Check(P);
+    Check(P + 1);
+  }
+  Check(static_cast<uint64_t>(INT64_MAX) - 1);
+  Check(static_cast<uint64_t>(INT64_MAX));
+  // A deterministic sample of the full range.
+  Rng R(20260806);
+  for (int I = 0; I < 200000; ++I)
+    Check(R.next() & static_cast<uint64_t>(INT64_MAX));
+}
+
+// End-to-end: a hash table driven by the new probe math behaves
+// identically to a reference simulation using plain modulo.
+TEST(HashTable, SlotAssignmentIdenticalToModuloReference) {
+  struct RefSlot {
+    int64_t Key = -1;
+    uint64_t Count = 0;
+  };
+  std::vector<RefSlot> Ref(PathHashSlots);
+  uint64_t RefLost = 0;
+  auto RefIncrement = [&](int64_t Index) {
+    uint64_t Key = static_cast<uint64_t>(Index);
+    uint64_t H = Key % PathHashSlots;
+    uint64_t Step = 1 + Key % (PathHashSlots - 2);
+    for (unsigned Try = 0; Try < PathHashTries; ++Try) {
+      RefSlot &S = Ref[H];
+      if (S.Key == Index || S.Count == 0) {
+        S.Key = Index;
+        ++S.Count;
+        return;
+      }
+      H = (H + Step) % PathHashSlots;
+    }
+    ++RefLost;
+  };
+
+  PathTable T = PathTable::makeHash();
+  Rng R(77);
+  std::vector<int64_t> Keys;
+  for (int I = 0; I < 5000; ++I) {
+    // A mix of clustered and full-range keys to exercise probing.
+    int64_t K = (I % 3 == 0)
+                    ? static_cast<int64_t>(R.next() &
+                                           static_cast<uint64_t>(INT64_MAX))
+                    : static_cast<int64_t>(R.below(2000));
+    Keys.push_back(K);
+    RefIncrement(K);
+    T.increment(K);
+  }
+  EXPECT_EQ(T.lostCount(), RefLost);
+  for (int64_t K : Keys) {
+    uint64_t Expected = 0;
+    uint64_t H = static_cast<uint64_t>(K) % PathHashSlots;
+    uint64_t Step = 1 + static_cast<uint64_t>(K) % (PathHashSlots - 2);
+    for (unsigned Try = 0; Try < PathHashTries; ++Try) {
+      if (Ref[H].Key == K) {
+        Expected = Ref[H].Count;
+        break;
+      }
+      if (Ref[H].Count == 0)
+        break;
+      H = (H + Step) % PathHashSlots;
+    }
+    EXPECT_EQ(T.countFor(K), Expected) << K;
+  }
 }
 
 TEST(NoneTable, EverythingIsInvalid) {

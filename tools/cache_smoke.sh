@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Cache smoke test: the preparation cache must change wall-clock, never
+# bytes. Two checks against already-built binaries in build/bench:
+#
+#   1. A figure binary run cold (fresh cache) and warm (populated cache)
+#      produces byte-identical stdout, and both match PPP_CACHE=off.
+#   2. suite_all's stdout for two experiments is byte-identical to the
+#      concatenated stdout of the two standalone binaries.
+#
+# Usage: tools/cache_smoke.sh [BUILD_DIR]   (default: <repo>/build)
+set -eu
+
+REPO_ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$REPO_ROOT/build"}
+BENCH_DIR="$BUILD_DIR/bench"
+
+for bin in fig10_coverage table1_inlining suite_all; do
+  if [ ! -x "$BENCH_DIR/$bin" ]; then
+    echo "cache_smoke: missing $BENCH_DIR/$bin (build first)" >&2
+    exit 1
+  fi
+done
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ppp-cache-smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+CACHE_DIR="$WORK/cache"
+
+echo "== cache smoke: figure binary, off vs cold vs warm =="
+PPP_CACHE=off "$BENCH_DIR/fig10_coverage" >"$WORK/fig10.off" 2>/dev/null
+PPP_CACHE_DIR="$CACHE_DIR" "$BENCH_DIR/fig10_coverage" >"$WORK/fig10.cold" 2>/dev/null
+PPP_CACHE_DIR="$CACHE_DIR" "$BENCH_DIR/fig10_coverage" >"$WORK/fig10.warm" 2>/dev/null
+diff "$WORK/fig10.off" "$WORK/fig10.cold"
+diff "$WORK/fig10.cold" "$WORK/fig10.warm"
+
+entries=$(ls "$CACHE_DIR" 2>/dev/null | wc -l)
+if [ "$entries" -eq 0 ]; then
+  echo "cache_smoke: cold run left no cache entries in $CACHE_DIR" >&2
+  exit 1
+fi
+echo "ok: off/cold/warm byte-identical ($entries cache entries)"
+
+echo "== cache smoke: suite_all vs standalone binaries =="
+PPP_CACHE_DIR="$CACHE_DIR" "$BENCH_DIR/suite_all" \
+  table1_inlining fig10_coverage >"$WORK/suite.out" 2>/dev/null
+PPP_CACHE_DIR="$CACHE_DIR" "$BENCH_DIR/table1_inlining" >"$WORK/solo.out" 2>/dev/null
+PPP_CACHE_DIR="$CACHE_DIR" "$BENCH_DIR/fig10_coverage" >>"$WORK/solo.out" 2>/dev/null
+diff "$WORK/suite.out" "$WORK/solo.out"
+echo "ok: suite_all output byte-identical to standalone concatenation"
+
+echo "cache_smoke: PASS"

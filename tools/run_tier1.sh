@@ -11,3 +11,9 @@ cmake -B build -S .
 cmake --build build -j
 cd build
 ctest --output-on-failure -j
+
+# Cache smoke stage: also registered as the cache_smoke ctest above,
+# but run explicitly so its byte-identity checks gate tier-1 even when
+# ctest filtering is in play.
+cd "$REPO_ROOT"
+tools/cache_smoke.sh "$REPO_ROOT/build"
