@@ -5,8 +5,8 @@
 #include "PrepCache.h"
 
 #include "interp/Interpreter.h"
-#include "ir/Verifier.h"
-#include "profile/Collectors.h"
+#include "pass/AnalysisManager.h"
+#include "pass/Pipeline.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -27,38 +27,6 @@ unsigned ppp::bench::parallelJobs(size_t NumTasks) {
       std::min<size_t>(Jobs, std::max<size_t>(NumTasks, 1)));
 }
 
-namespace {
-
-struct CleanProfile {
-  EdgeProfile EP;
-  PathProfile Oracle;
-  RunResult Res;
-
-  CleanProfile() : Oracle(0) {}
-};
-
-CleanProfile profileClean(const Module &M,
-                          const CostModel &Costs = CostModel()) {
-  CleanProfile Out;
-  EdgeProfiler EdgeObs(M);
-  PathTracer PathObs(M);
-  InterpOptions IO;
-  IO.Costs = Costs;
-  Interpreter I(M, IO);
-  I.addObserver(&EdgeObs);
-  I.addObserver(&PathObs);
-  Out.Res = I.run();
-  if (Out.Res.FuelExhausted) {
-    fprintf(stderr, "error: %s did not terminate\n", M.Name.c_str());
-    exit(1);
-  }
-  Out.EP = EdgeObs.takeProfile();
-  Out.Oracle = PathObs.takeProfile();
-  return Out;
-}
-
-} // namespace
-
 PreparedBenchmark ppp::bench::prepare(const BenchmarkSpec &Spec,
                                       const CostModel &Costs) {
   if (std::shared_ptr<const PreparedBenchmark> B =
@@ -74,45 +42,56 @@ PreparedBenchmark ppp::bench::prepareUncached(const BenchmarkSpec &Spec,
   B.IsFp = Spec.IsFp;
   B.Costs = Costs;
   B.Original = buildCalibrated(Spec);
-
-  CleanProfile Orig = profileClean(B.Original);
-  B.EPOrig = std::move(Orig.EP);
-  B.OracleOrig = std::move(Orig.Oracle);
-  B.CostOrig = Orig.Res.Cost;
-
-  // Sec. 7.3: edge-profile-guided inlining and unrolling first.
   B.Expanded = B.Original;
-  if (Spec.AllowInlining)
-    B.Inline = runInliner(B.Expanded, B.EPOrig);
-  else {
-    // Still count dynamic calls for the "% calls inlined" column.
-    Module Tmp = B.Expanded;
-    InlinerOptions IO;
-    IO.MaxSites = 0;
-    B.Inline = runInliner(Tmp, B.EPOrig, IO);
+
+  // Steps 2-4 as a pass pipeline (Sec. 7.3 expansion between clean
+  // profiling runs). The default spec reproduces the historical
+  // hard-coded sequence exactly; PPP_PIPELINE substitutes another.
+  std::string SpecStr = activePreparePipelineSpec();
+  ModulePassManager MPM;
+  std::string Error;
+  if (!parsePipeline(SpecStr, MPM, Error)) {
+    fprintf(stderr, "error: PPP_PIPELINE: %s\n", Error.c_str());
+    exit(1);
   }
-  // Unrolling decisions read a profile of the module they transform.
-  CleanProfile Mid = profileClean(B.Expanded);
-  B.Unroll = runUnroller(B.Expanded, Mid.EP);
-  if (std::string E = verifyModule(B.Expanded); !E.empty()) {
-    fprintf(stderr, "error: expanded %s: %s\n", B.Name.c_str(), E.c_str());
+  PassContext Ctx;
+  Ctx.BenchCosts = Costs;
+  Ctx.AllowInlining = Spec.AllowInlining;
+  FunctionAnalysisManager FAM(B.Expanded);
+  if (!MPM.run(B.Expanded, FAM, Ctx)) {
+    fprintf(stderr, "error: %s\n", Ctx.Error.c_str());
+    exit(1);
+  }
+  if (Ctx.Profiles.empty()) {
+    fprintf(stderr, "error: pipeline '%s' collected no profile\n",
+            SpecStr.c_str());
     exit(1);
   }
 
-  // Self advice on the expanded code (under the chosen cost model).
-  CleanProfile Exp = profileClean(B.Expanded, B.Costs);
-  B.EP = std::move(Exp.EP);
-  B.Oracle = std::move(Exp.Oracle);
-  B.CostBase = Exp.Res.Cost;
-  B.DynInstrs = Exp.Res.DynInstrs;
+  // First snapshot: the original code (B.Expanded was still identical
+  // to B.Original when the first profile pass ran). Last snapshot: the
+  // expanded code's self advice under the chosen cost model.
+  const ProfileSnapshot &First = Ctx.Profiles.front();
+  B.EPOrig = First.EP;
+  B.OracleOrig = First.Oracle;
+  B.CostOrig = First.Cost;
+  ProfileSnapshot &Last = Ctx.Profiles.back();
+  B.Inline = Ctx.Inline;
+  B.Unroll = Ctx.Unroll;
+  B.CostBase = Last.Cost;
+  B.DynInstrs = Last.DynInstrs;
+  B.EP = std::move(Last.EP);
+  B.Oracle = std::move(Last.Oracle);
   return B;
 }
 
 ProfilerOutcome ppp::bench::runProfiler(const PreparedBenchmark &B,
-                                        const ProfilerOptions &Opts) {
+                                        const ProfilerOptions &Opts,
+                                        FunctionAnalysisManager *FAM) {
   ProfilerOutcome Out;
   Out.IR = std::make_unique<InstrumentationResult>(
-      instrumentModule(B.Expanded, B.EP, Opts));
+      FAM ? instrumentModule(B.Expanded, B.EP, Opts, *FAM)
+          : instrumentModule(B.Expanded, B.EP, Opts));
 
   ProfileRuntime RT = Out.IR->makeRuntime();
   InterpOptions IO;

@@ -33,6 +33,9 @@
 #include <vector>
 
 namespace ppp {
+
+class FunctionAnalysisManager;
+
 namespace bench {
 
 /// A benchmark after generation, expansion, and clean profiling.
@@ -62,7 +65,10 @@ struct PreparedBenchmark {
 };
 
 /// Runs steps 1-4 for one suite entry. \p Costs selects the cost model
-/// (default: the standard model).
+/// (default: the standard model). Steps 2-4 run as a pass pipeline
+/// (pass/Pipeline.h): the default spec mirrors the sequence above, and
+/// PPP_PIPELINE substitutes a different preparation recipe without
+/// recompiling (the cache keys on the spec, so variants never collide).
 ///
 /// Cache-aware: consults the preparation cache (bench/PrepCache.h) --
 /// in-memory first, then the on-disk cache under PPP_CACHE_DIR -- and
@@ -89,9 +95,13 @@ struct ProfilerOutcome {
   bool AnyInstrumented = false;
 };
 
-/// Runs step 5 for one profiler configuration.
+/// Runs step 5 for one profiler configuration. \p FAM, when given, must
+/// be bound to B.Expanded; instrumentation then shares its cached
+/// analyses, so an experiment running several profilers over one
+/// prepared benchmark computes the per-function analyses once.
 ProfilerOutcome runProfiler(const PreparedBenchmark &B,
-                            const ProfilerOptions &Opts);
+                            const ProfilerOptions &Opts,
+                            FunctionAnalysisManager *FAM = nullptr);
 
 /// Accuracy and coverage of the plain edge profile (the "edge
 /// profiling" bars of Figures 9 and 10).

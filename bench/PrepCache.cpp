@@ -124,11 +124,13 @@ std::string ppp::bench::prepCacheEntryPath(uint64_t KeyHash) {
 
 std::string ppp::bench::prepCacheKeyString(const BenchmarkSpec &Spec,
                                            const CostModel &Costs,
-                                           uint32_t PipelineVersion) {
+                                           uint32_t PipelineVersion,
+                                           const std::string &PipelineSpec) {
   const WorkloadParams &P = Spec.Params;
   std::string K;
   K += formatString("ppp-prep pipeline %u format %u\n", PipelineVersion,
                     BinaryFormatVersion);
+  K += formatString("pipeline-spec %s\n", PipelineSpec.c_str());
   K += formatString("bench %s fp %d inline %d target %llu\n",
                     Spec.Name.c_str(), Spec.IsFp ? 1 : 0,
                     Spec.AllowInlining ? 1 : 0,

@@ -18,8 +18,9 @@
 ///
 /// Entries are content-addressed: the file name is a 64-bit FNV-1a hash
 /// of a canonical key string covering the benchmark name, every
-/// workload-generator field, the pipeline flags, every cost-model
-/// weight, the binary format version, and PrepPipelineVersion. Any
+/// workload-generator field, the pipeline flags, the preparation
+/// pipeline spec (pass/Pipeline.h), every cost-model weight, the
+/// binary format version, and PrepPipelineVersion. Any
 /// field change is a different key, so stale entries are simply never
 /// found; the full key string is stored in the entry and compared on
 /// read, so a (vanishingly unlikely) hash collision reads as a miss,
@@ -39,6 +40,8 @@
 
 #include "Harness.h"
 
+#include "pass/Pipeline.h"
+
 #include <memory>
 #include <string>
 
@@ -51,14 +54,20 @@ namespace bench {
 /// so a semantic change without a bump would serve stale results to the
 /// new code. Tests and the binary format version guard the encoding;
 /// this constant guards the meaning.
-inline constexpr uint32_t PrepPipelineVersion = 1;
+///
+/// Version history: 1 = hard-coded prepare() sequence; 2 = spec-driven
+/// pass pipeline (the spec itself joined the key).
+inline constexpr uint32_t PrepPipelineVersion = 2;
 
-/// The canonical cache key text for (\p Spec, \p Costs). Exposed (with
-/// the version as a parameter) so tests can pin that every field and
-/// the version participate in the key.
-std::string prepCacheKeyString(const BenchmarkSpec &Spec,
-                               const CostModel &Costs,
-                               uint32_t PipelineVersion = PrepPipelineVersion);
+/// The canonical cache key text for (\p Spec, \p Costs) prepared under
+/// \p PipelineSpec (default: the active preparation pipeline, so
+/// PPP_PIPELINE variants address distinct entries). Exposed (with the
+/// version and spec as parameters) so tests can pin that every field,
+/// the version, and the spec participate in the key.
+std::string
+prepCacheKeyString(const BenchmarkSpec &Spec, const CostModel &Costs,
+                   uint32_t PipelineVersion = PrepPipelineVersion,
+                   const std::string &PipelineSpec = activePreparePipelineSpec());
 
 /// 64-bit content address of a key string (the cache file name).
 uint64_t prepCacheKeyHash(const std::string &KeyString);

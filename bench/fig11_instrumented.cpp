@@ -9,6 +9,8 @@
 
 #include "Harness.h"
 
+#include "pass/AnalysisManager.h"
+
 #include <cstdio>
 
 using namespace ppp;
@@ -32,11 +34,12 @@ int ppp::bench::runFig11Instrumented() {
   std::vector<Row> Rows =
       runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
         PreparedBenchmark B = prepare(Spec);
+        FunctionAnalysisManager FAM(B.Expanded, &B.EP);
         Row R{B.Name, {}};
         for (const ProfilerOptions &Opts :
              {ProfilerOptions::pp(), ProfilerOptions::tpp(),
               ProfilerOptions::ppp()}) {
-          ProfilerOutcome Out = runProfiler(B, Opts);
+          ProfilerOutcome Out = runProfiler(B, Opts, &FAM);
           R.Vals.push_back(100.0 * Out.Frac.Total);
           R.Vals.push_back(100.0 * Out.Frac.Hashed);
         }

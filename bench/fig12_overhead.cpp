@@ -10,6 +10,8 @@
 
 #include "Harness.h"
 
+#include "pass/AnalysisManager.h"
+
 #include <cstdio>
 
 using namespace ppp;
@@ -30,12 +32,13 @@ void runTable(const char *Title, const CostModel &Costs) {
   std::vector<Row> Rows =
       runSuiteParallel(spec2000Suite(), [&](const BenchmarkSpec &Spec) {
         PreparedBenchmark B = prepare(Spec, Costs);
+        FunctionAnalysisManager FAM(B.Expanded, &B.EP);
         Row R{B.Name, B.IsFp, {}};
         int I = 0;
         for (const ProfilerOptions &Opts :
              {ProfilerOptions::pp(), ProfilerOptions::tpp(),
               ProfilerOptions::ppp()})
-          R.Vals[I++] = runProfiler(B, Opts).OverheadPct;
+          R.Vals[I++] = runProfiler(B, Opts, &FAM).OverheadPct;
         return R;
       });
 

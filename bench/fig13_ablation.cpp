@@ -19,33 +19,14 @@
 
 #include "Harness.h"
 
+#include "pass/AnalysisManager.h"
+#include "pass/Pipeline.h"
+
 #include <cstdio>
+#include <string>
 
 using namespace ppp;
 using namespace ppp::bench;
-
-namespace {
-
-ProfilerOptions without(const char *Technique) {
-  ProfilerOptions O = ProfilerOptions::ppp();
-  std::string T = Technique;
-  O.Name = "ppp-" + T;
-  if (T == "sac") {
-    O.SelfAdjust = false;
-    O.GlobalColdCriterion = false;
-  } else if (T == "fp") {
-    O.ColdOnlyToAvoidHash = true;
-  } else if (T == "push") {
-    O.Push = PushMode::Blocked;
-  } else if (T == "spn") {
-    O.SmartNumbering = false;
-  } else if (T == "lc") {
-    O.LowCoverageGate = false;
-  }
-  return O;
-}
-
-} // namespace
 
 int ppp::bench::runFig13Ablation() {
   printf("Figure 13: PPP leave-one-out, overhead percent (and overhead "
@@ -55,7 +36,11 @@ int ppp::bench::runFig13Ablation() {
   printHeader("bench", {"tpp", "ppp", "-SAC", "-FP", "-Push", "-SPN",
                         "-LC"});
 
-  const char *Techniques[5] = {"sac", "fp", "push", "spn", "lc"};
+  // Leave-one-out as profiler specs (pass/Pipeline.h grammar):
+  // "ppp;-sac" is full PPP with the self-adjusting cold criterion
+  // disabled, and so on.
+  const char *Variants[5] = {"ppp;-sac", "ppp;-fp", "ppp;-push",
+                             "ppp;-spn", "ppp;-lc"};
 
   struct Row {
     std::string Name;
@@ -65,15 +50,17 @@ int ppp::bench::runFig13Ablation() {
   std::vector<Row> Rows =
       runSuiteParallel(spec2000Suite(), [&](const BenchmarkSpec &Spec) {
         PreparedBenchmark B = prepare(Spec);
-        ProfilerOutcome Tpp = runProfiler(B, ProfilerOptions::tpp());
-        ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
+        FunctionAnalysisManager FAM(B.Expanded, &B.EP);
+        ProfilerOutcome Tpp = runProfiler(B, ProfilerOptions::tpp(), &FAM);
+        ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp(), &FAM);
         Row R{B.Name, false, {}};
         if (Tpp.OverheadPct - Ppp.OverheadPct <= 5.0)
           return R; // The paper plots only significant-improvement cases.
         R.Shown = true;
         R.Vals = {Tpp.OverheadPct, Ppp.OverheadPct};
-        for (const char *T : Techniques)
-          R.Vals.push_back(runProfiler(B, without(T)).OverheadPct);
+        for (const char *V : Variants)
+          R.Vals.push_back(
+              runProfiler(B, mustParseProfilerSpec(V), &FAM).OverheadPct);
         return R;
       });
 

@@ -13,6 +13,8 @@
 
 #include "Harness.h"
 
+#include "pass/AnalysisManager.h"
+
 #include <cstdio>
 
 using namespace ppp;
@@ -34,11 +36,13 @@ int ppp::bench::runFig13bPoisoning() {
   std::vector<Row> Rows =
       runSuiteParallel(spec2000Suite(), [&](const BenchmarkSpec &Spec) {
         PreparedBenchmark B = prepare(Spec);
+        FunctionAnalysisManager FAM(B.Expanded, &B.EP);
         Row R{B.Name, {}};
-        R.Vals[0] = runProfiler(B, ProfilerOptions::tpp()).OverheadPct;
-        R.Vals[1] = runProfiler(B, ProfilerOptions::tppChecked()).OverheadPct;
-        R.Vals[2] = runProfiler(B, ProfilerOptions::ppp()).OverheadPct;
-        R.Vals[3] = runProfiler(B, PppChecked).OverheadPct;
+        R.Vals[0] = runProfiler(B, ProfilerOptions::tpp(), &FAM).OverheadPct;
+        R.Vals[1] =
+            runProfiler(B, ProfilerOptions::tppChecked(), &FAM).OverheadPct;
+        R.Vals[2] = runProfiler(B, ProfilerOptions::ppp(), &FAM).OverheadPct;
+        R.Vals[3] = runProfiler(B, PppChecked, &FAM).OverheadPct;
         return R;
       });
 

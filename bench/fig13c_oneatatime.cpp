@@ -13,36 +13,14 @@
 
 #include "Harness.h"
 
+#include "pass/AnalysisManager.h"
+#include "pass/Pipeline.h"
+
 #include <cstdio>
 #include <string>
 
 using namespace ppp;
 using namespace ppp::bench;
-
-namespace {
-
-ProfilerOptions with(const char *Technique) {
-  ProfilerOptions O = ProfilerOptions::tpp();
-  std::string T = Technique;
-  O.Name = "tpp+" + T;
-  if (T == "sac") {
-    O.GlobalColdCriterion = true;
-    O.SelfAdjust = true;
-    O.ColdOnlyToAvoidHash = false; // The global criterion needs teeth.
-  } else if (T == "fp") {
-    // Free poisoning without the hash gate: remove cold edges anywhere.
-    O.ColdOnlyToAvoidHash = false;
-  } else if (T == "push") {
-    O.Push = PushMode::IgnoreCold;
-  } else if (T == "spn") {
-    O.SmartNumbering = true;
-  } else if (T == "lc") {
-    O.LowCoverageGate = true;
-  }
-  return O;
-}
-
-} // namespace
 
 int ppp::bench::runFig13cOneAtATime() {
   printf("One-at-a-time (Sec. 8.3): TPP plus exactly one PPP "
@@ -50,7 +28,12 @@ int ppp::bench::runFig13cOneAtATime() {
   printHeader("bench", {"tpp", "+SAC", "+FP", "+Push", "+SPN", "+LC",
                         "ppp"});
 
-  const char *Techniques[5] = {"sac", "fp", "push", "spn", "lc"};
+  // One-at-a-time as profiler specs (pass/Pipeline.h grammar):
+  // "tpp;+sac" is bare TPP plus only the self-adjusting cold criterion,
+  // and so on. Enabling sac or fp also lifts TPP's hash-avoidance gate
+  // (ColdOnlyToAvoidHash), so the added criterion has teeth.
+  const char *Variants[5] = {"tpp;+sac", "tpp;+fp", "tpp;+push",
+                             "tpp;+spn", "tpp;+lc"};
 
   struct Row {
     std::string Name;
@@ -59,11 +42,15 @@ int ppp::bench::runFig13cOneAtATime() {
   std::vector<Row> Rows =
       runSuiteParallel(spec2000Suite(), [&](const BenchmarkSpec &Spec) {
         PreparedBenchmark B = prepare(Spec);
+        FunctionAnalysisManager FAM(B.Expanded, &B.EP);
         Row R{B.Name, {}};
-        R.Vals.push_back(runProfiler(B, ProfilerOptions::tpp()).OverheadPct);
-        for (const char *T : Techniques)
-          R.Vals.push_back(runProfiler(B, with(T)).OverheadPct);
-        R.Vals.push_back(runProfiler(B, ProfilerOptions::ppp()).OverheadPct);
+        R.Vals.push_back(
+            runProfiler(B, ProfilerOptions::tpp(), &FAM).OverheadPct);
+        for (const char *V : Variants)
+          R.Vals.push_back(
+              runProfiler(B, mustParseProfilerSpec(V), &FAM).OverheadPct);
+        R.Vals.push_back(
+            runProfiler(B, ProfilerOptions::ppp(), &FAM).OverheadPct);
         return R;
       });
 

@@ -10,6 +10,8 @@
 
 #include "Harness.h"
 
+#include "pass/AnalysisManager.h"
+
 #include <cstdio>
 
 using namespace ppp;
@@ -32,9 +34,10 @@ int ppp::bench::runFig9Accuracy() {
   std::vector<Row> Rows =
       runSuiteParallel(spec2000Suite(), [](const BenchmarkSpec &Spec) {
         PreparedBenchmark B = prepare(Spec);
+        FunctionAnalysisManager FAM(B.Expanded, &B.EP);
         EdgeProfilingOutcome Edge = evaluateEdgeProfiling(B);
-        ProfilerOutcome Tpp = runProfiler(B, ProfilerOptions::tpp());
-        ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp());
+        ProfilerOutcome Tpp = runProfiler(B, ProfilerOptions::tpp(), &FAM);
+        ProfilerOutcome Ppp = runProfiler(B, ProfilerOptions::ppp(), &FAM);
         return Row{B.Name,
                    {100.0 * Edge.Acc.Accuracy, 100.0 * Tpp.Acc.Accuracy,
                     100.0 * Ppp.Acc.Accuracy}};

@@ -92,6 +92,10 @@ static std::vector<BlockId> collectLoopBody(const CfgView &Cfg,
 }
 
 LoopInfo LoopInfo::compute(const CfgView &Cfg) {
+  return compute(Cfg, nullptr);
+}
+
+LoopInfo LoopInfo::compute(const CfgView &Cfg, const Dominators *Doms) {
   LoopInfo LI;
   unsigned N = Cfg.numBlocks();
   LI.IsBackEdge.assign(Cfg.numEdges(), false);
@@ -103,7 +107,14 @@ LoopInfo LoopInfo::compute(const CfgView &Cfg) {
   if (LI.BackEdgeIds.empty())
     return LI;
 
-  Dominators Dom = Dominators::compute(Cfg);
+  // A caller-provided tree (e.g. the analysis manager's cached one)
+  // saves recomputation; otherwise build our own.
+  Dominators Owned;
+  if (!Doms) {
+    Owned = Dominators::compute(Cfg);
+    Doms = &Owned;
+  }
+  const Dominators &Dom = *Doms;
 
   // Group back edges by header.
   std::map<BlockId, std::vector<int>> ByHeader;

@@ -21,6 +21,8 @@
 
 namespace ppp {
 
+class Dominators;
+
 /// One natural loop (all back edges with the same header).
 struct Loop {
   BlockId Header = -1;
@@ -41,6 +43,12 @@ struct Loop {
 class LoopInfo {
 public:
   static LoopInfo compute(const CfgView &Cfg);
+
+  /// As above, but reuses \p Doms (which must describe \p Cfg) instead
+  /// of computing a dominator tree internally. Pass nullptr to fall
+  /// back to lazy computation -- loop-free functions never build one
+  /// either way, so callers should only pass a tree they already have.
+  static LoopInfo compute(const CfgView &Cfg, const Dominators *Doms);
 
   const std::vector<Loop> &loops() const { return Loops; }
 

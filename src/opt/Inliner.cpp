@@ -306,6 +306,7 @@ InlineStats ppp::runInliner(Module &M, const EdgeProfile &EP,
     CurrentSize += Growth;
     ++Stats.SitesInlined;
     Stats.DynCallsInlined += S.Freq;
+    Stats.ModifiedFunctions.insert(S.Caller);
   }
 
   // Clear the site stamps (Imm is meaningless for calls otherwise).

@@ -18,6 +18,8 @@
 #include "ir/Module.h"
 #include "profile/EdgeProfile.h"
 
+#include <set>
+
 namespace ppp {
 
 struct InlinerOptions {
@@ -31,6 +33,9 @@ struct InlineStats {
   unsigned SitesConsidered = 0;
   int64_t DynCallsInlined = 0; ///< Dynamic calls removed (profile).
   int64_t DynCallsTotal = 0;   ///< All dynamic calls (profile).
+  /// Callers that received at least one inlined body -- the functions a
+  /// pass manager must invalidate. Not persisted by the prep cache.
+  std::set<FuncId> ModifiedFunctions;
 
   double dynFractionInlined() const {
     return DynCallsTotal == 0 ? 0.0

@@ -124,6 +124,7 @@ UnrollStats ppp::runUnroller(Module &M, const EdgeProfile &EP,
     for (const Plan &P : Plans) {
       unrollLoop(F, *P.L, P.BackEdgeId, Cfg, P.Factor);
       ++Stats.LoopsUnrolled;
+      Stats.ModifiedFunctions.insert(static_cast<FuncId>(FI));
     }
   }
   return Stats;

@@ -19,6 +19,8 @@
 #include "ir/Module.h"
 #include "profile/EdgeProfile.h"
 
+#include <set>
+
 namespace ppp {
 
 struct UnrollerOptions {
@@ -40,6 +42,10 @@ struct UnrollStats {
 
   double WeightedFactor = 0;
   int64_t WeightTotal = 0;
+
+  /// Functions with at least one unrolled loop -- the functions a pass
+  /// manager must invalidate. Not persisted by the prep cache.
+  std::set<FuncId> ModifiedFunctions;
 };
 
 /// Unrolls qualifying loops of \p M in place. \p EP must profile \p M in

@@ -1,0 +1,169 @@
+//===- pass/AnalysisManager.cpp - Per-function analysis cache ----------------===//
+
+#include "pass/AnalysisManager.h"
+
+#include "flow/FlowAnalysis.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ppp;
+
+const char *ppp::analysisKindName(AnalysisKind K) {
+  switch (K) {
+  case AnalysisKind::Cfg:
+    return "cfg";
+  case AnalysisKind::Doms:
+    return "doms";
+  case AnalysisKind::Loops:
+    return "loops";
+  case AnalysisKind::Static:
+    return "static-profile";
+  case AnalysisKind::ProfiledDag:
+    return "profiled-dag";
+  }
+  return "?";
+}
+
+FunctionAnalysisManager::FunctionAnalysisManager(const Module &M,
+                                                 const EdgeProfile *Advice)
+    : M(&M), Advice(Advice), Entries(M.numFunctions()) {}
+
+FunctionAnalysisManager::FunctionEntry &
+FunctionAnalysisManager::entry(FuncId F) {
+  return Entries[static_cast<size_t>(F)];
+}
+
+void FunctionAnalysisManager::count(AnalysisKind K, bool Hit) {
+  AnalysisStats &S = Stats[static_cast<size_t>(K)];
+  if (Hit)
+    ++S.CacheHits;
+  else
+    ++S.Computed;
+}
+
+std::shared_ptr<const CfgView> FunctionAnalysisManager::cfg(FuncId F) {
+  FunctionEntry &E = entry(F);
+  if (E.Cfg) {
+    count(AnalysisKind::Cfg, true);
+    return E.Cfg;
+  }
+  E.Cfg = std::make_shared<const CfgView>(M->function(F));
+  count(AnalysisKind::Cfg, false);
+  return E.Cfg;
+}
+
+std::shared_ptr<const Dominators> FunctionAnalysisManager::dominators(FuncId F) {
+  FunctionEntry &E = entry(F);
+  if (E.Doms) {
+    count(AnalysisKind::Doms, true);
+    return E.Doms;
+  }
+  std::shared_ptr<const CfgView> Cfg = cfg(F);
+  E.Doms = std::make_shared<const Dominators>(Dominators::compute(*Cfg));
+  count(AnalysisKind::Doms, false);
+  return E.Doms;
+}
+
+std::shared_ptr<const LoopInfo> FunctionAnalysisManager::loops(FuncId F) {
+  FunctionEntry &E = entry(F);
+  if (E.Loops) {
+    count(AnalysisKind::Loops, true);
+    return E.Loops;
+  }
+  std::shared_ptr<const CfgView> Cfg = cfg(F);
+  // Hand over the dominator tree only when it is already cached:
+  // loop-free functions never need one, and LoopInfo computes it lazily
+  // for itself otherwise.
+  E.Loops =
+      std::make_shared<const LoopInfo>(LoopInfo::compute(*Cfg, E.Doms.get()));
+  count(AnalysisKind::Loops, false);
+  return E.Loops;
+}
+
+std::shared_ptr<const StaticProfile>
+FunctionAnalysisManager::staticProfile(FuncId F) {
+  FunctionEntry &E = entry(F);
+  if (E.Static) {
+    count(AnalysisKind::Static, true);
+    return E.Static;
+  }
+  std::shared_ptr<const CfgView> Cfg = cfg(F);
+  std::shared_ptr<const LoopInfo> LI = loops(F);
+  E.Static = std::make_shared<const StaticProfile>(
+      estimateStaticProfile(*Cfg, *LI));
+  count(AnalysisKind::Static, false);
+  return E.Static;
+}
+
+std::shared_ptr<const ProfiledDag>
+FunctionAnalysisManager::profiledDag(FuncId F) {
+  FunctionEntry &E = entry(F);
+  if (E.Dag) {
+    count(AnalysisKind::ProfiledDag, true);
+    return E.Dag;
+  }
+  if (!Advice) {
+    fprintf(stderr, "error: FunctionAnalysisManager: profiled-dag analysis "
+                    "requested with no advice edge profile bound\n");
+    abort();
+  }
+  std::shared_ptr<const CfgView> Cfg = cfg(F);
+  std::shared_ptr<const LoopInfo> LI = loops(F);
+  const FunctionEdgeProfile &FP = Advice->func(F);
+
+  auto D = std::make_shared<ProfiledDag>();
+  D->Cfg = Cfg;
+  D->Dag = BLDag::build(*Cfg, *LI);
+  std::vector<int64_t> CfgFreq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+  D->Dag.setFrequencies(CfgFreq, FP.Invocations);
+  D->Num = assignPathNumbers(D->Dag, NumberingOrder::BallLarus);
+
+  FlowResult DF = computeDefiniteFlow(D->Dag);
+  int64_t ActualFlow = 0;
+  for (const DagEdge &DE : D->Dag.edges())
+    if (DE.IsBranch)
+      ActualFlow += DE.Freq;
+  D->BranchCoverage =
+      ActualFlow == 0
+          ? 1.0
+          : static_cast<double>(
+                DF.totalFlowAtEntry(D->Dag, FlowMetric::Branch)) /
+                static_cast<double>(ActualFlow);
+
+  E.Dag = D;
+  count(AnalysisKind::ProfiledDag, false);
+  return E.Dag;
+}
+
+void FunctionAnalysisManager::setAdvice(const EdgeProfile *EP) {
+  if (EP == Advice)
+    return; // Same profile object: everything derived from it stands.
+  Advice = EP;
+  for (FunctionEntry &E : Entries)
+    if (E.Dag) {
+      E.Dag.reset();
+      ++Invalidations;
+    }
+}
+
+void FunctionAnalysisManager::invalidate(FuncId F) {
+  FunctionEntry &E = entry(F);
+  if (E.Cfg || E.Doms || E.Loops || E.Static || E.Dag)
+    ++Invalidations;
+  E = FunctionEntry();
+}
+
+void FunctionAnalysisManager::invalidateAll() {
+  for (unsigned FI = 0; FI < M->numFunctions(); ++FI)
+    invalidate(static_cast<FuncId>(FI));
+}
+
+AnalysisStats FunctionAnalysisManager::totals() const {
+  AnalysisStats T;
+  for (const AnalysisStats &S : Stats) {
+    T.Computed += S.Computed;
+    T.CacheHits += S.CacheHits;
+  }
+  return T;
+}

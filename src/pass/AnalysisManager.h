@@ -1,0 +1,135 @@
+//===- pass/AnalysisManager.h - Per-function analysis cache ----*- C++ -*-===//
+///
+/// \file
+/// The FunctionAnalysisManager computes-and-caches the per-function
+/// analyses every stage of the system consumes -- CfgView, Dominators,
+/// LoopInfo, StaticProfile, and the profile-annotated full Ball-Larus
+/// DAG -- with explicit invalidation. Transform passes report which
+/// functions they modified (pass/Pass.h's PreservedAnalyses); unchanged
+/// functions keep their cached analyses, so running the four profiler
+/// presets over one prepared module computes each shared analysis once
+/// instead of once per preset.
+///
+/// Results are handed out as shared_ptr<const T>: a consumer (e.g. a
+/// FunctionPlan that must outlive the manager) keeps its analysis alive
+/// even after invalidation discards the cache slot. Dependent analyses
+/// hold their prerequisites the same way, so a cached BLDag can never
+/// outlive the CfgView it points into.
+///
+/// The manager is deliberately NOT thread-safe: one manager serves one
+/// benchmark pipeline on one thread (the experiment drivers parallelize
+/// across benchmarks, never within one).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PASS_ANALYSISMANAGER_H
+#define PPP_PASS_ANALYSISMANAGER_H
+
+#include "analysis/BLDag.h"
+#include "analysis/CfgView.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/StaticProfile.h"
+#include "ir/Module.h"
+#include "pathprof/Numbering.h"
+#include "profile/EdgeProfile.h"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ppp {
+
+/// The analyses the manager knows how to compute.
+enum class AnalysisKind : unsigned {
+  Cfg,         ///< CfgView (edge enumeration / adjacency).
+  Doms,        ///< Dominators.
+  Loops,       ///< LoopInfo (reuses cached Dominators when present).
+  Static,      ///< StaticProfile (heuristic frequencies).
+  ProfiledDag, ///< Full BLDag + numbering + coverage, from the advice EP.
+};
+inline constexpr unsigned NumAnalysisKinds = 5;
+
+const char *analysisKindName(AnalysisKind K);
+
+/// The full (no cold edges, no disconnections) Ball-Larus DAG of one
+/// function, annotated with the advice edge profile: frequencies set,
+/// Ball-Larus path numbers assigned, plus the facts the instrumentation
+/// pipeline reads off it -- the full path count (TPP's hash gate) and
+/// the definite-flow branch coverage of the edge profile (PPP's
+/// low-coverage routine gate, Sec. 4.1). Identical for every profiler
+/// preset over one (module, advice) pair, which is what makes it worth
+/// caching.
+struct ProfiledDag {
+  BLDag Dag;
+  NumberingResult Num;
+  double BranchCoverage = 0.0; ///< DF/F of the advice profile.
+  /// Keep-alive: Dag points into this view.
+  std::shared_ptr<const CfgView> Cfg;
+};
+
+/// Computed-vs-cached counters, per analysis kind and in aggregate.
+struct AnalysisStats {
+  uint64_t Computed = 0;
+  uint64_t CacheHits = 0;
+};
+
+class FunctionAnalysisManager {
+public:
+  /// Binds the manager to \p M (which must outlive it). \p Advice is
+  /// the edge profile the ProfiledDag analysis is computed from; it may
+  /// be null until setAdvice() provides one.
+  explicit FunctionAnalysisManager(const Module &M,
+                                   const EdgeProfile *Advice = nullptr);
+
+  const Module &module() const { return *M; }
+
+  std::shared_ptr<const CfgView> cfg(FuncId F);
+  std::shared_ptr<const Dominators> dominators(FuncId F);
+  std::shared_ptr<const LoopInfo> loops(FuncId F);
+  std::shared_ptr<const StaticProfile> staticProfile(FuncId F);
+  /// Requires advice; aborts with a diagnostic if none is bound.
+  std::shared_ptr<const ProfiledDag> profiledDag(FuncId F);
+
+  /// Rebinds the advice profile. A different profile invalidates every
+  /// cached ProfiledDag (the only advice-dependent analysis); rebinding
+  /// the same object is a no-op, so repeated instrumentation runs over
+  /// one prepared benchmark share the cache.
+  void setAdvice(const EdgeProfile *EP);
+  const EdgeProfile *advice() const { return Advice; }
+
+  /// Drops every cached analysis of \p F (a transform changed it).
+  void invalidate(FuncId F);
+  /// Drops everything (module-wide structural change).
+  void invalidateAll();
+
+  const AnalysisStats &stats(AnalysisKind K) const {
+    return Stats[static_cast<size_t>(K)];
+  }
+  /// Aggregate over all kinds.
+  AnalysisStats totals() const;
+  uint64_t invalidations() const { return Invalidations; }
+
+private:
+  struct FunctionEntry {
+    std::shared_ptr<const CfgView> Cfg;
+    std::shared_ptr<const Dominators> Doms;
+    std::shared_ptr<const LoopInfo> Loops;
+    std::shared_ptr<const StaticProfile> Static;
+    std::shared_ptr<const ProfiledDag> Dag;
+  };
+
+  FunctionEntry &entry(FuncId F);
+  void count(AnalysisKind K, bool Hit);
+
+  const Module *M;
+  const EdgeProfile *Advice;
+  std::vector<FunctionEntry> Entries;
+  std::array<AnalysisStats, NumAnalysisKinds> Stats{};
+  uint64_t Invalidations = 0;
+};
+
+} // namespace ppp
+
+#endif // PPP_PASS_ANALYSISMANAGER_H

@@ -1,0 +1,349 @@
+//===- pass/Instrument.cpp - Staged instrumentation pipeline ----------------===//
+///
+/// instrumentModule(), re-homed from pathprof/Profilers.cpp as five
+/// explicit stage passes over a nested pass manager:
+///
+///   instrument:gate   coverage gate (Sec. 4.1) from the cached
+///                     profile-annotated full DAG
+///   instrument:plan   cold edges, obvious loops, self-adjusting loop,
+///                     final DAG + path numbering (Secs. 3.2, 4.2-4.4)
+///   instrument:count  event counting (Sec. 4.5)
+///   instrument:place  placement, pushing, poisoning, table sizing
+///   instrument:lower  profiling ops lowered into the cloned module
+///
+/// The stages run over the instrumented *clone* while the analysis
+/// manager stays bound to the original module, so every analysis they
+/// pull (CFG, loops, static profile, profiled full DAG) is shared: with
+/// one manager serving several presets over one prepared module, the
+/// gate facts and CFG analyses are computed once, not once per preset.
+/// Each stage preserves all analyses -- nothing here mutates the
+/// analyzed module.
+///
+/// The decision logic is the original, verbatim: stdout of every
+/// experiment is byte-identical to the monolithic driver.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticProfile.h"
+#include "pass/AnalysisManager.h"
+#include "pass/Pass.h"
+#include "pass/PassManager.h"
+#include "pathprof/ColdEdges.h"
+#include "pathprof/EventCounting.h"
+#include "pathprof/Lowering.h"
+#include "pathprof/Obvious.h"
+#include "pathprof/Profilers.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ppp;
+
+namespace {
+
+/// Path count of the function under a tentative cold/disconnect set
+/// (order does not affect N).
+uint64_t countPaths(const CfgView &Cfg, const LoopInfo &LI,
+                    const std::set<int> &Colds, const std::set<int> &Disc,
+                    const std::vector<int64_t> &CfgFreq, int64_t Invocations,
+                    bool &Overflow) {
+  BLDag::BuildOptions BO;
+  BO.ColdCfgEdges = &Colds;
+  BO.DisconnectedBackEdges = &Disc;
+  BLDag Dag = BLDag::build(Cfg, LI, BO);
+  Dag.setFrequencies(CfgFreq, Invocations);
+  NumberingResult R = assignPathNumbers(Dag, NumberingOrder::BallLarus);
+  Overflow = R.Overflow;
+  return R.NumPaths;
+}
+
+/// Work-in-progress state of one function between stages.
+struct FuncScratch {
+  std::shared_ptr<const ProfiledDag> Full; ///< Advice-annotated full DAG.
+  std::unique_ptr<BLDag> Dag;              ///< Final (pruned) DAG.
+  NumberingResult Num;
+  PlacementResult Place;
+};
+
+/// State shared by the five stage passes of one instrumentModule() run.
+struct InstrumentState {
+  const ProfilerOptions *Opts = nullptr;
+  InstrumentationResult *Result = nullptr;
+  int64_t TotalUnitFlow = 0;
+  std::vector<FuncScratch> Funcs;
+};
+
+class InstrumentStagePass : public ModulePass {
+public:
+  explicit InstrumentStagePass(std::shared_ptr<InstrumentState> St)
+      : St(std::move(St)) {}
+
+protected:
+  std::shared_ptr<InstrumentState> St;
+};
+
+/// Per-function analyses + the Sec. 4.1 low-coverage routine gate.
+class GateStage : public InstrumentStagePass {
+public:
+  using InstrumentStagePass::InstrumentStagePass;
+  std::string name() const override { return "instrument:gate"; }
+
+  PreservedAnalyses run(Module &, FunctionAnalysisManager &FAM,
+                        PassContext &Ctx) override {
+    const ProfilerOptions &Opts = *St->Opts;
+    for (unsigned FI = 0; FI < FAM.module().numFunctions(); ++FI) {
+      FuncId F = static_cast<FuncId>(FI);
+      FunctionPlan &Plan = St->Result->Plans[FI];
+      Plan.Cfg = FAM.cfg(F);
+      Plan.Loops = FAM.loops(F);
+      St->Funcs[FI].Full = FAM.profiledDag(F);
+      Plan.EdgeCoverage = St->Funcs[FI].Full->BranchCoverage;
+      if (Opts.LowCoverageGate &&
+          Plan.EdgeCoverage >= Opts.CoverageThreshold) {
+        Plan.Skip = SkipReason::HighCoverage;
+        ++Ctx.FunctionsSkipped;
+      }
+    }
+    return PreservedAnalyses::all();
+  }
+};
+
+/// Cold edges, obvious loops, the self-adjusting loop, and the final
+/// numbered DAG.
+class PlanStage : public InstrumentStagePass {
+public:
+  using InstrumentStagePass::InstrumentStagePass;
+  std::string name() const override { return "instrument:plan"; }
+
+  PreservedAnalyses run(Module &, FunctionAnalysisManager &FAM,
+                        PassContext &Ctx) override {
+    const ProfilerOptions &Opts = *St->Opts;
+    const EdgeProfile &EP = *FAM.advice();
+    for (unsigned FI = 0; FI < FAM.module().numFunctions(); ++FI) {
+      FunctionPlan &Plan = St->Result->Plans[FI];
+      if (Plan.Skip != SkipReason::NotSkipped)
+        continue;
+      FuncScratch &Sc = St->Funcs[FI];
+      const FunctionEdgeProfile &FP = EP.func(static_cast<FuncId>(FI));
+      const CfgView &Cfg = *Plan.Cfg;
+      const LoopInfo &LI = *Plan.Loops;
+      const NumberingResult &FullNum = Sc.Full->Num;
+
+      std::vector<int64_t> CfgFreq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
+      int64_t Invocations = FP.Invocations;
+
+      ColdEdgeCriteria Criteria;
+      Criteria.UseLocal = Opts.LocalColdCriterion;
+      Criteria.LocalFraction = Opts.LocalColdFraction;
+      Criteria.UseGlobal = Opts.GlobalColdCriterion;
+      Criteria.GlobalFraction = Opts.GlobalColdFraction;
+
+      std::set<int> Colds, Disc;
+      std::unique_ptr<BLDag> Dag;
+      NumberingResult Num;
+      NumberingOrder Order = Opts.SmartNumbering
+                                 ? NumberingOrder::DecreasingFreq
+                                 : NumberingOrder::BallLarus;
+
+      unsigned MaxIters = Opts.SelfAdjust ? Opts.SelfAdjustMaxIters : 1;
+      for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
+        Colds = computeColdEdges(Cfg, FP, Criteria, St->TotalUnitFlow);
+        if (Opts.ColdOnlyToAvoidHash && !Colds.empty()) {
+          // TPP: poisoning costs, so eliminate cold paths only when
+          // doing so moves the routine from a hash table to an array.
+          bool Ovf2 = false;
+          uint64_t Full = FullNum.Overflow ? UINT64_MAX : FullNum.NumPaths;
+          std::set<int> NoDisc;
+          uint64_t WithColds =
+              countPaths(Cfg, LI, Colds, NoDisc, CfgFreq, Invocations, Ovf2);
+          bool Helps = Full > Opts.HashThreshold && !Ovf2 &&
+                       WithColds <= Opts.HashThreshold;
+          if (!Helps)
+            Colds.clear();
+        }
+        Disc.clear();
+        if (Opts.ObviousLoopDisconnect) {
+          ObviousLoops OL =
+              findObviousLoops(Cfg, LI, FP, Colds, Opts.ObviousLoopMinTrip);
+          Disc = OL.DisconnectBackEdges;
+          Colds.insert(OL.ColdEntryExitEdges.begin(),
+                       OL.ColdEntryExitEdges.end());
+        }
+        BLDag::BuildOptions BO;
+        BO.ColdCfgEdges = &Colds;
+        BO.DisconnectedBackEdges = &Disc;
+        Dag = std::make_unique<BLDag>(BLDag::build(Cfg, LI, BO));
+        Dag->setFrequencies(CfgFreq, Invocations);
+        Num = assignPathNumbers(*Dag, Order);
+        if (!Num.Overflow && Num.NumPaths <= Opts.HashThreshold)
+          break;
+        if (!Opts.SelfAdjust || !Opts.GlobalColdCriterion)
+          break;
+        Criteria.GlobalMultiplier *= Opts.SelfAdjustFactor;
+      }
+
+      Plan.ColdEdges = Colds;
+      Plan.DisconnectedBackEdges = Disc;
+      Plan.NumPaths = Num.NumPaths;
+
+      if (Num.Overflow) {
+        Plan.Skip = SkipReason::Overflow;
+        ++Ctx.FunctionsSkipped;
+        continue;
+      }
+      if (Num.NumPaths == 0) {
+        Plan.Skip = SkipReason::NoPaths;
+        ++Ctx.FunctionsSkipped;
+        continue;
+      }
+      if (Opts.SkipObviousRoutines && allPathsObvious(*Dag, Num)) {
+        Plan.Skip = SkipReason::AllObvious;
+        ++Ctx.FunctionsSkipped;
+        continue;
+      }
+
+      Sc.Dag = std::move(Dag);
+      Sc.Num = std::move(Num);
+    }
+    return PreservedAnalyses::all();
+  }
+};
+
+/// Event counting: profile-driven with smart numbering, static
+/// heuristics otherwise.
+class CountStage : public InstrumentStagePass {
+public:
+  using InstrumentStagePass::InstrumentStagePass;
+  std::string name() const override { return "instrument:count"; }
+
+  PreservedAnalyses run(Module &, FunctionAnalysisManager &FAM,
+                        PassContext &) override {
+    const ProfilerOptions &Opts = *St->Opts;
+    for (unsigned FI = 0; FI < FAM.module().numFunctions(); ++FI) {
+      FuncScratch &Sc = St->Funcs[FI];
+      if (!Sc.Dag)
+        continue;
+      if (Opts.SmartNumbering) {
+        runEventCounting(*Sc.Dag);
+      } else {
+        std::shared_ptr<const StaticProfile> SP =
+            FAM.staticProfile(static_cast<FuncId>(FI));
+        runEventCounting(
+            *Sc.Dag,
+            dagEdgeWeights(*Sc.Dag, SP->EdgeFreq, StaticProfile::Scale));
+      }
+    }
+    return PreservedAnalyses::all();
+  }
+};
+
+/// Placement, pushing, poisoning, and counter-table sizing.
+class PlaceStage : public InstrumentStagePass {
+public:
+  using InstrumentStagePass::InstrumentStagePass;
+  std::string name() const override { return "instrument:place"; }
+
+  PreservedAnalyses run(Module &, FunctionAnalysisManager &FAM,
+                        PassContext &) override {
+    const ProfilerOptions &Opts = *St->Opts;
+    for (unsigned FI = 0; FI < FAM.module().numFunctions(); ++FI) {
+      FuncScratch &Sc = St->Funcs[FI];
+      if (!Sc.Dag)
+        continue;
+      FunctionPlan &Plan = St->Result->Plans[FI];
+      Sc.Place = placeInstrumentation(*Sc.Dag, Sc.Num, Opts.Push, Opts.Poison);
+      Plan.StaticOps = Sc.Place.StaticOps;
+
+      bool UseHash = Sc.Num.NumPaths > Opts.HashThreshold;
+      // Checked poisoning keeps hot indices in [0, N) and sends
+      // poisoned ones (negative) to the cold counter, so N slots
+      // suffice.
+      int64_t ArrayNeed = Opts.Poison == PoisonStyle::Checked
+                              ? static_cast<int64_t>(Sc.Num.NumPaths)
+                              : Sc.Place.MaxIndex + 1;
+      // Defensive: if compensation could not bound the array tightly,
+      // hash instead of allocating a pathological array.
+      if (!UseHash &&
+          ArrayNeed > static_cast<int64_t>(16 * Sc.Num.NumPaths + 64))
+        UseHash = true;
+      Plan.TableKind =
+          UseHash ? PathTable::Kind::Hash : PathTable::Kind::Array;
+      Plan.ArraySize = UseHash ? 0 : std::max<int64_t>(ArrayNeed, 1);
+    }
+    return PreservedAnalyses::all();
+  }
+};
+
+/// Lowers the placed profiling ops into the cloned module and seals
+/// each plan.
+class LowerStage : public InstrumentStagePass {
+public:
+  using InstrumentStagePass::InstrumentStagePass;
+  std::string name() const override { return "instrument:lower"; }
+
+  PreservedAnalyses run(Module &Clone, FunctionAnalysisManager &FAM,
+                        PassContext &) override {
+    for (unsigned FI = 0; FI < FAM.module().numFunctions(); ++FI) {
+      FuncScratch &Sc = St->Funcs[FI];
+      if (!Sc.Dag)
+        continue;
+      FunctionPlan &Plan = St->Result->Plans[FI];
+      SiteOps Sites = finalizeSites(*Sc.Dag, Sc.Place);
+      lowerInstrumentation(Clone.function(static_cast<FuncId>(FI)), *Plan.Cfg,
+                           Sites);
+      Plan.Dag = std::move(Sc.Dag);
+      Plan.Numbering = std::move(Sc.Num);
+      Plan.buildEdgeIndex();
+      Plan.Instrumented = true;
+    }
+    // Only the clone changed; the analyzed module is untouched.
+    return PreservedAnalyses::all();
+  }
+};
+
+} // namespace
+
+InstrumentationResult ppp::instrumentModule(const Module &M,
+                                            const EdgeProfile &EP,
+                                            const ProfilerOptions &Opts,
+                                            FunctionAnalysisManager &FAM) {
+  assert(&M == &FAM.module() &&
+         "analysis manager bound to a different module");
+  if (std::string E = validateProfilerOptions(Opts); !E.empty()) {
+    fprintf(stderr, "error: invalid profiler options (%s): %s\n",
+            Opts.Name.c_str(), E.c_str());
+    exit(1);
+  }
+  FAM.setAdvice(&EP);
+
+  InstrumentationResult Result;
+  Result.Instrumented = M; // Deep copy; lowering rewrites it in place.
+  Result.Instrumented.Name = M.Name + "." + Opts.Name;
+  Result.Options = Opts;
+  Result.Plans.resize(M.numFunctions());
+
+  auto St = std::make_shared<InstrumentState>();
+  St->Opts = &Opts;
+  St->Result = &Result;
+  St->TotalUnitFlow = totalProgramUnitFlow(M, EP);
+  St->Funcs.resize(M.numFunctions());
+
+  ModulePassManager MPM;
+  MPM.addPass(std::make_unique<GateStage>(St));
+  MPM.addPass(std::make_unique<PlanStage>(St));
+  MPM.addPass(std::make_unique<CountStage>(St));
+  MPM.addPass(std::make_unique<PlaceStage>(St));
+  MPM.addPass(std::make_unique<LowerStage>(St));
+
+  PassContext Ctx;
+  MPM.run(Result.Instrumented, FAM, Ctx); // Stages never set Ctx.Error.
+  return Result;
+}
+
+InstrumentationResult ppp::instrumentModule(const Module &M,
+                                            const EdgeProfile &EP,
+                                            const ProfilerOptions &Opts) {
+  FunctionAnalysisManager FAM(M, &EP);
+  return instrumentModule(M, EP, Opts, FAM);
+}

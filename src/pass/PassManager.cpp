@@ -1,0 +1,172 @@
+//===- pass/PassManager.cpp - Module pass manager --------------------------===//
+
+#include "pass/PassManager.h"
+
+#include "ir/Verifier.h"
+#include "pass/AnalysisManager.h"
+#include "support/Format.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace ppp;
+
+//===----------------------------------------------------------------------===//
+// Process-wide pass statistics (PPP_PASS_STATS=1)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct PassStatRow {
+  std::string Name;
+  uint64_t Invocations = 0;
+  uint64_t WallNanos = 0;
+  uint64_t AnalysesComputed = 0;
+  uint64_t AnalysesCached = 0;
+  uint64_t FunctionsPreserved = 0;
+  uint64_t FunctionsSkipped = 0;
+};
+
+// The experiment drivers run benchmarks on worker threads, each with
+// its own pass manager; the registry is the one shared point.
+std::mutex StatsMutex;
+std::vector<PassStatRow> &statsRows() {
+  static std::vector<PassStatRow> Rows;
+  return Rows;
+}
+
+void printStatsTable() {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  const std::vector<PassStatRow> &Rows = statsRows();
+  if (Rows.empty())
+    return;
+  fprintf(stderr, "\n=== pass statistics (PPP_PASS_STATS) ===\n");
+  fprintf(stderr, "%-24s %8s %10s %10s %10s %10s %9s\n", "pass", "runs",
+          "wall-ms", "computed", "cached", "preserved", "skipped");
+  PassStatRow Total;
+  for (const PassStatRow &R : Rows) {
+    fprintf(stderr, "%-24s %8llu %10.2f %10llu %10llu %10llu %9llu\n",
+            R.Name.c_str(), static_cast<unsigned long long>(R.Invocations),
+            static_cast<double>(R.WallNanos) / 1e6,
+            static_cast<unsigned long long>(R.AnalysesComputed),
+            static_cast<unsigned long long>(R.AnalysesCached),
+            static_cast<unsigned long long>(R.FunctionsPreserved),
+            static_cast<unsigned long long>(R.FunctionsSkipped));
+    Total.Invocations += R.Invocations;
+    Total.WallNanos += R.WallNanos;
+    Total.AnalysesComputed += R.AnalysesComputed;
+    Total.AnalysesCached += R.AnalysesCached;
+    Total.FunctionsPreserved += R.FunctionsPreserved;
+    Total.FunctionsSkipped += R.FunctionsSkipped;
+  }
+  fprintf(stderr, "%-24s %8llu %10.2f %10llu %10llu %10llu %9llu\n", "total",
+          static_cast<unsigned long long>(Total.Invocations),
+          static_cast<double>(Total.WallNanos) / 1e6,
+          static_cast<unsigned long long>(Total.AnalysesComputed),
+          static_cast<unsigned long long>(Total.AnalysesCached),
+          static_cast<unsigned long long>(Total.FunctionsPreserved),
+          static_cast<unsigned long long>(Total.FunctionsSkipped));
+}
+
+} // namespace
+
+bool ppp::passStatsEnabled() {
+  static bool Enabled = [] {
+    const char *V = std::getenv("PPP_PASS_STATS");
+    return V && std::strcmp(V, "0") != 0 && *V != '\0';
+  }();
+  return Enabled;
+}
+
+void ppp::recordPassRun(const std::string &Name, uint64_t WallNanos,
+                        uint64_t AnalysesComputed, uint64_t AnalysesCached,
+                        uint64_t FunctionsPreserved,
+                        uint64_t FunctionsSkipped) {
+  if (!passStatsEnabled())
+    return;
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  std::vector<PassStatRow> &Rows = statsRows();
+  if (Rows.empty())
+    std::atexit(printStatsTable);
+  PassStatRow *Row = nullptr;
+  for (PassStatRow &R : Rows)
+    if (R.Name == Name) {
+      Row = &R;
+      break;
+    }
+  if (!Row) {
+    Rows.emplace_back();
+    Row = &Rows.back();
+    Row->Name = Name;
+  }
+  ++Row->Invocations;
+  Row->WallNanos += WallNanos;
+  Row->AnalysesComputed += AnalysesComputed;
+  Row->AnalysesCached += AnalysesCached;
+  Row->FunctionsPreserved += FunctionsPreserved;
+  Row->FunctionsSkipped += FunctionsSkipped;
+}
+
+//===----------------------------------------------------------------------===//
+// ModulePassManager
+//===----------------------------------------------------------------------===//
+
+std::string ModulePassManager::printPipeline() const {
+  std::string Out;
+  for (const std::unique_ptr<ModulePass> &P : Passes) {
+    if (!Out.empty())
+      Out += ",";
+    Out += P->name();
+  }
+  return Out;
+}
+
+bool ModulePassManager::run(Module &M, FunctionAnalysisManager &FAM,
+                            PassContext &Ctx) {
+  for (const std::unique_ptr<ModulePass> &P : Passes) {
+    AnalysisStats Before = FAM.totals();
+    uint64_t SkippedBefore = Ctx.FunctionsSkipped;
+    auto T0 = std::chrono::steady_clock::now();
+
+    PreservedAnalyses PA = P->run(M, FAM, Ctx);
+
+    auto T1 = std::chrono::steady_clock::now();
+    AnalysisStats After = FAM.totals();
+
+    uint64_t Preserved;
+    if (PA.preservedAll()) {
+      Preserved = M.numFunctions();
+    } else if (PA.preservedNone()) {
+      FAM.invalidateAll();
+      Preserved = 0;
+    } else {
+      for (FuncId F : PA.modifiedFunctions())
+        FAM.invalidate(F);
+      Preserved = M.numFunctions() - PA.modifiedFunctions().size();
+    }
+
+    recordPassRun(
+        P->name(),
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0)
+                .count()),
+        After.Computed - Before.Computed, After.CacheHits - Before.CacheHits,
+        Preserved, Ctx.FunctionsSkipped - SkippedBefore);
+
+    if (!Ctx.Error.empty())
+      return false;
+
+    if (VerifyEach && !PA.preservedAll()) {
+      std::string Err = verifyModule(M);
+      if (!Err.empty()) {
+        Ctx.Error = formatString("after pass '%s': %s", P->name().c_str(),
+                                 Err.c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}

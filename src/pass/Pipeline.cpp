@@ -1,0 +1,144 @@
+//===- pass/Pipeline.cpp - Textual pipeline and profiler specs --------------===//
+
+#include "pass/Pipeline.h"
+
+#include "pass/Passes.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace ppp;
+
+namespace {
+
+std::vector<std::string> splitOn(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string::npos) {
+      Out.push_back(S.substr(Start));
+      return Out;
+    }
+    Out.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+} // namespace
+
+std::string ppp::activePreparePipelineSpec() {
+  if (const char *E = std::getenv("PPP_PIPELINE"); E && *E)
+    return E;
+  return DefaultPreparePipelineSpec;
+}
+
+bool ppp::applyTechnique(ProfilerOptions &O, const std::string &Technique,
+                         bool Enable) {
+  if (Technique == "sac") {
+    // Self-adjusting + global cold criteria (Secs. 4.2/4.3). Enabling
+    // them also lifts TPP's avoid-hashing-only gate: the global
+    // criterion needs teeth.
+    O.GlobalColdCriterion = Enable;
+    O.SelfAdjust = Enable;
+    if (Enable)
+      O.ColdOnlyToAvoidHash = false;
+  } else if (Technique == "fp") {
+    // Free cold-path poisoning (Sec. 4.6): remove cold edges anywhere.
+    // Off reverts to TPP's remove-only-to-avoid-hashing policy.
+    O.ColdOnlyToAvoidHash = !Enable;
+  } else if (Technique == "push") {
+    O.Push = Enable ? PushMode::IgnoreCold : PushMode::Blocked;
+  } else if (Technique == "spn") {
+    O.SmartNumbering = Enable;
+  } else if (Technique == "lc") {
+    O.LowCoverageGate = Enable;
+  } else {
+    return false;
+  }
+  O.Name += (Enable ? "+" : "-") + Technique;
+  return true;
+}
+
+bool ppp::parseProfilerSpec(const std::string &Spec, ProfilerOptions &Out,
+                            std::string &Error) {
+  std::vector<std::string> Parts = splitOn(Spec, ';');
+  const std::string &Preset = Parts[0];
+  if (Preset == "pp")
+    Out = ProfilerOptions::pp();
+  else if (Preset == "tpp")
+    Out = ProfilerOptions::tpp();
+  else if (Preset == "tpp-checked")
+    Out = ProfilerOptions::tppChecked();
+  else if (Preset == "ppp")
+    Out = ProfilerOptions::ppp();
+  else {
+    Error = formatString("unknown profiler preset '%s' (expected pp, tpp, "
+                         "tpp-checked, or ppp)",
+                         Preset.c_str());
+    return false;
+  }
+  for (size_t I = 1; I < Parts.size(); ++I) {
+    const std::string &Tok = Parts[I];
+    if (Tok.size() < 2 || (Tok[0] != '+' && Tok[0] != '-')) {
+      Error = formatString("technique toggle '%s' in profiler spec '%s' must "
+                           "be +tech or -tech",
+                           Tok.c_str(), Spec.c_str());
+      return false;
+    }
+    if (!applyTechnique(Out, Tok.substr(1), Tok[0] == '+')) {
+      Error = formatString("unknown technique '%s' in profiler spec '%s' "
+                           "(expected sac, fp, push, spn, or lc)",
+                           Tok.substr(1).c_str(), Spec.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+ProfilerOptions ppp::mustParseProfilerSpec(const std::string &Spec) {
+  ProfilerOptions O;
+  std::string Error;
+  if (!parseProfilerSpec(Spec, O, Error)) {
+    fprintf(stderr, "error: %s\n", Error.c_str());
+    exit(1);
+  }
+  return O;
+}
+
+bool ppp::parsePipeline(const std::string &Spec, ModulePassManager &MPM,
+                        std::string &Error) {
+  if (Spec.empty()) {
+    Error = "empty pipeline spec";
+    return false;
+  }
+  for (const std::string &Tok : splitOn(Spec, ',')) {
+    if (Tok == "profile") {
+      MPM.addPass(std::make_unique<ProfilePass>(false));
+    } else if (Tok == "profile<bench>") {
+      MPM.addPass(std::make_unique<ProfilePass>(true));
+    } else if (Tok == "inline") {
+      MPM.addPass(std::make_unique<InlinerPass>());
+    } else if (Tok == "unroll") {
+      MPM.addPass(std::make_unique<UnrollerPass>());
+    } else if (Tok == "verify") {
+      MPM.addPass(std::make_unique<VerifierPass>());
+    } else if (Tok.size() > 12 && Tok.compare(0, 11, "instrument<") == 0 &&
+               Tok.back() == '>') {
+      ProfilerOptions O;
+      if (!parseProfilerSpec(Tok.substr(11, Tok.size() - 12), O, Error))
+        return false;
+      MPM.addPass(
+          std::make_unique<InstrumentPass>(Tok.substr(11, Tok.size() - 12), O));
+    } else {
+      Error = formatString(
+          "unknown pass '%s' in pipeline '%s' (expected profile, "
+          "profile<bench>, inline, unroll, verify, or instrument<spec>)",
+          Tok.c_str(), Spec.c_str());
+      return false;
+    }
+  }
+  return true;
+}

@@ -2,12 +2,7 @@
 
 #include "pathprof/Profilers.h"
 
-#include "analysis/StaticProfile.h"
-#include "flow/FlowAnalysis.h"
-#include "pathprof/ColdEdges.h"
-#include "pathprof/EventCounting.h"
-#include "pathprof/Lowering.h"
-#include "pathprof/Obvious.h"
+#include "support/Format.h"
 
 #include <cassert>
 
@@ -173,182 +168,31 @@ std::optional<PathKey> FunctionPlan::decodePath(uint64_t Number) const {
   return Key;
 }
 
-namespace {
-
-/// Path count of the function under a tentative cold/disconnect set
-/// (order does not affect N).
-uint64_t countPaths(const CfgView &Cfg, const LoopInfo &LI,
-                    const std::set<int> &Colds, const std::set<int> &Disc,
-                    const std::vector<int64_t> &CfgFreq, int64_t Invocations,
-                    bool &Overflow) {
-  BLDag::BuildOptions BO;
-  BO.ColdCfgEdges = &Colds;
-  BO.DisconnectedBackEdges = &Disc;
-  BLDag Dag = BLDag::build(Cfg, LI, BO);
-  Dag.setFrequencies(CfgFreq, Invocations);
-  NumberingResult R = assignPathNumbers(Dag, NumberingOrder::BallLarus);
-  Overflow = R.Overflow;
-  return R.NumPaths;
+std::string ppp::validateProfilerOptions(const ProfilerOptions &O) {
+  auto BadFraction = [](double V) { return !(V >= 0.0 && V <= 1.0); };
+  if (BadFraction(O.LocalColdFraction))
+    return formatString("LocalColdFraction must be in [0, 1] (got %g)",
+                        O.LocalColdFraction);
+  if (BadFraction(O.GlobalColdFraction))
+    return formatString("GlobalColdFraction must be in [0, 1] (got %g)",
+                        O.GlobalColdFraction);
+  if (BadFraction(O.CoverageThreshold))
+    return formatString("CoverageThreshold must be in [0, 1] (got %g)",
+                        O.CoverageThreshold);
+  if (O.SelfAdjustMaxIters < 1)
+    return "SelfAdjustMaxIters must be >= 1 (got 0)";
+  if (O.HashThreshold < 1)
+    return "HashThreshold must be >= 1 (got 0)";
+  if (O.SelfAdjust && !(O.SelfAdjustFactor > 1.0))
+    return formatString("SelfAdjustFactor must be > 1 when SelfAdjust is "
+                        "enabled (got %g)",
+                        O.SelfAdjustFactor);
+  return "";
 }
 
-} // namespace
-
-InstrumentationResult ppp::instrumentModule(const Module &M,
-                                            const EdgeProfile &EP,
-                                            const ProfilerOptions &Opts) {
-  InstrumentationResult Result;
-  Result.Instrumented = M; // Deep copy; we rewrite functions in place.
-  Result.Instrumented.Name = M.Name + "." + Opts.Name;
-  Result.Options = Opts;
-  Result.Plans.resize(M.numFunctions());
-
-  int64_t TotalUnitFlow = totalProgramUnitFlow(M, EP);
-
-  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
-    FuncId F = static_cast<FuncId>(FI);
-    FunctionPlan &Plan = Result.Plans[FI];
-    const FunctionEdgeProfile &FP = EP.func(F);
-
-    Plan.Cfg = std::make_unique<CfgView>(M.function(F));
-    Plan.Loops = std::make_unique<LoopInfo>(LoopInfo::compute(*Plan.Cfg));
-    const CfgView &Cfg = *Plan.Cfg;
-    const LoopInfo &LI = *Plan.Loops;
-
-    std::vector<int64_t> CfgFreq(FP.EdgeFreq.begin(), FP.EdgeFreq.end());
-    int64_t Invocations = FP.Invocations;
-
-    // --- Full-DAG facts: coverage gate and the TPP hash gate. ---
-    BLDag FullDag = BLDag::build(Cfg, LI);
-    FullDag.setFrequencies(CfgFreq, Invocations);
-    NumberingResult FullNum =
-        assignPathNumbers(FullDag, NumberingOrder::BallLarus);
-
-    {
-      FlowResult DF = computeDefiniteFlow(FullDag);
-      int64_t ActualFlow = 0;
-      for (const DagEdge &E : FullDag.edges())
-        if (E.IsBranch)
-          ActualFlow += E.Freq;
-      Plan.EdgeCoverage =
-          ActualFlow == 0
-              ? 1.0
-              : static_cast<double>(
-                    DF.totalFlowAtEntry(FullDag, FlowMetric::Branch)) /
-                    static_cast<double>(ActualFlow);
-    }
-    if (Opts.LowCoverageGate && Plan.EdgeCoverage >= Opts.CoverageThreshold) {
-      Plan.Skip = SkipReason::HighCoverage;
-      continue;
-    }
-
-    // --- Cold edges, obvious loops, self-adjusting loop. ---
-    ColdEdgeCriteria Criteria;
-    Criteria.UseLocal = Opts.LocalColdCriterion;
-    Criteria.LocalFraction = Opts.LocalColdFraction;
-    Criteria.UseGlobal = Opts.GlobalColdCriterion;
-    Criteria.GlobalFraction = Opts.GlobalColdFraction;
-
-    std::set<int> Colds, Disc;
-    std::unique_ptr<BLDag> Dag;
-    NumberingResult Num;
-    NumberingOrder Order = Opts.SmartNumbering
-                               ? NumberingOrder::DecreasingFreq
-                               : NumberingOrder::BallLarus;
-
-    unsigned MaxIters = Opts.SelfAdjust ? Opts.SelfAdjustMaxIters : 1;
-    for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
-      Colds = computeColdEdges(Cfg, FP, Criteria, TotalUnitFlow);
-      if (Opts.ColdOnlyToAvoidHash && !Colds.empty()) {
-        // TPP: poisoning costs, so eliminate cold paths only when doing
-        // so moves the routine from a hash table to an array.
-        bool Ovf1 = false, Ovf2 = false;
-        uint64_t Full = FullNum.Overflow ? UINT64_MAX : FullNum.NumPaths;
-        std::set<int> NoDisc;
-        uint64_t WithColds =
-            countPaths(Cfg, LI, Colds, NoDisc, CfgFreq, Invocations, Ovf2);
-        (void)Ovf1;
-        bool Helps = Full > Opts.HashThreshold && !Ovf2 &&
-                     WithColds <= Opts.HashThreshold;
-        if (!Helps)
-          Colds.clear();
-      }
-      Disc.clear();
-      if (Opts.ObviousLoopDisconnect) {
-        ObviousLoops OL =
-            findObviousLoops(Cfg, LI, FP, Colds, Opts.ObviousLoopMinTrip);
-        Disc = OL.DisconnectBackEdges;
-        Colds.insert(OL.ColdEntryExitEdges.begin(),
-                     OL.ColdEntryExitEdges.end());
-      }
-      BLDag::BuildOptions BO;
-      BO.ColdCfgEdges = &Colds;
-      BO.DisconnectedBackEdges = &Disc;
-      Dag = std::make_unique<BLDag>(BLDag::build(Cfg, LI, BO));
-      Dag->setFrequencies(CfgFreq, Invocations);
-      Num = assignPathNumbers(*Dag, Order);
-      if (!Num.Overflow && Num.NumPaths <= Opts.HashThreshold)
-        break;
-      if (!Opts.SelfAdjust || !Opts.GlobalColdCriterion)
-        break;
-      Criteria.GlobalMultiplier *= Opts.SelfAdjustFactor;
-    }
-
-    Plan.ColdEdges = Colds;
-    Plan.DisconnectedBackEdges = Disc;
-    Plan.NumPaths = Num.NumPaths;
-
-    if (Num.Overflow) {
-      Plan.Skip = SkipReason::Overflow;
-      continue;
-    }
-    if (Num.NumPaths == 0) {
-      Plan.Skip = SkipReason::NoPaths;
-      continue;
-    }
-    if (Opts.SkipObviousRoutines && allPathsObvious(*Dag, Num)) {
-      Plan.Skip = SkipReason::AllObvious;
-      continue;
-    }
-
-    // --- Event counting. ---
-    if (Opts.SmartNumbering) {
-      runEventCounting(*Dag);
-    } else {
-      StaticProfile SP = estimateStaticProfile(Cfg, LI);
-      runEventCounting(*Dag,
-                       dagEdgeWeights(*Dag, SP.EdgeFreq, StaticProfile::Scale));
-    }
-
-    // --- Placement, pushing, poisoning, table sizing. ---
-    PlacementResult Placement =
-        placeInstrumentation(*Dag, Num, Opts.Push, Opts.Poison);
-    Plan.StaticOps = Placement.StaticOps;
-
-    bool UseHash = Num.NumPaths > Opts.HashThreshold;
-    // Checked poisoning keeps hot indices in [0, N) and sends poisoned
-    // ones (negative) to the cold counter, so N slots suffice.
-    int64_t ArrayNeed = Opts.Poison == PoisonStyle::Checked
-                            ? static_cast<int64_t>(Num.NumPaths)
-                            : Placement.MaxIndex + 1;
-    // Defensive: if compensation could not bound the array tightly,
-    // hash instead of allocating a pathological array.
-    if (!UseHash &&
-        ArrayNeed > static_cast<int64_t>(16 * Num.NumPaths + 64))
-      UseHash = true;
-    Plan.TableKind = UseHash ? PathTable::Kind::Hash : PathTable::Kind::Array;
-    Plan.ArraySize = UseHash ? 0 : std::max<int64_t>(ArrayNeed, 1);
-
-    // --- Lower into the cloned function. ---
-    SiteOps Sites = finalizeSites(*Dag, Placement);
-    lowerInstrumentation(Result.Instrumented.function(F), Cfg, Sites);
-
-    Plan.Dag = std::move(Dag);
-    Plan.Numbering = std::move(Num);
-    Plan.buildEdgeIndex();
-    Plan.Instrumented = true;
-  }
-  return Result;
-}
+// instrumentModule() lives in pass/Instrument.cpp: the pipeline is five
+// stage passes over a ModulePassManager, and its analyses come from a
+// FunctionAnalysisManager.
 
 ProfileRuntime InstrumentationResult::makeRuntime() const {
   ProfileRuntime RT(static_cast<unsigned>(Plans.size()));

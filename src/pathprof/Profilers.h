@@ -43,6 +43,8 @@
 
 namespace ppp {
 
+class FunctionAnalysisManager;
+
 /// Every knob of the instrumentation pipeline (paper defaults).
 struct ProfilerOptions {
   std::string Name = "pp";
@@ -121,8 +123,10 @@ public:
   std::set<int> ColdEdges;
   std::set<int> DisconnectedBackEdges;
 
-  std::unique_ptr<CfgView> Cfg;
-  std::unique_ptr<LoopInfo> Loops;
+  /// Shared with (and usually served by) a FunctionAnalysisManager;
+  /// the shared_ptr keeps the analyses alive past cache invalidation.
+  std::shared_ptr<const CfgView> Cfg;
+  std::shared_ptr<const LoopInfo> Loops;
   std::unique_ptr<BLDag> Dag; ///< Final instrumented DAG (Vals assigned).
   NumberingResult Numbering;
 
@@ -160,11 +164,28 @@ struct InstrumentationResult {
   ProfileRuntime makeRuntime() const;
 };
 
+/// Validates \p O's numeric knobs. Returns an empty string when every
+/// value is usable, otherwise a description of the first problem
+/// (fractions outside [0, 1], zero iteration/threshold counts, a
+/// non-expanding self-adjust factor).
+std::string validateProfilerOptions(const ProfilerOptions &O);
+
 /// Instruments a clone of \p M according to \p Opts, using \p EP (self
 /// advice) for every profile-guided decision. \p M must outlive the
-/// result.
+/// result. Invalid options are a fatal error (validateProfilerOptions).
+///
+/// Defined in pass/Instrument.cpp (the staged pipeline); callers link
+/// ppp_pass.
 InstrumentationResult instrumentModule(const Module &M, const EdgeProfile &EP,
                                        const ProfilerOptions &Opts);
+
+/// As above, but serving every per-function analysis from \p FAM, which
+/// must be bound to \p M. Rebinds the manager's advice to \p EP; with
+/// one manager serving several profiler configurations over one module,
+/// the shared analyses (CFG, loops, full-DAG facts) are computed once.
+InstrumentationResult instrumentModule(const Module &M, const EdgeProfile &EP,
+                                       const ProfilerOptions &Opts,
+                                       FunctionAnalysisManager &FAM);
 
 } // namespace ppp
 

@@ -160,6 +160,19 @@ TEST(PrepCache, EveryKeyFieldInvalidates) {
   // Pipeline version bump invalidates everything at once.
   EXPECT_NE(prepCacheKeyString(Spec, Costs, PrepPipelineVersion + 1), Base);
 
+  // The preparation pipeline spec participates: a PPP_PIPELINE variant
+  // addresses a distinct entry, and the default spec is what the
+  // zero-argument key uses.
+  EXPECT_NE(prepCacheKeyString(Spec, Costs, PrepPipelineVersion,
+                               "profile,unroll,profile<bench>"),
+            Base);
+  EXPECT_EQ(prepCacheKeyString(Spec, Costs, PrepPipelineVersion,
+                               activePreparePipelineSpec()),
+            Base);
+  // The spec is embedded verbatim, so the key text itself documents
+  // which recipe produced the entry.
+  EXPECT_NE(Base.find(activePreparePipelineSpec()), std::string::npos);
+
   // Distinct keys mean distinct content addresses (files never alias).
   EXPECT_NE(prepCacheKeyHash(Base),
             prepCacheKeyHash(prepCacheKeyString(Seeded, Costs)));

@@ -11,6 +11,8 @@
 #include "pathprof/ColdEdges.h"
 #include "pathprof/Obvious.h"
 
+#include <cmath>
+
 using namespace ppp;
 using namespace ppp::testutil;
 
@@ -43,6 +45,50 @@ TEST(Presets, MatchPaperConfiguration) {
   EXPECT_DOUBLE_EQ(PPP.CoverageThreshold, 0.75);
   EXPECT_TRUE(PPP.SmartNumbering);
   EXPECT_EQ(PPP.Push, PushMode::IgnoreCold);
+}
+
+TEST(Presets, AllPresetsValidate) {
+  EXPECT_EQ(validateProfilerOptions(ProfilerOptions::pp()), "");
+  EXPECT_EQ(validateProfilerOptions(ProfilerOptions::tpp()), "");
+  EXPECT_EQ(validateProfilerOptions(ProfilerOptions::tppChecked()), "");
+  EXPECT_EQ(validateProfilerOptions(ProfilerOptions::ppp()), "");
+}
+
+TEST(Presets, ValidationRejectsOutOfRangeKnobs) {
+  ProfilerOptions O = ProfilerOptions::ppp();
+  O.LocalColdFraction = 1.5;
+  EXPECT_EQ(validateProfilerOptions(O),
+            "LocalColdFraction must be in [0, 1] (got 1.5)");
+
+  O = ProfilerOptions::ppp();
+  O.GlobalColdFraction = -0.001;
+  EXPECT_EQ(validateProfilerOptions(O),
+            "GlobalColdFraction must be in [0, 1] (got -0.001)");
+
+  O = ProfilerOptions::ppp();
+  O.CoverageThreshold = std::nan(""); // NaN fails range checks too.
+  EXPECT_EQ(validateProfilerOptions(O),
+            "CoverageThreshold must be in [0, 1] (got nan)");
+
+  O = ProfilerOptions::ppp();
+  O.SelfAdjustMaxIters = 0;
+  EXPECT_EQ(validateProfilerOptions(O),
+            "SelfAdjustMaxIters must be >= 1 (got 0)");
+
+  O = ProfilerOptions::ppp();
+  O.HashThreshold = 0;
+  EXPECT_EQ(validateProfilerOptions(O),
+            "HashThreshold must be >= 1 (got 0)");
+
+  // A self-adjust factor <= 1 would loop without making the criterion
+  // stricter -- but only when self-adjustment is on at all.
+  O = ProfilerOptions::ppp();
+  O.SelfAdjustFactor = 1.0;
+  EXPECT_EQ(validateProfilerOptions(O),
+            "SelfAdjustFactor must be > 1 when SelfAdjust is enabled "
+            "(got 1)");
+  O.SelfAdjust = false;
+  EXPECT_EQ(validateProfilerOptions(O), "");
 }
 
 TEST(ColdEdges, LocalCriterionFivePercent) {

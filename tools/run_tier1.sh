@@ -17,3 +17,22 @@ ctest --output-on-failure -j
 # ctest filtering is in play.
 cd "$REPO_ROOT"
 tools/cache_smoke.sh "$REPO_ROOT/build"
+
+# Optional sanitizer stage: PPP_TIER1_SANITIZE=address (or undefined,
+# or "address undefined") rebuilds into build-<san>/ with PPP_SANITIZE
+# and reruns the unit tests under the instrumented binaries. The
+# cache_smoke stage is excluded there: it measures byte-identity and
+# cache reuse, which sanitizer slowdown does not affect.
+for SAN in ${PPP_TIER1_SANITIZE:-}; do
+  case "$SAN" in
+  address | undefined) ;;
+  *)
+    echo "error: PPP_TIER1_SANITIZE must list 'address' and/or 'undefined' (got '$SAN')" >&2
+    exit 1
+    ;;
+  esac
+  echo "== sanitizer stage: $SAN =="
+  cmake -B "build-$SAN" -S . -DPPP_SANITIZE="$SAN"
+  cmake --build "build-$SAN" -j
+  (cd "build-$SAN" && ctest --output-on-failure -E cache_smoke -j)
+done
