@@ -5,8 +5,10 @@
 #include "PrepCache.h"
 
 #include "interp/Interpreter.h"
+#include "obs/Obs.h"
 #include "pass/AnalysisManager.h"
 #include "pass/Pipeline.h"
+#include "support/Format.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -14,6 +16,38 @@
 
 using namespace ppp;
 using namespace ppp::bench;
+
+PoolTelemetry::PoolTelemetry(unsigned Jobs, size_t NumTasks)
+    : Start(std::chrono::steady_clock::now()) {
+  obs::counter("bench.pool.runs").inc();
+  obs::gauge("bench.pool.jobs").set(Jobs);
+  obs::counter("bench.pool.tasks").inc(NumTasks);
+}
+
+uint64_t PoolTelemetry::sinceStartNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+void PoolTelemetry::workerBegin(unsigned W) const {
+  if (W > 0)
+    obs::traceThreadName(formatString("ppp-worker-%u", W));
+}
+
+void PoolTelemetry::taskDone(uint64_t TaskNs, uint64_t WaitNs) const {
+  obs::histogram("bench.pool.task_ns").record(TaskNs);
+  obs::histogram("bench.pool.queue_wait_ns").record(WaitNs);
+}
+
+void PoolTelemetry::workerEnd(unsigned W, uint64_t BusyNs) const {
+  uint64_t WallNs = sinceStartNs();
+  obs::counter(formatString("bench.pool.worker.%u.busy_ns", W)).inc(BusyNs);
+  obs::gauge(formatString("bench.pool.worker.%u.utilization", W))
+      .set(WallNs ? static_cast<double>(BusyNs) / static_cast<double>(WallNs)
+                  : 0);
+}
 
 unsigned ppp::bench::parallelJobs(size_t NumTasks) {
   unsigned Jobs = 0;
@@ -37,6 +71,7 @@ PreparedBenchmark ppp::bench::prepare(const BenchmarkSpec &Spec,
 
 PreparedBenchmark ppp::bench::prepareUncached(const BenchmarkSpec &Spec,
                                               const CostModel &Costs) {
+  obs::ScopedSpan Span("prepare.compute:", Spec.Name, "bench");
   PreparedBenchmark B;
   B.Name = Spec.Name;
   B.IsFp = Spec.IsFp;

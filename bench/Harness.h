@@ -20,12 +20,14 @@
 
 #include "interp/CostModel.h"
 #include "metrics/Metrics.h"
+#include "obs/Trace.h"
 #include "opt/Inliner.h"
 #include "opt/Unroller.h"
 #include "pathprof/EstimatedProfile.h"
 #include "workload/Suite.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -117,36 +119,96 @@ EdgeProfilingOutcome evaluateEdgeProfiling(const PreparedBenchmark &B);
 /// more than \p NumTasks.
 unsigned parallelJobs(size_t NumTasks);
 
-/// Runs \p Work(Spec) for every suite entry on a pool of parallelJobs()
-/// threads and returns the results in suite order, regardless of
-/// completion order. Each prepare()/runProfiler() pipeline is
+/// Telemetry bookkeeping for one runParallel() pool: worker naming
+/// (ppp-worker-<i>, visible to external profilers and on PPP_TRACE
+/// rows), per-task duration and queue-wait histograms
+/// (bench.pool.task_ns / bench.pool.queue_wait_ns), and per-worker
+/// utilization gauges (bench.pool.worker.<i>.utilization = busy/wall,
+/// how evenly the suite's work spread) in the obs registry, all
+/// surfaced by the PPP_METRICS run report. A few atomics per
+/// seconds-long task, so it is always on.
+class PoolTelemetry {
+public:
+  PoolTelemetry(unsigned Jobs, size_t NumTasks);
+
+  /// Nanoseconds since the pool was created (a task's queue wait when
+  /// called at claim time).
+  uint64_t sinceStartNs() const;
+
+  /// Worker \p W is starting (0 = the calling thread, which keeps its
+  /// name; spawned workers are named ppp-worker-<W>).
+  void workerBegin(unsigned W) const;
+
+  /// One task finished: \p TaskNs run time, claimed \p WaitNs after
+  /// pool creation.
+  void taskDone(uint64_t TaskNs, uint64_t WaitNs) const;
+
+  /// Worker \p W ran out of tasks after \p BusyNs of task time.
+  void workerEnd(unsigned W, uint64_t BusyNs) const;
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Runs \p Work(Item) for every item on a pool of parallelJobs()
+/// threads and returns the results in input order, regardless of
+/// completion order. \p Name(Item) labels the item's trace span
+/// ("task:<name>"). Work must be deterministic per item and must not
+/// print (print from the returned rows); under those rules the results
+/// are identical to a serial loop.
+template <typename T, typename NameFn, typename WorkFn>
+auto runParallel(const std::vector<T> &Items, NameFn Name, WorkFn Work)
+    -> std::vector<std::invoke_result_t<WorkFn, const T &>> {
+  using Result = std::invoke_result_t<WorkFn, const T &>;
+  using Clock = std::chrono::steady_clock;
+  std::vector<Result> Out(Items.size());
+  unsigned Jobs = parallelJobs(Items.size());
+  PoolTelemetry Tel(Jobs, Items.size());
+  std::atomic<size_t> Next{0};
+  auto Worker = [&](unsigned W) {
+    Tel.workerBegin(W);
+    uint64_t BusyNs = 0;
+    for (size_t I; (I = Next.fetch_add(1)) < Items.size();) {
+      uint64_t WaitNs = Tel.sinceStartNs();
+      obs::ScopedSpan Span("task:", Name(Items[I]), "bench");
+      Clock::time_point T0 = Clock::now();
+      Out[I] = Work(Items[I]);
+      uint64_t TaskNs = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               T0)
+              .count());
+      BusyNs += TaskNs;
+      Tel.taskDone(TaskNs, WaitNs);
+    }
+    Tel.workerEnd(W, BusyNs);
+  };
+  if (Jobs <= 1) {
+    Worker(0);
+    return Out;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(Jobs - 1);
+  for (unsigned W = 1; W < Jobs; ++W)
+    Pool.emplace_back(Worker, W);
+  Worker(0);
+  for (std::thread &Th : Pool)
+    Th.join();
+  return Out;
+}
+
+/// runParallel() over the benchmark suite, with spans labeled by
+/// benchmark name. Each prepare()/runProfiler() pipeline is
 /// deterministic and touches only per-benchmark state, so the results
 /// (and anything printed from them afterwards, in order) are identical
-/// to a serial loop. Work must not print; print from the returned rows.
+/// to a serial loop.
 template <typename WorkFn>
 auto runSuiteParallel(const std::vector<BenchmarkSpec> &Specs, WorkFn Work)
     -> std::vector<std::invoke_result_t<WorkFn, const BenchmarkSpec &>> {
-  using Result = std::invoke_result_t<WorkFn, const BenchmarkSpec &>;
-  std::vector<Result> Out(Specs.size());
-  unsigned Jobs = parallelJobs(Specs.size());
-  if (Jobs <= 1) {
-    for (size_t I = 0; I < Specs.size(); ++I)
-      Out[I] = Work(Specs[I]);
-    return Out;
-  }
-  std::atomic<size_t> Next{0};
-  auto Worker = [&] {
-    for (size_t I; (I = Next.fetch_add(1)) < Specs.size();)
-      Out[I] = Work(Specs[I]);
-  };
-  std::vector<std::thread> Pool;
-  Pool.reserve(Jobs - 1);
-  for (unsigned T = 1; T < Jobs; ++T)
-    Pool.emplace_back(Worker);
-  Worker();
-  for (std::thread &T : Pool)
-    T.join();
-  return Out;
+  return runParallel(
+      Specs, [](const BenchmarkSpec &Spec) -> const std::string & {
+        return Spec.Name;
+      },
+      Work);
 }
 
 /// Prints "name  v1  v2 ..." rows with fixed-width columns.

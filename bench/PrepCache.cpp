@@ -2,6 +2,8 @@
 
 #include "PrepCache.h"
 
+#include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "profile/BinaryIO.h"
 #include "support/BinStream.h"
 #include "support/Format.h"
@@ -34,10 +36,26 @@ struct CacheState {
                      std::pair<std::string,
                                std::shared_ptr<const PreparedBenchmark>>>
       Memory;
-  PrepCacheCounters Counters;
+  /// Counters live in the obs registry (cache.prep.*); the Baseline is
+  /// what prepCacheResetCounters() subtracts so the PrepCacheCounters
+  /// view starts from zero while the registry stays monotonic.
+  PrepCacheCounters Baseline;
   std::string DirOverride;
   bool HasOverride = false;
   bool EnabledOverride = true;
+};
+
+/// The registry counters behind PrepCacheCounters, resolved once.
+struct CacheMetrics {
+  obs::Counter &MemHits = obs::counter("cache.prep.hit.mem");
+  obs::Counter &DiskHits = obs::counter("cache.prep.hit.disk");
+  obs::Counter &Misses = obs::counter("cache.prep.miss");
+  obs::Counter &Corrupt = obs::counter("cache.prep.corrupt");
+
+  static CacheMetrics &get() {
+    static CacheMetrics M;
+    return M;
+  }
 };
 
 CacheState &state() {
@@ -299,7 +317,9 @@ std::shared_ptr<const PreparedBenchmark>
 ppp::bench::prepareShared(const BenchmarkSpec &Spec, const CostModel &Costs) {
   if (!prepCacheEnabled())
     return nullptr;
+  obs::ScopedSpan Span("prepare:", Spec.Name, "cache");
   CacheState &S = state();
+  CacheMetrics &M = CacheMetrics::get();
   std::string Key = prepCacheKeyString(Spec, Costs);
   uint64_t Hash = prepCacheKeyHash(Key);
 
@@ -307,7 +327,7 @@ ppp::bench::prepareShared(const BenchmarkSpec &Spec, const CostModel &Costs) {
     std::lock_guard<std::mutex> L(S.Mu);
     auto It = S.Memory.find(Hash);
     if (It != S.Memory.end() && It->second.first == Key) {
-      ++S.Counters.MemHits;
+      M.MemHits.inc();
       return It->second.second;
     }
   }
@@ -319,33 +339,42 @@ ppp::bench::prepareShared(const BenchmarkSpec &Spec, const CostModel &Costs) {
     std::string Error;
     if (deserializePrepared(Data, Key, *B, Error)) {
       std::lock_guard<std::mutex> L(S.Mu);
-      ++S.Counters.DiskHits;
+      M.DiskHits.inc();
       S.Memory[Hash] = {Key, B};
       return B;
     }
     // Corrupt, truncated, stale-version, or colliding entry: rebuild.
-    std::lock_guard<std::mutex> L(S.Mu);
-    ++S.Counters.Corrupt;
+    M.Corrupt.inc();
   }
 
   auto B = std::make_shared<PreparedBenchmark>(prepareUncached(Spec, Costs));
   writeFileAtomic(Path, serializePrepared(*B, Key));
   std::lock_guard<std::mutex> L(S.Mu);
-  ++S.Counters.Misses;
+  M.Misses.inc();
   S.Memory[Hash] = {Key, B};
   return B;
 }
 
 PrepCacheCounters ppp::bench::prepCacheCounters() {
+  CacheMetrics &M = CacheMetrics::get();
   CacheState &S = state();
   std::lock_guard<std::mutex> L(S.Mu);
-  return S.Counters;
+  PrepCacheCounters Out;
+  Out.MemHits = M.MemHits.value() - S.Baseline.MemHits;
+  Out.DiskHits = M.DiskHits.value() - S.Baseline.DiskHits;
+  Out.Misses = M.Misses.value() - S.Baseline.Misses;
+  Out.Corrupt = M.Corrupt.value() - S.Baseline.Corrupt;
+  return Out;
 }
 
 void ppp::bench::prepCacheResetCounters() {
+  CacheMetrics &M = CacheMetrics::get();
   CacheState &S = state();
   std::lock_guard<std::mutex> L(S.Mu);
-  S.Counters = PrepCacheCounters();
+  S.Baseline.MemHits = M.MemHits.value();
+  S.Baseline.DiskHits = M.DiskHits.value();
+  S.Baseline.Misses = M.Misses.value();
+  S.Baseline.Corrupt = M.Corrupt.value();
 }
 
 void ppp::bench::prepCacheOverride(const std::string &Dir, bool Enabled) {

@@ -100,7 +100,12 @@ bool deserializePrepared(const std::string &Data,
                          const std::string &KeyString, PreparedBenchmark &Out,
                          std::string &Error);
 
-/// Hit/miss accounting, mostly for tests and suite_all's summary.
+/// Hit/miss accounting, mostly for tests and suite_all's summary. The
+/// authoritative counters live in the obs metrics registry
+/// (cache.prep.hit.mem / cache.prep.hit.disk / cache.prep.miss /
+/// cache.prep.corrupt, emitted with the PPP_METRICS run report); this
+/// struct is a view of those counters relative to the last
+/// prepCacheResetCounters() call.
 struct PrepCacheCounters {
   uint64_t MemHits = 0;
   uint64_t DiskHits = 0;

@@ -12,7 +12,11 @@
 /// pipeline cold (computing every benchmark into a fresh cache) and
 /// warm (loading every benchmark back from disk), and writes the whole
 /// report to PATH (default BENCH_throughput.json) so successive PRs
-/// have a tracked perf trajectory.
+/// have a tracked perf trajectory. The report is emitted through the
+/// obs metrics registry (a "ppp-metrics-v1" snapshot filtered to the
+/// `throughput.` keys), so trajectory files and PPP_METRICS run
+/// reports share one schema and one serializer, and
+/// tools/bench_diff.py compares either kind.
 ///
 /// PPP_THROUGHPUT_REPS overrides the per-variant repetition count.
 ///
@@ -22,6 +26,7 @@
 #include "PrepCache.h"
 
 #include "interp/Interpreter.h"
+#include "obs/Obs.h"
 #include "pathprof/Profilers.h"
 #include "profile/Collectors.h"
 
@@ -123,44 +128,39 @@ SuitePrepTiming measureSuitePrepare() {
   return Out;
 }
 
+/// Publishes the report into the obs registry under `throughput.` and
+/// writes the filtered metrics snapshot to \p Path. One serializer for
+/// the trajectory file and PPP_METRICS (DESIGN.md §7).
 void writeJson(const std::string &Path, unsigned Reps,
                const std::vector<BenchRow> &Rows,
                const SuitePrepTiming &Prep) {
-  FILE *F = fopen(Path.c_str(), "w");
-  if (!F) {
-    fprintf(stderr, "error: cannot write %s\n", Path.c_str());
-    exit(1);
-  }
-  fprintf(F, "{\n  \"schema\": \"ppp-throughput-v1\",\n  \"reps\": %u,\n",
-          Reps);
-  fprintf(F, "  \"benchmarks\": [\n");
+  obs::gauge("throughput.reps").set(Reps);
   double Sum[3] = {0, 0, 0};
-  for (size_t I = 0; I < Rows.size(); ++I) {
-    const BenchRow &R = Rows[I];
-    fprintf(F,
-            "    {\"name\": \"%s\", \"clean_mips\": %.3f, "
-            "\"edge_obs_mips\": %.3f, \"ppp_instr_mips\": %.3f, "
-            "\"dyn_instrs\": %llu}%s\n",
-            R.Name.c_str(), R.Clean, R.EdgeObs, R.PppInstr,
-            (unsigned long long)R.DynInstrs,
-            I + 1 < Rows.size() ? "," : "");
+  for (const BenchRow &R : Rows) {
+    std::string K = "throughput.bench." + R.Name;
+    obs::gauge(K + ".clean_mips").set(R.Clean);
+    obs::gauge(K + ".edge_obs_mips").set(R.EdgeObs);
+    obs::gauge(K + ".ppp_instr_mips").set(R.PppInstr);
+    obs::counter(K + ".dyn_instrs").inc(R.DynInstrs);
     Sum[0] += R.Clean;
     Sum[1] += R.EdgeObs;
     Sum[2] += R.PppInstr;
   }
   size_t N = Rows.empty() ? 1 : Rows.size();
-  fprintf(F, "  ],\n");
-  fprintf(F,
-          "  \"average\": {\"clean_mips\": %.3f, \"edge_obs_mips\": %.3f, "
-          "\"ppp_instr_mips\": %.3f},\n",
-          Sum[0] / N, Sum[1] / N, Sum[2] / N);
-  fprintf(F,
-          "  \"suite_prepare\": {\"benchmarks\": %u, \"cold_sec\": %.3f, "
-          "\"warm_sec\": %.3f, \"speedup\": %.2f}\n",
-          Prep.Benchmarks, Prep.ColdSec, Prep.WarmSec,
-          Prep.WarmSec > 0 ? Prep.ColdSec / Prep.WarmSec : 0);
-  fprintf(F, "}\n");
-  fclose(F);
+  obs::gauge("throughput.average.clean_mips").set(Sum[0] / N);
+  obs::gauge("throughput.average.edge_obs_mips").set(Sum[1] / N);
+  obs::gauge("throughput.average.ppp_instr_mips").set(Sum[2] / N);
+  obs::gauge("throughput.suite_prepare.benchmarks").set(Prep.Benchmarks);
+  obs::gauge("throughput.suite_prepare.cold_sec").set(Prep.ColdSec);
+  obs::gauge("throughput.suite_prepare.warm_sec").set(Prep.WarmSec);
+  obs::gauge("throughput.suite_prepare.speedup")
+      .set(Prep.WarmSec > 0 ? Prep.ColdSec / Prep.WarmSec : 0);
+
+  std::string Error;
+  if (!obs::writeMetricsJson(Path, "throughput.", &Error)) {
+    fprintf(stderr, "error: %s\n", Error.c_str());
+    exit(1);
+  }
 }
 
 } // namespace

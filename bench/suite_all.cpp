@@ -22,14 +22,13 @@
 #include "Harness.h"
 #include "PrepCache.h"
 
+#include "obs/Trace.h"
 #include "support/Format.h"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
 using namespace ppp;
@@ -68,9 +67,11 @@ double secondsSince(std::chrono::steady_clock::time_point T0) {
 }
 
 /// Phase 1: populate the preparation cache for every (benchmark x
-/// cost-model) cell the selected experiments will ask for, on a shared
-/// pool. Each cell is independent; workers claim cells from one shared
-/// queue so a slow benchmark never idles the other threads.
+/// cost-model) cell the selected experiments will ask for, on the
+/// shared runParallel() pool. Each cell is independent; workers claim
+/// cells from one shared queue so a slow benchmark never idles the
+/// other threads, and the pool's telemetry (task spans, queue-wait and
+/// utilization metrics) covers the warm phase like any other.
 void warmPreparations(bool NeedStandard, bool NeedAlpha) {
   if (!prepCacheEnabled()) {
     fprintf(stderr, "[suite_all] PPP_CACHE=off: experiments prepare "
@@ -81,31 +82,25 @@ void warmPreparations(bool NeedStandard, bool NeedAlpha) {
   struct Cell {
     const BenchmarkSpec *Spec;
     CostModel Costs;
+    std::string Label; ///< Trace span name ("warm:<bench>[.alpha]").
   };
   std::vector<Cell> Cells;
   for (const BenchmarkSpec &Spec : Suite) {
     if (NeedStandard)
-      Cells.push_back({&Spec, CostModel()});
+      Cells.push_back({&Spec, CostModel(), "warm:" + Spec.Name});
     if (NeedAlpha)
-      Cells.push_back({&Spec, CostModel::alpha21164()});
+      Cells.push_back(
+          {&Spec, CostModel::alpha21164(), "warm:" + Spec.Name + ".alpha"});
   }
   if (Cells.empty())
     return;
 
   auto T0 = std::chrono::steady_clock::now();
-  std::atomic<size_t> Next{0};
-  auto Worker = [&] {
-    for (size_t I; (I = Next.fetch_add(1)) < Cells.size();)
-      prepareShared(*Cells[I].Spec, Cells[I].Costs);
-  };
-  unsigned Jobs = parallelJobs(Cells.size());
-  std::vector<std::thread> Pool;
-  Pool.reserve(Jobs > 0 ? Jobs - 1 : 0);
-  for (unsigned T = 1; T < Jobs; ++T)
-    Pool.emplace_back(Worker);
-  Worker();
-  for (std::thread &T : Pool)
-    T.join();
+  runParallel(
+      Cells, [](const Cell &C) -> const std::string & { return C.Label; },
+      [](const Cell &C) {
+        return prepareShared(*C.Spec, C.Costs) != nullptr;
+      });
 
   PrepCacheCounters C = prepCacheCounters();
   fprintf(stderr,
@@ -165,7 +160,11 @@ int main(int argc, char **argv) {
     fprintf(stderr, "[suite_all] (%zu/%zu) %s\n", I + 1, Selected.size(),
             E->Name);
     auto TE = std::chrono::steady_clock::now();
-    int Rc = E->Run();
+    int Rc;
+    {
+      obs::ScopedSpan Span("experiment:", std::string(E->Name), "suite");
+      Rc = E->Run();
+    }
     fflush(stdout);
     fprintf(stderr, "[suite_all] (%zu/%zu) %s done in %.2fs%s\n", I + 1,
             Selected.size(), E->Name, secondsSince(TE),

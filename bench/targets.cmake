@@ -8,8 +8,8 @@ add_library(ppp_bench_harness STATIC
 target_include_directories(ppp_bench_harness PUBLIC ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(ppp_bench_harness PUBLIC
   ppp_edgeprof ppp_metrics ppp_pass ppp_pathprof ppp_flow ppp_opt
-  ppp_workload ppp_profile ppp_interp ppp_analysis ppp_ir ppp_support
-  Threads::Threads)
+  ppp_workload ppp_profile ppp_interp ppp_analysis ppp_ir ppp_obs
+  ppp_support Threads::Threads)
 set_target_properties(ppp_bench_harness PROPERTIES
   ARCHIVE_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/lib)
 

@@ -1,10 +1,17 @@
 //===- interp/Interpreter.cpp - IR interpreter -----------------------------===//
 ///
-/// run() is a thin dispatcher over four specializations of runImpl<>,
-/// selected by whether observers and a profiling runtime are attached.
-/// The specializations must stay semantically identical: the
-/// determinism test in tests/fastpath_test.cpp asserts bit-equal
-/// RunResults across them for the whole benchmark suite.
+/// run() is a thin dispatcher over eight specializations of runImpl<>,
+/// selected by whether observers, a profiling runtime, and interpreter
+/// telemetry (obs::interpStatsEnabled()) are active. The
+/// specializations must stay semantically identical: the determinism
+/// tests in tests/fastpath_test.cpp and tests/obs_test.cpp assert
+/// bit-equal RunResults across all of them for the benchmark suite.
+///
+/// This TU compiles the dispatch loop (interp/InterpreterLoop.inc) for
+/// the HasStats=false configurations only; the telemetry-enabled
+/// specializations live in InterpreterStats.cpp so their presence
+/// cannot perturb the clean loop's code generation (see the .inc
+/// header for why that separation is measured, not cosmetic).
 ///
 /// Dispatch is threaded (labels-as-values) under GCC/Clang: every
 /// opcode body ends in its own indirect jump, so the branch predictor
@@ -17,32 +24,17 @@
 
 #include "interp/Interpreter.h"
 
-#include "support/Rng.h"
-
-#include <algorithm>
-#include <cassert>
-#include <cstddef>
+#include "obs/Obs.h"
 
 using namespace ppp;
 
 ExecObserver::~ExecObserver() = default;
 
-namespace {
-
-/// One activation record. Live execution state (instruction pointer,
-/// path register) is cached in locals inside the dispatch loop and
-/// spilled here only across calls and returns.
-struct Frame {
-  const DecodedFunction *DF = nullptr;
-  uint32_t Ip = 0;        ///< Flat offset of the next instruction.
-  uint32_t RegBase = 0;   ///< This frame's slice of the register arena.
-  int64_t PathReg = 0;    ///< Ball-Larus path register r.
-  RegId CallerDest = -1;  ///< Caller register receiving the return value.
-  FuncId F = -1;
-  PathTable *Table = nullptr; ///< Resolved profiling table (runtime runs).
-};
-
-} // namespace
+// Telemetry-enabled specializations, compiled in InterpreterStats.cpp.
+extern template RunResult Interpreter::runImpl<false, false, true>();
+extern template RunResult Interpreter::runImpl<false, true, true>();
+extern template RunResult Interpreter::runImpl<true, false, true>();
+extern template RunResult Interpreter::runImpl<true, true, true>();
 
 Interpreter::Interpreter(const Module &Mod, const InterpOptions &Options)
     : DM(Mod, Options.Costs), Opts(Options) {}
@@ -54,303 +46,27 @@ void Interpreter::setProfileRuntime(ProfileRuntime *RT) {
 
 RunResult Interpreter::run() {
   const bool HasObs = !Observers.empty();
+  // Telemetry selects a separate specialization: when disabled (the
+  // default), the dispatch loop that runs is compiled without any
+  // counting code, so the clean fast path is bit-identical to the
+  // pre-telemetry engine and pays only this one cached boolean test.
+  if (obs::interpStatsEnabled()) {
+    if (Runtime)
+      return HasObs ? runImpl<true, true, true>()
+                    : runImpl<false, true, true>();
+    return HasObs ? runImpl<true, false, true>()
+                  : runImpl<false, false, true>();
+  }
   if (Runtime)
-    return HasObs ? runImpl<true, true>() : runImpl<false, true>();
-  return HasObs ? runImpl<true, false>() : runImpl<false, false>();
+    return HasObs ? runImpl<true, true, false>()
+                  : runImpl<false, true, false>();
+  return HasObs ? runImpl<true, false, false>()
+                : runImpl<false, false, false>();
 }
 
-#if defined(__GNUC__) || defined(__clang__)
-#define PPP_THREADED_DISPATCH 1
-#else
-#define PPP_THREADED_DISPATCH 0
-#endif
+#include "interp/InterpreterLoop.inc"
 
-#if PPP_THREADED_DISPATCH
-// Fetch, charge, and jump to the next opcode body. Expanded at the end
-// of every body, so each gets its own indirect branch.
-#define PPP_OP(Name) Op_##Name
-#define PPP_DISPATCH()                                                       \
-  do {                                                                       \
-    I = Code + Ip;                                                           \
-    if (Fuel == 0) [[unlikely]] {                                            \
-      Result.FuelExhausted = true;                                           \
-      goto Finish;                                                           \
-    }                                                                        \
-    --Fuel;                                                                  \
-    Cost += I->Cost;                                                         \
-    goto *JumpTable[static_cast<uint8_t>(I->Op)];                            \
-  } while (0)
-#define PPP_NEXT()                                                           \
-  do {                                                                       \
-    ++Ip;                                                                    \
-    PPP_DISPATCH();                                                          \
-  } while (0)
-#define PPP_JUMP() PPP_DISPATCH() /* Ip already set by the branch body. */
-#else
-#define PPP_OP(Name) case Opcode::Name
-#define PPP_NEXT() break    /* Falls out of the switch into ++Ip. */
-#define PPP_JUMP() continue /* Ip already set; skip ++Ip. */
-#endif
-
-template <bool HasObservers, bool HasRuntime>
-RunResult Interpreter::runImpl() {
-  RunResult Result;
-
-  // Deterministic pseudo-random memory image.
-  std::vector<int64_t> Mem(DM.MemWords);
-  {
-    Rng MemRng(Opts.MemSeed);
-    for (int64_t &W : Mem)
-      W = static_cast<int64_t>(MemRng.next() >> 16); // Keep values modest.
-  }
-  const uint64_t AddrMask = DM.AddrMask;
-
-  std::vector<Frame> Stack;
-  std::vector<int64_t> Regs; // Shared register arena, one slice per frame.
-  auto PushFrame = [&](FuncId F, RegId CallerDest, const int64_t *Args,
-                       unsigned NumArgs) {
-    const DecodedFunction &DF = DM.Functions[static_cast<size_t>(F)];
-    Frame Fr;
-    Fr.DF = &DF;
-    Fr.Ip = 0;
-    Fr.RegBase = static_cast<uint32_t>(Regs.size());
-    Fr.CallerDest = CallerDest;
-    Fr.F = F;
-    if constexpr (HasRuntime)
-      Fr.Table = &Runtime->table(F);
-    Regs.resize(Regs.size() + DF.NumRegs, 0);
-    std::copy(Args, Args + NumArgs,
-              Regs.begin() + static_cast<std::ptrdiff_t>(Fr.RegBase));
-    Stack.push_back(Fr);
-    if constexpr (HasObservers)
-      for (ExecObserver *Obs : Observers)
-        Obs->onFunctionEnter(F);
-  };
-
-  PushFrame(DM.MainId, /*CallerDest=*/-1, nullptr, 0);
-
-  // DynInstrs is derived from the fuel countdown (DynInstrs =
-  // Opts.Fuel - Fuel) so the dispatch loop maintains one counter, not
-  // two.
-  uint64_t Fuel = Opts.Fuel;
-  uint64_t Cost = 0;
-
-  while (true) {
-    // (Re)load the top frame's execution state into locals; dispatch
-    // runs entirely on them until control leaves the frame.
-    Frame &Fr = Stack.back();
-    const DecodedInstr *const Code = Fr.DF->Code.data();
-    const uint32_t *const TargetPool = Fr.DF->Targets.data();
-    int64_t *const R = Regs.data() + Fr.RegBase;
-    [[maybe_unused]] const FuncId F = Fr.F;
-    [[maybe_unused]] PathTable *const Table = HasRuntime ? Fr.Table : nullptr;
-    uint32_t Ip = Fr.Ip;
-    int64_t PathReg = Fr.PathReg;
-
-#if PPP_THREADED_DISPATCH
-    // Indexed by the Opcode enumerator value; must match the enum order
-    // in ir/Opcode.h exactly.
-    static const void *const JumpTable[] = {
-        &&Op_Const,  &&Op_Mov,    &&Op_Add,     &&Op_Sub,
-        &&Op_Mul,    &&Op_DivU,   &&Op_RemU,    &&Op_And,
-        &&Op_Or,     &&Op_Xor,    &&Op_Shl,     &&Op_Shr,
-        &&Op_AddImm, &&Op_MulImm, &&Op_CmpEq,   &&Op_CmpNe,
-        &&Op_CmpLt,  &&Op_CmpLe,  &&Op_Load,    &&Op_Store,
-        &&Op_Call,   &&Op_Br,     &&Op_CondBr,  &&Op_Switch,
-        &&Op_Ret,    &&Op_ProfSet, &&Op_ProfAdd, &&Op_ProfCountIdx,
-        &&Op_ProfCountConst, &&Op_ProfCheckedCountIdx};
-    const DecodedInstr *I;
-    PPP_DISPATCH();
-#else
-    for (;;) {
-      const DecodedInstr *const I = &Code[Ip];
-      if (Fuel == 0) [[unlikely]] {
-        Result.FuelExhausted = true;
-        goto Finish;
-      }
-      --Fuel;
-      Cost += I->Cost;
-
-      switch (I->Op) {
-#endif
-
-      PPP_OP(Const):
-        R[I->A] = I->Imm;
-        PPP_NEXT();
-      PPP_OP(Mov):
-        R[I->A] = R[I->B];
-        PPP_NEXT();
-      PPP_OP(Add):
-        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) +
-                                       static_cast<uint64_t>(R[I->C]));
-        PPP_NEXT();
-      PPP_OP(Sub):
-        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) -
-                                       static_cast<uint64_t>(R[I->C]));
-        PPP_NEXT();
-      PPP_OP(Mul):
-        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) *
-                                       static_cast<uint64_t>(R[I->C]));
-        PPP_NEXT();
-      PPP_OP(DivU):
-        R[I->A] = R[I->C] == 0
-                      ? 0
-                      : static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) /
-                                             static_cast<uint64_t>(R[I->C]));
-        PPP_NEXT();
-      PPP_OP(RemU):
-        R[I->A] = R[I->C] == 0
-                      ? 0
-                      : static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) %
-                                             static_cast<uint64_t>(R[I->C]));
-        PPP_NEXT();
-      PPP_OP(And):
-        R[I->A] = R[I->B] & R[I->C];
-        PPP_NEXT();
-      PPP_OP(Or):
-        R[I->A] = R[I->B] | R[I->C];
-        PPP_NEXT();
-      PPP_OP(Xor):
-        R[I->A] = R[I->B] ^ R[I->C];
-        PPP_NEXT();
-      PPP_OP(Shl):
-        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B])
-                                       << (static_cast<uint64_t>(R[I->C]) & 63));
-        PPP_NEXT();
-      PPP_OP(Shr):
-        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) >>
-                                       (static_cast<uint64_t>(R[I->C]) & 63));
-        PPP_NEXT();
-      PPP_OP(AddImm):
-        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) +
-                                       static_cast<uint64_t>(I->Imm));
-        PPP_NEXT();
-      PPP_OP(MulImm):
-        R[I->A] = static_cast<int64_t>(static_cast<uint64_t>(R[I->B]) *
-                                       static_cast<uint64_t>(I->Imm));
-        PPP_NEXT();
-      PPP_OP(CmpEq):
-        R[I->A] = R[I->B] == R[I->C];
-        PPP_NEXT();
-      PPP_OP(CmpNe):
-        R[I->A] = R[I->B] != R[I->C];
-        PPP_NEXT();
-      PPP_OP(CmpLt):
-        R[I->A] = R[I->B] < R[I->C];
-        PPP_NEXT();
-      PPP_OP(CmpLe):
-        R[I->A] = R[I->B] <= R[I->C];
-        PPP_NEXT();
-      PPP_OP(Load):
-        R[I->A] = Mem[static_cast<uint64_t>(R[I->B]) & AddrMask];
-        PPP_NEXT();
-      PPP_OP(Store):
-        Mem[static_cast<uint64_t>(R[I->B]) & AddrMask] = R[I->A];
-        PPP_NEXT();
-
-      PPP_OP(Call): {
-        int64_t Args[MaxCallArgs];
-        for (unsigned AI = 0; AI < I->NumArgs; ++AI)
-          Args[AI] = R[I->Args[AI]];
-        Fr.Ip = Ip + 1; // Resume after the call on return.
-        Fr.PathReg = PathReg;
-        FuncId Callee = I->Callee;
-        uint8_t NumArgs = I->NumArgs;
-        RegId Dest = I->A;
-        // NOTE: PushFrame may reallocate Stack and Regs; every cached
-        // pointer (Fr, Code, R, I) is dead after it.
-        PushFrame(Callee, Dest, Args, NumArgs);
-        goto FrameChanged;
-      }
-
-      PPP_OP(Br):
-        if constexpr (HasObservers)
-          for (ExecObserver *Obs : Observers)
-            Obs->onEdge(F, I->Block, 0);
-        Ip = TargetPool[I->TargetsBegin];
-        PPP_JUMP();
-      PPP_OP(CondBr): {
-        unsigned SuccIdx = R[I->A] != 0 ? 0 : 1;
-        if constexpr (HasObservers)
-          for (ExecObserver *Obs : Observers)
-            Obs->onEdge(F, I->Block, SuccIdx);
-        Ip = TargetPool[I->TargetsBegin + SuccIdx];
-        PPP_JUMP();
-      }
-      PPP_OP(Switch): {
-        unsigned SuccIdx = static_cast<unsigned>(
-            static_cast<uint64_t>(R[I->A]) % I->NumTargets);
-        if constexpr (HasObservers)
-          for (ExecObserver *Obs : Observers)
-            Obs->onEdge(F, I->Block, SuccIdx);
-        Ip = TargetPool[I->TargetsBegin + SuccIdx];
-        PPP_JUMP();
-      }
-
-      PPP_OP(Ret): {
-        int64_t Value = R[I->A];
-        RegId Dest = Fr.CallerDest;
-        uint32_t Base = Fr.RegBase;
-        if constexpr (HasObservers)
-          for (ExecObserver *Obs : Observers)
-            Obs->onFunctionExit(F);
-        Stack.pop_back();
-        Regs.resize(Base);
-        if (Stack.empty()) {
-          Result.ReturnValue = Value;
-          goto Finish;
-        }
-        if (Dest >= 0)
-          Regs[Stack.back().RegBase + static_cast<uint32_t>(Dest)] = Value;
-        goto FrameChanged;
-      }
-
-      PPP_OP(ProfSet):
-        PathReg = I->Imm;
-        PPP_NEXT();
-      PPP_OP(ProfAdd):
-        PathReg += I->Imm;
-        PPP_NEXT();
-      PPP_OP(ProfCountIdx):
-        assert(HasRuntime && "profiled module run without a ProfileRuntime");
-        if constexpr (HasRuntime)
-          Table->increment(PathReg + I->Imm);
-        PPP_NEXT();
-      PPP_OP(ProfCountConst):
-        assert(HasRuntime && "profiled module run without a ProfileRuntime");
-        if constexpr (HasRuntime)
-          Table->increment(I->Imm);
-        PPP_NEXT();
-      PPP_OP(ProfCheckedCountIdx):
-        assert(HasRuntime && "profiled module run without a ProfileRuntime");
-        if constexpr (HasRuntime)
-          Table->incrementChecked(PathReg + I->Imm);
-        PPP_NEXT();
-
-#if !PPP_THREADED_DISPATCH
-      }
-      ++Ip;
-    }
-#endif
-  FrameChanged:;
-  }
-
-Finish:
-  Result.DynInstrs = Opts.Fuel - Fuel;
-  Result.Cost = Cost;
-
-  // FNV-1a over the final memory image and the return value gives a
-  // cheap semantic fingerprint for preservation tests.
-  uint64_t H = 1469598103934665603ULL;
-  auto Mix = [&H](uint64_t V) {
-    for (unsigned B = 0; B < 8; ++B) {
-      H ^= (V >> (B * 8)) & 0xff;
-      H *= 1099511628211ULL;
-    }
-  };
-  for (int64_t W : Mem)
-    Mix(static_cast<uint64_t>(W));
-  Mix(static_cast<uint64_t>(Result.ReturnValue));
-  Result.MemChecksum = H;
-  return Result;
-}
+template RunResult Interpreter::runImpl<false, false, false>();
+template RunResult Interpreter::runImpl<false, true, false>();
+template RunResult Interpreter::runImpl<true, false, false>();
+template RunResult Interpreter::runImpl<true, true, false>();

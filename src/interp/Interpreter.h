@@ -67,8 +67,11 @@ struct InterpOptions {
 /// Construction decodes the module into flat code (see Decoded.h);
 /// run() executes only the decoded form. The dispatch loop is
 /// specialized on whether observers and a profiling runtime are
-/// attached, so the common clean-run case pays no per-event virtual
-/// dispatch; all four specializations produce bit-identical RunResults.
+/// attached -- and, orthogonally, on whether interpreter telemetry
+/// (obs::interpStatsEnabled(): per-opcode dispatch counts, PathTable
+/// probe statistics) is collected -- so the common clean-run case pays
+/// no per-event virtual dispatch and no telemetry cost; all
+/// specializations produce bit-identical RunResults.
 class Interpreter {
 public:
   explicit Interpreter(const Module &M,
@@ -86,7 +89,8 @@ public:
   RunResult run();
 
 private:
-  template <bool HasObservers, bool HasRuntime> RunResult runImpl();
+  template <bool HasObservers, bool HasRuntime, bool HasStats>
+  RunResult runImpl();
 
   DecodedModule DM;
   InterpOptions Opts;

@@ -58,6 +58,51 @@ void PathTable::increment(int64_t Index) {
   }
 }
 
+void PathTable::incrementStats(int64_t Index, PathProbeStats &S) {
+  ++S.Increments;
+  switch (TableKind) {
+  case Kind::None:
+    ++Invalid;
+    ++S.Invalid;
+    return;
+  case Kind::Array:
+    if (Index < 0 || static_cast<uint64_t>(Index) >= Counts.size()) {
+      ++Invalid;
+      ++S.Invalid;
+      return;
+    }
+    ++S.Probes;
+    ++Counts[static_cast<size_t>(Index)];
+    return;
+  case Kind::Hash: {
+    if (Index < 0) {
+      ++Invalid;
+      ++S.Invalid;
+      return;
+    }
+    uint64_t Key = static_cast<uint64_t>(Index);
+    uint64_t H = fastRemainder<PathHashSlots>(Key);
+    uint64_t Step = 1 + fastRemainder<PathHashSlots - 2>(Key);
+    for (unsigned Try = 0; Try < PathHashTries; ++Try) {
+      HashSlot &Slot = Slots[H];
+      ++S.Probes;
+      if (Slot.Key == Index || Slot.Count == 0) {
+        Slot.Key = Index;
+        ++Slot.Count;
+        return;
+      }
+      ++S.Collisions;
+      H += Step;
+      if (H >= PathHashSlots)
+        H -= PathHashSlots;
+    }
+    ++Lost;
+    ++S.Lost;
+    return;
+  }
+  }
+}
+
 uint64_t PathTable::countFor(int64_t Index) const {
   switch (TableKind) {
   case Kind::None:

@@ -70,6 +70,19 @@ template <uint64_t D> inline uint64_t fastRemainder(uint64_t N) {
 #endif
 }
 
+/// Counter-update statistics accumulated by the telemetry-enabled
+/// interpreter specialization (obs::interpStatsEnabled()). Locals in
+/// the dispatch loop, flushed to the obs registry once per run; the
+/// stats-free increment() overloads never touch them.
+struct PathProbeStats {
+  uint64_t Increments = 0; ///< Counter updates attempted.
+  uint64_t Probes = 0;     ///< Hash slots examined (array hits count 1).
+  uint64_t Collisions = 0; ///< Probes that found another path's slot.
+  uint64_t Lost = 0;       ///< Updates dropped after PathHashTries probes.
+  uint64_t Invalid = 0;    ///< Out-of-range indices (backstop counter).
+  uint64_t Cold = 0;       ///< Checked-counting poison hits.
+};
+
 /// A per-function path frequency table.
 class PathTable {
 public:
@@ -89,6 +102,11 @@ public:
   /// Records one execution of the path with index \p Index.
   void increment(int64_t Index);
 
+  /// increment() plus probe accounting into \p S. Must mutate the table
+  /// exactly like increment() -- the fastpath guard test pins that the
+  /// telemetry specialization is observationally identical.
+  void incrementStats(int64_t Index, PathProbeStats &S);
+
   /// Original-TPP checked counting: negative indices mean the register
   /// was poisoned on a cold edge; they bump the cold counter.
   void incrementChecked(int64_t Index) {
@@ -96,6 +114,17 @@ public:
       ++ColdChecked;
     else
       increment(Index);
+  }
+
+  /// incrementChecked() with probe accounting into \p S.
+  void incrementCheckedStats(int64_t Index, PathProbeStats &S) {
+    if (Index < 0) {
+      ++ColdChecked;
+      ++S.Increments;
+      ++S.Cold;
+    } else {
+      incrementStats(Index, S);
+    }
   }
 
   /// Cold paths caught by checked counting.

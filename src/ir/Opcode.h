@@ -68,6 +68,11 @@ enum class Opcode : uint8_t {
   ProfCheckedCountIdx,
 };
 
+/// Number of opcodes (for dense per-opcode tables, e.g. the dispatch
+/// jump table and the interpreter's telemetry counters).
+inline constexpr unsigned NumOpcodes =
+    static_cast<unsigned>(Opcode::ProfCheckedCountIdx) + 1;
+
 /// Returns true for opcodes that end a basic block.
 inline bool isTerminatorOpcode(Opcode Op) {
   switch (Op) {

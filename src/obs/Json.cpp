@@ -1,0 +1,257 @@
+//===- obs/Json.cpp - Minimal JSON value and parser --------------------------===//
+
+#include "obs/Json.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace ppp;
+using namespace ppp::obs;
+using namespace ppp::obs::json;
+
+const Value *Value::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  const Value *Found = nullptr;
+  for (const auto &[Name, V] : Obj)
+    if (Name == Key)
+      Found = &V; // Last duplicate wins.
+  return Found;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(Value &Out) {
+    skipWs();
+    if (!parseValue(Out, /*Depth=*/0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing garbage after document");
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+
+  static constexpr unsigned MaxDepth = 64;
+
+  bool fail(const char *Msg) {
+    Error = formatString("json: offset %zu: %s", Pos, Msg);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C, const char *Msg) {
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(Msg);
+    ++Pos;
+    return true;
+  }
+
+  bool literal(const char *Word) {
+    size_t N = 0;
+    while (Word[N])
+      ++N;
+    if (Text.compare(Pos, N, Word) != 0)
+      return fail("invalid literal");
+    Pos += N;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"', "expected string"))
+      return false;
+    Out.clear();
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("invalid \\u escape");
+        }
+        // BMP-only UTF-8 encoding; surrogates degrade to '?'.
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else if (Code >= 0xD800 && Code <= 0xDFFF) {
+          Out += '?';
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("invalid escape");
+      }
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Begin = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    if (Pos >= Text.size() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return fail("invalid number");
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    std::string Num = Text.substr(Begin, Pos - Begin);
+    char *End = nullptr;
+    Out.K = Value::Kind::Number;
+    Out.Num = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size())
+      return fail("invalid number");
+    return true;
+  }
+
+  bool parseValue(Value &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{': {
+      ++Pos;
+      Out.K = Value::Kind::Object;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (!consume(':', "expected ':' in object"))
+          return false;
+        skipWs();
+        Value V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(V));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume('}', "expected ',' or '}' in object");
+      }
+    }
+    case '[': {
+      ++Pos;
+      Out.K = Value::Kind::Array;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        Value V;
+        if (!parseValue(V, Depth + 1))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipWs();
+        if (Pos < Text.size() && Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        return consume(']', "expected ',' or ']' in array");
+      }
+    }
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.K = Value::Kind::Bool;
+      Out.B = true;
+      return literal("true");
+    case 'f':
+      Out.K = Value::Kind::Bool;
+      Out.B = false;
+      return literal("false");
+    case 'n':
+      Out.K = Value::Kind::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+};
+
+} // namespace
+
+bool ppp::obs::json::parse(const std::string &Text, Value &Out,
+                           std::string &Error) {
+  Out = Value();
+  return Parser(Text, Error).run(Out);
+}

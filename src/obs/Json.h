@@ -1,0 +1,52 @@
+//===- obs/Json.h - Minimal JSON value and parser --------------*- C++ -*-===//
+///
+/// \file
+/// A small recursive-descent JSON parser, just enough to validate and
+/// query what the telemetry layer itself emits (trace files, metrics
+/// run reports): the obs tests parse every emitted file back, and
+/// tools can verify well-formedness without external dependencies.
+/// Not a general-purpose library: no streaming, objects keep insertion
+/// order and allow duplicate keys (last one wins on lookup).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_OBS_JSON_H
+#define PPP_OBS_JSON_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppp {
+namespace obs {
+namespace json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member lookup (nullptr when absent or not an object).
+  const Value *get(const std::string &Key) const;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Returns false and fills \p Error with a
+/// byte offset and message on malformed input.
+bool parse(const std::string &Text, Value &Out, std::string &Error);
+
+} // namespace json
+} // namespace obs
+} // namespace ppp
+
+#endif // PPP_OBS_JSON_H

@@ -1,0 +1,381 @@
+//===- obs/Obs.cpp - Process-wide metrics registry --------------------------===//
+
+#include "obs/Obs.h"
+
+#include "obs/Trace.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+using namespace ppp;
+using namespace ppp::obs;
+
+unsigned ppp::obs::threadShardIndex() {
+  static std::atomic<unsigned> NextThread{0};
+  thread_local unsigned Index =
+      NextThread.fetch_add(1, std::memory_order_relaxed) % MetricShards;
+  return Index;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+Histogram::Histogram() : Min(UINT64_MAX), Max(0), Buckets(HistogramBuckets) {}
+
+void Histogram::record(uint64_t V) {
+  unsigned Shard = threadShardIndex();
+  CountShards[Shard].V.fetch_add(1, std::memory_order_relaxed);
+  SumShards[Shard].V.fetch_add(V, std::memory_order_relaxed);
+  unsigned Bucket = static_cast<unsigned>(std::bit_width(V));
+  Buckets[Bucket].V.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (V < Cur &&
+         !Min.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (V > Cur &&
+         !Max.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+Histogram::Data Histogram::data() const {
+  Data D;
+  for (unsigned S = 0; S < MetricShards; ++S) {
+    D.Count += CountShards[S].V.load(std::memory_order_relaxed);
+    D.Sum += SumShards[S].V.load(std::memory_order_relaxed);
+  }
+  D.Min = D.Count ? Min.load(std::memory_order_relaxed) : 0;
+  D.Max = Max.load(std::memory_order_relaxed);
+  D.Buckets.resize(HistogramBuckets, 0);
+  size_t Last = 0;
+  for (unsigned B = 0; B < HistogramBuckets; ++B) {
+    D.Buckets[B] = Buckets[B].V.load(std::memory_order_relaxed);
+    if (D.Buckets[B])
+      Last = B + 1;
+  }
+  D.Buckets.resize(Last);
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Metric {
+  MetricKind Kind;
+  uint64_t RegOrder;
+  std::unique_ptr<Counter> C;
+  std::unique_ptr<Gauge> G;
+  std::unique_ptr<Histogram> H;
+};
+
+void writeMetricsAtExit() {
+  std::string Path = metricsPath();
+  if (Path.empty())
+    return;
+  std::string Error;
+  if (!writeMetricsJson(Path, "", &Error))
+    fprintf(stderr, "warning: PPP_METRICS: %s\n", Error.c_str());
+}
+
+} // namespace
+
+struct Registry::Impl {
+  mutable std::mutex Mu;
+  std::map<std::string, Metric> Metrics;
+  uint64_t NextOrder = 0;
+
+  Metric &get(const std::string &Name, MetricKind Kind) {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Metrics.find(Name);
+    if (It == Metrics.end()) {
+      Metric M;
+      M.Kind = Kind;
+      M.RegOrder = NextOrder++;
+      switch (Kind) {
+      case MetricKind::Counter:
+        M.C.reset(new Counter());
+        break;
+      case MetricKind::Gauge:
+        M.G.reset(new Gauge());
+        break;
+      case MetricKind::Histogram:
+        M.H.reset(new Histogram());
+        break;
+      }
+      It = Metrics.emplace(Name, std::move(M)).first;
+    }
+    if (It->second.Kind != Kind) {
+      fprintf(stderr, "fatal: metric '%s' registered with two kinds\n",
+              Name.c_str());
+      abort();
+    }
+    return It->second;
+  }
+};
+
+Registry::Registry() : I(new Impl()) {
+  // The registry is the first obs object every instrumented subsystem
+  // touches, so hook the run report's at-exit emission here.
+  if (metricsEnabled())
+    std::atexit(writeMetricsAtExit);
+}
+
+Registry &Registry::instance() {
+  static Registry *R = new Registry(); // Leaked: see header.
+  return *R;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  return *I->get(Name, MetricKind::Counter).C;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  return *I->get(Name, MetricKind::Gauge).G;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  return *I->get(Name, MetricKind::Histogram).H;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot Snap;
+  std::lock_guard<std::mutex> L(I->Mu);
+  Snap.Entries.reserve(I->Metrics.size());
+  for (const auto &[Name, M] : I->Metrics) { // std::map: sorted by name.
+    SnapshotEntry E;
+    E.Name = Name;
+    E.Kind = M.Kind;
+    E.RegOrder = M.RegOrder;
+    switch (M.Kind) {
+    case MetricKind::Counter:
+      E.Count = M.C->value();
+      break;
+    case MetricKind::Gauge:
+      E.Value = M.G->value();
+      break;
+    case MetricKind::Histogram:
+      E.Histo = M.H->data();
+      E.Count = E.Histo.Count;
+      break;
+    }
+    Snap.Entries.push_back(std::move(E));
+  }
+  return Snap;
+}
+
+void Registry::resetForTesting() {
+  std::lock_guard<std::mutex> L(I->Mu);
+  for (auto &[Name, M] : I->Metrics) {
+    (void)Name;
+    switch (M.Kind) {
+    case MetricKind::Counter:
+      for (detail::ShardCell &S : M.C->Shards)
+        S.V.store(0, std::memory_order_relaxed);
+      break;
+    case MetricKind::Gauge:
+      M.G->Value.store(0, std::memory_order_relaxed);
+      break;
+    case MetricKind::Histogram:
+      for (unsigned S = 0; S < MetricShards; ++S) {
+        M.H->CountShards[S].V.store(0, std::memory_order_relaxed);
+        M.H->SumShards[S].V.store(0, std::memory_order_relaxed);
+      }
+      for (detail::ShardCell &B : M.H->Buckets)
+        B.V.store(0, std::memory_order_relaxed);
+      M.H->Min.store(UINT64_MAX, std::memory_order_relaxed);
+      M.H->Max.store(0, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+const SnapshotEntry *MetricsSnapshot::find(const std::string &Name) const {
+  auto It = std::lower_bound(
+      Entries.begin(), Entries.end(), Name,
+      [](const SnapshotEntry &E, const std::string &N) { return E.Name < N; });
+  return It != Entries.end() && It->Name == Name ? &*It : nullptr;
+}
+
+uint64_t MetricsSnapshot::counter(const std::string &Name) const {
+  const SnapshotEntry *E = find(Name);
+  return E && E->Kind == MetricKind::Counter ? E->Count : 0;
+}
+
+double MetricsSnapshot::gauge(const std::string &Name) const {
+  const SnapshotEntry *E = find(Name);
+  return E && E->Kind == MetricKind::Gauge ? E->Value : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Run report
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::mutex EnvMu;
+std::string MetricsPathOverride;
+bool HasMetricsPathOverride = false;
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+/// Gauges hold doubles; emit with enough digits to round-trip without
+/// printing 17 digits for simple values.
+std::string jsonNumber(double V) {
+  std::string S = formatString("%.12g", V);
+  // JSON needs a leading digit form ("nan"/"inf" are not JSON; clamp).
+  if (S.find_first_of("nN") != std::string::npos ||
+      S.find_first_of("iI") != std::string::npos)
+    return "0";
+  return S;
+}
+
+} // namespace
+
+std::string ppp::obs::metricsPath() {
+  {
+    std::lock_guard<std::mutex> L(EnvMu);
+    if (HasMetricsPathOverride)
+      return MetricsPathOverride;
+  }
+  static const std::string FromEnv = [] {
+    const char *E = std::getenv("PPP_METRICS");
+    return std::string(E ? E : "");
+  }();
+  return FromEnv;
+}
+
+bool ppp::obs::metricsEnabled() { return !metricsPath().empty(); }
+
+void ppp::obs::setMetricsPathForTesting(const std::string &Path) {
+  std::lock_guard<std::mutex> L(EnvMu);
+  MetricsPathOverride = Path;
+  HasMetricsPathOverride = true;
+}
+
+std::string ppp::obs::formatMetricsJson(const MetricsSnapshot &Snap,
+                                        const std::string &KeyPrefix) {
+  auto Selected = [&](const SnapshotEntry &E, MetricKind K) {
+    return E.Kind == K &&
+           (KeyPrefix.empty() || E.Name.rfind(KeyPrefix, 0) == 0);
+  };
+  std::string Out = "{\n  \"schema\": \"ppp-metrics-v1\",\n";
+  auto EmitSection = [&](const char *Title, MetricKind K, auto EmitValue) {
+    Out += formatString("  \"%s\": {", Title);
+    bool First = true;
+    for (const SnapshotEntry &E : Snap.Entries) {
+      if (!Selected(E, K))
+        continue;
+      Out += First ? "\n" : ",\n";
+      First = false;
+      Out += formatString("    \"%s\": ", jsonEscape(E.Name).c_str());
+      EmitValue(E);
+    }
+    Out += First ? "}" : "\n  }";
+  };
+  EmitSection("counters", MetricKind::Counter, [&](const SnapshotEntry &E) {
+    Out += formatString("%llu", static_cast<unsigned long long>(E.Count));
+  });
+  Out += ",\n";
+  EmitSection("gauges", MetricKind::Gauge, [&](const SnapshotEntry &E) {
+    Out += jsonNumber(E.Value);
+  });
+  Out += ",\n";
+  EmitSection("histograms", MetricKind::Histogram,
+              [&](const SnapshotEntry &E) {
+                const Histogram::Data &D = E.Histo;
+                Out += formatString(
+                    "{\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+                    "\"max\": %llu, \"log2_buckets\": [",
+                    static_cast<unsigned long long>(D.Count),
+                    static_cast<unsigned long long>(D.Sum),
+                    static_cast<unsigned long long>(D.Min),
+                    static_cast<unsigned long long>(D.Max));
+                for (size_t B = 0; B < D.Buckets.size(); ++B)
+                  Out += formatString(
+                      "%s%llu", B ? ", " : "",
+                      static_cast<unsigned long long>(D.Buckets[B]));
+                Out += "]}";
+              });
+  Out += "\n}\n";
+  return Out;
+}
+
+bool ppp::obs::writeMetricsJson(const std::string &Path,
+                                const std::string &KeyPrefix,
+                                std::string *Error) {
+  std::string Body = formatMetricsJson(snapshot(), KeyPrefix);
+  FILE *F = fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Error)
+      *Error = formatString("cannot write '%s'", Path.c_str());
+    return false;
+  }
+  bool Ok = fwrite(Body.data(), 1, Body.size(), F) == Body.size();
+  Ok &= fclose(F) == 0;
+  if (!Ok && Error)
+    *Error = formatString("short write to '%s'", Path.c_str());
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter profiling gate
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<int> InterpStatsForce{-1};
+} // namespace
+
+bool ppp::obs::interpStatsEnabled() {
+  int Force = InterpStatsForce.load(std::memory_order_relaxed);
+  if (Force >= 0)
+    return Force != 0;
+  static const bool FromEnv = [] {
+    if (const char *E = std::getenv("PPP_INTERP_STATS"))
+      return std::strcmp(E, "0") != 0 && *E != '\0';
+    return false;
+  }();
+  return FromEnv || metricsEnabled();
+}
+
+void ppp::obs::setInterpStatsForTesting(int Force) {
+  InterpStatsForce.store(Force, std::memory_order_relaxed);
+}

@@ -1,0 +1,253 @@
+//===- obs/Trace.cpp - Chrome trace_event recorder --------------------------===//
+
+#include "obs/Trace.h"
+
+#include "support/Format.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+using namespace ppp;
+using namespace ppp::obs;
+
+namespace {
+
+struct TraceEvent {
+  std::string Name;
+  const char *Category; ///< String literal; never owned.
+  char Phase;           ///< 'X' complete, 'M' metadata (thread_name).
+  uint32_t Tid;
+  uint64_t StartUs;
+  uint64_t DurUs;
+};
+
+struct TraceState {
+  std::mutex Mu;
+  bool Enabled = false;
+  std::string Path;
+  std::vector<TraceEvent> Events; ///< Spliced from finished threads.
+  std::atomic<uint32_t> NextTid{1};
+  bool AtExitInstalled = false;
+  uint64_t Generation = 0; ///< Bumped by traceConfigure() resets.
+};
+
+TraceState &state() {
+  static TraceState *S = new TraceState(); // Leaked: outlives TLS dtors.
+  return *S;
+}
+
+void traceFlushAtExit() { traceFlush(); }
+
+/// Per-thread event buffer; splices itself into the global list on
+/// thread exit (main thread's TLS dtors run before atexit handlers, so
+/// the at-exit flush sees every event).
+struct ThreadBuf {
+  uint32_t Tid;
+  uint64_t Generation;
+  std::vector<TraceEvent> Events;
+
+  ThreadBuf() {
+    TraceState &S = state();
+    Tid = S.NextTid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> L(S.Mu);
+    Generation = S.Generation;
+  }
+  ~ThreadBuf() { splice(); }
+
+  void splice() {
+    TraceState &S = state();
+    std::lock_guard<std::mutex> L(S.Mu);
+    if (Generation != S.Generation) { // Configure reset: drop stale events.
+      Generation = S.Generation;
+      Events.clear();
+      return;
+    }
+    S.Events.insert(S.Events.end(), std::make_move_iterator(Events.begin()),
+                    std::make_move_iterator(Events.end()));
+    Events.clear();
+  }
+};
+
+ThreadBuf &threadBuf() {
+  thread_local ThreadBuf B;
+  return B;
+}
+
+/// The cached enabled flag lives in an atomic so traceConfigure() can
+/// flip it; the common disabled case is one relaxed load.
+std::atomic<int> EnabledFlag{-1}; // -1 = not yet initialized from env.
+
+void initFromEnvLocked(TraceState &S) {
+  const char *E = std::getenv("PPP_TRACE");
+  S.Enabled = E && *E;
+  S.Path = S.Enabled ? E : "";
+  if (S.Enabled && !S.AtExitInstalled) {
+    std::atexit(traceFlushAtExit);
+    S.AtExitInstalled = true;
+  }
+  EnabledFlag.store(S.Enabled ? 1 : 0, std::memory_order_release);
+}
+
+void appendEvent(TraceEvent E) {
+  ThreadBuf &B = threadBuf();
+  TraceState &S = state();
+  {
+    // Cheap staleness check without holding the lock on every event:
+    // only re-read the generation when the buffer is empty.
+    if (B.Events.empty()) {
+      std::lock_guard<std::mutex> L(S.Mu);
+      B.Generation = S.Generation;
+    }
+  }
+  E.Tid = B.Tid;
+  B.Events.push_back(std::move(E));
+  // Bound per-thread memory: long-lived threads splice periodically.
+  if (B.Events.size() >= 4096)
+    B.splice();
+}
+
+} // namespace
+
+bool ppp::obs::traceEnabled() {
+  int F = EnabledFlag.load(std::memory_order_acquire);
+  if (F >= 0)
+    return F != 0;
+  TraceState &S = state();
+  std::lock_guard<std::mutex> L(S.Mu);
+  if (EnabledFlag.load(std::memory_order_acquire) < 0)
+    initFromEnvLocked(S);
+  return S.Enabled;
+}
+
+std::string ppp::obs::tracePath() {
+  traceEnabled(); // Ensure env init.
+  TraceState &S = state();
+  std::lock_guard<std::mutex> L(S.Mu);
+  return S.Path;
+}
+
+void ppp::obs::traceConfigure(const std::string &Path) {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> L(S.Mu);
+  S.Enabled = !Path.empty();
+  S.Path = Path;
+  S.Events.clear();
+  ++S.Generation; // Invalidate events still buffered in live threads.
+  if (S.Enabled && !S.AtExitInstalled) {
+    std::atexit(traceFlushAtExit);
+    S.AtExitInstalled = true;
+  }
+  EnabledFlag.store(S.Enabled ? 1 : 0, std::memory_order_release);
+}
+
+uint64_t ppp::obs::traceEpochNow() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Epoch)
+          .count());
+}
+
+void ppp::obs::traceThreadName(const std::string &Name) {
+#if defined(__linux__)
+  // Linux caps thread names at 15 characters + NUL.
+  pthread_setname_np(pthread_self(), Name.substr(0, 15).c_str());
+#endif
+  if (!traceEnabled())
+    return;
+  TraceEvent E;
+  E.Name = Name;
+  E.Category = "__metadata";
+  E.Phase = 'M';
+  E.StartUs = 0;
+  E.DurUs = 0;
+  appendEvent(std::move(E));
+}
+
+void ppp::obs::traceCompleteEvent(std::string Name, const char *Category,
+                                  uint64_t StartUs, uint64_t EndUs) {
+  if (!traceEnabled())
+    return;
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Category = Category ? Category : "ppp";
+  E.Phase = 'X';
+  E.StartUs = StartUs;
+  E.DurUs = EndUs >= StartUs ? EndUs - StartUs : 0;
+  appendEvent(std::move(E));
+}
+
+void ScopedSpan::begin(std::string SpanName, const char *Cat) {
+  Active = true;
+  Name = std::move(SpanName);
+  Category = Cat;
+  StartUs = traceEpochNow();
+}
+
+void ScopedSpan::end() {
+  Active = false;
+  traceCompleteEvent(std::move(Name), Category, StartUs, traceEpochNow());
+}
+
+bool ppp::obs::traceFlush(std::string *Error) {
+  TraceState &S = state();
+  threadBuf().splice(); // Pick up the calling thread's buffer.
+  std::lock_guard<std::mutex> L(S.Mu);
+  if (!S.Enabled || S.Path.empty()) {
+    if (Error)
+      *Error = "tracing disabled";
+    return false;
+  }
+  FILE *F = fopen(S.Path.c_str(), "w");
+  if (!F) {
+    if (Error)
+      *Error = formatString("cannot write '%s'", S.Path.c_str());
+    return false;
+  }
+  fprintf(F, "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+  auto Escape = [](const std::string &In) {
+    std::string Out;
+    Out.reserve(In.size());
+    for (char C : In) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += ' ';
+      else
+        Out += C;
+    }
+    return Out;
+  };
+  bool First = true;
+  for (const TraceEvent &E : S.Events) {
+    fprintf(F, "%s\n", First ? "" : ",");
+    First = false;
+    if (E.Phase == 'M') {
+      fprintf(F,
+              "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+              "\"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+              E.Tid, Escape(E.Name).c_str());
+    } else {
+      fprintf(F,
+              "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+              "\"pid\": 1, \"tid\": %u, \"ts\": %llu, \"dur\": %llu}",
+              Escape(E.Name).c_str(), Escape(E.Category).c_str(), E.Tid,
+              static_cast<unsigned long long>(E.StartUs),
+              static_cast<unsigned long long>(E.DurUs));
+    }
+  }
+  fprintf(F, "\n]}\n");
+  bool Ok = fclose(F) == 0;
+  if (!Ok && Error)
+    *Error = formatString("short write to '%s'", S.Path.c_str());
+  return Ok;
+}

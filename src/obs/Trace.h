@@ -1,0 +1,96 @@
+//===- obs/Trace.h - Chrome trace_event recorder ---------------*- C++ -*-===//
+///
+/// \file
+/// A scoped-timer trace recorder emitting Chrome trace_event JSON
+/// (loadable in chrome://tracing or https://ui.perfetto.dev). Enabled
+/// by PPP_TRACE=<path>; the file is written at process exit (or by an
+/// explicit traceFlush()).
+///
+/// Spans are RAII: `obs::ScopedSpan S("prepare:", Spec.Name);` records
+/// a complete event ("ph":"X") covering the scope's lifetime. Each
+/// thread buffers its events in a thread_local vector; buffers are
+/// spliced into the global recorder when the thread exits and the whole
+/// set is serialized once at flush, so recording takes no lock and no
+/// I/O. When tracing is disabled a span constructor is one cached
+/// boolean test -- no clock read, no allocation.
+///
+/// Threads are identified by a small sequential tid; traceThreadName()
+/// attaches a human-readable name as a trace metadata event (the pool
+/// workers call it, so per-worker utilization is visible on named
+/// rows).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_OBS_TRACE_H
+#define PPP_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+
+namespace ppp {
+namespace obs {
+
+/// True when spans are being recorded (PPP_TRACE set, or a
+/// traceConfigure() override is active).
+bool traceEnabled();
+
+/// The active trace destination ("" when disabled).
+std::string tracePath();
+
+/// Test/CLI hook: record to \p Path from now on ("" disables). Drops
+/// any already-buffered events so a test starts from a clean trace.
+void traceConfigure(const std::string &Path);
+
+/// Serializes every buffered event to the active path. Safe to call
+/// multiple times (rewrites the file with everything recorded so far).
+/// Returns false and fills \p Error on I/O failure or when disabled.
+bool traceFlush(std::string *Error = nullptr);
+
+/// Names the calling thread in the trace (metadata event) and, on
+/// Linux, via pthread_setname_np so external profilers agree.
+void traceThreadName(const std::string &Name);
+
+/// Records one complete event [start, end) on the calling thread.
+/// Timestamps are microseconds from traceEpochNow()'s origin.
+void traceCompleteEvent(std::string Name, const char *Category,
+                        uint64_t StartUs, uint64_t EndUs);
+
+/// Microseconds since the process's trace epoch (first use).
+uint64_t traceEpochNow();
+
+/// RAII span: records a complete event for the enclosing scope. The
+/// (Prefix, Suffix) constructor concatenates only when tracing is
+/// enabled, so hot call sites pay nothing for label building.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(std::string Name, const char *Category = "ppp") {
+    if (traceEnabled())
+      begin(std::move(Name), Category);
+  }
+  ScopedSpan(const char *Prefix, const std::string &Suffix,
+             const char *Category = "ppp") {
+    if (traceEnabled())
+      begin(std::string(Prefix) + Suffix, Category);
+  }
+  ~ScopedSpan() {
+    if (Active)
+      end();
+  }
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+private:
+  void begin(std::string Name, const char *Category);
+  void end();
+
+  bool Active = false;
+  uint64_t StartUs = 0;
+  std::string Name;
+  const char *Category = nullptr;
+};
+
+} // namespace obs
+} // namespace ppp
+
+#endif // PPP_OBS_TRACE_H

@@ -3,9 +3,12 @@
 #include "pass/PassManager.h"
 
 #include "ir/Verifier.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
 #include "pass/AnalysisManager.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -15,60 +18,76 @@
 using namespace ppp;
 
 //===----------------------------------------------------------------------===//
-// Process-wide pass statistics (PPP_PASS_STATS=1)
+// Process-wide pass statistics
 //===----------------------------------------------------------------------===//
+//
+// Every pass run is recorded in the obs metrics registry under
+// pass.<name>.{runs,wall_ns,analyses.computed,analyses.cached,
+// functions.preserved,functions.skipped}, so pass telemetry flows into
+// the PPP_METRICS run report like every other subsystem's. The
+// PPP_PASS_STATS=1 at-exit table is now just a stderr *view* over the
+// registry, printed in first-recorded pass order (the historical
+// format, unchanged).
 
 namespace {
 
-struct PassStatRow {
-  std::string Name;
-  uint64_t Invocations = 0;
-  uint64_t WallNanos = 0;
-  uint64_t AnalysesComputed = 0;
-  uint64_t AnalysesCached = 0;
-  uint64_t FunctionsPreserved = 0;
-  uint64_t FunctionsSkipped = 0;
-};
-
-// The experiment drivers run benchmarks on worker threads, each with
-// its own pass manager; the registry is the one shared point.
-std::mutex StatsMutex;
-std::vector<PassStatRow> &statsRows() {
-  static std::vector<PassStatRow> Rows;
-  return Rows;
-}
-
 void printStatsTable() {
-  std::lock_guard<std::mutex> Lock(StatsMutex);
-  const std::vector<PassStatRow> &Rows = statsRows();
+  obs::MetricsSnapshot Snap = obs::snapshot();
+
+  // Rebuild the per-pass rows from the registry: every "pass.<name>.runs"
+  // counter anchors one row, ordered by registration (= first-recorded)
+  // order, which is what the bespoke table printed historically.
+  struct Row {
+    std::string Name;
+    uint64_t RegOrder;
+  };
+  std::vector<Row> Rows;
+  for (const obs::SnapshotEntry &E : Snap.Entries) {
+    constexpr const char Prefix[] = "pass.";
+    constexpr const char Suffix[] = ".runs";
+    if (E.Name.size() > sizeof(Prefix) + sizeof(Suffix) - 2 &&
+        E.Name.rfind(Prefix, 0) == 0 &&
+        E.Name.compare(E.Name.size() - (sizeof(Suffix) - 1),
+                       sizeof(Suffix) - 1, Suffix) == 0)
+      Rows.push_back({E.Name.substr(sizeof(Prefix) - 1,
+                                    E.Name.size() - sizeof(Prefix) -
+                                        sizeof(Suffix) + 2),
+                      E.RegOrder});
+  }
   if (Rows.empty())
     return;
+  std::sort(Rows.begin(), Rows.end(),
+            [](const Row &A, const Row &B) { return A.RegOrder < B.RegOrder; });
+
   fprintf(stderr, "\n=== pass statistics (PPP_PASS_STATS) ===\n");
   fprintf(stderr, "%-24s %8s %10s %10s %10s %10s %9s\n", "pass", "runs",
           "wall-ms", "computed", "cached", "preserved", "skipped");
-  PassStatRow Total;
-  for (const PassStatRow &R : Rows) {
+  uint64_t Total[6] = {};
+  for (const Row &R : Rows) {
+    const std::string Base = "pass." + R.Name + ".";
+    uint64_t V[6] = {Snap.counter(Base + "runs"),
+                     Snap.counter(Base + "wall_ns"),
+                     Snap.counter(Base + "analyses.computed"),
+                     Snap.counter(Base + "analyses.cached"),
+                     Snap.counter(Base + "functions.preserved"),
+                     Snap.counter(Base + "functions.skipped")};
     fprintf(stderr, "%-24s %8llu %10.2f %10llu %10llu %10llu %9llu\n",
-            R.Name.c_str(), static_cast<unsigned long long>(R.Invocations),
-            static_cast<double>(R.WallNanos) / 1e6,
-            static_cast<unsigned long long>(R.AnalysesComputed),
-            static_cast<unsigned long long>(R.AnalysesCached),
-            static_cast<unsigned long long>(R.FunctionsPreserved),
-            static_cast<unsigned long long>(R.FunctionsSkipped));
-    Total.Invocations += R.Invocations;
-    Total.WallNanos += R.WallNanos;
-    Total.AnalysesComputed += R.AnalysesComputed;
-    Total.AnalysesCached += R.AnalysesCached;
-    Total.FunctionsPreserved += R.FunctionsPreserved;
-    Total.FunctionsSkipped += R.FunctionsSkipped;
+            R.Name.c_str(), static_cast<unsigned long long>(V[0]),
+            static_cast<double>(V[1]) / 1e6,
+            static_cast<unsigned long long>(V[2]),
+            static_cast<unsigned long long>(V[3]),
+            static_cast<unsigned long long>(V[4]),
+            static_cast<unsigned long long>(V[5]));
+    for (int I = 0; I < 6; ++I)
+      Total[I] += V[I];
   }
   fprintf(stderr, "%-24s %8llu %10.2f %10llu %10llu %10llu %9llu\n", "total",
-          static_cast<unsigned long long>(Total.Invocations),
-          static_cast<double>(Total.WallNanos) / 1e6,
-          static_cast<unsigned long long>(Total.AnalysesComputed),
-          static_cast<unsigned long long>(Total.AnalysesCached),
-          static_cast<unsigned long long>(Total.FunctionsPreserved),
-          static_cast<unsigned long long>(Total.FunctionsSkipped));
+          static_cast<unsigned long long>(Total[0]),
+          static_cast<double>(Total[1]) / 1e6,
+          static_cast<unsigned long long>(Total[2]),
+          static_cast<unsigned long long>(Total[3]),
+          static_cast<unsigned long long>(Total[4]),
+          static_cast<unsigned long long>(Total[5]));
 }
 
 } // namespace
@@ -85,29 +104,17 @@ void ppp::recordPassRun(const std::string &Name, uint64_t WallNanos,
                         uint64_t AnalysesComputed, uint64_t AnalysesCached,
                         uint64_t FunctionsPreserved,
                         uint64_t FunctionsSkipped) {
-  if (!passStatsEnabled())
-    return;
-  std::lock_guard<std::mutex> Lock(StatsMutex);
-  std::vector<PassStatRow> &Rows = statsRows();
-  if (Rows.empty())
-    std::atexit(printStatsTable);
-  PassStatRow *Row = nullptr;
-  for (PassStatRow &R : Rows)
-    if (R.Name == Name) {
-      Row = &R;
-      break;
-    }
-  if (!Row) {
-    Rows.emplace_back();
-    Row = &Rows.back();
-    Row->Name = Name;
+  if (passStatsEnabled()) {
+    static std::once_flag Once;
+    std::call_once(Once, [] { std::atexit(printStatsTable); });
   }
-  ++Row->Invocations;
-  Row->WallNanos += WallNanos;
-  Row->AnalysesComputed += AnalysesComputed;
-  Row->AnalysesCached += AnalysesCached;
-  Row->FunctionsPreserved += FunctionsPreserved;
-  Row->FunctionsSkipped += FunctionsSkipped;
+  const std::string Base = "pass." + Name + ".";
+  obs::counter(Base + "runs").inc();
+  obs::counter(Base + "wall_ns").inc(WallNanos);
+  obs::counter(Base + "analyses.computed").inc(AnalysesComputed);
+  obs::counter(Base + "analyses.cached").inc(AnalysesCached);
+  obs::counter(Base + "functions.preserved").inc(FunctionsPreserved);
+  obs::counter(Base + "functions.skipped").inc(FunctionsSkipped);
 }
 
 //===----------------------------------------------------------------------===//
@@ -129,6 +136,7 @@ bool ModulePassManager::run(Module &M, FunctionAnalysisManager &FAM,
   for (const std::unique_ptr<ModulePass> &P : Passes) {
     AnalysisStats Before = FAM.totals();
     uint64_t SkippedBefore = Ctx.FunctionsSkipped;
+    obs::ScopedSpan Span("pass:", P->name(), "pass");
     auto T0 = std::chrono::steady_clock::now();
 
     PreservedAnalyses PA = P->run(M, FAM, Ctx);

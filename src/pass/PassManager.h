@@ -6,9 +6,11 @@
 /// caches are invalidated exactly where a transform touched the module.
 ///
 /// Instrumented for observability: every pass run is timed and recorded
-/// in a process-wide registry (invocations, wall time, analyses
-/// computed vs served from cache, functions preserved/skipped). Set
-/// PPP_PASS_STATS=1 to dump the aggregated table to stderr at process
+/// in the process-wide obs metrics registry (obs/Obs.h) under
+/// pass.<name>.* (invocations, wall time, analyses computed vs served
+/// from cache, functions preserved/skipped), and emitted as a trace
+/// span when PPP_TRACE is active. Set PPP_PASS_STATS=1 to dump the
+/// aggregated table (a view over the registry) to stderr at process
 /// exit -- stderr, so the experiment stdout byte-identity contract is
 /// untouched.
 ///
@@ -59,8 +61,10 @@ private:
 /// stderr at exit.
 bool passStatsEnabled();
 
-/// Records one pass run in the process-wide stats table (keyed by pass
-/// name, first-seen order). No-op unless passStatsEnabled().
+/// Records one pass run in the obs metrics registry (pass.<name>.*
+/// counters, keyed by pass name, first-seen order). Always recorded --
+/// the registry write is a few relaxed atomic adds -- so the PPP_METRICS
+/// run report covers passes even when the stderr table is off.
 void recordPassRun(const std::string &Name, uint64_t WallNanos,
                    uint64_t AnalysesComputed, uint64_t AnalysesCached,
                    uint64_t FunctionsPreserved, uint64_t FunctionsSkipped);

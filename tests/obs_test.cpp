@@ -1,0 +1,454 @@
+//===- tests/obs_test.cpp - Telemetry layer tests -----------------------------===//
+///
+/// Pins the observability substrate (DESIGN.md §7): the metrics
+/// registry's concurrent correctness and snapshot determinism, the
+/// run-report JSON (parse-back through obs/Json.h), the Chrome trace
+/// recorder, and -- most importantly -- the fastpath guard: enabling
+/// interpreter telemetry must be observationally invisible (identical
+/// RunResults and path tables), because the experiment binaries'
+/// byte-identity contract depends on it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "interp/Interpreter.h"
+#include "interp/PathTable.h"
+#include "obs/Json.h"
+#include "obs/Obs.h"
+#include "obs/Trace.h"
+#include "pathprof/Profilers.h"
+#include "workload/Suite.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+namespace {
+
+std::string tempFile(const char *Tag) {
+  std::error_code Ec;
+  return (std::filesystem::temp_directory_path(Ec) /
+          ("ppp-obs-test-" + std::to_string(::getpid()) + "-" + Tag +
+           ".json"))
+      .string();
+}
+
+std::string slurp(const std::string &Path) {
+  FILE *F = fopen(Path.c_str(), "rb");
+  if (!F)
+    return "";
+  std::string Out;
+  char Buf[4096];
+  for (size_t N; (N = fread(Buf, 1, sizeof(Buf), F)) > 0;)
+    Out.append(Buf, N);
+  fclose(F);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRegistry, CounterConcurrentSum) {
+  obs::Registry::instance().resetForTesting();
+  obs::Counter &C = obs::counter("test.counter.concurrent");
+  constexpr unsigned Threads = 8, PerThread = 100000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&C] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        C.inc();
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(C.value(), uint64_t(Threads) * PerThread);
+
+  // Handles are stable: re-lookup returns the same counter.
+  EXPECT_EQ(&obs::counter("test.counter.concurrent"), &C);
+}
+
+TEST(ObsRegistry, HistogramConcurrentAndBuckets) {
+  obs::Registry::instance().resetForTesting();
+  obs::Histogram &H = obs::histogram("test.histo.concurrent");
+  constexpr unsigned Threads = 4, PerThread = 50000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&H, T] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        H.record(T + 1); // Values 1..4.
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  obs::Histogram::Data D = H.data();
+  EXPECT_EQ(D.Count, uint64_t(Threads) * PerThread);
+  EXPECT_EQ(D.Sum, uint64_t(PerThread) * (1 + 2 + 3 + 4));
+  EXPECT_EQ(D.Min, 1u);
+  EXPECT_EQ(D.Max, 4u);
+
+  // Log2 bucket semantics: bucket B holds values with bit_width == B.
+  obs::Histogram &B = obs::histogram("test.histo.buckets");
+  B.record(0);    // bucket 0
+  B.record(1);    // bucket 1
+  B.record(2);    // bucket 2
+  B.record(3);    // bucket 2
+  B.record(1024); // bucket 11
+  obs::Histogram::Data BD = B.data();
+  ASSERT_GE(BD.Buckets.size(), 12u);
+  EXPECT_EQ(BD.Buckets[0], 1u);
+  EXPECT_EQ(BD.Buckets[1], 1u);
+  EXPECT_EQ(BD.Buckets[2], 2u);
+  EXPECT_EQ(BD.Buckets[11], 1u);
+  EXPECT_EQ(BD.Min, 0u);
+  EXPECT_EQ(BD.Max, 1024u);
+}
+
+TEST(ObsRegistry, GaugeLastValueWins) {
+  obs::Registry::instance().resetForTesting();
+  obs::Gauge &G = obs::gauge("test.gauge");
+  G.set(1.5);
+  G.set(2.5);
+  EXPECT_DOUBLE_EQ(G.value(), 2.5);
+  EXPECT_DOUBLE_EQ(obs::snapshot().gauge("test.gauge"), 2.5);
+}
+
+TEST(ObsRegistry, SnapshotDeterministicAndSorted) {
+  obs::Registry::instance().resetForTesting();
+  obs::counter("test.z.last").inc(3);
+  obs::counter("test.a.first").inc(1);
+  obs::gauge("test.m.middle").set(7);
+
+  obs::MetricsSnapshot S1 = obs::snapshot();
+  obs::MetricsSnapshot S2 = obs::snapshot();
+  ASSERT_EQ(S1.Entries.size(), S2.Entries.size());
+  for (size_t I = 0; I < S1.Entries.size(); ++I) {
+    EXPECT_EQ(S1.Entries[I].Name, S2.Entries[I].Name);
+    EXPECT_EQ(S1.Entries[I].Count, S2.Entries[I].Count);
+    EXPECT_EQ(S1.Entries[I].Value, S2.Entries[I].Value);
+    if (I) {
+      EXPECT_LT(S1.Entries[I - 1].Name, S1.Entries[I].Name);
+    }
+  }
+  EXPECT_EQ(S1.counter("test.a.first"), 1u);
+  EXPECT_EQ(S1.counter("test.z.last"), 3u);
+
+  // RegOrder records first-registration order even though entries are
+  // name-sorted (the PPP_PASS_STATS view depends on this).
+  const obs::SnapshotEntry *Z = S1.find("test.z.last");
+  const obs::SnapshotEntry *A = S1.find("test.a.first");
+  ASSERT_TRUE(Z && A);
+  EXPECT_LT(Z->RegOrder, A->RegOrder);
+}
+
+//===----------------------------------------------------------------------===//
+// Run report (PPP_METRICS)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsMetricsJson, FormatParsesBackAndFilters) {
+  obs::Registry::instance().resetForTesting();
+  obs::counter("test.json.counter").inc(42);
+  obs::gauge("test.json.gauge").set(1.25);
+  obs::histogram("test.json.histo").record(100);
+  obs::counter("other.counter").inc(7);
+
+  obs::json::Value V;
+  std::string Error;
+  ASSERT_TRUE(obs::json::parse(obs::formatMetricsJson(obs::snapshot()), V,
+                               Error))
+      << Error;
+  ASSERT_TRUE(V.isObject());
+  const obs::json::Value *Schema = V.get("schema");
+  ASSERT_TRUE(Schema && Schema->isString());
+  EXPECT_EQ(Schema->Str, "ppp-metrics-v1");
+
+  const obs::json::Value *Counters = V.get("counters");
+  ASSERT_TRUE(Counters && Counters->isObject());
+  const obs::json::Value *C = Counters->get("test.json.counter");
+  ASSERT_TRUE(C && C->isNumber());
+  EXPECT_EQ(C->Num, 42);
+  EXPECT_TRUE(Counters->get("other.counter"));
+
+  const obs::json::Value *Gauges = V.get("gauges");
+  ASSERT_TRUE(Gauges && Gauges->isObject());
+  const obs::json::Value *G = Gauges->get("test.json.gauge");
+  ASSERT_TRUE(G && G->isNumber());
+  EXPECT_DOUBLE_EQ(G->Num, 1.25);
+
+  const obs::json::Value *Histos = V.get("histograms");
+  ASSERT_TRUE(Histos && Histos->isObject());
+  const obs::json::Value *H = Histos->get("test.json.histo");
+  ASSERT_TRUE(H && H->isObject());
+  EXPECT_EQ(H->get("count")->Num, 1);
+  EXPECT_EQ(H->get("sum")->Num, 100);
+
+  // Prefix filtering keeps only matching keys (the throughput
+  // trajectory file relies on this).
+  obs::json::Value F;
+  ASSERT_TRUE(obs::json::parse(
+      obs::formatMetricsJson(obs::snapshot(), "test.json."), F, Error))
+      << Error;
+  EXPECT_TRUE(F.get("counters")->get("test.json.counter"));
+  EXPECT_FALSE(F.get("counters")->get("other.counter"));
+}
+
+TEST(ObsMetricsJson, WriteToFileRoundTrip) {
+  obs::Registry::instance().resetForTesting();
+  obs::counter("test.file.counter").inc(9);
+  std::string Path = tempFile("metrics");
+  std::string Error;
+  ASSERT_TRUE(obs::writeMetricsJson(Path, "", &Error)) << Error;
+
+  obs::json::Value V;
+  ASSERT_TRUE(obs::json::parse(slurp(Path), V, Error)) << Error;
+  EXPECT_EQ(V.get("counters")->get("test.file.counter")->Num, 9);
+  std::error_code Ec;
+  std::filesystem::remove(Path, Ec);
+
+  // Unwritable destination reports failure instead of dying.
+  EXPECT_FALSE(
+      obs::writeMetricsJson("/nonexistent-dir/metrics.json", "", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Trace recorder (PPP_TRACE)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTrace, SpansRoundTripThroughJson) {
+  std::string Path = tempFile("trace");
+  obs::traceConfigure(Path);
+  ASSERT_TRUE(obs::traceEnabled());
+
+  {
+    obs::ScopedSpan Outer(std::string("outer"), "test");
+    obs::ScopedSpan Inner("inner:", std::string("suffix"), "test");
+  }
+  std::thread Worker([] {
+    obs::traceThreadName("ppp-test-worker");
+    obs::ScopedSpan Span(std::string("worker-span"), "test");
+  });
+  Worker.join();
+
+  std::string Error;
+  ASSERT_TRUE(obs::traceFlush(&Error)) << Error;
+  obs::traceConfigure("");
+  EXPECT_FALSE(obs::traceEnabled());
+
+  obs::json::Value V;
+  ASSERT_TRUE(obs::json::parse(slurp(Path), V, Error)) << Error;
+  const obs::json::Value *Events = V.get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+
+  bool SawOuter = false, SawInner = false, SawWorkerSpan = false,
+       SawThreadName = false;
+  for (const obs::json::Value &E : Events->Arr) {
+    const obs::json::Value *Ph = E.get("ph");
+    const obs::json::Value *Name = E.get("name");
+    ASSERT_TRUE(Ph && Name);
+    if (Ph->Str == "X") {
+      ASSERT_TRUE(E.get("ts") && E.get("dur"));
+      EXPECT_GE(E.get("dur")->Num, 0);
+      if (Name->Str == "outer")
+        SawOuter = true;
+      if (Name->Str == "inner:suffix")
+        SawInner = true;
+      if (Name->Str == "worker-span")
+        SawWorkerSpan = true;
+    } else if (Ph->Str == "M" && Name->Str == "thread_name") {
+      const obs::json::Value *NameArg =
+          E.get("args") ? E.get("args")->get("name") : nullptr;
+      if (NameArg && NameArg->Str == "ppp-test-worker")
+        SawThreadName = true;
+    }
+  }
+  EXPECT_TRUE(SawOuter);
+  EXPECT_TRUE(SawInner);
+  EXPECT_TRUE(SawWorkerSpan);
+  EXPECT_TRUE(SawThreadName);
+  std::error_code Ec;
+  std::filesystem::remove(Path, Ec);
+}
+
+TEST(ObsTrace, DisabledRecorderIsInert) {
+  obs::traceConfigure("");
+  EXPECT_FALSE(obs::traceEnabled());
+  { obs::ScopedSpan Span(std::string("ignored"), "test"); }
+  std::string Error;
+  EXPECT_FALSE(obs::traceFlush(&Error)); // Nothing to flush to.
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter telemetry: the fastpath guard
+//===----------------------------------------------------------------------===//
+
+void expectSameResult(const RunResult &A, const RunResult &B,
+                      const std::string &Bench) {
+  EXPECT_EQ(A.ReturnValue, B.ReturnValue) << Bench;
+  EXPECT_EQ(A.DynInstrs, B.DynInstrs) << Bench;
+  EXPECT_EQ(A.Cost, B.Cost) << Bench;
+  EXPECT_EQ(A.MemChecksum, B.MemChecksum) << Bench;
+  EXPECT_EQ(A.FuelExhausted, B.FuelExhausted) << Bench;
+}
+
+std::vector<std::pair<int64_t, uint64_t>>
+snapshotCounts(const ProfileRuntime &RT) {
+  std::vector<std::pair<int64_t, uint64_t>> Out;
+  for (unsigned F = 0; F < RT.numFunctions(); ++F) {
+    const PathTable &T = RT.table(static_cast<FuncId>(F));
+    T.forEach([&](int64_t Idx, uint64_t C) { Out.emplace_back(Idx, C); });
+    Out.emplace_back(-1000 - F, T.lostCount());
+    Out.emplace_back(-2000 - F, T.invalidCount());
+    Out.emplace_back(-3000 - F, T.coldCheckedCount());
+  }
+  return Out;
+}
+
+/// Restores environment-driven telemetry gating on scope exit, so a
+/// failing assertion cannot leak a forced mode into other tests.
+struct InterpStatsGuard {
+  ~InterpStatsGuard() { obs::setInterpStatsForTesting(-1); }
+};
+
+TEST(ObsInterpStats, TelemetryRunIsObservationallyIdentical) {
+  InterpStatsGuard Guard;
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  // Same three recipes as fastpath_test: branchy INT, call-heavy INT,
+  // loopy FP -- covering the array, hash, and checked-counting paths.
+  for (size_t Pick : {size_t(0), size_t(4), size_t(12)}) {
+    ASSERT_LT(Pick, Suite.size());
+    const BenchmarkSpec &Spec = Suite[Pick];
+    Module M = buildCalibrated(Spec);
+
+    obs::setInterpStatsForTesting(0);
+    RunResult ROff = Interpreter(M).run();
+    obs::setInterpStatsForTesting(1);
+    RunResult ROn = Interpreter(M).run();
+    expectSameResult(ROff, ROn, Spec.Name);
+
+    // Instrumented runs: path tables must also be identical.
+    PreparedBenchmark B = prepare(Spec);
+    InstrumentationResult IR =
+        instrumentModule(B.Expanded, B.EP, ProfilerOptions::ppp());
+
+    obs::setInterpStatsForTesting(0);
+    ProfileRuntime RTOff = IR.makeRuntime();
+    Interpreter IOff(IR.Instrumented);
+    IOff.setProfileRuntime(&RTOff);
+    RunResult RIOff = IOff.run();
+
+    obs::setInterpStatsForTesting(1);
+    ProfileRuntime RTOn = IR.makeRuntime();
+    Interpreter IOn(IR.Instrumented);
+    IOn.setProfileRuntime(&RTOn);
+    RunResult RIOn = IOn.run();
+
+    expectSameResult(RIOff, RIOn, Spec.Name);
+    EXPECT_EQ(snapshotCounts(RTOff), snapshotCounts(RTOn)) << Spec.Name;
+  }
+}
+
+TEST(ObsInterpStats, MetricsFlowIntoRegistry) {
+  InterpStatsGuard Guard;
+  Module M = buildCalibrated(spec2000Suite()[0]);
+
+  obs::setInterpStatsForTesting(1);
+  uint64_t Runs0 = obs::counter("interp.runs").value();
+  uint64_t Instrs0 = obs::counter("interp.instrs").value();
+  RunResult R = Interpreter(M).run();
+  EXPECT_EQ(obs::counter("interp.runs").value(), Runs0 + 1);
+  EXPECT_EQ(obs::counter("interp.instrs").value(), Instrs0 + R.DynInstrs);
+
+  // Disabled runs record nothing.
+  obs::setInterpStatsForTesting(0);
+  uint64_t Runs1 = obs::counter("interp.runs").value();
+  Interpreter(M).run();
+  EXPECT_EQ(obs::counter("interp.runs").value(), Runs1);
+}
+
+TEST(ObsInterpStats, TableIncrementsRecorded) {
+  InterpStatsGuard Guard;
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  PreparedBenchmark B = prepare(Suite[0]);
+  InstrumentationResult IR =
+      instrumentModule(B.Expanded, B.EP, ProfilerOptions::ppp());
+
+  obs::setInterpStatsForTesting(1);
+  uint64_t Incs0 = obs::counter("interp.table.increments").value();
+  ProfileRuntime RT = IR.makeRuntime();
+  Interpreter I(IR.Instrumented);
+  I.setProfileRuntime(&RT);
+  I.run();
+
+  // Every count the tables hold was recorded, plus lost/cold updates.
+  uint64_t TableTotal = 0;
+  for (unsigned F = 0; F < RT.numFunctions(); ++F) {
+    const PathTable &T = RT.table(static_cast<FuncId>(F));
+    T.forEach([&](int64_t, uint64_t C) { TableTotal += C; });
+    TableTotal += T.lostCount() + T.invalidCount() + T.coldCheckedCount();
+  }
+  EXPECT_EQ(obs::counter("interp.table.increments").value() - Incs0,
+            TableTotal);
+}
+
+//===----------------------------------------------------------------------===//
+// PathTable stats overloads
+//===----------------------------------------------------------------------===//
+
+TEST(ObsPathTable, IncrementStatsMutatesIdentically) {
+  // Array variant: in-range, out-of-range, repeated.
+  std::vector<int64_t> ArraySeq = {0, 5, 9, 5, 12, -1, 0};
+  PathTable A = PathTable::makeArray(10);
+  PathTable B = PathTable::makeArray(10);
+  PathProbeStats S;
+  for (int64_t Idx : ArraySeq) {
+    A.increment(Idx);
+    B.incrementStats(Idx, S);
+  }
+  for (int64_t Idx = 0; Idx < 10; ++Idx)
+    EXPECT_EQ(A.countFor(Idx), B.countFor(Idx)) << Idx;
+  EXPECT_EQ(A.invalidCount(), B.invalidCount());
+  EXPECT_EQ(B.invalidCount(), 2u);
+  EXPECT_EQ(S.Increments, ArraySeq.size());
+  EXPECT_EQ(S.Invalid, 2u);
+  EXPECT_EQ(S.Probes, ArraySeq.size() - 2); // One probe per valid hit.
+  EXPECT_EQ(S.Collisions, 0u);
+  EXPECT_EQ(S.Lost, 0u);
+
+  // Hash variant: enough distinct keys to force collisions and losses.
+  PathTable HA = PathTable::makeHash();
+  PathTable HB = PathTable::makeHash();
+  PathProbeStats HS;
+  for (int64_t Idx = 0; Idx < 5000; ++Idx) {
+    HA.increment(Idx);
+    HB.incrementStats(Idx, HS);
+  }
+  std::vector<std::pair<int64_t, uint64_t>> CA, CB;
+  HA.forEach([&](int64_t K, uint64_t C) { CA.emplace_back(K, C); });
+  HB.forEach([&](int64_t K, uint64_t C) { CB.emplace_back(K, C); });
+  EXPECT_EQ(CA, CB);
+  EXPECT_EQ(HA.lostCount(), HB.lostCount());
+  EXPECT_EQ(HS.Increments, 5000u);
+  EXPECT_EQ(HS.Lost, HB.lostCount());
+  EXPECT_GT(HS.Lost, 0u); // 5000 keys into 701 slots must lose some.
+  EXPECT_GT(HS.Collisions, 0u);
+  EXPECT_GE(HS.Probes, HS.Increments); // At least one probe per update.
+
+  // Checked counting: poison indices count as cold, not as probes.
+  PathProbeStats CS;
+  PathTable CT = PathTable::makeArray(4);
+  CT.incrementCheckedStats(-7, CS);
+  CT.incrementCheckedStats(2, CS);
+  EXPECT_EQ(CT.coldCheckedCount(), 1u);
+  EXPECT_EQ(CT.countFor(2), 1u);
+  EXPECT_EQ(CS.Cold, 1u);
+  EXPECT_EQ(CS.Increments, 2u);
+}
+
+} // namespace

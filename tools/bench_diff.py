@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two ppp-metrics-v1 JSON files (PPP_METRICS run reports or
+BENCH_*.json trajectory files -- same schema, same serializer).
+
+Usage:
+  tools/bench_diff.py OLD.json NEW.json
+      Print every key whose value changed, with relative deltas. Exit 0.
+
+  tools/bench_diff.py --keys k1,k2,... [--threshold PCT] OLD.json NEW.json
+      Check only the named keys and exit 1 if any changed by more than
+      PCT percent (default 10) in either direction. A key ending in '*'
+      matches every key with that prefix. Direction-agnostic on purpose:
+      throughput keys regress downward, latency keys upward, and a big
+      move either way on a watched key deserves a look.
+
+Histograms are flattened to <name>.count and <name>.sum. No third-party
+dependencies; stdlib json only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ppp-metrics-v1":
+        sys.exit(f"error: {path}: expected schema ppp-metrics-v1, "
+                 f"got {doc.get('schema')!r}")
+    flat = {}
+    for section in ("counters", "gauges"):
+        for name, value in doc.get(section, {}).items():
+            flat[name] = float(value)
+    for name, histo in doc.get("histograms", {}).items():
+        flat[f"{name}.count"] = float(histo.get("count", 0))
+        flat[f"{name}.sum"] = float(histo.get("sum", 0))
+    return flat
+
+
+def rel_change(old, new):
+    if old == new:
+        return 0.0
+    if old == 0:
+        return float("inf")
+    return (new - old) / abs(old) * 100.0
+
+
+def fmt_change(pct):
+    return "new" if pct == float("inf") else f"{pct:+.1f}%"
+
+
+def select(flat_keys, patterns):
+    chosen = set()
+    for pat in patterns:
+        if pat.endswith("*"):
+            hits = {k for k in flat_keys if k.startswith(pat[:-1])}
+        else:
+            hits = {pat} if pat in flat_keys else set()
+        if not hits:
+            sys.exit(f"error: key '{pat}' matches nothing in either file")
+        chosen |= hits
+    return sorted(chosen)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--keys", default="",
+                    help="comma-separated keys to gate on ('*' suffix = "
+                         "prefix match); without this, report-only mode")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="flag changes beyond this percentage (default 10)")
+    args = ap.parse_args()
+
+    old = flatten(args.old)
+    new = flatten(args.new)
+    width = max((len(k) for k in set(old) | set(new)), default=4)
+
+    if args.keys:
+        patterns = [k.strip() for k in args.keys.split(",") if k.strip()]
+        keys = select(set(old) | set(new), patterns)
+        failed = []
+        for k in keys:
+            if k not in old or k not in new:
+                failed.append((k, "missing in " +
+                               ("old" if k not in old else "new")))
+                continue
+            pct = rel_change(old[k], new[k])
+            tag = ""
+            if abs(pct) > args.threshold:
+                failed.append((k, fmt_change(pct)))
+                tag = "  FLAGGED"
+            print(f"{k:<{width}}  {old[k]:>14g}  {new[k]:>14g}  "
+                  f"{fmt_change(pct):>8}{tag}")
+        if failed:
+            print(f"\n{len(failed)} key(s) moved more than "
+                  f"{args.threshold:g}%:", file=sys.stderr)
+            for k, why in failed:
+                print(f"  {k}: {why}", file=sys.stderr)
+            return 1
+        print(f"\nok: {len(keys)} key(s) within {args.threshold:g}%")
+        return 0
+
+    changed = 0
+    for k in sorted(set(old) | set(new)):
+        if k not in old:
+            print(f"{k:<{width}}  {'-':>14}  {new[k]:>14g}  {'new':>8}")
+            changed += 1
+        elif k not in new:
+            print(f"{k:<{width}}  {old[k]:>14g}  {'-':>14}  {'gone':>8}")
+            changed += 1
+        elif old[k] != new[k]:
+            print(f"{k:<{width}}  {old[k]:>14g}  {new[k]:>14g}  "
+                  f"{fmt_change(rel_change(old[k], new[k])):>8}")
+            changed += 1
+    print(f"\n{changed} key(s) changed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

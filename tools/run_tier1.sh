@@ -18,6 +18,12 @@ ctest --output-on-failure -j
 cd "$REPO_ROOT"
 tools/cache_smoke.sh "$REPO_ROOT/build"
 
+# Observability smoke stage (also the obs_smoke ctest): suite_all under
+# PPP_TRACE + PPP_METRICS must keep stdout byte-identical to a
+# telemetry-off run while both emitted files parse and the metrics
+# report covers the interp/pass/cache/pool subsystems.
+tools/obs_smoke.sh "$REPO_ROOT/build"
+
 # Optional sanitizer stage: PPP_TIER1_SANITIZE=address (or undefined,
 # or "address undefined") rebuilds into build-<san>/ with PPP_SANITIZE
 # and reruns the unit tests under the instrumented binaries. The
