@@ -26,32 +26,42 @@ bool Loop::isInnermost(const std::vector<Loop> &All, size_t SelfIdx) const {
   return true;
 }
 
-/// Finds DFS retreating edges with an iterative DFS from entry.
+/// Finds DFS retreating edges with an iterative DFS from entry, then
+/// from every still-unvisited block in ascending id order. The extra
+/// roots matter: a cycle confined to unreachable blocks has no path
+/// from entry, so an entry-only DFS never marks its retreating edge,
+/// the BLDag keeps a genuine cycle, and its topological sort silently
+/// comes up short (the "DAG contains a cycle" assert is compiled out
+/// of release builds). Dead code must still acyclify.
 static std::vector<int> findRetreatingEdges(const CfgView &Cfg) {
   unsigned N = Cfg.numBlocks();
   std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done.
   std::vector<int> Result;
   std::vector<std::pair<BlockId, unsigned>> Stack;
-  Stack.push_back({0, 0});
-  State[0] = 1;
-  while (!Stack.empty()) {
-    auto &[B, NextSucc] = Stack.back();
-    const std::vector<int> &Out = Cfg.outEdges(B);
-    if (NextSucc < Out.size()) {
-      int EId = Out[NextSucc];
-      ++NextSucc;
-      BlockId Succ = Cfg.edge(EId).Dst;
-      uint8_t &S = State[static_cast<size_t>(Succ)];
-      if (S == 1) {
-        Result.push_back(EId); // Retreating: target is on the DFS stack.
-      } else if (S == 0) {
-        S = 1;
-        Stack.push_back({Succ, 0});
-      }
+  for (unsigned Root = 0; Root < N; ++Root) {
+    if (State[Root] != 0)
       continue;
+    Stack.push_back({static_cast<BlockId>(Root), 0});
+    State[Root] = 1;
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      const std::vector<int> &Out = Cfg.outEdges(B);
+      if (NextSucc < Out.size()) {
+        int EId = Out[NextSucc];
+        ++NextSucc;
+        BlockId Succ = Cfg.edge(EId).Dst;
+        uint8_t &S = State[static_cast<size_t>(Succ)];
+        if (S == 1) {
+          Result.push_back(EId); // Retreating: target is on the DFS stack.
+        } else if (S == 0) {
+          S = 1;
+          Stack.push_back({Succ, 0});
+        }
+        continue;
+      }
+      State[static_cast<size_t>(B)] = 2;
+      Stack.pop_back();
     }
-    State[static_cast<size_t>(B)] = 2;
-    Stack.pop_back();
   }
   std::sort(Result.begin(), Result.end());
   return Result;

@@ -1,0 +1,344 @@
+//===- fuzz/AdversarialGen.cpp - Adversarial CFG generation ------------------===//
+
+#include "fuzz/AdversarialGen.h"
+
+#include "ir/IRBuilder.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace ppp;
+using namespace ppp::fuzz;
+
+std::string FuzzShape::describe() const {
+  return formatString("funcs=%u blocks=%u arms=%u fuel=%u trips=%u "
+                      "diamond=%d dead=%d",
+                      NumFunctions, MaxBlocks, MaxSwitchArms, FuelPerCall,
+                      MainTrips, WithDiamondChain ? 1 : 0,
+                      WithDeadBlocks ? 1 : 0);
+}
+
+namespace {
+
+/// Per-function state shared by the emitters below.
+struct FnCtx {
+  IRBuilder &B;
+  Rng R;
+  RegId State = -1; ///< Evolving data register (branch entropy source).
+  RegId Fuel = -1;  ///< Backward-transfer counter, 0 at invocation.
+  RegId Lim = -1;   ///< Fuel limit constant.
+
+  FnCtx(IRBuilder &B, Rng R) : B(B), R(R) {}
+};
+
+/// Emits the standard prologue into the current (entry) block: fuel
+/// registers plus a state register mixed from a salt and the params.
+void emitPrologue(FnCtx &C, unsigned NumParams, unsigned FuelPerCall,
+                  uint64_t Salt) {
+  C.Fuel = C.B.newReg(); // Registers start at zero per invocation.
+  C.Lim = C.B.emitConst(static_cast<int64_t>(FuelPerCall));
+  C.State = C.B.emitConst(static_cast<int64_t>(Salt | 1));
+  for (unsigned P = 0; P < NumParams; ++P)
+    C.B.emitBinary(Opcode::Add, C.State, static_cast<RegId>(P), C.State);
+}
+
+/// Advances the state register with a LCG step plus optional memory
+/// traffic, and returns a fresh 0/1 register derived from it.
+RegId emitMixAndBit(FnCtx &C, unsigned ShiftSalt) {
+  C.B.emitMulImm(C.State, 6364136223846793005LL, C.State);
+  C.B.emitAddImm(C.State, 1442695040888963407LL + ShiftSalt, C.State);
+  if (C.R.percent(30)) {
+    RegId V = C.B.emitLoad(C.State);
+    C.B.emitBinary(Opcode::Xor, C.State, V, C.State);
+  }
+  if (C.R.percent(15))
+    C.B.emitStore(C.State, C.State);
+  RegId Sh = C.B.emitConst(33 + static_cast<int64_t>(ShiftSalt % 7));
+  RegId Hi = C.B.emitBinary(Opcode::Shr, C.State, Sh);
+  RegId Two = C.B.emitConst(2);
+  return C.B.emitBinary(Opcode::RemU, Hi, Two);
+}
+
+/// A 0/1 register that is 1 iff the fuel budget still allows a
+/// backward transfer. Also ticks the fuel counter.
+RegId emitFuelGate(FnCtx &C) {
+  C.B.emitAddImm(C.Fuel, 1, C.Fuel);
+  return C.B.emitBinary(Opcode::CmpLt, C.Fuel, C.Lim);
+}
+
+/// cond = HasFuel & Bit (both operands are 0/1).
+RegId emitGuard(FnCtx &C, RegId HasFuel, RegId Bit) {
+  return C.B.emitBinary(Opcode::And, HasFuel, Bit);
+}
+
+/// sel in [0, K), forced to 0 when HasFuel == 0.
+RegId emitGuardedSelector(FnCtx &C, RegId HasFuel, unsigned K) {
+  RegId Sh = C.B.emitConst(29);
+  RegId Hi = C.B.emitBinary(Opcode::Shr, C.State, Sh);
+  RegId Kr = C.B.emitConst(static_cast<int64_t>(K));
+  RegId Sel = C.B.emitBinary(Opcode::RemU, Hi, Kr);
+  return C.B.emitBinary(Opcode::Mul, Sel, HasFuel);
+}
+
+/// A random-CFG function: B blocks, arbitrary-target transfers with the
+/// fuel guarantee, optional calls into earlier functions, optional dead
+/// blocks (including unreachable cycles).
+void buildRandomCfg(Module &M, FnCtx &C, const FuzzShape &Shape,
+                    const std::vector<FuncId> &Callees, unsigned NumParams,
+                    uint64_t Salt) {
+  unsigned NumBlocks = 1 + static_cast<unsigned>(C.R.below(Shape.MaxBlocks));
+  std::vector<BlockId> Blocks(1, 0);
+  for (unsigned I = 1; I < NumBlocks; ++I)
+    Blocks.push_back(C.B.newBlock());
+
+  emitPrologue(C, NumParams, Shape.FuelPerCall, Salt);
+
+  for (unsigned I = 0; I < NumBlocks; ++I) {
+    if (I > 0)
+      C.B.setInsertPoint(Blocks[I]);
+    RegId HasFuel = emitFuelGate(C);
+    RegId Bit = emitMixAndBit(C, I);
+
+    // Optional call into an earlier function (the call graph stays
+    // acyclic because Callees only holds lower-index functions).
+    if (!Callees.empty() && C.R.percent(25)) {
+      FuncId Callee = Callees[C.R.below(Callees.size())];
+      std::vector<RegId> Args;
+      for (unsigned A = 0; A < M.function(Callee).NumParams; ++A)
+        Args.push_back(A % 2 == 0 ? C.State : C.Fuel);
+      RegId Ret = C.B.emitCall(Callee, Args);
+      C.B.emitBinary(Opcode::Xor, C.State, Ret, C.State);
+    }
+
+    bool IsLast = I + 1 == NumBlocks;
+    auto ForwardTarget = [&]() {
+      return Blocks[I + 1 + C.R.below(NumBlocks - I - 1)];
+    };
+    auto AnyTarget = [&]() { return Blocks[C.R.below(NumBlocks)]; };
+
+    if (IsLast || C.R.percent(12)) {
+      C.B.emitRet(C.State);
+      continue;
+    }
+    switch (C.R.below(10)) {
+    case 0: // Plain forward jump.
+      C.B.emitBr(ForwardTarget());
+      break;
+    case 1:
+    case 2: { // Pure data branch, both targets forward (maybe equal).
+      BlockId T = ForwardTarget();
+      BlockId F = C.R.percent(25) ? T : ForwardTarget();
+      C.B.emitCondBr(Bit, T, F);
+      break;
+    }
+    case 3:
+    case 4:
+    case 5: { // Guarded arbitrary branch: self, entry, backward -- all
+              // legal because fuel exhaustion forces the forward side.
+      BlockId T = AnyTarget();
+      BlockId F = ForwardTarget();
+      C.B.emitCondBr(emitGuard(C, HasFuel, Bit), T, F);
+      break;
+    }
+    default: { // Guarded switch fan; arm 0 is the forced-forward arm.
+      unsigned K =
+          2 + static_cast<unsigned>(C.R.below(Shape.MaxSwitchArms - 1));
+      std::vector<BlockId> Arms(1, ForwardTarget());
+      for (unsigned A = 1; A < K; ++A)
+        Arms.push_back(C.R.percent(60) ? AnyTarget() : ForwardTarget());
+      C.B.emitSwitch(emitGuardedSelector(C, HasFuel, K), Arms);
+      break;
+    }
+    }
+  }
+
+  // Dead blocks: never referenced by any reachable terminator. Their
+  // edges still shape every static analysis, and an unreachable cycle
+  // is exactly the case DFS-from-entry back-edge detection misses.
+  if (Shape.WithDeadBlocks && C.R.percent(60)) {
+    BlockId D1 = C.B.newBlock();
+    C.B.setInsertPoint(D1);
+    C.B.emitAddImm(C.State, 7, C.State);
+    if (C.R.percent(35)) {
+      C.B.emitBr(D1); // Unreachable self-loop.
+    } else if (C.R.percent(50)) {
+      C.B.emitBr(Blocks[C.R.below(NumBlocks)]); // Edge into live code.
+    } else {
+      C.B.emitRet(C.State);
+    }
+    if (C.R.percent(30)) { // Unreachable two-block cycle.
+      BlockId D2 = C.B.newBlock(), D3 = C.B.newBlock();
+      C.B.setInsertPoint(D2);
+      C.B.emitAddImm(C.State, 9, C.State);
+      C.B.emitBr(D3);
+      C.B.setInsertPoint(D3);
+      C.B.emitAddImm(C.State, 11, C.State);
+      C.B.emitBr(D2);
+    }
+  }
+}
+
+/// Single-block function: straight-line arithmetic, one Ret.
+void buildSingleBlock(FnCtx &C, unsigned NumParams, uint64_t Salt) {
+  C.State = C.B.emitConst(static_cast<int64_t>(Salt | 1));
+  for (unsigned P = 0; P < NumParams; ++P)
+    C.B.emitBinary(Opcode::Add, C.State, static_cast<RegId>(P), C.State);
+  C.B.emitMulImm(C.State, 2654435761LL, C.State);
+  C.B.emitRet(C.State);
+}
+
+/// Entry block is simultaneously a self-loop header and a branch source
+/// (back edge into entry, the Fig. 1 stub-lowering corner).
+void buildEntrySelfLoop(FnCtx &C, const FuzzShape &Shape, unsigned NumParams,
+                        uint64_t Salt) {
+  BlockId Exit = C.B.newBlock();
+  emitPrologue(C, NumParams, Shape.FuelPerCall, Salt);
+  RegId HasFuel = emitFuelGate(C);
+  RegId Bit = emitMixAndBit(C, 1);
+  C.B.emitCondBr(emitGuard(C, HasFuel, Bit), 0, Exit);
+  C.B.setInsertPoint(Exit);
+  C.B.emitRet(C.State);
+}
+
+/// Irreducible region: entry branches into either of two cross-linked
+/// headers, so the {H1, H2} cycle has two entry points and the H2 -> H1
+/// retreating edge is not a natural back edge.
+void buildIrreducible(FnCtx &C, const FuzzShape &Shape, unsigned NumParams,
+                      uint64_t Salt) {
+  BlockId H1 = C.B.newBlock(), H2 = C.B.newBlock(), Tail = C.B.newBlock();
+  emitPrologue(C, NumParams, Shape.FuelPerCall, Salt);
+  RegId EntryBit = emitMixAndBit(C, 2);
+  C.B.emitCondBr(EntryBit, H1, H2);
+
+  C.B.setInsertPoint(H1); // Forward into the cycle partner or out.
+  RegId Bit1 = emitMixAndBit(C, 3);
+  C.B.emitCondBr(Bit1, H2, Tail);
+
+  C.B.setInsertPoint(H2); // Retreating edge H2 -> H1, fuel-guarded.
+  RegId HasFuel = emitFuelGate(C);
+  RegId Bit2 = emitMixAndBit(C, 4);
+  C.B.emitCondBr(emitGuard(C, HasFuel, Bit2), H1, Tail);
+
+  C.B.setInsertPoint(Tail);
+  C.B.emitRet(C.State);
+}
+
+/// A counted loop over a chain of skewed diamonds: 2^Diamonds static
+/// paths per iteration, chosen to straddle the 4000-path hash
+/// threshold (2^11 .. 2^13).
+void buildDiamondChain(FnCtx &C, unsigned NumParams, uint64_t Salt) {
+  unsigned Diamonds = 11 + static_cast<unsigned>(C.R.below(3));
+  int64_t Trips = 8 + static_cast<int64_t>(C.R.below(25));
+  C.State = C.B.emitConst(static_cast<int64_t>(Salt | 1));
+  for (unsigned P = 0; P < NumParams; ++P)
+    C.B.emitBinary(Opcode::Add, C.State, static_cast<RegId>(P), C.State);
+  RegId I = C.B.emitConst(0);
+  RegId N = C.B.emitConst(Trips);
+  BlockId H = C.B.newBlock(), E = C.B.newBlock();
+  C.B.emitBr(H);
+  C.B.setInsertPoint(H);
+  for (unsigned D = 0; D < Diamonds; ++D) {
+    unsigned Skew = 50 + static_cast<unsigned>(C.R.below(49));
+    C.B.emitMulImm(C.State, 6364136223846793005LL, C.State);
+    C.B.emitAddImm(C.State, 1442695040888963407LL + D, C.State);
+    RegId Sh = C.B.emitConst(33);
+    RegId Hi = C.B.emitBinary(Opcode::Shr, C.State, Sh);
+    RegId Hundred = C.B.emitConst(100);
+    RegId Mod = C.B.emitBinary(Opcode::RemU, Hi, Hundred);
+    RegId Cut = C.B.emitConst(static_cast<int64_t>(Skew));
+    RegId Cond = C.B.emitBinary(Opcode::CmpLt, Mod, Cut);
+    BlockId T = C.B.newBlock(), F = C.B.newBlock(), J = C.B.newBlock();
+    C.B.emitCondBr(Cond, T, F);
+    C.B.setInsertPoint(T);
+    C.B.emitAddImm(C.State, 1, C.State);
+    C.B.emitBr(J);
+    C.B.setInsertPoint(F);
+    C.B.emitAddImm(C.State, 2, C.State);
+    C.B.emitBr(J);
+    C.B.setInsertPoint(J);
+  }
+  C.B.emitAddImm(I, 1, I);
+  RegId Cond = C.B.emitBinary(Opcode::CmpLt, I, N);
+  C.B.emitCondBr(Cond, H, E);
+  C.B.setInsertPoint(E);
+  C.B.emitRet(C.State);
+}
+
+} // namespace
+
+Module ppp::fuzz::generateAdversarialModule(uint64_t Seed,
+                                            const FuzzShape &Shape) {
+  Rng Root(Seed ^ 0xf0220edULL);
+  Module M;
+  M.Name = formatString("fuzz-%llu", (unsigned long long)Seed);
+  M.MemWords = 256;
+  IRBuilder B(M);
+
+  unsigned NumFns = std::max(1u, Shape.NumFunctions);
+  std::vector<FuncId> Fns;
+  for (unsigned FI = 0; FI < NumFns; ++FI) {
+    Rng FnRng = Root.fork();
+    unsigned NumParams = static_cast<unsigned>(FnRng.below(3));
+    FuncId F = B.beginFunction(formatString("f%u", FI), NumParams);
+    FnCtx C(B, FnRng.fork());
+    uint64_t Salt = FnRng.next();
+    switch (FnRng.below(6)) {
+    case 0:
+      buildSingleBlock(C, NumParams, Salt);
+      break;
+    case 1:
+      buildEntrySelfLoop(C, Shape, NumParams, Salt);
+      break;
+    case 2:
+      buildIrreducible(C, Shape, NumParams, Salt);
+      break;
+    default:
+      buildRandomCfg(M, C, Shape, Fns, NumParams, Salt);
+      break;
+    }
+    B.endFunction();
+    Fns.push_back(F);
+  }
+
+  if (Shape.WithDiamondChain) {
+    Rng FnRng = Root.fork();
+    FuncId F = B.beginFunction("diamond", 1);
+    FnCtx C(B, FnRng.fork());
+    buildDiamondChain(C, 1, FnRng.next());
+    B.endFunction();
+    Fns.push_back(F);
+  }
+
+  // main: a counted loop invoking (almost) every function. With some
+  // probability one function is never called, so its edge profile has
+  // zero invocations -- a scenario the estimators must tolerate.
+  FuncId MainId = B.beginFunction("main", 0);
+  size_t SkipIdx = Fns.size(); // Past-the-end: skip nothing.
+  if (Fns.size() > 1 && Root.percent(25))
+    SkipIdx = Root.below(Fns.size());
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(static_cast<int64_t>(std::max(1u, Shape.MainTrips)));
+  RegId Acc = B.emitConst(static_cast<int64_t>(Seed | 1));
+  BlockId H = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  for (size_t FI = 0; FI < Fns.size(); ++FI) {
+    if (FI == SkipIdx)
+      continue;
+    std::vector<RegId> Args;
+    for (unsigned A = 0; A < M.function(Fns[FI]).NumParams; ++A)
+      Args.push_back(A % 2 == 0 ? Acc : I);
+    RegId R = B.emitCall(Fns[FI], Args);
+    B.emitBinary(Opcode::Add, Acc, R, Acc);
+  }
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  B.emitCondBr(C, H, E);
+  B.setInsertPoint(E);
+  B.emitRet(Acc);
+  B.endFunction();
+  M.MainId = MainId;
+  return M;
+}

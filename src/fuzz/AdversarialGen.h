@@ -1,0 +1,76 @@
+//===- fuzz/AdversarialGen.h - Adversarial CFG generation ------*- C++ -*-===//
+///
+/// \file
+/// Seeded generation of verifier-clean modules whose control flow is
+/// deliberately hostile to the profiling pipeline -- the shapes the
+/// structured workload generator (workload/Generator.h) never produces:
+///
+///  - arbitrary-target branches: self-loops, back edges into the entry
+///    block, parallel edges, multi-exit blocks, dead blocks (including,
+///    optionally, unreachable cycles);
+///  - irreducible regions: two cross-linked "headers" entered from a
+///    common branch, so retreating edges are not natural back edges;
+///  - deep switch fans with arms jumping anywhere;
+///  - single-block functions, multi-return functions, functions that
+///    are never called (zero-invocation edge profiles);
+///  - a diamond-chain function whose static path count straddles the
+///    paper's 4000-path hash threshold.
+///
+/// Termination is guaranteed by construction, not by hope: every block
+/// increments a per-invocation fuel register, every backward (or
+/// arbitrary-target) transfer is arithmetically forced onto a strictly
+/// block-id-increasing successor once the fuel budget is exhausted, and
+/// the call graph is acyclic. A module therefore executes at most
+/// O(fuel + blocks) blocks per invocation, with data-dependent (but
+/// bit-deterministic) branch outcomes until the budget runs out.
+///
+/// The same (Seed, FuzzShape) pair always produces the identical module,
+/// which is what makes shrinking (fuzz/Fuzzer.h) and reproducer command
+/// lines possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_FUZZ_ADVERSARIALGEN_H
+#define PPP_FUZZ_ADVERSARIALGEN_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ppp {
+namespace fuzz {
+
+/// Size knobs of one fuzz case. Smaller values produce strictly simpler
+/// modules; the shrinker walks these down while a failure reproduces.
+struct FuzzShape {
+  /// Callable functions besides main (each gets a seed-chosen shape).
+  unsigned NumFunctions = 4;
+  /// Upper bound on blocks in a random-CFG function (>= 1).
+  unsigned MaxBlocks = 12;
+  /// Upper bound on switch-fan width (>= 2).
+  unsigned MaxSwitchArms = 8;
+  /// Backward-transfer budget per invocation (the fuel limit).
+  unsigned FuelPerCall = 40;
+  /// Iterations of main's driver loop (invocations per function).
+  unsigned MainTrips = 4;
+  /// Include a diamond-chain function with ~2^11..2^13 static paths.
+  bool WithDiamondChain = true;
+  /// Emit unreferenced blocks (and, rarely, unreachable cycles).
+  bool WithDeadBlocks = true;
+
+  bool operator==(const FuzzShape &O) const = default;
+
+  /// "funcs=4 blocks=12 arms=8 fuel=40 trips=4 diamond=1 dead=1".
+  std::string describe() const;
+};
+
+/// Generates the adversarial module for (\p Seed, \p Shape). The result
+/// always passes verifyModule() and always terminates under the fuel
+/// budget implied by the shape.
+Module generateAdversarialModule(uint64_t Seed, const FuzzShape &Shape);
+
+} // namespace fuzz
+} // namespace ppp
+
+#endif // PPP_FUZZ_ADVERSARIALGEN_H

@@ -1,0 +1,226 @@
+//===- fuzz/FaultInject.cpp - Frame corruption & clean-failure checks -------===//
+
+#include "fuzz/FaultInject.h"
+
+#include "support/BinStream.h"
+#include "support/Format.h"
+
+#include <sys/resource.h>
+
+using namespace ppp;
+using namespace ppp::fuzz;
+
+long ppp::fuzz::peakRssKb() {
+  struct rusage Ru;
+  if (getrusage(RUSAGE_SELF, &Ru) != 0)
+    return 0;
+  return Ru.ru_maxrss; // KiB on Linux.
+}
+
+bool ppp::fuzz::rssBoundMeaningful() {
+#if defined(__SANITIZE_ADDRESS__)
+  return false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return false;
+#else
+  return true;
+#endif
+#else
+  return true;
+#endif
+}
+
+namespace {
+
+constexpr size_t FrameHeaderBytes = 24;
+
+/// Patches a little-endian u64 at \p Off in place.
+void patchU64(std::string &S, size_t Off, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    S[Off + static_cast<size_t>(I)] =
+        static_cast<char>((V >> (8 * I)) & 0xff);
+}
+
+} // namespace
+
+std::string ppp::fuzz::refreshFrameChecksum(std::string Frame) {
+  if (Frame.size() < FrameHeaderBytes)
+    return Frame;
+  size_t PayloadSize = Frame.size() - FrameHeaderBytes;
+  patchU64(Frame, 8, PayloadSize);
+  patchU64(Frame, 16,
+           fnv1a(Frame.data() + FrameHeaderBytes, PayloadSize));
+  return Frame;
+}
+
+std::vector<FrameMutation>
+ppp::fuzz::mutateFrame(const std::string &Frame, Rng &R,
+                       unsigned NumTruncations, unsigned NumBitFlips,
+                       unsigned NumStructural) {
+  std::vector<FrameMutation> Out;
+  if (Frame.empty())
+    return Out;
+
+  for (unsigned I = 0; I < NumTruncations; ++I) {
+    size_t Cut = static_cast<size_t>(R.below(Frame.size()));
+    Out.push_back({formatString("truncate@%zu", Cut), Frame.substr(0, Cut)});
+  }
+
+  for (unsigned I = 0; I < NumBitFlips; ++I) {
+    size_t Off = static_cast<size_t>(R.below(Frame.size()));
+    unsigned Bit = static_cast<unsigned>(R.below(8));
+    std::string Blob = Frame;
+    Blob[Off] = static_cast<char>(static_cast<unsigned char>(Blob[Off]) ^
+                                  (1u << Bit));
+    Out.push_back({formatString("bitflip@%zu.%u", Off, Bit),
+                   std::move(Blob)});
+  }
+
+  if (Frame.size() > FrameHeaderBytes) {
+    for (unsigned I = 0; I < NumStructural; ++I) {
+      std::string Blob = Frame;
+      size_t PayloadLen = Frame.size() - FrameHeaderBytes;
+      switch (R.below(3)) {
+      case 0: { // Single payload bit flip, checksum refreshed.
+        size_t Off = FrameHeaderBytes + static_cast<size_t>(R.below(PayloadLen));
+        unsigned Bit = static_cast<unsigned>(R.below(8));
+        Blob[Off] = static_cast<char>(
+            static_cast<unsigned char>(Blob[Off]) ^ (1u << Bit));
+        Out.push_back({formatString("structflip@%zu.%u", Off, Bit),
+                       refreshFrameChecksum(std::move(Blob))});
+        break;
+      }
+      case 1: { // Overwrite 4 payload bytes with 0xff (count fields
+                // become huge), checksum refreshed.
+        size_t Off =
+            FrameHeaderBytes + static_cast<size_t>(R.below(PayloadLen));
+        for (size_t J = Off; J < std::min(Off + 4, Blob.size()); ++J)
+          Blob[J] = static_cast<char>(0xff);
+        Out.push_back({formatString("structmax@%zu", Off),
+                       refreshFrameChecksum(std::move(Blob))});
+        break;
+      }
+      default: { // Chop the payload tail, frame fields refreshed: the
+                 // frame validates but the structure ends early.
+        size_t Keep = static_cast<size_t>(R.below(PayloadLen));
+        Blob.resize(FrameHeaderBytes + Keep);
+        Out.push_back({formatString("structtrunc@%zu", Keep),
+                       refreshFrameChecksum(std::move(Blob))});
+        break;
+      }
+      }
+    }
+  }
+  return Out;
+}
+
+std::vector<FrameMutation> ppp::fuzz::hostileModuleFrames() {
+  constexpr uint32_t ModuleMagic = 0x4d505062; // 'bPPM'
+  constexpr uint32_t FormatVersion = 1;        // BinaryFormatVersion
+
+  auto Framed = [&](const std::string &Payload) {
+    std::string Out;
+    BinWriter W(Out);
+    W.u32(ModuleMagic);
+    W.u32(FormatVersion);
+    W.u64(Payload.size());
+    W.u64(fnv1a(Payload.data(), Payload.size()));
+    Out.append(Payload);
+    return Out;
+  };
+  auto Header = [](BinWriter &W) { // Name, MemWords, MainId.
+    W.str("hostile");
+    W.u64(64);
+    W.i32(0);
+  };
+
+  std::vector<FrameMutation> Out;
+  { // NumFuncs far beyond the shipped bytes (~1.2 GB of Functions if
+    // resized blindly).
+    std::string P;
+    BinWriter W(P);
+    Header(W);
+    W.u32(0xffffffu);
+    Out.push_back({"hostile.numfuncs", Framed(P)});
+  }
+  { // One plausible function whose NumBlocks is absurd.
+    std::string P;
+    BinWriter W(P);
+    Header(W);
+    W.u32(1);
+    W.str("f");
+    W.u32(0); // NumParams
+    W.u32(4); // NumRegs
+    W.u32(0xffffffu);
+    Out.push_back({"hostile.numblocks", Framed(P)});
+  }
+  { // One block whose NumInstrs is absurd.
+    std::string P;
+    BinWriter W(P);
+    Header(W);
+    W.u32(1);
+    W.str("f");
+    W.u32(0);
+    W.u32(4);
+    W.u32(1);
+    W.u32(0xffffffu);
+    Out.push_back({"hostile.numinstrs", Framed(P)});
+  }
+  { // One instruction whose target list is absurd.
+    std::string P;
+    BinWriter W(P);
+    Header(W);
+    W.u32(1);
+    W.str("f");
+    W.u32(0);
+    W.u32(4);
+    W.u32(1);          // one block
+    W.u32(1);          // one instruction
+    W.u8(21);          // Opcode::Br
+    W.u8(0);           // NumArgs
+    W.i32(-1);         // A
+    W.i32(-1);         // B
+    W.i32(-1);         // C
+    W.i64(0);          // Imm
+    W.i32(-1);         // Callee
+    for (int I = 0; I < 4; ++I)
+      W.i32(-1);       // Args
+    W.u32(0xffffffu);  // Targets
+    Out.push_back({"hostile.numtargets", Framed(P)});
+  }
+  { // Module name length beyond the payload.
+    std::string P;
+    BinWriter W(P);
+    W.u64(0xffffffffull);
+    Out.push_back({"hostile.namelen", Framed(P)});
+  }
+  return Out;
+}
+
+FaultStats ppp::fuzz::runReaderFaultCheck(
+    const std::vector<FrameMutation> &Mutants,
+    const std::function<bool(const std::string &Blob, std::string &Error)>
+        &Reader) {
+  FaultStats Stats;
+  for (const FrameMutation &Mut : Mutants) {
+    ++Stats.Cases;
+    long Before = peakRssKb();
+    std::string Error;
+    bool Accepted = Reader(Mut.Blob, Error);
+    long DeltaKb = peakRssKb() - Before;
+    if (rssBoundMeaningful() && DeltaKb > MaxReaderRssDeltaKb)
+      Stats.Problems.push_back(
+          formatString("%s: reader grew peak RSS by %ld KiB",
+                       Mut.What.c_str(), DeltaKb));
+    if (Accepted) {
+      ++Stats.Accepted;
+    } else {
+      ++Stats.Rejected;
+      if (Error.empty())
+        Stats.Problems.push_back(Mut.What +
+                                 ": rejected without an error message");
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,94 @@
+//===- fuzz/Fuzzer.cpp - Case driver, shrinker, reproducers ----------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "obs/Obs.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace ppp;
+using namespace ppp::fuzz;
+
+FuzzCaseResult ppp::fuzz::runFuzzCase(uint64_t Seed, const FuzzShape &Shape,
+                                      uint64_t Fuel) {
+  FuzzCaseResult Out;
+  Out.Seed = Seed;
+  Out.Shape = Shape;
+  Module M = generateAdversarialModule(Seed, Shape);
+  Out.Report = checkModuleInvariants(M, Fuel);
+  obs::counter("fuzz.cases").inc();
+  obs::counter("fuzz.checks").inc(Out.Report.ChecksRun);
+  if (!Out.Report.ok())
+    obs::counter("fuzz.failures").inc();
+  return Out;
+}
+
+namespace {
+
+/// The shapes one greedy sweep proposes: every size knob stepped down
+/// (halved toward its floor), plus the two boolean features turned off.
+std::vector<FuzzShape> shrinkCandidates(const FuzzShape &S) {
+  std::vector<FuzzShape> Out;
+  auto Step = [&](unsigned FuzzShape::*Knob, unsigned Floor) {
+    if (S.*Knob > Floor) {
+      FuzzShape C = S;
+      C.*Knob = std::max(Floor, S.*Knob / 2);
+      Out.push_back(C);
+    }
+  };
+  Step(&FuzzShape::NumFunctions, 1);
+  Step(&FuzzShape::MaxBlocks, 1);
+  Step(&FuzzShape::MaxSwitchArms, 2);
+  Step(&FuzzShape::FuelPerCall, 2);
+  Step(&FuzzShape::MainTrips, 1);
+  if (S.WithDiamondChain) {
+    FuzzShape C = S;
+    C.WithDiamondChain = false;
+    Out.push_back(C);
+  }
+  if (S.WithDeadBlocks) {
+    FuzzShape C = S;
+    C.WithDeadBlocks = false;
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+} // namespace
+
+ShrinkResult ppp::fuzz::shrinkFailure(uint64_t Seed, const FuzzShape &Shape,
+                                      uint64_t Fuel) {
+  ShrinkResult Out;
+  Out.Minimal = runFuzzCase(Seed, Shape, Fuel);
+  if (Out.Minimal.ok())
+    return Out; // Nothing to shrink.
+
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const FuzzShape &Candidate : shrinkCandidates(Out.Minimal.Shape)) {
+      ++Out.Attempts;
+      obs::counter("fuzz.shrink.attempts").inc();
+      FuzzCaseResult R = runFuzzCase(Seed, Candidate, Fuel);
+      if (!R.ok()) {
+        Out.Minimal = std::move(R);
+        Out.Shrunk = true;
+        Progress = true;
+        break; // Restart the sweep from the smaller shape.
+      }
+    }
+  }
+  return Out;
+}
+
+std::string ppp::fuzz::reproducerCommand(uint64_t Seed,
+                                         const FuzzShape &Shape) {
+  return formatString(
+      "tools/fuzz_ppp --seed=%llu --funcs=%u --blocks=%u --arms=%u "
+      "--gen-fuel=%u --trips=%u --diamond=%d --dead=%d",
+      (unsigned long long)Seed, Shape.NumFunctions, Shape.MaxBlocks,
+      Shape.MaxSwitchArms, Shape.FuelPerCall, Shape.MainTrips,
+      Shape.WithDiamondChain ? 1 : 0, Shape.WithDeadBlocks ? 1 : 0);
+}

@@ -1,0 +1,58 @@
+//===- fuzz/Fuzzer.h - Case driver, shrinker, reproducers ------*- C++ -*-===//
+///
+/// \file
+/// Glue between the adversarial generator and the invariant checker:
+/// run one (seed, shape) case, count it in the obs registry (fuzz.*),
+/// and -- when a case fails -- greedily shrink the shape knobs while
+/// the failure reproduces, ending with a copy-pasteable reproducer
+/// command line for tools/fuzz_ppp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_FUZZ_FUZZER_H
+#define PPP_FUZZ_FUZZER_H
+
+#include "fuzz/AdversarialGen.h"
+#include "fuzz/Invariants.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ppp {
+namespace fuzz {
+
+/// Outcome of one fuzz case.
+struct FuzzCaseResult {
+  uint64_t Seed = 0;
+  FuzzShape Shape;
+  InvariantReport Report;
+
+  bool ok() const { return Report.ok(); }
+};
+
+/// Generates the module for (\p Seed, \p Shape) and runs the full
+/// invariant battery. Bumps fuzz.cases / fuzz.checks / fuzz.failures.
+FuzzCaseResult runFuzzCase(uint64_t Seed, const FuzzShape &Shape,
+                           uint64_t Fuel = 50'000'000);
+
+/// Result of shrinking a failing case.
+struct ShrinkResult {
+  FuzzCaseResult Minimal; ///< Smallest still-failing case found.
+  unsigned Attempts = 0;  ///< Candidate shapes retried.
+  bool Shrunk = false;    ///< Whether anything got smaller.
+};
+
+/// Greedy ladder: repeatedly tries each size knob at smaller values
+/// (halving toward its floor), keeping any candidate that still fails,
+/// until a full sweep shrinks nothing. Deterministic: regeneration from
+/// (seed, candidate shape) is the only exploration.
+ShrinkResult shrinkFailure(uint64_t Seed, const FuzzShape &Shape,
+                           uint64_t Fuel = 50'000'000);
+
+/// "tools/fuzz_ppp --seed=... --funcs=... ..." reproducing the case.
+std::string reproducerCommand(uint64_t Seed, const FuzzShape &Shape);
+
+} // namespace fuzz
+} // namespace ppp
+
+#endif // PPP_FUZZ_FUZZER_H

@@ -1,0 +1,346 @@
+//===- fuzz/Invariants.cpp - Differential invariant checking ---------------===//
+
+#include "fuzz/Invariants.h"
+
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "metrics/Metrics.h"
+#include "pathprof/EstimatedProfile.h"
+#include "pathprof/Profilers.h"
+#include "profile/BinaryIO.h"
+#include "profile/Collectors.h"
+#include "support/Format.h"
+
+#include <sstream>
+
+using namespace ppp;
+using namespace ppp::fuzz;
+
+std::string InvariantReport::summary(unsigned MaxLines) const {
+  std::ostringstream Out;
+  unsigned Shown = 0;
+  for (const InvariantFailure &F : Failures) {
+    if (Shown++ == MaxLines) {
+      Out << "  ... and " << (Failures.size() - MaxLines) << " more\n";
+      break;
+    }
+    Out << "  [" << F.Check << "] " << F.Detail << "\n";
+  }
+  return Out.str();
+}
+
+namespace {
+
+struct CleanRun {
+  EdgeProfile EP;
+  PathProfile Oracle;
+  RunResult Res;
+  bool Ok = false;
+
+  CleanRun() : Oracle(0) {}
+};
+
+CleanRun runClean(const Module &M, uint64_t Fuel, InvariantReport &Rep) {
+  CleanRun Out;
+  EdgeProfiler EdgeObs(M);
+  PathTracer PathObs(M);
+  InterpOptions IO;
+  IO.Fuel = Fuel;
+  Interpreter I(M, IO);
+  I.addObserver(&EdgeObs);
+  I.addObserver(&PathObs);
+  Out.Res = I.run();
+  ++Rep.ChecksRun;
+  if (Out.Res.FuelExhausted) {
+    Rep.fail("terminates", "clean run exhausted fuel");
+    return Out;
+  }
+  Out.EP = EdgeObs.takeProfile();
+  Out.Oracle = PathObs.takeProfile();
+  Out.Ok = true;
+  return Out;
+}
+
+/// Compares two path profiles field-by-field (Key, Freq, Branches,
+/// Instrs); PathRecord has no operator== over containers we can lean
+/// on at the profile level because the read-back record order is not
+/// pinned.
+bool samePathProfile(const PathProfile &A, const PathProfile &B,
+                     std::string &Why) {
+  if (A.Funcs.size() != B.Funcs.size()) {
+    Why = "function count differs";
+    return false;
+  }
+  for (size_t FI = 0; FI < A.Funcs.size(); ++FI) {
+    const FunctionPathProfile &FA = A.Funcs[FI];
+    const FunctionPathProfile &FB = B.Funcs[FI];
+    if (FA.Paths.size() != FB.Paths.size()) {
+      Why = formatString("function %zu: %zu paths vs %zu", FI,
+                         FA.Paths.size(), FB.Paths.size());
+      return false;
+    }
+    for (const PathRecord &R : FA.Paths) {
+      const PathRecord *O = FB.find(R.Key);
+      if (!O || O->Freq != R.Freq || O->Branches != R.Branches ||
+          O->Instrs != R.Instrs) {
+        Why = formatString("function %zu: path record mismatch", FI);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void checkRoundTrips(const Module &M, const CleanRun &Clean,
+                     InvariantReport &Rep) {
+  std::string Err;
+  Module M2;
+  ++Rep.ChecksRun;
+  if (!readModuleBinary(writeModuleBinary(M), M2, Err))
+    Rep.fail("roundtrip.module", "read failed: " + Err);
+  else if (!(M2 == M))
+    Rep.fail("roundtrip.module", "module not field-identical");
+
+  EdgeProfile EP2;
+  ++Rep.ChecksRun;
+  if (!readEdgeProfileBinary(M, writeEdgeProfileBinary(M, Clean.EP), EP2,
+                             Err))
+    Rep.fail("roundtrip.edgeprofile", "read failed: " + Err);
+  else if (!(EP2 == Clean.EP))
+    Rep.fail("roundtrip.edgeprofile", "profile not field-identical");
+
+  PathProfile PP2(0);
+  std::string Why;
+  ++Rep.ChecksRun;
+  if (!readPathProfileBinary(M, writePathProfileBinary(M, Clean.Oracle), PP2,
+                             Err))
+    Rep.fail("roundtrip.pathprofile", "read failed: " + Err);
+  else if (!samePathProfile(Clean.Oracle, PP2, Why))
+    Rep.fail("roundtrip.pathprofile", Why);
+}
+
+/// DF from the edge profile alone must never exceed the oracle's
+/// frequency for any individual path (definite flow is a lower bound
+/// when the advice profile is exact).
+void checkDefiniteFlowBound(const Module &M, const CleanRun &Clean,
+                            InvariantReport &Rep) {
+  PathProfile DF = estimateFromEdgeProfile(M, Clean.EP, FlowKind::Definite,
+                                           /*CutoffFlow=*/0,
+                                           FlowMetric::Unit);
+  ++Rep.ChecksRun;
+  for (size_t FI = 0; FI < DF.Funcs.size(); ++FI) {
+    for (const PathRecord &R : DF.Funcs[FI].Paths) {
+      const PathRecord *Actual =
+          FI < Clean.Oracle.Funcs.size() ? Clean.Oracle.Funcs[FI].find(R.Key)
+                                         : nullptr;
+      uint64_t ActualFreq = Actual ? Actual->Freq : 0;
+      if (R.Freq > ActualFreq) {
+        Rep.fail("df.lower_bound",
+                 formatString("function %zu: DF %llu > oracle %llu", FI,
+                              (unsigned long long)R.Freq,
+                              (unsigned long long)ActualFreq));
+        return;
+      }
+    }
+  }
+}
+
+void checkOneProfiler(const Module &M, const CleanRun &Clean,
+                      const ProfilerOptions &Opts, uint64_t Fuel,
+                      InvariantReport &Rep) {
+  auto Tag = [&](const char *Check) { return Opts.Name + "." + Check; };
+
+  InstrumentationResult IR = instrumentModule(M, Clean.EP, Opts);
+  ProfileRuntime RT = IR.makeRuntime();
+  InterpOptions IO;
+  IO.Fuel = Fuel;
+  Interpreter I(IR.Instrumented, IO);
+  I.setProfileRuntime(&RT);
+  RunResult Res = I.run();
+
+  ++Rep.ChecksRun;
+  if (Res.FuelExhausted) {
+    Rep.fail(Tag("terminates"), "instrumented run exhausted fuel");
+    return;
+  }
+  ++Rep.ChecksRun;
+  if (Res.ReturnValue != Clean.Res.ReturnValue)
+    Rep.fail(Tag("semantics"),
+             formatString("return value %lld vs clean %lld",
+                          (long long)Res.ReturnValue,
+                          (long long)Clean.Res.ReturnValue));
+  ++Rep.ChecksRun;
+  if (Res.MemChecksum != Clean.Res.MemChecksum)
+    Rep.fail(Tag("semantics"), "memory checksum diverged");
+
+  bool IsPP = !Opts.LocalColdCriterion && !Opts.GlobalColdCriterion &&
+              !Opts.SkipObviousRoutines && !Opts.LowCoverageGate &&
+              !Opts.ObviousLoopDisconnect;
+
+  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+    FuncId F = static_cast<FuncId>(FI);
+    const FunctionPlan &Plan = IR.Plans[FI];
+    const PathTable &T = RT.table(F);
+    const FunctionPathProfile &Oracle = Clean.Oracle.Funcs[FI];
+
+    ++Rep.ChecksRun;
+    if (T.invalidCount() != 0)
+      Rep.fail(Tag("no_invalid"),
+               formatString("function %u: %llu out-of-range indices", FI,
+                            (unsigned long long)T.invalidCount()));
+    if (!Plan.Instrumented)
+      continue;
+
+    // Index-range invariant: hot counters live in [0, N), poisoned
+    // counters in [N, 3N), and a hot index must decode to a path whose
+    // number round-trips.
+    uint64_t N = Plan.NumPaths;
+    uint64_t StoredTotal = 0;
+    bool RangeOk = true, DecodeOk = true;
+    T.forEach([&](int64_t Idx, uint64_t Count) {
+      StoredTotal += Count;
+      if (Idx < 0 || static_cast<uint64_t>(Idx) >= 3 * N) {
+        RangeOk = false;
+        return;
+      }
+      if (static_cast<uint64_t>(Idx) < N) {
+        auto Key = Plan.decodePath(static_cast<uint64_t>(Idx));
+        if (!Key || Plan.pathNumberOf(*Key) !=
+                        std::optional<uint64_t>(static_cast<uint64_t>(Idx)))
+          DecodeOk = false;
+      }
+    });
+    ++Rep.ChecksRun;
+    if (!RangeOk)
+      Rep.fail(Tag("index_range"),
+               formatString("function %u: counter index outside [0, 3N) "
+                            "with N=%llu",
+                            FI, (unsigned long long)N));
+    ++Rep.ChecksRun;
+    if (!DecodeOk)
+      Rep.fail(Tag("decode_roundtrip"),
+               formatString("function %u: hot index failed decode/number "
+                            "round-trip",
+                            FI));
+
+    // Path-sum preservation: event counting fires exactly one count at
+    // every completed path's end, so totals match the oracle exactly
+    // when the whole DAG was kept. Cold-edge removal keeps the end
+    // counts (cold executions land poisoned) but pushing may fire
+    // extra increments on them (the overcount penalty of Sec. 6.2), so
+    // with cold edges the totals only promise "never less". Obvious-
+    // loop disconnection removes the back-edge path boundary outright
+    // -- those segments are intentionally unmeasured and no total
+    // bound survives.
+    uint64_t Accounted = StoredTotal + T.lostCount() + T.coldCheckedCount();
+    uint64_t OracleTotal = Oracle.totalFreq();
+    if (Plan.DisconnectedBackEdges.empty()) {
+      ++Rep.ChecksRun;
+      if (Plan.ColdEdges.empty()) {
+        if (Accounted != OracleTotal)
+          Rep.fail(Tag("path_sum"),
+                   formatString("function %u: accounted %llu != oracle %llu",
+                                FI, (unsigned long long)Accounted,
+                                (unsigned long long)OracleTotal));
+      } else if (Accounted < OracleTotal) {
+        Rep.fail(Tag("path_sum"),
+                 formatString("function %u: accounted %llu < oracle %llu "
+                              "despite overcounting being the only slack",
+                              FI, (unsigned long long)Accounted,
+                              (unsigned long long)OracleTotal));
+      }
+    }
+
+    // Per-path bounds against the oracle.
+    bool Hashed = Plan.TableKind == PathTable::Kind::Hash;
+    for (const PathRecord &Rec : Oracle.Paths) {
+      std::optional<uint64_t> Num = Plan.pathNumberOf(Rec.Key);
+      if (!Num)
+        continue;
+      uint64_t Measured = T.countFor(static_cast<int64_t>(*Num));
+      if (IsPP) {
+        // PP instruments every path exactly; for hash tables a stored
+        // slot is exact and misses are covered by the lost counter.
+        ++Rep.ChecksRun;
+        if (Hashed ? (Measured != 0 && Measured != Rec.Freq)
+                   : (Measured != Rec.Freq)) {
+          Rep.fail(Tag("pp_exact"),
+                   formatString("function %u path %llu: measured %llu != "
+                                "oracle %llu",
+                                FI, (unsigned long long)*Num,
+                                (unsigned long long)Measured,
+                                (unsigned long long)Rec.Freq));
+          break;
+        }
+      } else if (!Hashed) {
+        // Cold executions may overcount a hot path (push-through-cold)
+        // but may never undercount it.
+        ++Rep.ChecksRun;
+        if (Measured < Rec.Freq) {
+          Rep.fail(Tag("no_undercount"),
+                   formatString("function %u path %llu: measured %llu < "
+                                "oracle %llu",
+                                FI, (unsigned long long)*Num,
+                                (unsigned long long)Measured,
+                                (unsigned long long)Rec.Freq));
+          break;
+        }
+      }
+    }
+  }
+
+  // Estimated profile + metric sanity.
+  ProfilerRunData Run = buildEstimatedProfile(M, Clean.EP, IR, RT);
+  ++Rep.ChecksRun;
+  if (Run.InvalidCounts != 0)
+    Rep.fail(Tag("no_invalid"), "estimated profile saw invalid counts");
+
+  CoverageResult Cov =
+      computeProfilerCoverage(IR, Run, Clean.Oracle, FlowMetric::Unit);
+  ++Rep.ChecksRun;
+  if (!(Cov.Coverage >= 0.0 && Cov.Coverage <= 1.0))
+    Rep.fail(Tag("coverage_bounds"),
+             formatString("coverage %f outside [0, 1]", Cov.Coverage));
+
+  AccuracyResult Acc = computeAccuracy(Clean.Oracle, Run.Estimated,
+                                       FlowMetric::Unit);
+  ++Rep.ChecksRun;
+  if (!(Acc.Accuracy >= 0.0 && Acc.Accuracy <= 1.0))
+    Rep.fail(Tag("accuracy_bounds"),
+             formatString("accuracy %f outside [0, 1]", Acc.Accuracy));
+
+  InstrumentedFraction Frac =
+      computeInstrumentedFraction(IR, Clean.Oracle);
+  ++Rep.ChecksRun;
+  if (!(Frac.Total >= 0.0 && Frac.Total <= 1.0) ||
+      !(Frac.Hashed >= 0.0 && Frac.Hashed <= Frac.Total + 1e-12))
+    Rep.fail(Tag("fraction_bounds"),
+             formatString("instrumented fraction total=%f hashed=%f",
+                          Frac.Total, Frac.Hashed));
+}
+
+} // namespace
+
+InvariantReport ppp::fuzz::checkModuleInvariants(const Module &M,
+                                                 uint64_t Fuel) {
+  InvariantReport Rep;
+
+  ++Rep.ChecksRun;
+  std::string VErr = verifyModule(M);
+  if (!VErr.empty()) {
+    Rep.fail("verifier", VErr);
+    return Rep; // Nothing downstream is meaningful on a broken module.
+  }
+
+  CleanRun Clean = runClean(M, Fuel, Rep);
+  if (!Clean.Ok)
+    return Rep;
+
+  checkRoundTrips(M, Clean, Rep);
+  checkDefiniteFlowBound(M, Clean, Rep);
+
+  checkOneProfiler(M, Clean, ProfilerOptions::pp(), Fuel * 2, Rep);
+  checkOneProfiler(M, Clean, ProfilerOptions::tpp(), Fuel * 2, Rep);
+  checkOneProfiler(M, Clean, ProfilerOptions::ppp(), Fuel * 2, Rep);
+  return Rep;
+}

@@ -5,7 +5,10 @@
 #include "support/Format.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
+#include <string_view>
 
 using namespace ppp;
 using namespace ppp::obs;
@@ -68,9 +71,28 @@ private:
     size_t N = 0;
     while (Word[N])
       ++N;
-    if (Text.compare(Pos, N, Word) != 0)
+    if (Pos >= Text.size() || Text.compare(Pos, N, Word) != 0)
       return fail("invalid literal");
     Pos += N;
+    return true;
+  }
+
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char H = Text[Pos++];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Code |= static_cast<unsigned>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        Code |= static_cast<unsigned>(H - 'A' + 10);
+      else
+        return fail("invalid \\u escape");
+    }
     return true;
   }
 
@@ -115,33 +137,40 @@ private:
         Out += '\t';
         break;
       case 'u': {
-        if (Pos + 4 > Text.size())
-          return fail("truncated \\u escape");
         unsigned Code = 0;
-        for (int I = 0; I < 4; ++I) {
-          char H = Text[Pos++];
-          Code <<= 4;
-          if (H >= '0' && H <= '9')
-            Code |= static_cast<unsigned>(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            Code |= static_cast<unsigned>(H - 'a' + 10);
-          else if (H >= 'A' && H <= 'F')
-            Code |= static_cast<unsigned>(H - 'A' + 10);
-          else
-            return fail("invalid \\u escape");
+        if (!parseHex4(Code))
+          return false;
+        if (Code >= 0xDC00 && Code <= 0xDFFF)
+          return fail("lone low \\u surrogate");
+        uint32_t Cp = Code;
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          // A high surrogate is only valid immediately paired with a
+          // \uDC00..\uDFFF low surrogate.
+          if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u')
+            return fail("unpaired \\u surrogate");
+          Pos += 2;
+          unsigned Lo = 0;
+          if (!parseHex4(Lo))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF)
+            return fail("unpaired \\u surrogate");
+          Cp = 0x10000 + ((Code - 0xD800) << 10) + (Lo - 0xDC00);
         }
-        // BMP-only UTF-8 encoding; surrogates degrade to '?'.
-        if (Code < 0x80) {
-          Out += static_cast<char>(Code);
-        } else if (Code < 0x800) {
-          Out += static_cast<char>(0xC0 | (Code >> 6));
-          Out += static_cast<char>(0x80 | (Code & 0x3F));
-        } else if (Code >= 0xD800 && Code <= 0xDFFF) {
-          Out += '?';
+        if (Cp < 0x80) {
+          Out += static_cast<char>(Cp);
+        } else if (Cp < 0x800) {
+          Out += static_cast<char>(0xC0 | (Cp >> 6));
+          Out += static_cast<char>(0x80 | (Cp & 0x3F));
+        } else if (Cp < 0x10000) {
+          Out += static_cast<char>(0xE0 | (Cp >> 12));
+          Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Cp & 0x3F));
         } else {
-          Out += static_cast<char>(0xE0 | (Code >> 12));
-          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
-          Out += static_cast<char>(0x80 | (Code & 0x3F));
+          Out += static_cast<char>(0xF0 | (Cp >> 18));
+          Out += static_cast<char>(0x80 | ((Cp >> 12) & 0x3F));
+          Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Cp & 0x3F));
         }
         break;
       }
@@ -162,12 +191,26 @@ private:
             Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
             Text[Pos] == '+' || Text[Pos] == '-'))
       ++Pos;
-    std::string Num = Text.substr(Begin, Pos - Begin);
-    char *End = nullptr;
+    // std::from_chars is locale-independent, unlike strtod, which
+    // reads "1.5" as 1.0 under decimal-comma locales.
+    const char *First = Text.data() + Begin;
+    const char *Last = Text.data() + Pos;
+    double D = 0.0;
+    auto [End, Ec] = std::from_chars(First, Last, D);
     Out.K = Value::Kind::Number;
-    Out.Num = std::strtod(Num.c_str(), &End);
-    if (End != Num.c_str() + Num.size())
+    if (Ec == std::errc::result_out_of_range) {
+      // Saturate instead of failing: overflow to +-inf, underflow
+      // (negative exponent, e.g. "1e-9999") to +-0.
+      std::string_view Num(First, static_cast<size_t>(Last - First));
+      bool Under = Num.find("e-") != std::string_view::npos ||
+                   Num.find("E-") != std::string_view::npos;
+      double Mag = Under ? 0.0 : HUGE_VAL;
+      Out.Num = *First == '-' ? -Mag : Mag;
+      return End == Last ? true : fail("invalid number");
+    }
+    if (Ec != std::errc() || End != Last)
       return fail("invalid number");
+    Out.Num = D;
     return true;
   }
 

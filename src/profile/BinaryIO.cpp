@@ -103,14 +103,27 @@ bool ppp::readModuleBinary(const std::string &Data, Module &Out,
     return false;
 
   // Structural sanity caps: reject absurd counts before allocating.
+  // Every count is additionally bounded by the payload bytes that are
+  // actually left (divided by the minimum encoded size of one element),
+  // so a structure-aware corruption with a freshly valid checksum can
+  // at worst make us allocate proportionally to the frame it shipped,
+  // never the multi-gigabyte vectors a bare 32-bit count can demand.
   constexpr uint32_t MaxCount = 1u << 24;
+  // Function: name length (8) + params/regs/blocks (12). Block: instr
+  // count (4). Instr: op/args (2) + A/B/C (12) + imm (8) + callee (4)
+  // + arg regs (16) + target count (4). Target / edge id: 4.
+  constexpr size_t MinFunctionBytes = 20;
+  constexpr size_t MinBlockBytes = 4;
+  constexpr size_t MinInstrBytes = 46;
+  constexpr size_t MinTargetBytes = 4;
 
   Module M;
   M.Name = R.str();
   M.MemWords = R.u64();
   M.MainId = R.i32();
   uint32_t NumFuncs = R.u32();
-  if (!R.ok() || NumFuncs > MaxCount) {
+  if (!R.ok() || NumFuncs > MaxCount ||
+      NumFuncs > R.remaining() / MinFunctionBytes) {
     Error = "module: corrupt header";
     return false;
   }
@@ -120,14 +133,16 @@ bool ppp::readModuleBinary(const std::string &Data, Module &Out,
     F.NumParams = R.u32();
     F.NumRegs = R.u32();
     uint32_t NumBlocks = R.u32();
-    if (!R.ok() || NumBlocks > MaxCount) {
+    if (!R.ok() || NumBlocks > MaxCount ||
+        NumBlocks > R.remaining() / MinBlockBytes) {
       Error = "module: corrupt function header";
       return false;
     }
     F.Blocks.resize(NumBlocks);
     for (BasicBlock &BB : F.Blocks) {
       uint32_t NumInstrs = R.u32();
-      if (!R.ok() || NumInstrs > MaxCount) {
+      if (!R.ok() || NumInstrs > MaxCount ||
+          NumInstrs > R.remaining() / MinInstrBytes) {
         Error = "module: corrupt block header";
         return false;
       }
@@ -148,7 +163,8 @@ bool ppp::readModuleBinary(const std::string &Data, Module &Out,
         for (RegId &A : I.Args)
           A = R.i32();
         uint32_t NumTargets = R.u32();
-        if (!R.ok() || NumTargets > MaxCount) {
+        if (!R.ok() || NumTargets > MaxCount ||
+            NumTargets > R.remaining() / MinTargetBytes) {
           Error = "module: corrupt target list";
           return false;
         }
@@ -265,7 +281,10 @@ bool ppp::readPathProfileBinary(const Module &M, const std::string &Data,
   PathProfile P(NumFuncs);
   for (unsigned F = 0; F < NumFuncs; ++F) {
     uint32_t NumPaths = R.u32();
-    if (!R.ok()) {
+    // A record is at least freq (8) + first/start/term (12) + edge
+    // count (4) bytes; more paths than that cannot be encoded in the
+    // bytes that are left.
+    if (!R.ok() || NumPaths > R.remaining() / 24) {
       Error = "path profile: truncated";
       return false;
     }

@@ -293,4 +293,44 @@ TEST(BLDag, FrequencyConservation) {
             Clean.Oracle.totalFreq());
 }
 
+/// Regression: cycles confined to unreachable blocks. An entry-only DFS
+/// never visits them, so their retreating edges went unmarked, the
+/// BLDag kept a genuine cycle, and its topological sort silently came
+/// up short (the cycle assert is compiled out of release builds). Found
+/// by the adversarial fuzzer's dead-block shapes.
+TEST(LoopInfo, RetreatingEdgesFoundInUnreachableCycles) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId C = B.emitConst(0);
+  BlockId SelfLoop = B.newBlock();
+  BlockId CycleA = B.newBlock();
+  BlockId CycleB = B.newBlock();
+  B.emitRet(C); // Entry returns; everything below is dead code.
+  B.setInsertPoint(SelfLoop);
+  B.emitBr(SelfLoop); // Unreachable self-loop.
+  B.setInsertPoint(CycleA);
+  B.emitBr(CycleB); // Unreachable two-block cycle.
+  B.setInsertPoint(CycleB);
+  B.emitBr(CycleA);
+  B.endFunction();
+  ASSERT_EQ(verifyModule(M), "");
+
+  CfgView Cfg(M.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  // The self-loop edge and exactly one of the two cycle edges must be
+  // retreating, or the DAG construction below keeps real cycles.
+  EXPECT_TRUE(LI.isBackEdge(Cfg.edgeIdFor(SelfLoop, 0)));
+  unsigned CycleBackEdges =
+      (LI.isBackEdge(Cfg.edgeIdFor(CycleA, 0)) ? 1u : 0u) +
+      (LI.isBackEdge(Cfg.edgeIdFor(CycleB, 0)) ? 1u : 0u);
+  EXPECT_EQ(CycleBackEdges, 1u);
+  EXPECT_EQ(LI.backEdges().size(), 2u);
+
+  // With the back edges broken, the BLDag is a genuine DAG: the topo
+  // order covers every node exactly once.
+  BLDag Dag = BLDag::build(Cfg, LI);
+  EXPECT_EQ(Dag.topoOrder().size(), static_cast<size_t>(Dag.numNodes()));
+}
+
 } // namespace

@@ -1,0 +1,235 @@
+//===- tests/fuzz_test.cpp - Differential fuzz harness tests ---------------===//
+///
+/// \file
+/// Drives the fuzz subsystem (src/fuzz) as a unit-test suite: a fixed
+/// seed corpus of adversarial modules through the full differential
+/// invariant battery (oracle vs PP/TPP/PPP), targeted degenerate
+/// shapes, generator determinism, the shrinker's reproducer lines, and
+/// the fault-injection contract for every framed binary reader. This
+/// binary also runs under the tier-1 sanitizer stage (PPP_SANITIZE),
+/// which is what turns "no crash" from hope into a checked property.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/AdversarialGen.h"
+#include "fuzz/FaultInject.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Invariants.h"
+#include "interp/Interpreter.h"
+#include "ir/Verifier.h"
+#include "profile/BinaryIO.h"
+#include "profile/Collectors.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+using namespace ppp;
+using namespace ppp::fuzz;
+
+namespace {
+
+/// Clean run of \p M collecting the profiles the frame writers need.
+void profilesOf(const Module &M, EdgeProfile &EP, PathProfile &Oracle) {
+  EdgeProfiler EdgeObs(M);
+  PathTracer PathObs(M);
+  InterpOptions IO;
+  IO.Fuel = 50'000'000;
+  Interpreter I(M, IO);
+  I.addObserver(&EdgeObs);
+  I.addObserver(&PathObs);
+  ASSERT_FALSE(I.run().FuelExhausted);
+  EP = EdgeObs.takeProfile();
+  Oracle = PathObs.takeProfile();
+}
+
+TEST(FuzzCorpus, FixedSeedsPassAllInvariants) {
+  // A slice of the smoke corpus; tools/fuzz_smoke.sh runs the full 200.
+  // Failures print the same reproducer line the CLI would.
+  FuzzShape Shape;
+  for (uint64_t Seed = 1; Seed <= 48; ++Seed) {
+    FuzzCaseResult R = runFuzzCase(Seed, Shape);
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << "\n"
+                        << R.Report.summary() << reproducerCommand(Seed, Shape);
+  }
+}
+
+TEST(FuzzCorpus, DegenerateShapesPass) {
+  // The floors the shrinker bottoms out at, plus a few nearby shapes:
+  // single single-block function, no diamond, no dead code, minimal
+  // fuel. These exercise the zero-path / one-path corner cases.
+  FuzzShape Tiny;
+  Tiny.NumFunctions = 1;
+  Tiny.MaxBlocks = 1;
+  Tiny.MaxSwitchArms = 2;
+  Tiny.FuelPerCall = 2;
+  Tiny.MainTrips = 1;
+  Tiny.WithDiamondChain = false;
+  Tiny.WithDeadBlocks = false;
+
+  FuzzShape NoDiamond;
+  NoDiamond.WithDiamondChain = false;
+
+  FuzzShape WideSwitch;
+  WideSwitch.MaxSwitchArms = 24;
+  WideSwitch.MaxBlocks = 30;
+
+  for (const FuzzShape &S : {Tiny, NoDiamond, WideSwitch})
+    for (uint64_t Seed = 100; Seed < 110; ++Seed) {
+      FuzzCaseResult R = runFuzzCase(Seed, S);
+      EXPECT_TRUE(R.ok()) << "shape " << S.describe() << " seed " << Seed
+                          << "\n"
+                          << R.Report.summary();
+    }
+}
+
+TEST(FuzzGenerator, DeterministicPerSeedAndShape) {
+  FuzzShape Shape;
+  Module A = generateAdversarialModule(7, Shape);
+  Module B = generateAdversarialModule(7, Shape);
+  EXPECT_EQ(writeModuleBinary(A), writeModuleBinary(B));
+  Module C = generateAdversarialModule(8, Shape);
+  EXPECT_NE(writeModuleBinary(A), writeModuleBinary(C));
+  // All generated modules are verifier-clean by contract.
+  EXPECT_EQ(verifyModule(A), "");
+  EXPECT_EQ(verifyModule(C), "");
+}
+
+TEST(FuzzShrinker, PassingCaseNeedsNoShrinking) {
+  ShrinkResult S = shrinkFailure(1, FuzzShape{});
+  EXPECT_TRUE(S.Minimal.ok());
+  EXPECT_FALSE(S.Shrunk);
+  EXPECT_EQ(S.Attempts, 0u);
+}
+
+TEST(FuzzShrinker, GreedyLadderMinimizesARealFailure) {
+  // A starvation-level interpreter fuel budget makes every shape fail
+  // its "terminates" check, so the ladder must walk every knob to its
+  // floor -- an end-to-end run of the exact code path a real invariant
+  // violation would take.
+  ShrinkResult S = shrinkFailure(1, FuzzShape{}, /*Fuel=*/10);
+  EXPECT_FALSE(S.Minimal.ok());
+  EXPECT_TRUE(S.Shrunk);
+  EXPECT_GT(S.Attempts, 0u);
+  EXPECT_EQ(S.Minimal.Shape.NumFunctions, 1u);
+  EXPECT_EQ(S.Minimal.Shape.MaxBlocks, 1u);
+  EXPECT_EQ(S.Minimal.Shape.MainTrips, 1u);
+  EXPECT_FALSE(S.Minimal.Shape.WithDiamondChain);
+  EXPECT_FALSE(S.Minimal.Shape.WithDeadBlocks);
+}
+
+TEST(FuzzShrinker, CommandLineNamesEveryKnob) {
+  FuzzShape Shape;
+  Shape.NumFunctions = 2;
+  Shape.WithDiamondChain = false;
+  std::string Cmd = reproducerCommand(42, Shape);
+  EXPECT_NE(Cmd.find("--seed=42"), std::string::npos) << Cmd;
+  EXPECT_NE(Cmd.find("--funcs=2"), std::string::npos) << Cmd;
+  EXPECT_NE(Cmd.find("--diamond=0"), std::string::npos) << Cmd;
+  EXPECT_NE(Cmd.find("fuzz_ppp"), std::string::npos) << Cmd;
+}
+
+TEST(FaultInjection, RefreshIsIdempotentOnValidFrames) {
+  Module M = generateAdversarialModule(3, FuzzShape{});
+  std::string Blob = writeModuleBinary(M);
+  // A writer-produced frame already has the right size and checksum, so
+  // refreshing must be a no-op -- pins the field offsets (8 and 16).
+  EXPECT_EQ(refreshFrameChecksum(Blob), Blob);
+}
+
+TEST(FaultInjection, EveryTruncatedModulePrefixRejectsCleanly) {
+  FuzzShape Shape;
+  Shape.NumFunctions = 2;
+  Module M = generateAdversarialModule(11, Shape);
+  std::string Blob = writeModuleBinary(M);
+  ASSERT_GT(Blob.size(), 24u);
+  long Before = peakRssKb();
+  for (size_t Len = 0; Len < Blob.size(); ++Len) {
+    Module Out;
+    std::string Err;
+    EXPECT_FALSE(readModuleBinary(Blob.substr(0, Len), Out, Err))
+        << "prefix of length " << Len << " accepted";
+    EXPECT_FALSE(Err.empty()) << "rejection without a message at " << Len;
+  }
+  if (rssBoundMeaningful()) {
+    EXPECT_LT(peakRssKb() - Before, MaxReaderRssDeltaKb);
+  }
+}
+
+TEST(FaultInjection, HostileFramesRejectedWithoutOverAllocation) {
+  // Regression for the BinaryIO hardening: these frames have valid
+  // checksums but claim element counts (NumFuncs/NumBlocks/NumInstrs/
+  // NumTargets/name length) far beyond the bytes shipped. Before the
+  // remaining-bytes bounds, the readers resize()d first and asked
+  // questions later -- gigabyte allocations from 60-byte inputs.
+  long Before = peakRssKb();
+  for (const FrameMutation &F : hostileModuleFrames()) {
+    Module Out;
+    std::string Err;
+    EXPECT_FALSE(readModuleBinary(F.Blob, Out, Err)) << F.What;
+    EXPECT_FALSE(Err.empty()) << F.What;
+  }
+  if (rssBoundMeaningful()) {
+    EXPECT_LT(peakRssKb() - Before, MaxReaderRssDeltaKb);
+  }
+}
+
+TEST(FaultInjection, MutatedProfileFramesHonorTheContract) {
+  FuzzShape Shape;
+  Module M = generateAdversarialModule(5, Shape);
+  EdgeProfile EP;
+  PathProfile Oracle(0);
+  profilesOf(M, EP, Oracle);
+  Rng R(0xfadedULL);
+
+  std::string EPBlob = writeEdgeProfileBinary(M, EP);
+  FaultStats S1 = runReaderFaultCheck(
+      mutateFrame(EPBlob, R, 8, 8, 8),
+      [&M](const std::string &Blob, std::string &Err) {
+        EdgeProfile Out;
+        return readEdgeProfileBinary(M, Blob, Out, Err);
+      });
+  EXPECT_TRUE(S1.ok()) << S1.Problems.front();
+  EXPECT_EQ(S1.Cases, S1.Rejected + S1.Accepted);
+
+  std::string PPBlob = writePathProfileBinary(M, Oracle);
+  FaultStats S2 = runReaderFaultCheck(
+      mutateFrame(PPBlob, R, 8, 8, 8),
+      [&M](const std::string &Blob, std::string &Err) {
+        PathProfile Out(0);
+        return readPathProfileBinary(M, Blob, Out, Err);
+      });
+  EXPECT_TRUE(S2.ok()) << S2.Problems.front();
+}
+
+TEST(FaultInjection, PathRecordCountBoundedByPayload) {
+  // Direct regression for the path-profile reader: a frame whose
+  // NumPaths field claims more records than the payload could hold must
+  // be rejected before any reserve.
+  FuzzShape Shape;
+  Module M = generateAdversarialModule(5, Shape);
+  EdgeProfile EP;
+  PathProfile Oracle(0);
+  profilesOf(M, EP, Oracle);
+  std::string Blob = writePathProfileBinary(M, Oracle);
+  ASSERT_GT(Blob.size(), 32u);
+  // Payload: str(name) [u64 len + bytes], u32 NumFuncs, then the first
+  // function's u32 NumPaths -- smash that count to ~16M.
+  std::string Bad = Blob;
+  size_t Off = 24 + 8 + M.Name.size() + 4;
+  ASSERT_LT(Off + 4, Bad.size());
+  Bad[Off + 0] = char(0xff);
+  Bad[Off + 1] = char(0xff);
+  Bad[Off + 2] = char(0xff);
+  Bad[Off + 3] = 0;
+  Bad = refreshFrameChecksum(std::move(Bad));
+  long Before = peakRssKb();
+  PathProfile Out(0);
+  std::string Err;
+  EXPECT_FALSE(readPathProfileBinary(M, Bad, Out, Err));
+  EXPECT_FALSE(Err.empty());
+  if (rssBoundMeaningful()) {
+    EXPECT_LT(peakRssKb() - Before, MaxReaderRssDeltaKb);
+  }
+}
+
+} // namespace

@@ -22,6 +22,8 @@
 
 #include "gtest/gtest.h"
 
+#include <clocale>
+#include <cmath>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -449,6 +451,86 @@ TEST(ObsPathTable, IncrementStatsMutatesIdentically) {
   EXPECT_EQ(CT.countFor(2), 1u);
   EXPECT_EQ(CS.Cold, 1u);
   EXPECT_EQ(CS.Increments, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parser hardening (fuzz-driven fixes)
+//===----------------------------------------------------------------------===//
+
+/// parse() into V, returning success. Failures must carry a message.
+bool parseJson(const std::string &Text, obs::json::Value &V) {
+  std::string Error;
+  bool Ok = obs::json::parse(Text, V, Error);
+  if (!Ok) {
+    EXPECT_FALSE(Error.empty()) << "rejection without a message: " << Text;
+  }
+  return Ok;
+}
+
+TEST(ObsJsonNumbers, LocaleIndependentParsing) {
+  // strtod honors LC_NUMERIC, so under a decimal-comma locale "1.5"
+  // used to parse as 1.0 with trailing-garbage ".5" (and the parser
+  // then failed the whole document). from_chars never consults the
+  // locale; force a comma locale (when the image has one) to pin it.
+  const char *Prev = std::setlocale(LC_NUMERIC, nullptr);
+  std::string Saved = Prev ? Prev : "C";
+  bool HaveComma = std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+                   std::setlocale(LC_NUMERIC, "fr_FR.UTF-8") != nullptr;
+  obs::json::Value V;
+  bool Ok = parseJson("[1.5, -2.25e2, 0.125]", V);
+  std::setlocale(LC_NUMERIC, Saved.c_str());
+  ASSERT_TRUE(Ok) << (HaveComma ? "comma locale" : "C locale");
+  ASSERT_EQ(V.Arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(V.Arr[0].Num, 1.5);
+  EXPECT_DOUBLE_EQ(V.Arr[1].Num, -225.0);
+  EXPECT_DOUBLE_EQ(V.Arr[2].Num, 0.125);
+}
+
+TEST(ObsJsonNumbers, OverflowSaturatesAndMalformedFails) {
+  obs::json::Value V;
+  ASSERT_TRUE(parseJson("[1e400, -1e400, 1e-400]", V));
+  EXPECT_TRUE(std::isinf(V.Arr[0].Num) && V.Arr[0].Num > 0);
+  EXPECT_TRUE(std::isinf(V.Arr[1].Num) && V.Arr[1].Num < 0);
+  EXPECT_DOUBLE_EQ(V.Arr[2].Num, 0.0);
+  for (const char *Bad : {"1.2.3", "1e", "1e+", "-", "+1", ".5", "1.5e1.5"})
+    EXPECT_FALSE(parseJson(Bad, V)) << Bad;
+}
+
+TEST(ObsJsonStrings, SurrogatePairsDecodeLoneOnesFail) {
+  obs::json::Value V;
+  // Valid pair: U+1F600 as 4-byte UTF-8.
+  ASSERT_TRUE(parseJson("\"\\uD83D\\uDE00\"", V));
+  EXPECT_EQ(V.Str, "\xF0\x9F\x98\x80");
+  // BMP escapes keep working.
+  ASSERT_TRUE(parseJson("\"\\u00e9\\u4e2d\"", V));
+  EXPECT_EQ(V.Str, "\xC3\xA9\xE4\xB8\xAD");
+  // Lone high, lone low, high+non-surrogate, high+literal, truncated
+  // pair: all rejected instead of silently degrading to '?'.
+  for (const char *Bad :
+       {"\"\\uD800\"", "\"\\uDC00\"", "\"\\uD800\\u0041\"", "\"\\uD800x\"",
+        "\"\\uD800\\u\"", "\"\\uD83D\\uD83D\""})
+    EXPECT_FALSE(parseJson(Bad, V)) << Bad;
+}
+
+TEST(ObsJsonRobustness, TruncatedDocumentsFailWithoutThrowing) {
+  // Every prefix of a document exercising all syntax forms must return
+  // an error (or parse, for the rare prefix that is itself valid) --
+  // never throw or crash. This is the satellite regression for the
+  // end-of-input guards in literal()/parseValue().
+  const std::string Doc =
+      "{\"a\": [1, -2.5e-3, true, false, null], \"b\": {\"c\": \"x\\u0041\"},"
+      " \"d\": \"\\uD83D\\uDE00\"}";
+  obs::json::Value V;
+  ASSERT_TRUE(parseJson(Doc, V));
+  for (size_t Len = 0; Len < Doc.size(); ++Len) {
+    std::string Error;
+    EXPECT_FALSE(obs::json::parse(Doc.substr(0, Len), V, Error))
+        << "prefix " << Len << " accepted";
+    EXPECT_FALSE(Error.empty()) << "prefix " << Len;
+  }
+  // Truncated literals specifically (the literal() guard).
+  for (const char *Bad : {"t", "tru", "f", "fals", "n", "nul", "[t", "[true,"})
+    EXPECT_FALSE(parseJson(Bad, V)) << Bad;
 }
 
 } // namespace

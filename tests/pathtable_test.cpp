@@ -5,7 +5,9 @@
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 using namespace ppp;
@@ -238,6 +240,88 @@ TEST(Tables, ForEachSkipsZeroCounts) {
     ++Seen;
   });
   EXPECT_EQ(Seen, 1);
+}
+
+/// Property test for the hash-semantics audit: random interleavings of
+/// increment / reset / countFor / forEach must agree with a reference
+/// map at every step, modulo the documented lossiness -- a key's stored
+/// count is either exact or the key was lost outright (slots are never
+/// freed while occupied, so a stored count can never be a partial
+/// undercount), and stored + lost always equals the reference total.
+TEST(HashTable, RandomOpsMatchReferenceMapAcrossResets) {
+  Rng R(0x9a73ULL);
+  for (unsigned Round = 0; Round < 8; ++Round) {
+    PathTable T = PathTable::makeHash();
+    std::map<int64_t, uint64_t> Ref;
+    uint64_t RefTotal = 0;
+    // Key universe wide enough to force collisions and losses.
+    unsigned Universe = 50 + static_cast<unsigned>(R.below(3000));
+    for (unsigned Op = 0; Op < 4000; ++Op) {
+      unsigned What = static_cast<unsigned>(R.below(100));
+      if (What < 88) {
+        int64_t Key = static_cast<int64_t>(R.below(Universe)) * 7919;
+        T.increment(Key);
+        ++Ref[Key];
+        ++RefTotal;
+      } else if (What < 94) {
+        int64_t Key = static_cast<int64_t>(R.below(Universe)) * 7919;
+        uint64_t Got = T.countFor(Key);
+        auto It = Ref.find(Key);
+        uint64_t Want = It == Ref.end() ? 0 : It->second;
+        // Exact-or-lost: never a nonzero value that disagrees.
+        if (Got != 0) {
+          EXPECT_EQ(Got, Want) << "round " << Round << " op " << Op;
+        }
+      } else if (What < 97) {
+        uint64_t Stored = 0;
+        T.forEach([&](int64_t Key, uint64_t C) {
+          Stored += C;
+          auto It = Ref.find(Key);
+          ASSERT_NE(It, Ref.end()) << "phantom key " << Key;
+          EXPECT_EQ(C, It->second) << "key " << Key;
+        });
+        EXPECT_EQ(Stored + T.lostCount(), RefTotal)
+            << "round " << Round << " op " << Op;
+      } else {
+        T.reset();
+        Ref.clear();
+        RefTotal = 0;
+        EXPECT_EQ(T.lostCount(), 0u);
+        EXPECT_EQ(T.invalidCount(), 0u);
+        EXPECT_EQ(T.coldCheckedCount(), 0u);
+        unsigned Entries = 0;
+        T.forEach([&](int64_t, uint64_t) { ++Entries; });
+        EXPECT_EQ(Entries, 0u) << "reset left live slots";
+      }
+    }
+    EXPECT_EQ(T.invalidCount(), 0u);
+  }
+}
+
+/// Same property for the array variant, where storage is exact: the
+/// table must behave as the reference map at all times.
+TEST(ArrayTable, RandomOpsMatchReferenceMapAcrossResets) {
+  Rng R(0xa44a7ULL);
+  constexpr uint64_t Size = 512;
+  PathTable T = PathTable::makeArray(Size);
+  std::vector<uint64_t> Ref(Size, 0);
+  for (unsigned Op = 0; Op < 20000; ++Op) {
+    unsigned What = static_cast<unsigned>(R.below(100));
+    if (What < 90) {
+      int64_t I = static_cast<int64_t>(R.below(Size));
+      T.increment(I);
+      ++Ref[static_cast<size_t>(I)];
+    } else if (What < 98) {
+      int64_t I = static_cast<int64_t>(R.below(Size));
+      EXPECT_EQ(T.countFor(I), Ref[static_cast<size_t>(I)]);
+    } else {
+      T.reset();
+      std::fill(Ref.begin(), Ref.end(), 0);
+    }
+  }
+  for (uint64_t I = 0; I < Size; ++I)
+    EXPECT_EQ(T.countFor(static_cast<int64_t>(I)), Ref[I]);
+  EXPECT_EQ(T.invalidCount(), 0u);
 }
 
 } // namespace

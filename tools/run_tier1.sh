@@ -24,6 +24,12 @@ tools/cache_smoke.sh "$REPO_ROOT/build"
 # report covers the interp/pass/cache/pool subsystems.
 tools/obs_smoke.sh "$REPO_ROOT/build"
 
+# Fuzz smoke stage (also the fuzz_smoke ctest): the fixed-seed
+# adversarial corpus through all three profilers with differential
+# invariants against the oracle, plus frame fault injection. For a
+# longer soak, run tools/fuzz_ppp --minutes=N by hand.
+tools/fuzz_smoke.sh "$REPO_ROOT/build"
+
 # Optional sanitizer stage: PPP_TIER1_SANITIZE=address (or undefined,
 # or "address undefined") rebuilds into build-<san>/ with PPP_SANITIZE
 # and reruns the unit tests under the instrumented binaries. The
