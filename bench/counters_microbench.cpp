@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "interp/PathTable.h"
+#include "serve/ShardHash.h"
 #include "support/Rng.h"
 
 #include <benchmark/benchmark.h>
@@ -83,6 +84,42 @@ void BM_HashSlotReciprocal(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_HashSlotReciprocal);
+
+/// The serve-side shard selector as `%` would compute it: one hardware
+/// divide per ingested counter. The divisor is a runtime value (the
+/// shard count), so fastRemainder's compile-time magic cannot apply;
+/// this is the before row for BM_ShardSelectReciprocal.
+void BM_ShardSelectModulo(benchmark::State &State) {
+  Rng R(42);
+  std::vector<uint64_t> Hashes(1024);
+  for (uint64_t &H : Hashes)
+    H = R.next();
+  uint32_t Shards = static_cast<uint32_t>(State.range(0));
+  size_t I = 0;
+  for (auto _ : State) {
+    uint32_t S = serve::fold32(Hashes[I++ & 1023]) % Shards;
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_ShardSelectModulo)->Arg(8)->Arg(64);
+
+/// The same selection as the aggregator computes it: Lemire's exact
+/// runtime-divisor fastmod (one 64-bit multiply, one multiply-high).
+/// serve_test pins the result bit-identical to `%` for every shard
+/// count, so this row is a pure strength reduction.
+void BM_ShardSelectReciprocal(benchmark::State &State) {
+  Rng R(42);
+  std::vector<uint64_t> Hashes(1024);
+  for (uint64_t &H : Hashes)
+    H = R.next();
+  serve::ShardSelector Sel(static_cast<uint32_t>(State.range(0)));
+  size_t I = 0;
+  for (auto _ : State) {
+    uint32_t S = Sel(Hashes[I++ & 1023]);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_ShardSelectReciprocal)->Arg(8)->Arg(64);
 
 void BM_HashCounterConflictHeavy(benchmark::State &State) {
   PathTable T = PathTable::makeHash();

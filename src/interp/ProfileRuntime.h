@@ -14,7 +14,9 @@
 #include "interp/PathTable.h"
 #include "ir/Instr.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 #include <vector>
 
 namespace ppp {
@@ -41,6 +43,19 @@ public:
 
   unsigned numFunctions() const {
     return static_cast<unsigned>(Tables.size());
+  }
+
+  /// Collects \p F's nonzero (path index, count) pairs sorted by index.
+  /// The hash variant's forEach emits slot order; sorting here gives
+  /// every consumer (serialization, merging, aggregation) one canonical
+  /// view independent of table kind.
+  std::vector<std::pair<uint64_t, uint64_t>> collectCounts(FuncId F) const {
+    std::vector<std::pair<uint64_t, uint64_t>> Out;
+    table(F).forEach([&Out](int64_t Index, uint64_t Count) {
+      Out.emplace_back(static_cast<uint64_t>(Index), Count);
+    });
+    std::sort(Out.begin(), Out.end());
+    return Out;
   }
 
   /// Resets all counters to zero in place, keeping table shapes and

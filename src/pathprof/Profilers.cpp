@@ -208,3 +208,33 @@ ProfileRuntime InstrumentationResult::makeRuntime() const {
   }
   return RT;
 }
+
+CountsMessage ppp::countsFromRun(const std::string &Benchmark,
+                                 const InstrumentationResult &IR,
+                                 const ProfileRuntime &RT,
+                                 const EdgeProfile *EP) {
+  assert(IR.Plans.size() == RT.numFunctions() &&
+         "runtime was not built from this instrumentation result");
+  CountsMessage M;
+  M.Benchmark = Benchmark;
+  unsigned NumFuncs = RT.numFunctions();
+  for (unsigned F = 0; F < NumFuncs; ++F) {
+    FunctionCounts FC;
+    FC.Func = F;
+    FC.PathCounts = RT.collectCounts(static_cast<FuncId>(F));
+    const PathTable &T = RT.table(static_cast<FuncId>(F));
+    FC.Lost = T.lostCount();
+    FC.Cold = T.coldCheckedCount();
+    FC.Invalid = T.invalidCount();
+    if (EP && F < EP->Funcs.size()) {
+      const FunctionEdgeProfile &FEP = EP->Funcs[F];
+      for (size_t E = 0; E < FEP.EdgeFreq.size(); ++E)
+        if (FEP.EdgeFreq[E] > 0)
+          FC.EdgeCounts.emplace_back(static_cast<uint32_t>(E),
+                                     static_cast<uint64_t>(FEP.EdgeFreq[E]));
+    }
+    M.Funcs.push_back(std::move(FC));
+  }
+  canonicalizeCounts(M);
+  return M;
+}

@@ -31,6 +31,7 @@
 #include "pathprof/Numbering.h"
 #include "pathprof/Placement.h"
 #include "profile/EdgeProfile.h"
+#include "profile/Merge.h"
 #include "profile/PathKey.h"
 
 #include <map>
@@ -178,6 +179,16 @@ std::string validateProfilerOptions(const ProfilerOptions &O);
 /// ppp_pass.
 InstrumentationResult instrumentModule(const Module &M, const EdgeProfile &EP,
                                        const ProfilerOptions &Opts);
+
+/// Flattens one instrumented run into the mergeable wire form the
+/// profile-collection server (src/serve) aggregates: per function, the
+/// runtime table's (index, count) pairs, the lost/cold/invalid spill
+/// counters, and (when \p EP is non-null) the edge profile's counts.
+/// The result is canonical, so equal runs serialize byte-identically.
+CountsMessage countsFromRun(const std::string &Benchmark,
+                            const InstrumentationResult &IR,
+                            const ProfileRuntime &RT,
+                            const EdgeProfile *EP = nullptr);
 
 /// As above, but serving every per-function analysis from \p FAM, which
 /// must be bound to \p M. Rebinds the manager's advice to \p EP; with

@@ -7,6 +7,8 @@
 #include "support/BinStream.h"
 #include "support/Format.h"
 
+#include <algorithm>
+
 using namespace ppp;
 
 namespace {
@@ -17,15 +19,7 @@ constexpr uint32_t PathProfileMagic = 0x50505062; // 'bPPP'
 
 /// Wraps \p Payload in the common frame.
 std::string frame(uint32_t Magic, const std::string &Payload) {
-  std::string Out;
-  Out.reserve(Payload.size() + 24);
-  BinWriter W(Out);
-  W.u32(Magic);
-  W.u32(BinaryFormatVersion);
-  W.u64(Payload.size());
-  W.u64(fnv1a(Payload.data(), Payload.size()));
-  Out.append(Payload);
-  return Out;
+  return frameMessage(Magic, Payload);
 }
 
 /// Verifies the frame of \p Data and returns the payload view through
@@ -62,6 +56,103 @@ bool unframe(uint32_t Magic, const char *What, const std::string &Data,
 }
 
 } // namespace
+
+std::string ppp::frameMessage(uint32_t Magic, const std::string &Payload) {
+  std::string Out;
+  Out.reserve(Payload.size() + 24);
+  BinWriter W(Out);
+  W.u32(Magic);
+  W.u32(BinaryFormatVersion);
+  W.u64(Payload.size());
+  W.u64(fnv1a(Payload.data(), Payload.size()));
+  Out.append(Payload);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// FrameReader
+//===----------------------------------------------------------------------===//
+
+/// Frame header size: magic (4) + version (4) + size (8) + checksum (8).
+static constexpr size_t FrameHeaderBytes = 24;
+
+FrameReader::FrameReader(size_t MaxPayloadBytes)
+    : MaxPayload(MaxPayloadBytes) {}
+
+void FrameReader::setAllowedMagics(std::vector<uint32_t> Magics) {
+  Allowed = std::move(Magics);
+}
+
+bool FrameReader::fail(const std::string &Msg) {
+  Failed = true;
+  Error = Msg;
+  Buf.clear();
+  Buf.shrink_to_fit();
+  return false;
+}
+
+bool FrameReader::checkHeader() {
+  // Validate each header field the moment its bytes are present, so a
+  // hostile stream is rejected at the earliest byte that proves it
+  // hostile -- in particular before the size field can demand memory.
+  BinReader R(Buf.data(), Buf.size());
+  if (Buf.size() >= 4) {
+    uint32_t Magic = R.u32();
+    if (!Allowed.empty() &&
+        std::find(Allowed.begin(), Allowed.end(), Magic) == Allowed.end())
+      return fail(formatString("frame stream: unexpected magic 0x%08x",
+                               Magic));
+  }
+  if (Buf.size() >= 8) {
+    uint32_t V = R.u32();
+    if (V != BinaryFormatVersion)
+      return fail(formatString("frame stream: format version %u, expected %u",
+                               V, BinaryFormatVersion));
+  }
+  if (Buf.size() >= 16) {
+    uint64_t Size = R.u64();
+    if (Size > MaxPayload)
+      return fail(formatString(
+          "frame stream: payload of %llu bytes exceeds the %llu-byte cap",
+          (unsigned long long)Size, (unsigned long long)MaxPayload));
+  }
+  return true;
+}
+
+bool FrameReader::feed(const void *Data, size_t Size) {
+  if (Failed)
+    return false;
+  Buf.append(static_cast<const char *>(Data), Size);
+  BytesIn += Size;
+  // Only the head frame's header is validated here; a frame queued
+  // behind it is validated when consuming the head exposes it. The
+  // normal feed/next drain loop therefore checks every header before
+  // its payload can demand memory beyond what the transport delivered.
+  return checkHeader();
+}
+
+bool FrameReader::next(Frame &Out) {
+  if (Failed || Buf.size() < FrameHeaderBytes)
+    return false;
+  BinReader R(Buf.data(), Buf.size());
+  uint32_t Magic = R.u32();
+  R.u32(); // Version: already validated by checkHeader().
+  uint64_t Size = R.u64();
+  uint64_t Sum = R.u64();
+  if (Buf.size() < FrameHeaderBytes + Size)
+    return false;
+  const char *Body = Buf.data() + FrameHeaderBytes;
+  if (fnv1a(Body, static_cast<size_t>(Size)) != Sum) {
+    fail("frame stream: checksum mismatch");
+    return false;
+  }
+  Out.Magic = Magic;
+  Out.Payload.assign(Body, static_cast<size_t>(Size));
+  Buf.erase(0, FrameHeaderBytes + static_cast<size_t>(Size));
+  // Surface the next queued frame's header problems immediately.
+  checkHeader();
+  return true;
+}
 
 std::string ppp::writeModuleBinary(const Module &M) {
   std::string Payload;

@@ -1,0 +1,219 @@
+//===- profile/Merge.cpp - Mergeable profile-count messages -------------------===//
+
+#include "profile/Merge.h"
+
+#include "profile/BinaryIO.h"
+#include "support/BinStream.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace ppp;
+
+namespace {
+
+/// Sorts and coalesces one (key, count) list, dropping zero counts.
+template <typename K>
+void canonicalizeList(std::vector<std::pair<K, uint64_t>> &L) {
+  std::sort(L.begin(), L.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  size_t Out = 0;
+  for (size_t I = 0; I < L.size();) {
+    K Key = L[I].first;
+    uint64_t Sum = 0;
+    for (; I < L.size() && L[I].first == Key; ++I)
+      Sum = saturatingAdd(Sum, L[I].second);
+    if (Sum > 0)
+      L[Out++] = {Key, Sum};
+  }
+  L.resize(Out);
+}
+
+/// Merges canonical \p Src into canonical \p Dst by key.
+template <typename K>
+void mergeList(std::vector<std::pair<K, uint64_t>> &Dst,
+               const std::vector<std::pair<K, uint64_t>> &Src) {
+  std::vector<std::pair<K, uint64_t>> Out;
+  Out.reserve(Dst.size() + Src.size());
+  size_t I = 0, J = 0;
+  while (I < Dst.size() || J < Src.size()) {
+    if (J >= Src.size() || (I < Dst.size() && Dst[I].first < Src[J].first)) {
+      Out.push_back(Dst[I++]);
+    } else if (I >= Dst.size() || Src[J].first < Dst[I].first) {
+      Out.push_back(Src[J++]);
+    } else {
+      Out.emplace_back(Dst[I].first,
+                       saturatingAdd(Dst[I].second, Src[J].second));
+      ++I;
+      ++J;
+    }
+  }
+  Dst = std::move(Out);
+}
+
+bool isZero(const FunctionCounts &F) {
+  return F.Lost == 0 && F.Cold == 0 && F.Invalid == 0 &&
+         F.PathCounts.empty() && F.EdgeCounts.empty();
+}
+
+void mergeFunction(FunctionCounts &Dst, const FunctionCounts &Src) {
+  Dst.Lost = saturatingAdd(Dst.Lost, Src.Lost);
+  Dst.Cold = saturatingAdd(Dst.Cold, Src.Cold);
+  Dst.Invalid = saturatingAdd(Dst.Invalid, Src.Invalid);
+  mergeList(Dst.PathCounts, Src.PathCounts);
+  mergeList(Dst.EdgeCounts, Src.EdgeCounts);
+}
+
+} // namespace
+
+void ppp::canonicalizeCounts(CountsMessage &M) {
+  std::sort(M.Funcs.begin(), M.Funcs.end(),
+            [](const FunctionCounts &A, const FunctionCounts &B) {
+              return A.Func < B.Func;
+            });
+  std::vector<FunctionCounts> Out;
+  Out.reserve(M.Funcs.size());
+  for (FunctionCounts &F : M.Funcs) {
+    canonicalizeList(F.PathCounts);
+    canonicalizeList(F.EdgeCounts);
+    if (!Out.empty() && Out.back().Func == F.Func)
+      mergeFunction(Out.back(), F);
+    else
+      Out.push_back(std::move(F));
+  }
+  std::erase_if(Out, [](const FunctionCounts &F) { return isZero(F); });
+  M.Funcs = std::move(Out);
+}
+
+void ppp::mergeCounts(CountsMessage &Dst, const CountsMessage &Src) {
+  if (Dst.Benchmark.empty())
+    Dst.Benchmark = Src.Benchmark;
+  std::vector<FunctionCounts> Out;
+  Out.reserve(Dst.Funcs.size() + Src.Funcs.size());
+  size_t I = 0, J = 0;
+  while (I < Dst.Funcs.size() || J < Src.Funcs.size()) {
+    if (J >= Src.Funcs.size() ||
+        (I < Dst.Funcs.size() && Dst.Funcs[I].Func < Src.Funcs[J].Func)) {
+      Out.push_back(std::move(Dst.Funcs[I++]));
+    } else if (I >= Dst.Funcs.size() ||
+               Src.Funcs[J].Func < Dst.Funcs[I].Func) {
+      Out.push_back(Src.Funcs[J++]);
+    } else {
+      mergeFunction(Dst.Funcs[I], Src.Funcs[J]);
+      Out.push_back(std::move(Dst.Funcs[I]));
+      ++I;
+      ++J;
+    }
+  }
+  Dst.Funcs = std::move(Out);
+}
+
+std::string ppp::writeCountsBinary(const CountsMessage &M) {
+  std::string Payload;
+  BinWriter W(Payload);
+  W.str(M.Benchmark);
+  W.u32(static_cast<uint32_t>(M.Funcs.size()));
+  for (const FunctionCounts &F : M.Funcs) {
+    W.u32(F.Func);
+    W.u64(F.Lost);
+    W.u64(F.Cold);
+    W.u64(F.Invalid);
+    W.u32(static_cast<uint32_t>(F.PathCounts.size()));
+    for (const auto &[Index, Count] : F.PathCounts) {
+      W.u64(Index);
+      W.u64(Count);
+    }
+    W.u32(static_cast<uint32_t>(F.EdgeCounts.size()));
+    for (const auto &[Edge, Count] : F.EdgeCounts) {
+      W.u32(Edge);
+      W.u64(Count);
+    }
+  }
+  return frameMessage(CountsMessageMagic, Payload);
+}
+
+bool ppp::decodeCountsPayload(const std::string &Payload, CountsMessage &Out,
+                              std::string &Error) {
+  BinReader R(Payload);
+  CountsMessage M;
+  M.Benchmark = R.str();
+  uint32_t NumFuncs = R.u32();
+  // A function record is at least func (4) + lost/cold/invalid (24) +
+  // two list headers (8) bytes; a path entry 16; an edge entry 12.
+  if (!R.ok() || NumFuncs > R.remaining() / 36) {
+    Error = "counts message: truncated function list";
+    return false;
+  }
+  M.Funcs.resize(NumFuncs);
+  uint32_t PrevFunc = 0;
+  for (uint32_t FI = 0; FI < NumFuncs; ++FI) {
+    FunctionCounts &F = M.Funcs[FI];
+    F.Func = R.u32();
+    if (FI > 0 && R.ok() && F.Func <= PrevFunc) {
+      Error = "counts message: function ids not strictly increasing";
+      return false;
+    }
+    PrevFunc = F.Func;
+    F.Lost = R.u64();
+    F.Cold = R.u64();
+    F.Invalid = R.u64();
+    uint32_t NumPaths = R.u32();
+    if (!R.ok() || NumPaths > R.remaining() / 16) {
+      Error = "counts message: truncated path counts";
+      return false;
+    }
+    F.PathCounts.resize(NumPaths);
+    for (uint32_t I = 0; I < NumPaths; ++I) {
+      uint64_t Index = R.u64();
+      uint64_t Count = R.u64();
+      if (R.ok() && (Count == 0 ||
+                     (I > 0 && Index <= F.PathCounts[I - 1].first))) {
+        Error = "counts message: non-canonical path counts";
+        return false;
+      }
+      F.PathCounts[I] = {Index, Count};
+    }
+    uint32_t NumEdges = R.u32();
+    if (!R.ok() || NumEdges > R.remaining() / 12) {
+      Error = "counts message: truncated edge counts";
+      return false;
+    }
+    F.EdgeCounts.resize(NumEdges);
+    for (uint32_t I = 0; I < NumEdges; ++I) {
+      uint32_t Edge = R.u32();
+      uint64_t Count = R.u64();
+      if (R.ok() && (Count == 0 ||
+                     (I > 0 && Edge <= F.EdgeCounts[I - 1].first))) {
+        Error = "counts message: non-canonical edge counts";
+        return false;
+      }
+      F.EdgeCounts[I] = {Edge, Count};
+    }
+  }
+  if (!R.ok() || R.remaining() != 0) {
+    Error = "counts message: payload size mismatch";
+    return false;
+  }
+  if (M.Benchmark.empty()) {
+    Error = "counts message: empty benchmark name";
+    return false;
+  }
+  Out = std::move(M);
+  return true;
+}
+
+bool ppp::readCountsBinary(const std::string &Data, CountsMessage &Out,
+                           std::string &Error) {
+  FrameReader FR;
+  FR.setAllowedMagics({CountsMessageMagic});
+  FrameReader::Frame F;
+  if (!FR.feed(Data.data(), Data.size()) || !FR.next(F)) {
+    Error = FR.failed() ? FR.error() : "counts message: incomplete frame";
+    return false;
+  }
+  if (!FR.atBoundary()) {
+    Error = "counts message: trailing bytes after frame";
+    return false;
+  }
+  return decodeCountsPayload(F.Payload, Out, Error);
+}

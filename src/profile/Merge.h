@@ -1,0 +1,97 @@
+//===- profile/Merge.h - Mergeable profile-count messages ------*- C++ -*-===//
+///
+/// \file
+/// The unit of profile collection: a flattened, order-canonical bag of
+/// raw counters from one instrumented run -- per function, the path
+/// counter table's (index, count) pairs, the edge profile's counts, and
+/// the hash-variant spill counters (lost / cold / invalid). Unlike the
+/// structural profiles in PathProfile.h, a counts message carries no CFG
+/// references, so any two messages for the same benchmark merge with
+/// plain saturating adds -- the property the profile-collection server
+/// (src/serve) is built on.
+///
+/// Merging is commutative and associative (saturating addition over
+/// non-negative values is exact below the ceiling and absorbing at it),
+/// so a sharded concurrent merge and a sequential left fold produce the
+/// same aggregate -- the smoke test pins the two byte-identical.
+///
+/// The wire encoding is one BinaryIO frame (magic 'bPSC') whose payload
+/// lists functions and their counters in canonical sorted order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_PROFILE_MERGE_H
+#define PPP_PROFILE_MERGE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ppp {
+
+/// Frame magic for a serialized CountsMessage ('bPSC').
+inline constexpr uint32_t CountsMessageMagic = 0x43535062;
+
+/// Saturating unsigned add: the sum, or UINT64_MAX on overflow.
+inline uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  uint64_t S = A + B;
+  return S < A ? ~uint64_t(0) : S;
+}
+
+/// One function's raw counters.
+struct FunctionCounts {
+  uint32_t Func = 0;
+
+  /// Hash-variant conflicts dropped by the client's PathTable. Merged
+  /// aggregates propagate these so a consumer can tell "no count" from
+  /// "count lost before it reached the wire".
+  uint64_t Lost = 0;
+  uint64_t Cold = 0;    ///< Checked-counting poison hits.
+  uint64_t Invalid = 0; ///< Out-of-range indices (backstop; ~always 0).
+
+  /// (path index, count), strictly increasing index, counts > 0.
+  std::vector<std::pair<uint64_t, uint64_t>> PathCounts;
+  /// (CFG edge id, count), strictly increasing id, counts > 0.
+  std::vector<std::pair<uint32_t, uint64_t>> EdgeCounts;
+
+  bool operator==(const FunctionCounts &O) const = default;
+};
+
+/// A run's complete mergeable export.
+struct CountsMessage {
+  std::string Benchmark; ///< Aggregation namespace (module identity).
+  std::vector<FunctionCounts> Funcs; ///< Strictly increasing Func ids.
+
+  bool operator==(const CountsMessage &O) const = default;
+};
+
+/// Restores the canonical form in place: functions sorted by id and
+/// coalesced (duplicates merged with saturating adds), count lists
+/// sorted and coalesced, zero-count entries and all-zero functions
+/// dropped. write/merge require canonical inputs; exports from
+/// countsFromRun are canonical by construction.
+void canonicalizeCounts(CountsMessage &M);
+
+/// Merges \p Src into \p Dst (both canonical, same benchmark) with
+/// saturating adds on every counter, propagating lost/cold/invalid.
+/// The result is canonical. Merging any permutation of a message list
+/// into an empty message yields byte-identical serializations.
+void mergeCounts(CountsMessage &Dst, const CountsMessage &Src);
+
+/// Serializes \p M (canonical) as a framed 'bPSC' message.
+std::string writeCountsBinary(const CountsMessage &M);
+
+/// Decodes a whole 'bPSC' frame produced by writeCountsBinary.
+bool readCountsBinary(const std::string &Data, CountsMessage &Out,
+                      std::string &Error);
+
+/// Decodes a bare 'bPSC' payload (a FrameReader::Frame::Payload, the
+/// frame already verified). Enforces canonical order, so two messages
+/// that decode successfully and compare equal serialize identically.
+bool decodeCountsPayload(const std::string &Payload, CountsMessage &Out,
+                         std::string &Error);
+
+} // namespace ppp
+
+#endif // PPP_PROFILE_MERGE_H

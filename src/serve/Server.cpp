@@ -1,0 +1,231 @@
+//===- serve/Server.cpp - Profile-collection server ----------------------===//
+
+#include "serve/Server.h"
+
+#include "obs/Obs.h"
+#include "serve/Transport.h"
+#include "support/BinStream.h"
+#include "support/Format.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+using namespace ppp;
+using namespace ppp::serve;
+
+std::string ppp::serve::helloMessage(const std::string &ClientName) {
+  std::string Payload;
+  BinWriter W(Payload);
+  W.str(ClientName);
+  return frameMessage(HelloMessageMagic, Payload);
+}
+
+std::string ppp::serve::byeMessage(uint64_t CountsFrames) {
+  std::string Payload;
+  BinWriter W(Payload);
+  W.u64(CountsFrames);
+  return frameMessage(ByeMessageMagic, Payload);
+}
+
+//===----------------------------------------------------------------------===//
+// IngestSession
+//===----------------------------------------------------------------------===//
+
+IngestSession::IngestSession(Aggregator &Agg, std::string Peer)
+    : Agg(Agg), Peer(std::move(Peer)) {
+  Reader.setAllowedMagics(
+      {HelloMessageMagic, CountsMessageMagic, ByeMessageMagic});
+}
+
+bool IngestSession::fail(const std::string &Msg) {
+  if (!Failed) {
+    Failed = true;
+    Err = formatString("%s: %s", Peer.c_str(), Msg.c_str());
+    obs::counter("serve.ingest.errors").inc();
+  }
+  return false;
+}
+
+bool IngestSession::handleFrame(const FrameReader::Frame &F) {
+  obs::counter("serve.ingest.frames").inc();
+  if (SawBye)
+    return fail("frame after BYE");
+  switch (F.Magic) {
+  case HelloMessageMagic: {
+    if (SawHello)
+      return fail("duplicate HELLO");
+    BinReader R(F.Payload);
+    std::string Name = R.str();
+    if (!R.ok() || R.remaining() != 0 || Name.empty())
+      return fail("malformed HELLO payload");
+    SawHello = true;
+    Client = std::move(Name);
+    return true;
+  }
+  case CountsMessageMagic: {
+    if (!SawHello)
+      return fail("counts frame before HELLO");
+    CountsMessage M;
+    std::string DecodeErr;
+    if (!decodeCountsPayload(F.Payload, M, DecodeErr))
+      return fail(DecodeErr);
+    if (!HaveBench || LastBench != M.Benchmark) {
+      LastBenchId = Agg.internBenchmark(M.Benchmark);
+      LastBench = M.Benchmark;
+      HaveBench = true;
+    }
+    Entries += Agg.ingest(LastBenchId, M);
+    ++CountsSeen;
+    return true;
+  }
+  case ByeMessageMagic: {
+    if (!SawHello)
+      return fail("BYE before HELLO");
+    BinReader R(F.Payload);
+    ByeDeclared = R.u64();
+    if (!R.ok() || R.remaining() != 0)
+      return fail("malformed BYE payload");
+    if (ByeDeclared != CountsSeen)
+      return fail(formatString("BYE declared %llu counts frames, saw %llu",
+                               (unsigned long long)ByeDeclared,
+                               (unsigned long long)CountsSeen));
+    SawBye = true;
+    return true;
+  }
+  default:
+    // FrameReader's allowlist rejects unknown magics before we get
+    // here; this is a backstop.
+    return fail(formatString("unexpected frame magic 0x%08x", F.Magic));
+  }
+}
+
+bool IngestSession::consume(const void *Data, size_t Size) {
+  if (Failed)
+    return false;
+  obs::counter("serve.ingest.bytes").inc(Size);
+  if (!Reader.feed(Data, Size))
+    return fail(Reader.error());
+  FrameReader::Frame F;
+  while (Reader.next(F))
+    if (!handleFrame(F))
+      return false;
+  if (Reader.failed())
+    return fail(Reader.error());
+  return true;
+}
+
+bool IngestSession::finish() {
+  if (Failed)
+    return false;
+  if (!SawBye)
+    return fail("stream ended before BYE");
+  if (!Reader.atBoundary())
+    return fail("trailing bytes after BYE");
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileServer
+//===----------------------------------------------------------------------===//
+
+ProfileServer::ProfileServer(const ServerConfig &Config)
+    : Cfg(Config), Agg(Config.Agg) {}
+
+ProfileServer::~ProfileServer() { stop(); }
+
+bool ProfileServer::start(std::string &Error) {
+  ListenFd = listenLoopback(Cfg.Port, BoundPort, Error);
+  if (ListenFd < 0)
+    return false;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void ProfileServer::acceptLoop() {
+  for (;;) {
+    sockaddr_in Addr;
+    socklen_t Len = sizeof(Addr);
+    int Fd = ::accept(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Stopping.load(std::memory_order_acquire)) {
+      closeFd(Fd);
+      break;
+    }
+    obs::counter("serve.clients.accepted").inc();
+    std::string Peer =
+        formatString("127.0.0.1:%u", (unsigned)ntohs(Addr.sin_port));
+    std::lock_guard<std::mutex> Lock(ClientMu);
+    auto C = std::make_unique<Conn>();
+    Conn *CP = C.get();
+    CP->Fd = Fd;
+    Conns.push_back(std::move(C));
+    CP->Worker = std::thread(
+        [this, CP, Peer = std::move(Peer)] { serveClient(CP->Fd, Peer); });
+  }
+}
+
+void ProfileServer::serveClient(int Fd, const std::string &Peer) {
+  IngestSession Session(Agg, Peer);
+  std::string IoError;
+  bool IoOk = pumpFd(
+      Fd, [&](const void *Data, size_t Size) {
+        return Session.consume(Data, Size);
+      },
+      IoError);
+  bool CleanEnd = Session.finish() && IoOk;
+  if (CleanEnd) {
+    Clean.fetch_add(1, std::memory_order_acq_rel);
+    obs::counter("serve.clients.clean").inc();
+  } else {
+    Bad.fetch_add(1, std::memory_order_acq_rel);
+    obs::counter("serve.clients.failed").inc();
+  }
+  std::lock_guard<std::mutex> Lock(ClientMu);
+  for (auto &C : Conns)
+    if (C->Fd == Fd && !C->Done) {
+      closeFd(C->Fd);
+      C->Fd = -1;
+      C->Done = true;
+      break;
+    }
+  ++Ended;
+  ClientCv.notify_all();
+}
+
+void ProfileServer::waitForClients() {
+  if (Cfg.ExpectClients == 0)
+    return;
+  std::unique_lock<std::mutex> Lock(ClientMu);
+  ClientCv.wait(Lock, [this] { return Ended >= Cfg.ExpectClients; });
+}
+
+void ProfileServer::stop() {
+  if (Stopping.exchange(true, std::memory_order_acq_rel))
+    return;
+  if (ListenFd >= 0) {
+    // Wake a blocked accept() with a throwaway self-connection; the
+    // loop sees Stopping and exits.
+    std::string Ignored;
+    int Wake = connectLoopback(BoundPort, Ignored);
+    closeFd(Wake);
+    if (Acceptor.joinable())
+      Acceptor.join();
+    closeFd(ListenFd);
+    ListenFd = -1;
+  }
+  // Unblock any session still mid-read, then join everything.
+  {
+    std::lock_guard<std::mutex> Lock(ClientMu);
+    for (auto &C : Conns)
+      if (!C->Done)
+        shutdownFd(C->Fd);
+  }
+  for (auto &C : Conns)
+    if (C->Worker.joinable())
+      C->Worker.join();
+}

@@ -1,0 +1,181 @@
+//===- serve/Server.h - Profile-collection server --------------*- C++ -*-===//
+///
+/// \file
+/// The session and server layer of profile collection. A client stream
+/// is a sequence of BinaryIO frames:
+///
+///   HELLO ('bPSH'): str client-name            -- exactly one, first
+///   COUNTS ('bPSC'): a serialized CountsMessage -- zero or more
+///   BYE   ('bPSB'): u64 counts-frames-sent      -- exactly one, last
+///
+/// IngestSession consumes that stream incrementally -- any chunking,
+/// down to one byte at a time -- validates it (frame checksums via
+/// FrameReader, protocol order, canonical counts payloads, the BYE
+/// frame count), and merges each counts message into the shared
+/// Aggregator as it completes. Errors are sticky: once a stream is bad
+/// nothing after the bad byte is merged, so a failed client never
+/// half-pollutes the aggregate with frames past the corruption.
+///
+/// ProfileServer binds a loopback TCP listener, accepts each client on
+/// its own thread, and drives an IngestSession per connection. It can
+/// wait until an expected number of clients finished cleanly -- the
+/// smoke test's quiesce point, after which the aggregate is exact, not
+/// best-effort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_SERVE_SERVER_H
+#define PPP_SERVE_SERVER_H
+
+#include "profile/BinaryIO.h"
+#include "serve/Aggregator.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ppp {
+namespace serve {
+
+/// Frame magic opening a client stream ('bPSH').
+inline constexpr uint32_t HelloMessageMagic = 0x48535062;
+/// Frame magic closing a client stream ('bPSB').
+inline constexpr uint32_t ByeMessageMagic = 0x42535062;
+
+/// Builds the framed HELLO message for \p ClientName.
+std::string helloMessage(const std::string &ClientName);
+
+/// Builds the framed BYE message declaring \p CountsFrames sent.
+std::string byeMessage(uint64_t CountsFrames);
+
+/// One client stream's incremental decoder + merger. Transport-neutral:
+/// the TCP server feeds it socket reads, tests feed it arbitrary
+/// chunkings directly.
+class IngestSession {
+public:
+  /// \p Peer labels the session in error messages (address or test
+  /// name); the client's self-reported name arrives in HELLO.
+  IngestSession(Aggregator &Agg, std::string Peer);
+
+  /// Consumes the next \p Size stream bytes, merging any counts frames
+  /// they complete. False once the stream is in error (sticky); the
+  /// caller should stop feeding and hang up.
+  bool consume(const void *Data, size_t Size);
+
+  /// Marks end-of-stream. True iff the stream was a complete, clean
+  /// session: HELLO, counts frames, BYE with a matching frame count,
+  /// and no trailing or partial bytes.
+  bool finish();
+
+  bool failed() const { return Failed; }
+  const std::string &error() const { return Err; }
+  /// The HELLO client name ("" before HELLO).
+  const std::string &clientName() const { return Client; }
+  uint64_t countsFrames() const { return CountsSeen; }
+  uint64_t entriesMerged() const { return Entries; }
+
+private:
+  bool handleFrame(const FrameReader::Frame &F);
+  bool fail(const std::string &Msg);
+
+  Aggregator &Agg;
+  std::string Peer;
+  FrameReader Reader;
+
+  std::string Client;
+  std::string Err;
+  bool SawHello = false;
+  bool SawBye = false;
+  bool Failed = false;
+  uint64_t CountsSeen = 0;
+  uint64_t ByeDeclared = 0;
+  uint64_t Entries = 0;
+
+  /// One-entry benchmark intern cache: streams almost always carry a
+  /// single benchmark, so ingest() skips the intern mutex after the
+  /// first counts frame.
+  std::string LastBench;
+  uint16_t LastBenchId = 0;
+  bool HaveBench = false;
+};
+
+struct ServerConfig {
+  uint16_t Port = 0; ///< 0 = ephemeral; see ProfileServer::port().
+  AggregatorConfig Agg;
+  /// When nonzero, waitForClients() returns after this many sessions
+  /// ended (cleanly or not).
+  unsigned ExpectClients = 0;
+};
+
+/// Loopback-TCP profile-collection server: accept loop on one thread,
+/// one ingest thread per connected client, all merging into a shared
+/// Aggregator.
+class ProfileServer {
+public:
+  explicit ProfileServer(const ServerConfig &Config);
+  ~ProfileServer();
+
+  ProfileServer(const ProfileServer &) = delete;
+  ProfileServer &operator=(const ProfileServer &) = delete;
+
+  /// Binds, listens, and starts the accept loop. False with \p Error
+  /// on bind failure.
+  bool start(std::string &Error);
+
+  /// The bound port (valid after start(); the actual port when
+  /// Config.Port was 0).
+  uint16_t port() const { return BoundPort; }
+
+  /// Blocks until ExpectClients sessions have ended. After this
+  /// returns, those sessions' merges are fully applied (their threads
+  /// finished ingesting before being counted).
+  void waitForClients();
+
+  /// Stops accepting, unblocks and joins every session thread, closes
+  /// the listener. Idempotent.
+  void stop();
+
+  Aggregator &aggregator() { return Agg; }
+  const Aggregator &aggregator() const { return Agg; }
+
+  uint64_t cleanSessions() const {
+    return Clean.load(std::memory_order_acquire);
+  }
+  uint64_t failedSessions() const {
+    return Bad.load(std::memory_order_acquire);
+  }
+
+private:
+  void acceptLoop();
+  void serveClient(int Fd, const std::string &Peer);
+
+  ServerConfig Cfg;
+  Aggregator Agg;
+
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> Stopping{false};
+
+  std::thread Acceptor;
+  std::mutex ClientMu;
+  std::condition_variable ClientCv;
+  struct Conn {
+    std::thread Worker;
+    int Fd = -1;
+    bool Done = false;
+  };
+  std::vector<std::unique_ptr<Conn>> Conns; ///< Guarded by ClientMu.
+  uint64_t Ended = 0;                       ///< Guarded by ClientMu.
+  std::atomic<uint64_t> Clean{0};
+  std::atomic<uint64_t> Bad{0};
+};
+
+} // namespace serve
+} // namespace ppp
+
+#endif // PPP_SERVE_SERVER_H

@@ -1,0 +1,131 @@
+//===- serve/Transport.cpp - Loopback byte transports --------------------===//
+
+#include "serve/Transport.h"
+
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ppp;
+using namespace ppp::serve;
+
+namespace {
+
+sockaddr_in loopbackAddr(uint16_t Port) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return Addr;
+}
+
+std::string errnoString(const char *What) {
+  return formatString("%s: %s", What, std::strerror(errno));
+}
+
+} // namespace
+
+int ppp::serve::listenLoopback(uint16_t Port, uint16_t &BoundPort,
+                               std::string &Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket");
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr = loopbackAddr(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = errnoString("bind");
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Error = errnoString("listen");
+    ::close(Fd);
+    return -1;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) < 0) {
+    Error = errnoString("getsockname");
+    ::close(Fd);
+    return -1;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  return Fd;
+}
+
+int ppp::serve::connectLoopback(uint16_t Port, std::string &Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket");
+    return -1;
+  }
+  sockaddr_in Addr = loopbackAddr(Port);
+  int Rc;
+  do {
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (Rc < 0 && errno == EINTR);
+  if (Rc < 0) {
+    Error = errnoString("connect");
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+bool ppp::serve::sendAll(int Fd, const void *Data, size_t Size,
+                         std::string &Error) {
+  const char *P = static_cast<const char *>(Data);
+  while (Size > 0) {
+    ssize_t N = ::send(Fd, P, Size, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoString("send");
+      return false;
+    }
+    P += N;
+    Size -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool ppp::serve::pumpFd(int Fd,
+                        const std::function<bool(const void *, size_t)> &Sink,
+                        std::string &Error) {
+  char Buf[64 * 1024];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = errnoString("recv");
+      return false;
+    }
+    if (N == 0)
+      return true;
+    if (!Sink(Buf, static_cast<size_t>(N)))
+      return true;
+  }
+}
+
+void ppp::serve::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+void ppp::serve::shutdownFd(int Fd) {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}

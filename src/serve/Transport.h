@@ -1,0 +1,57 @@
+//===- serve/Transport.h - Loopback byte transports ------------*- C++ -*-===//
+///
+/// \file
+/// The byte-moving layer of the profile-collection server: a thin POSIX
+/// loopback-TCP wrapper for real client/server runs, and an in-process
+/// pipe that delivers the same byte stream through direct calls for
+/// deterministic tests. Both ends speak raw bytes only -- framing and
+/// protocol live above this layer (profile/BinaryIO, serve/Server), so
+/// a session driven over a socket and one driven over the pipe see
+/// byte-identical input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_SERVE_TRANSPORT_H
+#define PPP_SERVE_TRANSPORT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ppp {
+namespace serve {
+
+/// Opens a TCP listener on 127.0.0.1:\p Port (0 picks an ephemeral
+/// port). Returns the listening fd, or -1 with \p Error set.
+/// \p BoundPort receives the actual port.
+int listenLoopback(uint16_t Port, uint16_t &BoundPort, std::string &Error);
+
+/// Connects to 127.0.0.1:\p Port. Returns the fd, or -1 with \p Error
+/// set.
+int connectLoopback(uint16_t Port, std::string &Error);
+
+/// Writes all \p Size bytes of \p Data to \p Fd, retrying short writes
+/// and EINTR. False (with \p Error set) if the peer vanished first.
+bool sendAll(int Fd, const void *Data, size_t Size, std::string &Error);
+inline bool sendAll(int Fd, const std::string &Data, std::string &Error) {
+  return sendAll(Fd, Data.data(), Data.size(), Error);
+}
+
+/// Reads from \p Fd until EOF or error, handing each chunk to \p Sink;
+/// stops early if \p Sink returns false. Returns true iff the stream
+/// ended with a clean EOF (a sink-requested stop also counts: the
+/// session above has already decided the stream's fate).
+bool pumpFd(int Fd, const std::function<bool(const void *, size_t)> &Sink,
+            std::string &Error);
+
+/// Closes a socket fd from either side (no-op on -1).
+void closeFd(int Fd);
+
+/// Shuts down both directions of \p Fd, unblocking a peer mid-read
+/// (no-op on -1).
+void shutdownFd(int Fd);
+
+} // namespace serve
+} // namespace ppp
+
+#endif // PPP_SERVE_TRANSPORT_H

@@ -1,0 +1,491 @@
+//===- tests/serve_test.cpp - Profile-collection server tests -----------------===//
+///
+/// The serve subsystem's correctness battery: the merge helper's
+/// canonical/commutative algebra, shard selection pinned identical to
+/// `%`, the sharded aggregator pinned byte-identical to the sequential
+/// oracle (single-threaded, concurrent, and through the overflow path),
+/// decay and query semantics, and the ingest session over an in-process
+/// pipe at hostile chunkings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profile/Merge.h"
+#include "serve/Server.h"
+#include "serve/ShardHash.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ppp;
+using namespace ppp::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Merge helper
+//===----------------------------------------------------------------------===//
+
+FunctionCounts funcCounts(uint32_t Func,
+                          std::vector<std::pair<uint64_t, uint64_t>> Paths,
+                          std::vector<std::pair<uint32_t, uint64_t>> Edges =
+                              {},
+                          uint64_t Lost = 0, uint64_t Cold = 0,
+                          uint64_t Invalid = 0) {
+  FunctionCounts F;
+  F.Func = Func;
+  F.PathCounts = std::move(Paths);
+  F.EdgeCounts = std::move(Edges);
+  F.Lost = Lost;
+  F.Cold = Cold;
+  F.Invalid = Invalid;
+  return F;
+}
+
+TEST(MergeCounts, CanonicalizeSortsCoalescesAndDropsZeros) {
+  CountsMessage M;
+  M.Benchmark = "b";
+  M.Funcs.push_back(funcCounts(7, {{5, 1}, {2, 3}, {5, 2}, {9, 0}}));
+  M.Funcs.push_back(funcCounts(3, {{1, 4}}, {{0, 2}, {0, 1}}));
+  M.Funcs.push_back(funcCounts(7, {{2, 1}}, {}, /*Lost=*/5));
+  M.Funcs.push_back(funcCounts(12, {})); // all-zero: dropped
+  canonicalizeCounts(M);
+
+  ASSERT_EQ(M.Funcs.size(), 2u);
+  EXPECT_EQ(M.Funcs[0].Func, 3u);
+  EXPECT_EQ(M.Funcs[0].PathCounts,
+            (std::vector<std::pair<uint64_t, uint64_t>>{{1, 4}}));
+  EXPECT_EQ(M.Funcs[0].EdgeCounts,
+            (std::vector<std::pair<uint32_t, uint64_t>>{{0, 3}}));
+  EXPECT_EQ(M.Funcs[1].Func, 7u);
+  EXPECT_EQ(M.Funcs[1].PathCounts,
+            (std::vector<std::pair<uint64_t, uint64_t>>{{2, 4}, {5, 3}}));
+  EXPECT_EQ(M.Funcs[1].Lost, 5u);
+}
+
+std::vector<CountsMessage> mergeFixture() {
+  std::vector<CountsMessage> Ms(4);
+  for (CountsMessage &M : Ms)
+    M.Benchmark = "bench";
+  Ms[0].Funcs = {funcCounts(0, {{0, 10}, {3, 1}}, {{1, 7}}),
+                 funcCounts(5, {{100, 2}}, {}, 1, 0, 0)};
+  Ms[1].Funcs = {funcCounts(0, {{3, 5}}, {{1, 1}, {2, 9}})};
+  Ms[2].Funcs = {funcCounts(2, {{7, 7}}), funcCounts(5, {{100, 1}, {101, 4}},
+                                                     {}, 2, 3, 0)};
+  Ms[3].Funcs = {funcCounts(0, {{0, 1}}), funcCounts(9, {}, {}, 0, 0, 1)};
+  return Ms;
+}
+
+TEST(MergeCounts, EveryPermutationSerializesByteIdentically) {
+  std::vector<CountsMessage> Ms = mergeFixture();
+  CountsMessage Oracle;
+  for (const CountsMessage &M : Ms)
+    mergeCounts(Oracle, M);
+  std::string OracleBytes = writeCountsBinary(Oracle);
+
+  std::vector<size_t> Perm(Ms.size());
+  std::iota(Perm.begin(), Perm.end(), 0);
+  do {
+    CountsMessage Agg;
+    for (size_t I : Perm)
+      mergeCounts(Agg, Ms[I]);
+    EXPECT_EQ(writeCountsBinary(Agg), OracleBytes);
+  } while (std::next_permutation(Perm.begin(), Perm.end()));
+}
+
+TEST(MergeCounts, PropagatesLostColdInvalid) {
+  std::vector<CountsMessage> Ms = mergeFixture();
+  CountsMessage Agg;
+  for (const CountsMessage &M : Ms)
+    mergeCounts(Agg, M);
+  const FunctionCounts *F5 = nullptr;
+  for (const FunctionCounts &F : Agg.Funcs)
+    if (F.Func == 5)
+      F5 = &F;
+  ASSERT_NE(F5, nullptr);
+  EXPECT_EQ(F5->Lost, 3u);
+  EXPECT_EQ(F5->Cold, 3u);
+  EXPECT_EQ(F5->PathCounts,
+            (std::vector<std::pair<uint64_t, uint64_t>>{{100, 3}, {101, 4}}));
+}
+
+TEST(MergeCounts, SaturatesInsteadOfWrapping) {
+  uint64_t Max = ~uint64_t(0);
+  EXPECT_EQ(saturatingAdd(Max, 1), Max);
+  EXPECT_EQ(saturatingAdd(Max - 1, 1), Max);
+  EXPECT_EQ(saturatingAdd(3, 4), 7u);
+
+  CountsMessage A, B;
+  A.Benchmark = B.Benchmark = "b";
+  A.Funcs = {funcCounts(0, {{0, Max - 2}}, {}, Max, 0, 0)};
+  B.Funcs = {funcCounts(0, {{0, 5}}, {}, 7, 0, 0)};
+  CountsMessage AB = A, BA = B;
+  mergeCounts(AB, B);
+  mergeCounts(BA, A);
+  EXPECT_EQ(AB.Funcs[0].PathCounts[0].second, Max);
+  EXPECT_EQ(AB.Funcs[0].Lost, Max);
+  EXPECT_EQ(writeCountsBinary(AB), writeCountsBinary(BA));
+}
+
+TEST(MergeCounts, BinaryRoundTripAndRejections) {
+  std::vector<CountsMessage> Ms = mergeFixture();
+  CountsMessage Agg;
+  for (const CountsMessage &M : Ms)
+    mergeCounts(Agg, M);
+  std::string Blob = writeCountsBinary(Agg);
+  CountsMessage Back;
+  std::string Error;
+  ASSERT_TRUE(readCountsBinary(Blob, Back, Error)) << Error;
+  EXPECT_TRUE(Back == Agg);
+
+  // Non-canonical payloads are refused: decode enforces the ordering
+  // writeCountsBinary guarantees, so equal messages have equal bytes.
+  CountsMessage Bad;
+  Bad.Benchmark = "b";
+  Bad.Funcs = {funcCounts(1, {{5, 1}, {2, 1}})}; // unsorted
+  EXPECT_FALSE(readCountsBinary(writeCountsBinary(Bad), Back, Error));
+  Bad.Funcs = {funcCounts(1, {{2, 0}})}; // zero count
+  EXPECT_FALSE(readCountsBinary(writeCountsBinary(Bad), Back, Error));
+  Bad.Funcs = {funcCounts(1, {{2, 1}})};
+  Bad.Benchmark = ""; // empty namespace
+  EXPECT_FALSE(readCountsBinary(writeCountsBinary(Bad), Back, Error));
+  EXPECT_FALSE(readCountsBinary(Blob + "x", Back, Error)) << "trailing bytes";
+}
+
+//===----------------------------------------------------------------------===//
+// Shard selection and key packing
+//===----------------------------------------------------------------------===//
+
+TEST(ShardHash, SelectorIdenticalToModulo) {
+  // The reciprocal-multiply remainder must be bit-identical to `%` for
+  // every supported shard count -- this is what lets the microbench row
+  // replace the divide without an accuracy caveat.
+  std::vector<uint64_t> Hashes = {0, 1, 2, ~uint64_t(0), uint64_t(1) << 32,
+                                  (uint64_t(1) << 32) - 1};
+  for (uint64_t I = 0; I < 4096; ++I)
+    Hashes.push_back(mixKey(I * 0x9e3779b97f4a7c15ULL + 1));
+  for (uint32_t S = 1; S <= 64; ++S) {
+    ShardSelector Sel(S);
+    for (uint64_t H : Hashes)
+      ASSERT_EQ(Sel(H), fold32(H) % S) << "shards=" << S << " hash=" << H;
+  }
+  ShardSelector Max(256);
+  for (uint64_t H : Hashes)
+    ASSERT_EQ(Max(H), fold32(H) % 256);
+}
+
+TEST(ShardHash, PackedKeyRoundTripsAndRespectsBudget) {
+  std::vector<AggKey> Keys;
+  for (uint16_t B : {0, 1, 255})
+    for (CountKind K : {CountKind::Path, CountKind::Edge, CountKind::Lost,
+                        CountKind::Cold, CountKind::Invalid})
+      for (uint32_t F : {0u, 7u, (1u << 21) - 1})
+        for (uint64_t I : {uint64_t(0), uint64_t(12345),
+                           (uint64_t(1) << 32) - 1})
+          Keys.push_back({B, K, F, I});
+  for (const AggKey &K : Keys) {
+    ASSERT_TRUE(fitsPacked(K));
+    uint64_t P = packKey(K);
+    ASSERT_NE(P, EmptyPackedKey);
+    ASSERT_TRUE(unpackKey(P) == K);
+  }
+  EXPECT_FALSE(fitsPacked({256, CountKind::Path, 0, 0}));
+  EXPECT_FALSE(fitsPacked({0, CountKind::Path, 1u << 21, 0}));
+  EXPECT_FALSE(fitsPacked({0, CountKind::Path, 0, uint64_t(1) << 32}));
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregator vs the sequential oracle
+//===----------------------------------------------------------------------===//
+
+/// The sequential ground truth for a set of per-benchmark message
+/// lists: fold with mergeCounts, flatten, format.
+std::string
+oracleDump(const std::vector<CountsMessage> &Messages) {
+  std::map<std::string, CountsMessage> ByBench;
+  for (const CountsMessage &M : Messages)
+    mergeCounts(ByBench[M.Benchmark], M);
+  std::vector<NamedRow> Rows;
+  for (const auto &[Bench, Agg] : ByBench) {
+    std::vector<NamedRow> R = rowsFromMessage(Agg);
+    Rows.insert(Rows.end(), R.begin(), R.end());
+  }
+  return formatAggregate(std::move(Rows));
+}
+
+std::string aggregatorDump(const Aggregator &Agg) {
+  return formatAggregate(Agg.snapshotRows());
+}
+
+/// A deterministic message fleet: \p Streams clients, each with its own
+/// benchmark namespace and a few hundred keys, some shared-looking
+/// (same func/index, different bench) to stress shard collisions.
+std::vector<CountsMessage> fleetMessages(unsigned Streams,
+                                         unsigned KeysPerStream) {
+  std::vector<CountsMessage> Out;
+  for (unsigned S = 0; S < Streams; ++S) {
+    CountsMessage M;
+    M.Benchmark = "bench" + std::to_string(S);
+    FunctionCounts F;
+    F.Func = 0;
+    uint32_t CurFunc = 0;
+    for (unsigned K = 0; K < KeysPerStream; ++K) {
+      uint32_t Func = K / 16;
+      if (Func != CurFunc) {
+        M.Funcs.push_back(F);
+        F = FunctionCounts();
+        F.Func = Func;
+        CurFunc = Func;
+      }
+      if (K % 3 == 0)
+        F.EdgeCounts.emplace_back(K, 1 + (S * 31 + K) % 97);
+      else
+        F.PathCounts.emplace_back(K, 1 + (S * 17 + K) % 89);
+    }
+    F.Lost = S;
+    F.Cold = 1;
+    M.Funcs.push_back(F);
+    canonicalizeCounts(M);
+    Out.push_back(std::move(M));
+  }
+  return Out;
+}
+
+TEST(Aggregator, SingleThreadMatchesOracle) {
+  std::vector<CountsMessage> Ms = fleetMessages(3, 200);
+  for (uint32_t Shards : {1u, 2u, 8u}) {
+    AggregatorConfig C;
+    C.Shards = Shards;
+    Aggregator Agg(C);
+    for (const CountsMessage &M : Ms)
+      Agg.ingest(Agg.internBenchmark(M.Benchmark), M);
+    EXPECT_EQ(aggregatorDump(Agg), oracleDump(Ms)) << "shards=" << Shards;
+  }
+}
+
+TEST(Aggregator, ConcurrentIngestMatchesOracle) {
+  // Each thread repeatedly merges its own stream; once quiesced the
+  // aggregate must equal the sequential fold of the same multiset.
+  constexpr unsigned Threads = 4, Reps = 25;
+  std::vector<CountsMessage> Ms = fleetMessages(Threads, 300);
+  AggregatorConfig C;
+  C.Shards = 4;
+  Aggregator Agg(C);
+  std::vector<uint16_t> Ids;
+  for (const CountsMessage &M : Ms)
+    Ids.push_back(Agg.internBenchmark(M.Benchmark));
+
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (unsigned R = 0; R < Reps; ++R)
+        Agg.ingest(Ids[T], Ms[T]);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  std::vector<CountsMessage> Expanded;
+  uint64_t ExpectEntries = 0;
+  for (unsigned T = 0; T < Threads; ++T)
+    for (unsigned R = 0; R < Reps; ++R) {
+      Expanded.push_back(Ms[T]);
+      ExpectEntries += rowsFromMessage(Ms[T]).size();
+    }
+  EXPECT_EQ(aggregatorDump(Agg), oracleDump(Expanded));
+  EXPECT_EQ(Agg.stats().Merges, ExpectEntries);
+}
+
+TEST(Aggregator, OverflowPathIsStillExact) {
+  // A deliberately starved fast table (8 cells, 2 probes) pushes almost
+  // everything through the locked overflow maps; exactness must not
+  // depend on which path a key takes.
+  std::vector<CountsMessage> Ms = fleetMessages(4, 250);
+  AggregatorConfig C;
+  C.Shards = 2;
+  C.CellsPerShard = 8;
+  C.MaxProbes = 2;
+  Aggregator Agg(C);
+  std::vector<std::thread> Pool;
+  std::vector<uint16_t> Ids;
+  for (const CountsMessage &M : Ms)
+    Ids.push_back(Agg.internBenchmark(M.Benchmark));
+  for (unsigned T = 0; T < 4; ++T)
+    Pool.emplace_back([&, T] {
+      for (unsigned R = 0; R < 10; ++R)
+        Agg.ingest(Ids[T], Ms[T]);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  std::vector<CountsMessage> Expanded;
+  for (unsigned T = 0; T < 4; ++T)
+    for (unsigned R = 0; R < 10; ++R)
+      Expanded.push_back(Ms[T]);
+  EXPECT_EQ(aggregatorDump(Agg), oracleDump(Expanded));
+  Aggregator::Stats S = Agg.stats();
+  EXPECT_GT(S.OverflowMerges, 0u) << "fixture failed to starve the cells";
+  EXPECT_GT(S.FastMerges, 0u);
+}
+
+TEST(Aggregator, UnpackableKeysTakeTheOverflowMapExactly) {
+  CountsMessage M;
+  M.Benchmark = "wide";
+  // Index beyond 32 bits and func beyond 21 bits cannot pack.
+  M.Funcs = {funcCounts(1, {{uint64_t(1) << 40, 5}}),
+             funcCounts((1u << 21) + 3, {{1, 7}})};
+  canonicalizeCounts(M);
+  Aggregator Agg;
+  uint16_t Id = Agg.internBenchmark("wide");
+  Agg.ingest(Id, M);
+  Agg.ingest(Id, M);
+  EXPECT_EQ(aggregatorDump(Agg), oracleDump({M, M}));
+  EXPECT_EQ(Agg.stats().OverflowKeys, 2u);
+}
+
+TEST(Aggregator, DecayHalvesEveryCounterWithFloor) {
+  CountsMessage M;
+  M.Benchmark = "d";
+  M.Funcs = {funcCounts(0, {{0, 9}, {1, 2}, {2, 1}}, {{0, 4}})};
+  canonicalizeCounts(M);
+  Aggregator Agg;
+  Agg.ingest(Agg.internBenchmark("d"), M);
+
+  Agg.decay();
+  std::map<uint64_t, uint64_t> Counts;
+  for (const NamedRow &R : Agg.snapshotRows())
+    if (R.Kind == CountKind::Path)
+      Counts[R.Index] = R.Count;
+  EXPECT_EQ(Counts[0], 4u) << "9 -> 4 (floor)";
+  EXPECT_EQ(Counts[1], 1u);
+  EXPECT_EQ(Counts.count(2), 0u) << "1 -> 0 drops out of snapshots";
+
+  // Enough passes age everything to zero; the aggregate empties.
+  for (int I = 0; I < 10; ++I)
+    Agg.decay();
+  EXPECT_TRUE(Agg.snapshotRows().empty());
+  EXPECT_EQ(Agg.stats().DecayPasses, 11u);
+}
+
+TEST(Aggregator, HottestPathsAreOrderedAndDeterministic) {
+  CountsMessage M;
+  M.Benchmark = "q";
+  M.Funcs = {funcCounts(0, {{0, 50}, {1, 70}, {2, 70}, {3, 10}},
+                        {{0, 1000}})}; // edges never rank as paths
+  canonicalizeCounts(M);
+  Aggregator Agg;
+  Agg.ingest(Agg.internBenchmark("q"), M);
+
+  std::vector<NamedRow> Top = Agg.hottestPaths(3);
+  ASSERT_EQ(Top.size(), 3u);
+  EXPECT_EQ(Top[0].Count, 70u);
+  EXPECT_EQ(Top[0].Index, 1u) << "ties break toward the smaller key";
+  EXPECT_EQ(Top[1].Count, 70u);
+  EXPECT_EQ(Top[1].Index, 2u);
+  EXPECT_EQ(Top[2].Count, 50u);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(formatAggregate(Agg.hottestPaths(3)),
+              formatAggregate(Top)) << "repeat queries must agree";
+}
+
+//===----------------------------------------------------------------------===//
+// IngestSession over the in-process pipe
+//===----------------------------------------------------------------------===//
+
+std::string sessionStream(const std::vector<CountsMessage> &Ms,
+                          const std::string &Client = "test-client") {
+  std::string S = helloMessage(Client);
+  for (const CountsMessage &M : Ms)
+    S += writeCountsBinary(M);
+  S += byeMessage(Ms.size());
+  return S;
+}
+
+TEST(IngestSession, AnyChunkingYieldsTheOracleAggregate) {
+  std::vector<CountsMessage> Ms = fleetMessages(2, 120);
+  std::string Stream = sessionStream(Ms);
+  std::string Oracle = oracleDump(Ms);
+
+  for (size_t Chunk : {size_t(1), size_t(7), size_t(64), Stream.size()}) {
+    Aggregator Agg;
+    IngestSession S(Agg, "pipe");
+    for (size_t Pos = 0; Pos < Stream.size(); Pos += Chunk)
+      ASSERT_TRUE(S.consume(Stream.data() + Pos,
+                            std::min(Chunk, Stream.size() - Pos)))
+          << S.error();
+    ASSERT_TRUE(S.finish()) << S.error();
+    EXPECT_EQ(S.clientName(), "test-client");
+    EXPECT_EQ(S.countsFrames(), Ms.size());
+    EXPECT_EQ(aggregatorDump(Agg), Oracle) << "chunk=" << Chunk;
+  }
+}
+
+TEST(IngestSession, ProtocolViolationsAreStickyAndMergeNothingAfter) {
+  std::vector<CountsMessage> Ms = fleetMessages(1, 60);
+
+  {
+    // Counts before HELLO.
+    Aggregator Agg;
+    IngestSession S(Agg, "pipe");
+    std::string Stream = writeCountsBinary(Ms[0]);
+    EXPECT_FALSE(S.consume(Stream.data(), Stream.size()));
+    EXPECT_TRUE(S.failed());
+    EXPECT_TRUE(Agg.snapshotRows().empty()) << "nothing may merge";
+    EXPECT_FALSE(S.consume("x", 1)) << "errors are sticky";
+  }
+  {
+    // Duplicate HELLO.
+    Aggregator Agg;
+    IngestSession S(Agg, "pipe");
+    std::string Stream = helloMessage("a") + helloMessage("b");
+    EXPECT_FALSE(S.consume(Stream.data(), Stream.size()));
+    EXPECT_TRUE(S.failed());
+  }
+  {
+    // BYE declaring the wrong frame count.
+    Aggregator Agg;
+    IngestSession S(Agg, "pipe");
+    std::string Stream =
+        helloMessage("c") + writeCountsBinary(Ms[0]) + byeMessage(2);
+    EXPECT_FALSE(S.consume(Stream.data(), Stream.size()));
+    EXPECT_TRUE(S.failed());
+  }
+  {
+    // A corrupted counts frame stops the stream at the checksum; the
+    // intact frame before it merged, the one after it must not.
+    Aggregator Agg;
+    IngestSession S(Agg, "pipe");
+    std::string Good = writeCountsBinary(Ms[0]);
+    std::string Bad = Good;
+    Bad[Bad.size() - 1] ^= 0x01;
+    std::string Stream = helloMessage("d") + Good + Bad + Good;
+    EXPECT_FALSE(S.consume(Stream.data(), Stream.size()));
+    EXPECT_TRUE(S.failed());
+    EXPECT_EQ(S.countsFrames(), 1u);
+    EXPECT_EQ(aggregatorDump(Agg), oracleDump({Ms[0]}));
+  }
+  {
+    // EOF without BYE is a truncated session.
+    Aggregator Agg;
+    IngestSession S(Agg, "pipe");
+    std::string Stream = helloMessage("e") + writeCountsBinary(Ms[0]);
+    EXPECT_TRUE(S.consume(Stream.data(), Stream.size()));
+    EXPECT_FALSE(S.finish());
+    EXPECT_TRUE(S.failed());
+  }
+  {
+    // EOF mid-frame is a truncated session even after BYE's magic
+    // appeared.
+    Aggregator Agg;
+    IngestSession S(Agg, "pipe");
+    std::string Stream = sessionStream({Ms[0]});
+    EXPECT_TRUE(S.consume(Stream.data(), Stream.size() - 3));
+    EXPECT_FALSE(S.finish());
+  }
+}
+
+} // namespace

@@ -13,13 +13,25 @@ Usage:
       throughput keys regress downward, latency keys upward, and a big
       move either way on a watched key deserves a look.
 
+      Keys present in only one snapshot are reported as new/gone but do
+      not fail the gate: growing a benchmark (a new serve.bench.* gauge,
+      say) must not break an older baseline, and retiring one must not
+      require editing every CI invocation first. A pattern that matches
+      nothing in either file is noted and skipped for the same reason.
+
+  tools/bench_diff.py --self-test
+      Run the built-in unit checks against generated fixtures; exit 0
+      iff all pass.
+
 Histograms are flattened to <name>.count and <name>.sum. No third-party
 dependencies; stdlib json only.
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 
 def flatten(path):
@@ -50,7 +62,7 @@ def fmt_change(pct):
     return "new" if pct == float("inf") else f"{pct:+.1f}%"
 
 
-def select(flat_keys, patterns):
+def select(flat_keys, patterns, out=sys.stderr):
     chosen = set()
     for pat in patterns:
         if pat.endswith("*"):
@@ -58,65 +70,178 @@ def select(flat_keys, patterns):
         else:
             hits = {pat} if pat in flat_keys else set()
         if not hits:
-            sys.exit(f"error: key '{pat}' matches nothing in either file")
+            print(f"note: key '{pat}' matches nothing in either file; "
+                  f"skipped", file=out)
+            continue
         chosen |= hits
     return sorted(chosen)
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("old")
-    ap.add_argument("new")
-    ap.add_argument("--keys", default="",
-                    help="comma-separated keys to gate on ('*' suffix = "
-                         "prefix match); without this, report-only mode")
-    ap.add_argument("--threshold", type=float, default=10.0,
-                    help="flag changes beyond this percentage (default 10)")
-    args = ap.parse_args()
-
+def run(args, out=sys.stdout, err=sys.stderr):
     old = flatten(args.old)
     new = flatten(args.new)
     width = max((len(k) for k in set(old) | set(new)), default=4)
 
     if args.keys:
         patterns = [k.strip() for k in args.keys.split(",") if k.strip()]
-        keys = select(set(old) | set(new), patterns)
+        keys = select(set(old) | set(new), patterns, out=err)
         failed = []
+        checked = 0
         for k in keys:
-            if k not in old or k not in new:
-                failed.append((k, "missing in " +
-                               ("old" if k not in old else "new")))
+            # One-sided keys are informational, never gate failures.
+            if k not in old:
+                print(f"{k:<{width}}  {'-':>14}  {new[k]:>14g}  {'new':>8}",
+                      file=out)
                 continue
+            if k not in new:
+                print(f"{k:<{width}}  {old[k]:>14g}  {'-':>14}  {'gone':>8}",
+                      file=out)
+                continue
+            checked += 1
             pct = rel_change(old[k], new[k])
             tag = ""
             if abs(pct) > args.threshold:
                 failed.append((k, fmt_change(pct)))
                 tag = "  FLAGGED"
             print(f"{k:<{width}}  {old[k]:>14g}  {new[k]:>14g}  "
-                  f"{fmt_change(pct):>8}{tag}")
+                  f"{fmt_change(pct):>8}{tag}", file=out)
         if failed:
             print(f"\n{len(failed)} key(s) moved more than "
-                  f"{args.threshold:g}%:", file=sys.stderr)
+                  f"{args.threshold:g}%:", file=err)
             for k, why in failed:
-                print(f"  {k}: {why}", file=sys.stderr)
+                print(f"  {k}: {why}", file=err)
             return 1
-        print(f"\nok: {len(keys)} key(s) within {args.threshold:g}%")
+        print(f"\nok: {checked} comparable key(s) within "
+              f"{args.threshold:g}%", file=out)
         return 0
 
     changed = 0
     for k in sorted(set(old) | set(new)):
         if k not in old:
-            print(f"{k:<{width}}  {'-':>14}  {new[k]:>14g}  {'new':>8}")
+            print(f"{k:<{width}}  {'-':>14}  {new[k]:>14g}  {'new':>8}",
+                  file=out)
             changed += 1
         elif k not in new:
-            print(f"{k:<{width}}  {old[k]:>14g}  {'-':>14}  {'gone':>8}")
+            print(f"{k:<{width}}  {old[k]:>14g}  {'-':>14}  {'gone':>8}",
+                  file=out)
             changed += 1
         elif old[k] != new[k]:
             print(f"{k:<{width}}  {old[k]:>14g}  {new[k]:>14g}  "
-                  f"{fmt_change(rel_change(old[k], new[k])):>8}")
+                  f"{fmt_change(rel_change(old[k], new[k])):>8}", file=out)
             changed += 1
-    print(f"\n{changed} key(s) changed")
+    print(f"\n{changed} key(s) changed", file=out)
     return 0
+
+
+def self_test():
+    """Unit checks over generated fixtures: gating, tolerance of
+    one-sided keys, empty patterns, and histogram flattening."""
+    import io
+
+    def metrics(counters=None, gauges=None, histograms=None):
+        return {"schema": "ppp-metrics-v1",
+                "counters": counters or {},
+                "gauges": gauges or {},
+                "histograms": histograms or {}}
+
+    def write(doc, directory, name):
+        path = os.path.join(directory, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def gate(old_doc, new_doc, keys, threshold=10.0):
+        with tempfile.TemporaryDirectory() as d:
+            ns = argparse.Namespace(old=write(old_doc, d, "old.json"),
+                                    new=write(new_doc, d, "new.json"),
+                                    keys=keys, threshold=threshold)
+            out, err = io.StringIO(), io.StringIO()
+            rc = run(ns, out=out, err=err)
+            return rc, out.getvalue(), err.getvalue()
+
+    base = metrics(gauges={"serve.bench.shards1.merges_per_sec": 1000.0,
+                           "serve.bench.shards8.merges_per_sec": 4000.0},
+                   counters={"serve.merge.entries": 500},
+                   histograms={"serve.query.ns": {"count": 9, "sum": 900}})
+
+    checks = []
+
+    def check(name, cond):
+        checks.append((name, cond))
+
+    # 1. Identical snapshots pass the gate.
+    rc, out, _ = gate(base, base, "serve.*")
+    check("identical snapshots pass", rc == 0 and "ok:" in out)
+
+    # 2. A small move passes, a big move fails.
+    drift = metrics(gauges={"serve.bench.shards1.merges_per_sec": 1050.0,
+                            "serve.bench.shards8.merges_per_sec": 4100.0},
+                    counters={"serve.merge.entries": 500},
+                    histograms={"serve.query.ns": {"count": 9, "sum": 900}})
+    rc, _, _ = gate(base, drift, "serve.*")
+    check("small drift passes", rc == 0)
+    rc, _, err = gate(base, drift, "serve.*", threshold=1.0)
+    check("drift beyond threshold fails", rc == 1 and "FLAGGED" not in err
+          and "moved more than" in err)
+
+    # 3. Keys present in only one snapshot are tolerated (new gauge
+    #    appears, old one retired) -- reported but rc 0.
+    grown = metrics(gauges={"serve.bench.shards8.merges_per_sec": 4000.0,
+                            "serve.bench.scaling_max_vs_1": 4.0},
+                    counters={"serve.merge.entries": 500},
+                    histograms={"serve.query.ns": {"count": 9, "sum": 900}})
+    rc, out, _ = gate(base, grown, "serve.*")
+    check("one-sided keys tolerated", rc == 0 and "new" in out
+          and "gone" in out)
+
+    # 4. A pattern matching nothing is noted and skipped, not an error.
+    rc, _, err = gate(base, base, "serve.*,nosuch.*,alsonothere")
+    check("empty pattern skipped", rc == 0 and err.count("matches nothing")
+          == 2)
+
+    # 5. Histogram flattening gates on .count/.sum.
+    hist = metrics(histograms={"serve.query.ns": {"count": 90, "sum": 900}})
+    rc, _, _ = gate(base, hist, "serve.query.ns.count", threshold=5.0)
+    check("histogram count gates", rc == 1)
+
+    # 6. Report-only mode never fails.
+    with tempfile.TemporaryDirectory() as d:
+        ns = argparse.Namespace(old=write(base, d, "o.json"),
+                                new=write(grown, d, "n.json"),
+                                keys="", threshold=10.0)
+        out = io.StringIO()
+        rc = run(ns, out=out, err=out)
+        check("report mode exits 0", rc == 0 and "changed" in out.getvalue())
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"self-test: {len(failed)}/{len(checks)} checks failed",
+              file=sys.stderr)
+        return 1
+    print(f"self-test: all {len(checks)} checks passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", nargs="?")
+    ap.add_argument("new", nargs="?")
+    ap.add_argument("--keys", default="",
+                    help="comma-separated keys to gate on ('*' suffix = "
+                         "prefix match); without this, report-only mode")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="flag changes beyond this percentage (default 10)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in unit checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.old or not args.new:
+        ap.error("OLD and NEW metrics files are required")
+    return run(args)
 
 
 if __name__ == "__main__":

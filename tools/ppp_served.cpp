@@ -1,0 +1,551 @@
+//===- tools/ppp_served.cpp - Profile-collection server driver ----------------===//
+///
+/// The profile-collection server and its load generator in one binary:
+///
+///   ppp_served serve --expect=K [--port=P] [--shards=N] [--cells=N]
+///                    [--probes=N] [--dump=FILE] [--decay-ms=MS]
+///       Listen on loopback TCP (port 0 = ephemeral; the actual port is
+///       printed as "listening <port>"), ingest until K client sessions
+///       ended, then write the canonical aggregate dump and exit 0 iff
+///       every session was clean.
+///
+///   ppp_served client --port=P --bench=NAME [--profiler=ppp]
+///                     [--name=ID] [--repeat=R]
+///       Prepare + instrument + run NAME, flatten the run to a counts
+///       message, and stream HELLO + R copies + BYE to the server.
+///
+///   ppp_served oracle --bench=NAME[,NAME...] [--profiler=ppp]
+///                     [--repeat=R] [--out=FILE]
+///       The sequential ground truth: build the same messages, fold
+///       them with mergeCounts in order, and write the same dump format
+///       the server produces. Byte-identical output is the smoke test's
+///       pass criterion.
+///
+///   ppp_served bench [--out=FILE] [--clients=N] [--shards=CSV]
+///                    [--cells=N] [--probes=N] [--variants=V] [--reps=R]
+///                    [--ms-per-config=MS]
+///       The ingest benchmark: N concurrent client threads each perform
+///       a fixed number of ingests (rotating through V module
+///       identities) against one aggregator per shard count while decay
+///       passes and hottest-path queries run, reporting merges/sec per
+///       configuration to stdout and a "serve."-prefixed metrics JSON
+///       (BENCH_served.json).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+#include "interp/Interpreter.h"
+#include "obs/Obs.h"
+#include "serve/Server.h"
+#include "serve/Transport.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ppp;
+using namespace ppp::serve;
+
+namespace {
+
+/// --key=value / --key value flag scanner over argv past the
+/// subcommand.
+class Flags {
+public:
+  Flags(int Argc, char **Argv) : Args(Argv + 2, Argv + Argc) {}
+
+  std::optional<std::string> get(const std::string &Key) {
+    std::string Prefix = "--" + Key + "=";
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (Args[I].rfind(Prefix, 0) == 0) {
+        Seen.insert(Seen.end(), I);
+        return Args[I].substr(Prefix.size());
+      }
+      if (Args[I] == "--" + Key && I + 1 < Args.size()) {
+        Seen.insert(Seen.end(), I);
+        Seen.insert(Seen.end(), I + 1);
+        return Args[I + 1];
+      }
+    }
+    return std::nullopt;
+  }
+
+  uint64_t getNum(const std::string &Key, uint64_t Default) {
+    auto V = get(Key);
+    return V ? strtoull(V->c_str(), nullptr, 10) : Default;
+  }
+
+  /// Any argument no get()/getNum() call consumed.
+  std::optional<std::string> unknown() const {
+    for (size_t I = 0; I < Args.size(); ++I)
+      if (std::find(Seen.begin(), Seen.end(), I) == Seen.end())
+        return Args[I];
+    return std::nullopt;
+  }
+
+private:
+  std::vector<std::string> Args;
+  std::vector<size_t> Seen;
+};
+
+int usage() {
+  fprintf(stderr,
+          "usage: ppp_served serve --expect=K [--port=P] [--shards=N]"
+          " [--cells=N] [--probes=N] [--dump=FILE] [--decay-ms=MS]\n"
+          "       ppp_served client --port=P --bench=NAME [--profiler=pp|tpp|"
+          "tpp-checked|ppp] [--name=ID] [--repeat=R]\n"
+          "       ppp_served oracle --bench=NAME[,NAME...] [--profiler=...]"
+          " [--repeat=R] [--out=FILE]\n"
+          "       ppp_served bench [--out=FILE] [--clients=N] [--shards=CSV]"
+          " [--cells=N] [--probes=N] [--variants=V] [--reps=R]"
+          " [--ms-per-config=MS]\n");
+  return 2;
+}
+
+std::optional<ProfilerOptions> profilerByName(const std::string &Name) {
+  if (Name == "pp")
+    return ProfilerOptions::pp();
+  if (Name == "tpp")
+    return ProfilerOptions::tpp();
+  if (Name == "tpp-checked")
+    return ProfilerOptions::tppChecked();
+  if (Name == "ppp")
+    return ProfilerOptions::ppp();
+  return std::nullopt;
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    if (Comma > Pos)
+      Out.push_back(S.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Out;
+}
+
+/// Prepares \p BenchName, instruments it with \p Prof, runs the
+/// instrumented module, and flattens the run. Exits on unknown names.
+CountsMessage buildRunMessage(const std::string &BenchName,
+                              const ProfilerOptions &Prof) {
+  std::optional<BenchmarkSpec> Spec;
+  for (const BenchmarkSpec &S : spec2000Suite())
+    if (S.Name == BenchName)
+      Spec = S;
+  if (!Spec) {
+    fprintf(stderr, "error: unknown benchmark '%s'\n", BenchName.c_str());
+    exit(2);
+  }
+  bench::PreparedBenchmark B = bench::prepare(*Spec);
+  InstrumentationResult IR = instrumentModule(B.Expanded, B.EP, Prof);
+  ProfileRuntime RT = IR.makeRuntime();
+  InterpOptions IO;
+  IO.Costs = B.Costs;
+  Interpreter I(IR.Instrumented, IO);
+  I.setProfileRuntime(&RT);
+  RunResult Res = I.run();
+  if (Res.FuelExhausted) {
+    fprintf(stderr, "error: instrumented %s hung\n", BenchName.c_str());
+    exit(1);
+  }
+  return countsFromRun(BenchName, IR, RT, &B.EP);
+}
+
+bool writeFile(const std::string &Path, const std::string &Data) {
+  FILE *F = fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = fwrite(Data.data(), 1, Data.size(), F) == Data.size();
+  return fclose(F) == 0 && Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// serve
+//===----------------------------------------------------------------------===//
+
+int cmdServe(Flags &F) {
+  ServerConfig Cfg;
+  Cfg.Port = static_cast<uint16_t>(F.getNum("port", 0));
+  Cfg.ExpectClients = static_cast<unsigned>(F.getNum("expect", 0));
+  Cfg.Agg.Shards = static_cast<uint32_t>(F.getNum("shards", 8));
+  Cfg.Agg.CellsPerShard = static_cast<uint32_t>(F.getNum("cells", 4096));
+  Cfg.Agg.MaxProbes = static_cast<uint32_t>(F.getNum("probes", 8));
+  std::string Dump = F.get("dump").value_or("");
+  uint64_t DecayMs = F.getNum("decay-ms", 0);
+  if (auto U = F.unknown()) {
+    fprintf(stderr, "error: unknown argument '%s'\n", U->c_str());
+    return usage();
+  }
+  if (Cfg.ExpectClients == 0) {
+    fprintf(stderr, "error: serve requires --expect=K > 0\n");
+    return 2;
+  }
+
+  ProfileServer Server(Cfg);
+  std::string Error;
+  if (!Server.start(Error)) {
+    fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  printf("listening %u\n", (unsigned)Server.port());
+  fflush(stdout);
+
+  std::atomic<bool> StopDecay{false};
+  std::thread Decayer;
+  if (DecayMs > 0)
+    Decayer = std::thread([&] {
+      while (!StopDecay.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(DecayMs));
+        if (!StopDecay.load(std::memory_order_acquire))
+          Server.aggregator().decay();
+      }
+    });
+
+  Server.waitForClients();
+  Server.stop();
+  if (Decayer.joinable()) {
+    StopDecay.store(true, std::memory_order_release);
+    Decayer.join();
+  }
+
+  std::string Out = formatAggregate(Server.aggregator().snapshotRows());
+  if (!Dump.empty()) {
+    if (!writeFile(Dump, Out)) {
+      fprintf(stderr, "error: cannot write %s\n", Dump.c_str());
+      return 1;
+    }
+  } else {
+    fputs(Out.c_str(), stdout);
+  }
+
+  Aggregator::Stats S = Server.aggregator().stats();
+  fprintf(stderr,
+          "served %llu clean / %llu failed sessions; %llu merges "
+          "(%llu fast, %llu overflow)\n",
+          (unsigned long long)Server.cleanSessions(),
+          (unsigned long long)Server.failedSessions(),
+          (unsigned long long)S.Merges, (unsigned long long)S.FastMerges,
+          (unsigned long long)S.OverflowMerges);
+  return Server.failedSessions() == 0 ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// client
+//===----------------------------------------------------------------------===//
+
+int cmdClient(Flags &F) {
+  uint16_t Port = static_cast<uint16_t>(F.getNum("port", 0));
+  std::string Bench = F.get("bench").value_or("");
+  std::string ProfName = F.get("profiler").value_or("ppp");
+  std::string Name = F.get("name").value_or("client");
+  uint64_t Repeat = F.getNum("repeat", 1);
+  if (auto U = F.unknown()) {
+    fprintf(stderr, "error: unknown argument '%s'\n", U->c_str());
+    return usage();
+  }
+  if (Port == 0 || Bench.empty()) {
+    fprintf(stderr, "error: client requires --port and --bench\n");
+    return 2;
+  }
+  std::optional<ProfilerOptions> Prof = profilerByName(ProfName);
+  if (!Prof) {
+    fprintf(stderr, "error: unknown profiler '%s'\n", ProfName.c_str());
+    return 2;
+  }
+
+  CountsMessage M = buildRunMessage(Bench, *Prof);
+  std::string CountsFrame = writeCountsBinary(M);
+
+  std::string Error;
+  int Fd = connectLoopback(Port, Error);
+  if (Fd < 0) {
+    fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::string Stream = helloMessage(Name);
+  for (uint64_t R = 0; R < Repeat; ++R)
+    Stream += CountsFrame;
+  Stream += byeMessage(Repeat);
+  bool Ok = sendAll(Fd, Stream, Error);
+  closeFd(Fd);
+  if (!Ok) {
+    fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  fprintf(stderr, "%s: sent %llu counts frames (%zu bytes) for %s\n",
+          Name.c_str(), (unsigned long long)Repeat, Stream.size(),
+          Bench.c_str());
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// oracle
+//===----------------------------------------------------------------------===//
+
+int cmdOracle(Flags &F) {
+  std::string Benches = F.get("bench").value_or("");
+  std::string ProfName = F.get("profiler").value_or("ppp");
+  uint64_t Repeat = F.getNum("repeat", 1);
+  std::string OutPath = F.get("out").value_or("");
+  if (auto U = F.unknown()) {
+    fprintf(stderr, "error: unknown argument '%s'\n", U->c_str());
+    return usage();
+  }
+  if (Benches.empty()) {
+    fprintf(stderr, "error: oracle requires --bench\n");
+    return 2;
+  }
+  std::optional<ProfilerOptions> Prof = profilerByName(ProfName);
+  if (!Prof) {
+    fprintf(stderr, "error: unknown profiler '%s'\n", ProfName.c_str());
+    return 2;
+  }
+
+  // Fold each benchmark's repeats sequentially -- the ground truth the
+  // server's concurrent sharded merge must match byte-for-byte. A
+  // benchmark listed N times contributes N clients' worth of counts.
+  std::map<std::string, uint64_t> Times;
+  for (const std::string &B : splitList(Benches))
+    Times[B] += Repeat;
+  std::vector<NamedRow> Rows;
+  for (const auto &[Bench, N] : Times) {
+    CountsMessage M = buildRunMessage(Bench, *Prof);
+    CountsMessage Agg;
+    for (uint64_t R = 0; R < N; ++R)
+      mergeCounts(Agg, M);
+    std::vector<NamedRow> R = rowsFromMessage(Agg);
+    Rows.insert(Rows.end(), R.begin(), R.end());
+  }
+  std::string Out = formatAggregate(std::move(Rows));
+  if (!OutPath.empty()) {
+    if (!writeFile(OutPath, Out)) {
+      fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+      return 1;
+    }
+  } else {
+    fputs(Out.c_str(), stdout);
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// bench
+//===----------------------------------------------------------------------===//
+
+struct BenchConfig {
+  uint32_t Shards;
+  double MergesPerSec = 0;
+  double FastFraction = 0;
+  uint64_t OverflowKeys = 0;
+  uint64_t DecayPasses = 0;
+  uint64_t Queries = 0;
+};
+
+int cmdBench(Flags &F) {
+  std::string OutPath = F.get("out").value_or("BENCH_served.json");
+  unsigned Clients = static_cast<unsigned>(F.getNum("clients", 8));
+  std::string ShardsCsv = F.get("shards").value_or("1,2,4,8");
+  uint32_t Cells = static_cast<uint32_t>(F.getNum("cells", 16384));
+  uint32_t Probes = static_cast<uint32_t>(F.getNum("probes", 16));
+  uint64_t MsPerConfig = F.getNum("ms-per-config", 1200);
+  unsigned Variants = static_cast<unsigned>(F.getNum("variants", 16));
+  uint64_t Reps = F.getNum("reps", 0); // 0 = calibrate from ms-per-config.
+  if (auto U = F.unknown()) {
+    fprintf(stderr, "error: unknown argument '%s'\n", U->c_str());
+    return usage();
+  }
+  if (Clients == 0 || Variants == 0 || Clients * Variants > 250) {
+    fprintf(stderr, "error: need 1 <= clients*variants <= 250 (benchmark ids "
+                    "are 8-bit in packed keys)\n");
+    return 2;
+  }
+
+  // Load generation: each simulated client replays real instrumented
+  // runs' counts messages, rotating through --variants distinct module
+  // identities (distinct benchmark id => distinct key space), the way a
+  // worker that cycles through a suite would. The aggregate key working
+  // set therefore grows with clients*variants, which is exactly the
+  // axis that saturates a low shard count.
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  std::vector<BenchmarkSpec> Specs;
+  for (unsigned I = 0; I < Clients && I < Suite.size(); ++I)
+    Specs.push_back(Suite[I]);
+  fprintf(stderr, "preparing %zu benchmarks on %u jobs...\n", Specs.size(),
+          bench::parallelJobs(Specs.size()));
+  std::vector<CountsMessage> Base = bench::runSuiteParallel(
+      Specs, [](const BenchmarkSpec &S) {
+        return buildRunMessage(S.Name, ProfilerOptions::ppp());
+      });
+
+  std::vector<CountsMessage> PerClient;
+  uint64_t Keys = 0;
+  for (unsigned I = 0; I < Clients; ++I) {
+    PerClient.push_back(Base[I % Base.size()]);
+    uint64_t MsgKeys = 0;
+    for (const FunctionCounts &FC : PerClient.back().Funcs)
+      MsgKeys += FC.PathCounts.size() + FC.EdgeCounts.size() +
+                 (FC.Lost > 0) + (FC.Cold > 0) + (FC.Invalid > 0);
+    Keys += MsgKeys * Variants;
+  }
+
+  auto internIds = [&](Aggregator &Agg) {
+    // Clients * Variants distinct identities: client I's rep r ingests
+    // under identity Ids[I][r % Variants].
+    std::vector<std::vector<uint16_t>> Ids(Clients);
+    for (unsigned I = 0; I < Clients; ++I)
+      for (unsigned V = 0; V < Variants; ++V)
+        Ids[I].push_back(Agg.internBenchmark(
+            formatString("client%02u.v%02u:%s", I, V,
+                         Specs[I % Specs.size()].Name.c_str())));
+    return Ids;
+  };
+
+  // Fixed work per client: every sender performs exactly Reps ingests,
+  // and merges/sec is total merges over the wall clock until the LAST
+  // sender finishes. A fixed-duration free-for-all would overweight
+  // whichever clients' keys happen to be cell-resident (they complete
+  // more, cheaper, iterations); fixed work charges every configuration
+  // for its slowest traffic. Calibrated on a 1-shard aggregator so
+  // --ms-per-config approximates the slowest configuration's duration.
+  if (Reps == 0) {
+    AggregatorConfig CalAC;
+    CalAC.Shards = 1;
+    CalAC.CellsPerShard = Cells;
+    CalAC.MaxProbes = Probes;
+    Aggregator Cal(CalAC);
+    auto Ids = internIds(Cal);
+    uint64_t N = 0;
+    auto C0 = std::chrono::steady_clock::now();
+    auto CalEnd = C0 + std::chrono::milliseconds(150);
+    while (std::chrono::steady_clock::now() < CalEnd) {
+      Cal.ingest(Ids[N % Clients][N % Variants], PerClient[N % Clients]);
+      ++N;
+    }
+    double CalSecs = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - C0)
+                         .count();
+    double RepsPerSec = static_cast<double>(N) / CalSecs;
+    Reps = std::max<uint64_t>(
+        8, static_cast<uint64_t>(RepsPerSec *
+                                 (static_cast<double>(MsPerConfig) / 1000.0) /
+                                 Clients));
+    fprintf(stderr, "calibrated %llu reps/client\n",
+            (unsigned long long)Reps);
+  }
+
+  std::vector<BenchConfig> Results;
+  for (const std::string &ShardStr : splitList(ShardsCsv)) {
+    BenchConfig R{static_cast<uint32_t>(strtoul(ShardStr.c_str(), nullptr,
+                                                10))};
+    AggregatorConfig AC;
+    AC.Shards = R.Shards;
+    AC.CellsPerShard = Cells;
+    AC.MaxProbes = Probes;
+    Aggregator Agg(AC);
+    auto Ids = internIds(Agg);
+
+    std::atomic<unsigned> SendersDone{0};
+    std::vector<std::thread> Senders;
+    auto T0 = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I < Clients; ++I)
+      Senders.emplace_back([&, I] {
+        for (uint64_t Rep = 0; Rep < Reps; ++Rep)
+          Agg.ingest(Ids[I][Rep % Variants], PerClient[I]);
+        SendersDone.fetch_add(1, std::memory_order_release);
+      });
+
+    // Periodic decay and hottest-path queries run concurrently with
+    // ingest, as they would on a live server.
+    uint64_t Queries = 0;
+    while (SendersDone.load(std::memory_order_acquire) < Clients) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      Agg.decay();
+      (void)Agg.hottestPaths(16);
+      ++Queries;
+    }
+    for (std::thread &T : Senders)
+      T.join();
+    auto T1 = std::chrono::steady_clock::now();
+
+    Aggregator::Stats S = Agg.stats();
+    double Secs = std::chrono::duration<double>(T1 - T0).count();
+    R.MergesPerSec = static_cast<double>(S.Merges) / Secs;
+    R.FastFraction =
+        S.Merges > 0
+            ? static_cast<double>(S.FastMerges) / static_cast<double>(S.Merges)
+            : 0.0;
+    R.OverflowKeys = S.OverflowKeys;
+    R.DecayPasses = S.DecayPasses;
+    R.Queries = Queries;
+    Results.push_back(R);
+
+    std::string Prefix = formatString("serve.bench.shards%u", R.Shards);
+    obs::gauge(Prefix + ".merges_per_sec").set(R.MergesPerSec);
+    obs::gauge(Prefix + ".fast_fraction").set(R.FastFraction);
+    obs::gauge(Prefix + ".overflow_keys")
+        .set(static_cast<double>(R.OverflowKeys));
+    fprintf(stderr, "shards=%u done: %.0f merges/sec\n", R.Shards,
+            R.MergesPerSec);
+  }
+
+  obs::gauge("serve.bench.clients").set(Clients);
+  obs::gauge("serve.bench.variants").set(Variants);
+  obs::gauge("serve.bench.reps_per_client").set(static_cast<double>(Reps));
+  obs::gauge("serve.bench.keys").set(static_cast<double>(Keys));
+  obs::gauge("serve.bench.cells_per_shard").set(Cells);
+  obs::gauge("serve.bench.max_probes").set(Probes);
+  obs::gauge("serve.bench.ms_per_config").set(static_cast<double>(MsPerConfig));
+  if (Results.size() >= 2 && Results.front().MergesPerSec > 0)
+    obs::gauge("serve.bench.scaling_max_vs_1")
+        .set(Results.back().MergesPerSec / Results.front().MergesPerSec);
+
+  printf("%-8s %14s %8s %12s %8s %8s\n", "shards", "merges/sec", "fast%",
+         "overflow", "decays", "queries");
+  for (const BenchConfig &R : Results)
+    printf("%-8u %14.0f %7.1f%% %12llu %8llu %8llu\n", R.Shards,
+           R.MergesPerSec, 100.0 * R.FastFraction,
+           (unsigned long long)R.OverflowKeys,
+           (unsigned long long)R.DecayPasses, (unsigned long long)R.Queries);
+  if (Results.size() >= 2 && Results.front().MergesPerSec > 0)
+    printf("scaling %u-shard vs 1-shard: %.2fx\n", Results.back().Shards,
+           Results.back().MergesPerSec / Results.front().MergesPerSec);
+
+  std::string Error;
+  if (!obs::writeMetricsJson(OutPath, "serve.", &Error)) {
+    fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  fprintf(stderr, "wrote %s\n", OutPath.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Cmd = Argv[1];
+  Flags F(Argc, Argv);
+  if (Cmd == "serve")
+    return cmdServe(F);
+  if (Cmd == "client")
+    return cmdClient(F);
+  if (Cmd == "oracle")
+    return cmdOracle(F);
+  if (Cmd == "bench")
+    return cmdBench(F);
+  return usage();
+}

@@ -24,6 +24,11 @@ tools/cache_smoke.sh "$REPO_ROOT/build"
 # report covers the interp/pass/cache/pool subsystems.
 tools/obs_smoke.sh "$REPO_ROOT/build"
 
+# Served smoke stage (also the served_smoke ctest): the profile server
+# fed by four concurrent loopback clients must aggregate to exactly the
+# sequential oracle's bytes, and bench_diff.py passes its self-test.
+tools/served_smoke.sh "$REPO_ROOT/build"
+
 # Fuzz smoke stage (also the fuzz_smoke ctest): the fixed-seed
 # adversarial corpus through all three profilers with differential
 # invariants against the oracle, plus frame fault injection. For a
