@@ -9,6 +9,7 @@
 #include "pass/AnalysisManager.h"
 #include "pass/Pipeline.h"
 #include "support/Format.h"
+#include "trace/TraceDecoder.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -131,16 +132,41 @@ ProfilerOutcome ppp::bench::runProfiler(const PreparedBenchmark &B,
   ProfileRuntime RT = Out.IR->makeRuntime();
   InterpOptions IO;
   IO.Costs = B.Costs;
-  Interpreter I(Out.IR->Instrumented, IO);
-  I.setProfileRuntime(&RT);
-  RunResult Res = I.run();
-  if (Res.FuelExhausted) {
-    fprintf(stderr, "error: instrumented %s (%s) hung\n", B.Name.c_str(),
-            Opts.Name.c_str());
-    exit(1);
+  if (Opts.TraceBackend) {
+    // Trace backend: run the *clean* module with packet recording (the
+    // hot loop pays only appends, costed at TraceByte per byte), then
+    // reconstruct the exact counters offline.
+    Interpreter I(B.Expanded, IO);
+    trace::TraceRecorder Rec;
+    I.setTraceRecorder(&Rec);
+    RunResult Res = I.run();
+    if (Res.FuelExhausted) {
+      fprintf(stderr, "error: traced %s (%s) hung\n", B.Name.c_str(),
+              Opts.Name.c_str());
+      exit(1);
+    }
+    Out.CostInstr = Res.Cost;
+    Out.OverheadPct = overheadPercent(B.CostBase, Res.Cost);
+    trace::TraceDecoder Dec(B.Expanded, *Out.IR);
+    trace::DecodeStats DS;
+    std::string Error;
+    if (!Dec.decode(Rec.recording(), RT, DS, Error)) {
+      fprintf(stderr, "error: trace decode of %s (%s) failed: %s\n",
+              B.Name.c_str(), Opts.Name.c_str(), Error.c_str());
+      exit(1);
+    }
+  } else {
+    Interpreter I(Out.IR->Instrumented, IO);
+    I.setProfileRuntime(&RT);
+    RunResult Res = I.run();
+    if (Res.FuelExhausted) {
+      fprintf(stderr, "error: instrumented %s (%s) hung\n", B.Name.c_str(),
+              Opts.Name.c_str());
+      exit(1);
+    }
+    Out.CostInstr = Res.Cost;
+    Out.OverheadPct = overheadPercent(B.CostBase, Res.Cost);
   }
-  Out.CostInstr = Res.Cost;
-  Out.OverheadPct = overheadPercent(B.CostBase, Res.Cost);
 
   Out.Run = buildEstimatedProfile(B.Expanded, B.EP, *Out.IR, RT);
   for (const FunctionPlan &P : Out.IR->Plans)
@@ -165,6 +191,43 @@ ProfilerOutcome ppp::bench::runProfiler(const PreparedBenchmark &B,
       computeProfilerCoverage(*Out.IR, Out.Run, B.Oracle, FlowMetric::Branch);
   Out.Frac = computeInstrumentedFraction(*Out.IR, B.Oracle);
   return Out;
+}
+
+bool ppp::bench::decodeTraceParallel(const trace::TraceDecoder &Dec,
+                                     const trace::TraceRecording &R,
+                                     ProfileRuntime &RT,
+                                     trace::DecodeStats &DS,
+                                     std::string &Error) {
+  struct Task {
+    size_t Idx;
+    std::string Label;
+  };
+  struct ChunkOut {
+    bool Ok = false;
+    trace::ChunkDecodeResult Res;
+    std::string Err;
+  };
+  std::vector<Task> Tasks;
+  Tasks.reserve(R.Chunks.size());
+  for (size_t I = 0; I < R.Chunks.size(); ++I)
+    Tasks.push_back({I, formatString("chunk%zu", I)});
+  std::vector<ChunkOut> Outs = runParallel(
+      Tasks, [](const Task &T) -> const std::string & { return T.Label; },
+      [&](const Task &T) {
+        ChunkOut O;
+        O.Ok = Dec.decodeChunk(R, T.Idx, O.Res, O.Err);
+        return O;
+      });
+  std::vector<trace::ChunkDecodeResult> Chunks;
+  Chunks.reserve(Outs.size());
+  for (ChunkOut &O : Outs) {
+    if (!O.Ok) {
+      Error = O.Err;
+      return false;
+    }
+    Chunks.push_back(std::move(O.Res));
+  }
+  return Dec.stitch(R, Chunks, RT, DS, Error);
 }
 
 EdgeProfilingOutcome

@@ -37,6 +37,13 @@
 namespace ppp {
 
 class FunctionAnalysisManager;
+class ProfileRuntime;
+
+namespace trace {
+class TraceDecoder;
+struct TraceRecording;
+struct DecodeStats;
+} // namespace trace
 
 namespace bench {
 
@@ -104,6 +111,16 @@ struct ProfilerOutcome {
 ProfilerOutcome runProfiler(const PreparedBenchmark &B,
                             const ProfilerOptions &Opts,
                             FunctionAnalysisManager *FAM = nullptr);
+
+/// Parallel trace decode: fans decodeChunk() out over \p R's chunks on
+/// a runParallel() pool (PPP_JOBS workers), then stitches sequentially
+/// into \p RT. Chunk replay is order-independent and stitch() validates
+/// every boundary, so the result is identical to TraceDecoder::decode()
+/// at any job count. Returns false (with \p Error set, \p RT possibly
+/// partially filled) on a corrupt or mismatched recording.
+bool decodeTraceParallel(const trace::TraceDecoder &Dec,
+                         const trace::TraceRecording &R, ProfileRuntime &RT,
+                         trace::DecodeStats &DS, std::string &Error);
 
 /// Accuracy and coverage of the plain edge profile (the "edge
 /// profiling" bars of Figures 9 and 10).

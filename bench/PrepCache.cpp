@@ -22,7 +22,7 @@ using namespace ppp::bench;
 // The key string enumerates every field below by hand. These asserts
 // fire when a field is added, as a reminder to extend the key (and bump
 // PrepPipelineVersion).
-static_assert(sizeof(CostModel) == 12 * sizeof(uint32_t),
+static_assert(sizeof(CostModel) == 13 * sizeof(uint32_t),
               "CostModel changed; update prepCacheKeyString and "
               "serializeCostModel, and bump PrepPipelineVersion");
 
@@ -116,6 +116,7 @@ void serializeCostModel(BinWriter &W, const CostModel &C) {
   W.u32(C.ProfCountArray);
   W.u32(C.ProfCountHash);
   W.u32(C.PoisonCheck);
+  W.u32(C.TraceByte);
 }
 
 void deserializeCostModel(BinReader &R, CostModel &C) {
@@ -131,6 +132,7 @@ void deserializeCostModel(BinReader &R, CostModel &C) {
   C.ProfCountArray = R.u32();
   C.ProfCountHash = R.u32();
   C.PoisonCheck = R.u32();
+  C.TraceByte = R.u32();
 }
 
 } // namespace
@@ -169,10 +171,11 @@ std::string ppp::bench::prepCacheKeyString(const BenchmarkSpec &Spec,
       P.HotLoopPct, P.HotTripMin, P.HotTripMax, P.SwitchArmsMin,
       P.SwitchArmsMax, (unsigned long long)P.MainLoopTrips);
   K += formatString(
-      "costs %u %u %u %u %u %u %u %u %u %u %u %u\n", Costs.Simple,
+      "costs %u %u %u %u %u %u %u %u %u %u %u %u %u\n", Costs.Simple,
       Costs.Mul, Costs.Div, Costs.Mem, Costs.CallOverhead,
       Costs.RetOverhead, Costs.Branch, Costs.Multiway, Costs.ProfReg,
-      Costs.ProfCountArray, Costs.ProfCountHash, Costs.PoisonCheck);
+      Costs.ProfCountArray, Costs.ProfCountHash, Costs.PoisonCheck,
+      Costs.TraceByte);
   return K;
 }
 

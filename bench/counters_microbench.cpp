@@ -10,8 +10,10 @@
 #include "interp/PathTable.h"
 #include "serve/ShardHash.h"
 #include "support/Rng.h"
+#include "trace/TraceRecorder.h"
 
 #include <benchmark/benchmark.h>
+#include <optional>
 
 using namespace ppp;
 
@@ -120,6 +122,50 @@ void BM_ShardSelectReciprocal(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ShardSelectReciprocal)->Arg(8)->Arg(64);
+
+/// The trace backend's hot-path cost per conditional branch: one
+/// condBit() append (shift, OR, counter test; a push_back into
+/// reserved capacity every sixth call). The head-to-head row against
+/// BM_ArrayCounter/BM_HashCounter is the per-event argument for
+/// recording packets instead of counting paths online. Sealed chunks
+/// are discarded by resetting the recorder (the rare full-chunk
+/// branch), so memory stays flat at any iteration count.
+void BM_TraceCondAppend(benchmark::State &State) {
+  std::optional<trace::TraceRecorder> Rec;
+  Rec.emplace();
+  Rng R(42);
+  std::vector<uint8_t> Bits(1024);
+  for (uint8_t &B : Bits)
+    B = static_cast<uint8_t>(R.next() & 1);
+  size_t K = 0;
+  for (auto _ : State) {
+    if (Rec->needSealBeforeCond()) [[unlikely]]
+      Rec.emplace();
+    Rec->condBit(Bits[K++ & 1023] != 0);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceCondAppend);
+
+/// The trace backend's cost per switch: flush any partial TNT byte,
+/// then a zigzag varint of the delta against the previous target
+/// (1 byte for the common small-delta case).
+void BM_TraceSwitchAppend(benchmark::State &State) {
+  std::optional<trace::TraceRecorder> Rec;
+  Rec.emplace();
+  Rng R(42);
+  std::vector<uint32_t> Targets(1024);
+  for (uint32_t &T : Targets)
+    T = static_cast<uint32_t>(R.below(8));
+  size_t K = 0;
+  for (auto _ : State) {
+    if (Rec->needSealBeforeSwitch()) [[unlikely]]
+      Rec.emplace();
+    Rec->switchTarget(Targets[K++ & 1023]);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceSwitchAppend);
 
 void BM_HashCounterConflictHeavy(benchmark::State &State) {
   PathTable T = PathTable::makeHash();

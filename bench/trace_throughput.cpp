@@ -1,0 +1,246 @@
+//===- bench/trace_throughput.cpp - Trace backend speed baseline --------------===//
+///
+/// Wall-clock throughput of the trace-collection backend, the
+/// regression baseline for src/trace: how fast the interpreter runs
+/// while appending branch-target packets (vs the clean loop), how
+/// compact the stream is (bytes per recorded event), and how fast the
+/// offline decoder turns packets back into counters as the worker
+/// count grows (events decoded per second at PPP_JOBS = 1, 2, 4).
+/// Every decode is checked bit-identical against the counter backend
+/// before its timing is reported.
+///
+/// `--json[=PATH]` writes the report to PATH (default BENCH_trace.json)
+/// through the obs metrics registry (`trace.` keys, "ppp-metrics-v1"
+/// schema) so tools/bench_diff.py tracks the trajectory exactly like
+/// BENCH_throughput.json. PPP_THROUGHPUT_REPS overrides the per-variant
+/// repetition count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "interp/Interpreter.h"
+#include "obs/Obs.h"
+#include "pathprof/Profilers.h"
+#include "trace/TraceDecoder.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+namespace {
+
+unsigned repsFromEnv() {
+  if (const char *E = std::getenv("PPP_THROUGHPUT_REPS"))
+    if (long V = std::strtol(E, nullptr, 10); V > 0)
+      return static_cast<unsigned>(V);
+  return 20;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double secsSince(Clock::time_point Begin) {
+  return std::chrono::duration<double>(Clock::now() - Begin).count();
+}
+
+struct BenchRow {
+  std::string Name;
+  double CleanMips = 0;    ///< Clean interpreter, no recording.
+  double RecordMips = 0;   ///< Same run with packet recording.
+  double BytesPerEvent = 0;
+  uint64_t Events = 0;     ///< Cond + switch outcomes per run.
+  uint64_t Bytes = 0;      ///< Packet bytes per run.
+  uint64_t Chunks = 0;
+  double DecodeEps[3] = {0, 0, 0}; ///< Events/sec at 1, 2, 4 jobs.
+};
+
+constexpr unsigned JobCounts[3] = {1, 2, 4};
+
+/// Decoded counters must match the counter backend bit for bit; the
+/// throughput of a wrong decode is not a number worth tracking.
+void checkIdentical(const PreparedBenchmark &B,
+                    const InstrumentationResult &IR,
+                    const ProfileRuntime &Decoded) {
+  ProfileRuntime RT = IR.makeRuntime();
+  InterpOptions IO;
+  IO.Costs = B.Costs;
+  Interpreter I(IR.Instrumented, IO);
+  I.setProfileRuntime(&RT);
+  I.run();
+  CountsMessage Want = countsFromRun(B.Name, IR, RT);
+  CountsMessage Got = countsFromRun(B.Name, IR, Decoded);
+  if (!(Want == Got)) {
+    fprintf(stderr,
+            "error: %s: decoded profile differs from counter backend\n",
+            B.Name.c_str());
+    exit(1);
+  }
+}
+
+BenchRow measureBenchmark(const BenchmarkSpec &Spec, unsigned Reps) {
+  BenchRow Row;
+  Row.Name = Spec.Name;
+  PreparedBenchmark B = prepare(Spec);
+  InterpOptions IO;
+  IO.Costs = B.Costs;
+
+  Interpreter Clean(B.Expanded, IO);
+  uint64_t DynInstrs = 0;
+  Clock::time_point T0 = Clock::now();
+  for (unsigned R = 0; R < Reps; ++R)
+    DynInstrs = Clean.run().DynInstrs;
+  double CleanSec = secsSince(T0);
+  Row.CleanMips = CleanSec > 0
+                      ? static_cast<double>(DynInstrs) * Reps / CleanSec / 1e6
+                      : 0;
+
+  // Record. The recorder is one-shot, so each rep builds a fresh one;
+  // the last rep's recording feeds the decode measurements. Chunks are
+  // deliberately small: the suite's traces fit a single default 64 KiB
+  // chunk, which would leave decodeTraceParallel nothing to fan out
+  // over, and chunk capacity only repartitions the identical byte
+  // stream (pinned by tracebackend_test), so recording cost and
+  // bytes-per-event are unaffected.
+  trace::TraceRecording Rec;
+  constexpr size_t BenchChunkBytes = 2048;
+  T0 = Clock::now();
+  for (unsigned R = 0; R < Reps; ++R) {
+    Interpreter I(B.Expanded, IO);
+    trace::TraceRecorder TR(BenchChunkBytes);
+    I.setTraceRecorder(&TR);
+    RunResult Res = I.run();
+    if (Res.FuelExhausted) {
+      fprintf(stderr, "error: traced %s hung\n", B.Name.c_str());
+      exit(1);
+    }
+    Rec = TR.takeRecording();
+  }
+  double RecordSec = secsSince(T0);
+  Row.RecordMips =
+      RecordSec > 0 ? static_cast<double>(DynInstrs) * Reps / RecordSec / 1e6
+                    : 0;
+  Row.Events = Rec.CondEvents + Rec.SwitchEvents;
+  Row.Bytes = Rec.TotalBytes;
+  Row.Chunks = Rec.Chunks.size();
+  Row.BytesPerEvent = Row.Events ? static_cast<double>(Row.Bytes) /
+                                       static_cast<double>(Row.Events)
+                                 : 0;
+
+  InstrumentationResult IR =
+      instrumentModule(B.Expanded, B.EP, ProfilerOptions::trace());
+  trace::TraceDecoder Dec(B.Expanded, IR);
+
+  const char *OldJobs = std::getenv("PPP_JOBS");
+  std::string Saved = OldJobs ? OldJobs : "";
+  for (int J = 0; J < 3; ++J) {
+    setenv("PPP_JOBS", std::to_string(JobCounts[J]).c_str(), 1);
+    ProfileRuntime Decoded = IR.makeRuntime();
+    T0 = Clock::now();
+    for (unsigned R = 0; R < Reps; ++R) {
+      Decoded = IR.makeRuntime();
+      trace::DecodeStats DS;
+      std::string Error;
+      if (!decodeTraceParallel(Dec, Rec, Decoded, DS, Error)) {
+        fprintf(stderr, "error: decode of %s failed: %s\n", B.Name.c_str(),
+                Error.c_str());
+        exit(1);
+      }
+    }
+    double DecodeSec = secsSince(T0);
+    Row.DecodeEps[J] =
+        DecodeSec > 0
+            ? static_cast<double>(Row.Events) * Reps / DecodeSec
+            : 0;
+    checkIdentical(B, IR, Decoded);
+  }
+  if (OldJobs)
+    setenv("PPP_JOBS", Saved.c_str(), 1);
+  else
+    unsetenv("PPP_JOBS");
+  return Row;
+}
+
+void writeJson(const std::string &Path, unsigned Reps,
+               const std::vector<BenchRow> &Rows) {
+  obs::gauge("trace.bench.reps").set(Reps);
+  double Sum[5] = {0, 0, 0, 0, 0};
+  for (const BenchRow &R : Rows) {
+    std::string K = "trace.bench." + R.Name;
+    obs::gauge(K + ".clean_mips").set(R.CleanMips);
+    obs::gauge(K + ".record_mips").set(R.RecordMips);
+    obs::gauge(K + ".bytes_per_event").set(R.BytesPerEvent);
+    obs::gauge(K + ".events").set(static_cast<double>(R.Events));
+    obs::gauge(K + ".chunks").set(static_cast<double>(R.Chunks));
+    obs::gauge(K + ".decode_eps_j1").set(R.DecodeEps[0]);
+    obs::gauge(K + ".decode_eps_j2").set(R.DecodeEps[1]);
+    obs::gauge(K + ".decode_eps_j4").set(R.DecodeEps[2]);
+    Sum[0] += R.CleanMips;
+    Sum[1] += R.RecordMips;
+    Sum[2] += R.DecodeEps[0];
+    Sum[3] += R.DecodeEps[1];
+    Sum[4] += R.DecodeEps[2];
+  }
+  size_t N = Rows.empty() ? 1 : Rows.size();
+  obs::gauge("trace.average.clean_mips").set(Sum[0] / N);
+  obs::gauge("trace.average.record_mips").set(Sum[1] / N);
+  obs::gauge("trace.average.decode_eps_j1").set(Sum[2] / N);
+  obs::gauge("trace.average.decode_eps_j2").set(Sum[3] / N);
+  obs::gauge("trace.average.decode_eps_j4").set(Sum[4] / N);
+
+  std::string Error;
+  if (!obs::writeMetricsJson(Path, "trace.", &Error)) {
+    fprintf(stderr, "error: %s\n", Error.c_str());
+    exit(1);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  std::string JsonPath = "BENCH_trace.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      Json = true;
+    } else if (std::strncmp(argv[I], "--json=", 7) == 0) {
+      Json = true;
+      JsonPath = argv[I] + 7;
+    } else {
+      fprintf(stderr, "usage: trace_throughput [--json[=PATH]]\n");
+      return 2;
+    }
+  }
+
+  unsigned Reps = repsFromEnv();
+  printf("Trace backend throughput (%u reps per variant; decode checked "
+         "against the counter backend)\n\n",
+         Reps);
+  printf("%-10s%12s%12s%10s%12s%12s%12s\n", "bench", "clean-mips",
+         "rec-mips", "B/event", "dec-eps-j1", "dec-eps-j2", "dec-eps-j4");
+
+  std::vector<BenchRow> Rows;
+  // Same representative picks as interp_throughput: branchy INT,
+  // call-heavy INT, loopy FP.
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  for (size_t Pick : {size_t(0), size_t(4), size_t(12)}) {
+    if (Pick >= Suite.size())
+      continue;
+    BenchRow R = measureBenchmark(Suite[Pick], Reps);
+    printf("%-10s%12.2f%12.2f%10.3f%12.3g%12.3g%12.3g\n", R.Name.c_str(),
+           R.CleanMips, R.RecordMips, R.BytesPerEvent, R.DecodeEps[0],
+           R.DecodeEps[1], R.DecodeEps[2]);
+    Rows.push_back(std::move(R));
+  }
+
+  if (Json) {
+    writeJson(JsonPath, Reps, Rows);
+    printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -10,6 +10,8 @@
 #include "profile/BinaryIO.h"
 #include "profile/Collectors.h"
 #include "support/Format.h"
+#include "trace/TraceDecoder.h"
+#include "trace/TraceIO.h"
 
 #include <sstream>
 
@@ -319,6 +321,96 @@ void checkOneProfiler(const Module &M, const CleanRun &Clean,
                           Frac.Total, Frac.Hashed));
 }
 
+/// The trace backend's whole contract in one battery: recording does
+/// not perturb the program (same return value and memory checksum as
+/// the clean run), the recording survives a serialize/deserialize
+/// round trip field-identically, and decoding it reconstructs counters
+/// *bit-identical* to running the instrumented module over the counter
+/// runtime -- for an exact plan (pp, which the pp_exact check above
+/// ties to the oracle) and for the cold-removing ppp plan (lost, cold,
+/// and invalid spill counters included). Two chunk capacities run the
+/// same checks: the default (few seals) and a tiny one that forces a
+/// seal every few events, stressing the cursor/stitch machinery.
+void checkTraceBackend(const Module &M, const CleanRun &Clean,
+                       uint64_t Fuel, InvariantReport &Rep) {
+  // Small-but-legal stress capacity: every chunk holds only a few
+  // packets past the varint reserve.
+  const uint32_t Caps[2] = {trace::DefaultTraceChunkBytes,
+                            trace::TraceRecorder::MinTraceChunkBytes * 3};
+  trace::TraceRecording Recs[2];
+  for (int C = 0; C < 2; ++C) {
+    trace::TraceRecorder TR(Caps[C]);
+    InterpOptions IO;
+    IO.Fuel = Fuel;
+    Interpreter I(M, IO);
+    I.setTraceRecorder(&TR);
+    RunResult Res = I.run();
+    ++Rep.ChecksRun;
+    if (Res.FuelExhausted) {
+      Rep.fail("trace.terminates", "recorded run exhausted fuel");
+      return;
+    }
+    ++Rep.ChecksRun;
+    if (Res.ReturnValue != Clean.Res.ReturnValue ||
+        Res.MemChecksum != Clean.Res.MemChecksum)
+      Rep.fail("trace.semantics",
+               formatString("recorded run diverged from clean run "
+                            "(chunk cap %u)",
+                            Caps[C]));
+    Recs[C] = TR.takeRecording();
+
+    std::string Err;
+    trace::TraceRecording Back;
+    ++Rep.ChecksRun;
+    if (!trace::readTraceBinary(trace::writeTraceBinary(Recs[C]), Back,
+                                Err))
+      Rep.fail("trace.roundtrip", "read failed: " + Err);
+    else if (!(Back == Recs[C]))
+      Rep.fail("trace.roundtrip", "recording not field-identical");
+  }
+  ++Rep.ChecksRun;
+  if (!(Recs[0].CondEvents == Recs[1].CondEvents &&
+        Recs[0].SwitchEvents == Recs[1].SwitchEvents &&
+        Recs[0].TotalBytes == Recs[1].TotalBytes))
+    Rep.fail("trace.chunking",
+             "chunk capacity changed the recorded event stream");
+
+  for (const ProfilerOptions &Opts :
+       {ProfilerOptions::pp(), ProfilerOptions::trace()}) {
+    InstrumentationResult IR = instrumentModule(M, Clean.EP, Opts);
+    ProfileRuntime CounterRT = IR.makeRuntime();
+    InterpOptions IO;
+    IO.Fuel = Fuel * 2;
+    Interpreter I(IR.Instrumented, IO);
+    I.setProfileRuntime(&CounterRT);
+    ++Rep.ChecksRun;
+    if (I.run().FuelExhausted) {
+      Rep.fail("trace." + Opts.Name + ".terminates",
+               "instrumented run exhausted fuel");
+      continue;
+    }
+    CountsMessage Want = countsFromRun(M.Name, IR, CounterRT);
+    trace::TraceDecoder Dec(M, IR);
+    for (int C = 0; C < 2; ++C) {
+      ProfileRuntime DecRT = IR.makeRuntime();
+      trace::DecodeStats DS;
+      std::string Err;
+      ++Rep.ChecksRun;
+      if (!Dec.decode(Recs[C], DecRT, DS, Err)) {
+        Rep.fail("trace." + Opts.Name + ".decode",
+                 formatString("chunk cap %u: %s", Caps[C], Err.c_str()));
+        continue;
+      }
+      ++Rep.ChecksRun;
+      if (!(countsFromRun(M.Name, IR, DecRT) == Want))
+        Rep.fail("trace." + Opts.Name + ".bit_identical",
+                 formatString("chunk cap %u: decoded counters differ "
+                              "from the counter backend",
+                              Caps[C]));
+    }
+  }
+}
+
 } // namespace
 
 InvariantReport ppp::fuzz::checkModuleInvariants(const Module &M,
@@ -342,5 +434,6 @@ InvariantReport ppp::fuzz::checkModuleInvariants(const Module &M,
   checkOneProfiler(M, Clean, ProfilerOptions::pp(), Fuel * 2, Rep);
   checkOneProfiler(M, Clean, ProfilerOptions::tpp(), Fuel * 2, Rep);
   checkOneProfiler(M, Clean, ProfilerOptions::ppp(), Fuel * 2, Rep);
+  checkTraceBackend(M, Clean, Fuel, Rep);
   return Rep;
 }

@@ -25,7 +25,13 @@
 ///  - derived metrics are sane: coverage / accuracy / instrumented
 ///    fractions all land in [0, 1];
 ///  - BinaryIO round-trips the module, the edge profile, and the oracle
-///    path profile field-identically.
+///    path profile field-identically;
+///  - the trace backend is exact: recording on the clean module does
+///    not perturb semantics, the recording round-trips through its
+///    binary frames, the event stream is invariant under chunk
+///    capacity, and decoding reconstructs counters bit-identical to
+///    the counter backend for both the pp and ppp plans (so, through
+///    pp's exactness, equal to the oracle's path counts).
 ///
 /// Checks accumulate into an InvariantReport instead of asserting so
 /// the fuzzer driver can count, shrink, and report failures itself.

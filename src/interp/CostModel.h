@@ -35,6 +35,11 @@ struct CostModel {
   uint32_t ProfCountArray = 3; ///< load/add/store of a counter word.
   uint32_t ProfCountHash = 15; ///< ~5x the array counter (Sec. 3.2).
   uint32_t PoisonCheck = 1;    ///< Original TPP's r < 0 test per count.
+  /// Trace collection backend: cost per emitted branch-target packet
+  /// byte (shift/or into a register plus an amortized buffered store).
+  /// Charged per byte rather than per opcode -- six conditional-branch
+  /// outcomes share one byte, which is the backend's whole advantage.
+  uint32_t TraceByte = 2;
 
   /// The default weights above approximate a simple modern core. This
   /// preset instead approximates the paper's Alpha 21164: multi-cycle
@@ -55,6 +60,7 @@ struct CostModel {
     C.ProfCountArray = 9;
     C.ProfCountHash = 45;
     C.PoisonCheck = 2;
+    C.TraceByte = 3; // Stores are 3 cycles here; appends batch into them.
     return C;
   }
 

@@ -26,15 +26,23 @@
 
 #include "obs/Obs.h"
 
+#include <cassert>
+
 using namespace ppp;
 
 ExecObserver::~ExecObserver() = default;
 
 // Telemetry-enabled specializations, compiled in InterpreterStats.cpp.
-extern template RunResult Interpreter::runImpl<false, false, true>();
-extern template RunResult Interpreter::runImpl<false, true, true>();
-extern template RunResult Interpreter::runImpl<true, false, true>();
-extern template RunResult Interpreter::runImpl<true, true, true>();
+extern template RunResult Interpreter::runImpl<false, false, true, false>();
+extern template RunResult Interpreter::runImpl<false, true, true, false>();
+extern template RunResult Interpreter::runImpl<true, false, true, false>();
+extern template RunResult Interpreter::runImpl<true, true, true, false>();
+
+// Trace-recording specializations, compiled in InterpreterTrace.cpp
+// (same separate-TU discipline as telemetry: the clean loop's codegen
+// must not see them).
+extern template RunResult Interpreter::runImpl<false, false, false, true>();
+extern template RunResult Interpreter::runImpl<true, false, false, true>();
 
 Interpreter::Interpreter(const Module &Mod, const InterpOptions &Options)
     : DM(Mod, Options.Costs), Opts(Options) {}
@@ -46,27 +54,35 @@ void Interpreter::setProfileRuntime(ProfileRuntime *RT) {
 
 RunResult Interpreter::run() {
   const bool HasObs = !Observers.empty();
+  // Trace recording wins over the other dimensions: it runs on clean
+  // modules (no runtime) and carries its own accounting (no stats).
+  if (TraceRec) {
+    assert(!Runtime &&
+           "trace recording and a profiling runtime are exclusive");
+    return HasObs ? runImpl<true, false, false, true>()
+                  : runImpl<false, false, false, true>();
+  }
   // Telemetry selects a separate specialization: when disabled (the
   // default), the dispatch loop that runs is compiled without any
   // counting code, so the clean fast path is bit-identical to the
   // pre-telemetry engine and pays only this one cached boolean test.
   if (obs::interpStatsEnabled()) {
     if (Runtime)
-      return HasObs ? runImpl<true, true, true>()
-                    : runImpl<false, true, true>();
-    return HasObs ? runImpl<true, false, true>()
-                  : runImpl<false, false, true>();
+      return HasObs ? runImpl<true, true, true, false>()
+                    : runImpl<false, true, true, false>();
+    return HasObs ? runImpl<true, false, true, false>()
+                  : runImpl<false, false, true, false>();
   }
   if (Runtime)
-    return HasObs ? runImpl<true, true, false>()
-                  : runImpl<false, true, false>();
-  return HasObs ? runImpl<true, false, false>()
-                : runImpl<false, false, false>();
+    return HasObs ? runImpl<true, true, false, false>()
+                  : runImpl<false, true, false, false>();
+  return HasObs ? runImpl<true, false, false, false>()
+                : runImpl<false, false, false, false>();
 }
 
 #include "interp/InterpreterLoop.inc"
 
-template RunResult Interpreter::runImpl<false, false, false>();
-template RunResult Interpreter::runImpl<false, true, false>();
-template RunResult Interpreter::runImpl<true, false, false>();
-template RunResult Interpreter::runImpl<true, true, false>();
+template RunResult Interpreter::runImpl<false, false, false, false>();
+template RunResult Interpreter::runImpl<false, true, false, false>();
+template RunResult Interpreter::runImpl<true, false, false, false>();
+template RunResult Interpreter::runImpl<true, true, false, false>();

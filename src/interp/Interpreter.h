@@ -27,6 +27,10 @@
 
 namespace ppp {
 
+namespace trace {
+class TraceRecorder;
+}
+
 /// Receives control-flow events during execution.
 class ExecObserver {
 public:
@@ -85,16 +89,27 @@ public:
   /// (not owned). Must cover every function with ProfCount* ops.
   void setProfileRuntime(ProfileRuntime *RT);
 
+  /// Attaches a trace recorder (not owned): run() selects the
+  /// recording specialization, which appends a branch-target packet at
+  /// every CondBr/Switch (the trace collection backend's hot half; the
+  /// offline decoder in src/trace reconstructs the path profile).
+  /// Recording runs on a *clean* module -- mutually exclusive with a
+  /// profiling runtime. The recorder is one-shot: attach a fresh one
+  /// per run().
+  void setTraceRecorder(trace::TraceRecorder *Rec) { TraceRec = Rec; }
+
   /// Runs main() to completion (or until fuel runs out).
   RunResult run();
 
 private:
-  template <bool HasObservers, bool HasRuntime, bool HasStats>
+  template <bool HasObservers, bool HasRuntime, bool HasStats,
+            bool HasTrace>
   RunResult runImpl();
 
   DecodedModule DM;
   InterpOptions Opts;
   ProfileRuntime *Runtime = nullptr;
+  trace::TraceRecorder *TraceRec = nullptr;
   std::vector<ExecObserver *> Observers;
 };
 

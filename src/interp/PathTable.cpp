@@ -103,6 +103,48 @@ void PathTable::incrementStats(int64_t Index, PathProbeStats &S) {
   }
 }
 
+void PathTable::add(int64_t Index, uint64_t N) {
+  if (N == 0)
+    return;
+  switch (TableKind) {
+  case Kind::None:
+    Invalid += N;
+    return;
+  case Kind::Array:
+    if (Index < 0 || static_cast<uint64_t>(Index) >= Counts.size()) {
+      Invalid += N;
+      return;
+    }
+    Counts[static_cast<size_t>(Index)] += N;
+    return;
+  case Kind::Hash: {
+    if (Index < 0) {
+      Invalid += N;
+      return;
+    }
+    // Probe exactly like increment(): after the first of N increments
+    // claims (or fails to claim) a slot, the remaining N-1 repeat its
+    // outcome, so one probe plus a batched count is equivalent.
+    uint64_t Key = static_cast<uint64_t>(Index);
+    uint64_t H = fastRemainder<PathHashSlots>(Key);
+    uint64_t Step = 1 + fastRemainder<PathHashSlots - 2>(Key);
+    for (unsigned Try = 0; Try < PathHashTries; ++Try) {
+      HashSlot &S = Slots[H];
+      if (S.Key == Index || S.Count == 0) {
+        S.Key = Index;
+        S.Count += N;
+        return;
+      }
+      H += Step;
+      if (H >= PathHashSlots)
+        H -= PathHashSlots;
+    }
+    Lost += N;
+    return;
+  }
+  }
+}
+
 uint64_t PathTable::countFor(int64_t Index) const {
   switch (TableKind) {
   case Kind::None:

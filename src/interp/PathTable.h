@@ -116,6 +116,22 @@ public:
       increment(Index);
   }
 
+  /// Records \p N executions of the path with index \p Index, exactly
+  /// equivalent to \p N increment() calls: the first claims or finds the
+  /// slot, the rest land where it landed, so batching preserves slot
+  /// assignment and lost/invalid accounting bit-for-bit. The trace
+  /// decoder's run-length-batched replay depends on this equivalence
+  /// (pathtable_test pins it).
+  void add(int64_t Index, uint64_t N);
+
+  /// incrementChecked() \p N times (same batching equivalence).
+  void addChecked(int64_t Index, uint64_t N) {
+    if (Index < 0)
+      ColdChecked += N;
+    else
+      add(Index, N);
+  }
+
   /// incrementChecked() with probe accounting into \p S.
   void incrementCheckedStats(int64_t Index, PathProbeStats &S) {
     if (Index < 0) {

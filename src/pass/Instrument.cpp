@@ -292,6 +292,7 @@ public:
       SiteOps Sites = finalizeSites(*Sc.Dag, Sc.Place);
       lowerInstrumentation(Clone.function(static_cast<FuncId>(FI)), *Plan.Cfg,
                            Sites);
+      Plan.Sites = std::move(Sites);
       Plan.Dag = std::move(Sc.Dag);
       Plan.Numbering = std::move(Sc.Num);
       Plan.buildEdgeIndex();

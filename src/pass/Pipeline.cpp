@@ -74,9 +74,11 @@ bool ppp::parseProfilerSpec(const std::string &Spec, ProfilerOptions &Out,
     Out = ProfilerOptions::tppChecked();
   else if (Preset == "ppp")
     Out = ProfilerOptions::ppp();
+  else if (Preset == "trace")
+    Out = ProfilerOptions::trace();
   else {
     Error = formatString("unknown profiler preset '%s' (expected pp, tpp, "
-                         "tpp-checked, or ppp)",
+                         "tpp-checked, ppp, or trace)",
                          Preset.c_str());
     return false;
   }

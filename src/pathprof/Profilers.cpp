@@ -45,6 +45,13 @@ ProfilerOptions ProfilerOptions::ppp() {
   return O;
 }
 
+ProfilerOptions ProfilerOptions::trace() {
+  ProfilerOptions O = ppp();
+  O.Name = "trace";
+  O.TraceBackend = true;
+  return O;
+}
+
 void FunctionPlan::buildEdgeIndex() {
   RealByCfg.clear();
   LoopEntryByBack.clear();

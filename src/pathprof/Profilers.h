@@ -28,6 +28,7 @@
 #include "analysis/BLDag.h"
 #include "interp/ProfileRuntime.h"
 #include "ir/Module.h"
+#include "pathprof/Lowering.h"
 #include "pathprof/Numbering.h"
 #include "pathprof/Placement.h"
 #include "profile/EdgeProfile.h"
@@ -92,9 +93,17 @@ struct ProfilerOptions {
   /// Sec. 7.4: routines with more paths than this hash their counters.
   uint64_t HashThreshold = 4000;
 
+  /// Trace collection backend: instrument/plan exactly like the base
+  /// preset, but collect by recording branch-target packets on the
+  /// clean module and reconstructing the counters offline
+  /// (src/trace/TraceDecoder) instead of counting on the hot path.
+  bool TraceBackend = false;
+
   static ProfilerOptions pp();
   static ProfilerOptions tpp();
   static ProfilerOptions ppp();
+  /// PPP's plan with trace-backend collection (TraceBackend = true).
+  static ProfilerOptions trace();
   /// TPP as Joshi et al. published it: poison checks on every count in
   /// routines with cold edges (the paper's implementation substitutes
   /// free poisoning; this preset exists to measure the difference).
@@ -123,6 +132,12 @@ public:
   uint64_t StaticOps = 0;    ///< Profiling instructions placed.
   std::set<int> ColdEdges;
   std::set<int> DisconnectedBackEdges;
+
+  /// The instrumentation sites lowering materialized, in clean-CFG
+  /// terms (entry / per-edge / pre-Ret op lists). The trace decoder
+  /// replays these against recorded control flow to reconstruct the
+  /// counters the instrumented module would have produced.
+  SiteOps Sites;
 
   /// Shared with (and usually served by) a FunctionAnalysisManager;
   /// the shared_ptr keeps the analyses alive past cache invalidation.

@@ -1,0 +1,388 @@
+//===- trace/TraceDecoder.cpp - Offline trace-to-profile decode -----------===//
+
+#include "trace/TraceDecoder.h"
+
+#include "analysis/CfgView.h"
+#include "obs/Obs.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace ppp;
+using namespace ppp::trace;
+
+TraceDecoder::TraceDecoder(const Module &CleanM,
+                           const InstrumentationResult &IR)
+    : MainId(CleanM.MainId) {
+  Funcs.resize(CleanM.Functions.size());
+  for (size_t FI = 0; FI < CleanM.Functions.size(); ++FI) {
+    const Function &F = CleanM.Functions[FI];
+    RFunc &RF = Funcs[FI];
+    RF.Blocks.resize(F.Blocks.size());
+    for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+      const BasicBlock &BB = F.Blocks[BI];
+      RBlock &RB = RF.Blocks[BI];
+      for (const Instr &I : BB.Instrs)
+        if (I.Op == Opcode::Call)
+          RB.Calls.push_back(I.Callee);
+      const Instr &Term = BB.terminator();
+      RB.Term = Term.Op;
+      RB.Targets = Term.Targets;
+    }
+    if (FI >= IR.Plans.size())
+      continue;
+    const FunctionPlan &Plan = IR.Plans[FI];
+    const SiteOps &Sites = Plan.Sites;
+    RF.EntryOps = Sites.EntryOps;
+    for (const auto &[Block, Ops] : Sites.RetOps)
+      RF.Blocks[static_cast<size_t>(Block)].RetOps = Ops;
+    if (!Sites.EdgeOps.empty()) {
+      assert(Plan.Cfg && "edge ops without a CFG view");
+      for (const auto &[EdgeId, Ops] : Sites.EdgeOps) {
+        const CfgEdge &E = Plan.Cfg->edge(EdgeId);
+        RBlock &RB = RF.Blocks[static_cast<size_t>(E.Src)];
+        if (RB.SuccOps.empty())
+          RB.SuccOps.resize(RB.Targets.size());
+        RB.SuccOps[E.SuccIdx] = Ops;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// A live activation during chunk replay. Item is the next block item
+/// to replay: index into RBlock::Calls, or AtTerminator. A frame
+/// restored from the cursor keeps a symbolic path register until a
+/// ProfSet concretizes it; frames pushed during the chunk start at the
+/// interpreter's concrete initial value, 0.
+struct RFrame {
+  FuncId F = -1;
+  BlockId Block = -1;
+  uint32_t Item = 0;
+  PathVal Reg;
+};
+
+} // namespace
+
+bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
+                               ChunkDecodeResult &Out,
+                               std::string &Error) const {
+  Out = ChunkDecodeResult();
+  if (ChunkIdx >= R.Chunks.size()) {
+    Error = "trace decode: chunk index out of range";
+    return false;
+  }
+  const TraceChunk &C = R.Chunks[ChunkIdx];
+  const TraceCursor &Cur = C.Cursor;
+  auto Fail = [&](std::string Msg) {
+    Error = formatString("trace decode: chunk %zu: %s", ChunkIdx,
+                         Msg.c_str());
+    return false;
+  };
+
+  constexpr uint32_t AtTerminator = TraceCursorFrame::AtTerminator;
+  std::vector<RFrame> Stack;
+
+  auto Emit = [&](FuncId F, bool Checked, bool Symbolic, uint32_t Depth,
+                  int64_t Value) {
+    ++Out.Increments;
+    if (!Symbolic)
+      Depth = 0;
+    if (!Out.Events.empty()) {
+      CountEvent &L = Out.Events.back();
+      if (L.F == F && L.Checked == Checked && L.Symbolic == Symbolic &&
+          L.Depth == Depth && L.Value == Value) {
+        ++L.Count;
+        return;
+      }
+    }
+    Out.Events.push_back({F, Checked, Symbolic, Depth, Value, 1});
+  };
+  auto ApplyOps = [&](const std::vector<ProfOp> &Ops, RFrame &T) {
+    for (const ProfOp &Op : Ops) {
+      switch (Op.Op) {
+      case Opcode::ProfSet:
+        T.Reg = PathVal{false, 0, Op.Imm};
+        break;
+      case Opcode::ProfAdd:
+        T.Reg.Value += Op.Imm;
+        break;
+      case Opcode::ProfCountIdx:
+        Emit(T.F, false, T.Reg.Symbolic, T.Reg.Depth, T.Reg.Value + Op.Imm);
+        break;
+      case Opcode::ProfCheckedCountIdx:
+        Emit(T.F, true, T.Reg.Symbolic, T.Reg.Depth, T.Reg.Value + Op.Imm);
+        break;
+      case Opcode::ProfCountConst:
+        Emit(T.F, false, false, 0, Op.Imm);
+        break;
+      default:
+        assert(false && "non-profiling op in SiteOps");
+        break;
+      }
+    }
+  };
+
+  // Rebuild the live stack the chunk's bytes start at.
+  if (Cur.FreshStart) {
+    if (!Cur.Frames.empty())
+      return Fail("fresh-start cursor carries frames");
+    if (Cur.LastSwitchTarget != 0)
+      return Fail("fresh-start cursor carries a switch base");
+    Stack.push_back({MainId, 0, 0, PathVal{}});
+    ApplyOps(Funcs[static_cast<size_t>(MainId)].EntryOps, Stack.back());
+  } else {
+    if (Cur.Frames.empty())
+      return Fail("resume cursor has no frames");
+    for (size_t D = 0; D < Cur.Frames.size(); ++D) {
+      const TraceCursorFrame &CF = Cur.Frames[D];
+      if (CF.F < 0 || static_cast<size_t>(CF.F) >= Funcs.size())
+        return Fail("cursor function id out of range");
+      const RFunc &RF = Funcs[static_cast<size_t>(CF.F)];
+      if (CF.Block < 0 || static_cast<size_t>(CF.Block) >= RF.Blocks.size())
+        return Fail("cursor block id out of range");
+      const RBlock &RB = RF.Blocks[static_cast<size_t>(CF.Block)];
+      bool Top = D + 1 == Cur.Frames.size();
+      if (Top) {
+        // Seals happen only while a terminator that consumes trace
+        // bytes is about to execute.
+        if (CF.Item != AtTerminator)
+          return Fail("cursor top frame is not at a terminator");
+        if (RB.Term != Opcode::CondBr && RB.Term != Opcode::Switch)
+          return Fail("cursor top frame not at a recorded branch");
+      } else {
+        if (CF.Item >= RB.Calls.size())
+          return Fail("cursor call item out of range");
+        if (RB.Calls[CF.Item] != Cur.Frames[D + 1].F)
+          return Fail("cursor call chain is inconsistent");
+      }
+      Stack.push_back({CF.F, CF.Block, CF.Item,
+                       PathVal{true, static_cast<uint32_t>(D), 0}});
+    }
+  }
+
+  const std::vector<uint8_t> &Bytes = C.Bytes;
+  size_t Pos = 0;
+  uint8_t TntBits = 0;
+  unsigned TntLeft = 0;
+  uint32_t LastSwitch = Cur.LastSwitchTarget;
+  // An aborted run's final chunk has no successor cursor to hit, so
+  // cut the replay at the last recorded event instead of running the
+  // (unknowable) deterministic tail past it.
+  const bool StopAtLastByte =
+      !R.Complete && ChunkIdx + 1 == R.Chunks.size();
+
+  while (true) {
+    if (StopAtLastByte && Pos == Bytes.size() && TntLeft == 0)
+      goto ChunkBoundary;
+    if (Out.Steps++ >= StepLimit)
+      return Fail("replay step limit exceeded");
+    {
+      RFrame &T = Stack.back();
+      const RBlock &B =
+          Funcs[static_cast<size_t>(T.F)].Blocks[static_cast<size_t>(T.Block)];
+      if (T.Item != AtTerminator) {
+        if (T.Item < B.Calls.size()) {
+          FuncId Callee = B.Calls[T.Item];
+          Stack.push_back({Callee, 0, 0, PathVal{}}); // T, B now dead.
+          ApplyOps(Funcs[static_cast<size_t>(Callee)].EntryOps,
+                   Stack.back());
+          continue;
+        }
+        T.Item = AtTerminator;
+      }
+      auto Traverse = [&](unsigned SuccIdx) {
+        if (!B.SuccOps.empty())
+          ApplyOps(B.SuccOps[SuccIdx], T);
+        T.Block = B.Targets[SuccIdx];
+        T.Item = 0;
+      };
+      switch (B.Term) {
+      case Opcode::Br:
+        Traverse(0);
+        break;
+      case Opcode::CondBr: {
+        if (TntLeft == 0) {
+          if (Pos == Bytes.size())
+            goto ChunkBoundary; // The next bit starts the next chunk.
+          if (!unpackTnt(Bytes[Pos++], TntBits, TntLeft))
+            return Fail("corrupt TNT byte");
+        }
+        unsigned SuccIdx = (TntBits & 1) ? 0 : 1; // Taken = successor 0.
+        TntBits >>= 1;
+        --TntLeft;
+        ++Out.CondEvents;
+        Traverse(SuccIdx);
+        break;
+      }
+      case Opcode::Switch: {
+        // The recorder flushes pending TNT bits before every switch
+        // varint, and the replay consumes each bit at the conditional
+        // branch it encodes, so a leftover bit here is corruption.
+        if (TntLeft != 0)
+          return Fail("switch reached inside a TNT byte");
+        if (Pos == Bytes.size())
+          goto ChunkBoundary; // The varint starts the next chunk.
+        uint64_t Z = 0;
+        unsigned Shift = 0, NB = 0;
+        while (true) {
+          if (Pos == Bytes.size())
+            return Fail("switch varint truncated"); // Never spans chunks.
+          uint8_t Byte = Bytes[Pos++];
+          if (isTntByte(Byte))
+            return Fail("TNT byte inside a switch varint");
+          if (++NB > MaxSwitchVarintBytes)
+            return Fail("switch varint too long");
+          Z |= static_cast<uint64_t>(Byte & 0x3fu) << Shift;
+          Shift += 6;
+          if (!(Byte & 0x40u))
+            break;
+        }
+        int64_t Target =
+            static_cast<int64_t>(LastSwitch) + zigzagDecode(Z);
+        if (Target < 0 ||
+            Target >= static_cast<int64_t>(B.Targets.size()))
+          return Fail("switch target out of range");
+        LastSwitch = static_cast<uint32_t>(Target);
+        ++Out.SwitchEvents;
+        Traverse(static_cast<unsigned>(Target));
+        break;
+      }
+      case Opcode::Ret: {
+        ApplyOps(B.RetOps, T);
+        Stack.pop_back();
+        if (Stack.empty()) {
+          if (Pos != Bytes.size() || TntLeft != 0)
+            return Fail("trace data after the program's end");
+          Out.ReachedEnd = true;
+          Out.EndLastSwitch = LastSwitch;
+          return true;
+        }
+        ++Stack.back().Item; // Resume after the in-flight call.
+        break;
+      }
+      default:
+        return Fail("block without a terminator in replay program");
+      }
+    }
+  }
+
+ChunkBoundary:
+  assert(TntLeft == 0 && "chunk boundary inside a TNT byte");
+  Out.EndLastSwitch = LastSwitch;
+  Out.EndStack.reserve(Stack.size());
+  for (const RFrame &Fr : Stack)
+    Out.EndStack.push_back({Fr.F, Fr.Block, Fr.Item, Fr.Reg});
+  return true;
+}
+
+bool TraceDecoder::stitch(const TraceRecording &R,
+                          const std::vector<ChunkDecodeResult> &Chunks,
+                          ProfileRuntime &RT, DecodeStats &DS,
+                          std::string &Error) const {
+  DS = DecodeStats();
+  if (R.Chunks.empty()) {
+    Error = "trace stitch: recording has no chunks";
+    return false;
+  }
+  if (Chunks.size() != R.Chunks.size()) {
+    Error = "trace stitch: chunk result count mismatch";
+    return false;
+  }
+  auto Fail = [&](size_t K, const char *Msg) {
+    Error = formatString("trace stitch: chunk %zu: %s", K, Msg);
+    return false;
+  };
+
+  // Resolved path-register values of the live stack at the current
+  // chunk boundary; index = depth in that chunk's starting stack.
+  std::vector<int64_t> CurRegs;
+  for (size_t K = 0; K < R.Chunks.size(); ++K) {
+    const TraceCursor &Cur = R.Chunks[K].Cursor;
+    const ChunkDecodeResult &CR = Chunks[K];
+    if (K == 0) {
+      if (!Cur.FreshStart)
+        return Fail(K, "first chunk does not start at program entry");
+    } else {
+      if (Cur.FreshStart)
+        return Fail(K, "non-initial chunk claims a fresh start");
+      const ChunkDecodeResult &Prev = Chunks[K - 1];
+      if (Prev.ReachedEnd)
+        return Fail(K, "chunk after the program's end");
+      if (Cur.Frames.size() != Prev.EndStack.size())
+        return Fail(K, "cursor stack depth disagrees with previous chunk");
+      for (size_t D = 0; D < Cur.Frames.size(); ++D) {
+        const TraceCursorFrame &CF = Cur.Frames[D];
+        const EndFrame &EF = Prev.EndStack[D];
+        if (CF.F != EF.F || CF.Block != EF.Block || CF.Item != EF.Item)
+          return Fail(K, "cursor frame disagrees with previous chunk");
+      }
+      if (Cur.LastSwitchTarget != Prev.EndLastSwitch)
+        return Fail(K, "cursor switch base disagrees with previous chunk");
+    }
+
+    for (const CountEvent &E : CR.Events) {
+      int64_t Index = E.Value;
+      if (E.Symbolic) {
+        if (E.Depth >= CurRegs.size())
+          return Fail(K, "symbolic event without a matching start frame");
+        Index += CurRegs[E.Depth];
+      }
+      PathTable &T = RT.table(E.F);
+      if (E.Checked)
+        T.addChecked(Index, E.Count);
+      else
+        T.add(Index, E.Count);
+    }
+    DS.CountEvents += CR.Events.size();
+    DS.Increments += CR.Increments;
+    DS.CondEvents += CR.CondEvents;
+    DS.SwitchEvents += CR.SwitchEvents;
+    DS.Steps += CR.Steps;
+    DS.Bytes += R.Chunks[K].Bytes.size();
+
+    std::vector<int64_t> EndRegs;
+    EndRegs.reserve(CR.EndStack.size());
+    for (const EndFrame &EF : CR.EndStack) {
+      int64_t V = EF.Reg.Value;
+      if (EF.Reg.Symbolic) {
+        if (EF.Reg.Depth >= CurRegs.size())
+          return Fail(K, "symbolic end frame without a start frame");
+        V += CurRegs[EF.Reg.Depth];
+      }
+      EndRegs.push_back(V);
+    }
+    CurRegs = std::move(EndRegs);
+  }
+  DS.Chunks = R.Chunks.size();
+
+  if (R.Complete && !Chunks.back().ReachedEnd) {
+    Error = "trace stitch: complete recording does not reach the "
+            "program's end";
+    return false;
+  }
+  if (DS.CondEvents != R.CondEvents || DS.SwitchEvents != R.SwitchEvents) {
+    Error = "trace stitch: replayed event totals disagree with the "
+            "recording header";
+    return false;
+  }
+
+  obs::counter("trace.decode.runs").inc();
+  obs::counter("trace.decode.chunks").inc(DS.Chunks);
+  obs::counter("trace.decode.bytes").inc(DS.Bytes);
+  obs::counter("trace.decode.cond_events").inc(DS.CondEvents);
+  obs::counter("trace.decode.switch_events").inc(DS.SwitchEvents);
+  obs::counter("trace.decode.count_events").inc(DS.CountEvents);
+  obs::counter("trace.decode.increments").inc(DS.Increments);
+  return true;
+}
+
+bool TraceDecoder::decode(const TraceRecording &R, ProfileRuntime &RT,
+                          DecodeStats &DS, std::string &Error) const {
+  std::vector<ChunkDecodeResult> Results(R.Chunks.size());
+  for (size_t K = 0; K < R.Chunks.size(); ++K)
+    if (!decodeChunk(R, K, Results[K], Error))
+      return false;
+  return stitch(R, Results, RT, DS, Error);
+}

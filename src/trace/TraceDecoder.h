@@ -1,0 +1,156 @@
+//===- trace/TraceDecoder.h - Offline trace-to-profile decode --*- C++ -*-===//
+///
+/// \file
+/// Replays a branch-target packet stream against the *clean* module's
+/// CFG and applies the instrumentation plan's SiteOps at the abstract
+/// positions lowering would have placed them (function entry, edge
+/// traversal, before Ret), reconstructing per-function path profiles
+/// bit-identical to running the instrumented module over a counter
+/// runtime -- including hash-table slot-claim and lost-count order,
+/// because the per-table increment sequence is reproduced exactly.
+///
+/// Decoding is split so chunks can be processed in parallel:
+///
+///  1. decodeChunk() replays one chunk in isolation. The Ball-Larus
+///     path registers of the activations live at the chunk's cursor
+///     are unknown (recording deliberately does not track them), so
+///     the replay runs them *symbolically*: each is `start[d] + delta`
+///     until a ProfSet concretizes it. Counting ops emit an ordered,
+///     run-length-coalesced event log instead of touching tables.
+///  2. stitch() walks the chunks in order, resolving each chunk's
+///     symbols from the previous chunk's resolved end state and
+///     applying the event logs to the runtime via the batched
+///     PathTable::add()/addChecked() (pinned equivalent to repeated
+///     increment()), while cross-checking every chunk boundary.
+///
+/// decode() is the sequential convenience (same two phases inline), so
+/// sequential and parallel decoding are the same computation scheduled
+/// differently and trivially agree.
+///
+/// The decoder trusts nothing: packet kind tags, varint bounds, cursor
+/// coordinates, stack consistency across chunks, event totals against
+/// the header, and a replay step limit all fail the decode with an
+/// error rather than desyncing (the FaultInject battery leans on this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_TRACE_TRACEDECODER_H
+#define PPP_TRACE_TRACEDECODER_H
+
+#include "pathprof/Profilers.h"
+#include "trace/TraceRecorder.h"
+
+#include <string>
+#include <vector>
+
+namespace ppp {
+namespace trace {
+
+/// A path register value during symbolic chunk replay: `Value` when
+/// concrete, `start[Depth] + Value` when still tied to the unknown
+/// register of the cursor frame at start-stack depth `Depth`.
+struct PathVal {
+  bool Symbolic = false;
+  uint32_t Depth = 0;
+  int64_t Value = 0;
+};
+
+/// One run-length-coalesced counting op from a chunk replay. `Value`
+/// is the concrete path index, or the delta to add to the symbol's
+/// resolved value. Order within a chunk's log is execution order.
+struct CountEvent {
+  FuncId F = -1;
+  bool Checked = false;  ///< ProfCheckedCountIdx (poison-tested).
+  bool Symbolic = false;
+  uint32_t Depth = 0;
+  int64_t Value = 0;
+  uint64_t Count = 0;
+};
+
+/// A live activation at the end of a chunk replay.
+struct EndFrame {
+  FuncId F = -1;
+  BlockId Block = -1;
+  uint32_t Item = 0;
+  PathVal Reg;
+};
+
+/// Everything one chunk replay produces; input to stitch().
+struct ChunkDecodeResult {
+  std::vector<CountEvent> Events;
+  std::vector<EndFrame> EndStack; ///< Live stack where the bytes ran out.
+  uint32_t EndLastSwitch = 0;
+  bool ReachedEnd = false; ///< Replay reached main()'s Ret.
+  uint64_t CondEvents = 0;
+  uint64_t SwitchEvents = 0;
+  uint64_t Increments = 0; ///< Counting ops before run-length merging.
+  uint64_t Steps = 0;      ///< Items replayed (calls + terminators).
+};
+
+/// Aggregate decode accounting (also published as trace.decode.*).
+struct DecodeStats {
+  uint64_t Chunks = 0;
+  uint64_t Bytes = 0;
+  uint64_t CondEvents = 0;
+  uint64_t SwitchEvents = 0;
+  uint64_t Increments = 0;
+  uint64_t CountEvents = 0; ///< Run-length-merged log entries applied.
+  uint64_t Steps = 0;
+};
+
+/// Replays recordings of one clean module against one instrumentation
+/// plan. Construction precomputes a flat replay program (per block:
+/// callee list, terminator, successor ops; per function: entry ops);
+/// after that every method is const and safe to call concurrently.
+class TraceDecoder {
+public:
+  /// \p CleanM is the module the recording was made from; \p IR the
+  /// instrumentation result whose plans carry the SiteOps and whose
+  /// runtime layout the decode targets. Both must outlive the decoder.
+  TraceDecoder(const Module &CleanM, const InstrumentationResult &IR);
+
+  /// Replays chunk \p ChunkIdx of \p R symbolically. Thread-safe.
+  bool decodeChunk(const TraceRecording &R, size_t ChunkIdx,
+                   ChunkDecodeResult &Out, std::string &Error) const;
+
+  /// Resolves and applies per-chunk results (one per chunk of \p R, in
+  /// order) into \p RT, validating every boundary. On failure \p RT may
+  /// hold a partial decode; callers reset or discard it.
+  bool stitch(const TraceRecording &R,
+              const std::vector<ChunkDecodeResult> &Chunks,
+              ProfileRuntime &RT, DecodeStats &DS,
+              std::string &Error) const;
+
+  /// Sequential decode: decodeChunk() over every chunk, then stitch().
+  bool decode(const TraceRecording &R, ProfileRuntime &RT, DecodeStats &DS,
+              std::string &Error) const;
+
+  /// Replay fuel per decode (calls + terminators), a backstop against
+  /// corrupt streams steering replay into byte-free cycles. Defaults to
+  /// the interpreter's own fuel default, which any real recording is
+  /// bounded by.
+  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+
+private:
+  struct RBlock {
+    std::vector<FuncId> Calls; ///< Callees of the block's Calls, in order.
+    Opcode Term = Opcode::Ret;
+    std::vector<BlockId> Targets;
+    /// Ops per successor index (sized like Targets; empty when none).
+    std::vector<std::vector<ProfOp>> SuccOps;
+    std::vector<ProfOp> RetOps; ///< Applied before a Ret.
+  };
+  struct RFunc {
+    std::vector<RBlock> Blocks;
+    std::vector<ProfOp> EntryOps; ///< Applied at activation entry.
+  };
+
+  std::vector<RFunc> Funcs;
+  FuncId MainId = 0;
+  uint64_t StepLimit = 2'000'000'000;
+};
+
+} // namespace trace
+} // namespace ppp
+
+#endif // PPP_TRACE_TRACEDECODER_H

@@ -1,0 +1,169 @@
+//===- trace/TraceIO.cpp - Trace recording serialization ------------------===//
+
+#include "trace/TraceIO.h"
+
+#include "profile/BinaryIO.h"
+#include "support/BinStream.h"
+#include "support/Format.h"
+
+using namespace ppp;
+using namespace ppp::trace;
+
+namespace {
+
+/// Smallest possible serialized chunk frame: 24-byte frame header plus
+/// the fixed chunk payload fields. Bounds the header's chunk count
+/// against the stream length before any chunk is decoded.
+constexpr size_t MinChunkFrameBytes = 24 + 1 + 4 + 4 + 8;
+
+/// Per-cursor-frame payload bytes (F, Block, Item).
+constexpr size_t CursorFrameBytes = 12;
+
+bool decodeChunkPayload(const std::string &Payload, TraceChunk &Out,
+                        std::string &Error) {
+  BinReader R(Payload);
+  Out.Cursor.FreshStart = R.u8() != 0;
+  Out.Cursor.LastSwitchTarget = R.u32();
+  uint32_t NumFrames = R.u32();
+  if (!R.ok() || NumFrames > R.remaining() / CursorFrameBytes) {
+    Error = "trace chunk: cursor frame count exceeds payload";
+    return false;
+  }
+  Out.Cursor.Frames.resize(NumFrames);
+  for (TraceCursorFrame &F : Out.Cursor.Frames) {
+    F.F = R.i32();
+    F.Block = R.i32();
+    F.Item = R.u32();
+  }
+  uint64_t NumBytes = R.u64();
+  if (!R.ok() || NumBytes != R.remaining()) {
+    Error = "trace chunk: packet byte count does not match payload";
+    return false;
+  }
+  Out.Bytes.resize(static_cast<size_t>(NumBytes));
+  for (uint8_t &B : Out.Bytes)
+    B = R.u8();
+  return true;
+}
+
+} // namespace
+
+std::string trace::writeTraceBinary(const TraceRecording &R) {
+  std::string Header;
+  {
+    BinWriter W(Header);
+    W.u32(static_cast<uint32_t>(R.Chunks.size()));
+    W.u64(R.CondEvents);
+    W.u64(R.SwitchEvents);
+    W.u64(R.TotalBytes);
+    W.u8(R.Complete ? 1 : 0);
+  }
+  std::string Out = frameMessage(TraceHeaderMagic, Header);
+  for (const TraceChunk &C : R.Chunks) {
+    std::string Payload;
+    BinWriter W(Payload);
+    W.u8(C.Cursor.FreshStart ? 1 : 0);
+    W.u32(C.Cursor.LastSwitchTarget);
+    W.u32(static_cast<uint32_t>(C.Cursor.Frames.size()));
+    for (const TraceCursorFrame &F : C.Cursor.Frames) {
+      W.i32(F.F);
+      W.i32(F.Block);
+      W.u32(F.Item);
+    }
+    W.u64(C.Bytes.size());
+    Payload.append(reinterpret_cast<const char *>(C.Bytes.data()),
+                   C.Bytes.size());
+    Out += frameMessage(TraceChunkMagic, Payload);
+  }
+  return Out;
+}
+
+bool trace::readTraceBinary(const std::string &Data, TraceRecording &Out,
+                            std::string &Error) {
+  FrameReader Reader;
+  Reader.setAllowedMagics({TraceHeaderMagic, TraceChunkMagic});
+  if (!Reader.feed(Data.data(), Data.size())) {
+    Error = Reader.error();
+    return false;
+  }
+
+  FrameReader::Frame F;
+  if (!Reader.next(F)) {
+    Error = Reader.failed() ? Reader.error()
+                            : std::string("trace stream: missing header frame");
+    return false;
+  }
+  if (F.Magic != TraceHeaderMagic) {
+    Error = "trace stream: first frame is not a header";
+    return false;
+  }
+
+  TraceRecording R;
+  uint32_t NumChunks = 0;
+  {
+    BinReader H(F.Payload);
+    NumChunks = H.u32();
+    R.CondEvents = H.u64();
+    R.SwitchEvents = H.u64();
+    R.TotalBytes = H.u64();
+    R.Complete = H.u8() != 0;
+    if (!H.ok() || H.remaining() != 0) {
+      Error = "trace header: malformed payload";
+      return false;
+    }
+  }
+  if (NumChunks == 0) {
+    Error = "trace header: a recording has at least one chunk";
+    return false;
+  }
+  if (NumChunks > Data.size() / MinChunkFrameBytes) {
+    Error = formatString("trace header: %u chunks cannot fit in a %llu-byte "
+                         "stream",
+                         NumChunks, (unsigned long long)Data.size());
+    return false;
+  }
+
+  R.Chunks.reserve(NumChunks);
+  uint64_t ByteSum = 0;
+  for (uint32_t I = 0; I < NumChunks; ++I) {
+    if (!Reader.next(F)) {
+      Error = Reader.failed()
+                  ? Reader.error()
+                  : formatString("trace stream: truncated after %u of %u "
+                                 "chunk frames",
+                                 I, NumChunks);
+      return false;
+    }
+    if (F.Magic != TraceChunkMagic) {
+      Error = "trace stream: expected a chunk frame";
+      return false;
+    }
+    TraceChunk C;
+    if (!decodeChunkPayload(F.Payload, C, Error))
+      return false;
+    // Only chunk 0 may claim the program-entry cursor; later fresh
+    // starts would let the decoder double-count main()'s entry ops.
+    if (C.Cursor.FreshStart != (I == 0)) {
+      Error = "trace chunk: fresh-start flag on a non-initial chunk";
+      return false;
+    }
+    ByteSum += C.Bytes.size();
+    R.Chunks.push_back(std::move(C));
+  }
+  if (Reader.next(F)) {
+    Error = "trace stream: trailing frame after the last chunk";
+    return false;
+  }
+  if (Reader.failed() || !Reader.atBoundary()) {
+    Error = Reader.failed() ? Reader.error()
+                            : std::string("trace stream: trailing bytes");
+    return false;
+  }
+  if (ByteSum != R.TotalBytes) {
+    Error = "trace header: byte total disagrees with chunks";
+    return false;
+  }
+
+  Out = std::move(R);
+  return true;
+}

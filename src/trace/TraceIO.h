@@ -1,0 +1,47 @@
+//===- trace/TraceIO.h - Trace recording serialization ---------*- C++ -*-===//
+///
+/// \file
+/// Persists a TraceRecording as BinaryIO checksummed frames: one 'bPTH'
+/// header frame (event totals, chunk count, completeness) followed by
+/// one 'bPTC' frame per chunk (cursor + packet bytes). Per-chunk frames
+/// keep the stream incrementally consumable through FrameReader and give
+/// fault injection a real surface: flipping a bit anywhere lands inside
+/// some frame's checksum.
+///
+/// Readers follow the repo-wide contract (DESIGN.md §9): every element
+/// count is bounded against the bytes that could possibly back it
+/// before anything is allocated, and any violation fails the whole read
+/// with no partially-decoded state escaping. Structural validity against
+/// a particular module (cursor coordinates in range, bytes replayable)
+/// is the decoder's job, not this layer's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_TRACE_TRACEIO_H
+#define PPP_TRACE_TRACEIO_H
+
+#include "trace/TraceRecorder.h"
+
+#include <string>
+
+namespace ppp {
+namespace trace {
+
+/// Frame magic for the recording header ('bPTH').
+inline constexpr uint32_t TraceHeaderMagic = 0x48545062;
+/// Frame magic for one chunk ('bPTC').
+inline constexpr uint32_t TraceChunkMagic = 0x43545062;
+
+/// Serializes \p R as a header frame followed by its chunk frames.
+std::string writeTraceBinary(const TraceRecording &R);
+
+/// Decodes a byte stream produced by writeTraceBinary into \p Out.
+/// \returns true on success; otherwise false with \p Error set and
+/// \p Out untouched.
+bool readTraceBinary(const std::string &Data, TraceRecording &Out,
+                     std::string &Error);
+
+} // namespace trace
+} // namespace ppp
+
+#endif // PPP_TRACE_TRACEIO_H

@@ -1,0 +1,89 @@
+//===- trace/TracePacket.h - Branch-target packet encodings ----*- C++ -*-===//
+///
+/// \file
+/// The byte-level packet format of the trace collection backend
+/// (DESIGN.md §11), modeled on hardware branch-trace streams: instead
+/// of updating a path counter at every path end, the instrumented run
+/// appends a near-free packet per control-flow decision and an offline
+/// decoder replays the packets against the CFG to reconstruct the
+/// exact path profile.
+///
+/// The stream is decoder-driven, not self-describing: the decoder
+/// always knows from CFG replay whether the next event is a
+/// conditional branch or a switch, so packets need no type/length
+/// headers. Each byte still carries a one-bit kind tag (bit 7) purely
+/// as a corruption tripwire -- a byte of the wrong kind at the decoder's
+/// expected position fails the decode instead of silently desyncing.
+///
+/// Two packet kinds:
+///
+///  - TNT (taken/not-taken) byte: bit 7 set; up to six conditional
+///    branch outcomes packed LSB-first below a stop bit.
+///        byte = 0x80 | (1 << n) | bits     n in [1, 6]
+///    `bits` holds the n outcomes (1 = taken, i.e. successor 0). A
+///    byte with no stop bit (0x80 alone) is invalid.
+///
+///  - Switch-target varint: bit 7 clear; the zigzagged delta between
+///    this switch's successor index and the previous switch's, in
+///    little-endian 6-bit groups with bit 6 as the continuation flag.
+///    Successive switches usually hit nearby (often identical) arms,
+///    so the common delta of 0 costs one byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_TRACE_TRACEPACKET_H
+#define PPP_TRACE_TRACEPACKET_H
+
+#include <bit>
+#include <cstdint>
+
+namespace ppp {
+namespace trace {
+
+/// Outcomes per full TNT byte.
+inline constexpr unsigned TntBitsPerByte = 6;
+
+/// Longest legal switch varint: ceil(64 / 6) groups. Real deltas fit
+/// in 3 bytes (successor indices are < 2^16); the cap bounds what a
+/// corrupt stream can make the decoder read.
+inline constexpr unsigned MaxSwitchVarintBytes = 11;
+
+/// Builds a TNT byte from \p N outcomes in the low bits of \p Bits.
+inline uint8_t packTnt(uint8_t Bits, unsigned N) {
+  return static_cast<uint8_t>(0x80u | (1u << N) |
+                              (Bits & ((1u << N) - 1u)));
+}
+
+/// True when \p B is a TNT byte (kind tag set).
+inline bool isTntByte(uint8_t B) { return (B & 0x80u) != 0; }
+
+/// Unpacks a TNT byte. Returns false (corrupt) when the kind tag is
+/// missing or no stop bit is present.
+inline bool unpackTnt(uint8_t B, uint8_t &Bits, unsigned &N) {
+  if (!isTntByte(B))
+    return false;
+  unsigned Body = B & 0x7fu;
+  if (Body == 0)
+    return false; // No stop bit.
+  N = static_cast<unsigned>(std::bit_width(Body)) - 1;
+  if (N < 1 || N > TntBitsPerByte)
+    return false;
+  Bits = static_cast<uint8_t>(Body & ((1u << N) - 1u));
+  return true;
+}
+
+/// Zigzag maps signed deltas to unsigned so small magnitudes of either
+/// sign encode short.
+inline uint64_t zigzagEncode(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^
+         static_cast<uint64_t>(V >> 63);
+}
+
+inline int64_t zigzagDecode(uint64_t Z) {
+  return static_cast<int64_t>((Z >> 1) ^ (~(Z & 1) + 1));
+}
+
+} // namespace trace
+} // namespace ppp
+
+#endif // PPP_TRACE_TRACEPACKET_H

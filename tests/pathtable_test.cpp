@@ -298,6 +298,53 @@ TEST(HashTable, RandomOpsMatchReferenceMapAcrossResets) {
   }
 }
 
+/// The batched add() must be indistinguishable from N repeated
+/// increment()s -- slot claims, collisions, lost counts, invalid
+/// spills, everything. The trace decoder's run-length-coalesced event
+/// application leans on exactly this equivalence for its bit-identity
+/// promise (trace/TraceDecoder.h), so it is pinned per table kind.
+TEST(Tables, AddIsEquivalentToRepeatedIncrement) {
+  Rng R(0x7add5ULL);
+  for (auto Make : {+[] { return PathTable::makeArray(256); },
+                    +[] { return PathTable::makeHash(); }}) {
+    PathTable ByAdd = Make();
+    PathTable ByInc = Make();
+    for (unsigned Op = 0; Op < 3000; ++Op) {
+      // Mix in-range, colliding, out-of-range, and negative indices.
+      int64_t Index;
+      switch (R.below(8)) {
+      case 0:
+        Index = -1 - static_cast<int64_t>(R.below(5));
+        break;
+      case 1:
+        Index = 100000 + static_cast<int64_t>(R.below(1000)) * 7919;
+        break;
+      default:
+        Index = static_cast<int64_t>(R.below(256));
+        break;
+      }
+      uint64_t N = R.below(4); // Zero included: add(i, 0) is a no-op.
+      bool Checked = R.below(4) == 0;
+      if (Checked) {
+        ByAdd.addChecked(Index, N);
+        for (uint64_t I = 0; I < N; ++I)
+          ByInc.incrementChecked(Index);
+      } else {
+        ByAdd.add(Index, N);
+        for (uint64_t I = 0; I < N; ++I)
+          ByInc.increment(Index);
+      }
+    }
+    EXPECT_EQ(ByAdd.lostCount(), ByInc.lostCount());
+    EXPECT_EQ(ByAdd.invalidCount(), ByInc.invalidCount());
+    EXPECT_EQ(ByAdd.coldCheckedCount(), ByInc.coldCheckedCount());
+    std::map<int64_t, uint64_t> A, B;
+    ByAdd.forEach([&](int64_t I, uint64_t C) { A[I] = C; });
+    ByInc.forEach([&](int64_t I, uint64_t C) { B[I] = C; });
+    EXPECT_EQ(A, B);
+  }
+}
+
 /// Same property for the array variant, where storage is exact: the
 /// table must behave as the reference map at all times.
 TEST(ArrayTable, RandomOpsMatchReferenceMapAcrossResets) {

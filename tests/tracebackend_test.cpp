@@ -1,0 +1,325 @@
+//===- tests/tracebackend_test.cpp - Trace backend tests ----------------------===//
+///
+/// Pins the trace backend's contracts end to end: the packet format
+/// round-trips bit-exactly, the recorder's byte stream is invariant
+/// under chunk capacity (chunking is a partition, never a re-encode),
+/// recording costs exactly TraceByte per packet byte on top of the
+/// clean run, the framed binary form round-trips and rejects corrupt
+/// bytes, and -- the core promise -- decoding a recording reconstructs
+/// counters bit-identical to running the instrumented module over the
+/// counter runtime, sequentially and at any parallel job count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "interp/Interpreter.h"
+#include "pathprof/Profilers.h"
+#include "trace/TraceDecoder.h"
+#include "trace/TraceIO.h"
+#include "trace/TracePacket.h"
+#include "workload/Suite.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace ppp;
+using namespace ppp::bench;
+using namespace ppp::trace;
+
+namespace {
+
+TEST(TracePacket, TntRoundTripsEveryWidthAndPattern) {
+  for (unsigned N = 1; N <= TntBitsPerByte; ++N) {
+    for (uint8_t Bits = 0; Bits < (1u << N); ++Bits) {
+      uint8_t B = packTnt(Bits, N);
+      EXPECT_TRUE(isTntByte(B));
+      uint8_t OutBits = 0;
+      unsigned OutN = 0;
+      ASSERT_TRUE(unpackTnt(B, OutBits, OutN));
+      EXPECT_EQ(OutN, N);
+      EXPECT_EQ(OutBits, Bits);
+    }
+  }
+}
+
+TEST(TracePacket, MalformedTntBytesRejected) {
+  uint8_t Bits = 0;
+  unsigned N = 0;
+  // Bit 7 clear: a varint byte, not a TNT packet.
+  EXPECT_FALSE(isTntByte(0x3f));
+  EXPECT_FALSE(unpackTnt(0x3f, Bits, N));
+  // Tag with an empty body: no stop bit to delimit the count.
+  EXPECT_FALSE(unpackTnt(0x80, Bits, N));
+}
+
+TEST(TracePacket, ZigzagRoundTrips) {
+  for (int64_t V : {int64_t(0), int64_t(1), int64_t(-1), int64_t(63),
+                    int64_t(-64), int64_t(1) << 31, -(int64_t(1) << 31),
+                    int64_t(0x7fffffffffffffff),
+                    int64_t(-0x7fffffffffffffff - 1)}) {
+    EXPECT_EQ(zigzagDecode(zigzagEncode(V)), V) << V;
+  }
+  // Small magnitudes stay small: one 6-bit varint group.
+  EXPECT_LT(zigzagEncode(0), 64u);
+  EXPECT_LT(zigzagEncode(-32), 64u);
+  EXPECT_LT(zigzagEncode(31), 64u);
+}
+
+TEST(TraceRecorder, PacksTntBitsLsbFirst) {
+  TraceRecorder R;
+  R.condBit(true);
+  R.condBit(false);
+  R.condBit(true);
+  R.finishRun(true);
+  ASSERT_EQ(R.recording().Chunks.size(), 1u);
+  const std::vector<uint8_t> &Bytes = R.recording().Chunks[0].Bytes;
+  ASSERT_EQ(Bytes.size(), 1u);
+  EXPECT_EQ(Bytes[0], packTnt(0b101, 3));
+}
+
+TEST(TraceRecorder, SwitchTargetsAreDeltaCoded) {
+  TraceRecorder R;
+  R.switchTarget(5); // delta +5  -> zigzag 10
+  R.switchTarget(5); // delta  0  -> zigzag 0
+  R.switchTarget(3); // delta -2  -> zigzag 3
+  R.finishRun(true);
+  ASSERT_EQ(R.recording().Chunks.size(), 1u);
+  EXPECT_EQ(R.recording().Chunks[0].Bytes,
+            (std::vector<uint8_t>{10, 0, 3}));
+}
+
+TEST(TraceRecorder, PendingBitsFlushBeforeSwitchPacket) {
+  TraceRecorder R;
+  R.condBit(true);
+  EXPECT_FALSE(R.needSealBeforeSwitch()); // Flushes the partial byte.
+  R.switchTarget(2);
+  R.finishRun(true);
+  const std::vector<uint8_t> &Bytes = R.recording().Chunks[0].Bytes;
+  ASSERT_EQ(Bytes.size(), 2u);
+  EXPECT_EQ(Bytes[0], packTnt(0b1, 1));
+  EXPECT_EQ(Bytes[1], 4u); // zigzag(+2)
+}
+
+/// Chunk capacity must partition the byte stream, never change it: the
+/// same event sequence recorded at two capacities concatenates to the
+/// same bytes, and every chunk stays within capacity + varint reserve.
+TEST(TraceRecorder, ChunkCapacityPartitionsTheSameByteStream) {
+  auto Record = [](uint32_t Cap) {
+    TraceRecorder R(Cap);
+    uint64_t X = 0x9e3779b97f4a7c15ull;
+    for (int I = 0; I < 5000; ++I) {
+      X = X * 6364136223846793005ull + 1442695040888963407ull;
+      if ((X >> 33) % 5 == 0) {
+        if (R.needSealBeforeSwitch())
+          R.seal(TraceCursor{});
+        R.switchTarget(static_cast<uint32_t>((X >> 40) % 23));
+      } else {
+        if (R.needSealBeforeCond())
+          R.seal(TraceCursor{});
+        R.condBit((X >> 20) & 1);
+      }
+    }
+    R.finishRun(true);
+    return R.takeRecording();
+  };
+
+  TraceRecording Small = Record(TraceRecorder::MinTraceChunkBytes);
+  TraceRecording Big = Record(1u << 16);
+  EXPECT_GT(Small.Chunks.size(), 10u);
+  EXPECT_EQ(Big.Chunks.size(), 1u);
+  EXPECT_EQ(Small.CondEvents, Big.CondEvents);
+  EXPECT_EQ(Small.SwitchEvents, Big.SwitchEvents);
+  EXPECT_EQ(Small.TotalBytes, Big.TotalBytes);
+
+  std::vector<uint8_t> Cat;
+  for (const TraceChunk &C : Small.Chunks) {
+    EXPECT_LE(C.Bytes.size(),
+              TraceRecorder::MinTraceChunkBytes + MaxSwitchVarintBytes);
+    Cat.insert(Cat.end(), C.Bytes.begin(), C.Bytes.end());
+  }
+  EXPECT_EQ(Cat, Big.Chunks[0].Bytes);
+}
+
+TEST(TraceIO, RoundTripsFieldIdentically) {
+  TraceRecorder R(TraceRecorder::MinTraceChunkBytes);
+  for (int I = 0; I < 200; ++I) {
+    if (I % 7 == 0) {
+      if (R.needSealBeforeSwitch())
+        R.seal(TraceCursor{false, 0, {{2, 1, 0}, {3, 4, 5}}});
+      R.switchTarget(static_cast<uint32_t>(I % 9));
+    } else {
+      if (R.needSealBeforeCond())
+        R.seal(TraceCursor{false, 0, {{2, 1, 0}, {3, 4, 5}}});
+      R.condBit(I & 1);
+    }
+  }
+  R.finishRun(false); // Exercise the incomplete flag too.
+  const TraceRecording &Rec = R.recording();
+
+  std::string Blob = writeTraceBinary(Rec);
+  TraceRecording Back;
+  std::string Err;
+  ASSERT_TRUE(readTraceBinary(Blob, Back, Err)) << Err;
+  EXPECT_TRUE(Back == Rec);
+}
+
+TEST(TraceIO, RejectsTruncationAndBitFlips) {
+  TraceRecorder R;
+  for (int I = 0; I < 50; ++I)
+    R.condBit(I & 1);
+  R.switchTarget(7);
+  R.finishRun(true);
+  std::string Blob = writeTraceBinary(R.recording());
+
+  // Every truncation must be rejected with a non-empty error.
+  for (size_t Cut : {size_t(0), size_t(3), size_t(23), size_t(24),
+                     Blob.size() / 2, Blob.size() - 1}) {
+    ASSERT_LT(Cut, Blob.size());
+    TraceRecording Out;
+    std::string Err;
+    EXPECT_FALSE(readTraceBinary(Blob.substr(0, Cut), Out, Err)) << Cut;
+    EXPECT_FALSE(Err.empty()) << Cut;
+  }
+  // Any flipped bit lands in a checksummed frame: reject, cleanly.
+  for (size_t Pos = 0; Pos < Blob.size(); Pos += 5) {
+    std::string Bad = Blob;
+    Bad[Pos] = static_cast<char>(Bad[Pos] ^ 0x10);
+    TraceRecording Out;
+    std::string Err;
+    EXPECT_FALSE(readTraceBinary(Bad, Out, Err)) << Pos;
+    EXPECT_FALSE(Err.empty()) << Pos;
+  }
+}
+
+/// Recording must not perturb execution, and must cost exactly
+/// TraceByte per packet byte on top of the clean run.
+TEST(TraceBackend, RecordingCostsExactlyTraceBytePerByte) {
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  PreparedBenchmark B = prepare(Suite[0]);
+  InterpOptions IO;
+  IO.Costs = B.Costs;
+
+  Interpreter Clean(B.Expanded, IO);
+  RunResult RClean = Clean.run();
+
+  Interpreter Traced(B.Expanded, IO);
+  TraceRecorder Rec;
+  Traced.setTraceRecorder(&Rec);
+  RunResult RTraced = Traced.run();
+
+  EXPECT_EQ(RTraced.ReturnValue, RClean.ReturnValue);
+  EXPECT_EQ(RTraced.DynInstrs, RClean.DynInstrs);
+  EXPECT_EQ(RTraced.MemChecksum, RClean.MemChecksum);
+  EXPECT_GT(Rec.recording().TotalBytes, 0u);
+  EXPECT_EQ(RTraced.Cost, RClean.Cost + Rec.recording().TotalBytes *
+                                            IO.Costs.TraceByte);
+}
+
+/// The core promise: decoded counters are bit-identical to the counter
+/// backend's, for the exact pp plan and the cold-removing ppp/trace
+/// plan, sequentially and on the parallel chunk path, at default and
+/// seal-stressing chunk capacities.
+TEST(TraceBackend, DecodeIsBitIdenticalToCounterBackend) {
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  // Branchy INT, call-heavy INT, loopy FP.
+  for (size_t Pick : {size_t(0), size_t(4), size_t(12)}) {
+    ASSERT_LT(Pick, Suite.size());
+    PreparedBenchmark B = prepare(Suite[Pick]);
+    InterpOptions IO;
+    IO.Costs = B.Costs;
+
+    for (uint32_t Cap : {DefaultTraceChunkBytes, 1024u}) {
+      Interpreter I(B.Expanded, IO);
+      TraceRecorder TR(Cap);
+      I.setTraceRecorder(&TR);
+      ASSERT_FALSE(I.run().FuelExhausted);
+      TraceRecording Rec = TR.takeRecording();
+
+      for (const ProfilerOptions &Opts :
+           {ProfilerOptions::pp(), ProfilerOptions::trace()}) {
+        InstrumentationResult IR =
+            instrumentModule(B.Expanded, B.EP, Opts);
+        ProfileRuntime CounterRT = IR.makeRuntime();
+        Interpreter CI(IR.Instrumented, IO);
+        CI.setProfileRuntime(&CounterRT);
+        ASSERT_FALSE(CI.run().FuelExhausted);
+        CountsMessage Want = countsFromRun(B.Name, IR, CounterRT);
+
+        TraceDecoder Dec(B.Expanded, IR);
+        ProfileRuntime SeqRT = IR.makeRuntime();
+        DecodeStats DS;
+        std::string Err;
+        ASSERT_TRUE(Dec.decode(Rec, SeqRT, DS, Err))
+            << B.Name << " cap=" << Cap << ": " << Err;
+        EXPECT_TRUE(countsFromRun(B.Name, IR, SeqRT) == Want)
+            << B.Name << " " << Opts.Name << " cap=" << Cap;
+        EXPECT_EQ(DS.CondEvents, Rec.CondEvents);
+        EXPECT_EQ(DS.SwitchEvents, Rec.SwitchEvents);
+
+        const char *Old = std::getenv("PPP_JOBS");
+        std::string Saved = Old ? Old : "";
+        setenv("PPP_JOBS", "4", 1);
+        ProfileRuntime ParRT = IR.makeRuntime();
+        DecodeStats PDS;
+        ASSERT_TRUE(decodeTraceParallel(Dec, Rec, ParRT, PDS, Err))
+            << B.Name << " cap=" << Cap << ": " << Err;
+        if (Old)
+          setenv("PPP_JOBS", Saved.c_str(), 1);
+        else
+          unsetenv("PPP_JOBS");
+        EXPECT_TRUE(countsFromRun(B.Name, IR, ParRT) == Want)
+            << B.Name << " " << Opts.Name << " cap=" << Cap
+            << " (parallel)";
+      }
+    }
+  }
+}
+
+/// A recording from one module must not decode against a mismatched
+/// plan/module silently: either the decode fails, or (when the streams
+/// happen to be structurally compatible) the validated event totals
+/// still match the header. Corrupt packet bytes inside an otherwise
+/// valid frame must be rejected by the decoder's stream validation.
+TEST(TraceBackend, DecoderRejectsCorruptPacketBytes) {
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  PreparedBenchmark B = prepare(Suite[0]);
+  InterpOptions IO;
+  IO.Costs = B.Costs;
+  Interpreter I(B.Expanded, IO);
+  TraceRecorder TR;
+  I.setTraceRecorder(&TR);
+  ASSERT_FALSE(I.run().FuelExhausted);
+  TraceRecording Rec = TR.takeRecording();
+
+  InstrumentationResult IR =
+      instrumentModule(B.Expanded, B.EP, ProfilerOptions::trace());
+  TraceDecoder Dec(B.Expanded, IR);
+
+  // Truncating the last chunk's bytes desynchronizes the stream from
+  // the header totals: the decoder must notice.
+  TraceRecording Cut = Rec;
+  ASSERT_FALSE(Cut.Chunks.empty());
+  ASSERT_FALSE(Cut.Chunks.back().Bytes.empty());
+  Cut.Chunks.back().Bytes.pop_back();
+  Cut.TotalBytes -= 1;
+  ProfileRuntime RT = IR.makeRuntime();
+  DecodeStats DS;
+  std::string Err;
+  EXPECT_FALSE(Dec.decode(Cut, RT, DS, Err));
+  EXPECT_FALSE(Err.empty());
+
+  // Lying about the event totals must fail the final cross-check.
+  TraceRecording Lie = Rec;
+  Lie.CondEvents += 1;
+  ProfileRuntime RT2 = IR.makeRuntime();
+  DecodeStats DS2;
+  Err.clear();
+  EXPECT_FALSE(Dec.decode(Lie, RT2, DS2, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+} // namespace

@@ -19,6 +19,12 @@ Usage:
       require editing every CI invocation first. A pattern that matches
       nothing in either file is noted and skipped for the same reason.
 
+  tools/bench_diff.py --gate NAME OLD.json NEW.json
+      Shorthand for the committed trajectory files: NAME picks the key
+      patterns and threshold for one of the tracked BENCH_*.json
+      baselines (throughput, served, trace). --keys / --threshold still
+      override the preset's pieces individually.
+
   tools/bench_diff.py --self-test
       Run the built-in unit checks against generated fixtures; exit 0
       iff all pass.
@@ -32,6 +38,16 @@ import json
 import os
 import sys
 import tempfile
+
+# Named gate presets, one per committed BENCH_*.json trajectory file:
+# (key patterns, threshold %). Thresholds are looser where the
+# benchmark measures wall-clock on shared hardware (served ingest,
+# trace decode) and tighter for the pure-throughput averages.
+GATES = {
+    "throughput": ("throughput.average.*", 10.0),
+    "served": ("serve.bench.*", 25.0),
+    "trace": ("trace.average.*,trace.bench.*", 25.0),
+}
 
 
 def flatten(path):
@@ -159,6 +175,10 @@ def self_test():
             rc = run(ns, out=out, err=err)
             return rc, out.getvalue(), err.getvalue()
 
+    def gate_named(old_doc, new_doc, name):
+        keys, threshold = GATES[name]
+        return gate(old_doc, new_doc, keys, threshold=threshold)
+
     base = metrics(gauges={"serve.bench.shards1.merges_per_sec": 1000.0,
                            "serve.bench.shards8.merges_per_sec": 4000.0},
                    counters={"serve.merge.entries": 500},
@@ -204,7 +224,39 @@ def self_test():
     rc, _, _ = gate(base, hist, "serve.query.ns.count", threshold=5.0)
     check("histogram count gates", rc == 1)
 
-    # 6. Report-only mode never fails.
+    # 6. The named trace gate over BENCH_trace.json-shaped fixtures:
+    #    steady numbers pass, a decode-throughput collapse fails, and a
+    #    benchmark added to the suite (new trace.bench.* keys) does not
+    #    break the older baseline.
+    trace_base = metrics(
+        gauges={"trace.bench.mcf.record_mips": 120.0,
+                "trace.bench.mcf.bytes_per_event": 0.18,
+                "trace.bench.mcf.decode_eps_j4": 6.0e7,
+                "trace.average.decode_eps_j4": 6.0e7})
+    rc, out, _ = gate_named(trace_base, trace_base, "trace")
+    check("trace gate: steady run passes", rc == 0 and "ok:" in out)
+    collapsed = metrics(
+        gauges={"trace.bench.mcf.record_mips": 120.0,
+                "trace.bench.mcf.bytes_per_event": 0.18,
+                "trace.bench.mcf.decode_eps_j4": 2.0e7,
+                "trace.average.decode_eps_j4": 2.0e7})
+    rc, _, err = gate_named(trace_base, collapsed, "trace")
+    check("trace gate: decode collapse fails",
+          rc == 1 and "moved more than" in err)
+    grown_trace = dict(trace_base)
+    grown_trace["gauges"] = dict(trace_base["gauges"],
+                                 **{"trace.bench.vpr.record_mips": 90.0})
+    rc, out, _ = gate_named(trace_base, grown_trace, "trace")
+    check("trace gate: new benchmark tolerated", rc == 0 and "new" in out)
+
+    # 7. Every named preset resolves to at least one pattern and a
+    #    positive threshold (catches typos when presets are edited).
+    check("gate presets well-formed",
+          all(p.strip() and t > 0
+              for p, t in GATES.values()) and set(GATES) ==
+          {"throughput", "served", "trace"})
+
+    # 8. Report-only mode never fails.
     with tempfile.TemporaryDirectory() as d:
         ns = argparse.Namespace(old=write(base, d, "o.json"),
                                 new=write(grown, d, "n.json"),
@@ -231,14 +283,25 @@ def main():
     ap.add_argument("--keys", default="",
                     help="comma-separated keys to gate on ('*' suffix = "
                          "prefix match); without this, report-only mode")
-    ap.add_argument("--threshold", type=float, default=10.0,
+    ap.add_argument("--threshold", type=float, default=None,
                     help="flag changes beyond this percentage (default 10)")
+    ap.add_argument("--gate", choices=sorted(GATES),
+                    help="named preset for a committed BENCH_*.json "
+                         "baseline; sets --keys and --threshold unless "
+                         "given explicitly")
     ap.add_argument("--self-test", action="store_true",
                     help="run the built-in unit checks and exit")
     args = ap.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.gate:
+        preset_keys, preset_threshold = GATES[args.gate]
+        args.keys = args.keys or preset_keys
+        if args.threshold is None:
+            args.threshold = preset_threshold
+    if args.threshold is None:
+        args.threshold = 10.0
     if not args.old or not args.new:
         ap.error("OLD and NEW metrics files are required")
     return run(args)

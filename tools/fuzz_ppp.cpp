@@ -13,8 +13,9 @@
 ///  - `--minutes=N`: keep fuzzing fresh seeds until the wall-clock
 ///    budget runs out (long mode for soak runs).
 ///  - `--fault`: additionally fault-inject the binary frames (module /
-///    edge profile / path profile / PrepCache entry) of every 16th
-///    corpus module, plus the hand-crafted hostile module frames.
+///    edge profile / path profile / trace recording / PrepCache entry)
+///    of every 16th corpus module, plus the hand-crafted hostile
+///    module frames.
 ///
 /// On a failing case, `--shrink` walks the shape knobs down while the
 /// failure reproduces and prints a reproducer command line.
@@ -35,6 +36,8 @@
 #include "profile/BinaryIO.h"
 #include "profile/Collectors.h"
 #include "support/Rng.h"
+#include "trace/TraceDecoder.h"
+#include "trace/TraceIO.h"
 
 #include <chrono>
 #include <cstdio>
@@ -186,6 +189,35 @@ unsigned runFaultPass(uint64_t Seed, const FuzzShape &Shape, uint64_t Fuel,
       [&M](const std::string &Blob, std::string &Err) {
         PathProfile Out(0);
         return readPathProfileBinary(M, Blob, Out, Err);
+      });
+
+  // Trace recording frames: small chunks so the blob carries many
+  // chunk frames for truncation/flip targets. The acceptance contract
+  // is reject-or-stay-consistent: a mutant must fail the frame reader
+  // or the decoder's stream validation (both with a clean error), or
+  // decode into a runtime whose totals the decoder itself validated.
+  trace::TraceRecorder TRec(256);
+  {
+    InterpOptions IO;
+    IO.Fuel = Fuel;
+    Interpreter I(M, IO);
+    I.setTraceRecorder(&TRec);
+    if (I.run().FuelExhausted)
+      return Violations + 1;
+  }
+  trace::TraceRecording TraceRec = TRec.takeRecording();
+  InstrumentationResult TraceIR =
+      instrumentModule(M, EP, ProfilerOptions::trace());
+  trace::TraceDecoder Dec(M, TraceIR);
+  std::string TraceBlob = trace::writeTraceBinary(TraceRec);
+  Run("trace", mutateFrame(TraceBlob, R, 6, 6, 6),
+      [&](const std::string &Blob, std::string &Err) {
+        trace::TraceRecording Out;
+        if (!trace::readTraceBinary(Blob, Out, Err))
+          return false;
+        ProfileRuntime RT = TraceIR.makeRuntime();
+        trace::DecodeStats DS;
+        return Dec.decode(Out, RT, DS, Err);
       });
 
   // PrepCache entry built from the same artifacts.

@@ -29,6 +29,12 @@ tools/obs_smoke.sh "$REPO_ROOT/build"
 # sequential oracle's bytes, and bench_diff.py passes its self-test.
 tools/served_smoke.sh "$REPO_ROOT/build"
 
+# Trace smoke stage (also the trace_smoke ctest): record a clean-module
+# packet stream, decode it in parallel, and require the reconstructed
+# counters byte-identical to the online counter backend's canonical
+# counts frame at every chunk size / worker count combination.
+tools/trace_smoke.sh "$REPO_ROOT/build"
+
 # Fuzz smoke stage (also the fuzz_smoke ctest): the fixed-seed
 # adversarial corpus through all three profilers with differential
 # invariants against the oracle, plus frame fault injection. For a

@@ -1,0 +1,181 @@
+//===- tools/trace_roundtrip.cpp - Trace backend CLI --------------------------===//
+///
+/// \file
+/// File-level driver for the trace backend, the vehicle for
+/// tools/trace_smoke.sh's byte-identity check:
+///
+///   trace_roundtrip record  --bench=NAME --out=trace.bin [--chunk=N]
+///   trace_roundtrip decode  --bench=NAME --trace=trace.bin --out=counts.bin
+///   trace_roundtrip counter --bench=NAME --out=counts.bin
+///
+/// `record` runs the named suite benchmark's *clean* expanded module
+/// with packet recording and writes the framed recording. `decode`
+/// reads it back and reconstructs the counters by parallel chunk
+/// replay (PPP_JOBS workers). `counter` runs the instrumented module
+/// over the counter runtime -- the online baseline. Both paths write
+/// the canonical 'bPSC' counts frame (profile/Merge.h), so two equal
+/// profiles are equal *files*: `cmp` is the oracle, at any job count.
+///
+/// Every subcommand instruments with the `trace` profiler spec (PPP's
+/// plan); `--spec` substitutes another (pp, tpp, tpp-checked, ppp).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "interp/Interpreter.h"
+#include "pass/Pipeline.h"
+#include "trace/TraceDecoder.h"
+#include "trace/TraceIO.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ppp;
+using namespace ppp::bench;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_roundtrip record  --bench=NAME --out=FILE [--chunk=N]\n"
+      "       trace_roundtrip decode  --bench=NAME --trace=FILE --out=FILE\n"
+      "       trace_roundtrip counter --bench=NAME --out=FILE\n"
+      "       (common: [--spec=PROFILER], decode honors PPP_JOBS)\n");
+}
+
+bool writeFile(const std::string &Path, const std::string &Data) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Data.data(), static_cast<std::streamsize>(Data.size()));
+  return Out.good();
+}
+
+bool readFile(const std::string &Path, std::string &Data) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Data = SS.str();
+  return In.good() || In.eof();
+}
+
+BenchmarkSpec findBench(const std::string &Name) {
+  for (const BenchmarkSpec &Spec : spec2000Suite())
+    if (Spec.Name == Name)
+      return Spec;
+  std::fprintf(stderr, "error: unknown benchmark '%s'; pick one of:",
+               Name.c_str());
+  for (const BenchmarkSpec &Spec : spec2000Suite())
+    std::fprintf(stderr, " %s", Spec.Name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(1);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string Cmd = Argv[1];
+  std::string Bench, Out, TracePath, Spec = "trace";
+  uint32_t ChunkBytes = trace::DefaultTraceChunkBytes;
+  for (int I = 2; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strncmp(A, "--bench=", 8) == 0)
+      Bench = A + 8;
+    else if (std::strncmp(A, "--out=", 6) == 0)
+      Out = A + 6;
+    else if (std::strncmp(A, "--trace=", 8) == 0)
+      TracePath = A + 8;
+    else if (std::strncmp(A, "--spec=", 7) == 0)
+      Spec = A + 7;
+    else if (std::strncmp(A, "--chunk=", 8) == 0)
+      ChunkBytes = static_cast<uint32_t>(std::strtoul(A + 8, nullptr, 10));
+    else {
+      usage();
+      return 2;
+    }
+  }
+  if (Bench.empty() || Out.empty() ||
+      (Cmd == "decode" && TracePath.empty()) ||
+      (Cmd != "record" && Cmd != "decode" && Cmd != "counter")) {
+    usage();
+    return 2;
+  }
+
+  PreparedBenchmark B = prepare(findBench(Bench));
+
+  if (Cmd == "record") {
+    InterpOptions IO;
+    IO.Costs = B.Costs;
+    Interpreter I(B.Expanded, IO);
+    trace::TraceRecorder Rec(ChunkBytes);
+    I.setTraceRecorder(&Rec);
+    if (I.run().FuelExhausted) {
+      std::fprintf(stderr, "error: traced %s hung\n", Bench.c_str());
+      return 1;
+    }
+    if (!writeFile(Out, trace::writeTraceBinary(Rec.recording()))) {
+      std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
+      return 1;
+    }
+    std::printf("recorded %s: %llu bytes, %zu chunks, %llu events\n",
+                Bench.c_str(),
+                (unsigned long long)Rec.recording().TotalBytes,
+                Rec.recording().Chunks.size(),
+                (unsigned long long)(Rec.condEvents() + Rec.switchEvents()));
+    return 0;
+  }
+
+  InstrumentationResult IR =
+      instrumentModule(B.Expanded, B.EP, mustParseProfilerSpec(Spec));
+  ProfileRuntime RT = IR.makeRuntime();
+
+  if (Cmd == "decode") {
+    std::string Blob, Err;
+    trace::TraceRecording Rec;
+    if (!readFile(TracePath, Blob)) {
+      std::fprintf(stderr, "error: cannot read %s\n", TracePath.c_str());
+      return 1;
+    }
+    if (!trace::readTraceBinary(Blob, Rec, Err)) {
+      std::fprintf(stderr, "error: %s: %s\n", TracePath.c_str(),
+                   Err.c_str());
+      return 1;
+    }
+    trace::TraceDecoder Dec(B.Expanded, IR);
+    trace::DecodeStats DS;
+    if (!decodeTraceParallel(Dec, Rec, RT, DS, Err)) {
+      std::fprintf(stderr, "error: decode failed: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("decoded %s: %llu chunks, %llu events, %llu increments "
+                "(%u jobs)\n",
+                Bench.c_str(), (unsigned long long)DS.Chunks,
+                (unsigned long long)(DS.CondEvents + DS.SwitchEvents),
+                (unsigned long long)DS.Increments,
+                parallelJobs(Rec.Chunks.size()));
+  } else {
+    InterpOptions IO;
+    IO.Costs = B.Costs;
+    Interpreter I(IR.Instrumented, IO);
+    I.setProfileRuntime(&RT);
+    if (I.run().FuelExhausted) {
+      std::fprintf(stderr, "error: instrumented %s hung\n", Bench.c_str());
+      return 1;
+    }
+  }
+
+  if (!writeFile(Out, writeCountsBinary(countsFromRun(Bench, IR, RT)))) {
+    std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Trace backend smoke: record a benchmark's branch-target packet stream
+# on the clean module, decode it back to counters in parallel, and
+# require the result to be byte-identical ('cmp') to the online counter
+# backend's canonical counts frame -- at one worker and at four, with
+# the default chunk size and a small one that forces many seals.
+# Deterministic end to end, so it gates tier-1 like any other test.
+#
+# Usage: tools/trace_smoke.sh <build-dir>
+set -eu
+
+BUILD_DIR=${1:?usage: trace_smoke.sh <build-dir>}
+RT="$BUILD_DIR/tools/trace_roundtrip"
+
+if [ ! -x "$RT" ]; then
+  echo "error: $RT not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 1
+fi
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ppp-trace-smoke.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+# A branchy INT benchmark and a switch-heavy one.
+for BENCH in vpr perlbmk; do
+  # Online counter baseline (the oracle bytes).
+  "$RT" counter --bench="$BENCH" --out="$TMP/$BENCH.counter.bin"
+
+  for CHUNK in 65536 4096; do
+    "$RT" record --bench="$BENCH" --chunk="$CHUNK" \
+      --out="$TMP/$BENCH.$CHUNK.trace"
+    for JOBS in 1 4; do
+      PPP_JOBS=$JOBS "$RT" decode --bench="$BENCH" \
+        --trace="$TMP/$BENCH.$CHUNK.trace" \
+        --out="$TMP/$BENCH.$CHUNK.j$JOBS.bin"
+      cmp "$TMP/$BENCH.counter.bin" "$TMP/$BENCH.$CHUNK.j$JOBS.bin" || {
+        echo "error: $BENCH chunk=$CHUNK jobs=$JOBS decode differs from" \
+          "counter backend" >&2
+        exit 1
+      }
+    done
+  done
+done
+
+echo "trace_smoke: OK"
