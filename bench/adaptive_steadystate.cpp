@@ -1,0 +1,335 @@
+//===- bench/adaptive_steadystate.cpp - Adaptive vs. static pipelines ---------===//
+///
+/// \file
+/// The experiment ROADMAP item 1 exists for: does closing the PGO loop
+/// pay? Steady-state effective MIPS of three pipelines over the same
+/// programs:
+///
+///   clean    the unoptimized module, no instrumentation -- the
+///            reference semantics and the DynInstrs numerator;
+///   static   one-shot offline PGO: profile, whole-module inline +
+///            re-profile + unroll, then run the optimized module with
+///            no further profiling (the repo's classic pipeline);
+///   adaptive the src/adapt loop: PPP-instrumented module, an
+///            AdaptiveController sampling live counters every epoch,
+///            specializing hot functions one at a time and hot-swapping
+///            them through the VersionTable.
+///
+/// Workloads are phase-shifting programs (workload/Generator.h's fused
+/// phased modules, whose hot set migrates wholesale mid-run) plus
+/// stable single-phase controls. Steady state is the last half of the
+/// reps: by then the controller has specialized the hot set and shed
+/// its instrumentation, so what remains is the structural comparison --
+/// static spreads one bloat budget across every phase's hot code,
+/// adaptive spends a whole budget per hot function.
+///
+/// Effective MIPS = clean-module DynInstrs / wall seconds, so all three
+/// pipelines are measured in the same unit of useful work. Every
+/// adaptive (and static) run is checked bit-identical to clean in
+/// ReturnValue/MemChecksum before any number is reported.
+///
+/// `--json[=PATH]` writes `adapt.` metrics (BENCH_adapt.json default)
+/// in the "ppp-metrics-v1" schema for tools/bench_diff.py --gate adapt;
+/// PPP_ADAPT_REPS overrides the repetition count.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adapt/AdaptiveSession.h"
+#include "obs/Obs.h"
+#include "opt/Inliner.h"
+#include "opt/Unroller.h"
+#include "workload/Generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace ppp;
+using namespace ppp::adapt;
+
+namespace {
+
+unsigned repsFromEnv() {
+  if (const char *E = std::getenv("PPP_ADAPT_REPS"))
+    if (long V = std::strtol(E, nullptr, 10); V > 0)
+      return static_cast<unsigned>(V);
+  return 24;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double secsSince(Clock::time_point Begin) {
+  return std::chrono::duration<double>(Clock::now() - Begin).count();
+}
+
+struct BenchRow {
+  std::string Name;
+  bool Phased = false;
+  double CleanMips = 0;
+  double InstrMips = 0; ///< Instrumented, controller never fires.
+  double StaticMips = 0;
+  double AdaptiveMips = 0;
+  uint64_t Installed = 0;
+  uint64_t Reverted = 0;
+  uint64_t Epochs = 0;
+
+  double ratio() const {
+    return StaticMips > 0 ? AdaptiveMips / StaticMips : 0;
+  }
+};
+
+/// One workload under test: a module plus how it was built.
+struct Subject {
+  std::string Name;
+  bool Phased = false;
+  Module M;
+};
+
+/// Call-heavy shape: most of the win from specialization is removed
+/// call/dispatch overhead, and a 5% whole-program bloat budget can only
+/// cover a fraction of these sites -- the regime the paper targets.
+WorkloadParams callHeavyPhase(uint64_t Seed) {
+  WorkloadParams P;
+  P.Seed = Seed;
+  P.NumFunctions = 10;
+  P.LeafFunctions = 4;
+  P.CallPct = 30;
+  P.LoopPct = 12;
+  P.MainLoopTrips = 6;
+  return P;
+}
+
+std::vector<Subject> buildSubjects() {
+  std::vector<Subject> Out;
+
+  auto Phased = [](const char *Name, uint64_t SeedA, uint64_t SeedB,
+                   uint64_t PhaseLen) {
+    PhasedWorkloadParams PP;
+    PP.Name = Name;
+    PP.PhaseA = callHeavyPhase(SeedA);
+    PP.PhaseB = callHeavyPhase(SeedB);
+    PP.PhaseLen = PhaseLen;
+    PP.Trips = 64;
+    Subject S;
+    S.Name = Name;
+    S.Phased = true;
+    S.M = generatePhasedWorkload(PP);
+    return S;
+  };
+  Out.push_back(Phased("phased_ab", 11, 47, 16));
+  Out.push_back(Phased("phased_fast", 23, 61, 4));
+
+  auto Stable = [](const char *Name, uint64_t Seed) {
+    WorkloadParams P = callHeavyPhase(Seed);
+    P.Name = Name;
+    P.MainLoopTrips = 320;
+    Subject S;
+    S.Name = Name;
+    S.Phased = false;
+    S.M = generateWorkload(P);
+    return S;
+  };
+  Out.push_back(Stable("stable_a", 11));
+  Out.push_back(Stable("stable_b", 101));
+  return Out;
+}
+
+void dieIfDiffers(const char *What, const Subject &S, const RunResult &Ref,
+                  const RunResult &Got) {
+  if (Got.ReturnValue == Ref.ReturnValue &&
+      Got.MemChecksum == Ref.MemChecksum && !Got.FuelExhausted)
+    return;
+  fprintf(stderr,
+          "error: %s: %s run diverges from clean "
+          "(ret %lld vs %lld, checksum %llx vs %llx%s)\n",
+          S.Name.c_str(), What,
+          static_cast<long long>(Got.ReturnValue),
+          static_cast<long long>(Ref.ReturnValue),
+          static_cast<unsigned long long>(Got.MemChecksum),
+          static_cast<unsigned long long>(Ref.MemChecksum),
+          Got.FuelExhausted ? ", fuel exhausted" : "");
+  exit(1);
+}
+
+BenchRow measureSubject(const Subject &S, unsigned Reps) {
+  BenchRow Row;
+  Row.Name = S.Name;
+  Row.Phased = S.Phased;
+  InterpOptions IO;
+  unsigned Steady = Reps / 2;
+
+  // Clean reference: semantics and the effective-MIPS numerator.
+  Interpreter Clean(S.M, IO);
+  RunResult Ref = Clean.run();
+  if (Ref.FuelExhausted) {
+    fprintf(stderr, "error: %s: clean run exhausted fuel\n", S.Name.c_str());
+    exit(1);
+  }
+  for (unsigned R = 1; R < Reps - Steady; ++R)
+    Clean.run();
+  Clock::time_point T0 = Clock::now();
+  for (unsigned R = 0; R < Steady; ++R)
+    Clean.run();
+  double CleanSec = secsSince(T0);
+  double Work = static_cast<double>(Ref.DynInstrs) * Steady;
+  Row.CleanMips = CleanSec > 0 ? Work / CleanSec / 1e6 : 0;
+
+  // Static one-shot PGO: the same profile the adaptive session gets as
+  // instrumentation advice, spent all at once. Unroll advice must come
+  // from a re-profile (the inliner left the edge ids stale).
+  EdgeProfile Advice = AdaptiveSession::collectAdvice(S.M, IO);
+  Module Opt = S.M;
+  runInliner(Opt, Advice);
+  EdgeProfile Advice2 = AdaptiveSession::collectAdvice(Opt, IO);
+  runUnroller(Opt, Advice2);
+  Interpreter Static(Opt, IO);
+  dieIfDiffers("static", S, Ref, Static.run());
+
+  // Instrumented floor: the same PPP-instrumented module the adaptive
+  // session runs, but with an epoch cadence it never reaches -- what
+  // "always profiling, never acting" costs. The gap up to static is
+  // what adaptation has to claw back.
+  {
+    AdaptiveOptions Never;
+    Never.EpochCalls = ~0ull;
+    std::unique_ptr<AdaptiveSession> Floor =
+        AdaptiveSession::create(S.M, Advice, IO, Never);
+    dieIfDiffers("instrumented", S, Ref, Floor->run());
+    for (unsigned R = 1; R < Reps - Steady; ++R)
+      Floor->run();
+    T0 = Clock::now();
+    for (unsigned R = 0; R < Steady; ++R)
+      Floor->run();
+    double InstrSec = secsSince(T0);
+    Row.InstrMips = InstrSec > 0 ? Work / InstrSec / 1e6 : 0;
+  }
+
+  // Adaptive: instrumented module + controller, versions persisting
+  // across reps. Every rep -- warm-up included -- must stay
+  // bit-identical to clean. The eval window is long and the revert
+  // threshold forgiving because on a phase-shifting program epoch cost
+  // swings with the phase mix, not the candidate version (the revert
+  // path itself is exercised deterministically in tests/adapt_test).
+  AdaptiveOptions AO;
+  AO.EpochCalls = 256;
+  AO.MinPathDelta = 4;
+  AO.EvalEpochs = 6;
+  AO.RevertThresholdPct = 60.0;
+  std::unique_ptr<AdaptiveSession> Sess =
+      AdaptiveSession::create(S.M, Advice, IO, AO);
+  for (unsigned R = 1; R < Reps - Steady; ++R)
+    Static.run();
+  for (unsigned R = 0; R < Reps - Steady; ++R)
+    dieIfDiffers("adaptive", S, Ref, Sess->run());
+
+  // Steady state, static and adaptive interleaved run by run so slow
+  // clock/frequency drift lands on both sides equally.
+  double StaticSec = 0, AdaptSec = 0;
+  for (unsigned R = 0; R < Steady; ++R) {
+    T0 = Clock::now();
+    Static.run();
+    StaticSec += secsSince(T0);
+    T0 = Clock::now();
+    RunResult Got = Sess->run();
+    AdaptSec += secsSince(T0);
+    dieIfDiffers("adaptive", S, Ref, Got);
+  }
+  Row.StaticMips = StaticSec > 0 ? Work / StaticSec / 1e6 : 0;
+  Row.AdaptiveMips = AdaptSec > 0 ? Work / AdaptSec / 1e6 : 0;
+
+  const AdaptStats &St = Sess->controller().stats();
+  Row.Installed = St.VersionsInstalled;
+  Row.Reverted = St.VersionsReverted;
+  Row.Epochs = St.Epochs;
+  Sess->controller().flushMetrics();
+  return Row;
+}
+
+void writeJson(const std::string &Path, unsigned Reps,
+               const std::vector<BenchRow> &Rows) {
+  obs::gauge("adapt.bench.reps").set(Reps);
+  double Sum[3] = {0, 0, 0};
+  double WorstStableRatio = 2.0, BestPhasedRatio = 0.0;
+  for (const BenchRow &R : Rows) {
+    std::string K = "adapt.bench." + R.Name;
+    obs::gauge(K + ".clean_mips").set(R.CleanMips);
+    obs::gauge(K + ".instr_mips").set(R.InstrMips);
+    obs::gauge(K + ".static_mips").set(R.StaticMips);
+    obs::gauge(K + ".adaptive_mips").set(R.AdaptiveMips);
+    obs::gauge(K + ".ratio").set(R.ratio());
+    obs::gauge(K + ".versions_installed")
+        .set(static_cast<double>(R.Installed));
+    obs::gauge(K + ".versions_reverted")
+        .set(static_cast<double>(R.Reverted));
+    Sum[0] += R.CleanMips;
+    Sum[1] += R.StaticMips;
+    Sum[2] += R.AdaptiveMips;
+    if (R.Phased)
+      BestPhasedRatio = std::max(BestPhasedRatio, R.ratio());
+    else
+      WorstStableRatio = std::min(WorstStableRatio, R.ratio());
+  }
+  size_t N = Rows.empty() ? 1 : Rows.size();
+  obs::gauge("adapt.average.clean_mips").set(Sum[0] / N);
+  obs::gauge("adapt.average.static_mips").set(Sum[1] / N);
+  obs::gauge("adapt.average.adaptive_mips").set(Sum[2] / N);
+  // The acceptance pair: adaptive must win at least one phased workload
+  // and stay within 2% of static on every stable one.
+  obs::gauge("adapt.average.best_phased_ratio").set(BestPhasedRatio);
+  obs::gauge("adapt.average.worst_stable_ratio").set(WorstStableRatio);
+
+  std::string Error;
+  if (!obs::writeMetricsJson(Path, "adapt.", &Error)) {
+    fprintf(stderr, "error: %s\n", Error.c_str());
+    exit(1);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Json = false;
+  std::string JsonPath = "BENCH_adapt.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      Json = true;
+    } else if (std::strncmp(argv[I], "--json=", 7) == 0) {
+      Json = true;
+      JsonPath = argv[I] + 7;
+    } else {
+      fprintf(stderr, "usage: adaptive_steadystate [--json[=PATH]]\n");
+      return 2;
+    }
+  }
+
+  unsigned Reps = repsFromEnv();
+  printf("Adaptive vs. static steady state (%u reps, last %u timed; "
+         "effective MIPS = clean DynInstrs / wall sec; every run checked "
+         "bit-identical to clean)\n\n",
+         Reps, Reps / 2);
+  printf("%-14s%8s%12s%12s%12s%12s%8s%8s%6s%8s\n", "bench", "kind",
+         "clean-mips", "instr-mips", "static-mips", "adapt-mips", "ratio",
+         "epochs", "inst", "revert");
+
+  std::vector<BenchRow> Rows;
+  for (const Subject &S : buildSubjects()) {
+    BenchRow R = measureSubject(S, Reps);
+    printf("%-14s%8s%12.2f%12.2f%12.2f%12.2f%8.3f%8llu%6llu%8llu\n",
+           R.Name.c_str(), R.Phased ? "phased" : "stable", R.CleanMips,
+           R.InstrMips, R.StaticMips, R.AdaptiveMips, R.ratio(),
+           static_cast<unsigned long long>(R.Epochs),
+           static_cast<unsigned long long>(R.Installed),
+           static_cast<unsigned long long>(R.Reverted));
+    Rows.push_back(std::move(R));
+  }
+
+  if (Json) {
+    writeJson(JsonPath, Reps, Rows);
+    printf("\nwrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -82,7 +82,38 @@ struct BenchRow {
   std::string Name;
   double Clean = 0, EdgeObs = 0, PppInstr = 0;
   uint64_t DynInstrs = 0;
+  double ColdLazyUs = 0, ColdEagerUs = 0; ///< Construct + first 10k instrs.
+  uint64_t LazyDecoded = 0, TotalFns = 0; ///< Functions decoded vs present.
 };
+
+/// Cold-start latency: interpreter construction plus the first
+/// FirstInstrs interpreted instructions. Eager decodes the whole module
+/// up front; lazy (the default) decodes each function at its first
+/// call, so startup only pays for the functions the prefix touches.
+constexpr uint64_t ColdStartInstrs = 10'000;
+
+void measureColdStart(const Module &M, unsigned Reps, BenchRow &Row) {
+  using Clock = std::chrono::steady_clock;
+  unsigned K = Reps * 10;
+  InterpOptions IO;
+  IO.Fuel = ColdStartInstrs;
+  for (int Eager = 0; Eager < 2; ++Eager) {
+    IO.EagerDecode = Eager != 0;
+    Clock::time_point Begin = Clock::now();
+    for (unsigned I = 0; I < K; ++I) {
+      Interpreter Interp(M, IO);
+      Interp.run();
+      if (!Eager && I == 0) {
+        Row.LazyDecoded = Interp.versions().decodedFunctions();
+        Row.TotalFns = Interp.versions().numFunctions();
+      }
+    }
+    double Us =
+        std::chrono::duration<double>(Clock::now() - Begin).count() * 1e6 /
+        K;
+    (Eager ? Row.ColdEagerUs : Row.ColdLazyUs) = Us;
+  }
+}
 
 /// Wall clock of one full-suite preparation pass (steps 1-4 for all 18
 /// benchmarks) against the currently active cache.
@@ -136,20 +167,29 @@ void writeJson(const std::string &Path, unsigned Reps,
                const SuitePrepTiming &Prep) {
   obs::gauge("throughput.reps").set(Reps);
   double Sum[3] = {0, 0, 0};
+  double SumCold[2] = {0, 0};
   for (const BenchRow &R : Rows) {
     std::string K = "throughput.bench." + R.Name;
     obs::gauge(K + ".clean_mips").set(R.Clean);
     obs::gauge(K + ".edge_obs_mips").set(R.EdgeObs);
     obs::gauge(K + ".ppp_instr_mips").set(R.PppInstr);
     obs::counter(K + ".dyn_instrs").inc(R.DynInstrs);
+    obs::gauge(K + ".cold_start_lazy_us").set(R.ColdLazyUs);
+    obs::gauge(K + ".cold_start_eager_us").set(R.ColdEagerUs);
+    obs::gauge(K + ".cold_start_decoded_fns")
+        .set(static_cast<double>(R.LazyDecoded));
     Sum[0] += R.Clean;
     Sum[1] += R.EdgeObs;
     Sum[2] += R.PppInstr;
+    SumCold[0] += R.ColdLazyUs;
+    SumCold[1] += R.ColdEagerUs;
   }
   size_t N = Rows.empty() ? 1 : Rows.size();
   obs::gauge("throughput.average.clean_mips").set(Sum[0] / N);
   obs::gauge("throughput.average.edge_obs_mips").set(Sum[1] / N);
   obs::gauge("throughput.average.ppp_instr_mips").set(Sum[2] / N);
+  obs::gauge("throughput.average.cold_start_lazy_us").set(SumCold[0] / N);
+  obs::gauge("throughput.average.cold_start_eager_us").set(SumCold[1] / N);
   obs::gauge("throughput.suite_prepare.benchmarks").set(Prep.Benchmarks);
   obs::gauge("throughput.suite_prepare.cold_sec").set(Prep.ColdSec);
   obs::gauge("throughput.suite_prepare.warm_sec").set(Prep.WarmSec);
@@ -184,8 +224,9 @@ int main(int argc, char **argv) {
   printf("Interpreter throughput (million interpreted instructions per "
          "second, %u reps per variant)\n\n",
          Reps);
-  printf("%-10s%12s%12s%12s%14s\n", "bench", "clean", "edge-obs",
-         "ppp-instr", "dyn-instrs");
+  printf("%-10s%12s%12s%12s%14s%12s%12s%12s\n", "bench", "clean",
+         "edge-obs", "ppp-instr", "dyn-instrs", "cold-lazy", "cold-eager",
+         "decoded");
 
   std::vector<BenchRow> Rows;
   // Three representative recipes: branchy INT, call-heavy INT, loopy FP.
@@ -217,11 +258,21 @@ int main(int argc, char **argv) {
       return Instr.run();
     });
 
-    printf("%-10s%12.2f%12.2f%12.2f%14llu\n", Spec.Name.c_str(),
-           MClean.MInstrsPerSec, MEdge.MInstrsPerSec, MInstr.MInstrsPerSec,
-           static_cast<unsigned long long>(MClean.DynInstrs));
-    Rows.push_back({Spec.Name, MClean.MInstrsPerSec, MEdge.MInstrsPerSec,
-                    MInstr.MInstrsPerSec, MClean.DynInstrs});
+    BenchRow Row;
+    Row.Name = Spec.Name;
+    Row.Clean = MClean.MInstrsPerSec;
+    Row.EdgeObs = MEdge.MInstrsPerSec;
+    Row.PppInstr = MInstr.MInstrsPerSec;
+    Row.DynInstrs = MClean.DynInstrs;
+    measureColdStart(B.Expanded, Reps, Row);
+
+    printf("%-10s%12.2f%12.2f%12.2f%14llu%12.1f%12.1f%10llu/%llu\n",
+           Spec.Name.c_str(), MClean.MInstrsPerSec, MEdge.MInstrsPerSec,
+           MInstr.MInstrsPerSec,
+           static_cast<unsigned long long>(MClean.DynInstrs), Row.ColdLazyUs,
+           Row.ColdEagerUs, static_cast<unsigned long long>(Row.LazyDecoded),
+           static_cast<unsigned long long>(Row.TotalFns));
+    Rows.push_back(Row);
   }
   if (!Rows.empty()) {
     double Sum[3] = {0, 0, 0};

@@ -7,9 +7,9 @@ add_library(ppp_bench_harness STATIC
   ${CMAKE_SOURCE_DIR}/bench/PrepCache.cpp)
 target_include_directories(ppp_bench_harness PUBLIC ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(ppp_bench_harness PUBLIC
-  ppp_edgeprof ppp_metrics ppp_pass ppp_pathprof ppp_trace ppp_flow
-  ppp_opt ppp_workload ppp_profile ppp_interp ppp_analysis ppp_ir
-  ppp_obs ppp_support Threads::Threads)
+  ppp_adapt ppp_edgeprof ppp_metrics ppp_pass ppp_pathprof ppp_trace
+  ppp_flow ppp_opt ppp_workload ppp_profile ppp_interp ppp_analysis
+  ppp_ir ppp_obs ppp_support Threads::Threads)
 set_target_properties(ppp_bench_harness PROPERTIES
   ARCHIVE_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/lib)
 
@@ -36,6 +36,7 @@ ppp_add_bench(net_vs_ppp)
 ppp_add_bench(metric_comparison)
 ppp_add_bench(interp_throughput)
 ppp_add_bench(trace_throughput)
+ppp_add_bench(adaptive_steadystate)
 
 # The unified driver compiles every experiment translation unit a
 # second time with PPP_SUITE_ALL defined, which drops their main()s and

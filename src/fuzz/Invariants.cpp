@@ -2,6 +2,7 @@
 
 #include "fuzz/Invariants.h"
 
+#include "adapt/AdaptiveSession.h"
 #include "interp/Interpreter.h"
 #include "ir/Verifier.h"
 #include "metrics/Metrics.h"
@@ -411,6 +412,76 @@ void checkTraceBackend(const Module &M, const CleanRun &Clean,
   }
 }
 
+/// The adaptive loop's contract (src/adapt): with an adversarially
+/// aggressive cadence, a hair-trigger revert threshold, and fast
+/// backoff, hot-swapping function versions mid-run preserves semantics
+/// exactly (ReturnValue/MemChecksum vs. the clean run), terminates, and
+/// leaves the version table resolvable for every function. Two runs per
+/// cadence, so versions installed in the first (including main's, which
+/// can only swap at a run boundary) execute from entry in the second.
+void checkAdaptive(const Module &M, const CleanRun &Clean, uint64_t Fuel,
+                   InvariantReport &Rep) {
+  for (uint64_t Cadence : {uint64_t(16), uint64_t(512)}) {
+    adapt::AdaptiveOptions AO;
+    AO.EpochCalls = Cadence;
+    AO.MinPathDelta = 1;
+    AO.EvalEpochs = 1;
+    AO.RevertThresholdPct = 0.0; // Any cost wobble reverts: both the
+                                 // install and the revert path run.
+    AO.BackoffIdleEpochs = 2;
+    InterpOptions IO;
+    IO.Fuel = Fuel * 2;
+    std::unique_ptr<adapt::AdaptiveSession> S =
+        adapt::AdaptiveSession::create(M, Clean.EP, IO, AO);
+    for (int Run = 0; Run < 2; ++Run) {
+      RunResult Res = S->run();
+      ++Rep.ChecksRun;
+      if (Res.FuelExhausted) {
+        Rep.fail(formatString("adapt.c%llu.terminates",
+                              static_cast<unsigned long long>(Cadence)),
+                 formatString("run %d exhausted fuel", Run));
+        return;
+      }
+      ++Rep.ChecksRun;
+      if (Res.ReturnValue != Clean.Res.ReturnValue ||
+          Res.MemChecksum != Clean.Res.MemChecksum)
+        Rep.fail(formatString("adapt.c%llu.semantics",
+                              static_cast<unsigned long long>(Cadence)),
+                 formatString("run %d diverged from the clean run", Run));
+    }
+
+    // Version-table sanity: every function resolvable (deadlock-free by
+    // construction -- resolve() decodes on demand), installs consistent
+    // with what the controller reports.
+    VersionTable &VT = S->interp().versions();
+    const adapt::AdaptStats &St = S->controller().stats();
+    uint64_t Live = 0, Resolvable = 0;
+    for (size_t FI = 0; FI < VT.numFunctions(); ++FI) {
+      FuncId F = static_cast<FuncId>(FI);
+      if (VT.resolve(F) != nullptr)
+        ++Resolvable;
+      if (VT.currentVersion(F) > 0)
+        ++Live;
+    }
+    ++Rep.ChecksRun;
+    if (Resolvable != VT.numFunctions())
+      Rep.fail(formatString("adapt.c%llu.table",
+                            static_cast<unsigned long long>(Cadence)),
+               "a function failed to resolve after the adaptive runs");
+    ++Rep.ChecksRun;
+    if (Live + St.VersionsReverted > St.VersionsInstalled)
+      Rep.fail(formatString("adapt.c%llu.stats",
+                            static_cast<unsigned long long>(Cadence)),
+               formatString("live %llu + reverted %llu exceeds installed "
+                            "%llu",
+                            static_cast<unsigned long long>(Live),
+                            static_cast<unsigned long long>(
+                                St.VersionsReverted),
+                            static_cast<unsigned long long>(
+                                St.VersionsInstalled)));
+  }
+}
+
 } // namespace
 
 InvariantReport ppp::fuzz::checkModuleInvariants(const Module &M,
@@ -435,5 +506,6 @@ InvariantReport ppp::fuzz::checkModuleInvariants(const Module &M,
   checkOneProfiler(M, Clean, ProfilerOptions::tpp(), Fuel * 2, Rep);
   checkOneProfiler(M, Clean, ProfilerOptions::ppp(), Fuel * 2, Rep);
   checkTraceBackend(M, Clean, Fuel, Rep);
+  checkAdaptive(M, Clean, Fuel, Rep);
   return Rep;
 }

@@ -2,75 +2,63 @@
 
 #include "interp/Decoded.h"
 
-#include "interp/ProfileRuntime.h"
-
 #include <cassert>
 
 using namespace ppp;
 
-DecodedModule::DecodedModule(const Module &M, const CostModel &Costs) {
-  MemWords = M.addrSpaceWords();
-  AddrMask = MemWords - 1;
-  MainId = M.MainId;
+DecodedFunction ppp::decodeFunction(const Function &Fn, const CostModel &Costs,
+                                    bool HashedTable) {
+  DecodedFunction DF;
+  DF.NumRegs = Fn.NumRegs;
+  DF.NumParams = Fn.NumParams;
 
-  Functions.resize(M.numFunctions());
-  for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
-    const Function &Fn = M.function(static_cast<FuncId>(FI));
-    DecodedFunction &DF = Functions[FI];
-    DF.NumRegs = Fn.NumRegs;
-    DF.NumParams = Fn.NumParams;
+  DF.BlockStart.reserve(Fn.Blocks.size());
+  uint32_t Offset = 0;
+  for (const BasicBlock &BB : Fn.Blocks) {
+    DF.BlockStart.push_back(Offset);
+    Offset += static_cast<uint32_t>(BB.Instrs.size());
+  }
 
-    DF.BlockStart.reserve(Fn.Blocks.size());
-    uint32_t Offset = 0;
-    for (const BasicBlock &BB : Fn.Blocks) {
-      DF.BlockStart.push_back(Offset);
-      Offset += static_cast<uint32_t>(BB.Instrs.size());
-    }
-
-    DF.Code.reserve(Offset);
-    for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
-      for (const Instr &I : Fn.Blocks[B].Instrs) {
-        DecodedInstr D;
-        D.Op = I.Op;
-        D.NumArgs = I.NumArgs;
-        D.Cost = Costs.costOf(I.Op, /*HashedTable=*/false);
-        D.A = I.A;
-        D.B = I.B;
-        D.C = I.C;
-        D.Imm = I.Imm;
-        D.Callee = I.Callee;
-        D.Block = static_cast<BlockId>(B);
-        D.Args = I.Args;
-        if (!I.Targets.empty()) {
-          assert(I.isTerminator() && "targets on a non-terminator");
-          D.NumTargets = static_cast<uint16_t>(I.Targets.size());
-          D.TargetsBegin = static_cast<uint32_t>(DF.Targets.size());
-          for (BlockId T : I.Targets) {
-            assert(T >= 0 && static_cast<size_t>(T) < DF.BlockStart.size() &&
-                   "branch target out of range");
-            DF.Targets.push_back(DF.BlockStart[static_cast<size_t>(T)]);
-          }
+  DF.Code.reserve(Offset);
+  for (size_t B = 0; B < Fn.Blocks.size(); ++B) {
+    for (const Instr &I : Fn.Blocks[B].Instrs) {
+      DecodedInstr D;
+      D.Op = I.Op;
+      D.NumArgs = I.NumArgs;
+      D.Cost = Costs.costOf(I.Op, HashedTable);
+      D.A = I.A;
+      D.B = I.B;
+      D.C = I.C;
+      D.Imm = I.Imm;
+      D.Callee = I.Callee;
+      D.Block = static_cast<BlockId>(B);
+      D.Args = I.Args;
+      if (!I.Targets.empty()) {
+        assert(I.isTerminator() && "targets on a non-terminator");
+        D.NumTargets = static_cast<uint16_t>(I.Targets.size());
+        D.TargetsBegin = static_cast<uint32_t>(DF.Targets.size());
+        for (BlockId T : I.Targets) {
+          assert(T >= 0 && static_cast<size_t>(T) < DF.BlockStart.size() &&
+                 "branch target out of range");
+          DF.Targets.push_back(DF.BlockStart[static_cast<size_t>(T)]);
         }
-        DF.Code.push_back(D);
       }
+      DF.Code.push_back(D);
     }
   }
+  return DF;
 }
 
-void DecodedModule::repriceProfilingCosts(const CostModel &Costs,
-                                          const ProfileRuntime *RT) {
-  for (unsigned FI = 0; FI < Functions.size(); ++FI) {
-    bool Hashed = RT && RT->table(static_cast<FuncId>(FI)).kind() ==
-                            PathTable::Kind::Hash;
-    for (DecodedInstr &D : Functions[FI].Code)
-      switch (D.Op) {
-      case Opcode::ProfCountIdx:
-      case Opcode::ProfCountConst:
-      case Opcode::ProfCheckedCountIdx:
-        D.Cost = Costs.costOf(D.Op, Hashed);
-        break;
-      default:
-        break;
-      }
-  }
+void ppp::repriceProfilingCosts(DecodedFunction &DF, const CostModel &Costs,
+                                bool HashedTable) {
+  for (DecodedInstr &D : DF.Code)
+    switch (D.Op) {
+    case Opcode::ProfCountIdx:
+    case Opcode::ProfCountConst:
+    case Opcode::ProfCheckedCountIdx:
+      D.Cost = Costs.costOf(D.Op, HashedTable);
+      break;
+    default:
+      break;
+    }
 }

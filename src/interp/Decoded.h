@@ -7,7 +7,7 @@
 /// (function -> block -> instruction) and re-resolves branch targets to
 /// (block, index 0) on every taken edge.
 ///
-/// Decoding flattens every function once, at Interpreter construction:
+/// Decoding flattens one function at a time:
 ///
 ///  - all blocks concatenate into one contiguous `DecodedInstr` array,
 ///    so execution advances a single flat instruction pointer;
@@ -19,8 +19,12 @@
 ///    observers identify edges as (function, source block, successor
 ///    index).
 ///
-/// Decoded code is a cache: it never changes module semantics, and the
-/// `RunResult` of executing it is bit-identical to walking the IR.
+/// Functions decode independently (first-touch lazily, see
+/// interp/VersionTable.h), and a decoded function is a *version*: the
+/// adaptive controller decodes re-optimized bodies of the same FuncId
+/// and hot-swaps them at call boundaries. Decoded code is a cache: it
+/// never changes module semantics, and the `RunResult` of executing it
+/// is bit-identical to walking the IR.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,8 +39,6 @@
 #include <vector>
 
 namespace ppp {
-
-class ProfileRuntime;
 
 /// One flattened instruction. Same semantic fields as Instr, plus the
 /// precomputed dispatch data (cost, flat branch targets, source block).
@@ -55,7 +57,7 @@ struct DecodedInstr {
   std::array<RegId, MaxCallArgs> Args = {-1, -1, -1, -1};
 };
 
-/// One function's flat code.
+/// One function's flat code -- one *version* of that function.
 struct DecodedFunction {
   unsigned NumRegs = 0;
   unsigned NumParams = 0;
@@ -64,25 +66,16 @@ struct DecodedFunction {
   std::vector<uint32_t> Targets; ///< Pooled successor offsets (flat, per terminator).
 };
 
-/// A whole module, decoded for execution.
-struct DecodedModule {
-  /// Address-space size: Module::MemWords rounded up to a power of two
-  /// so the load/store address mask is always exact (non-power-of-two
-  /// MemWords would otherwise silently alias memory).
-  uint64_t MemWords = 1;
-  uint64_t AddrMask = 0;
-  FuncId MainId = 0;
-  std::vector<DecodedFunction> Functions;
+/// Flattens \p Fn. \p HashedTable prices the ProfCount* ops for a
+/// hash-organized PathTable (more expensive than array counters).
+DecodedFunction decodeFunction(const Function &Fn, const CostModel &Costs,
+                               bool HashedTable);
 
-  DecodedModule() = default;
-  DecodedModule(const Module &M, const CostModel &Costs);
-
-  /// Re-derives the cost of every profiling-counter instruction for the
-  /// table kinds of \p RT (hash counters cost more than array ones).
-  /// Called whenever a ProfileRuntime is attached or detached.
-  void repriceProfilingCosts(const CostModel &Costs,
-                             const ProfileRuntime *RT);
-};
+/// Re-derives the cost of every profiling-counter instruction in \p DF
+/// for the given table kind. Called when a ProfileRuntime is attached
+/// or detached after the function was already decoded.
+void repriceProfilingCosts(DecodedFunction &DF, const CostModel &Costs,
+                           bool HashedTable);
 
 } // namespace ppp
 

@@ -1,17 +1,21 @@
 //===- interp/Interpreter.cpp - IR interpreter -----------------------------===//
 ///
-/// run() is a thin dispatcher over eight specializations of runImpl<>,
-/// selected by whether observers, a profiling runtime, and interpreter
-/// telemetry (obs::interpStatsEnabled()) are active. The
-/// specializations must stay semantically identical: the determinism
-/// tests in tests/fastpath_test.cpp and tests/obs_test.cpp assert
-/// bit-equal RunResults across all of them for the benchmark suite.
+/// run() is a thin dispatcher over the specializations of runImpl<>,
+/// selected by whether observers, a profiling runtime, an epoch hook,
+/// and interpreter telemetry (obs::interpStatsEnabled()) are active.
+/// The specializations must stay semantically identical: the
+/// determinism tests in tests/fastpath_test.cpp and tests/obs_test.cpp
+/// assert bit-equal RunResults across all of them for the benchmark
+/// suite.
 ///
 /// This TU compiles the dispatch loop (interp/InterpreterLoop.inc) for
-/// the HasStats=false configurations only; the telemetry-enabled
-/// specializations live in InterpreterStats.cpp so their presence
-/// cannot perturb the clean loop's code generation (see the .inc
-/// header for why that separation is measured, not cosmetic).
+/// the HasStats=false, HasTrace=false, HasAdapt=false configurations
+/// only; the telemetry-enabled specializations live in
+/// InterpreterStats.cpp, the trace-recording ones in
+/// InterpreterTrace.cpp, and the adaptive ones in InterpreterAdapt.cpp,
+/// so their presence cannot perturb the clean loop's code generation
+/// (see the .inc header for why that separation is measured, not
+/// cosmetic).
 ///
 /// Dispatch is threaded (labels-as-values) under GCC/Clang: every
 /// opcode body ends in its own indirect jump, so the branch predictor
@@ -31,25 +35,52 @@
 using namespace ppp;
 
 ExecObserver::~ExecObserver() = default;
+EpochHook::~EpochHook() = default;
 
 // Telemetry-enabled specializations, compiled in InterpreterStats.cpp.
-extern template RunResult Interpreter::runImpl<false, false, true, false>();
-extern template RunResult Interpreter::runImpl<false, true, true, false>();
-extern template RunResult Interpreter::runImpl<true, false, true, false>();
-extern template RunResult Interpreter::runImpl<true, true, true, false>();
+extern template RunResult
+Interpreter::runImpl<false, false, true, false, false>();
+extern template RunResult
+Interpreter::runImpl<false, true, true, false, false>();
+extern template RunResult
+Interpreter::runImpl<true, false, true, false, false>();
+extern template RunResult
+Interpreter::runImpl<true, true, true, false, false>();
 
 // Trace-recording specializations, compiled in InterpreterTrace.cpp
 // (same separate-TU discipline as telemetry: the clean loop's codegen
 // must not see them).
-extern template RunResult Interpreter::runImpl<false, false, false, true>();
-extern template RunResult Interpreter::runImpl<true, false, false, true>();
+extern template RunResult
+Interpreter::runImpl<false, false, false, true, false>();
+extern template RunResult
+Interpreter::runImpl<true, false, false, true, false>();
+
+// Adaptive (epoch-hook) specializations, compiled in
+// InterpreterAdapt.cpp.
+extern template RunResult
+Interpreter::runImpl<false, true, false, false, true>();
+extern template RunResult
+Interpreter::runImpl<true, true, false, false, true>();
 
 Interpreter::Interpreter(const Module &Mod, const InterpOptions &Options)
-    : DM(Mod, Options.Costs), Opts(Options) {}
+    : Opts(Options) {
+  MemWords = Mod.addrSpaceWords();
+  AddrMask = MemWords - 1;
+  MainId = Mod.MainId;
+  VT.bind(Mod, Opts.Costs);
+  if (Opts.EagerDecode)
+    VT.decodeAll();
+}
 
 void Interpreter::setProfileRuntime(ProfileRuntime *RT) {
   Runtime = RT;
-  DM.repriceProfilingCosts(Opts.Costs, RT);
+  VT.setPricingRuntime(RT);
+}
+
+void Interpreter::setEpochHook(EpochHook *H, uint64_t PeriodCalls) {
+  assert((!H || PeriodCalls > 0) && "epoch period must be positive");
+  Epoch = H;
+  EpochPeriod = H ? PeriodCalls : 0;
 }
 
 RunResult Interpreter::run() {
@@ -59,8 +90,17 @@ RunResult Interpreter::run() {
   if (TraceRec) {
     assert(!Runtime &&
            "trace recording and a profiling runtime are exclusive");
-    return HasObs ? runImpl<true, false, false, true>()
-                  : runImpl<false, false, false, true>();
+    assert(!Epoch && "trace recording and an epoch hook are exclusive");
+    return HasObs ? runImpl<true, false, false, true, false>()
+                  : runImpl<false, false, false, true, false>();
+  }
+  // The adaptive loop samples live counters, so it requires a runtime;
+  // it takes precedence over telemetry (an adaptive run's correctness
+  // depends on the epochs firing, telemetry is best-effort).
+  if (Epoch) {
+    assert(Runtime && "an epoch hook requires a profiling runtime");
+    return HasObs ? runImpl<true, true, false, false, true>()
+                  : runImpl<false, true, false, false, true>();
   }
   // Telemetry selects a separate specialization: when disabled (the
   // default), the dispatch loop that runs is compiled without any
@@ -68,21 +108,21 @@ RunResult Interpreter::run() {
   // pre-telemetry engine and pays only this one cached boolean test.
   if (obs::interpStatsEnabled()) {
     if (Runtime)
-      return HasObs ? runImpl<true, true, true, false>()
-                    : runImpl<false, true, true, false>();
-    return HasObs ? runImpl<true, false, true, false>()
-                  : runImpl<false, false, true, false>();
+      return HasObs ? runImpl<true, true, true, false, false>()
+                    : runImpl<false, true, true, false, false>();
+    return HasObs ? runImpl<true, false, true, false, false>()
+                  : runImpl<false, false, true, false, false>();
   }
   if (Runtime)
-    return HasObs ? runImpl<true, true, false, false>()
-                  : runImpl<false, true, false, false>();
-  return HasObs ? runImpl<true, false, false, false>()
-                : runImpl<false, false, false, false>();
+    return HasObs ? runImpl<true, true, false, false, false>()
+                  : runImpl<false, true, false, false, false>();
+  return HasObs ? runImpl<true, false, false, false, false>()
+                : runImpl<false, false, false, false, false>();
 }
 
 #include "interp/InterpreterLoop.inc"
 
-template RunResult Interpreter::runImpl<false, false, false, false>();
-template RunResult Interpreter::runImpl<false, true, false, false>();
-template RunResult Interpreter::runImpl<true, false, false, false>();
-template RunResult Interpreter::runImpl<true, true, false, false>();
+template RunResult Interpreter::runImpl<false, false, false, false, false>();
+template RunResult Interpreter::runImpl<false, true, false, false, false>();
+template RunResult Interpreter::runImpl<true, false, false, false, false>();
+template RunResult Interpreter::runImpl<true, true, false, false, false>();

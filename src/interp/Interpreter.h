@@ -20,6 +20,7 @@
 #include "interp/CostModel.h"
 #include "interp/Decoded.h"
 #include "interp/ProfileRuntime.h"
+#include "interp/VersionTable.h"
 #include "ir/Module.h"
 
 #include <cstdint>
@@ -50,6 +51,19 @@ public:
   }
 };
 
+/// Invoked synchronously from the dispatch loop every N calls (the
+/// adaptive controller's sampling point, DESIGN.md §12). The hook runs
+/// between instructions, so it may read the attached ProfileRuntime's
+/// live counters and install/revert versions in the interpreter's
+/// VersionTable; swaps take effect at the next call to the function.
+class EpochHook {
+public:
+  virtual ~EpochHook();
+
+  /// \p DynInstrs and \p Cost are the run's totals so far.
+  virtual void onEpoch(uint64_t DynInstrs, uint64_t Cost) = 0;
+};
+
 /// Outcome of one program run.
 struct RunResult {
   int64_t ReturnValue = 0;
@@ -63,19 +77,26 @@ struct RunResult {
 struct InterpOptions {
   uint64_t Fuel = 2'000'000'000; ///< Max instructions before aborting.
   uint64_t MemSeed = 0x5eed;     ///< Global memory initialization seed.
+  /// Decode every function at construction instead of on first call.
+  /// Lazy is the default: startup cost scales with the functions a run
+  /// touches (bench/interp_throughput's cold-start rows measure both).
+  bool EagerDecode = false;
   CostModel Costs;
 };
 
 /// Executes a module. Reusable; each run() starts from fresh memory.
 ///
-/// Construction decodes the module into flat code (see Decoded.h);
-/// run() executes only the decoded form. The dispatch loop is
-/// specialized on whether observers and a profiling runtime are
-/// attached -- and, orthogonally, on whether interpreter telemetry
-/// (obs::interpStatsEnabled(): per-opcode dispatch counts, PathTable
-/// probe statistics) is collected -- so the common clean-run case pays
-/// no per-event virtual dispatch and no telemetry cost; all
-/// specializations produce bit-identical RunResults.
+/// Construction binds the module to a per-function VersionTable (see
+/// VersionTable.h); function bodies decode into flat code (Decoded.h)
+/// on first call, and run() executes only the decoded form, resolving
+/// each callee's *current* version at the call boundary. The dispatch
+/// loop is specialized on whether observers, a profiling runtime, and
+/// an epoch hook are attached -- and, orthogonally, on whether
+/// interpreter telemetry (obs::interpStatsEnabled(): per-opcode
+/// dispatch counts, PathTable probe statistics) is collected -- so the
+/// common clean-run case pays no per-event virtual dispatch and no
+/// telemetry cost; all specializations produce bit-identical
+/// RunResults.
 class Interpreter {
 public:
   explicit Interpreter(const Module &M,
@@ -98,18 +119,38 @@ public:
   /// per run().
   void setTraceRecorder(trace::TraceRecorder *Rec) { TraceRec = Rec; }
 
+  /// Attaches the adaptive epoch hook (not owned): run() selects the
+  /// adaptive specialization, which invokes \p H every \p PeriodCalls
+  /// Call instructions. Requires a profiling runtime (the hook samples
+  /// its counters); mutually exclusive with trace recording. Pass
+  /// nullptr to detach.
+  void setEpochHook(EpochHook *H, uint64_t PeriodCalls);
+
+  /// The per-function code-version store. The adaptive controller
+  /// installs re-optimized versions here; they take effect at the next
+  /// call (and persist across run() invocations).
+  VersionTable &versions() { return VT; }
+  const VersionTable &versions() const { return VT; }
+
   /// Runs main() to completion (or until fuel runs out).
   RunResult run();
 
 private:
   template <bool HasObservers, bool HasRuntime, bool HasStats,
-            bool HasTrace>
+            bool HasTrace, bool HasAdapt>
   RunResult runImpl();
 
-  DecodedModule DM;
+  VersionTable VT;
+  /// Address-space size: Module::MemWords rounded up to a power of two
+  /// so the load/store address mask is always exact.
+  uint64_t MemWords = 1;
+  uint64_t AddrMask = 0;
+  FuncId MainId = 0;
   InterpOptions Opts;
   ProfileRuntime *Runtime = nullptr;
   trace::TraceRecorder *TraceRec = nullptr;
+  EpochHook *Epoch = nullptr;
+  uint64_t EpochPeriod = 0;
   std::vector<ExecObserver *> Observers;
 };
 

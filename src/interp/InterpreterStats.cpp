@@ -72,7 +72,7 @@ void flushInterpStats(const uint64_t (&OpCount)[NumOpcodes],
 
 #include "interp/InterpreterLoop.inc"
 
-template RunResult Interpreter::runImpl<false, false, true, false>();
-template RunResult Interpreter::runImpl<false, true, true, false>();
-template RunResult Interpreter::runImpl<true, false, true, false>();
-template RunResult Interpreter::runImpl<true, true, true, false>();
+template RunResult Interpreter::runImpl<false, false, true, false, false>();
+template RunResult Interpreter::runImpl<false, true, true, false, false>();
+template RunResult Interpreter::runImpl<true, false, true, false, false>();
+template RunResult Interpreter::runImpl<true, true, true, false, false>();

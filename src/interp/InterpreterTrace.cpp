@@ -21,5 +21,5 @@ using namespace ppp;
 
 #include "interp/InterpreterLoop.inc"
 
-template RunResult Interpreter::runImpl<false, false, false, true>();
-template RunResult Interpreter::runImpl<true, false, false, true>();
+template RunResult Interpreter::runImpl<false, false, false, true, false>();
+template RunResult Interpreter::runImpl<true, false, false, true, false>();

@@ -1,0 +1,73 @@
+//===- interp/VersionTable.cpp - Per-function code versions ----------------===//
+
+#include "interp/VersionTable.h"
+
+#include "interp/ProfileRuntime.h"
+#include "obs/Obs.h"
+
+using namespace ppp;
+
+void VersionTable::bind(const Module &Mod, const CostModel &CM) {
+  M = &Mod;
+  Costs = CM;
+  PricingRT = nullptr;
+  Entries.assign(Mod.numFunctions(), Entry());
+  NumDecoded = 0;
+}
+
+void VersionTable::decodeAll() {
+  for (size_t F = 0; F < Entries.size(); ++F)
+    if (!Entries[F].Base)
+      decodeBase(static_cast<FuncId>(F));
+}
+
+bool VersionTable::hashedTable(FuncId F) const {
+  return PricingRT &&
+         PricingRT->table(F).kind() == PathTable::Kind::Hash;
+}
+
+const DecodedFunction *VersionTable::decodeBase(FuncId F) {
+  static obs::Counter &DecodedFns = obs::counter("interp.decode.functions");
+  static obs::Counter &DecodedInstrs = obs::counter("interp.decode.instrs");
+  assert(M && "VersionTable not bound");
+  Entry &E = Entries[static_cast<size_t>(F)];
+  assert(!E.Base && "base version decoded twice");
+  E.Base = std::make_shared<DecodedFunction>(
+      decodeFunction(M->function(F), Costs, hashedTable(F)));
+  E.Cur = E.Base.get();
+  E.CurVersion = 0;
+  ++NumDecoded;
+  DecodedFns.inc();
+  DecodedInstrs.inc(E.Base->Code.size());
+  return E.Cur;
+}
+
+int VersionTable::install(FuncId F, std::shared_ptr<const DecodedFunction> V) {
+  assert(V && "installing a null version");
+  Entry &E = Entries[static_cast<size_t>(F)];
+  E.Versions.push_back(std::move(V));
+  E.Cur = E.Versions.back().get();
+  E.CurVersion = static_cast<int>(E.Versions.size());
+  return E.CurVersion;
+}
+
+void VersionTable::revert(FuncId F) {
+  Entry &E = Entries[static_cast<size_t>(F)];
+  if (!E.Base) {
+    decodeBase(F);
+    return;
+  }
+  E.Cur = E.Base.get();
+  E.CurVersion = 0;
+}
+
+void VersionTable::setPricingRuntime(const ProfileRuntime *RT) {
+  PricingRT = RT;
+  for (size_t F = 0; F < Entries.size(); ++F) {
+    Entry &E = Entries[F];
+    if (!E.Base)
+      continue;
+    repriceProfilingCosts(*E.Base, Costs,
+                          hashedTable(static_cast<FuncId>(F)));
+  }
+}

@@ -1,0 +1,127 @@
+//===- interp/VersionTable.h - Per-function code versions ------*- C++ -*-===//
+///
+/// \file
+/// The interpreter's code store: one entry per function, holding every
+/// decoded *version* of that function's body and a pointer to the one
+/// that runs next. The dispatch loop resolves the current version at
+/// every call boundary, which buys three things at once:
+///
+///  - **Lazy decode.** A function's base version is decoded on first
+///    call, not at Interpreter construction, so startup cost scales
+///    with the functions a run actually touches (`interp.decode.*`
+///    counters report the savings).
+///  - **Hot swap.** `install()` publishes a re-optimized version; the
+///    next call to that function runs it. In-flight activations keep
+///    executing the version they started in -- every version ever
+///    resolved or installed is retained for the table's lifetime, so
+///    the raw `DecodedFunction` pointers cached in interpreter frames
+///    stay valid across swaps.
+///  - **Revert.** `revert()` switches back to the base decode when a
+///    version's measured cost regresses (the adaptive controller's
+///    score-and-switch loop, DESIGN.md §12).
+///
+/// Not thread-safe: versions are installed synchronously from the
+/// interpreter's epoch hook (between instructions), never from another
+/// thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PPP_INTERP_VERSIONTABLE_H
+#define PPP_INTERP_VERSIONTABLE_H
+
+#include "interp/Decoded.h"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace ppp {
+
+class ProfileRuntime;
+
+class VersionTable {
+public:
+  VersionTable() = default;
+
+  /// Points the table at \p M (not owned; must outlive the table).
+  /// Decodes nothing yet.
+  void bind(const Module &M, const CostModel &Costs);
+
+  /// Decodes every not-yet-decoded base version now (eager mode, the
+  /// pre-lazy startup behavior kept for measurement and comparison).
+  void decodeAll();
+
+  /// The version of \p F that the next call runs; decodes the base
+  /// version on first touch. The returned pointer stays valid for the
+  /// table's lifetime.
+  const DecodedFunction *resolve(FuncId F) {
+    Entry &E = Entries[static_cast<size_t>(F)];
+    if (E.Cur) [[likely]]
+      return E.Cur;
+    return decodeBase(F);
+  }
+
+  /// Publishes \p V as F's current version and retains it. Returns the
+  /// version number (base decode is version 0, installs count up from
+  /// 1). Takes effect at the next call to F.
+  int install(FuncId F, std::shared_ptr<const DecodedFunction> V);
+
+  /// Points F back at its base decode (decoding it first if the
+  /// function was never called). Installed versions stay retained.
+  void revert(FuncId F);
+
+  /// Version number currently installed for \p F: 0 for the base
+  /// decode (or a never-touched function), >=1 for an install.
+  int currentVersion(FuncId F) const {
+    return Entries[static_cast<size_t>(F)].CurVersion;
+  }
+
+  /// Number of versions ever installed for \p F (excluding the base).
+  size_t installedVersions(FuncId F) const {
+    return Entries[static_cast<size_t>(F)].Versions.size();
+  }
+
+  bool isDecoded(FuncId F) const {
+    return Entries[static_cast<size_t>(F)].Base != nullptr;
+  }
+
+  size_t numFunctions() const { return Entries.size(); }
+
+  /// Base versions decoded so far (the lazy-decode occupancy).
+  size_t decodedFunctions() const { return NumDecoded; }
+
+  /// Sets the table-kind source for pricing ProfCount* ops (hash
+  /// counters cost more than array ones) and reprices every
+  /// already-decoded *base* version. Installed versions come from
+  /// clean, uninstrumented code and carry no ProfCount* ops.
+  void setPricingRuntime(const ProfileRuntime *RT);
+
+  const Module &module() const {
+    assert(M && "VersionTable not bound");
+    return *M;
+  }
+
+  /// The cost model every version is priced with.
+  const CostModel &costs() const { return Costs; }
+
+private:
+  const DecodedFunction *decodeBase(FuncId F); // Cold first-touch path.
+  bool hashedTable(FuncId F) const;
+
+  struct Entry {
+    const DecodedFunction *Cur = nullptr; ///< Runs at the next call.
+    int CurVersion = 0;
+    std::shared_ptr<DecodedFunction> Base; ///< Mutable only for repricing.
+    std::vector<std::shared_ptr<const DecodedFunction>> Versions;
+  };
+
+  const Module *M = nullptr;
+  CostModel Costs;
+  const ProfileRuntime *PricingRT = nullptr;
+  std::vector<Entry> Entries;
+  size_t NumDecoded = 0;
+};
+
+} // namespace ppp
+
+#endif // PPP_INTERP_VERSIONTABLE_H

@@ -45,6 +45,14 @@ ProfilerOptions ProfilerOptions::ppp() {
   return O;
 }
 
+ProfilerOptions ProfilerOptions::adaptive() {
+  ProfilerOptions O = ppp();
+  O.Name = "adaptive";
+  O.SkipObviousRoutines = false;
+  O.LowCoverageGate = false;
+  return O;
+}
+
 ProfilerOptions ProfilerOptions::trace() {
   ProfilerOptions O = ppp();
   O.Name = "trace";

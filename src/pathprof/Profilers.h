@@ -102,6 +102,13 @@ struct ProfilerOptions {
   static ProfilerOptions pp();
   static ProfilerOptions tpp();
   static ProfilerOptions ppp();
+  /// PPP for an online controller (src/adapt): same numbering and
+  /// poisoning, but the overhead-minimization gates (skip-obvious,
+  /// low-coverage) are off. Those gates assume the profile is the
+  /// product; an adaptive deployment needs live counters in every
+  /// routine as its hotness sensor, and sheds them routine by routine
+  /// as it specializes.
+  static ProfilerOptions adaptive();
   /// PPP's plan with trace-backend collection (TraceBackend = true).
   static ProfilerOptions trace();
   /// TPP as Joshi et al. published it: poison checks on every count in

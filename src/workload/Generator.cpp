@@ -345,3 +345,76 @@ Module ppp::generateWorkload(const WorkloadParams &Params) {
   assert(verifyModule(M).empty() && "generated module fails verification");
   return M;
 }
+
+Module ppp::generatePhasedWorkload(const PhasedWorkloadParams &Params) {
+  Module MA = generateWorkload(Params.PhaseA);
+  Module MB = generateWorkload(Params.PhaseB);
+
+  Module M;
+  M.Name = Params.Name;
+  M.MemWords = std::max(MA.MemWords, MB.MemWords);
+
+  // Fuse: A's functions keep their ids, B's shift up by A's count.
+  FuncId Offset = static_cast<FuncId>(MA.numFunctions());
+  M.Functions = std::move(MA.Functions);
+  for (Function &F : MB.Functions) {
+    F.Name += "_b";
+    for (BasicBlock &BB : F.Blocks)
+      for (Instr &I : BB.Instrs)
+        if (I.Op == Opcode::Call)
+          I.Callee += Offset;
+    M.Functions.push_back(std::move(F));
+  }
+  // The old mains take no parameters and end in Ret: callable as-is.
+  FuncId DriverA = MA.MainId;
+  FuncId DriverB = Offset + MB.MainId;
+
+  IRBuilder B(M);
+  FuncId MainId = B.beginFunction("main", 0);
+  M.MainId = MainId;
+  {
+    RegId State = B.emitConst(0x9e37);
+    RegId IVar = B.emitConst(0);
+    RegId Trip = B.emitConst(static_cast<int64_t>(Params.Trips));
+    RegId Len = B.emitConst(
+        static_cast<int64_t>(std::max<uint64_t>(1, Params.PhaseLen)));
+    RegId One = B.emitConst(1);
+    RegId Zero = B.emitConst(0);
+    BlockId Header = B.newBlock();
+    BlockId CallA = B.newBlock();
+    BlockId CallB = B.newBlock();
+    BlockId Latch = B.newBlock();
+    BlockId Exit = B.newBlock();
+    B.emitBr(Header);
+
+    // Phase select: ((i / PhaseLen) & 1) == 0 -> A, else B.
+    B.setInsertPoint(Header);
+    RegId Phase = B.emitBinary(Opcode::DivU, IVar, Len);
+    RegId Bit = B.emitBinary(Opcode::And, Phase, One);
+    RegId IsA = B.emitBinary(Opcode::CmpEq, Bit, Zero);
+    B.emitCondBr(IsA, CallA, CallB);
+
+    B.setInsertPoint(CallA);
+    RegId RA = B.emitCall(DriverA, {});
+    B.emitBinary(Opcode::Xor, State, RA, State);
+    B.emitBr(Latch);
+
+    B.setInsertPoint(CallB);
+    RegId RB = B.emitCall(DriverB, {});
+    B.emitBinary(Opcode::Xor, State, RB, State);
+    B.emitBr(Latch);
+
+    B.setInsertPoint(Latch);
+    B.emitStore(IVar, State);
+    B.emitAddImm(IVar, 1, IVar);
+    RegId Cmp = B.emitBinary(Opcode::CmpLt, IVar, Trip);
+    B.emitCondBr(Cmp, Header, Exit);
+
+    B.setInsertPoint(Exit);
+    B.emitRet(State);
+  }
+  B.endFunction();
+
+  assert(verifyModule(M).empty() && "phased module fails verification");
+  return M;
+}

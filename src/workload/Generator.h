@@ -76,6 +76,26 @@ struct WorkloadParams {
 /// MainLoopTrips changes one loop bound and nothing else.
 Module generateWorkload(const WorkloadParams &Params);
 
+/// A phase-shifting program: two independently generated workloads
+/// fused into one module, with a new main that alternates between
+/// their drivers every PhaseLen iterations. The phases share global
+/// memory but no functions, so the program's hot set migrates wholesale
+/// at each switch -- the scenario where an adaptive optimizer's
+/// per-phase specialization beats a static pipeline's one whole-run
+/// compromise (bench/adaptive_steadystate).
+struct PhasedWorkloadParams {
+  std::string Name = "phased";
+  WorkloadParams PhaseA; ///< MainLoopTrips = work per driver call.
+  WorkloadParams PhaseB;
+  uint64_t PhaseLen = 16; ///< Driver iterations per phase.
+  uint64_t Trips = 64;    ///< Total driver iterations.
+};
+
+/// Generates the fused, verified phased module. PhaseB's functions are
+/// appended after PhaseA's (call targets remapped); both old mains
+/// become callable drivers under the new main.
+Module generatePhasedWorkload(const PhasedWorkloadParams &Params);
+
 } // namespace ppp
 
 #endif // PPP_WORKLOAD_GENERATOR_H

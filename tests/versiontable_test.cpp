@@ -1,0 +1,161 @@
+//===- tests/versiontable_test.cpp - Per-function code version tests ----------===//
+
+#include "interp/Interpreter.h"
+#include "interp/VersionTable.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace ppp;
+
+namespace {
+
+/// main() returns leaf() + 1; extra() exists but is never called, so
+/// lazy decode must leave it untouched. The leaf's return value is a
+/// parameter so swap tests can decode a structurally identical body
+/// from a second module and observe which version a call resolves.
+struct CallModule {
+  Module M;
+  FuncId Leaf = -1, Extra = -1, Main = -1;
+};
+
+CallModule buildCallModule(int64_t LeafValue) {
+  CallModule C;
+  IRBuilder B(C.M);
+  C.Leaf = B.beginFunction("leaf", 0);
+  B.emitRet(B.emitConst(LeafValue));
+  B.endFunction();
+  C.Extra = B.beginFunction("extra", 0);
+  B.emitRet(B.emitConst(99));
+  B.endFunction();
+  C.Main = B.beginFunction("main", 0);
+  RegId R = B.emitCall(C.Leaf, {});
+  B.emitRet(B.emitAddImm(R, 1));
+  B.endFunction();
+  C.M.MainId = C.Main;
+  EXPECT_EQ(verifyModule(C.M), "");
+  return C;
+}
+
+std::shared_ptr<const DecodedFunction> decodeLeaf(const CallModule &C,
+                                                  const CostModel &Costs) {
+  return std::make_shared<const DecodedFunction>(
+      decodeFunction(C.M.function(C.Leaf), Costs, /*HashedTable=*/false));
+}
+
+TEST(VersionTable, LazyDecodeOnFirstTouch) {
+  CallModule C = buildCallModule(7);
+  Interpreter I(C.M);
+  const VersionTable &VT = I.versions();
+  EXPECT_EQ(VT.numFunctions(), 3u);
+  EXPECT_EQ(VT.decodedFunctions(), 0u);
+  EXPECT_FALSE(VT.isDecoded(C.Main));
+
+  RunResult R = I.run();
+  EXPECT_EQ(R.ReturnValue, 8);
+  EXPECT_TRUE(VT.isDecoded(C.Main));
+  EXPECT_TRUE(VT.isDecoded(C.Leaf));
+  EXPECT_FALSE(VT.isDecoded(C.Extra));
+  EXPECT_EQ(VT.decodedFunctions(), 2u);
+}
+
+TEST(VersionTable, DecodeAllDecodesEverything) {
+  CallModule C = buildCallModule(7);
+  VersionTable VT;
+  VT.bind(C.M, CostModel());
+  EXPECT_EQ(VT.decodedFunctions(), 0u);
+  VT.decodeAll();
+  EXPECT_EQ(VT.decodedFunctions(), VT.numFunctions());
+  EXPECT_TRUE(VT.isDecoded(C.Extra));
+  EXPECT_EQ(VT.currentVersion(C.Extra), 0);
+}
+
+TEST(VersionTable, EagerAndLazyRunsAreIdentical) {
+  CallModule C = buildCallModule(7);
+  InterpOptions Lazy;
+  Interpreter LI(C.M, Lazy);
+  InterpOptions Eager;
+  Eager.EagerDecode = true;
+  Interpreter EI(C.M, Eager);
+  EXPECT_EQ(EI.versions().decodedFunctions(), 3u);
+
+  RunResult LR = LI.run();
+  RunResult ER = EI.run();
+  EXPECT_EQ(LR.ReturnValue, ER.ReturnValue);
+  EXPECT_EQ(LR.MemChecksum, ER.MemChecksum);
+  EXPECT_EQ(LR.DynInstrs, ER.DynInstrs);
+  EXPECT_EQ(LR.Cost, ER.Cost);
+}
+
+TEST(VersionTable, InstallSwapsAtNextCall) {
+  CallModule C = buildCallModule(7);
+  CallModule Alt = buildCallModule(42);
+  Interpreter I(C.M);
+  EXPECT_EQ(I.run().ReturnValue, 8);
+
+  VersionTable &VT = I.versions();
+  EXPECT_EQ(VT.install(C.Leaf, decodeLeaf(Alt, VT.costs())), 1);
+  EXPECT_EQ(VT.currentVersion(C.Leaf), 1);
+  EXPECT_EQ(VT.installedVersions(C.Leaf), 1u);
+  EXPECT_EQ(I.run().ReturnValue, 43);
+  // Only the installed function swapped.
+  EXPECT_EQ(VT.currentVersion(C.Main), 0);
+  EXPECT_EQ(VT.installedVersions(C.Main), 0u);
+}
+
+TEST(VersionTable, RevertRestoresBaseAndRetainsVersions) {
+  CallModule C = buildCallModule(7);
+  CallModule Alt = buildCallModule(42);
+  CallModule Alt2 = buildCallModule(100);
+  Interpreter I(C.M);
+  VersionTable &VT = I.versions();
+
+  EXPECT_EQ(VT.install(C.Leaf, decodeLeaf(Alt, VT.costs())), 1);
+  EXPECT_EQ(I.run().ReturnValue, 43);
+
+  VT.revert(C.Leaf);
+  EXPECT_EQ(VT.currentVersion(C.Leaf), 0);
+  EXPECT_EQ(I.run().ReturnValue, 8);
+  // The reverted version stays retained (in-flight frames may still
+  // point into it).
+  EXPECT_EQ(VT.installedVersions(C.Leaf), 1u);
+
+  // Installs keep counting up from where they left off.
+  EXPECT_EQ(VT.install(C.Leaf, decodeLeaf(Alt2, VT.costs())), 2);
+  EXPECT_EQ(VT.currentVersion(C.Leaf), 2);
+  EXPECT_EQ(I.run().ReturnValue, 101);
+}
+
+TEST(VersionTable, ResolvedPointersStableAcrossSwaps) {
+  CallModule C = buildCallModule(7);
+  VersionTable VT;
+  VT.bind(C.M, CostModel());
+
+  const DecodedFunction *Base = VT.resolve(C.Leaf);
+  ASSERT_NE(Base, nullptr);
+  EXPECT_EQ(VT.decodedFunctions(), 1u);
+
+  std::shared_ptr<const DecodedFunction> V = decodeLeaf(C, VT.costs());
+  const DecodedFunction *Raw = V.get();
+  EXPECT_EQ(VT.install(C.Leaf, std::move(V)), 1);
+  EXPECT_EQ(VT.resolve(C.Leaf), Raw);
+
+  // Revert resolves the original base decode, not a fresh one.
+  VT.revert(C.Leaf);
+  EXPECT_EQ(VT.resolve(C.Leaf), Base);
+  EXPECT_EQ(VT.decodedFunctions(), 1u);
+}
+
+TEST(VersionTable, RevertBeforeFirstTouchDecodesBase) {
+  CallModule C = buildCallModule(7);
+  VersionTable VT;
+  VT.bind(C.M, CostModel());
+  EXPECT_FALSE(VT.isDecoded(C.Leaf));
+  VT.revert(C.Leaf);
+  EXPECT_TRUE(VT.isDecoded(C.Leaf));
+  EXPECT_EQ(VT.currentVersion(C.Leaf), 0);
+  ASSERT_NE(VT.resolve(C.Leaf), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Adaptive re-optimization smoke: run a benchmark through the full
+# src/adapt loop -- PPP instrumentation, live-counter sampling at an
+# aggressive cadence, function-scoped inline/unroll specialization,
+# mid-run hot swaps and hair-trigger reverts -- and require the
+# observable semantics trace (return value + memory checksum, one line
+# per rep) to be byte-identical ('cmp') to the clean module's, at two
+# re-opt cadences and at 1 and 4 concurrent sessions. Deterministic end
+# to end, so it gates tier-1 like any other test.
+#
+# Usage: tools/adapt_smoke.sh <build-dir>
+set -eu
+
+BUILD_DIR=${1:?usage: adapt_smoke.sh <build-dir>}
+AR="$BUILD_DIR/tools/adapt_run"
+
+if [ ! -x "$AR" ]; then
+  echo "error: $AR not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 1
+fi
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ppp-adapt-smoke.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+# A branchy INT benchmark and a call-heavy one: swaps land both in leaf
+# functions and in functions with inlinable hot call sites.
+for BENCH in vpr perlbmk; do
+  "$AR" clean --bench="$BENCH" --out="$TMP/$BENCH.clean.txt"
+
+  # Cadence 32 swaps within the first few thousand instructions (many
+  # epochs per run); 1024 swaps later and exercises cross-run installs.
+  for CADENCE in 32 1024; do
+    for SESSIONS in 1 4; do
+      "$AR" adaptive --bench="$BENCH" --cadence="$CADENCE" \
+        --sessions="$SESSIONS" --out="$TMP/$BENCH.$CADENCE.s$SESSIONS.txt"
+      cmp "$TMP/$BENCH.clean.txt" "$TMP/$BENCH.$CADENCE.s$SESSIONS.txt" || {
+        echo "error: $BENCH cadence=$CADENCE sessions=$SESSIONS adaptive" \
+          "trace differs from clean run" >&2
+        exit 1
+      }
+    done
+  done
+done
+
+echo "adapt_smoke: OK"

@@ -47,6 +47,7 @@ GATES = {
     "throughput": ("throughput.average.*", 10.0),
     "served": ("serve.bench.*", 25.0),
     "trace": ("trace.average.*,trace.bench.*", 25.0),
+    "adapt": ("adapt.average.*,adapt.bench.*", 25.0),
 }
 
 
@@ -249,14 +250,31 @@ def self_test():
     rc, out, _ = gate_named(trace_base, grown_trace, "trace")
     check("trace gate: new benchmark tolerated", rc == 0 and "new" in out)
 
-    # 7. Every named preset resolves to at least one pattern and a
+    # 7. The named adapt gate over BENCH_adapt.json-shaped fixtures:
+    #    a steady adaptive-vs-static ratio passes, losing the adaptive
+    #    win (ratio collapse) fails.
+    adapt_base = metrics(
+        gauges={"adapt.bench.phased_ab.ratio": 1.12,
+                "adapt.bench.phased_ab.adaptive_mips": 105.0,
+                "adapt.average.best_phased_ratio": 1.12})
+    rc, out, _ = gate_named(adapt_base, adapt_base, "adapt")
+    check("adapt gate: steady run passes", rc == 0 and "ok:" in out)
+    lost_win = metrics(
+        gauges={"adapt.bench.phased_ab.ratio": 0.80,
+                "adapt.bench.phased_ab.adaptive_mips": 75.0,
+                "adapt.average.best_phased_ratio": 0.80})
+    rc, _, err = gate_named(adapt_base, lost_win, "adapt")
+    check("adapt gate: ratio collapse fails",
+          rc == 1 and "moved more than" in err)
+
+    # 8. Every named preset resolves to at least one pattern and a
     #    positive threshold (catches typos when presets are edited).
     check("gate presets well-formed",
           all(p.strip() and t > 0
               for p, t in GATES.values()) and set(GATES) ==
-          {"throughput", "served", "trace"})
+          {"throughput", "served", "trace", "adapt"})
 
-    # 8. Report-only mode never fails.
+    # 9. Report-only mode never fails.
     with tempfile.TemporaryDirectory() as d:
         ns = argparse.Namespace(old=write(base, d, "o.json"),
                                 new=write(grown, d, "n.json"),

@@ -41,6 +41,12 @@ tools/trace_smoke.sh "$REPO_ROOT/build"
 # longer soak, run tools/fuzz_ppp --minutes=N by hand.
 tools/fuzz_smoke.sh "$REPO_ROOT/build"
 
+# Adaptive smoke stage (also the adapt_smoke ctest): the online
+# re-optimization loop at two aggressive cadences and 1/4 concurrent
+# sessions must keep the observable semantics trace byte-identical to
+# the clean run.
+tools/adapt_smoke.sh "$REPO_ROOT/build"
+
 # Optional sanitizer stage: PPP_TIER1_SANITIZE=address (or undefined,
 # or "address undefined") rebuilds into build-<san>/ with PPP_SANITIZE
 # and reruns the unit tests under the instrumented binaries. The
