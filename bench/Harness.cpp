@@ -9,6 +9,7 @@
 #include "pass/AnalysisManager.h"
 #include "pass/Pipeline.h"
 #include "support/Format.h"
+#include "trace/PathTiming.h"
 #include "trace/TraceDecoder.h"
 
 #include <algorithm>
@@ -137,7 +138,8 @@ ProfilerOutcome ppp::bench::runProfiler(const PreparedBenchmark &B,
     // hot loop pays only appends, costed at TraceByte per byte), then
     // reconstruct the exact counters offline.
     Interpreter I(B.Expanded, IO);
-    trace::TraceRecorder Rec;
+    trace::TraceRecorder Rec(trace::DefaultTraceChunkBytes,
+                             Opts.TraceTimestamps);
     I.setTraceRecorder(&Rec);
     RunResult Res = I.run();
     if (Res.FuelExhausted) {
@@ -147,13 +149,19 @@ ProfilerOutcome ppp::bench::runProfiler(const PreparedBenchmark &B,
     }
     Out.CostInstr = Res.Cost;
     Out.OverheadPct = overheadPercent(B.CostBase, Res.Cost);
-    trace::TraceDecoder Dec(B.Expanded, *Out.IR);
+    trace::TraceDecoder Dec(B.Expanded, *Out.IR, B.Costs);
     trace::DecodeStats DS;
     std::string Error;
-    if (!Dec.decode(Rec.recording(), RT, DS, Error)) {
+    trace::PathTimingProfile Timing;
+    if (!Dec.decode(Rec.recording(), RT, DS, Error,
+                    Opts.TraceTimestamps ? &Timing : nullptr)) {
       fprintf(stderr, "error: trace decode of %s (%s) failed: %s\n",
               B.Name.c_str(), Opts.Name.c_str(), Error.c_str());
       exit(1);
+    }
+    if (Opts.TraceTimestamps) {
+      Timing.finishPhases();
+      Timing.flushMetrics();
     }
   } else {
     Interpreter I(Out.IR->Instrumented, IO);
@@ -197,7 +205,8 @@ bool ppp::bench::decodeTraceParallel(const trace::TraceDecoder &Dec,
                                      const trace::TraceRecording &R,
                                      ProfileRuntime &RT,
                                      trace::DecodeStats &DS,
-                                     std::string &Error) {
+                                     std::string &Error,
+                                     trace::PathTimingProfile *Timing) {
   struct Task {
     size_t Idx;
     std::string Label;
@@ -227,7 +236,7 @@ bool ppp::bench::decodeTraceParallel(const trace::TraceDecoder &Dec,
     }
     Chunks.push_back(std::move(O.Res));
   }
-  return Dec.stitch(R, Chunks, RT, DS, Error);
+  return Dec.stitch(R, Chunks, RT, DS, Error, Timing);
 }
 
 EdgeProfilingOutcome

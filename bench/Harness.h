@@ -43,6 +43,7 @@ namespace trace {
 class TraceDecoder;
 struct TraceRecording;
 struct DecodeStats;
+class PathTimingProfile;
 } // namespace trace
 
 namespace bench {
@@ -118,9 +119,13 @@ ProfilerOutcome runProfiler(const PreparedBenchmark &B,
 /// every boundary, so the result is identical to TraceDecoder::decode()
 /// at any job count. Returns false (with \p Error set, \p RT possibly
 /// partially filled) on a corrupt or mismatched recording.
+/// For timed recordings, pass \p Timing to also accumulate the
+/// per-path cost-attribution profile; stitch() feeds it sequentially,
+/// so it too is identical at any job count.
 bool decodeTraceParallel(const trace::TraceDecoder &Dec,
                          const trace::TraceRecording &R, ProfileRuntime &RT,
-                         trace::DecodeStats &DS, std::string &Error);
+                         trace::DecodeStats &DS, std::string &Error,
+                         trace::PathTimingProfile *Timing = nullptr);
 
 /// Accuracy and coverage of the plain edge profile (the "edge
 /// profiling" bars of Figures 9 and 10).

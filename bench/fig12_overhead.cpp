@@ -5,7 +5,9 @@
 /// stand-in for the paper's Alpha hardware). A fourth column measures
 /// the trace-collection backend (record branch-target packets on the
 /// clean code, reconstruct counters offline) head-to-head against the
-/// counter-based profilers.
+/// counter-based profilers, and a fifth records with cost stamps
+/// (timing-annotated tracing), whose overhead must stay within 2x the
+/// untimed trace column's.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,12 +27,12 @@ namespace {
 struct Row {
   std::string Name;
   bool IsFp = false;
-  double Vals[4] = {0, 0, 0, 0};
+  double Vals[5] = {0, 0, 0, 0, 0};
 };
 
 void runTable(const char *Title, const CostModel &Costs) {
   printf("%s\n\n", Title);
-  printHeader("bench", {"pp", "tpp", "ppp", "trace"});
+  printHeader("bench", {"pp", "tpp", "ppp", "trace", "trace+t"});
 
   std::vector<Row> Rows =
       runSuiteParallel(spec2000Suite(), [&](const BenchmarkSpec &Spec) {
@@ -40,18 +42,20 @@ void runTable(const char *Title, const CostModel &Costs) {
         int I = 0;
         for (const ProfilerOptions &Opts :
              {ProfilerOptions::pp(), ProfilerOptions::tpp(),
-              ProfilerOptions::ppp(), ProfilerOptions::trace()})
+              ProfilerOptions::ppp(), ProfilerOptions::trace(),
+              ProfilerOptions::traceTimed()})
           R.Vals[I++] = runProfiler(B, Opts, &FAM).OverheadPct;
         return R;
       });
 
-  double Sum[4] = {0, 0, 0, 0}, IntSum[4] = {0, 0, 0, 0},
-         FpSum[4] = {0, 0, 0, 0};
+  double Sum[5] = {0, 0, 0, 0, 0}, IntSum[5] = {0, 0, 0, 0, 0},
+         FpSum[5] = {0, 0, 0, 0, 0};
   int N = 0, IntN = 0, FpN = 0;
   for (const Row &R : Rows) {
-    printRow(R.Name, {R.Vals[0], R.Vals[1], R.Vals[2], R.Vals[3]},
+    printRow(R.Name, {R.Vals[0], R.Vals[1], R.Vals[2], R.Vals[3],
+                      R.Vals[4]},
              "%10.2f");
-    for (int K = 0; K < 4; ++K) {
+    for (int K = 0; K < 5; ++K) {
       Sum[K] += R.Vals[K];
       (R.IsFp ? FpSum : IntSum)[K] += R.Vals[K];
     }
@@ -61,11 +65,17 @@ void runTable(const char *Title, const CostModel &Costs) {
   printf("\n");
   if (IntN)
     printRow("INT-avg", {IntSum[0] / IntN, IntSum[1] / IntN,
-                         IntSum[2] / IntN, IntSum[3] / IntN});
+                         IntSum[2] / IntN, IntSum[3] / IntN,
+                         IntSum[4] / IntN});
   if (FpN)
     printRow("FP-avg", {FpSum[0] / FpN, FpSum[1] / FpN, FpSum[2] / FpN,
-                        FpSum[3] / FpN});
-  printRow("average", {Sum[0] / N, Sum[1] / N, Sum[2] / N, Sum[3] / N});
+                        FpSum[3] / FpN, FpSum[4] / FpN});
+  printRow("average", {Sum[0] / N, Sum[1] / N, Sum[2] / N, Sum[3] / N,
+                       Sum[4] / N});
+  if (Sum[3] > 0)
+    printf("\ntimed/untimed trace overhead ratio: %.2f (cost stamps "
+           "must stay within 2x)\n",
+           Sum[4] / Sum[3]);
   printf("\n");
 }
 

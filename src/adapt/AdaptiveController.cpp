@@ -4,6 +4,7 @@
 
 #include "analysis/CfgView.h"
 #include "obs/Obs.h"
+#include "trace/PathTiming.h"
 
 #include <algorithm>
 #include <cassert>
@@ -67,10 +68,20 @@ FuncId AdaptiveController::pickCandidate() const {
         S.Installs >= Opts.MaxVersionsPerFunction ||
         S.Delta < Opts.MinPathDelta || !IR.Plans[FI].Instrumented)
       continue;
-    // Count delta times static size: a work proxy favoring functions
-    // where one activation touches more instructions.
-    uint64_t Score =
-        S.Delta * Clean.function(static_cast<FuncId>(FI)).size();
+    // Count delta times a per-activation work weight. The default
+    // weight is static size, a proxy favoring functions where one
+    // activation touches more instructions; with a timed-trace profile
+    // attached, the *measured* mean exclusive cost per path execution
+    // replaces it, separating cheap-but-frequent functions from
+    // expensive ones the size proxy cannot tell apart.
+    uint64_t Weight = Clean.function(static_cast<FuncId>(FI)).size();
+    if (Opts.Hotness == HotnessSource::PathTime && Opts.Timing) {
+      double Mean =
+          Opts.Timing->meanFunctionCost(static_cast<FuncId>(FI));
+      if (Mean > 0.0)
+        Weight = static_cast<uint64_t>(Mean);
+    }
+    uint64_t Score = S.Delta * Weight;
     if (Score > BestScore) {
       BestScore = Score;
       Best = static_cast<FuncId>(FI);
@@ -152,6 +163,8 @@ void AdaptiveController::specialize(FuncId F) {
   Stats.SwapNanos += Ns;
   Stats.MaxSwapNanos = std::max(Stats.MaxSwapNanos, Ns);
   ++Stats.VersionsInstalled;
+  if (Stats.FirstInstall < 0)
+    Stats.FirstInstall = F;
   FuncState &S = Funcs[static_cast<size_t>(F)];
   ++S.Installs;
   S.Specialized = true;

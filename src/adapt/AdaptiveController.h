@@ -56,7 +56,25 @@
 #include <vector>
 
 namespace ppp {
+
+namespace trace {
+class PathTimingProfile;
+} // namespace trace
+
 namespace adapt {
+
+/// What the controller treats as a function's hotness when ranking
+/// specialization candidates.
+enum class HotnessSource : uint8_t {
+  /// Live path-count delta weighted by static function size (a work
+  /// proxy). The original behavior; needs nothing beyond the runtime.
+  Count,
+  /// Count delta weighted by the function's *measured* mean exclusive
+  /// cost per path execution, from a timed-trace profiling run
+  /// (trace/PathTiming). Separates a cheap-but-frequent function from
+  /// a similarly-sized expensive one, which static size cannot.
+  PathTime,
+};
 
 struct AdaptiveOptions {
   /// Calls between epochs (the controller's sampling cadence).
@@ -97,6 +115,14 @@ struct AdaptiveOptions {
   /// on one function per version build.
   InlinerOptions InlineOpts;
   UnrollerOptions UnrollOpts;
+
+  /// Candidate-ranking signal. PathTime requires Timing; a function
+  /// absent from the timing profile falls back to its static size, so
+  /// a partial profile degrades gracefully to Count behavior.
+  HotnessSource Hotness = HotnessSource::Count;
+  /// Per-path cost attribution from a prior timed-trace run of the
+  /// same workload (must outlive the controller). Read-only.
+  const trace::PathTimingProfile *Timing = nullptr;
 };
 
 struct AdaptStats {
@@ -109,6 +135,11 @@ struct AdaptStats {
   uint64_t Backoffs = 0;          ///< Epoch-period doublings.
   uint64_t SwapNanos = 0;         ///< Total build+install wall time.
   uint64_t MaxSwapNanos = 0;      ///< Worst single swap.
+  /// The first function ever specialized, -1 while none has been.
+  /// Reverts do not clear it: it records the controller's initial
+  /// candidate choice (what the hotness source pointed at first), not
+  /// the surviving version set.
+  FuncId FirstInstall = -1;
 };
 
 class AdaptiveController : public EpochHook {

@@ -11,6 +11,7 @@
 #include "profile/BinaryIO.h"
 #include "profile/Collectors.h"
 #include "support/Format.h"
+#include "trace/PathTiming.h"
 #include "trace/TraceDecoder.h"
 #include "trace/TraceIO.h"
 
@@ -412,6 +413,155 @@ void checkTraceBackend(const Module &M, const CleanRun &Clean,
   }
 }
 
+/// The timed-trace battery: cost stamps are a pure annotation. A timed
+/// recording must leave semantics untouched, survive the IO round trip
+/// field-identically, and decode into counters *bit-identical* to the
+/// counter backend (the same oracle checkTraceBackend uses -- the
+/// trace and trace+time plans are the same plan). On top of that the
+/// attribution side must obey its conservation laws exactly: the
+/// replayed total equals the interpreter's own run cost, attributed
+/// plus unattributed equals that total, every per-path histogram sums
+/// to its path's count, and entry bounds are sane. Same two chunk
+/// capacities as the untimed battery, so seals land on stamp points.
+void checkTimedTrace(const Module &M, const CleanRun &Clean, uint64_t Fuel,
+                     InvariantReport &Rep) {
+  const uint32_t Caps[2] = {trace::DefaultTraceChunkBytes,
+                            trace::TraceRecorder::MinTraceChunkBytes * 3};
+  trace::TraceRecording Recs[2];
+  for (int C = 0; C < 2; ++C) {
+    trace::TraceRecorder TR(Caps[C], /*Timestamps=*/true);
+    InterpOptions IO;
+    IO.Fuel = Fuel;
+    Interpreter I(M, IO);
+    I.setTraceRecorder(&TR);
+    RunResult Res = I.run();
+    ++Rep.ChecksRun;
+    if (Res.FuelExhausted) {
+      Rep.fail("timed.terminates", "timed recorded run exhausted fuel");
+      return;
+    }
+    ++Rep.ChecksRun;
+    if (Res.ReturnValue != Clean.Res.ReturnValue ||
+        Res.MemChecksum != Clean.Res.MemChecksum)
+      Rep.fail("timed.semantics",
+               formatString("timed recorded run diverged from clean run "
+                            "(chunk cap %u)",
+                            Caps[C]));
+    Recs[C] = TR.takeRecording();
+
+    std::string Err;
+    trace::TraceRecording Back;
+    ++Rep.ChecksRun;
+    if (!trace::readTraceBinary(trace::writeTraceBinary(Recs[C]), Back,
+                                Err))
+      Rep.fail("timed.roundtrip", "read failed: " + Err);
+    else if (!(Back == Recs[C]))
+      Rep.fail("timed.roundtrip", "recording not field-identical");
+  }
+  ++Rep.ChecksRun;
+  if (!(Recs[0].CondEvents == Recs[1].CondEvents &&
+        Recs[0].SwitchEvents == Recs[1].SwitchEvents &&
+        Recs[0].StampEvents == Recs[1].StampEvents))
+    Rep.fail("timed.chunking",
+             "chunk capacity changed the timed event stream");
+
+  InstrumentationResult IR =
+      instrumentModule(M, Clean.EP, ProfilerOptions::trace());
+  ProfileRuntime CounterRT = IR.makeRuntime();
+  {
+    InterpOptions IO;
+    IO.Fuel = Fuel * 2;
+    Interpreter I(IR.Instrumented, IO);
+    I.setProfileRuntime(&CounterRT);
+    ++Rep.ChecksRun;
+    if (I.run().FuelExhausted) {
+      Rep.fail("timed.counter.terminates",
+               "instrumented run exhausted fuel");
+      return;
+    }
+  }
+  CountsMessage Want = countsFromRun(M.Name, IR, CounterRT);
+
+  // Default cost model, matching the recording runs above: the decoder
+  // revalidates every stamp against its own replayed cost counter.
+  trace::TraceDecoder Dec(M, IR);
+  for (int C = 0; C < 2; ++C) {
+    ProfileRuntime DecRT = IR.makeRuntime();
+    trace::DecodeStats DS;
+    trace::PathTimingProfile Timing;
+    std::string Err;
+    ++Rep.ChecksRun;
+    if (!Dec.decode(Recs[C], DecRT, DS, Err, &Timing)) {
+      Rep.fail("timed.decode",
+               formatString("chunk cap %u: %s", Caps[C], Err.c_str()));
+      continue;
+    }
+    ++Rep.ChecksRun;
+    if (!(countsFromRun(M.Name, IR, DecRT) == Want))
+      Rep.fail("timed.bit_identical",
+               formatString("chunk cap %u: timed decode's counters "
+                            "differ from the counter backend",
+                            Caps[C]));
+    ++Rep.ChecksRun;
+    if (Timing.totalCost() != Clean.Res.Cost)
+      Rep.fail("timed.total_cost",
+               formatString("chunk cap %u: replayed total %llu != clean "
+                            "run cost %llu",
+                            Caps[C],
+                            static_cast<unsigned long long>(
+                                Timing.totalCost()),
+                            static_cast<unsigned long long>(
+                                Clean.Res.Cost)));
+    ++Rep.ChecksRun;
+    if (Timing.attributedCost() + Timing.unattributedCost() !=
+        Timing.totalCost())
+      Rep.fail("timed.conservation",
+               formatString("chunk cap %u: %llu attributed + %llu "
+                            "unattributed != %llu total",
+                            Caps[C],
+                            static_cast<unsigned long long>(
+                                Timing.attributedCost()),
+                            static_cast<unsigned long long>(
+                                Timing.unattributedCost()),
+                            static_cast<unsigned long long>(
+                                Timing.totalCost())));
+    uint64_t Execs = 0;
+    bool HistogramsOk = true, BoundsOk = true;
+    for (const auto &KV : Timing.paths()) {
+      const trace::PathTimingEntry &E = KV.second;
+      uint64_t Sum = 0;
+      for (uint64_t B : E.Buckets)
+        Sum += B;
+      if (Sum != E.Count)
+        HistogramsOk = false;
+      if (E.MinCost > E.MaxCost || E.MaxCost > E.TotalCost)
+        BoundsOk = false;
+      Execs += E.Count;
+    }
+    ++Rep.ChecksRun;
+    if (!HistogramsOk)
+      Rep.fail("timed.histogram",
+               formatString("chunk cap %u: a path's histogram does not "
+                            "sum to its count",
+                            Caps[C]));
+    ++Rep.ChecksRun;
+    if (!BoundsOk)
+      Rep.fail("timed.entry_bounds",
+               formatString("chunk cap %u: a path entry violates "
+                            "min <= max <= total",
+                            Caps[C]));
+    ++Rep.ChecksRun;
+    if (Execs != Timing.executions())
+      Rep.fail("timed.executions",
+               formatString("chunk cap %u: per-path counts sum to %llu "
+                            "but %llu executions were recorded",
+                            Caps[C],
+                            static_cast<unsigned long long>(Execs),
+                            static_cast<unsigned long long>(
+                                Timing.executions())));
+  }
+}
+
 /// The adaptive loop's contract (src/adapt): with an adversarially
 /// aggressive cadence, a hair-trigger revert threshold, and fast
 /// backoff, hot-swapping function versions mid-run preserves semantics
@@ -506,6 +656,7 @@ InvariantReport ppp::fuzz::checkModuleInvariants(const Module &M,
   checkOneProfiler(M, Clean, ProfilerOptions::tpp(), Fuel * 2, Rep);
   checkOneProfiler(M, Clean, ProfilerOptions::ppp(), Fuel * 2, Rep);
   checkTraceBackend(M, Clean, Fuel, Rep);
+  checkTimedTrace(M, Clean, Fuel, Rep);
   checkAdaptive(M, Clean, Fuel, Rep);
   return Rep;
 }

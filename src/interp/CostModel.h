@@ -18,6 +18,7 @@
 #include "ir/Opcode.h"
 
 #include <cstdint>
+#include <initializer_list>
 
 namespace ppp {
 
@@ -40,6 +41,14 @@ struct CostModel {
   /// Charged per byte rather than per opcode -- six conditional-branch
   /// outcomes share one byte, which is the backend's whole advantage.
   uint32_t TraceByte = 2;
+  /// Timing-annotated tracing: cost per emitted cost-stamp varint byte
+  /// (the delta-compressed timestamp written at due Rets). Split
+  /// from TraceByte so experiments can price the timing channel
+  /// separately, and cheaper than it: a TNT byte's price covers six
+  /// per-branch shift/or updates plus the store, while a stamp byte is
+  /// one subtract and a couple of shift/mask steps folded into a
+  /// single bulk append of an already-live counter.
+  uint32_t TraceStampByte = 1;
 
   /// The default weights above approximate a simple modern core. This
   /// preset instead approximates the paper's Alpha 21164: multi-cycle
@@ -61,7 +70,24 @@ struct CostModel {
     C.ProfCountHash = 45;
     C.PoisonCheck = 2;
     C.TraceByte = 3; // Stores are 3 cycles here; appends batch into them.
+    C.TraceStampByte = 2;
     return C;
+  }
+
+  /// Order-sensitive FNV-1a fingerprint of every weight. Stamped into
+  /// serialized artifacts (trace recordings; the prep cache hashes the
+  /// fields itself) so a consumer can reject a model mismatch up front
+  /// instead of diagnosing the divergence it causes downstream.
+  uint64_t key() const {
+    uint64_t H = 1469598103934665603ULL;
+    for (uint32_t V : {Simple, Mul, Div, Mem, CallOverhead, RetOverhead,
+                       Branch, Multiway, ProfReg, ProfCountArray,
+                       ProfCountHash, PoisonCheck, TraceByte,
+                       TraceStampByte}) {
+      H ^= V;
+      H *= 1099511628211ULL;
+    }
+    return H;
   }
 
   /// Cost of \p Op; for ProfCountIdx/ProfCountConst pass whether the

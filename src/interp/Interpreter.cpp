@@ -29,6 +29,7 @@
 #include "interp/Interpreter.h"
 
 #include "obs/Obs.h"
+#include "trace/TraceRecorder.h" // Header-only; run() reads the timed flag.
 
 #include <cassert>
 
@@ -54,6 +55,13 @@ extern template RunResult
 Interpreter::runImpl<false, false, false, true, false>();
 extern template RunResult
 Interpreter::runImpl<true, false, false, true, false>();
+
+// Timed trace-recording specializations (cost stamps at every Ret),
+// compiled in InterpreterTraceTimed.cpp.
+extern template RunResult
+Interpreter::runImpl<false, false, false, true, false, true>();
+extern template RunResult
+Interpreter::runImpl<true, false, false, true, false, true>();
 
 // Adaptive (epoch-hook) specializations, compiled in
 // InterpreterAdapt.cpp.
@@ -91,6 +99,9 @@ RunResult Interpreter::run() {
     assert(!Runtime &&
            "trace recording and a profiling runtime are exclusive");
     assert(!Epoch && "trace recording and an epoch hook are exclusive");
+    if (TraceRec->timestampsEnabled())
+      return HasObs ? runImpl<true, false, false, true, false, true>()
+                    : runImpl<false, false, false, true, false, true>();
     return HasObs ? runImpl<true, false, false, true, false>()
                   : runImpl<false, false, false, true, false>();
   }

@@ -116,7 +116,9 @@ public:
   /// offline decoder in src/trace reconstructs the path profile).
   /// Recording runs on a *clean* module -- mutually exclusive with a
   /// profiling runtime. The recorder is one-shot: attach a fresh one
-  /// per run().
+  /// per run(). A recorder with timestampsEnabled() selects the timed
+  /// specialization, which additionally emits a cost-stamp varint at
+  /// every Ret.
   void setTraceRecorder(trace::TraceRecorder *Rec) { TraceRec = Rec; }
 
   /// Attaches the adaptive epoch hook (not owned): run() selects the
@@ -137,7 +139,7 @@ public:
 
 private:
   template <bool HasObservers, bool HasRuntime, bool HasStats,
-            bool HasTrace, bool HasAdapt>
+            bool HasTrace, bool HasAdapt, bool HasTime = false>
   RunResult runImpl();
 
   VersionTable VT;

@@ -1,0 +1,30 @@
+//===- interp/InterpreterTraceTimed.cpp - Timed trace dispatch loop --------===//
+///
+/// The HasTime=true specializations of Interpreter::runImpl<>: the
+/// trace-recording dispatch loop with cost stamps compiled in (every
+/// Ret appends the zigzag varint delta of the accumulated cost counter
+/// into the attached trace::TraceRecorder, and chunk seals capture the
+/// absolute cost in the cursor). Kept out of both Interpreter.cpp and
+/// InterpreterTrace.cpp for the same measured reason as
+/// InterpreterStats.cpp: neither the clean fast path's nor the untimed
+/// recording loop's code generation may change when timing support is
+/// compiled in (see interp/InterpreterLoop.inc).
+///
+/// Timing rides the trace stream, so only the HasTrace=true,
+/// HasRuntime=false, HasStats=false configurations exist; run()
+/// selects these off TraceRecorder::timestampsEnabled().
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "obs/Obs.h"
+
+using namespace ppp;
+
+#include "interp/InterpreterLoop.inc"
+
+template RunResult
+Interpreter::runImpl<false, false, false, true, false, true>();
+template RunResult
+Interpreter::runImpl<true, false, false, true, false, true>();

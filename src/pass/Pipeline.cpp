@@ -76,9 +76,11 @@ bool ppp::parseProfilerSpec(const std::string &Spec, ProfilerOptions &Out,
     Out = ProfilerOptions::ppp();
   else if (Preset == "trace")
     Out = ProfilerOptions::trace();
+  else if (Preset == "trace+time")
+    Out = ProfilerOptions::traceTimed();
   else {
     Error = formatString("unknown profiler preset '%s' (expected pp, tpp, "
-                         "tpp-checked, ppp, or trace)",
+                         "tpp-checked, ppp, trace, or trace+time)",
                          Preset.c_str());
     return false;
   }

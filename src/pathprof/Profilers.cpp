@@ -60,6 +60,13 @@ ProfilerOptions ProfilerOptions::trace() {
   return O;
 }
 
+ProfilerOptions ProfilerOptions::traceTimed() {
+  ProfilerOptions O = trace();
+  O.Name = "trace+time";
+  O.TraceTimestamps = true;
+  return O;
+}
+
 void FunctionPlan::buildEdgeIndex() {
   RealByCfg.clear();
   LoopEntryByBack.clear();

@@ -99,6 +99,13 @@ struct ProfilerOptions {
   /// (src/trace/TraceDecoder) instead of counting on the hot path.
   bool TraceBackend = false;
 
+  /// Timing-annotated tracing: in addition to branch-target packets,
+  /// the recording interpreter stamps its accumulated cost counter at
+  /// every Ret (delta-compressed), and the offline decode attributes
+  /// inter-stamp cost to path executions (src/trace/PathTiming).
+  /// Requires TraceBackend.
+  bool TraceTimestamps = false;
+
   static ProfilerOptions pp();
   static ProfilerOptions tpp();
   static ProfilerOptions ppp();
@@ -111,6 +118,9 @@ struct ProfilerOptions {
   static ProfilerOptions adaptive();
   /// PPP's plan with trace-backend collection (TraceBackend = true).
   static ProfilerOptions trace();
+  /// trace() with cost stamps (TraceTimestamps = true): the "trace+time"
+  /// preset behind per-path latency attribution.
+  static ProfilerOptions traceTimed();
   /// TPP as Joshi et al. published it: poison checks on every count in
   /// routines with cold edges (the paper's implementation substitutes
   /// free poisoning; this preset exists to measure the difference).

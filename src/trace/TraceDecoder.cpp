@@ -3,6 +3,7 @@
 #include "trace/TraceDecoder.h"
 
 #include "analysis/CfgView.h"
+#include "trace/PathTiming.h"
 #include "obs/Obs.h"
 #include "support/Format.h"
 
@@ -12,8 +13,9 @@ using namespace ppp;
 using namespace ppp::trace;
 
 TraceDecoder::TraceDecoder(const Module &CleanM,
-                           const InstrumentationResult &IR)
-    : MainId(CleanM.MainId) {
+                           const InstrumentationResult &IR,
+                           const CostModel &Costs)
+    : MainId(CleanM.MainId), CostKey(Costs.key()) {
   Funcs.resize(CleanM.Functions.size());
   for (size_t FI = 0; FI < CleanM.Functions.size(); ++FI) {
     const Function &F = CleanM.Functions[FI];
@@ -22,9 +24,20 @@ TraceDecoder::TraceDecoder(const Module &CleanM,
     for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
       const BasicBlock &BB = F.Blocks[BI];
       RBlock &RB = RF.Blocks[BI];
-      for (const Instr &I : BB.Instrs)
-        if (I.Op == Opcode::Call)
+      // Segment costs use the same per-opcode weights the interpreter
+      // charges at dispatch (decode is 1:1 with these instructions),
+      // which is what makes timed replay's cost counter exact. The
+      // terminator is Instrs.back(), so the final segment includes it.
+      uint64_t Seg = 0;
+      for (const Instr &I : BB.Instrs) {
+        Seg += Costs.costOf(I.Op);
+        if (I.Op == Opcode::Call) {
           RB.Calls.push_back(I.Callee);
+          RB.SegCosts.push_back(Seg);
+          Seg = 0;
+        }
+      }
+      RB.SegCosts.push_back(Seg);
       const Instr &Term = BB.terminator();
       RB.Term = Term.Op;
       RB.Targets = Term.Targets;
@@ -61,6 +74,12 @@ struct RFrame {
   BlockId Block = -1;
   uint32_t Item = 0;
   PathVal Reg;
+  /// Timed replay: exclusive cost accrued since this frame's last
+  /// counting op; CarryIn marks a restored frame whose pre-chunk
+  /// accrual (unknown here) must be added at stitch time.
+  uint64_t Acc = 0;
+  bool CarryIn = false;
+  uint32_t CarryDepth = 0;
 };
 
 } // namespace
@@ -82,22 +101,46 @@ bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
   };
 
   constexpr uint32_t AtTerminator = TraceCursorFrame::AtTerminator;
+  const bool Timed = R.Timed;
+  // A stamped recording names the cost model it charged; replaying a
+  // timed stream under a different model is guaranteed to diverge, so
+  // fail with the cause up front rather than at the first stamp.
+  if (Timed && R.CostModelKey != 0 && R.CostModelKey != CostKey)
+    return Fail("recording cost-model key disagrees with the decoder's");
   std::vector<RFrame> Stack;
 
-  auto Emit = [&](FuncId F, bool Checked, bool Symbolic, uint32_t Depth,
+  // A counting op consumes its frame's exclusive accrual (timed
+  // decodes): the cost since the frame's previous counting op is this
+  // path execution's cost. Run-length merging additionally requires
+  // equal per-execution cost and no symbolic carry (a carry applies to
+  // exactly one execution); untimed decodes see all-zero cost fields,
+  // so their merging is unchanged.
+  auto Emit = [&](RFrame &T, bool Checked, bool Symbolic, uint32_t Depth,
                   int64_t Value) {
     ++Out.Increments;
     if (!Symbolic)
       Depth = 0;
+    uint64_t CostEach = 0;
+    bool CostCarry = false;
+    uint32_t CostCarryDepth = 0;
+    if (Timed) {
+      CostEach = T.Acc;
+      CostCarry = T.CarryIn;
+      CostCarryDepth = T.CarryDepth;
+      T.Acc = 0;
+      T.CarryIn = false;
+    }
     if (!Out.Events.empty()) {
       CountEvent &L = Out.Events.back();
-      if (L.F == F && L.Checked == Checked && L.Symbolic == Symbolic &&
-          L.Depth == Depth && L.Value == Value) {
+      if (L.F == T.F && L.Checked == Checked && L.Symbolic == Symbolic &&
+          L.Depth == Depth && L.Value == Value && L.CostEach == CostEach &&
+          !L.CostCarry && !CostCarry) {
         ++L.Count;
         return;
       }
     }
-    Out.Events.push_back({F, Checked, Symbolic, Depth, Value, 1});
+    Out.Events.push_back({T.F, Checked, Symbolic, Depth, Value, 1, CostEach,
+                          CostCarry, CostCarryDepth});
   };
   auto ApplyOps = [&](const std::vector<ProfOp> &Ops, RFrame &T) {
     for (const ProfOp &Op : Ops) {
@@ -109,13 +152,13 @@ bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
         T.Reg.Value += Op.Imm;
         break;
       case Opcode::ProfCountIdx:
-        Emit(T.F, false, T.Reg.Symbolic, T.Reg.Depth, T.Reg.Value + Op.Imm);
+        Emit(T, false, T.Reg.Symbolic, T.Reg.Depth, T.Reg.Value + Op.Imm);
         break;
       case Opcode::ProfCheckedCountIdx:
-        Emit(T.F, true, T.Reg.Symbolic, T.Reg.Depth, T.Reg.Value + Op.Imm);
+        Emit(T, true, T.Reg.Symbolic, T.Reg.Depth, T.Reg.Value + Op.Imm);
         break;
       case Opcode::ProfCountConst:
-        Emit(T.F, false, false, 0, Op.Imm);
+        Emit(T, false, false, 0, Op.Imm);
         break;
       default:
         assert(false && "non-profiling op in SiteOps");
@@ -124,12 +167,26 @@ bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
     }
   };
 
+  // Cost-base sanity: untimed cursors must not smuggle cost fields in,
+  // a fresh start begins at cost zero, and a stamp base can never be
+  // ahead of the cost counter it stamps.
+  if (!Timed && (Cur.StartCost != 0 || Cur.LastStampCost != 0))
+    return Fail("untimed cursor carries a cost base");
+  if (!Timed && Cur.EventsSinceStamp != 0)
+    return Fail("untimed cursor carries a stamp event count");
+  if (Timed && Cur.LastStampCost > Cur.StartCost)
+    return Fail("cursor stamp base ahead of its cost base");
+
   // Rebuild the live stack the chunk's bytes start at.
   if (Cur.FreshStart) {
     if (!Cur.Frames.empty())
       return Fail("fresh-start cursor carries frames");
     if (Cur.LastSwitchTarget != 0)
       return Fail("fresh-start cursor carries a switch base");
+    if (Cur.StartCost != 0 || Cur.LastStampCost != 0)
+      return Fail("fresh-start cursor carries a cost base");
+    if (Cur.EventsSinceStamp != 0)
+      return Fail("fresh-start cursor carries a stamp event count");
     Stack.push_back({MainId, 0, 0, PathVal{}});
     ApplyOps(Funcs[static_cast<size_t>(MainId)].EntryOps, Stack.back());
   } else {
@@ -146,19 +203,27 @@ bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
       bool Top = D + 1 == Cur.Frames.size();
       if (Top) {
         // Seals happen only while a terminator that consumes trace
-        // bytes is about to execute.
+        // bytes is about to execute (timed streams also consume a
+        // stamp at Ret, so Ret is a legal seal point there).
         if (CF.Item != AtTerminator)
           return Fail("cursor top frame is not at a terminator");
-        if (RB.Term != Opcode::CondBr && RB.Term != Opcode::Switch)
+        if (RB.Term != Opcode::CondBr && RB.Term != Opcode::Switch &&
+            !(Timed && RB.Term == Opcode::Ret))
           return Fail("cursor top frame not at a recorded branch");
+        // A seal at a Ret happens only right before a due stamp.
+        if (RB.Term == Opcode::Ret &&
+            Cur.EventsSinceStamp < StampPeriodEvents)
+          return Fail("cursor at a ret without a due stamp");
       } else {
         if (CF.Item >= RB.Calls.size())
           return Fail("cursor call item out of range");
         if (RB.Calls[CF.Item] != Cur.Frames[D + 1].F)
           return Fail("cursor call chain is inconsistent");
       }
+      // Restored frames carry their pre-chunk accrual symbolically.
       Stack.push_back({CF.F, CF.Block, CF.Item,
-                       PathVal{true, static_cast<uint32_t>(D), 0}});
+                       PathVal{true, static_cast<uint32_t>(D), 0}, 0, Timed,
+                       static_cast<uint32_t>(D)});
     }
   }
 
@@ -167,6 +232,18 @@ bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
   uint8_t TntBits = 0;
   unsigned TntLeft = 0;
   uint32_t LastSwitch = Cur.LastSwitchTarget;
+  // Timed replay's cost counter: Abs tracks the interpreter's absolute
+  // accumulated cost (the cursor's StartCost already includes the
+  // resumed top frame's terminator charge, which is why that frame's
+  // tail segment is never re-charged: restored top frames skip the
+  // Item -> AtTerminator transition below). StampBase is the previous
+  // stamp's absolute cost, the base the next delta is relative to.
+  uint64_t Abs = Cur.StartCost;
+  uint64_t StampBase = Cur.LastStampCost;
+  // Mirrors the recorder's stamp-interval counter exactly: bumped on
+  // every consumed branch event, reset by each stamp; only a Ret at or
+  // past the period carries a stamp.
+  uint32_t SinceStamp = Cur.EventsSinceStamp;
   // An aborted run's final chunk has no successor cursor to hit, so
   // cut the replay at the last recorded event instead of running the
   // (unknowable) deterministic tail past it.
@@ -184,11 +261,26 @@ bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
           Funcs[static_cast<size_t>(T.F)].Blocks[static_cast<size_t>(T.Block)];
       if (T.Item != AtTerminator) {
         if (T.Item < B.Calls.size()) {
+          if (Timed) {
+            // Straight-line cost through this Call, like the
+            // interpreter's dispatch charges before the callee runs.
+            uint64_t Seg = B.SegCosts[T.Item];
+            Abs += Seg;
+            T.Acc += Seg;
+          }
           FuncId Callee = B.Calls[T.Item];
           Stack.push_back({Callee, 0, 0, PathVal{}}); // T, B now dead.
           ApplyOps(Funcs[static_cast<size_t>(Callee)].EntryOps,
                    Stack.back());
           continue;
+        }
+        if (Timed) {
+          // Tail segment through the terminator, charged exactly once:
+          // a frame restored at AtTerminator had it charged by the
+          // chunk that sealed here.
+          uint64_t Seg = B.SegCosts[B.Calls.size()];
+          Abs += Seg;
+          T.Acc += Seg;
         }
         T.Item = AtTerminator;
       }
@@ -213,6 +305,7 @@ bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
         TntBits >>= 1;
         --TntLeft;
         ++Out.CondEvents;
+        ++SinceStamp;
         Traverse(SuccIdx);
         break;
       }
@@ -246,17 +339,67 @@ bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
           return Fail("switch target out of range");
         LastSwitch = static_cast<uint32_t>(Target);
         ++Out.SwitchEvents;
+        ++SinceStamp;
         Traverse(static_cast<unsigned>(Target));
         break;
       }
       case Opcode::Ret: {
+        if (Timed && SinceStamp >= StampPeriodEvents) {
+          // Every due Ret of a timed stream carries a cost stamp (the
+          // recorder flushed pending TNT bits before it), and the
+          // reconstructed absolute total must equal the replayed cost
+          // counter exactly -- equality subsumes monotonicity and
+          // catches any cost-model mismatch instead of silently
+          // mis-attributing. A Ret before the period elapses carries
+          // nothing (and may legally sit mid-TNT-byte: the recorder
+          // does not flush for it).
+          if (TntLeft != 0)
+            return Fail("due ret reached inside a TNT byte");
+          if (Pos == Bytes.size())
+            goto ChunkBoundary; // The stamp starts the next chunk.
+          uint64_t Z = 0;
+          unsigned Shift = 0, NB = 0;
+          while (true) {
+            if (Pos == Bytes.size())
+              return Fail("cost stamp truncated"); // Never spans chunks.
+            uint8_t Byte = Bytes[Pos++];
+            if (isTntByte(Byte))
+              return Fail("TNT byte inside a cost stamp");
+            if (++NB > MaxSwitchVarintBytes)
+              return Fail("cost stamp too long");
+            Z |= static_cast<uint64_t>(Byte & 0x3fu) << Shift;
+            Shift += 6;
+            if (!(Byte & 0x40u))
+              break;
+          }
+          int64_t Delta = zigzagDecode(Z);
+          if (Delta < 0)
+            return Fail("non-monotonic cost stamp");
+          uint64_t Total = StampBase + static_cast<uint64_t>(Delta);
+          if (Total != Abs)
+            return Fail("cost stamp disagrees with replayed cost");
+          StampBase = Total;
+          SinceStamp = 0;
+          ++Out.StampEvents;
+        }
         ApplyOps(B.RetOps, T);
+        if (Timed) {
+          // Whatever the frame still holds after its exit counting op
+          // has no owning path: uninstrumented or skipped functions
+          // drain here (conservation's explicit remainder bucket).
+          if (T.CarryIn)
+            Out.UnattributedCarries.push_back(T.CarryDepth);
+          Out.Unattributed += T.Acc;
+        }
         Stack.pop_back();
         if (Stack.empty()) {
           if (Pos != Bytes.size() || TntLeft != 0)
             return Fail("trace data after the program's end");
           Out.ReachedEnd = true;
           Out.EndLastSwitch = LastSwitch;
+          Out.EndAbsCost = Abs;
+          Out.EndStampBase = StampBase;
+          Out.EndEventsSinceStamp = SinceStamp;
           return true;
         }
         ++Stack.back().Item; // Resume after the in-flight call.
@@ -271,16 +414,21 @@ bool TraceDecoder::decodeChunk(const TraceRecording &R, size_t ChunkIdx,
 ChunkBoundary:
   assert(TntLeft == 0 && "chunk boundary inside a TNT byte");
   Out.EndLastSwitch = LastSwitch;
+  Out.EndAbsCost = Abs;
+  Out.EndStampBase = StampBase;
+  Out.EndEventsSinceStamp = SinceStamp;
   Out.EndStack.reserve(Stack.size());
   for (const RFrame &Fr : Stack)
-    Out.EndStack.push_back({Fr.F, Fr.Block, Fr.Item, Fr.Reg});
+    Out.EndStack.push_back({Fr.F, Fr.Block, Fr.Item, Fr.Reg, Fr.Acc,
+                            Fr.CarryIn, Fr.CarryDepth});
   return true;
 }
 
 bool TraceDecoder::stitch(const TraceRecording &R,
                           const std::vector<ChunkDecodeResult> &Chunks,
                           ProfileRuntime &RT, DecodeStats &DS,
-                          std::string &Error) const {
+                          std::string &Error,
+                          PathTimingProfile *Timing) const {
   DS = DecodeStats();
   if (R.Chunks.empty()) {
     Error = "trace stitch: recording has no chunks";
@@ -290,14 +438,25 @@ bool TraceDecoder::stitch(const TraceRecording &R,
     Error = "trace stitch: chunk result count mismatch";
     return false;
   }
+  const bool Timed = R.Timed;
+  if (!Timed)
+    Timing = nullptr; // Untimed recordings carry nothing to attribute.
   auto Fail = [&](size_t K, const char *Msg) {
     Error = formatString("trace stitch: chunk %zu: %s", K, Msg);
     return false;
   };
+  // A stamped recording names the cost model it charged; replaying a
+  // timed stream under a different model is guaranteed to diverge, so
+  // reject it up front with a cause instead of at the first stamp.
+  if (Timed && R.CostModelKey != 0 && R.CostModelKey != CostKey)
+    return Fail(0, "recording cost-model key disagrees with the decoder's");
 
   // Resolved path-register values of the live stack at the current
   // chunk boundary; index = depth in that chunk's starting stack.
+  // CarryAcc is the cost twin: each live frame's resolved exclusive
+  // accrual carried across the boundary.
   std::vector<int64_t> CurRegs;
+  std::vector<uint64_t> CarryAcc;
   for (size_t K = 0; K < R.Chunks.size(); ++K) {
     const TraceCursor &Cur = R.Chunks[K].Cursor;
     const ChunkDecodeResult &CR = Chunks[K];
@@ -320,6 +479,15 @@ bool TraceDecoder::stitch(const TraceRecording &R,
       }
       if (Cur.LastSwitchTarget != Prev.EndLastSwitch)
         return Fail(K, "cursor switch base disagrees with previous chunk");
+      if (Timed) {
+        if (Cur.StartCost != Prev.EndAbsCost)
+          return Fail(K, "cursor cost base disagrees with previous chunk");
+        if (Cur.LastStampCost != Prev.EndStampBase)
+          return Fail(K, "cursor stamp base disagrees with previous chunk");
+        if (Cur.EventsSinceStamp != Prev.EndEventsSinceStamp)
+          return Fail(K,
+                      "cursor stamp event count disagrees with previous chunk");
+      }
     }
 
     for (const CountEvent &E : CR.Events) {
@@ -334,16 +502,38 @@ bool TraceDecoder::stitch(const TraceRecording &R,
         T.addChecked(Index, E.Count);
       else
         T.add(Index, E.Count);
+      if (Timing) {
+        uint64_t CostEach = E.CostEach;
+        if (E.CostCarry) {
+          if (E.CostCarryDepth >= CarryAcc.size())
+            return Fail(K, "cost carry without a matching start frame");
+          CostEach += CarryAcc[E.CostCarryDepth];
+        }
+        Timing->record(E.F, Index, E.Count, CostEach);
+      }
+    }
+    if (Timing) {
+      uint64_t U = CR.Unattributed;
+      for (uint32_t D : CR.UnattributedCarries) {
+        if (D >= CarryAcc.size())
+          return Fail(K, "unattributed carry without a start frame");
+        U += CarryAcc[D];
+      }
+      Timing->recordUnattributed(U);
     }
     DS.CountEvents += CR.Events.size();
     DS.Increments += CR.Increments;
     DS.CondEvents += CR.CondEvents;
     DS.SwitchEvents += CR.SwitchEvents;
+    DS.StampEvents += CR.StampEvents;
     DS.Steps += CR.Steps;
     DS.Bytes += R.Chunks[K].Bytes.size();
 
     std::vector<int64_t> EndRegs;
+    std::vector<uint64_t> EndCarry;
     EndRegs.reserve(CR.EndStack.size());
+    if (Timed)
+      EndCarry.reserve(CR.EndStack.size());
     for (const EndFrame &EF : CR.EndStack) {
       int64_t V = EF.Reg.Value;
       if (EF.Reg.Symbolic) {
@@ -352,8 +542,18 @@ bool TraceDecoder::stitch(const TraceRecording &R,
         V += CurRegs[EF.Reg.Depth];
       }
       EndRegs.push_back(V);
+      if (Timed) {
+        uint64_t A = EF.Acc;
+        if (EF.CarryIn) {
+          if (EF.CarryDepth >= CarryAcc.size())
+            return Fail(K, "end-frame carry without a start frame");
+          A += CarryAcc[EF.CarryDepth];
+        }
+        EndCarry.push_back(A);
+      }
     }
     CurRegs = std::move(EndRegs);
+    CarryAcc = std::move(EndCarry);
   }
   DS.Chunks = R.Chunks.size();
 
@@ -367,6 +567,23 @@ bool TraceDecoder::stitch(const TraceRecording &R,
             "recording header";
     return false;
   }
+  if (DS.StampEvents != R.StampEvents) {
+    Error = "trace stitch: replayed stamp totals disagree with the "
+            "recording header";
+    return false;
+  }
+
+  if (Timing) {
+    // A run cut short (fuel) leaves live activations whose accrual has
+    // no owning counting op; drain it so conservation -- attributed +
+    // unattributed == total replayed cost -- holds for every decode.
+    uint64_t Leftover = 0;
+    for (uint64_t A : CarryAcc)
+      Leftover += A;
+    if (Leftover)
+      Timing->recordUnattributed(Leftover);
+    Timing->setTotalCost(Chunks.back().EndAbsCost);
+  }
 
   obs::counter("trace.decode.runs").inc();
   obs::counter("trace.decode.chunks").inc(DS.Chunks);
@@ -375,14 +592,17 @@ bool TraceDecoder::stitch(const TraceRecording &R,
   obs::counter("trace.decode.switch_events").inc(DS.SwitchEvents);
   obs::counter("trace.decode.count_events").inc(DS.CountEvents);
   obs::counter("trace.decode.increments").inc(DS.Increments);
+  if (Timed)
+    obs::counter("trace.decode.stamp_events").inc(DS.StampEvents);
   return true;
 }
 
 bool TraceDecoder::decode(const TraceRecording &R, ProfileRuntime &RT,
-                          DecodeStats &DS, std::string &Error) const {
+                          DecodeStats &DS, std::string &Error,
+                          PathTimingProfile *Timing) const {
   std::vector<ChunkDecodeResult> Results(R.Chunks.size());
   for (size_t K = 0; K < R.Chunks.size(); ++K)
     if (!decodeChunk(R, K, Results[K], Error))
       return false;
-  return stitch(R, Results, RT, DS, Error);
+  return stitch(R, Results, RT, DS, Error, Timing);
 }

@@ -32,11 +32,31 @@
 /// the header, and a replay step limit all fail the decode with an
 /// error rather than desyncing (the FaultInject battery leans on this).
 ///
+/// Timed recordings add a cost dimension: the replay program carries
+/// per-block segment costs (exact, because decoding is 1:1 with the
+/// clean module's instructions and the interpreter charges cost at
+/// dispatch), so decodeChunk() replays the interpreter's cost counter
+/// alongside control flow and requires every Ret's cost stamp to equal
+/// it *exactly* -- a stamp that disagrees (including any non-monotonic
+/// delta) fails the decode. On top of the replayed counter, each
+/// activation accrues its own *exclusive* cost (callee cost goes to
+/// the callee's paths); each counting op consumes its frame's accrual
+/// since the previous counting op, attributing it to that path
+/// execution. Accrual carried by activations live across a chunk seal
+/// is unknown during isolated chunk replay and is carried symbolically
+/// (per start-stack depth), mirroring the path-register symbols, and
+/// resolved at stitch(). Cost with no owning counting op (skipped or
+/// uninstrumented functions, post-count remainders) drains into an
+/// explicit Unattributed bucket, so attributed + unattributed always
+/// equals the replayed total -- the conservation law the invariant
+/// battery checks against the interpreter's run cost.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PPP_TRACE_TRACEDECODER_H
 #define PPP_TRACE_TRACEDECODER_H
 
+#include "interp/CostModel.h"
 #include "pathprof/Profilers.h"
 #include "trace/TraceRecorder.h"
 
@@ -45,6 +65,8 @@
 
 namespace ppp {
 namespace trace {
+
+class PathTimingProfile;
 
 /// A path register value during symbolic chunk replay: `Value` when
 /// concrete, `start[Depth] + Value` when still tied to the unknown
@@ -58,6 +80,14 @@ struct PathVal {
 /// One run-length-coalesced counting op from a chunk replay. `Value`
 /// is the concrete path index, or the delta to add to the symbol's
 /// resolved value. Order within a chunk's log is execution order.
+///
+/// Timed decodes additionally carry the exclusive cost this event's
+/// frame accrued since its previous counting op: `CostEach` per merged
+/// execution (merging requires equal per-execution cost), plus -- for
+/// the first counting op of an activation restored from the cursor --
+/// the symbolic accrual it carried into the chunk (`CostCarry` at
+/// start-stack depth `CostCarryDepth`, resolved at stitch; carry
+/// events never merge, so their Count is always 1).
 struct CountEvent {
   FuncId F = -1;
   bool Checked = false;  ///< ProfCheckedCountIdx (poison-tested).
@@ -65,14 +95,23 @@ struct CountEvent {
   uint32_t Depth = 0;
   int64_t Value = 0;
   uint64_t Count = 0;
+  uint64_t CostEach = 0;
+  bool CostCarry = false;
+  uint32_t CostCarryDepth = 0;
 };
 
-/// A live activation at the end of a chunk replay.
+/// A live activation at the end of a chunk replay. Acc/CarryIn mirror
+/// CountEvent's cost fields: the exclusive accrual this frame carries
+/// across the chunk boundary (plus, when CarryIn, the still-symbolic
+/// accrual it was restored with at start-stack depth CarryDepth).
 struct EndFrame {
   FuncId F = -1;
   BlockId Block = -1;
   uint32_t Item = 0;
   PathVal Reg;
+  uint64_t Acc = 0;
+  bool CarryIn = false;
+  uint32_t CarryDepth = 0;
 };
 
 /// Everything one chunk replay produces; input to stitch().
@@ -85,6 +124,17 @@ struct ChunkDecodeResult {
   uint64_t SwitchEvents = 0;
   uint64_t Increments = 0; ///< Counting ops before run-length merging.
   uint64_t Steps = 0;      ///< Items replayed (calls + terminators).
+  // Timed decodes only.
+  uint64_t StampEvents = 0;
+  uint64_t EndAbsCost = 0;   ///< Replayed absolute cost where the bytes ran out.
+  uint64_t EndStampBase = 0; ///< Absolute cost of the last consumed stamp.
+  /// Branch events consumed since the last stamp (the next chunk's
+  /// cursor must agree so its Rets parse the same).
+  uint32_t EndEventsSinceStamp = 0;
+  uint64_t Unattributed = 0; ///< Concrete cost drained without an owner.
+  /// Start-stack depths whose carried accrual drained unattributed
+  /// (restored frames of skipped functions that popped uncounted).
+  std::vector<uint32_t> UnattributedCarries;
 };
 
 /// Aggregate decode accounting (also published as trace.decode.*).
@@ -96,6 +146,7 @@ struct DecodeStats {
   uint64_t Increments = 0;
   uint64_t CountEvents = 0; ///< Run-length-merged log entries applied.
   uint64_t Steps = 0;
+  uint64_t StampEvents = 0; ///< Cost stamps consumed (timed decodes).
 };
 
 /// Replays recordings of one clean module against one instrumentation
@@ -107,7 +158,10 @@ public:
   /// \p CleanM is the module the recording was made from; \p IR the
   /// instrumentation result whose plans carry the SiteOps and whose
   /// runtime layout the decode targets. Both must outlive the decoder.
-  TraceDecoder(const Module &CleanM, const InstrumentationResult &IR);
+  /// \p Costs must match the cost model the recording interpreter ran
+  /// under; a timed decode replays it and rejects disagreeing stamps.
+  TraceDecoder(const Module &CleanM, const InstrumentationResult &IR,
+               const CostModel &Costs = CostModel());
 
   /// Replays chunk \p ChunkIdx of \p R symbolically. Thread-safe.
   bool decodeChunk(const TraceRecording &R, size_t ChunkIdx,
@@ -115,15 +169,17 @@ public:
 
   /// Resolves and applies per-chunk results (one per chunk of \p R, in
   /// order) into \p RT, validating every boundary. On failure \p RT may
-  /// hold a partial decode; callers reset or discard it.
+  /// hold a partial decode; callers reset or discard it. For timed
+  /// recordings, pass \p Timing to additionally accumulate the
+  /// per-path cost-attribution profile (ignored for untimed ones).
   bool stitch(const TraceRecording &R,
               const std::vector<ChunkDecodeResult> &Chunks,
-              ProfileRuntime &RT, DecodeStats &DS,
-              std::string &Error) const;
+              ProfileRuntime &RT, DecodeStats &DS, std::string &Error,
+              PathTimingProfile *Timing = nullptr) const;
 
   /// Sequential decode: decodeChunk() over every chunk, then stitch().
   bool decode(const TraceRecording &R, ProfileRuntime &RT, DecodeStats &DS,
-              std::string &Error) const;
+              std::string &Error, PathTimingProfile *Timing = nullptr) const;
 
   /// Replay fuel per decode (calls + terminators), a backstop against
   /// corrupt streams steering replay into byte-free cycles. Defaults to
@@ -139,6 +195,11 @@ private:
     /// Ops per successor index (sized like Targets; empty when none).
     std::vector<std::vector<ProfOp>> SuccOps;
     std::vector<ProfOp> RetOps; ///< Applied before a Ret.
+    /// Straight-line cost segments: SegCosts[i] covers the
+    /// instructions after call i-1 up to and including call i;
+    /// SegCosts[Calls.size()] covers the rest through the terminator.
+    /// Mirrors the interpreter's charge-at-dispatch exactly.
+    std::vector<uint64_t> SegCosts;
   };
   struct RFunc {
     std::vector<RBlock> Blocks;
@@ -147,6 +208,7 @@ private:
 
   std::vector<RFunc> Funcs;
   FuncId MainId = 0;
+  uint64_t CostKey = 0; ///< CostModel::key() of the replay cost model.
   uint64_t StepLimit = 2'000'000'000;
 };
 

@@ -14,7 +14,7 @@ namespace {
 /// Smallest possible serialized chunk frame: 24-byte frame header plus
 /// the fixed chunk payload fields. Bounds the header's chunk count
 /// against the stream length before any chunk is decoded.
-constexpr size_t MinChunkFrameBytes = 24 + 1 + 4 + 4 + 8;
+constexpr size_t MinChunkFrameBytes = 24 + 1 + 4 + 8 + 8 + 4 + 4 + 8;
 
 /// Per-cursor-frame payload bytes (F, Block, Item).
 constexpr size_t CursorFrameBytes = 12;
@@ -24,6 +24,12 @@ bool decodeChunkPayload(const std::string &Payload, TraceChunk &Out,
   BinReader R(Payload);
   Out.Cursor.FreshStart = R.u8() != 0;
   Out.Cursor.LastSwitchTarget = R.u32();
+  Out.Cursor.StartCost = R.u64();
+  Out.Cursor.LastStampCost = R.u64();
+  // Any count is structurally legal (long branchy stretches without a
+  // Ret push it past the period); the decoder cross-checks the exact
+  // value at every chunk boundary.
+  Out.Cursor.EventsSinceStamp = R.u32();
   uint32_t NumFrames = R.u32();
   if (!R.ok() || NumFrames > R.remaining() / CursorFrameBytes) {
     Error = "trace chunk: cursor frame count exceeds payload";
@@ -55,8 +61,12 @@ std::string trace::writeTraceBinary(const TraceRecording &R) {
     W.u32(static_cast<uint32_t>(R.Chunks.size()));
     W.u64(R.CondEvents);
     W.u64(R.SwitchEvents);
+    W.u64(R.StampEvents);
     W.u64(R.TotalBytes);
     W.u8(R.Complete ? 1 : 0);
+    W.u8(R.Timed ? 1 : 0);
+    W.u32(R.PipelineVersion);
+    W.u64(R.CostModelKey);
   }
   std::string Out = frameMessage(TraceHeaderMagic, Header);
   for (const TraceChunk &C : R.Chunks) {
@@ -64,6 +74,9 @@ std::string trace::writeTraceBinary(const TraceRecording &R) {
     BinWriter W(Payload);
     W.u8(C.Cursor.FreshStart ? 1 : 0);
     W.u32(C.Cursor.LastSwitchTarget);
+    W.u64(C.Cursor.StartCost);
+    W.u64(C.Cursor.LastStampCost);
+    W.u32(C.Cursor.EventsSinceStamp);
     W.u32(static_cast<uint32_t>(C.Cursor.Frames.size()));
     for (const TraceCursorFrame &F : C.Cursor.Frames) {
       W.i32(F.F);
@@ -105,12 +118,25 @@ bool trace::readTraceBinary(const std::string &Data, TraceRecording &Out,
     NumChunks = H.u32();
     R.CondEvents = H.u64();
     R.SwitchEvents = H.u64();
+    R.StampEvents = H.u64();
     R.TotalBytes = H.u64();
     R.Complete = H.u8() != 0;
+    R.Timed = H.u8() != 0;
+    // Provenance stamps round-trip verbatim; whether a nonzero key
+    // matches the consumer's pipeline/cost model is the consumer's
+    // check (the decoder makes the cost-model one).
+    R.PipelineVersion = H.u32();
+    R.CostModelKey = H.u64();
     if (!H.ok() || H.remaining() != 0) {
       Error = "trace header: malformed payload";
       return false;
     }
+  }
+  // Structural cross-field check this layer can make without a module:
+  // only timed recordings carry stamps.
+  if (!R.Timed && R.StampEvents != 0) {
+    Error = "trace header: stamp events in an untimed recording";
+    return false;
   }
   if (NumChunks == 0) {
     Error = "trace header: a recording has at least one chunk";

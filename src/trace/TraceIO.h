@@ -2,8 +2,10 @@
 ///
 /// \file
 /// Persists a TraceRecording as BinaryIO checksummed frames: one 'bPTH'
-/// header frame (event totals, chunk count, completeness) followed by
-/// one 'bPTC' frame per chunk (cursor + packet bytes). Per-chunk frames
+/// header frame (event and stamp totals, chunk count, completeness,
+/// timed flag, and the producer's PrepPipelineVersion / CostModel::key()
+/// provenance stamps) followed by one 'bPTC' frame per chunk (cursor --
+/// with its cost bases -- + packet bytes). Per-chunk frames
 /// keep the stream incrementally consumable through FrameReader and give
 /// fault injection a real surface: flipping a bit anywhere lands inside
 /// some frame's checksum.

@@ -15,7 +15,7 @@
 /// as a corruption tripwire -- a byte of the wrong kind at the decoder's
 /// expected position fails the decode instead of silently desyncing.
 ///
-/// Two packet kinds:
+/// Three packet kinds:
 ///
 ///  - TNT (taken/not-taken) byte: bit 7 set; up to six conditional
 ///    branch outcomes packed LSB-first below a stop bit.
@@ -28,6 +28,24 @@
 ///    little-endian 6-bit groups with bit 6 as the continuation flag.
 ///    Successive switches usually hit nearby (often identical) arms,
 ///    so the common delta of 0 costs one byte.
+///
+///  - Cost-stamp varint (timed recordings only): identical wire shape
+///    to the switch varint, holding the zigzagged delta between the
+///    interpreter's accumulated cost counter at this Ret and at the
+///    previous stamp. Emitted at path-termination points (Ret), after
+///    any pending TNT flush, but only at a *due* Ret -- the first Ret
+///    with at least StampPeriodEvents branch events recorded since the
+///    previous stamp. Between stamps the decoder's deterministic
+///    replay reproduces the cost exactly from the branch events alone,
+///    so denser stamping adds validation points but no information;
+///    the period keeps stamp traffic (and the partial-TNT-byte flush
+///    each stamp forces) a small fraction of the outcome stream. The
+///    decoder -- which replays the CFG and counts the same events --
+///    expects each stamp positionally. Inter-stamp cost deltas stay
+///    small, so stamps stay short; hardware timestamp channels
+///    (L-trace-style) delta-compress the same way. Deltas are never
+///    negative on a genuine stream (cost is monotonic); the decoder
+///    rejects a stamp that disagrees with its replayed cost counter.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +65,15 @@ inline constexpr unsigned TntBitsPerByte = 6;
 /// in 3 bytes (successor indices are < 2^16); the cap bounds what a
 /// corrupt stream can make the decoder read.
 inline constexpr unsigned MaxSwitchVarintBytes = 11;
+
+/// Minimum branch events (cond outcomes + switch targets) between cost
+/// stamps: a Ret stamps only once this many have accumulated since the
+/// previous stamp. Part of the wire contract -- recorder and decoder
+/// must agree or positional stamp parsing desyncs (and fails). Sixteen
+/// events span at least three saturated TNT bytes, so stamp bytes plus
+/// the flush fragmentation they cause stay well under the outcome
+/// stream they validate.
+inline constexpr uint32_t StampPeriodEvents = 16;
 
 /// Builds a TNT byte from \p N outcomes in the low bits of \p Bits.
 inline uint8_t packTnt(uint8_t Bits, unsigned N) {

@@ -22,8 +22,9 @@
 /// Seal discipline (the invariants the decoder relies on):
 ///  - a TNT byte never spans chunks, and a partial TNT byte is flushed
 ///    before any switch varint (stream order is event order);
-///  - a varint never spans chunks: switchTarget() reserves worst-case
-///    space after the flush and seals first when it will not fit;
+///  - a varint never spans chunks: switchTarget() and costStamp()
+///    reserve worst-case space after the flush and seal first when it
+///    will not fit;
 ///  - the cursor of chunk k+1 is exactly where replaying chunk k runs
 ///    out of bytes.
 ///
@@ -65,6 +66,21 @@ struct TraceCursorFrame {
 struct TraceCursor {
   bool FreshStart = false;
   uint32_t LastSwitchTarget = 0;
+  /// Timed recordings only. StartCost is the interpreter's absolute
+  /// accumulated cost at the seal point -- filled by the timed dispatch
+  /// loop, the only party that sees the cost counter -- and
+  /// LastStampCost is the absolute cost of the last emitted stamp (the
+  /// base the next stamp's delta is relative to, filled by seal() like
+  /// LastSwitchTarget). Both stay zero in untimed recordings.
+  uint64_t StartCost = 0;
+  uint64_t LastStampCost = 0;
+  /// Timed recordings only: branch events recorded since the last
+  /// emitted stamp when this chunk's bytes start. A Ret stamps only
+  /// once StampPeriodEvents have accumulated (between stamps the
+  /// decoder's replay determines the cost exactly, so denser stamps
+  /// add no information); the decoder needs the count at the chunk
+  /// boundary to parse the chunk's Rets unambiguously.
+  uint32_t EventsSinceStamp = 0;
   std::vector<TraceCursorFrame> Frames;
 
   bool operator==(const TraceCursor &O) const = default;
@@ -83,10 +99,21 @@ struct TraceRecording {
   std::vector<TraceChunk> Chunks;
   uint64_t CondEvents = 0;
   uint64_t SwitchEvents = 0;
+  uint64_t StampEvents = 0;
   uint64_t TotalBytes = 0;
   /// False when the run aborted (fuel); the decoder then accepts a
   /// stream that ends mid-program.
   bool Complete = false;
+  /// True when the stream carries cost-stamp varints at due Rets.
+  bool Timed = false;
+  /// Producer-stamped provenance, serialized in the header frame.
+  /// PipelineVersion is the recording producer's PrepPipelineVersion;
+  /// CostModelKey is CostModel::key() of the model the recording run
+  /// charged (the interpreter stamps it at finishRun). Zero means
+  /// unstamped (hand-built test recordings); a timed decode rejects a
+  /// nonzero key that disagrees with its own cost model up front.
+  uint32_t PipelineVersion = 0;
+  uint64_t CostModelKey = 0;
 
   bool operator==(const TraceRecording &O) const = default;
 };
@@ -103,12 +130,19 @@ inline constexpr uint32_t DefaultTraceChunkBytes = 1u << 16;
 /// chunk?" tests as cheap inlined predicates.
 class TraceRecorder {
 public:
-  explicit TraceRecorder(uint32_t ChunkBytes = DefaultTraceChunkBytes)
+  explicit TraceRecorder(uint32_t ChunkBytes = DefaultTraceChunkBytes,
+                         bool Timestamps = false)
       : ChunkCap(ChunkBytes < MinTraceChunkBytes ? MinTraceChunkBytes
-                                                 : ChunkBytes) {
+                                                 : ChunkBytes),
+        Timed(Timestamps) {
     Bytes.reserve(ChunkCap + MaxSwitchVarintBytes);
     CurCursor.FreshStart = true;
   }
+
+  /// True when this recorder emits a cost-stamp varint at every Ret
+  /// (the interpreter selects its timed dispatch specialization off
+  /// this flag).
+  bool timestampsEnabled() const { return Timed; }
 
   /// True when the next condBit() must be preceded by seal(): the
   /// chunk is full and no TNT byte is open (a synchronized point).
@@ -119,6 +153,7 @@ public:
   /// Records one conditional-branch outcome (\p Taken = successor 0).
   void condBit(bool Taken) {
     ++CondEvents;
+    ++EventsSinceStamp;
     Pending |= static_cast<uint8_t>(Taken) << NPending;
     if (++NPending == TntBitsPerByte)
       flushPending();
@@ -140,6 +175,7 @@ public:
   void switchTarget(uint32_t SuccIdx) {
     assert(NPending == 0 && "switch packet with TNT bits pending");
     ++SwitchEvents;
+    ++EventsSinceStamp;
     uint64_t Z = zigzagEncode(static_cast<int64_t>(SuccIdx) -
                               static_cast<int64_t>(LastSwitch));
     LastSwitch = SuccIdx;
@@ -152,12 +188,58 @@ public:
     } while (Z);
   }
 
+  /// Flushes any partial TNT byte and reports whether the worst-case
+  /// cost-stamp varint still fits; when it does not, the caller must
+  /// seal() before costStamp(). Identical discipline to
+  /// needSealBeforeSwitch() -- the stamp shares the varint wire shape.
+  bool needSealBeforeStamp() {
+    flushPending();
+    return Bytes.size() + MaxSwitchVarintBytes > Bytes.capacity();
+  }
+
+  /// True when the next Ret must emit a cost stamp: at least
+  /// StampPeriodEvents branch events have accumulated since the
+  /// previous stamp. Until then the decoder's deterministic replay
+  /// reproduces the cost delta exactly and a stamp would validate
+  /// nothing new -- the timed dispatch loop skips it, which keeps both
+  /// stamp traffic and the partial-TNT flush each stamp forces to a
+  /// small fraction of the outcome stream.
+  bool stampDue() const { return EventsSinceStamp >= StampPeriodEvents; }
+
+  /// Records one cost stamp: the zigzag varint delta between \p
+  /// TotalCost (the interpreter's accumulated cost at this Ret) and
+  /// the previous stamp. The cost counter is monotonic, so deltas are
+  /// never negative on a genuine stream. Only legal while due;
+  /// stamping restarts the event count toward the next period.
+  void costStamp(uint64_t TotalCost) {
+    assert(NPending == 0 && "stamp packet with TNT bits pending");
+    assert(TotalCost >= LastStamp && "cost counter ran backwards");
+    assert(stampDue() && "stamp at a ret before the period elapsed");
+    EventsSinceStamp = 0;
+    ++StampEvents;
+    uint64_t Z = zigzagEncode(static_cast<int64_t>(TotalCost - LastStamp));
+    LastStamp = TotalCost;
+    do {
+      uint8_t B = Z & 0x3fu;
+      Z >>= 6;
+      if (Z)
+        B |= 0x40u;
+      Bytes.push_back(B);
+      ++StampBytes;
+    } while (Z);
+  }
+
   /// Seals the current chunk; \p Next is the cursor where the next
   /// chunk's bytes will start (the caller's current position). Only
   /// legal at a synchronized point.
   void seal(TraceCursor Next) {
     assert(NPending == 0 && "seal with TNT bits pending");
     Next.LastSwitchTarget = LastSwitch;
+    Next.LastStampCost = LastStamp;
+    // The event count is tracked unconditionally (condBit() stays
+    // branch-free) but is only meaningful -- and only serialized --
+    // for timed streams.
+    Next.EventsSinceStamp = Timed ? EventsSinceStamp : 0;
     Rec.Chunks.push_back({std::move(CurCursor), std::move(Bytes)});
     Bytes = {};
     Bytes.reserve(ChunkCap + MaxSwitchVarintBytes);
@@ -175,7 +257,9 @@ public:
     Bytes = {};
     Rec.CondEvents = CondEvents;
     Rec.SwitchEvents = SwitchEvents;
+    Rec.StampEvents = StampEvents;
     Rec.Complete = Complete;
+    Rec.Timed = Timed;
     Rec.TotalBytes = 0;
     for (const TraceChunk &C : Rec.Chunks)
       Rec.TotalBytes += C.Bytes.size();
@@ -184,8 +268,19 @@ public:
     obs::counter("trace.record.switch_events").inc(SwitchEvents);
     obs::counter("trace.record.bytes").inc(Rec.TotalBytes);
     obs::counter("trace.record.chunks").inc(Rec.Chunks.size());
+    if (Timed) {
+      obs::counter("trace.record.stamp_events").inc(StampEvents);
+      obs::counter("trace.record.stamp_bytes").inc(StampBytes);
+    }
     return Rec.TotalBytes;
   }
+
+  /// Provenance stamps (TraceRecording::PipelineVersion/CostModelKey).
+  /// The interpreter stamps the cost-model key at finishRun; the
+  /// serializing producer stamps its pipeline version. Either may be
+  /// left zero (unstamped).
+  void setPipelineVersion(uint32_t V) { Rec.PipelineVersion = V; }
+  void setCostModelKey(uint64_t K) { Rec.CostModelKey = K; }
 
   /// The finished recording (finishRun() first).
   const TraceRecording &recording() const {
@@ -200,6 +295,11 @@ public:
 
   uint64_t condEvents() const { return CondEvents; }
   uint64_t switchEvents() const { return SwitchEvents; }
+  uint64_t stampEvents() const { return StampEvents; }
+  /// Bytes spent on cost stamps (a subset of the total packet bytes);
+  /// the cost model prices them at TraceStampByte instead of
+  /// TraceByte.
+  uint64_t stampBytes() const { return StampBytes; }
 
   /// Floor for ChunkBytes: one varint reserve must never eat the whole
   /// chunk (tests use tiny chunks to stress the seal/stitch paths).
@@ -219,10 +319,15 @@ private:
   uint8_t Pending = 0;        ///< Partial TNT byte being filled.
   unsigned NPending = 0;
   uint32_t LastSwitch = 0;
+  uint64_t LastStamp = 0;
+  uint32_t EventsSinceStamp = 0;
   TraceCursor CurCursor;
   TraceRecording Rec;
   uint64_t CondEvents = 0;
   uint64_t SwitchEvents = 0;
+  uint64_t StampEvents = 0;
+  uint64_t StampBytes = 0;
+  bool Timed = false;
   bool Finished = false;
 };
 

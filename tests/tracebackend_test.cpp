@@ -15,6 +15,7 @@
 
 #include "interp/Interpreter.h"
 #include "pathprof/Profilers.h"
+#include "trace/PathTiming.h"
 #include "trace/TraceDecoder.h"
 #include "trace/TraceIO.h"
 #include "trace/TracePacket.h"
@@ -144,16 +145,104 @@ TEST(TraceRecorder, ChunkCapacityPartitionsTheSameByteStream) {
   EXPECT_EQ(Cat, Big.Chunks[0].Bytes);
 }
 
+/// Cost stamps share the switch varint's wire shape: zigzag deltas in
+/// 6-bit groups. A zero delta (two stamps at the same accumulated
+/// cost) is exactly one byte.
+TEST(TraceRecorder, CostStampsDeltaCodeAndZeroDeltaIsOneByte) {
+  TraceRecorder R(DefaultTraceChunkBytes, true);
+  EXPECT_TRUE(R.timestampsEnabled());
+  R.costStamp(5);  // delta +5  -> zigzag 10
+  R.costStamp(5);  // delta  0  -> zigzag 0, one byte
+  R.costStamp(70); // delta +65 -> zigzag 130, two bytes
+  R.finishRun(true);
+  ASSERT_EQ(R.recording().Chunks.size(), 1u);
+  EXPECT_EQ(R.recording().Chunks[0].Bytes,
+            (std::vector<uint8_t>{10, 0, 0x42, 2}));
+  EXPECT_EQ(R.recording().StampEvents, 3u);
+  EXPECT_TRUE(R.recording().Timed);
+  EXPECT_EQ(R.stampBytes(), 4u);
+}
+
+/// The largest representable stamp delta (INT64_MAX; anything bigger
+/// would zigzag to a negative delta the decoder rejects) fits the
+/// 11-byte varint cap and round-trips through the group encoding.
+TEST(TraceRecorder, MaximalStampDeltaFitsElevenBytesAndRoundTrips) {
+  TraceRecorder R(DefaultTraceChunkBytes, true);
+  R.costStamp(0); // delta 0
+  R.costStamp(static_cast<uint64_t>(INT64_MAX));
+  R.finishRun(true);
+  const std::vector<uint8_t> &Bytes = R.recording().Chunks[0].Bytes;
+  ASSERT_EQ(Bytes.size(), 1u + MaxSwitchVarintBytes);
+  EXPECT_EQ(Bytes[0], 0u);
+  // Decode the varint by hand and undo the zigzag.
+  uint64_t Z = 0;
+  unsigned Shift = 0;
+  for (size_t I = 1; I < Bytes.size(); ++I) {
+    EXPECT_FALSE(isTntByte(Bytes[I])) << I;
+    Z |= static_cast<uint64_t>(Bytes[I] & 0x3f) << Shift;
+    Shift += 6;
+    if (!(Bytes[I] & 0x40)) {
+      EXPECT_EQ(I, Bytes.size() - 1);
+      break;
+    }
+  }
+  EXPECT_EQ(zigzagDecode(Z), INT64_MAX);
+}
+
+/// Stamp varints must never span a chunk seal: needSealBeforeStamp()
+/// reserves worst-case space exactly like the switch path, so chunking
+/// partitions the same byte stream without re-encoding any stamp, and
+/// every chunk stays within capacity + varint reserve.
+TEST(TraceRecorder, StampVarintsNeverSpanChunkSeals) {
+  auto Record = [](uint32_t Cap) {
+    TraceRecorder R(Cap, true);
+    uint64_t X = 0x9e3779b97f4a7c15ull;
+    uint64_t Cost = 0;
+    for (int I = 0; I < 5000; ++I) {
+      X = X * 6364136223846793005ull + 1442695040888963407ull;
+      if ((X >> 33) % 4 == 0 && R.stampDue()) {
+        // Vary the delta magnitude so stamps of every byte width land
+        // near seal points.
+        Cost += (X >> 40) % 3 == 0 ? (X >> 24) : (X >> 58);
+        if (R.needSealBeforeStamp())
+          R.seal(TraceCursor{});
+        R.costStamp(Cost);
+      } else {
+        if (R.needSealBeforeCond())
+          R.seal(TraceCursor{});
+        R.condBit((X >> 20) & 1);
+      }
+    }
+    R.finishRun(true);
+    return R.takeRecording();
+  };
+
+  TraceRecording Small = Record(TraceRecorder::MinTraceChunkBytes);
+  TraceRecording Big = Record(1u << 20);
+  EXPECT_GT(Small.Chunks.size(), 10u);
+  EXPECT_EQ(Big.Chunks.size(), 1u);
+  EXPECT_EQ(Small.StampEvents, Big.StampEvents);
+  EXPECT_EQ(Small.TotalBytes, Big.TotalBytes);
+
+  std::vector<uint8_t> Cat;
+  for (const TraceChunk &C : Small.Chunks) {
+    EXPECT_LE(C.Bytes.size(),
+              TraceRecorder::MinTraceChunkBytes + MaxSwitchVarintBytes);
+    Cat.insert(Cat.end(), C.Bytes.begin(), C.Bytes.end());
+  }
+  EXPECT_EQ(Cat, Big.Chunks[0].Bytes);
+}
+
 TEST(TraceIO, RoundTripsFieldIdentically) {
   TraceRecorder R(TraceRecorder::MinTraceChunkBytes);
   for (int I = 0; I < 200; ++I) {
     if (I % 7 == 0) {
       if (R.needSealBeforeSwitch())
-        R.seal(TraceCursor{false, 0, {{2, 1, 0}, {3, 4, 5}}});
+        R.seal(TraceCursor{false, 0, 0, 0, 0, {{2, 1, 0}, {3, 4, 5}}});
       R.switchTarget(static_cast<uint32_t>(I % 9));
     } else {
       if (R.needSealBeforeCond())
-        R.seal(TraceCursor{false, 0, {{2, 1, 0}, {3, 4, 5}}});
+        R.seal(TraceCursor{false, 0, 0, 0, 0, {{2, 1, 0}, {3, 4, 5}}});
       R.condBit(I & 1);
     }
   }
@@ -320,6 +409,240 @@ TEST(TraceBackend, DecoderRejectsCorruptPacketBytes) {
   Err.clear();
   EXPECT_FALSE(Dec.decode(Lie, RT2, DS2, Err));
   EXPECT_FALSE(Err.empty());
+}
+
+/// A timed recording round-trips through the framed binary form with
+/// its stamp totals, timed flag, and cursor cost bases intact.
+TEST(TraceIO, TimedRecordingRoundTripsFieldIdentically) {
+  TraceRecorder R(TraceRecorder::MinTraceChunkBytes, true);
+  uint64_t Cost = 0;
+  for (int I = 0; I < 300; ++I) {
+    // Stamps only when due: the recorder requires StampPeriodEvents
+    // branch events between stamps, like the interpreter's Ret path.
+    if (I % 5 == 0 && R.stampDue()) {
+      Cost += static_cast<uint64_t>(I) * 37 + 1;
+      if (R.needSealBeforeStamp()) {
+        TraceCursor Cur{false, 0, 0, 0, 0, {{2, 1, 0}, {3, 4, 5}}};
+        Cur.StartCost = Cost;
+        R.seal(std::move(Cur));
+      }
+      R.costStamp(Cost);
+    } else {
+      if (R.needSealBeforeCond()) {
+        TraceCursor Cur{false, 0, 0, 0, 0, {{2, 1, 0}, {3, 4, 5}}};
+        Cur.StartCost = Cost;
+        R.seal(std::move(Cur));
+      }
+      R.condBit(I & 1);
+    }
+  }
+  R.finishRun(true);
+  R.setPipelineVersion(7);
+  R.setCostModelKey(0x1234abcdu);
+  const TraceRecording &Rec = R.recording();
+  EXPECT_TRUE(Rec.Timed);
+  EXPECT_GT(Rec.StampEvents, 0u);
+  EXPECT_EQ(Rec.PipelineVersion, 7u);
+  EXPECT_EQ(Rec.CostModelKey, 0x1234abcdu);
+
+  std::string Blob = writeTraceBinary(Rec);
+  TraceRecording Back;
+  std::string Err;
+  ASSERT_TRUE(readTraceBinary(Blob, Back, Err)) << Err;
+  EXPECT_TRUE(Back == Rec);
+
+  // An untimed recording claiming stamps is structurally inconsistent.
+  TraceRecording Lie = Rec;
+  Lie.Timed = false;
+  TraceRecording Out;
+  Err.clear();
+  EXPECT_FALSE(readTraceBinary(writeTraceBinary(Lie), Out, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+/// Records one benchmark with timestamps and returns the recording plus
+/// the clean (unrecorded) run cost the attribution must conserve.
+struct TimedRun {
+  PreparedBenchmark B;
+  TraceRecording Rec;
+  uint64_t CleanCost = 0;
+  uint64_t StampBytes = 0;
+};
+
+TimedRun recordTimed(size_t Pick, uint32_t Cap) {
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  TimedRun T{prepare(Suite.at(Pick)), {}, 0, 0};
+  InterpOptions IO;
+  IO.Costs = T.B.Costs;
+
+  Interpreter Clean(T.B.Expanded, IO);
+  T.CleanCost = Clean.run().Cost;
+
+  Interpreter I(T.B.Expanded, IO);
+  TraceRecorder TR(Cap, true);
+  I.setTraceRecorder(&TR);
+  EXPECT_FALSE(I.run().FuelExhausted);
+  T.StampBytes = TR.stampBytes();
+  T.Rec = TR.takeRecording();
+  return T;
+}
+
+/// Timed recording prices stamp bytes at TraceStampByte and everything
+/// else at TraceByte, on top of the unchanged clean execution.
+TEST(TraceBackend, TimedRecordingCostsStampBytesSeparately) {
+  std::vector<BenchmarkSpec> Suite = spec2000Suite();
+  PreparedBenchmark B = prepare(Suite[0]);
+  InterpOptions IO;
+  IO.Costs = B.Costs;
+
+  Interpreter Clean(B.Expanded, IO);
+  RunResult RClean = Clean.run();
+
+  Interpreter Timed(B.Expanded, IO);
+  TraceRecorder Rec(DefaultTraceChunkBytes, true);
+  Timed.setTraceRecorder(&Rec);
+  RunResult RTimed = Timed.run();
+
+  EXPECT_EQ(RTimed.ReturnValue, RClean.ReturnValue);
+  EXPECT_EQ(RTimed.DynInstrs, RClean.DynInstrs);
+  EXPECT_EQ(RTimed.MemChecksum, RClean.MemChecksum);
+  uint64_t Stamp = Rec.stampBytes();
+  uint64_t Total = Rec.recording().TotalBytes;
+  EXPECT_GT(Stamp, 0u);
+  EXPECT_GT(Total, Stamp);
+  EXPECT_EQ(RTimed.Cost, RClean.Cost + (Total - Stamp) * IO.Costs.TraceByte +
+                             Stamp * IO.Costs.TraceStampByte);
+}
+
+/// The tentpole contract: a timed decode reconstructs path counts
+/// bit-identical to the counter backend (timing is a pure annotation),
+/// and the attributed + unattributed cost equals the interpreter's
+/// clean run cost exactly -- sequentially and on the parallel chunk
+/// path, at a seal-stressing capacity too. Histograms are internally
+/// consistent: buckets sum to the path's count.
+TEST(TraceBackend, TimedDecodeBitIdenticalAndConservesCost) {
+  for (size_t Pick : {size_t(0), size_t(4)}) {
+    for (uint32_t Cap : {DefaultTraceChunkBytes, 1024u}) {
+      TimedRun T = recordTimed(Pick, Cap);
+      InterpOptions IO;
+      IO.Costs = T.B.Costs;
+
+      InstrumentationResult IR =
+          instrumentModule(T.B.Expanded, T.B.EP, ProfilerOptions::trace());
+      ProfileRuntime CounterRT = IR.makeRuntime();
+      Interpreter CI(IR.Instrumented, IO);
+      CI.setProfileRuntime(&CounterRT);
+      ASSERT_FALSE(CI.run().FuelExhausted);
+      CountsMessage Want = countsFromRun(T.B.Name, IR, CounterRT);
+
+      TraceDecoder Dec(T.B.Expanded, IR, T.B.Costs);
+      ProfileRuntime SeqRT = IR.makeRuntime();
+      DecodeStats DS;
+      std::string Err;
+      PathTimingProfile Timing;
+      ASSERT_TRUE(Dec.decode(T.Rec, SeqRT, DS, Err, &Timing))
+          << T.B.Name << " cap=" << Cap << ": " << Err;
+      Timing.finishPhases();
+      EXPECT_TRUE(countsFromRun(T.B.Name, IR, SeqRT) == Want)
+          << T.B.Name << " cap=" << Cap;
+      EXPECT_EQ(DS.StampEvents, T.Rec.StampEvents);
+
+      // Conservation: every replayed cost unit is attributed to exactly
+      // one path execution or the explicit unattributed bucket, and the
+      // replayed total is the clean run's cost (stamp/trace byte
+      // charges are priced after the loop, not inside it).
+      EXPECT_EQ(Timing.totalCost(), T.CleanCost) << T.B.Name;
+      EXPECT_EQ(Timing.attributedCost() + Timing.unattributedCost(),
+                Timing.totalCost())
+          << T.B.Name << " cap=" << Cap;
+      EXPECT_GT(Timing.attributedCost(), 0u);
+
+      for (const auto &KV : Timing.paths()) {
+        const PathTimingEntry &E = KV.second;
+        uint64_t BucketSum = 0;
+        for (uint64_t Bkt : E.Buckets)
+          BucketSum += Bkt;
+        EXPECT_EQ(BucketSum, E.Count);
+        EXPECT_LE(E.MinCost, E.MaxCost);
+        EXPECT_LE(E.MaxCost, E.TotalCost);
+      }
+
+      // Parallel decode: identical counts and identical attribution.
+      const char *Old = std::getenv("PPP_JOBS");
+      std::string Saved = Old ? Old : "";
+      setenv("PPP_JOBS", "4", 1);
+      ProfileRuntime ParRT = IR.makeRuntime();
+      DecodeStats PDS;
+      PathTimingProfile ParTiming;
+      ASSERT_TRUE(
+          decodeTraceParallel(Dec, T.Rec, ParRT, PDS, Err, &ParTiming))
+          << T.B.Name << " cap=" << Cap << ": " << Err;
+      ParTiming.finishPhases();
+      if (Old)
+        setenv("PPP_JOBS", Saved.c_str(), 1);
+      else
+        unsetenv("PPP_JOBS");
+      EXPECT_TRUE(countsFromRun(T.B.Name, IR, ParRT) == Want)
+          << T.B.Name << " cap=" << Cap << " (parallel)";
+      EXPECT_TRUE(ParTiming.paths() == Timing.paths())
+          << T.B.Name << " cap=" << Cap;
+      EXPECT_EQ(ParTiming.totalCost(), Timing.totalCost());
+      EXPECT_EQ(ParTiming.unattributedCost(), Timing.unattributedCost());
+    }
+  }
+}
+
+/// Every prefix truncation of a timed recording's final chunk must fail
+/// the decode: mid-varint cuts are caught by the stamp reader, clean
+/// packet-boundary cuts by the completeness and stamp-total checks.
+TEST(TraceBackend, TruncatedTimedFramesAlwaysRejected) {
+  TimedRun T = recordTimed(0, TraceRecorder::MinTraceChunkBytes);
+  ASSERT_TRUE(T.Rec.Complete);
+  InstrumentationResult IR =
+      instrumentModule(T.B.Expanded, T.B.EP, ProfilerOptions::trace());
+  TraceDecoder Dec(T.B.Expanded, IR, T.B.Costs);
+
+  const std::vector<uint8_t> Full = T.Rec.Chunks.back().Bytes;
+  ASSERT_GT(Full.size(), 2u);
+  for (size_t Keep = 0; Keep < Full.size(); ++Keep) {
+    TraceRecording Cut = T.Rec;
+    Cut.Chunks.back().Bytes.assign(Full.begin(), Full.begin() + Keep);
+    Cut.TotalBytes -= Full.size() - Keep;
+    ProfileRuntime RT = IR.makeRuntime();
+    DecodeStats DS;
+    std::string Err;
+    PathTimingProfile Timing;
+    EXPECT_FALSE(Dec.decode(Cut, RT, DS, Err, &Timing)) << Keep;
+    EXPECT_FALSE(Err.empty()) << Keep;
+  }
+}
+
+/// A timed stream decoded under a disagreeing cost model must be
+/// rejected: the provenance key catches a stamped recording up front,
+/// and an unstamped one still fails at the first disagreeing stamp.
+TEST(TraceBackend, TimedDecodeRejectsCostModelMismatch) {
+  TimedRun T = recordTimed(0, DefaultTraceChunkBytes);
+  EXPECT_EQ(T.Rec.CostModelKey, T.B.Costs.key()); // Interpreter-stamped.
+  InstrumentationResult IR =
+      instrumentModule(T.B.Expanded, T.B.EP, ProfilerOptions::trace());
+  CostModel Wrong = T.B.Costs;
+  Wrong.Mul += 7;
+  EXPECT_NE(Wrong.key(), T.B.Costs.key());
+  TraceDecoder Dec(T.B.Expanded, IR, Wrong);
+  ProfileRuntime RT = IR.makeRuntime();
+  DecodeStats DS;
+  std::string Err;
+  PathTimingProfile Timing;
+  EXPECT_FALSE(Dec.decode(T.Rec, RT, DS, Err, &Timing));
+  EXPECT_NE(Err.find("cost-model key"), std::string::npos) << Err;
+
+  TraceRecording Anon = T.Rec;
+  Anon.CostModelKey = 0;
+  ProfileRuntime RT2 = IR.makeRuntime();
+  Err.clear();
+  EXPECT_FALSE(Dec.decode(Anon, RT2, DS, Err, &Timing));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(Err.find("cost-model key"), std::string::npos) << Err;
 }
 
 } // namespace

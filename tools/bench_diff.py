@@ -22,7 +22,8 @@ Usage:
   tools/bench_diff.py --gate NAME OLD.json NEW.json
       Shorthand for the committed trajectory files: NAME picks the key
       patterns and threshold for one of the tracked BENCH_*.json
-      baselines (throughput, served, trace). --keys / --threshold still
+      baselines (throughput, served, trace, adapt, timing). --keys /
+      --threshold still
       override the preset's pieces individually.
 
   tools/bench_diff.py --self-test
@@ -48,6 +49,7 @@ GATES = {
     "served": ("serve.bench.*", 25.0),
     "trace": ("trace.average.*,trace.bench.*", 25.0),
     "adapt": ("adapt.average.*,adapt.bench.*", 25.0),
+    "timing": ("timing.accept.*,timing.bench.*", 25.0),
 }
 
 
@@ -123,8 +125,9 @@ def run(args, out=sys.stdout, err=sys.stderr):
             print(f"{k:<{width}}  {old[k]:>14g}  {new[k]:>14g}  "
                   f"{fmt_change(pct):>8}{tag}", file=out)
         if failed:
-            print(f"\n{len(failed)} key(s) moved more than "
-                  f"{args.threshold:g}%:", file=err)
+            print(f"\n{len(failed)} of {checked} compared key(s) moved "
+                  f"more than {args.threshold:g}% "
+                  f"({checked - len(failed)} within tolerance):", file=err)
             for k, why in failed:
                 print(f"  {k}: {why}", file=err)
             return 1
@@ -267,12 +270,33 @@ def self_test():
     check("adapt gate: ratio collapse fails",
           rc == 1 and "moved more than" in err)
 
+    # 7b. The named timing gate over BENCH_timing.json-shaped fixtures:
+    #     the acceptance gauges hold or the gate fails. picks_differ
+    #     dropping to 0 (both controllers picking the same candidate on
+    #     the skewed subject) is a -100% move, so it always trips.
+    timing_base = metrics(
+        gauges={"timing.accept.picks_differ": 1.0,
+                "timing.accept.worst_steady_ratio": 1.0,
+                "timing.bench.skewed.steady_cost_ratio": 1.02,
+                "timing.bench.skewed.time_first_cover": 0.85})
+    rc, out, _ = gate_named(timing_base, timing_base, "timing")
+    check("timing gate: steady run passes", rc == 0 and "ok:" in out)
+    lost_pick = metrics(
+        gauges={"timing.accept.picks_differ": 0.0,
+                "timing.accept.worst_steady_ratio": 1.0,
+                "timing.bench.skewed.steady_cost_ratio": 1.02,
+                "timing.bench.skewed.time_first_cover": 0.15})
+    rc, _, err = gate_named(timing_base, lost_pick, "timing")
+    check("timing gate: lost pick separation fails",
+          rc == 1 and "moved more than" in err
+          and "within tolerance" in err)
+
     # 8. Every named preset resolves to at least one pattern and a
     #    positive threshold (catches typos when presets are edited).
     check("gate presets well-formed",
           all(p.strip() and t > 0
               for p, t in GATES.values()) and set(GATES) ==
-          {"throughput", "served", "trace", "adapt"})
+          {"throughput", "served", "trace", "adapt", "timing"})
 
     # 9. Report-only mode never fails.
     with tempfile.TemporaryDirectory() as d:

@@ -13,9 +13,9 @@
 ///  - `--minutes=N`: keep fuzzing fresh seeds until the wall-clock
 ///    budget runs out (long mode for soak runs).
 ///  - `--fault`: additionally fault-inject the binary frames (module /
-///    edge profile / path profile / trace recording / PrepCache entry)
-///    of every 16th corpus module, plus the hand-crafted hostile
-///    module frames.
+///    edge profile / path profile / trace recording / timed trace
+///    recording / PrepCache entry) of every 16th corpus module, plus
+///    the hand-crafted hostile module frames.
 ///
 /// On a failing case, `--shrink` walks the shape knobs down while the
 /// failure reproduces and prints a reproducer command line.
@@ -36,6 +36,7 @@
 #include "profile/BinaryIO.h"
 #include "profile/Collectors.h"
 #include "support/Rng.h"
+#include "trace/PathTiming.h"
 #include "trace/TraceDecoder.h"
 #include "trace/TraceIO.h"
 
@@ -219,6 +220,50 @@ unsigned runFaultPass(uint64_t Seed, const FuzzShape &Shape, uint64_t Fuel,
         trace::DecodeStats DS;
         return Dec.decode(Out, RT, DS, Err);
       });
+
+  // Timed trace frames: the same reject-or-stay-consistent contract
+  // with cost stamps in the stream. Mutants attack the new surface --
+  // the Timed header flag, the StampEvents total, the cursor's cost
+  // bases, and the stamp varints themselves (flips turn deltas
+  // non-monotonic or misalign the positional stamp stream). A mutant
+  // the decoder accepts must still satisfy the attribution side's
+  // conservation law; one that decodes cleanly but leaks cost is a
+  // contract violation reported like any other.
+  trace::TraceRecorder TimedRec(256, /*Timestamps=*/true);
+  {
+    InterpOptions IO;
+    IO.Fuel = Fuel;
+    Interpreter I(M, IO);
+    I.setTraceRecorder(&TimedRec);
+    if (I.run().FuelExhausted)
+      return Violations + 1;
+  }
+  std::string TimedBlob =
+      trace::writeTraceBinary(TimedRec.takeRecording());
+  unsigned TimedLeaks = 0;
+  Run("timedtrace", mutateFrame(TimedBlob, R, 6, 6, 6),
+      [&](const std::string &Blob, std::string &Err) {
+        trace::TraceRecording Out;
+        if (!trace::readTraceBinary(Blob, Out, Err))
+          return false;
+        ProfileRuntime RT = TraceIR.makeRuntime();
+        trace::DecodeStats DS;
+        trace::PathTimingProfile Timing;
+        if (!Dec.decode(Out, RT, DS, Err, Out.Timed ? &Timing : nullptr))
+          return false;
+        if (Out.Timed && Timing.attributedCost() +
+                                 Timing.unattributedCost() !=
+                             Timing.totalCost())
+          ++TimedLeaks;
+        return true;
+      });
+  if (TimedLeaks > 0) {
+    Violations += TimedLeaks;
+    std::fprintf(stderr,
+                 "FUZZ FAULT timedtrace: %u accepted mutants violated "
+                 "cost conservation\n",
+                 TimedLeaks);
+  }
 
   // PrepCache entry built from the same artifacts.
   bench::PreparedBenchmark B;

@@ -35,6 +35,12 @@ tools/served_smoke.sh "$REPO_ROOT/build"
 # counts frame at every chunk size / worker count combination.
 tools/trace_smoke.sh "$REPO_ROOT/build"
 
+# Timing smoke stage (also the timing_smoke ctest): record with cost
+# stamps, decode, require counts byte-identical to the counter backend
+# and exact cost conservation, two chunk sizes x 1/4 workers. The timed
+# trace unit tests also run under the sanitizer stage below via ctest.
+tools/timing_smoke.sh "$REPO_ROOT/build"
+
 # Fuzz smoke stage (also the fuzz_smoke ctest): the fixed-seed
 # adversarial corpus through all three profilers with differential
 # invariants against the oracle, plus frame fault injection. For a

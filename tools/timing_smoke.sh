@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Timing-attribution smoke: record a benchmark with cost stamps, decode
+# it back, and require (a) the reconstructed counters to be
+# byte-identical ('cmp') to the online counter backend's canonical
+# counts frame -- timing is a pure annotation and must never perturb
+# the counts -- and (b) the conservation law to hold exactly
+# (ppp_timing decode verifies attributed + unattributed == total cost
+# itself and exits nonzero on violation). Both at one worker and at
+# four, with the default chunk size and a small one that forces many
+# seals, including seals at stamp points. Deterministic end to end, so
+# it gates tier-1 like any other test.
+#
+# Usage: tools/timing_smoke.sh <build-dir>
+set -eu
+
+BUILD_DIR=${1:?usage: timing_smoke.sh <build-dir>}
+PT="$BUILD_DIR/tools/ppp_timing"
+RT="$BUILD_DIR/tools/trace_roundtrip"
+
+for BIN in "$PT" "$RT"; do
+  if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (run cmake --build $BUILD_DIR first)" >&2
+    exit 1
+  fi
+done
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/ppp-timing-smoke.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+# A branchy INT benchmark and a call-heavy one (deep stacks carry
+# accrual across many chunk boundaries).
+for BENCH in vpr crafty; do
+  # Online counter baseline (the oracle bytes). The plans are
+  # identical for trace and trace+time, so the counts layout matches.
+  "$RT" counter --bench="$BENCH" --out="$TMP/$BENCH.counter.bin"
+
+  for CHUNK in 65536 4096; do
+    "$PT" record --bench="$BENCH" --chunk="$CHUNK" \
+      --out="$TMP/$BENCH.$CHUNK.trace"
+    for JOBS in 1 4; do
+      PPP_JOBS=$JOBS "$PT" decode --bench="$BENCH" \
+        --trace="$TMP/$BENCH.$CHUNK.trace" \
+        --out="$TMP/$BENCH.$CHUNK.j$JOBS.bin"
+      cmp "$TMP/$BENCH.counter.bin" "$TMP/$BENCH.$CHUNK.j$JOBS.bin" || {
+        echo "error: $BENCH chunk=$CHUNK jobs=$JOBS timed decode differs" \
+          "from counter backend" >&2
+        exit 1
+      }
+    done
+  done
+done
+
+echo "timing_smoke: OK"
