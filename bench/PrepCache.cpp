@@ -22,7 +22,7 @@ using namespace ppp::bench;
 // The key string enumerates every field below by hand. These asserts
 // fire when a field is added, as a reminder to extend the key (and bump
 // PrepPipelineVersion).
-static_assert(sizeof(CostModel) == 14 * sizeof(uint32_t),
+static_assert(sizeof(CostModel) == 15 * sizeof(uint32_t),
               "CostModel changed; update prepCacheKeyString and "
               "serializeCostModel, and bump PrepPipelineVersion");
 
@@ -118,6 +118,7 @@ void serializeCostModel(BinWriter &W, const CostModel &C) {
   W.u32(C.PoisonCheck);
   W.u32(C.TraceByte);
   W.u32(C.TraceStampByte);
+  W.u32(C.ProfChainStep);
 }
 
 void deserializeCostModel(BinReader &R, CostModel &C) {
@@ -135,6 +136,7 @@ void deserializeCostModel(BinReader &R, CostModel &C) {
   C.PoisonCheck = R.u32();
   C.TraceByte = R.u32();
   C.TraceStampByte = R.u32();
+  C.ProfChainStep = R.u32();
 }
 
 } // namespace
@@ -173,11 +175,11 @@ std::string ppp::bench::prepCacheKeyString(const BenchmarkSpec &Spec,
       P.HotLoopPct, P.HotTripMin, P.HotTripMax, P.SwitchArmsMin,
       P.SwitchArmsMax, (unsigned long long)P.MainLoopTrips);
   K += formatString(
-      "costs %u %u %u %u %u %u %u %u %u %u %u %u %u %u\n", Costs.Simple,
+      "costs %u %u %u %u %u %u %u %u %u %u %u %u %u %u %u\n", Costs.Simple,
       Costs.Mul, Costs.Div, Costs.Mem, Costs.CallOverhead,
       Costs.RetOverhead, Costs.Branch, Costs.Multiway, Costs.ProfReg,
       Costs.ProfCountArray, Costs.ProfCountHash, Costs.PoisonCheck,
-      Costs.TraceByte, Costs.TraceStampByte);
+      Costs.TraceByte, Costs.TraceStampByte, Costs.ProfChainStep);
   return K;
 }
 

@@ -58,8 +58,9 @@ namespace bench {
 /// Version history: 1 = hard-coded prepare() sequence; 2 = spec-driven
 /// pass pipeline (the spec itself joined the key); 3 = CostModel grew
 /// TraceByte (serialized cost model and key text changed shape);
-/// 4 = CostModel grew TraceStampByte (timing-annotated tracing).
-inline constexpr uint32_t PrepPipelineVersion = 4;
+/// 4 = CostModel grew TraceStampByte (timing-annotated tracing);
+/// 5 = CostModel grew ProfChainStep (k-iteration path profiling).
+inline constexpr uint32_t PrepPipelineVersion = 5;
 
 /// The canonical cache key text for (\p Spec, \p Costs) prepared under
 /// \p PipelineSpec (default: the active preparation pipeline, so

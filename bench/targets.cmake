@@ -38,6 +38,7 @@ ppp_add_bench(interp_throughput)
 ppp_add_bench(trace_throughput)
 ppp_add_bench(adaptive_steadystate)
 ppp_add_bench(timing_attrib)
+ppp_add_bench(kiter_blowup)
 
 # The unified driver compiles every experiment translation unit a
 # second time with PPP_SUITE_ALL defined, which drops their main()s and

@@ -14,10 +14,10 @@ using namespace ppp::fuzz;
 
 std::string FuzzShape::describe() const {
   return formatString("funcs=%u blocks=%u arms=%u fuel=%u trips=%u "
-                      "diamond=%d dead=%d",
+                      "diamond=%d dead=%d kblow=%d",
                       NumFunctions, MaxBlocks, MaxSwitchArms, FuelPerCall,
                       MainTrips, WithDiamondChain ? 1 : 0,
-                      WithDeadBlocks ? 1 : 0);
+                      WithDeadBlocks ? 1 : 0, WithKiterBlowup ? 1 : 0);
 }
 
 namespace {
@@ -266,6 +266,49 @@ void buildDiamondChain(FnCtx &C, unsigned NumParams, uint64_t Salt) {
   C.B.emitRet(C.State);
 }
 
+/// A counted loop over a 17-diamond chain: ~2^17 acyclic paths per
+/// iteration segment, so chaining k=4 of them spans ~2^68 candidate
+/// ids -- past 64 bits. The k-iteration planner must saturate its path
+/// count and demote this function to plain counting (reason recorded),
+/// never wrap; k=2 (~2^34) must still chain and conserve.
+void buildKiterBlowup(FnCtx &C, unsigned NumParams, uint64_t Salt) {
+  constexpr unsigned Diamonds = 17;
+  int64_t Trips = 3 + static_cast<int64_t>(C.R.below(6));
+  C.State = C.B.emitConst(static_cast<int64_t>(Salt | 1));
+  for (unsigned P = 0; P < NumParams; ++P)
+    C.B.emitBinary(Opcode::Add, C.State, static_cast<RegId>(P), C.State);
+  RegId I = C.B.emitConst(0);
+  RegId N = C.B.emitConst(Trips);
+  BlockId H = C.B.newBlock(), E = C.B.newBlock();
+  C.B.emitBr(H);
+  C.B.setInsertPoint(H);
+  for (unsigned D = 0; D < Diamonds; ++D) {
+    unsigned Skew = 40 + static_cast<unsigned>(C.R.below(20));
+    C.B.emitMulImm(C.State, 6364136223846793005LL, C.State);
+    C.B.emitAddImm(C.State, 1442695040888963407LL + D, C.State);
+    RegId Sh = C.B.emitConst(33);
+    RegId Hi = C.B.emitBinary(Opcode::Shr, C.State, Sh);
+    RegId Hundred = C.B.emitConst(100);
+    RegId Mod = C.B.emitBinary(Opcode::RemU, Hi, Hundred);
+    RegId Cut = C.B.emitConst(static_cast<int64_t>(Skew));
+    RegId Cond = C.B.emitBinary(Opcode::CmpLt, Mod, Cut);
+    BlockId T = C.B.newBlock(), F = C.B.newBlock(), J = C.B.newBlock();
+    C.B.emitCondBr(Cond, T, F);
+    C.B.setInsertPoint(T);
+    C.B.emitAddImm(C.State, 1, C.State);
+    C.B.emitBr(J);
+    C.B.setInsertPoint(F);
+    C.B.emitAddImm(C.State, 2, C.State);
+    C.B.emitBr(J);
+    C.B.setInsertPoint(J);
+  }
+  C.B.emitAddImm(I, 1, I);
+  RegId Cond = C.B.emitBinary(Opcode::CmpLt, I, N);
+  C.B.emitCondBr(Cond, H, E);
+  C.B.setInsertPoint(E);
+  C.B.emitRet(C.State);
+}
+
 } // namespace
 
 Module ppp::fuzz::generateAdversarialModule(uint64_t Seed,
@@ -307,6 +350,15 @@ Module ppp::fuzz::generateAdversarialModule(uint64_t Seed,
     FuncId F = B.beginFunction("diamond", 1);
     FnCtx C(B, FnRng.fork());
     buildDiamondChain(C, 1, FnRng.next());
+    B.endFunction();
+    Fns.push_back(F);
+  }
+
+  if (Shape.WithKiterBlowup) {
+    Rng FnRng = Root.fork();
+    FuncId F = B.beginFunction("kblow", 1);
+    FnCtx C(B, FnRng.fork());
+    buildKiterBlowup(C, 1, FnRng.next());
     B.endFunction();
     Fns.push_back(F);
   }

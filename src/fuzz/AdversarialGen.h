@@ -58,10 +58,15 @@ struct FuzzShape {
   bool WithDiamondChain = true;
   /// Emit unreferenced blocks (and, rarely, unreachable cycles).
   bool WithDeadBlocks = true;
+  /// Include a looped ~2^17-path diamond chain whose k=4 chain space
+  /// (~2^68 ids) overflows 64-bit path counting: the probe that forces
+  /// the k-iteration profiler's demote-instead-of-wrap path. Off by
+  /// default so the standard corpus is unchanged.
+  bool WithKiterBlowup = false;
 
   bool operator==(const FuzzShape &O) const = default;
 
-  /// "funcs=4 blocks=12 arms=8 fuel=40 trips=4 diamond=1 dead=1".
+  /// "funcs=4 blocks=12 arms=8 fuel=40 trips=4 diamond=1 dead=1 kblow=0".
   std::string describe() const;
 };
 

@@ -53,6 +53,11 @@ std::vector<FuzzShape> shrinkCandidates(const FuzzShape &S) {
     C.WithDeadBlocks = false;
     Out.push_back(C);
   }
+  if (S.WithKiterBlowup) {
+    FuzzShape C = S;
+    C.WithKiterBlowup = false;
+    Out.push_back(C);
+  }
   return Out;
 }
 
@@ -87,8 +92,9 @@ std::string ppp::fuzz::reproducerCommand(uint64_t Seed,
                                          const FuzzShape &Shape) {
   return formatString(
       "tools/fuzz_ppp --seed=%llu --funcs=%u --blocks=%u --arms=%u "
-      "--gen-fuel=%u --trips=%u --diamond=%d --dead=%d",
+      "--gen-fuel=%u --trips=%u --diamond=%d --dead=%d --kblow=%d",
       (unsigned long long)Seed, Shape.NumFunctions, Shape.MaxBlocks,
       Shape.MaxSwitchArms, Shape.FuelPerCall, Shape.MainTrips,
-      Shape.WithDiamondChain ? 1 : 0, Shape.WithDeadBlocks ? 1 : 0);
+      Shape.WithDiamondChain ? 1 : 0, Shape.WithDeadBlocks ? 1 : 0,
+      Shape.WithKiterBlowup ? 1 : 0);
 }

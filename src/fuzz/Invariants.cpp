@@ -15,6 +15,7 @@
 #include "trace/TraceDecoder.h"
 #include "trace/TraceIO.h"
 
+#include <set>
 #include <sstream>
 
 using namespace ppp;
@@ -321,6 +322,250 @@ void checkOneProfiler(const Module &M, const CleanRun &Clean,
     Rep.fail(Tag("fraction_bounds"),
              formatString("instrumented fraction total=%f hashed=%f",
                           Frac.Total, Frac.Hashed));
+}
+
+/// Counts, on the clean module, the chain flushes every chained
+/// function must emit. Each crossing of an instrumented back edge (one
+/// with a LoopExit dummy in the plan's DAG) executes one chain step, so
+/// an activation with t crossings flushes floor(t / K) + 1 ids: one
+/// every K-th step plus the Ret flush. Counts stay pinned on the dummy
+/// exit edges under chaining (no push movement), which is what makes
+/// this exact even in routines with cold edges.
+class ChainFlushOracle : public ExecObserver {
+public:
+  explicit ChainFlushOracle(const InstrumentationResult &IR)
+      : Expected(IR.Plans.size(), 0), Backs(IR.Plans.size()),
+        Ks(IR.Plans.size(), 1), Cfgs(IR.Plans.size(), nullptr) {
+    for (size_t FI = 0; FI < IR.Plans.size(); ++FI) {
+      const FunctionPlan &P = IR.Plans[FI];
+      if (!P.chained())
+        continue;
+      Ks[FI] = P.KEffective;
+      Cfgs[FI] = P.Cfg.get();
+      for (const DagEdge &E : P.Dag->edges())
+        if (E.Kind == DagEdgeKind::LoopExit)
+          Backs[FI].insert(E.CfgEdgeId);
+    }
+  }
+
+  void onFunctionEnter(FuncId F) override { Stack.push_back({F, 0}); }
+
+  void onEdge(FuncId F, BlockId Src, unsigned SuccIdx) override {
+    size_t FI = static_cast<size_t>(F);
+    if (Backs[FI].empty())
+      return;
+    int Id = Cfgs[FI]->edgeIdFor(Src, SuccIdx);
+    if (Backs[FI].count(Id))
+      ++Stack.back().Crossings;
+  }
+
+  void onFunctionExit(FuncId F) override {
+    size_t FI = static_cast<size_t>(F);
+    if (!Stack.empty()) {
+      if (Ks[FI] > 1)
+        Expected[FI] += Stack.back().Crossings / Ks[FI] + 1;
+      Stack.pop_back();
+    }
+  }
+
+  std::vector<uint64_t> Expected; ///< Flushes per function.
+
+private:
+  struct ActFrame {
+    FuncId F = -1;
+    uint64_t Crossings = 0;
+  };
+  std::vector<std::set<int>> Backs;
+  std::vector<uint64_t> Ks;
+  std::vector<const CfgView *> Cfgs;
+  std::vector<ActFrame> Stack;
+};
+
+/// The k-iteration battery. Backend demotions must be total (a chained
+/// request on checked poisoning counts exactly like the plain preset);
+/// for k in {2, 4} on the ppp plan, a chained run must preserve
+/// semantics, keep every stored id inside [1, IdBound), re-encode every
+/// decodable id from its decoded segments, honor the demotion
+/// invariants (reason recorded implies KEffective back at 1, never a
+/// wrapped id space), and conserve events: per chained function,
+/// stored + lost counts equal the flush oracle's total exactly -- the
+/// per-k path-sum-conservation invariant.
+void checkKIter(const Module &M, const CleanRun &Clean, uint64_t Fuel,
+                InvariantReport &Rep) {
+  // Checked poisoning cannot chain: the k request must demote per
+  // function and count bit-identically to the plain preset.
+  {
+    InstrumentationResult Plain =
+        instrumentModule(M, Clean.EP, ProfilerOptions::tppChecked());
+    ProfilerOptions KOpts = ProfilerOptions::tppChecked();
+    KOpts.Name += "+kiter2";
+    KOpts.KIterations = 2;
+    InstrumentationResult Chained = instrumentModule(M, Clean.EP, KOpts);
+    CountsMessage Msgs[2];
+    bool Ran = true;
+    for (int X = 0; X < 2; ++X) {
+      const InstrumentationResult &IR = X == 0 ? Plain : Chained;
+      ProfileRuntime RT = IR.makeRuntime();
+      InterpOptions IO;
+      IO.Fuel = Fuel;
+      Interpreter I(IR.Instrumented, IO);
+      I.setProfileRuntime(&RT);
+      ++Rep.ChecksRun;
+      if (I.run().FuelExhausted) {
+        Rep.fail("kiter.checked.terminates", "instrumented run exhausted fuel");
+        Ran = false;
+        break;
+      }
+      Msgs[X] = countsFromRun(M.Name, IR, RT);
+    }
+    ++Rep.ChecksRun;
+    if (Ran && !(Msgs[0] == Msgs[1]))
+      Rep.fail("kiter.checked.demotes",
+               "k=2 under checked poisoning did not count like the plain "
+               "preset");
+    for (size_t FI = 0; Ran && FI < Chained.Plans.size(); ++FI) {
+      const FunctionPlan &P = Chained.Plans[FI];
+      ++Rep.ChecksRun;
+      if (P.KEffective != 1 ||
+          (P.Instrumented && P.KDemote != KDemoteReason::CheckedPoisoning))
+        Rep.fail("kiter.checked.reason",
+                 formatString("function %zu: KEffective=%llu demote=%s", FI,
+                              (unsigned long long)P.KEffective,
+                              kDemoteReasonName(P.KDemote)));
+    }
+  }
+
+  for (uint64_t K : {uint64_t(2), uint64_t(4)}) {
+    ProfilerOptions Opts = ProfilerOptions::ppp();
+    Opts.Name += formatString("+kiter%llu", (unsigned long long)K);
+    Opts.KIterations = K;
+    auto Tag = [&](const char *Check) { return Opts.Name + "." + Check; };
+
+    InstrumentationResult IR = instrumentModule(M, Clean.EP, Opts);
+
+    // Flush oracle: replay the clean module watching instrumented back
+    // edges (known to terminate; the clean battery ran first).
+    ChainFlushOracle Oracle(IR);
+    {
+      InterpOptions IO;
+      IO.Fuel = Fuel;
+      Interpreter CI(M, IO);
+      CI.addObserver(&Oracle);
+      CI.run();
+    }
+
+    ProfileRuntime RT = IR.makeRuntime();
+    InterpOptions IO;
+    IO.Fuel = Fuel * 2;
+    Interpreter I(IR.Instrumented, IO);
+    I.setProfileRuntime(&RT);
+    RunResult Res = I.run();
+    ++Rep.ChecksRun;
+    if (Res.FuelExhausted) {
+      Rep.fail(Tag("terminates"), "chained run exhausted fuel");
+      continue;
+    }
+    ++Rep.ChecksRun;
+    if (Res.ReturnValue != Clean.Res.ReturnValue ||
+        Res.MemChecksum != Clean.Res.MemChecksum)
+      Rep.fail(Tag("semantics"), "chained run diverged from the clean run");
+
+    for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+      const FunctionPlan &Plan = IR.Plans[FI];
+      const PathTable &T = RT.table(static_cast<FuncId>(FI));
+
+      ++Rep.ChecksRun;
+      if (Plan.KRequested != K)
+        Rep.fail(Tag("requested"),
+                 formatString("function %u: KRequested=%llu", FI,
+                              (unsigned long long)Plan.KRequested));
+      ++Rep.ChecksRun;
+      if (Plan.KDemote != KDemoteReason::None && Plan.KEffective != 1)
+        Rep.fail(Tag("demote"),
+                 formatString("function %u: demoted (%s) but KEffective=%llu",
+                              FI, kDemoteReasonName(Plan.KDemote),
+                              (unsigned long long)Plan.KEffective));
+      ++Rep.ChecksRun;
+      if (T.invalidCount() != 0)
+        Rep.fail(Tag("no_invalid"),
+                 formatString("function %u: %llu out-of-range indices", FI,
+                              (unsigned long long)T.invalidCount()));
+      if (!Plan.chained())
+        continue;
+
+      ++Rep.ChecksRun;
+      if (Plan.ChainMult < 2 || Plan.IdBound < Plan.ChainMult)
+        Rep.fail(Tag("chain_consts"),
+                 formatString("function %u: M=%lld IdBound=%lld", FI,
+                              (long long)Plan.ChainMult,
+                              (long long)Plan.IdBound));
+
+      uint64_t StoredTotal = 0;
+      bool RangeOk = true, ReencodeOk = true;
+      T.forEach([&](int64_t Id, uint64_t Count) {
+        StoredTotal += Count;
+        if (Id < 1 || Id >= Plan.IdBound) {
+          RangeOk = false;
+          return;
+        }
+        std::optional<std::vector<PathKey>> Segs = Plan.decodeKPath(Id);
+        if (!Segs)
+          return; // Poisoned digit: attributed cold, not re-encodable.
+        int64_t Acc = 0;
+        for (const PathKey &Key : *Segs) {
+          std::optional<uint64_t> Num = Plan.pathNumberOf(Key);
+          if (!Num) {
+            ReencodeOk = false;
+            return;
+          }
+          Acc = Acc * Plan.ChainMult + static_cast<int64_t>(*Num) + 1;
+        }
+        if (Acc != Id)
+          ReencodeOk = false;
+      });
+      ++Rep.ChecksRun;
+      if (!RangeOk)
+        Rep.fail(Tag("id_range"),
+                 formatString("function %u: stored id outside [1, %lld)", FI,
+                              (long long)Plan.IdBound));
+      ++Rep.ChecksRun;
+      if (!ReencodeOk)
+        Rep.fail(Tag("decode_roundtrip"),
+                 formatString("function %u: decoded segments did not "
+                              "re-encode to their id",
+                              FI));
+
+      // Conservation: chained counts never move off the dummy exit
+      // edges, so every flush lands in the table or the lost counter --
+      // exactly floor(t/K)+1 per completed activation.
+      uint64_t Accounted =
+          StoredTotal + T.lostCount() + T.coldCheckedCount();
+      ++Rep.ChecksRun;
+      if (Accounted != Oracle.Expected[FI])
+        Rep.fail(Tag("conservation"),
+                 formatString("function %u: accounted %llu != expected "
+                              "flushes %llu",
+                              FI, (unsigned long long)Accounted,
+                              (unsigned long long)Oracle.Expected[FI]));
+    }
+
+    // Per-routine attribution must tile the same events.
+    ProfilerRunData Run = buildEstimatedProfile(M, Clean.EP, IR, RT);
+    ++Rep.ChecksRun;
+    if (Run.InvalidCounts != 0)
+      Rep.fail(Tag("no_invalid"), "estimated profile saw invalid counts");
+    uint64_t LostSum = 0, ColdSum = 0, InvSum = 0;
+    for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
+      LostSum += Run.FuncLost[FI];
+      ColdSum += Run.FuncCold[FI];
+      InvSum += Run.FuncInvalid[FI];
+    }
+    ++Rep.ChecksRun;
+    if (LostSum != Run.LostCounts || ColdSum != Run.ColdCounts ||
+        InvSum != Run.InvalidCounts)
+      Rep.fail(Tag("attribution"),
+               "per-function lost/cold/invalid do not sum to the totals");
+  }
 }
 
 /// The trace backend's whole contract in one battery: recording does
@@ -655,6 +900,7 @@ InvariantReport ppp::fuzz::checkModuleInvariants(const Module &M,
   checkOneProfiler(M, Clean, ProfilerOptions::pp(), Fuel * 2, Rep);
   checkOneProfiler(M, Clean, ProfilerOptions::tpp(), Fuel * 2, Rep);
   checkOneProfiler(M, Clean, ProfilerOptions::ppp(), Fuel * 2, Rep);
+  checkKIter(M, Clean, Fuel * 2, Rep);
   checkTraceBackend(M, Clean, Fuel, Rep);
   checkTimedTrace(M, Clean, Fuel, Rep);
   checkAdaptive(M, Clean, Fuel, Rep);

@@ -49,6 +49,12 @@ struct CostModel {
   /// one subtract and a couple of shift/mask steps folded into a
   /// single bulk append of an already-live counter.
   uint32_t TraceStampByte = 1;
+  /// k-iteration chaining: the digit fold (one add, one multiply by the
+  /// per-function chain base) a ProfChain* op performs before or
+  /// instead of the table update. Charged on every chain op as a
+  /// uniform upper bound -- a non-flushing step skips the table but
+  /// pays the fold, a flushing step pays both.
+  uint32_t ProfChainStep = 2;
 
   /// The default weights above approximate a simple modern core. This
   /// preset instead approximates the paper's Alpha 21164: multi-cycle
@@ -71,6 +77,7 @@ struct CostModel {
     C.PoisonCheck = 2;
     C.TraceByte = 3; // Stores are 3 cycles here; appends batch into them.
     C.TraceStampByte = 2;
+    C.ProfChainStep = 9; // The fold's multiply dominates on this core.
     return C;
   }
 
@@ -83,7 +90,7 @@ struct CostModel {
     for (uint32_t V : {Simple, Mul, Div, Mem, CallOverhead, RetOverhead,
                        Branch, Multiway, ProfReg, ProfCountArray,
                        ProfCountHash, PoisonCheck, TraceByte,
-                       TraceStampByte}) {
+                       TraceStampByte, ProfChainStep}) {
       H ^= V;
       H *= 1099511628211ULL;
     }
@@ -120,6 +127,11 @@ struct CostModel {
       return HashedTable ? ProfCountHash : ProfCountArray;
     case Opcode::ProfCheckedCountIdx:
       return (HashedTable ? ProfCountHash : ProfCountArray) + PoisonCheck;
+    case Opcode::ProfChainIdx:
+    case Opcode::ProfChainConst:
+    case Opcode::ProfChainRetIdx:
+    case Opcode::ProfChainRetConst:
+      return ProfChainStep + (HashedTable ? ProfCountHash : ProfCountArray);
     default:
       return Simple;
     }

@@ -56,6 +56,10 @@ void ppp::repriceProfilingCosts(DecodedFunction &DF, const CostModel &Costs,
     case Opcode::ProfCountIdx:
     case Opcode::ProfCountConst:
     case Opcode::ProfCheckedCountIdx:
+    case Opcode::ProfChainIdx:
+    case Opcode::ProfChainConst:
+    case Opcode::ProfChainRetIdx:
+    case Opcode::ProfChainRetConst:
       D.Cost = Costs.costOf(D.Op, HashedTable);
       break;
     default:

@@ -42,8 +42,25 @@ inline constexpr unsigned PathHashTries = 3;
 /// floor magic that undershoots by at most one (truncation error is
 /// below N/2^73 < 1) plus one conditional subtract. 2^73/D fits in 64
 /// bits for D > 512.
+/// Compile-time precondition of fastRemainder. static_assert messages
+/// must be string literals, so the offending divisor cannot appear in
+/// the message itself; instead the check lives in this helper, whose
+/// failing instantiation -- FastRemainderDivisorInRange<D, false> --
+/// spells out the bad D in the compiler's "in instantiation of"
+/// backtrace. Do not pass the second argument explicitly.
+template <uint64_t D, bool InRange = (D > 512 && D < (uint64_t(1) << 32))>
+struct FastRemainderDivisorInRange {
+  static_assert(InRange,
+                "fastRemainder: the reciprocal shift of 73 requires a "
+                "divisor D with 512 < D < 2^32; the rejected D is the "
+                "first argument of the FastRemainderDivisorInRange<D, "
+                "false> instantiation reported just above/below this "
+                "message");
+  static constexpr bool Value = InRange;
+};
+
 template <uint64_t D> inline uint64_t fastRemainder(uint64_t N) {
-  static_assert(D > 512 && D < (uint64_t(1) << 32),
+  static_assert(FastRemainderDivisorInRange<D>::Value,
                 "reciprocal shift of 73 requires 512 < D < 2^32");
 #if defined(__SIZEOF_INT128__)
   constexpr int Shift = 73;

@@ -25,10 +25,30 @@ namespace ppp {
 /// module instance.
 class ProfileRuntime {
 public:
-  explicit ProfileRuntime(unsigned NumFunctions) : Tables(NumFunctions) {}
+  /// Constants for k-iteration chaining (the ProfChain* ops). Mult is
+  /// the per-function digit base M (path segments fold in as base-M
+  /// digits), K the chain depth; K <= 1 means the function counts plain
+  /// acyclic paths and its chain fields are never consulted.
+  struct ChainInfo {
+    int64_t Mult = 0;
+    uint32_t K = 1;
+  };
+
+  explicit ProfileRuntime(unsigned NumFunctions)
+      : Tables(NumFunctions), Chains(NumFunctions) {}
 
   void setTable(FuncId F, PathTable T) {
     Tables[static_cast<size_t>(F)] = std::move(T);
+  }
+
+  void setChain(FuncId F, ChainInfo C) {
+    assert(F >= 0 && static_cast<size_t>(F) < Chains.size());
+    Chains[static_cast<size_t>(F)] = C;
+  }
+
+  const ChainInfo &chain(FuncId F) const {
+    assert(F >= 0 && static_cast<size_t>(F) < Chains.size());
+    return Chains[static_cast<size_t>(F)];
   }
 
   PathTable &table(FuncId F) {
@@ -67,6 +87,7 @@ public:
 
 private:
   std::vector<PathTable> Tables;
+  std::vector<ChainInfo> Chains;
 };
 
 } // namespace ppp

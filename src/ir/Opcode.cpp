@@ -66,6 +66,14 @@ const char *ppp::opcodeName(Opcode Op) {
     return "prof.count.const";
   case Opcode::ProfCheckedCountIdx:
     return "prof.count.checked";
+  case Opcode::ProfChainIdx:
+    return "prof.chain.idx";
+  case Opcode::ProfChainConst:
+    return "prof.chain.const";
+  case Opcode::ProfChainRetIdx:
+    return "prof.chain.ret.idx";
+  case Opcode::ProfChainRetConst:
+    return "prof.chain.ret.const";
   }
   return "<invalid>";
 }

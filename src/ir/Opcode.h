@@ -66,12 +66,24 @@ enum class Opcode : uint8_t {
   /// counter instead. Costs one extra unit (the compare-and-branch) --
   /// the overhead PPP's free poisoning exists to remove (Sec. 4.6).
   ProfCheckedCountIdx,
+
+  // k-iteration chaining (D'Elia & Demetrescu): instead of counting a
+  // finished Ball-Larus path segment, fold its number into the
+  // per-activation chain accumulator as one base-M digit and keep
+  // going, flushing a k-path id into the table every K segments. The
+  // Chain forms fire on loop back edges (the segment may continue into
+  // the next iteration), the ChainRet forms at returns (the activation
+  // is over, so the accumulated chain always flushes).
+  ProfChainIdx,      ///< chain-step with segment number r + Imm
+  ProfChainConst,    ///< chain-step with constant segment number Imm
+  ProfChainRetIdx,   ///< chain-flush at return, segment number r + Imm
+  ProfChainRetConst, ///< chain-flush at return, constant segment Imm
 };
 
 /// Number of opcodes (for dense per-opcode tables, e.g. the dispatch
 /// jump table and the interpreter's telemetry counters).
 inline constexpr unsigned NumOpcodes =
-    static_cast<unsigned>(Opcode::ProfCheckedCountIdx) + 1;
+    static_cast<unsigned>(Opcode::ProfChainRetConst) + 1;
 
 /// Returns true for opcodes that end a basic block.
 inline bool isTerminatorOpcode(Opcode Op) {
@@ -94,6 +106,10 @@ inline bool isProfilingOpcode(Opcode Op) {
   case Opcode::ProfCountIdx:
   case Opcode::ProfCountConst:
   case Opcode::ProfCheckedCountIdx:
+  case Opcode::ProfChainIdx:
+  case Opcode::ProfChainConst:
+  case Opcode::ProfChainRetIdx:
+  case Opcode::ProfChainRetConst:
     return true;
   default:
     return false;

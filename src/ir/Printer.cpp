@@ -72,6 +72,14 @@ std::string ppp::printInstr(const Instr &I) {
     return formatString("prof.count.const %lld", (long long)I.Imm);
   case Opcode::ProfCheckedCountIdx:
     return formatString("prof.count.checked %lld", (long long)I.Imm);
+  case Opcode::ProfChainIdx:
+    return formatString("prof.chain.idx %lld", (long long)I.Imm);
+  case Opcode::ProfChainConst:
+    return formatString("prof.chain.const %lld", (long long)I.Imm);
+  case Opcode::ProfChainRetIdx:
+    return formatString("prof.chain.ret.idx %lld", (long long)I.Imm);
+  case Opcode::ProfChainRetConst:
+    return formatString("prof.chain.ret.const %lld", (long long)I.Imm);
   }
   return "<invalid>";
 }

@@ -99,6 +99,10 @@ std::string verifyInstr(const Module &M, const Function &F, BlockId BB,
   case Opcode::ProfCountIdx:
   case Opcode::ProfCountConst:
   case Opcode::ProfCheckedCountIdx:
+  case Opcode::ProfChainIdx:
+  case Opcode::ProfChainConst:
+  case Opcode::ProfChainRetIdx:
+  case Opcode::ProfChainRetConst:
     break; // Only use the immediate and the implicit path register.
   }
   return std::string();

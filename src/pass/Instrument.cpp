@@ -33,8 +33,10 @@
 #include "pathprof/Lowering.h"
 #include "pathprof/Obvious.h"
 #include "pathprof/Profilers.h"
+#include "support/CheckedMath.h"
 
 #include <cassert>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -122,8 +124,19 @@ public:
     const EdgeProfile &EP = *FAM.advice();
     for (unsigned FI = 0; FI < FAM.module().numFunctions(); ++FI) {
       FunctionPlan &Plan = St->Result->Plans[FI];
+      Plan.KRequested = Opts.KIterations;
       if (Plan.Skip != SkipReason::NotSkipped)
         continue;
+      // Chaining is incompatible with some backends; decide the demotion
+      // up front so the self-adjusting loop targets the right path count.
+      KDemoteReason Demote = KDemoteReason::None;
+      if (Opts.KIterations > 1) {
+        if (Opts.TraceBackend)
+          Demote = KDemoteReason::TraceBackend;
+        else if (Opts.Poison == PoisonStyle::Checked)
+          Demote = KDemoteReason::CheckedPoisoning;
+      }
+      bool WantChain = Opts.KIterations > 1 && Demote == KDemoteReason::None;
       FuncScratch &Sc = St->Funcs[FI];
       const FunctionEdgeProfile &FP = EP.func(static_cast<FuncId>(FI));
       const CfgView &Cfg = *Plan.Cfg;
@@ -176,7 +189,17 @@ public:
         Dag = std::make_unique<BLDag>(BLDag::build(Cfg, LI, BO));
         Dag->setFrequencies(CfgFreq, Invocations);
         Num = assignPathNumbers(*Dag, Order);
-        if (!Num.Overflow && Num.NumPaths <= Opts.HashThreshold)
+        // Chained routines hash (or size an array) by the k-expanded
+        // count, so self-adjustment must target it too; a saturated DP
+        // keeps adjusting (treated as "too many") and only demotes if
+        // still saturated on the final DAG below.
+        uint64_t AdjustCount = Num.NumPaths;
+        if (WantChain && !Num.Overflow) {
+          bool KOvf = false;
+          uint64_t KN = countKIterPaths(*Dag, Opts.KIterations, KOvf);
+          AdjustCount = KOvf ? UINT64_MAX : KN;
+        }
+        if (!Num.Overflow && AdjustCount <= Opts.HashThreshold)
           break;
         if (!Opts.SelfAdjust || !Opts.GlobalColdCriterion)
           break;
@@ -202,6 +225,28 @@ public:
         ++Ctx.FunctionsSkipped;
         continue;
       }
+
+      if (WantChain) {
+        bool HasBack = false;
+        for (const DagEdge &E : Dag->edges())
+          if (E.Kind == DagEdgeKind::LoopExit) {
+            HasBack = true;
+            break;
+          }
+        // Without back edges nothing can chain: the k=1 profile already
+        // is the k-path profile, so staying plain is not a demotion.
+        if (HasBack) {
+          bool KOvf = false;
+          uint64_t KN = countKIterPaths(*Dag, Opts.KIterations, KOvf);
+          if (KOvf) {
+            Demote = KDemoteReason::PathCountOverflow;
+          } else {
+            Plan.KEffective = Opts.KIterations;
+            Plan.NumKPaths = KN;
+          }
+        }
+      }
+      Plan.KDemote = Demote;
 
       Sc.Dag = std::move(Dag);
       Sc.Num = std::move(Num);
@@ -252,8 +297,51 @@ public:
       if (!Sc.Dag)
         continue;
       FunctionPlan &Plan = St->Result->Plans[FI];
-      Sc.Place = placeInstrumentation(*Sc.Dag, Sc.Num, Opts.Push, Opts.Poison);
+      bool Chained = Plan.KEffective > 1;
+      Sc.Place = placeInstrumentation(*Sc.Dag, Sc.Num, Opts.Push, Opts.Poison,
+                                      /*PinExitCounts=*/Chained);
+      if (Chained) {
+        // Digit base: segment numbers (counter indices) are proven to
+        // lie in [MinIndex, MaxIndex] and encode as index + 1, so base
+        // M = MaxIndex + 2 makes every digit -- hot or free-poisoned --
+        // a distinct nonzero value below M.
+        int64_t M = Sc.Place.MaxIndex + 2;
+        bool Ovf = Sc.Place.MinIndex < 0 || M < 2;
+        uint64_t Bound = 1;
+        for (uint64_t I = 0; I < Plan.KEffective && !Ovf; ++I)
+          Bound = saturatingMul(Bound, static_cast<uint64_t>(M), Ovf);
+        if (Ovf || Bound > static_cast<uint64_t>(INT64_MAX)) {
+          // Chain ids would not fit the int64 path arithmetic: demote to
+          // plain counting (reason recorded, never a silent wrap) and
+          // re-place without pinning so the k=1 fallback is bit-identical
+          // to an unchained run.
+          Plan.KEffective = 1;
+          Plan.KDemote = KDemoteReason::IdSpaceOverflow;
+          Plan.NumKPaths = 0;
+          Chained = false;
+          Sc.Place =
+              placeInstrumentation(*Sc.Dag, Sc.Num, Opts.Push, Opts.Poison);
+        } else {
+          Plan.ChainMult = M;
+          Plan.IdBound = static_cast<int64_t>(Bound);
+        }
+      }
       Plan.StaticOps = Sc.Place.StaticOps;
+
+      if (Chained) {
+        // Chained ids live in [1, M^k); organize by the k-expanded
+        // count, hashing when the valid ids are many or the id space is
+        // too sparse for an array.
+        bool UseHash = Plan.NumKPaths > Opts.HashThreshold;
+        int64_t ArrayNeed = Plan.IdBound;
+        if (!UseHash &&
+            ArrayNeed > static_cast<int64_t>(16 * Plan.NumKPaths + 64))
+          UseHash = true;
+        Plan.TableKind =
+            UseHash ? PathTable::Kind::Hash : PathTable::Kind::Array;
+        Plan.ArraySize = UseHash ? 0 : std::max<int64_t>(ArrayNeed, 1);
+        continue;
+      }
 
       bool UseHash = Sc.Num.NumPaths > Opts.HashThreshold;
       // Checked poisoning keeps hot indices in [0, N) and sends
@@ -289,7 +377,8 @@ public:
       if (!Sc.Dag)
         continue;
       FunctionPlan &Plan = St->Result->Plans[FI];
-      SiteOps Sites = finalizeSites(*Sc.Dag, Sc.Place);
+      SiteOps Sites = finalizeSites(*Sc.Dag, Sc.Place,
+                                    /*Chained=*/Plan.KEffective > 1);
       lowerInstrumentation(Clone.function(static_cast<FuncId>(FI)), *Plan.Cfg,
                            Sites);
       Plan.Sites = std::move(Sites);

@@ -55,6 +55,21 @@ bool ppp::applyTechnique(ProfilerOptions &O, const std::string &Technique,
     O.SmartNumbering = Enable;
   } else if (Technique == "lc") {
     O.LowCoverageGate = Enable;
+  } else if (Technique.size() > 5 && Technique.compare(0, 5, "kiter") == 0) {
+    // Parameterized: kiter<k> sets the chain depth (Sec. k-iteration
+    // paths). -kiter<k> reverts to plain acyclic profiling.
+    uint64_t K = 0;
+    for (size_t I = 5; I < Technique.size(); ++I) {
+      char C = Technique[I];
+      if (C < '0' || C > '9')
+        return false;
+      K = K * 10 + static_cast<uint64_t>(C - '0');
+      if (K > ProfilerOptions::MaxKIterations)
+        return false;
+    }
+    if (K < 1)
+      return false;
+    O.KIterations = Enable ? K : 1;
   } else {
     return false;
   }
@@ -94,8 +109,10 @@ bool ppp::parseProfilerSpec(const std::string &Spec, ProfilerOptions &Out,
     }
     if (!applyTechnique(Out, Tok.substr(1), Tok[0] == '+')) {
       Error = formatString("unknown technique '%s' in profiler spec '%s' "
-                           "(expected sac, fp, push, spn, or lc)",
-                           Tok.substr(1).c_str(), Spec.c_str());
+                           "(expected sac, fp, push, spn, lc, or kiter<k> "
+                           "with 1 <= k <= %llu)",
+                           Tok.substr(1).c_str(), Spec.c_str(),
+                           (unsigned long long)ProfilerOptions::MaxKIterations);
       return false;
     }
   }

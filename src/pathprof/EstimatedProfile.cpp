@@ -13,6 +13,10 @@ ProfilerRunData ppp::buildEstimatedProfile(const Module &M,
   ProfilerRunData R;
   R.Estimated = PathProfile(M.numFunctions());
   R.Measured = PathProfile(M.numFunctions());
+  R.FuncStored.assign(M.numFunctions(), 0);
+  R.FuncLost.assign(M.numFunctions(), 0);
+  R.FuncCold.assign(M.numFunctions(), 0);
+  R.FuncInvalid.assign(M.numFunctions(), 0);
 
   for (unsigned FI = 0; FI < M.numFunctions(); ++FI) {
     FuncId F = static_cast<FuncId>(FI);
@@ -23,24 +27,48 @@ ProfilerRunData ppp::buildEstimatedProfile(const Module &M,
     // Decode measured counts.
     if (Plan.Instrumented) {
       const PathTable &T = RT.table(F);
-      R.LostCounts += T.lostCount();
-      R.InvalidCounts += T.invalidCount();
-      R.ColdCounts += T.coldCheckedCount();
-      T.forEach([&](int64_t Index, uint64_t Count) {
-        if (Index < 0 ||
-            static_cast<uint64_t>(Index) >= Plan.NumPaths) {
-          R.ColdCounts += Count; // Poison region: cold path executions.
-          return;
-        }
-        std::optional<PathKey> Key =
-            Plan.decodePath(static_cast<uint64_t>(Index));
-        if (!Key) {
-          R.ColdCounts += Count;
-          return;
-        }
-        R.Measured.Funcs[FI].add(Cfg, *Key, Count);
-        R.Estimated.Funcs[FI].add(Cfg, *Key, Count);
-      });
+      R.FuncLost[FI] = T.lostCount();
+      R.FuncInvalid[FI] = T.invalidCount();
+      R.FuncCold[FI] = T.coldCheckedCount();
+      if (Plan.chained()) {
+        // Chained ids decode to up to KEffective acyclic segments; a
+        // count of C means each segment path ran C times. Undecodable
+        // ids carry a free-poisoned digit -- a cold path inside the
+        // chain -- so they attribute as cold, like the unchained poison
+        // region.
+        T.forEach([&](int64_t Id, uint64_t Count) {
+          R.FuncStored[FI] += Count;
+          std::optional<std::vector<PathKey>> Segs = Plan.decodeKPath(Id);
+          if (!Segs) {
+            R.FuncCold[FI] += Count;
+            return;
+          }
+          for (const PathKey &Key : *Segs) {
+            R.Measured.Funcs[FI].add(Cfg, Key, Count);
+            R.Estimated.Funcs[FI].add(Cfg, Key, Count);
+          }
+        });
+      } else {
+        T.forEach([&](int64_t Index, uint64_t Count) {
+          R.FuncStored[FI] += Count;
+          if (Index < 0 ||
+              static_cast<uint64_t>(Index) >= Plan.NumPaths) {
+            R.FuncCold[FI] += Count; // Poison region: cold executions.
+            return;
+          }
+          std::optional<PathKey> Key =
+              Plan.decodePath(static_cast<uint64_t>(Index));
+          if (!Key) {
+            R.FuncCold[FI] += Count;
+            return;
+          }
+          R.Measured.Funcs[FI].add(Cfg, *Key, Count);
+          R.Estimated.Funcs[FI].add(Cfg, *Key, Count);
+        });
+      }
+      R.LostCounts += R.FuncLost[FI];
+      R.InvalidCounts += R.FuncInvalid[FI];
+      R.ColdCounts += R.FuncCold[FI];
     }
 
     // Definite-flow estimates for whatever is not instrumented.

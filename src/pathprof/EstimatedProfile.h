@@ -32,6 +32,17 @@ struct ProfilerRunData {
   uint64_t LostCounts = 0;    ///< Hash-table conflicts.
   uint64_t InvalidCounts = 0; ///< Out-of-range indices (should be 0).
 
+  /// Per-routine attribution of the same events (the scalars above are
+  /// these vectors' sums). Indexed by FuncId; sized numFunctions().
+  /// Stored counts every event the table retained -- decoded or not --
+  /// so per function Stored + Lost + Invalid + the runtime's
+  /// cold-checked spill accounts for every counting op executed (the
+  /// conservation invariant the fuzzer checks per k).
+  std::vector<uint64_t> FuncStored;
+  std::vector<uint64_t> FuncLost;    ///< Hash conflicts.
+  std::vector<uint64_t> FuncCold;    ///< Poison-region / cold decodes.
+  std::vector<uint64_t> FuncInvalid; ///< Undecodable (malformed) ids.
+
   ProfilerRunData() : Estimated(0), Measured(0) {}
 };
 

@@ -17,17 +17,31 @@ uint64_t SiteOps::numOps() const {
 
 namespace {
 
-void appendOps(std::vector<ProfOp> &Out, const EdgeOps &O) {
+/// Which count opcode family a site uses: plain counting, a chain step
+/// (back edge: fold into the accumulator or flush on depth exhaustion),
+/// or a chain flush (Ret).
+enum class CountForm : uint8_t { Plain, ChainStep, ChainRet };
+
+void appendOps(std::vector<ProfOp> &Out, const EdgeOps &O,
+               CountForm Form = CountForm::Plain) {
   if (O.HasSet)
     Out.push_back({Opcode::ProfSet, O.SetVal});
   if (O.HasAdd)
     Out.push_back({Opcode::ProfAdd, O.AddVal});
-  if (O.Count == EdgeOps::CountKind::Indexed)
-    Out.push_back({O.CountChecked ? Opcode::ProfCheckedCountIdx
-                                  : Opcode::ProfCountIdx,
-                   O.CountVal});
-  else if (O.Count == EdgeOps::CountKind::Const)
-    Out.push_back({Opcode::ProfCountConst, O.CountVal});
+  if (O.Count == EdgeOps::CountKind::Indexed) {
+    assert((Form == CountForm::Plain || !O.CountChecked) &&
+           "checked counts never chain; plans demote to k=1 first");
+    Opcode Op = Form == CountForm::ChainStep  ? Opcode::ProfChainIdx
+                : Form == CountForm::ChainRet ? Opcode::ProfChainRetIdx
+                : O.CountChecked              ? Opcode::ProfCheckedCountIdx
+                                              : Opcode::ProfCountIdx;
+    Out.push_back({Op, O.CountVal});
+  } else if (O.Count == EdgeOps::CountKind::Const) {
+    Opcode Op = Form == CountForm::ChainStep  ? Opcode::ProfChainConst
+                : Form == CountForm::ChainRet ? Opcode::ProfChainRetConst
+                                              : Opcode::ProfCountConst;
+    Out.push_back({Op, O.CountVal});
+  }
 }
 
 Instr makeInstr(const ProfOp &P) {
@@ -39,7 +53,8 @@ Instr makeInstr(const ProfOp &P) {
 
 } // namespace
 
-SiteOps ppp::finalizeSites(const BLDag &Dag, const PlacementResult &Placement) {
+SiteOps ppp::finalizeSites(const BLDag &Dag, const PlacementResult &Placement,
+                           bool Chained) {
   SiteOps S;
   // Back edges need LoopExit ops before LoopEntry ops; gather per back
   // edge first.
@@ -51,13 +66,18 @@ SiteOps ppp::finalizeSites(const BLDag &Dag, const PlacementResult &Placement) {
       continue;
     switch (E.Kind) {
     case DagEdgeKind::FnEntry:
+      assert((!Chained || O.Count == EdgeOps::CountKind::None) &&
+             "chained counts must stay pinned on dummy exit edges");
       appendOps(S.EntryOps, O);
       break;
     case DagEdgeKind::Real:
+      assert((!Chained || O.Count == EdgeOps::CountKind::None) &&
+             "chained counts must stay pinned on dummy exit edges");
       appendOps(S.EdgeOps[E.CfgEdgeId], O);
       break;
     case DagEdgeKind::FnExit:
-      appendOps(S.RetOps[static_cast<BlockId>(E.Src)], O);
+      appendOps(S.RetOps[static_cast<BlockId>(E.Src)], O,
+                Chained ? CountForm::ChainRet : CountForm::Plain);
       break;
     case DagEdgeKind::LoopExit:
       BackExit[E.CfgEdgeId] = O;
@@ -69,7 +89,8 @@ SiteOps ppp::finalizeSites(const BLDag &Dag, const PlacementResult &Placement) {
   }
 
   for (const auto &[BackId, O] : BackExit)
-    appendOps(S.EdgeOps[BackId], O);
+    appendOps(S.EdgeOps[BackId], O,
+              Chained ? CountForm::ChainStep : CountForm::Plain);
   for (const auto &[BackId, O] : BackEntry)
     appendOps(S.EdgeOps[BackId], O);
   return S;

@@ -43,7 +43,15 @@ struct SiteOps {
 };
 
 /// Maps placed DAG ops to CFG sites.
-SiteOps finalizeSites(const BLDag &Dag, const PlacementResult &Placement);
+///
+/// With \p Chained (k-iteration profiling, k > 1), counts lower to the
+/// chain opcodes keyed by the dummy edge they terminate on: LoopExit
+/// counts become ProfChainIdx/ProfChainConst (fold-or-flush) and FnExit
+/// counts become ProfChainRetIdx/ProfChainRetConst (always flush).
+/// Placement must have pinned exit counts so every count still sits on
+/// such a dummy edge. Checked counts never chain (plans demote first).
+SiteOps finalizeSites(const BLDag &Dag, const PlacementResult &Placement,
+                      bool Chained = false);
 
 /// Rewrites \p F (a function inside \p M being instrumented) in place,
 /// inserting the ops of \p Sites. \p OrigCfg must describe F's CFG

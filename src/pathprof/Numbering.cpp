@@ -5,6 +5,7 @@
 #include "support/CheckedMath.h"
 
 #include <algorithm>
+#include <map>
 
 using namespace ppp;
 
@@ -71,4 +72,61 @@ NumberingResult ppp::assignPathNumbers(BLDag &Dag, NumberingOrder Order) {
     R.PathsTo[static_cast<size_t>(V)] = Sum;
   }
   return R;
+}
+
+uint64_t ppp::countKIterPaths(const BLDag &Dag, uint64_t K, bool &Overflow) {
+  size_t N = static_cast<size_t>(Dag.numNodes());
+  const std::vector<int> &Topo = Dag.topoOrder();
+
+  // Back edge -> the header its non-cold LoopEntry dummy re-enters at.
+  // A chain crossing that back edge continues with a segment counted
+  // from this node; a back edge whose LoopEntry is cold has no valid
+  // continuations (the next segment starts poisoned).
+  std::map<int, int> HeaderOf;
+  for (const DagEdge &E : Dag.edges())
+    if (E.Kind == DagEdgeKind::LoopEntry && !E.Cold)
+      HeaderOf[E.CfgEdgeId] = E.Dst;
+
+  // Cur[v] after round r = number of distinct valid chain tails from
+  // node v when the chain may still cross r more back edges. Round 0
+  // (every crossing flushes) is exactly the acyclic path count.
+  std::vector<uint64_t> Prev(N, 0), Cur(N, 0);
+  for (uint64_t Round = 0; Round < (K == 0 ? 1 : K); ++Round) {
+    for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+      int V = *It;
+      if (V == Dag.exitNode()) {
+        Cur[static_cast<size_t>(V)] = 0;
+        continue;
+      }
+      uint64_t Sum = 0;
+      for (int EId : Dag.outEdges(V)) {
+        const DagEdge &E = Dag.edge(EId);
+        if (E.Cold)
+          continue;
+        switch (E.Kind) {
+        case DagEdgeKind::FnExit:
+          // A Ret always flushes, in every round.
+          Sum = saturatingAdd(Sum, 1, Overflow);
+          break;
+        case DagEdgeKind::LoopExit: {
+          uint64_t Tail = 1; // Depth exhausted: the crossing flushes.
+          if (Round > 0) {
+            auto HIt = HeaderOf.find(E.CfgEdgeId);
+            Tail = HIt == HeaderOf.end()
+                       ? 0
+                       : Prev[static_cast<size_t>(HIt->second)];
+          }
+          Sum = saturatingAdd(Sum, Tail, Overflow);
+          break;
+        }
+        default:
+          Sum = saturatingAdd(Sum, Cur[static_cast<size_t>(E.Dst)], Overflow);
+          break;
+        }
+      }
+      Cur[static_cast<size_t>(V)] = Sum;
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev[static_cast<size_t>(Dag.entryNode())];
 }

@@ -48,6 +48,18 @@ struct NumberingResult {
 /// \p Order == DecreasingFreq.
 NumberingResult assignPathNumbers(BLDag &Dag, NumberingOrder Order);
 
+/// Counts the k-iteration paths of \p Dag: chains of up to \p K acyclic
+/// path segments joined at connected back edges (a chain extends where
+/// a LoopExit dummy edge meets its partner LoopEntry edge, and flushes
+/// at a Ret or after its K-th segment). Only chains made entirely of
+/// non-cold segments count -- a poisoned digit makes the whole id
+/// decode-invalid, so cold continuations add no valid ids. K == 1
+/// degenerates to the plain acyclic path count. All arithmetic
+/// saturates at UINT64_MAX; \p Overflow is set (never cleared) when any
+/// sum does, in which case the result is a meaningless saturated bound
+/// and the caller must demote the function to k=1.
+uint64_t countKIterPaths(const BLDag &Dag, uint64_t K, bool &Overflow);
+
 } // namespace ppp
 
 #endif // PPP_PATHPROF_NUMBERING_H

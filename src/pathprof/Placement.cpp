@@ -96,8 +96,9 @@ SuffixRanges computeSuffixRanges(const BLDag &Dag) {
 /// The pushing engine.
 class Pusher {
 public:
-  Pusher(const BLDag &Dag, std::vector<EdgeOps> &Ops, PushMode Mode)
-      : Dag(Dag), Ops(Ops), Mode(Mode) {}
+  Pusher(const BLDag &Dag, std::vector<EdgeOps> &Ops, PushMode Mode,
+         bool PinExitCounts)
+      : Dag(Dag), Ops(Ops), Mode(Mode), PinExitCounts(PinExitCounts) {}
 
   void run() {
     if (Mode == PushMode::None)
@@ -112,7 +113,7 @@ public:
       for (unsigned EId = 0; EId < Dag.numEdges(); ++EId) {
         if (tryPushDown(static_cast<int>(EId)))
           Changed = true;
-        if (tryPushUp(static_cast<int>(EId)))
+        if (!PinExitCounts && tryPushUp(static_cast<int>(EId)))
           Changed = true;
       }
     }
@@ -203,6 +204,7 @@ private:
   const BLDag &Dag;
   std::vector<EdgeOps> &Ops;
   PushMode Mode;
+  bool PinExitCounts;
 };
 
 } // namespace
@@ -210,7 +212,8 @@ private:
 PlacementResult ppp::placeInstrumentation(const BLDag &Dag,
                                           const NumberingResult &Numbering,
                                           PushMode Mode,
-                                          PoisonStyle Style) {
+                                          PoisonStyle Style,
+                                          bool PinExitCounts) {
   PlacementResult R;
   R.Ops.assign(Dag.numEdges(), EdgeOps());
   int64_t N = static_cast<int64_t>(Numbering.NumPaths);
@@ -271,7 +274,7 @@ PlacementResult ppp::placeInstrumentation(const BLDag &Dag,
   }
 
   // --- Pushing ---
-  Pusher(Dag, R.Ops, Mode).run();
+  Pusher(Dag, R.Ops, Mode, PinExitCounts).run();
 
   // --- Forward interval analysis over the final ops: bound every
   // counter index (table sizing) and count static ops. ---

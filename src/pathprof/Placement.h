@@ -109,10 +109,18 @@ struct PlacementResult {
 /// Runs placement over \p Dag (numbered, event-counted). \p NumPaths is
 /// the N of the numbering: poison constants map cold paths at or above
 /// it.
+///
+/// \p PinExitCounts keeps every count on the dummy exit edge where it
+/// was initially placed (push-up disabled; push-down of sets still
+/// runs). k-iteration chaining requires this: a count's termination
+/// provenance -- back edge (chain step) vs Ret (chain flush) -- must
+/// survive into lowering, and a count hoisted above the LoopExit /
+/// FnExit split would erase it.
 PlacementResult placeInstrumentation(const BLDag &Dag,
                                      const NumberingResult &Numbering,
                                      PushMode Mode,
-                                     PoisonStyle Style = PoisonStyle::Free);
+                                     PoisonStyle Style = PoisonStyle::Free,
+                                     bool PinExitCounts = false);
 
 } // namespace ppp
 

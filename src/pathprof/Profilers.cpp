@@ -4,6 +4,7 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace ppp;
@@ -65,6 +66,22 @@ ProfilerOptions ProfilerOptions::traceTimed() {
   O.Name = "trace+time";
   O.TraceTimestamps = true;
   return O;
+}
+
+const char *ppp::kDemoteReasonName(KDemoteReason R) {
+  switch (R) {
+  case KDemoteReason::None:
+    return "none";
+  case KDemoteReason::PathCountOverflow:
+    return "path-count-overflow";
+  case KDemoteReason::IdSpaceOverflow:
+    return "id-space-overflow";
+  case KDemoteReason::CheckedPoisoning:
+    return "checked-poisoning";
+  case KDemoteReason::TraceBackend:
+    return "trace-backend";
+  }
+  return "<invalid>";
 }
 
 void FunctionPlan::buildEdgeIndex() {
@@ -190,6 +207,58 @@ std::optional<PathKey> FunctionPlan::decodePath(uint64_t Number) const {
   return Key;
 }
 
+std::optional<std::vector<PathKey>>
+FunctionPlan::decodeKPath(int64_t Id) const {
+  if (!chained() || Id < 1 || Id >= IdBound)
+    return std::nullopt;
+
+  // Peel the base-M digits least-significant first. Every flushed
+  // segment contributed a digit in [1, M-1], so a zero digit anywhere
+  // (leading zeros vanish in the peel, making digit count == segment
+  // count) marks an id no valid chain can produce.
+  uint64_t Rem = static_cast<uint64_t>(Id);
+  uint64_t M = static_cast<uint64_t>(ChainMult);
+  std::vector<uint64_t> Digits;
+  while (Rem != 0) {
+    Digits.push_back(Rem % M);
+    Rem /= M;
+  }
+  std::reverse(Digits.begin(), Digits.end());
+  if (Digits.size() > KEffective)
+    return std::nullopt;
+
+  std::vector<PathKey> Segs;
+  Segs.reserve(Digits.size());
+  for (uint64_t D : Digits) {
+    if (D == 0)
+      return std::nullopt;
+    uint64_t Seg = D - 1;
+    // Digits beyond the numbered space are poison (a cold edge wrote
+    // the free-poison region [N, 3N) or counted the cold constant N).
+    if (Seg >= NumPaths)
+      return std::nullopt;
+    std::optional<PathKey> Key = decodePath(Seg);
+    if (!Key)
+      return std::nullopt;
+    Segs.push_back(std::move(*Key));
+  }
+
+  // Structural chaining: segment i must end on the back edge segment
+  // i+1 re-enters through; only the last segment may end at a Ret, and
+  // a chain shorter than KEffective can only have been cut by a Ret.
+  for (size_t I = 0; I < Segs.size(); ++I) {
+    bool Last = I + 1 == Segs.size();
+    if (!Last) {
+      if (Segs[I].TermCfgEdgeId == -1 ||
+          Segs[I + 1].StartCfgEdgeId != Segs[I].TermCfgEdgeId)
+        return std::nullopt;
+    } else if (Segs[I].TermCfgEdgeId != -1 && Segs.size() < KEffective) {
+      return std::nullopt;
+    }
+  }
+  return Segs;
+}
+
 std::string ppp::validateProfilerOptions(const ProfilerOptions &O) {
   auto BadFraction = [](double V) { return !(V >= 0.0 && V <= 1.0); };
   if (BadFraction(O.LocalColdFraction))
@@ -202,9 +271,18 @@ std::string ppp::validateProfilerOptions(const ProfilerOptions &O) {
     return formatString("CoverageThreshold must be in [0, 1] (got %g)",
                         O.CoverageThreshold);
   if (O.SelfAdjustMaxIters < 1)
-    return "SelfAdjustMaxIters must be >= 1 (got 0)";
+    return formatString("SelfAdjustMaxIters must be >= 1 (got %u)",
+                        O.SelfAdjustMaxIters);
   if (O.HashThreshold < 1)
-    return "HashThreshold must be >= 1 (got 0)";
+    return formatString("HashThreshold must be >= 1 (got %llu)",
+                        (unsigned long long)O.HashThreshold);
+  if (O.KIterations < 1)
+    return formatString("KIterations must be >= 1 (got %llu)",
+                        (unsigned long long)O.KIterations);
+  if (O.KIterations > ProfilerOptions::MaxKIterations)
+    return formatString("KIterations must be <= %llu (got %llu)",
+                        (unsigned long long)ProfilerOptions::MaxKIterations,
+                        (unsigned long long)O.KIterations);
   if (O.SelfAdjust && !(O.SelfAdjustFactor > 1.0))
     return formatString("SelfAdjustFactor must be > 1 when SelfAdjust is "
                         "enabled (got %g)",
@@ -227,6 +305,9 @@ ProfileRuntime InstrumentationResult::makeRuntime() const {
     else
       RT.setTable(static_cast<FuncId>(I),
                   PathTable::makeArray(static_cast<uint64_t>(P.ArraySize)));
+    if (P.KEffective > 1)
+      RT.setChain(static_cast<FuncId>(I),
+                  {P.ChainMult, static_cast<uint32_t>(P.KEffective)});
   }
   return RT;
 }

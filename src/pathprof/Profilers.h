@@ -93,6 +93,23 @@ struct ProfilerOptions {
   /// Sec. 7.4: routines with more paths than this hash their counters.
   uint64_t HashThreshold = 4000;
 
+  /// k-iteration path profiling (D'Elia & Demetrescu, arXiv 1304.5197):
+  /// profile chains of up to this many acyclic path segments joined at
+  /// loop back edges. 1 (the default) is plain Ball-Larus behavior --
+  /// every back edge truncates the path. Values above 1 switch a
+  /// function's counting to the chained ProfChain* forms with a
+  /// hash-organized table unless the k-expanded space still fits an
+  /// array. Functions whose k-path count or id space overflows are
+  /// demoted to k=1 per function with a recorded reason (never a silent
+  /// wrap). Spec suffix: +kiter<k>. Capped at MaxKIterations.
+  uint64_t KIterations = 1;
+
+  /// Documented ceiling for KIterations: chain ids live in [1, M^k) for
+  /// a per-function digit base M >= 3, and M^k must stay below 2^63, so
+  /// k beyond 39 cannot help even the narrowest loop; 16 already covers
+  /// every realistic depth while keeping the validation message honest.
+  static constexpr uint64_t MaxKIterations = 16;
+
   /// Trace collection backend: instrument/plan exactly like the base
   /// preset, but collect by recording branch-target packets on the
   /// clean module and reconstructing the counters offline
@@ -136,6 +153,19 @@ enum class SkipReason : uint8_t {
   Overflow,     ///< Path count exceeds 2^64; cannot number.
 };
 
+/// Why a function requested at k > 1 fell back to plain k=1 counting.
+/// Recorded per function so demotions are observable, never silent.
+enum class KDemoteReason : uint8_t {
+  None,              ///< Chained as requested (or nothing to chain).
+  PathCountOverflow, ///< k-path count saturated 64 bits.
+  IdSpaceOverflow,   ///< M^k - 1 would not fit the int64 path register.
+  CheckedPoisoning,  ///< Checked poisoning has no chained counting form.
+  TraceBackend,      ///< The trace decoder replays acyclic sites only.
+};
+
+/// Printable name of \p R ("none", "path-count-overflow", ...).
+const char *kDemoteReasonName(KDemoteReason R);
+
 /// Per-function instrumentation plan and decode metadata. Holds
 /// analyses over the *original* module, which must outlive the plan.
 class FunctionPlan {
@@ -149,6 +179,18 @@ public:
   uint64_t StaticOps = 0;    ///< Profiling instructions placed.
   std::set<int> ColdEdges;
   std::set<int> DisconnectedBackEdges;
+
+  // k-iteration chaining (tentpole). KEffective > 1 iff this function
+  // counts chained ids via the ProfChain* forms; otherwise every field
+  // below is its vacuous k=1 value and decode goes through decodePath.
+  uint64_t KRequested = 1; ///< ProfilerOptions::KIterations at plan time.
+  uint64_t KEffective = 1; ///< Actual chain depth after demotion.
+  KDemoteReason KDemote = KDemoteReason::None;
+  uint64_t NumKPaths = 0; ///< Valid k-path ids (k-expanded path count).
+  int64_t ChainMult = 0;  ///< Digit base M (MaxIndex + 2); 0 when unchained.
+  int64_t IdBound = 0;    ///< Chained ids lie in [1, IdBound); M^KEffective.
+
+  bool chained() const { return Instrumented && KEffective > 1; }
 
   /// The instrumentation sites lowering materialized, in clean-CFG
   /// terms (entry / per-edge / pre-Ret op lists). The trace decoder
@@ -170,6 +212,15 @@ public:
 
   /// Inverse: the concrete path for number \p Number in [0, NumPaths).
   std::optional<PathKey> decodePath(uint64_t Number) const;
+
+  /// Decodes a chained k-path id into its constituent acyclic segments,
+  /// oldest first (1 <= size() <= KEffective). Returns nullopt for ids
+  /// outside [1, IdBound), ids with a zero or poisoned digit, and ids
+  /// whose segments do not chain (a segment's terminating back edge
+  /// must be the next segment's starting back edge; only the last
+  /// segment may end at a Ret, and only a chain cut short by a Ret may
+  /// have fewer than KEffective digits). Requires chained().
+  std::optional<std::vector<PathKey>> decodeKPath(int64_t Id) const;
 
   bool isInstrumentedPath(const PathKey &Key) const {
     return Instrumented && pathNumberOf(Key).has_value();

@@ -240,7 +240,7 @@ bool ppp::readModuleBinary(const std::string &Data, Module &Out,
       BB.Instrs.resize(NumInstrs);
       for (Instr &I : BB.Instrs) {
         uint8_t Op = R.u8();
-        if (Op > static_cast<uint8_t>(Opcode::ProfCheckedCountIdx)) {
+        if (Op > static_cast<uint8_t>(Opcode::ProfChainRetConst)) {
           Error = formatString("module: invalid opcode %u", Op);
           return false;
         }

@@ -1,0 +1,370 @@
+//===- tests/kiter_test.cpp - k-iteration path profiling tests ----------------===//
+///
+/// The tentpole properties of k-iteration chaining (D'Elia &
+/// Demetrescu): the k-expanded path count degenerates to Ball-Larus at
+/// k = 1, chained ids round-trip through decodeKPath, every counting
+/// op is conserved (stored + lost + cold == flushes the clean run
+/// implies), and functions whose k-path count or id space overflows
+/// demote to k = 1 with a recorded reason instead of wrapping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "pass/Pipeline.h"
+#include "pathprof/Numbering.h"
+#include "profile/Merge.h"
+
+#include <map>
+
+using namespace ppp;
+using namespace ppp::testutil;
+
+namespace {
+
+/// A counted loop of \p Trips iterations whose body holds \p InLoop
+/// data-dependent diamonds, followed by \p After diamonds between the
+/// loop exit and the return. Loop-body paths multiply per iteration
+/// (2^InLoop segment paths); after-loop diamonds inflate the total
+/// acyclic path count -- and therefore the chain digit base M --
+/// without adding any chainable segments.
+Module loopWithDiamonds(unsigned InLoop, unsigned After, int64_t Trips) {
+  Module M;
+  IRBuilder B(M);
+  B.beginFunction("main", 0);
+  RegId I = B.emitConst(0);
+  RegId N = B.emitConst(Trips);
+  RegId X = B.emitConst(5);
+  RegId Two = B.emitConst(2);
+  BlockId H = B.newBlock(), E = B.newBlock();
+  B.emitBr(H);
+  B.setInsertPoint(H);
+  for (unsigned D = 0; D < InLoop; ++D) {
+    RegId Mix = B.emitBinary(Opcode::Add, X, I);
+    RegId Shift = B.emitAddImm(Mix, static_cast<int64_t>(D));
+    RegId Bit = B.emitBinary(Opcode::RemU, Shift, Two);
+    BlockId T = B.newBlock(), F = B.newBlock(), J = B.newBlock();
+    B.emitCondBr(Bit, T, F);
+    B.setInsertPoint(T);
+    B.emitAddImm(X, 3, X);
+    B.emitBr(J);
+    B.setInsertPoint(F);
+    B.emitAddImm(X, 1, X);
+    B.emitBr(J);
+    B.setInsertPoint(J);
+  }
+  B.emitAddImm(I, 1, I);
+  RegId C = B.emitBinary(Opcode::CmpLt, I, N);
+  BlockId AfterB = B.newBlock();
+  B.emitCondBr(C, H, AfterB);
+  B.setInsertPoint(AfterB);
+  for (unsigned D = 0; D < After; ++D) {
+    RegId Shift = B.emitAddImm(X, static_cast<int64_t>(D));
+    RegId Bit = B.emitBinary(Opcode::RemU, Shift, Two);
+    BlockId T = B.newBlock(), F = B.newBlock(), J = B.newBlock();
+    B.emitCondBr(Bit, T, F);
+    B.setInsertPoint(T);
+    B.emitAddImm(X, 7, X);
+    B.emitBr(J);
+    B.setInsertPoint(F);
+    B.emitAddImm(X, 2, X);
+    B.emitBr(J);
+    B.setInsertPoint(J);
+  }
+  B.emitBr(E);
+  B.setInsertPoint(E);
+  B.emitRet(X);
+  B.endFunction();
+  EXPECT_EQ(verifyModule(M), "");
+  return M;
+}
+
+/// Chained-profiler options: plain PP counting (no cold removal, no
+/// gates, free poisoning) at chain depth \p K.
+ProfilerOptions ppAtK(uint64_t K) {
+  ProfilerOptions O = ProfilerOptions::pp();
+  O.Name = "pp+kiter" + std::to_string(K);
+  O.KIterations = K;
+  return O;
+}
+
+// K = 1 must degenerate to the acyclic Ball-Larus count on every
+// function of representative workloads, looped or not.
+TEST(CountKIterPaths, KOneMatchesAcyclicCount) {
+  std::vector<Module> Mods;
+  Mods.push_back(smallWorkload(11));
+  Mods.push_back(loopyWorkload(12));
+  Mods.push_back(loopWithDiamonds(2, 1, 10));
+  for (const Module &M : Mods) {
+    for (unsigned F = 0; F < M.numFunctions(); ++F) {
+      CfgView Cfg(M.function(static_cast<FuncId>(F)));
+      LoopInfo LI = LoopInfo::compute(Cfg);
+      BLDag Dag = BLDag::build(Cfg, LI);
+      NumberingResult R = assignPathNumbers(Dag, NumberingOrder::BallLarus);
+      if (R.Overflow)
+        continue;
+      bool Ovf = false;
+      EXPECT_EQ(countKIterPaths(Dag, 1, Ovf), R.NumPaths) << "function " << F;
+      EXPECT_FALSE(Ovf);
+    }
+  }
+}
+
+// A function with no back edges has no chains to extend: the k-path
+// count equals the acyclic count at every k.
+TEST(CountKIterPaths, LoopFreeFunctionIsKInvariant) {
+  // A branch-only function: three diamonds, no loop, 8 acyclic paths.
+  Module M2;
+  IRBuilder B(M2);
+  B.beginFunction("main", 0);
+  RegId X = B.emitConst(9);
+  RegId Two = B.emitConst(2);
+  for (int D = 0; D < 3; ++D) {
+    RegId Bit = B.emitBinary(Opcode::RemU, B.emitAddImm(X, D), Two);
+    BlockId T = B.newBlock(), F = B.newBlock(), J = B.newBlock();
+    B.emitCondBr(Bit, T, F);
+    B.setInsertPoint(T);
+    B.emitAddImm(X, 3, X);
+    B.emitBr(J);
+    B.setInsertPoint(F);
+    B.emitBr(J);
+    B.setInsertPoint(J);
+  }
+  B.emitRet(X);
+  B.endFunction();
+  ASSERT_EQ(verifyModule(M2), "");
+  CfgView Cfg(M2.function(0));
+  LoopInfo LI = LoopInfo::compute(Cfg);
+  BLDag Dag = BLDag::build(Cfg, LI);
+  NumberingResult R = assignPathNumbers(Dag, NumberingOrder::BallLarus);
+  ASSERT_FALSE(R.Overflow);
+  EXPECT_EQ(R.NumPaths, 8u);
+  for (uint64_t K : {1u, 2u, 4u, 16u}) {
+    bool Ovf = false;
+    EXPECT_EQ(countKIterPaths(Dag, K, Ovf), 8u) << "K=" << K;
+    EXPECT_FALSE(Ovf);
+  }
+}
+
+// Validation reports the actual out-of-range value, not a hardcoded
+// one (the "(got 0)" regression), and covers both KIterations bounds.
+TEST(Validation, KIterationsRangeWithActualValues) {
+  ProfilerOptions O = ProfilerOptions::ppp();
+  O.KIterations = 0;
+  EXPECT_EQ(validateProfilerOptions(O), "KIterations must be >= 1 (got 0)");
+  O.KIterations = 17;
+  EXPECT_EQ(validateProfilerOptions(O), "KIterations must be <= 16 (got 17)");
+  O.KIterations = 16;
+  EXPECT_EQ(validateProfilerOptions(O), "");
+  O.KIterations = 1;
+  EXPECT_EQ(validateProfilerOptions(O), "");
+}
+
+// The "+kiter<k>" spec technique: parses the depth, suffixes the name,
+// "-kiter<k>" resets to 1, and malformed depths are rejected.
+TEST(Spec, KiterTechniqueParsing) {
+  ProfilerOptions O;
+  std::string Err;
+  ASSERT_TRUE(parseProfilerSpec("ppp;+kiter2", O, Err)) << Err;
+  EXPECT_EQ(O.KIterations, 2u);
+  EXPECT_EQ(O.Name, "ppp+kiter2");
+
+  ASSERT_TRUE(parseProfilerSpec("pp;+kiter16", O, Err)) << Err;
+  EXPECT_EQ(O.KIterations, 16u);
+
+  ASSERT_TRUE(parseProfilerSpec("ppp;+kiter4;-kiter4", O, Err)) << Err;
+  EXPECT_EQ(O.KIterations, 1u);
+  EXPECT_EQ(O.Name, "ppp+kiter4-kiter4");
+
+  for (const char *Bad : {"ppp;+kiter0", "ppp;+kiter17", "ppp;+kiterx",
+                          "ppp;+kiter", "ppp;+kiter2x"}) {
+    EXPECT_FALSE(parseProfilerSpec(Bad, O, Err)) << Bad;
+    EXPECT_NE(Err.find("kiter"), std::string::npos) << Err;
+  }
+}
+
+// k = 1 requested explicitly must be bit-identical to the default: the
+// same plans, tables, and counts as the plain preset.
+TEST(KOne, BitIdenticalToUnchained) {
+  Module M = loopWithDiamonds(2, 0, 25);
+  ProfiledRun Clean = profileModule(M);
+
+  InstrumentationResult Base =
+      instrumentModule(M, Clean.EP, ProfilerOptions::ppp());
+  InstrumentationResult K1 =
+      instrumentModule(M, Clean.EP, mustParseProfilerSpec("ppp;+kiter1"));
+  for (unsigned F = 0; F < M.numFunctions(); ++F) {
+    EXPECT_EQ(K1.Plans[F].KEffective, 1u);
+    EXPECT_EQ(K1.Plans[F].KRequested, 1u);
+    EXPECT_FALSE(K1.Plans[F].chained());
+    EXPECT_EQ(K1.Plans[F].TableKind, Base.Plans[F].TableKind);
+    EXPECT_EQ(K1.Plans[F].ArraySize, Base.Plans[F].ArraySize);
+    EXPECT_EQ(K1.Plans[F].StaticOps, Base.Plans[F].StaticOps);
+  }
+  InstrumentedRun RunBase = runInstrumented(Base);
+  InstrumentedRun RunK1 = runInstrumented(K1);
+  EXPECT_EQ(countsFromRun("m", Base, RunBase.RT),
+            countsFromRun("m", K1, RunK1.RT));
+}
+
+// End-to-end chained counting on a concrete loop: every stored id
+// decodes, re-encodes to itself, aggregates back to the oracle's
+// per-segment frequencies, and the conservation identity holds
+// exactly: stored chains == floor(crossings / K) + 1 per activation.
+TEST(Chained, EncodeDecodeRoundTripAndConservation) {
+  constexpr int64_t Trips = 10;
+  Module M = loopWithDiamonds(2, 0, Trips);
+  ProfiledRun Clean = profileModule(M);
+
+  for (uint64_t K : {2u, 3u}) {
+    InstrumentationResult IR = instrumentModule(M, Clean.EP, ppAtK(K));
+    const FunctionPlan &Plan = IR.Plans[0];
+    ASSERT_TRUE(Plan.Instrumented);
+    ASSERT_TRUE(Plan.chained()) << "K=" << K;
+    EXPECT_EQ(Plan.KRequested, K);
+    EXPECT_EQ(Plan.KEffective, K);
+    EXPECT_EQ(Plan.KDemote, KDemoteReason::None);
+    ASSERT_GE(Plan.ChainMult, 2);
+    int64_t Bound = 1;
+    for (uint64_t I = 0; I < K; ++I)
+      Bound *= Plan.ChainMult;
+    EXPECT_EQ(Plan.IdBound, Bound);
+
+    InstrumentedRun Run = runInstrumented(IR);
+    EXPECT_EQ(Run.Res.ReturnValue, Clean.Res.ReturnValue);
+    EXPECT_EQ(Run.Res.MemChecksum, Clean.Res.MemChecksum);
+
+    const PathTable &T = Run.RT.table(static_cast<FuncId>(0));
+    EXPECT_EQ(T.invalidCount(), 0u);
+    uint64_t Stored = 0;
+    std::map<uint64_t, uint64_t> SegCounts;
+    T.forEach([&](int64_t Id, uint64_t Count) {
+      Stored += Count;
+      ASSERT_GE(Id, 1);
+      ASSERT_LT(Id, Plan.IdBound);
+      auto Segs = Plan.decodeKPath(Id);
+      ASSERT_TRUE(Segs.has_value()) << "id " << Id << " undecodable";
+      ASSERT_GE(Segs->size(), 1u);
+      ASSERT_LE(Segs->size(), K);
+      int64_t Acc = 0;
+      for (const PathKey &Key : *Segs) {
+        std::optional<uint64_t> Num = Plan.pathNumberOf(Key);
+        ASSERT_TRUE(Num.has_value());
+        SegCounts[*Num] += Count;
+        Acc = Acc * Plan.ChainMult + static_cast<int64_t>(*Num) + 1;
+      }
+      EXPECT_EQ(Acc, Id) << "re-encode mismatch";
+    });
+
+    // One activation of main, Trips - 1 back-edge crossings.
+    uint64_t Expected = (Trips - 1) / K + 1;
+    EXPECT_EQ(Stored + T.lostCount() + T.coldCheckedCount(), Expected)
+        << "K=" << K;
+
+    // Per-segment totals match the clean oracle path frequencies.
+    uint64_t OracleSegs = 0;
+    for (const PathRecord &Rec : Clean.Oracle.Funcs[0].Paths) {
+      std::optional<uint64_t> Num = Plan.pathNumberOf(Rec.Key);
+      ASSERT_TRUE(Num.has_value());
+      EXPECT_EQ(SegCounts[*Num], Rec.Freq) << "segment " << *Num;
+      OracleSegs += Rec.Freq;
+    }
+    uint64_t DecodedSegs = 0;
+    for (const auto &[Num, C] : SegCounts)
+      DecodedSegs += C;
+    EXPECT_EQ(DecodedSegs, OracleSegs);
+    EXPECT_EQ(DecodedSegs, static_cast<uint64_t>(Trips));
+
+    // The estimated-profile reducer agrees with the manual decode.
+    ProfilerRunData RD = buildEstimatedProfile(M, Clean.EP, IR, Run.RT);
+    EXPECT_EQ(RD.InvalidCounts, 0u);
+    EXPECT_EQ(RD.FuncStored[0], Stored);
+    EXPECT_EQ(RD.FuncLost[0], T.lostCount());
+  }
+}
+
+// 17 diamonds inside the loop: ~2^17 paths per segment, so the k = 4
+// chain count saturates 64 bits. The function must demote to k = 1
+// with PathCountOverflow and then count exactly like plain PP.
+TEST(Demotion, PathCountOverflowAtKFour) {
+  Module M = loopWithDiamonds(17, 0, 3);
+  ProfiledRun Clean = profileModule(M);
+
+  InstrumentationResult IR = instrumentModule(M, Clean.EP, ppAtK(4));
+  const FunctionPlan &Plan = IR.Plans[0];
+  ASSERT_TRUE(Plan.Instrumented);
+  EXPECT_EQ(Plan.KRequested, 4u);
+  EXPECT_EQ(Plan.KEffective, 1u);
+  EXPECT_EQ(Plan.KDemote, KDemoteReason::PathCountOverflow);
+  EXPECT_FALSE(Plan.chained());
+
+  InstrumentationResult Base =
+      instrumentModule(M, Clean.EP, ProfilerOptions::pp());
+  InstrumentedRun RunK = runInstrumented(IR);
+  InstrumentedRun RunBase = runInstrumented(Base);
+  EXPECT_EQ(RunK.Res.ReturnValue, Clean.Res.ReturnValue);
+  EXPECT_EQ(countsFromRun("m", IR, RunK.RT),
+            countsFromRun("m", Base, RunBase.RT));
+}
+
+// Four diamonds after the loop keep the chain count tiny but push the
+// digit base M past the point where M^16 fits int64: demotion must
+// report IdSpaceOverflow, and the re-placed (unpinned) k = 1 plan must
+// count exactly like plain PP.
+TEST(Demotion, IdSpaceOverflowAtKSixteen) {
+  Module M = loopWithDiamonds(0, 4, 6);
+  ProfiledRun Clean = profileModule(M);
+
+  InstrumentationResult IR = instrumentModule(M, Clean.EP, ppAtK(16));
+  const FunctionPlan &Plan = IR.Plans[0];
+  ASSERT_TRUE(Plan.Instrumented);
+  EXPECT_EQ(Plan.KRequested, 16u);
+  EXPECT_EQ(Plan.KEffective, 1u);
+  EXPECT_EQ(Plan.KDemote, KDemoteReason::IdSpaceOverflow);
+  EXPECT_FALSE(Plan.chained());
+
+  InstrumentationResult Base =
+      instrumentModule(M, Clean.EP, ProfilerOptions::pp());
+  InstrumentedRun RunK = runInstrumented(IR);
+  InstrumentedRun RunBase = runInstrumented(Base);
+  EXPECT_EQ(RunK.Res.ReturnValue, Clean.Res.ReturnValue);
+  EXPECT_EQ(countsFromRun("m", IR, RunK.RT),
+            countsFromRun("m", Base, RunBase.RT));
+}
+
+// The counting backends with no chained form demote up front with
+// their own reasons: checked poisoning and the trace backend.
+TEST(Demotion, UpFrontBackendDemotions) {
+  Module M = loopWithDiamonds(1, 0, 8);
+  ProfiledRun Clean = profileModule(M);
+
+  ProfilerOptions Checked = ProfilerOptions::tppChecked();
+  Checked.KIterations = 2;
+  InstrumentationResult IRChecked = instrumentModule(M, Clean.EP, Checked);
+  ASSERT_TRUE(IRChecked.Plans[0].Instrumented);
+  EXPECT_EQ(IRChecked.Plans[0].KEffective, 1u);
+  EXPECT_EQ(IRChecked.Plans[0].KDemote, KDemoteReason::CheckedPoisoning);
+
+  ProfilerOptions Traced = ProfilerOptions::pp();
+  Traced.TraceBackend = true;
+  Traced.KIterations = 2;
+  InstrumentationResult IRTraced = instrumentModule(M, Clean.EP, Traced);
+  ASSERT_TRUE(IRTraced.Plans[0].Instrumented);
+  EXPECT_EQ(IRTraced.Plans[0].KEffective, 1u);
+  EXPECT_EQ(IRTraced.Plans[0].KDemote, KDemoteReason::TraceBackend);
+}
+
+// Demote-reason names are stable (they appear in reports and logs).
+TEST(Demotion, ReasonNames) {
+  EXPECT_STREQ(kDemoteReasonName(KDemoteReason::None), "none");
+  EXPECT_STREQ(kDemoteReasonName(KDemoteReason::PathCountOverflow),
+               "path-count-overflow");
+  EXPECT_STREQ(kDemoteReasonName(KDemoteReason::IdSpaceOverflow),
+               "id-space-overflow");
+  EXPECT_STREQ(kDemoteReasonName(KDemoteReason::CheckedPoisoning),
+               "checked-poisoning");
+  EXPECT_STREQ(kDemoteReasonName(KDemoteReason::TraceBackend),
+               "trace-backend");
+}
+
+} // namespace

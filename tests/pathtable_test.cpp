@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <type_traits>
 #include <vector>
 
 using namespace ppp;
@@ -165,6 +166,55 @@ TEST(FastRemainder, MatchesModuloAcrossTheInt64KeyRange) {
   Rng R(20260806);
   for (int I = 0; I < 200000; ++I)
     Check(R.next() & static_cast<uint64_t>(INT64_MAX));
+}
+
+// The divisor-range boundaries the FastRemainderDivisorInRange guard
+// admits: the smallest legal divisor (513), both probe primes (701 and
+// its step companion 699), and the largest legal divisor (2^32 - 1).
+// Each is checked at the dividend extremes where the two reciprocal
+// strategies (exact ceil magic vs floor magic + fixup) could diverge
+// from `%`: 0, the wrap points around D, and all-ones.
+TEST(FastRemainder, DivisorRangeBoundaries) {
+  auto CheckAll = [](auto DTag, uint64_t D) {
+    constexpr uint64_t DC = decltype(DTag)::value;
+    ASSERT_EQ(DC, D);
+    const uint64_t Dividends[] = {0,
+                                  1,
+                                  D - 1,
+                                  D,
+                                  D + 1,
+                                  2 * D - 1,
+                                  2 * D,
+                                  static_cast<uint64_t>(INT64_MAX),
+                                  static_cast<uint64_t>(INT64_MAX) + 1,
+                                  UINT64_MAX - D,
+                                  UINT64_MAX - 1,
+                                  UINT64_MAX};
+    for (uint64_t N : Dividends)
+      EXPECT_EQ(fastRemainder<DC>(N), N % D) << "D=" << D << " N=" << N;
+    Rng R(DC);
+    for (int I = 0; I < 50000; ++I) {
+      uint64_t N = R.next(); // Full 64-bit range, not just int64.
+      EXPECT_EQ(fastRemainder<DC>(N), N % D) << "D=" << D << " N=" << N;
+    }
+  };
+  CheckAll(std::integral_constant<uint64_t, 513>{}, 513);
+  CheckAll(std::integral_constant<uint64_t, 699>{}, 699);
+  CheckAll(std::integral_constant<uint64_t, 701>{}, 701);
+  CheckAll(std::integral_constant<uint64_t, (uint64_t(1) << 32) - 1>{},
+           (uint64_t(1) << 32) - 1);
+}
+
+// The compile-time guard itself: the edge divisors of the admissible
+// range satisfy the trait. (Out-of-range divisors are a build error by
+// design -- instantiating the trait for one fires its static_assert --
+// so the reject side cannot be exercised at runtime; the default
+// argument computing the same predicate is what the trait pins.)
+TEST(FastRemainder, DivisorGuardBoundaries) {
+  EXPECT_TRUE((FastRemainderDivisorInRange<513>::Value));
+  EXPECT_TRUE((FastRemainderDivisorInRange<701>::Value));
+  EXPECT_TRUE(
+      (FastRemainderDivisorInRange<(uint64_t(1) << 32) - 1>::Value));
 }
 
 // End-to-end: a hash table driven by the new probe math behaves

@@ -22,8 +22,8 @@ Usage:
   tools/bench_diff.py --gate NAME OLD.json NEW.json
       Shorthand for the committed trajectory files: NAME picks the key
       patterns and threshold for one of the tracked BENCH_*.json
-      baselines (throughput, served, trace, adapt, timing). --keys /
-      --threshold still
+      baselines (throughput, served, trace, adapt, timing, kiter).
+      --keys / --threshold still
       override the preset's pieces individually.
 
   tools/bench_diff.py --self-test
@@ -50,6 +50,10 @@ GATES = {
     "trace": ("trace.average.*,trace.bench.*", 25.0),
     "adapt": ("adapt.average.*,adapt.bench.*", 25.0),
     "timing": ("timing.accept.*,timing.bench.*", 25.0),
+    # kiter.k<k>.<profiler>.* are the suite-wide aggregates per chain
+    # depth (paths enumerated, lost fraction, overhead, demotions);
+    # per-benchmark kiter.bench.* keys ride along informationally.
+    "kiter": ("kiter.k*", 25.0),
 }
 
 
@@ -291,12 +295,38 @@ def self_test():
           rc == 1 and "moved more than" in err
           and "within tolerance" in err)
 
+    # 7c. The named kiter gate over BENCH_kiter.json-shaped fixtures:
+    #     steady aggregates pass, a lost-fraction blowup at k = 4 fails,
+    #     and the per-benchmark kiter.bench.* keys stay informational
+    #     (a new benchmark must not break an older baseline).
+    kiter_base = metrics(
+        gauges={"kiter.k1.ppp.paths": 560.0,
+                "kiter.k4.ppp.paths": 2720.0,
+                "kiter.k4.ppp.lost_fraction": 0.001,
+                "kiter.k4.ppp.overhead_pct": 14.7,
+                "kiter.k4.ppp.demoted_fns": 27.0,
+                "kiter.bench.vpr.k4.ppp.lost_fraction": 0.0085})
+    rc, out, _ = gate_named(kiter_base, kiter_base, "kiter")
+    check("kiter gate: steady run passes", rc == 0 and "ok:" in out)
+    blown = dict(kiter_base)
+    blown["gauges"] = dict(kiter_base["gauges"],
+                           **{"kiter.k4.ppp.lost_fraction": 0.5})
+    rc, _, err = gate_named(kiter_base, blown, "kiter")
+    check("kiter gate: lost-fraction blowup fails",
+          rc == 1 and "moved more than" in err)
+    grown_kiter = dict(kiter_base)
+    grown_kiter["gauges"] = dict(
+        kiter_base["gauges"],
+        **{"kiter.bench.gcc.k4.ppp.lost_fraction": 0.002})
+    rc, out, _ = gate_named(kiter_base, grown_kiter, "kiter")
+    check("kiter gate: new benchmark tolerated", rc == 0)
+
     # 8. Every named preset resolves to at least one pattern and a
     #    positive threshold (catches typos when presets are edited).
     check("gate presets well-formed",
           all(p.strip() and t > 0
               for p, t in GATES.values()) and set(GATES) ==
-          {"throughput", "served", "trace", "adapt", "timing"})
+          {"throughput", "served", "trace", "adapt", "timing", "kiter"})
 
     # 9. Report-only mode never fails.
     with tempfile.TemporaryDirectory() as d:

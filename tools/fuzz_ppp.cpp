@@ -75,7 +75,8 @@ void usage() {
       stderr,
       "usage: fuzz_ppp [--seed=N] [--count=N] [--minutes=N] [--fuel=N]\n"
       "                [--funcs=N] [--blocks=N] [--arms=N] [--gen-fuel=N]\n"
-      "                [--trips=N] [--diamond=0|1] [--dead=0|1]\n"
+      "                [--trips=N] [--diamond=0|1] [--dead=0|1] "
+      "[--kblow=0|1]\n"
       "                [--shrink] [--fault] [--quiet]\n");
 }
 
@@ -102,6 +103,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.Shape.WithDiamondChain = V != 0;
     } else if (parseFlag(A, "--dead", V)) {
       O.Shape.WithDeadBlocks = V != 0;
+    } else if (parseFlag(A, "--kblow", V)) {
+      O.Shape.WithKiterBlowup = V != 0;
     } else if (std::strcmp(A, "--shrink") == 0) {
       O.Shrink = true;
     } else if (std::strcmp(A, "--fault") == 0) {

@@ -5,8 +5,10 @@
 ///
 ///   ppp_cli list
 ///       The benchmark suite with its recipe classes.
-///   ppp_cli run <bench> [--profiler=pp|tpp|tpp-checked|ppp]
+///   ppp_cli run <bench> [--profiler=pp|tpp|tpp-checked|ppp|<spec>]
 ///                       [--no-expand] [--paths=N] [--seed=S]
+///       <spec> is a full profiler spec as understood by
+///       parseProfilerSpec, e.g. "ppp;+kiter2" or "tpp;+sac".
 ///       Generate + calibrate <bench>, apply the paper's methodology
 ///       (inline + unroll unless --no-expand), instrument, run, and
 ///       print metrics plus the hottest measured paths.
@@ -21,6 +23,7 @@
 #include "metrics/Metrics.h"
 #include "opt/Inliner.h"
 #include "opt/Unroller.h"
+#include "pass/Pipeline.h"
 #include "pathprof/EstimatedProfile.h"
 #include "profile/Collectors.h"
 #include "workload/Suite.h"
@@ -66,8 +69,8 @@ std::optional<BenchmarkSpec> findBench(const std::string &Name) {
 int usage() {
   fprintf(stderr,
           "usage: ppp_cli list\n"
-          "       ppp_cli run <bench> [--profiler=pp|tpp|tpp-checked|ppp]"
-          " [--no-expand] [--paths=N] [--seed=S]\n"
+          "       ppp_cli run <bench> [--profiler=pp|tpp|tpp-checked|ppp|"
+          "<spec>] [--no-expand] [--paths=N] [--seed=S]\n"
           "       ppp_cli dump <bench> [--expanded]\n");
   return 2;
 }
@@ -114,8 +117,12 @@ int cmdRun(const std::string &Bench, const std::string &Profiler,
   else if (Profiler == "ppp")
     Opts = ProfilerOptions::ppp();
   else {
-    fprintf(stderr, "error: unknown profiler '%s'\n", Profiler.c_str());
-    return 1;
+    // Anything else is a full profiler spec, e.g. "ppp;+kiter2".
+    std::string Err;
+    if (!parseProfilerSpec(Profiler, Opts, Err)) {
+      fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
   }
 
   Module M = buildExpanded(*Spec, Expand);

@@ -53,6 +53,13 @@ tools/fuzz_smoke.sh "$REPO_ROOT/build"
 # the clean run.
 tools/adapt_smoke.sh "$REPO_ROOT/build"
 
+# k-iteration smoke stage (also the kiter_smoke ctest): k = 1 must be
+# byte-identical to today's unchained profiles, the fig9-12 PPP_KITER
+# axis must default off, k = 2/4 must conserve flushes over the fuzz
+# blowup corpus, and kiter_blowup's JSON must pass bench_diff's kiter
+# gate against itself.
+tools/kiter_smoke.sh "$REPO_ROOT/build"
+
 # Optional sanitizer stage: PPP_TIER1_SANITIZE=address (or undefined,
 # or "address undefined") rebuilds into build-<san>/ with PPP_SANITIZE
 # and reruns the unit tests under the instrumented binaries. The
